@@ -1,0 +1,39 @@
+//! Criterion bench behind Figures 6/7: cost of the per-shape latency
+//! evaluation for each algorithm family on the A100 device model. The
+//! companion binaries `fig6_layerwise_a100` / `fig7_layerwise_2080ti` print
+//! the full 18-shape tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdc_conv::cost::{algorithm_latency_ms, ConvAlgorithm};
+use tdc_conv::ConvShape;
+use tdc_gpu_sim::DeviceSpec;
+
+fn bench_layerwise(c: &mut Criterion) {
+    let device = DeviceSpec::a100();
+    let shapes = [
+        ("small", ConvShape::same3x3(32, 32, 7, 7)),
+        ("medium", ConvShape::same3x3(96, 64, 28, 28)),
+        ("large", ConvShape::same3x3(64, 32, 112, 112)),
+    ];
+    let mut group = c.benchmark_group("fig6_layerwise");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (label, shape) in shapes {
+        for alg in [
+            ConvAlgorithm::CudnnGemm,
+            ConvAlgorithm::CudnnWinograd,
+            ConvAlgorithm::CudnnFft,
+            ConvAlgorithm::Tvm,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{:?}", alg), label),
+                &shape,
+                |b, s| b.iter(|| algorithm_latency_ms(alg, s, &device)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layerwise);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind Figures 8/9: cost of the end-to-end latency
+//! evaluation (given an already-selected compression plan) for ResNet-18 on
+//! the A100 device model. The companion binaries print the full five-model
+//! tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tdc::inference::{model_latency, Backend};
+use tdc::rank_select::{select_ranks, RankSelectionConfig};
+use tdc_gpu_sim::DeviceSpec;
+use tdc_nn::models::resnet18_descriptor;
+
+fn bench_e2e(c: &mut Criterion) {
+    let device = DeviceSpec::a100();
+    let model = resnet18_descriptor();
+    // Rank selection (and its tiling searches) happen once, outside the
+    // measured region — the bench measures the per-backend latency roll-up.
+    let summary = select_ranks(&model, &device, &RankSelectionConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("fig8_e2e_resnet18_a100");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    for backend in Backend::all() {
+        group.bench_function(format!("{backend:?}"), |b| {
+            b.iter(|| model_latency(&model, &summary.decisions, backend, &device).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! CPU-side convolution algorithm benchmark: the actual from-scratch
+//! implementations (direct, im2col+GEMM, Winograd, FFT, the TVM scheme
+//! emulation and the TDC scheme emulation) on a Tucker-core-sized problem.
+//! This is the compute that backs every correctness test and the training
+//! substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+use tdc_conv::{direct, fft, im2col, layout, tdc_scheme, tvm_scheme, winograd, ConvShape, Tiling};
+use tdc_tensor::init;
+
+fn bench_cpu_kernels(c: &mut Criterion) {
+    let shape = ConvShape::same3x3(32, 32, 28, 28);
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
+    let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
+    let kernel_crsn = layout::cnrs_to_crsn(&kernel).unwrap();
+    let tiling = Tiling::new(7, 7, 8);
+    let tvm_tile = tvm_scheme::TvmTile::new(7, 7);
+
+    let mut group = c.benchmark_group("cpu_conv_32x32x28x28");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("direct", |b| b.iter(|| direct::conv2d(&input, &kernel, &shape).unwrap()));
+    group.bench_function("im2col_gemm", |b| b.iter(|| im2col::conv2d(&input, &kernel, &shape).unwrap()));
+    group.bench_function("winograd_f2x3", |b| b.iter(|| winograd::conv2d(&input, &kernel, &shape).unwrap()));
+    group.bench_function("fft", |b| b.iter(|| fft::conv2d(&input, &kernel, &shape).unwrap()));
+    group.bench_function("tvm_scheme", |b| {
+        b.iter(|| tvm_scheme::run(&input, &kernel, &shape, &tvm_tile).unwrap())
+    });
+    group.bench_function("tdc_scheme", |b| {
+        b.iter(|| tdc_scheme::run(&input, &kernel_crsn, &shape, &tiling).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_kernels);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Tucker decomposition benchmark: truncated-HOSVD decomposition, the ADMM
+//! projection operator, and the Tucker-format forward pass, on an
+//! ImageNet-scale kernel (256×256×3×3, the largest 3×3 kernel in ResNet-18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+use tdc_conv::ConvShape;
+use tdc_tensor::init;
+use tdc_tucker::tkd::{project, tucker2};
+use tdc_tucker::tucker_conv::TuckerConv;
+
+fn bench_tucker(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let kernel = init::uniform(vec![256, 256, 3, 3], -0.1, 0.1, &mut rng);
+    let shape = ConvShape::same3x3(256, 256, 14, 14);
+    let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
+    let factors = tucker2(&kernel, 64, 64).unwrap();
+    let layer = TuckerConv::from_factors(shape, &factors).unwrap();
+
+    let mut group = c.benchmark_group("tucker_256x256x3x3");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("tucker2_rank64", |b| b.iter(|| tucker2(&kernel, 64, 64).unwrap()));
+    group.bench_function("admm_projection_rank64", |b| b.iter(|| project(&kernel, 64, 64).unwrap()));
+    group.bench_function("tucker_layer_forward_14x14", |b| b.iter(|| layer.forward(&input).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tucker);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 4: runtime of core convolutions as the number of output channels
+//! grows from 32 to 256 (input channels fixed at 64), for 28×28 and 14×14
+//! spatial sizes on the RTX 2080 Ti. The paper's point is the *staircase*:
+//! latency stays flat until the wave count ticks up.
+
+use tdc_bench::figures::staircase_figure;
+use tdc_gpu_sim::DeviceSpec;
+
+fn main() {
+    let device = DeviceSpec::rtx2080ti();
+    println!("Figure 4 — core convolution latency vs. output channels ({})", device.name);
+    println!("(C = 64 fixed, N swept 32..256, TDC kernel with model-selected tiling)\n");
+    staircase_figure(&device);
+    println!(
+        "Expected shape (paper Figure 4): within each series the latency is a\n\
+         monotone staircase — plateaus where the wave count is constant, jumps\n\
+         where an extra wave is needed."
+    );
+}

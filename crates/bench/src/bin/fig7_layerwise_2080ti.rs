@@ -1,0 +1,10 @@
+//! Figure 7: per-layer kernel runtime for all 18 evaluation shapes on the
+//! RTX 2080 Ti, comparing cuDNN-FFT / cuDNN-WINOGRAD / cuDNN-GEMM / TVM /
+//! TDC-ORACLE / TDC-MODELING.
+
+use tdc_bench::figures::layerwise_figure;
+use tdc_gpu_sim::DeviceSpec;
+
+fn main() {
+    layerwise_figure(&DeviceSpec::rtx2080ti(), "Figure 7");
+}

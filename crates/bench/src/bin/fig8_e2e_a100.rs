@@ -1,0 +1,10 @@
+//! Figure 8: end-to-end inference latency of the five evaluation CNNs on the
+//! A100 under the five execution configurations (original cuDNN, TK-cuDNN,
+//! TK-TVM, TK-TDC-oracle, TK-TDC-modeling).
+
+use tdc_bench::figures::end_to_end_figure;
+use tdc_gpu_sim::DeviceSpec;
+
+fn main() {
+    end_to_end_figure(&DeviceSpec::a100(), "Figure 8");
+}

@@ -1,0 +1,9 @@
+//! Figure 9: end-to-end inference latency of the five evaluation CNNs on the
+//! RTX 2080 Ti under the five execution configurations.
+
+use tdc_bench::figures::end_to_end_figure;
+use tdc_gpu_sim::DeviceSpec;
+
+fn main() {
+    end_to_end_figure(&DeviceSpec::rtx2080ti(), "Figure 9");
+}

@@ -1,0 +1,40 @@
+//! Section 5.5 claim: the analytical tiling model produces code that is only
+//! modestly slower than the exhaustive "oracle" search (~25% in the paper),
+//! while still clearly faster than TVM. This binary reports the per-shape and
+//! geometric-mean ratios on both devices.
+
+use tdc::tiling::{select, TilingStrategy};
+use tdc_bench::{fmt_ms, fmt_x, geomean, TextTable};
+use tdc_conv::cost::{algorithm_latency_ms, ConvAlgorithm};
+use tdc_conv::shapes::figure6_shapes;
+use tdc_gpu_sim::DeviceSpec;
+
+fn report(device: &DeviceSpec) {
+    println!("Analytical model vs. oracle tiling selection on {}\n", device.name);
+    let mut table = TextTable::new(&["shape (C,N,H,W)", "oracle (ms)", "model (ms)", "model/oracle", "TVM (ms)", "TVM/model"]);
+    let mut model_vs_oracle = Vec::new();
+    let mut tvm_vs_model = Vec::new();
+    for shape in figure6_shapes() {
+        let oracle = select(&shape, device, TilingStrategy::Oracle).unwrap().latency_ms;
+        let model = select(&shape, device, TilingStrategy::Model).unwrap().latency_ms;
+        let tvm = algorithm_latency_ms(ConvAlgorithm::Tvm, &shape, device);
+        model_vs_oracle.push(model / oracle);
+        tvm_vs_model.push(tvm / model);
+        table.row(&[
+            format!("({},{},{},{})", shape.c, shape.n, shape.h, shape.w),
+            fmt_ms(oracle),
+            fmt_ms(model),
+            format!("{:.2}", model / oracle),
+            fmt_ms(tvm),
+            format!("{:.2}", tvm / model),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("geomean model/oracle ratio : {:.2} (paper reports ~1.25)", geomean(&model_vs_oracle));
+    println!("geomean TVM speedup of model: {} (paper reports ~1.5x)\n", fmt_x(geomean(&tvm_vs_model)));
+}
+
+fn main() {
+    report(&DeviceSpec::a100());
+    report(&DeviceSpec::rtx2080ti());
+}

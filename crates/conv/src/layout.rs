@@ -1,0 +1,189 @@
+//! Kernel and activation data layouts.
+//!
+//! The TDC kernel's key memory optimisation (Section 5.2) is storing the
+//! convolution weights in `CRSN` order so that the loads issued by the `N`
+//! threads of a block — one output channel each — touch consecutive addresses
+//! and fully coalesce. The conversion is done offline, once, exactly as the
+//! paper describes; this module provides it together with the more common
+//! layouts used by the reference implementations.
+
+use crate::shapes::ConvShape;
+use crate::{ConvError, Result};
+use tdc_tensor::Tensor;
+
+/// Supported weight layouts for a 4-D convolution kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelLayout {
+    /// `(C, N, R, S)` — the paper's mathematical notation (Eq. 1).
+    Cnrs,
+    /// `(N, C, R, S)` — the PyTorch / cuDNN default.
+    Ncrs,
+    /// `(C, R, S, N)` — TDC's coalescing-friendly layout (Section 5.2).
+    Crsn,
+}
+
+/// Validate that a kernel tensor matches the CNRS dims implied by `shape`.
+pub fn check_kernel_cnrs(kernel: &Tensor, shape: &ConvShape) -> Result<()> {
+    let expected = shape.kernel_dims();
+    if kernel.dims() != expected.as_slice() {
+        return Err(ConvError::BadKernel { expected, actual: kernel.dims().to_vec() });
+    }
+    Ok(())
+}
+
+/// Validate that an input tensor matches the HWC dims implied by `shape`.
+pub fn check_input_hwc(input: &Tensor, shape: &ConvShape) -> Result<()> {
+    let expected = shape.input_dims();
+    if input.dims() != expected.as_slice() {
+        return Err(ConvError::BadInput { expected, actual: input.dims().to_vec() });
+    }
+    Ok(())
+}
+
+/// Convert a CNRS kernel to CRSN layout (the offline conversion of Section 5.2).
+pub fn cnrs_to_crsn(kernel: &Tensor) -> Result<Tensor> {
+    if kernel.rank() != 4 {
+        return Err(ConvError::BadKernel { expected: vec![0, 0, 0, 0], actual: kernel.dims().to_vec() });
+    }
+    // (C, N, R, S) -> (C, R, S, N)
+    Ok(kernel.permute(&[0, 2, 3, 1])?)
+}
+
+/// Convert a CRSN kernel back to CNRS layout.
+pub fn crsn_to_cnrs(kernel: &Tensor) -> Result<Tensor> {
+    if kernel.rank() != 4 {
+        return Err(ConvError::BadKernel { expected: vec![0, 0, 0, 0], actual: kernel.dims().to_vec() });
+    }
+    // (C, R, S, N) -> (C, N, R, S)
+    Ok(kernel.permute(&[0, 3, 1, 2])?)
+}
+
+/// Convert a CNRS kernel to NCRS (PyTorch-style) layout.
+pub fn cnrs_to_ncrs(kernel: &Tensor) -> Result<Tensor> {
+    if kernel.rank() != 4 {
+        return Err(ConvError::BadKernel { expected: vec![0, 0, 0, 0], actual: kernel.dims().to_vec() });
+    }
+    Ok(kernel.permute(&[1, 0, 2, 3])?)
+}
+
+/// Convert an NCRS kernel to CNRS layout.
+pub fn ncrs_to_cnrs(kernel: &Tensor) -> Result<Tensor> {
+    cnrs_to_ncrs(kernel)
+}
+
+/// Zero-pad an HWC input tensor symmetrically in both spatial dimensions.
+pub fn pad_hwc(input: &Tensor, pad: usize) -> Result<Tensor> {
+    if input.rank() != 3 {
+        return Err(ConvError::BadInput { expected: vec![0, 0, 0], actual: input.dims().to_vec() });
+    }
+    if pad == 0 {
+        return Ok(input.clone());
+    }
+    let (h, w, c) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (ph, pw) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(vec![ph, pw, c]);
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                out.set(&[y + pad, x + pad, ch], input.get(&[y, x, ch]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convert an HWC activation tensor to CHW layout.
+pub fn hwc_to_chw(t: &Tensor) -> Result<Tensor> {
+    if t.rank() != 3 {
+        return Err(ConvError::BadInput { expected: vec![0, 0, 0], actual: t.dims().to_vec() });
+    }
+    Ok(t.permute(&[2, 0, 1])?)
+}
+
+/// Convert a CHW activation tensor to HWC layout.
+pub fn chw_to_hwc(t: &Tensor) -> Result<Tensor> {
+    if t.rank() != 3 {
+        return Err(ConvError::BadInput { expected: vec![0, 0, 0], actual: t.dims().to_vec() });
+    }
+    Ok(t.permute(&[1, 2, 0])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tdc_tensor::init;
+
+    #[test]
+    fn crsn_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = init::uniform(vec![8, 16, 3, 3], -1.0, 1.0, &mut rng);
+        let crsn = cnrs_to_crsn(&k).unwrap();
+        assert_eq!(crsn.dims(), &[8, 3, 3, 16]);
+        let back = crsn_to_cnrs(&crsn).unwrap();
+        assert_eq!(back, k);
+    }
+
+    #[test]
+    fn crsn_puts_output_channel_contiguous() {
+        let k = Tensor::from_fn(vec![2, 4, 3, 3], |i| (i[1]) as f32); // value = output channel
+        let crsn = cnrs_to_crsn(&k).unwrap();
+        // For fixed (c, r, s) the last axis enumerates output channels — the
+        // values 0..N must be adjacent in memory.
+        let base = &crsn.data()[0..4];
+        assert_eq!(base, &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ncrs_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k = init::uniform(vec![8, 16, 3, 3], -1.0, 1.0, &mut rng);
+        let ncrs = cnrs_to_ncrs(&k).unwrap();
+        assert_eq!(ncrs.dims(), &[16, 8, 3, 3]);
+        let back = ncrs_to_cnrs(&ncrs).unwrap();
+        assert_eq!(back, k);
+    }
+
+    #[test]
+    fn layout_conversions_reject_wrong_rank() {
+        let bad = Tensor::zeros(vec![3, 3, 3]);
+        assert!(cnrs_to_crsn(&bad).is_err());
+        assert!(crsn_to_cnrs(&bad).is_err());
+        assert!(cnrs_to_ncrs(&bad).is_err());
+    }
+
+    #[test]
+    fn padding_preserves_interior_and_zeroes_border() {
+        let x = Tensor::from_fn(vec![2, 2, 1], |i| (i[0] * 2 + i[1] + 1) as f32);
+        let p = pad_hwc(&x, 1).unwrap();
+        assert_eq!(p.dims(), &[4, 4, 1]);
+        assert_eq!(p.get(&[1, 1, 0]), 1.0);
+        assert_eq!(p.get(&[2, 2, 0]), 4.0);
+        assert_eq!(p.get(&[0, 0, 0]), 0.0);
+        assert_eq!(p.get(&[3, 3, 0]), 0.0);
+        // pad = 0 is a no-op clone
+        assert_eq!(pad_hwc(&x, 0).unwrap(), x);
+    }
+
+    #[test]
+    fn hwc_chw_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::uniform(vec![5, 7, 3], -1.0, 1.0, &mut rng);
+        let chw = hwc_to_chw(&x).unwrap();
+        assert_eq!(chw.dims(), &[3, 5, 7]);
+        assert_eq!(chw_to_hwc(&chw).unwrap(), x);
+    }
+
+    #[test]
+    fn shape_validators() {
+        let shape = ConvShape::same3x3(3, 8, 10, 10);
+        let good_in = Tensor::zeros(vec![10, 10, 3]);
+        let bad_in = Tensor::zeros(vec![3, 10, 10]);
+        assert!(check_input_hwc(&good_in, &shape).is_ok());
+        assert!(check_input_hwc(&bad_in, &shape).is_err());
+        let good_k = Tensor::zeros(vec![3, 8, 3, 3]);
+        let bad_k = Tensor::zeros(vec![8, 3, 3, 3]);
+        assert!(check_kernel_cnrs(&good_k, &shape).is_ok());
+        assert!(check_kernel_cnrs(&bad_k, &shape).is_err());
+    }
+}

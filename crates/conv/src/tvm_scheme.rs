@@ -1,0 +1,282 @@
+//! The TVM convolution scheme (paper Listing 1).
+//!
+//! Section 5.1 characterises the scheme TVM's auto-tuned templates produce for
+//! direct convolution: the output is split over height and width only (not
+//! over input channels), every thread owns one output position, the block
+//! stages both the input tile and the weights in shared memory, and the
+//! per-input-channel loop performs **two** block-wide synchronisations per
+//! iteration. The paper's criticism — and the reason the TDC scheme exists —
+//! is that for Tucker-core convolutions, whose channel counts are small, this
+//! leaves most of the GPU idle and pays `2·C` synchronisations.
+//!
+//! As with the TDC scheme, both a CPU emulation (correctness) and an analytical
+//! cost model (latency on the simulator) are provided, along with the
+//! exhaustive tile search that stands in for TVM's ML-based auto-tuning.
+
+use crate::layout::{check_input_hwc, check_kernel_cnrs, pad_hwc};
+use crate::shapes::ConvShape;
+use crate::{ConvError, Result};
+use serde::{Deserialize, Serialize};
+use tdc_gpu_sim::{DeviceSpec, KernelLaunch, LatencyModel};
+use tdc_tensor::Tensor;
+
+/// Spatial tile assigned to one thread block in the TVM scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TvmTile {
+    /// Tile height (threads along the output height dimension).
+    pub th: usize,
+    /// Tile width (threads along the output width dimension).
+    pub tw: usize,
+}
+
+impl TvmTile {
+    /// Create a tile; components are clamped to at least 1.
+    pub fn new(th: usize, tw: usize) -> Self {
+        TvmTile { th: th.max(1), tw: tw.max(1) }
+    }
+
+    /// Threads per block: one output position per thread.
+    pub fn threads(&self) -> usize {
+        self.th * self.tw
+    }
+
+    /// Blocks in the grid: `⌈H'/TH⌉ · ⌈W'/TW⌉` — no split over input channels.
+    pub fn grid_blocks(&self, shape: &ConvShape) -> usize {
+        shape.out_h().div_ceil(self.th) * shape.out_w().div_ceil(self.tw)
+    }
+
+    /// Shared-memory bytes: the input tile (with halo) for one channel plus
+    /// one channel's weights for all output channels, both re-staged every
+    /// iteration of the C loop (Listing 1 keeps exactly these two buffers).
+    pub fn shared_mem_bytes(&self, shape: &ConvShape) -> usize {
+        let input_tile = (self.th + shape.r - 1) * (self.tw + shape.s - 1);
+        let kernel_tile = shape.r * shape.s * shape.n;
+        (input_tile + kernel_tile) * 4
+    }
+
+    /// FLOPs per block: each of the `TH·TW` threads computes all `N` outputs
+    /// for its position over all `C` channels.
+    pub fn flops_per_block(&self, shape: &ConvShape) -> f64 {
+        2.0 * (self.th * self.tw) as f64
+            * shape.c as f64
+            * shape.n as f64
+            * (shape.r * shape.s) as f64
+    }
+
+    /// Build the launch descriptor for the scheme.
+    pub fn kernel_launch(&self, shape: &ConvShape, device: &DeviceSpec) -> KernelLaunch {
+        let grid = self.grid_blocks(shape);
+        // Global traffic: every block re-reads its (overlapping) input tile for
+        // every channel, reads the whole weight tensor once, and writes its
+        // outputs once.
+        let input_tile = ((self.th + shape.r - 1) * (self.tw + shape.s - 1)) as f64;
+        let input_bytes = grid as f64 * shape.c as f64 * input_tile * 4.0;
+        let kernel_bytes = grid as f64 * shape.params() as f64 * 4.0;
+        let output_bytes = shape.output_elems() as f64 * 4.0;
+        // Divergence: ragged tiles at the right/bottom edge leave threads idle.
+        let full = (self.th * self.tw * grid) as f64;
+        let useful = (shape.out_h() * shape.out_w()) as f64;
+        let divergence = (1.0 - (useful / full).min(1.0)) * 0.5;
+        let _ = device;
+        KernelLaunch::new("tvm_direct_conv", grid, self.threads())
+            .with_shared_mem(self.shared_mem_bytes(shape))
+            .with_regs(48)
+            .with_flops_per_block(self.flops_per_block(shape))
+            .with_global_traffic(input_bytes + kernel_bytes, output_bytes)
+            // Listing 1: two __syncthreads per input-channel iteration.
+            .with_syncs(2 * shape.c)
+            .with_divergence(divergence)
+    }
+
+    /// Whether the tile can be launched on the device.
+    pub fn is_launchable(&self, shape: &ConvShape, device: &DeviceSpec) -> bool {
+        self.th <= shape.out_h()
+            && self.tw <= shape.out_w()
+            && self.threads() <= device.max_threads_per_block
+            && self.kernel_launch(shape, device).validate(device).is_ok()
+    }
+
+    /// Candidate tile edge lengths used by the auto-tuning stand-in.
+    pub fn candidate_values(dim: usize) -> Vec<usize> {
+        let mut vals: Vec<usize> = vec![1, 2, 4, 7, 8, 14, 16, 28, 32, 56, 64];
+        vals.retain(|&v| v <= dim);
+        if !vals.contains(&dim) && dim <= 64 {
+            vals.push(dim);
+        }
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Exhaustive tile search standing in for TVM's auto-tuner: picks the tile
+    /// with the lowest modelled latency on the device.
+    pub fn autotune(shape: &ConvShape, device: &DeviceSpec) -> TvmTile {
+        let model = LatencyModel::new(device.clone());
+        let mut best = TvmTile::new(1, 1);
+        let mut best_ms = f64::INFINITY;
+        for &th in &Self::candidate_values(shape.out_h()) {
+            for &tw in &Self::candidate_values(shape.out_w()) {
+                let tile = TvmTile::new(th, tw);
+                if !tile.is_launchable(shape, device) {
+                    continue;
+                }
+                if let Ok(lat) = model.kernel_latency(&tile.kernel_launch(shape, device)) {
+                    if lat.total_ms < best_ms {
+                        best_ms = lat.total_ms;
+                        best = tile;
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl std::fmt::Display for TvmTile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(TH={}, TW={})", self.th, self.tw)
+    }
+}
+
+/// CPU emulation of the TVM scheme's loop structure (Listing 1): spatial tiles
+/// per block, a sequential C loop staging one channel of input and weights at
+/// a time, and an inner N loop per thread. Produces the same output as the
+/// direct reference; used by correctness tests.
+pub fn run(input: &Tensor, kernel: &Tensor, shape: &ConvShape, tile: &TvmTile) -> Result<Tensor> {
+    check_input_hwc(input, shape)?;
+    check_kernel_cnrs(kernel, shape)?;
+    if shape.stride != 1 {
+        return Err(ConvError::Unsupported {
+            algorithm: "tvm_scheme",
+            reason: "the modelled TVM direct-conv template targets stride 1".into(),
+        });
+    }
+    let padded = pad_hwc(input, shape.pad)?;
+    let (ph, pw) = (shape.h + 2 * shape.pad, shape.w + 2 * shape.pad);
+    let (out_h, out_w, n, c) = (shape.out_h(), shape.out_w(), shape.n, shape.c);
+    let (r, s) = (shape.r, shape.s);
+    let x = padded.data();
+
+    let mut out = Tensor::zeros(vec![out_h, out_w, n]);
+    let tiles_h = out_h.div_ceil(tile.th);
+    let tiles_w = out_w.div_ceil(tile.tw);
+    for ty in 0..tiles_h {
+        for tx in 0..tiles_w {
+            // The C loop with its two "synchronisations": stage one channel of
+            // input and weights, then let every thread accumulate.
+            for ch in 0..c {
+                // shared_input for this channel and tile (with halo).
+                let halo_h = tile.th + r - 1;
+                let halo_w = tile.tw + s - 1;
+                let mut shared_input = vec![0.0f32; halo_h * halo_w];
+                for hy in 0..halo_h {
+                    for wx in 0..halo_w {
+                        let gy = ty * tile.th + hy;
+                        let gx = tx * tile.tw + wx;
+                        shared_input[hy * halo_w + wx] =
+                            if gy < ph && gx < pw { x[(gy * pw + gx) * c + ch] } else { 0.0 };
+                    }
+                }
+                // shared_kernel: this channel's weights for all N outputs.
+                // (Indexed directly from the CNRS tensor below.)
+                for lth in 0..tile.th {
+                    for ltw in 0..tile.tw {
+                        let oy = ty * tile.th + lth;
+                        let ox = tx * tile.tw + ltw;
+                        if oy >= out_h || ox >= out_w {
+                            continue; // idle (diverged) thread
+                        }
+                        for on in 0..n {
+                            let mut acc = out.get(&[oy, ox, on]);
+                            for rr in 0..r {
+                                for ss in 0..s {
+                                    acc += shared_input[(lth + rr) * halo_w + (ltw + ss)]
+                                        * kernel.get(&[ch, on, rr, ss]);
+                                }
+                            }
+                            out.set(&[oy, ox, on], acc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tdc_tensor::init;
+
+    #[test]
+    fn geometry_and_flops() {
+        let shape = ConvShape::same3x3(64, 32, 28, 28);
+        let t = TvmTile::new(14, 14);
+        assert_eq!(t.threads(), 196);
+        assert_eq!(t.grid_blocks(&shape), 4);
+        let launch = t.kernel_launch(&shape, &DeviceSpec::a100());
+        assert_eq!(launch.syncs_per_block, 2 * 64);
+        assert!((t.flops_per_block(&shape) - 2.0 * 196.0 * 64.0 * 32.0 * 9.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_channel_split_means_few_blocks_for_small_spatial_shapes() {
+        // The paper's core criticism: a (192, 160, 7, 7) Tucker core conv gives
+        // TVM at most 49 units of block-level parallelism.
+        let shape = ConvShape::same3x3(192, 160, 7, 7);
+        let best = TvmTile::autotune(&shape, &DeviceSpec::a100());
+        assert!(best.grid_blocks(&shape) <= 49);
+    }
+
+    #[test]
+    fn emulation_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let cases = [
+            (ConvShape::core(3, 4, 8, 8), TvmTile::new(3, 3)),
+            (ConvShape::same3x3(5, 6, 9, 7), TvmTile::new(4, 4)),
+            (ConvShape::same3x3(4, 3, 6, 6), TvmTile::new(6, 6)),
+        ];
+        for (shape, tile) in cases {
+            let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
+            let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
+            let ours = run(&input, &kernel, &shape, &tile).unwrap();
+            let reference = direct::conv2d(&input, &kernel, &shape).unwrap();
+            assert!(
+                ours.relative_error(&reference).unwrap() < 1e-4,
+                "mismatch for {shape} with {tile}"
+            );
+        }
+    }
+
+    #[test]
+    fn autotune_picks_a_launchable_tile() {
+        let dev = DeviceSpec::rtx2080ti();
+        for shape in [ConvShape::same3x3(64, 32, 28, 28), ConvShape::same3x3(64, 32, 224, 224)] {
+            let best = TvmTile::autotune(&shape, &dev);
+            assert!(best.is_launchable(&shape, &dev), "{best} not launchable for {shape}");
+        }
+    }
+
+    #[test]
+    fn rejects_strided_shapes_and_bad_tensors() {
+        let shape = ConvShape::new(3, 4, 8, 8, 3, 3, 1, 2);
+        let input = Tensor::zeros(vec![8, 8, 3]);
+        let kernel = Tensor::zeros(vec![3, 4, 3, 3]);
+        assert!(run(&input, &kernel, &shape, &TvmTile::new(2, 2)).is_err());
+        let shape = ConvShape::same3x3(3, 4, 8, 8);
+        let bad_kernel = Tensor::zeros(vec![4, 3, 3, 3]);
+        assert!(run(&input, &bad_kernel, &shape, &TvmTile::new(2, 2)).is_err());
+    }
+
+    #[test]
+    fn sync_count_scales_with_input_channels() {
+        let dev = DeviceSpec::a100();
+        let small_c = TvmTile::new(7, 7).kernel_launch(&ConvShape::same3x3(32, 32, 14, 14), &dev);
+        let big_c = TvmTile::new(7, 7).kernel_launch(&ConvShape::same3x3(192, 32, 14, 14), &dev);
+        assert_eq!(small_c.syncs_per_block, 64);
+        assert_eq!(big_c.syncs_per_block, 384);
+    }
+}

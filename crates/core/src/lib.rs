@@ -1,0 +1,118 @@
+//! # tdc
+//!
+//! The TDC framework itself: everything Figure 1 of the paper shows between a
+//! pre-trained CNN and an optimised Tucker-compressed deployment.
+//!
+//! * [`perf_model`] — the analytical performance model of Section 5.3–5.4
+//!   (Eq. 14–19): per-block compute latency, wave counts, and the
+//!   global-memory data-movement volumes for a given `(TH, TW, TC)` tiling.
+//! * [`tiling`] — tiling selection (Section 5.5): the analytical "model"
+//!   selection (top-p% by compute latency, then minimum memory volume; p = 5%
+//!   on A100, 15% on 2080 Ti) and the exhaustive "oracle" search, with a
+//!   process-wide memo cache so end-to-end runs stay fast.
+//! * [`codegen`] — the C++/CUDA source generator for the TDC core-convolution
+//!   kernel (Listing 2) specialised to a shape and tiling.
+//! * [`benchmark_table`] — the per-layer latency table `T` over rank
+//!   candidates that drives hardware-aware rank selection.
+//! * [`rank_select`] — Algorithm 1: budget-constrained, latency-driven rank
+//!   selection with the θ skip threshold and budget recycling.
+//! * [`inference`] — end-to-end latency estimation of original and
+//!   Tucker-compressed models under the different execution backends compared
+//!   in Figures 8/9 (cuDNN, TVM, TDC-oracle, TDC-model).
+//! * [`pipeline`] — the end-to-end co-design pipeline tying rank selection,
+//!   ADMM training and code generation together (Figure 1).
+
+pub mod benchmark_table;
+pub mod codegen;
+pub mod inference;
+pub mod perf_model;
+pub mod pipeline;
+pub mod rank_select;
+pub mod tiling;
+
+pub use benchmark_table::LayerPerfTable;
+pub use inference::{Backend, ModelLatencyReport};
+pub use pipeline::{CompressionPlan, TdcPipeline};
+pub use rank_select::{LayerDecision, RankSelectionConfig};
+pub use tiling::{TilingChoice, TilingStrategy};
+
+/// Errors produced by the TDC framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdcError {
+    /// No launchable tiling exists for a shape on the device.
+    NoTiling { shape: String },
+    /// Rank selection could not satisfy the budget.
+    BudgetInfeasible { reason: String },
+    /// An underlying component failed.
+    Conv(tdc_conv::ConvError),
+    /// An underlying simulator call failed.
+    Sim(tdc_gpu_sim::SimError),
+    /// An underlying Tucker operation failed.
+    Tucker(tdc_tucker::TuckerError),
+    /// An underlying network operation failed.
+    Nn(tdc_nn::NnError),
+    /// Invalid configuration.
+    BadConfig { reason: String },
+}
+
+impl std::fmt::Display for TdcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TdcError::NoTiling { shape } => write!(f, "no launchable tiling for shape {shape}"),
+            TdcError::BudgetInfeasible { reason } => write!(f, "budget infeasible: {reason}"),
+            TdcError::Conv(e) => write!(f, "convolution error: {e}"),
+            TdcError::Sim(e) => write!(f, "simulator error: {e}"),
+            TdcError::Tucker(e) => write!(f, "tucker error: {e}"),
+            TdcError::Nn(e) => write!(f, "network error: {e}"),
+            TdcError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TdcError {}
+
+impl From<tdc_conv::ConvError> for TdcError {
+    fn from(e: tdc_conv::ConvError) -> Self {
+        TdcError::Conv(e)
+    }
+}
+
+impl From<tdc_gpu_sim::SimError> for TdcError {
+    fn from(e: tdc_gpu_sim::SimError) -> Self {
+        TdcError::Sim(e)
+    }
+}
+
+impl From<tdc_tucker::TuckerError> for TdcError {
+    fn from(e: tdc_tucker::TuckerError) -> Self {
+        TdcError::Tucker(e)
+    }
+}
+
+impl From<tdc_nn::NnError> for TdcError {
+    fn from(e: tdc_nn::NnError) -> Self {
+        TdcError::Nn(e)
+    }
+}
+
+/// Result alias for the TDC framework.
+pub type Result<T> = std::result::Result<T, TdcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e = TdcError::NoTiling { shape: "(C=1, ...)".into() };
+        assert!(e.to_string().contains("no launchable tiling"));
+        let e: TdcError = tdc_gpu_sim::SimError::InvalidLaunch { reason: "x".into() }.into();
+        assert!(e.to_string().contains("simulator error"));
+        let e: TdcError = tdc_tucker::TuckerError::BadConfig { reason: "y".into() }.into();
+        assert!(e.to_string().contains("tucker error"));
+        let e: TdcError = tdc_nn::NnError::Protocol { reason: "z" }.into();
+        assert!(e.to_string().contains("network error"));
+        let e: TdcError = tdc_conv::ConvError::BadTiling { reason: "t".into() }.into();
+        assert!(e.to_string().contains("convolution error"));
+    }
+}

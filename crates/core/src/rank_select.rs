@@ -1,0 +1,322 @@
+//! Hardware-aware rank selection — Algorithm 1 of the paper (Section 6).
+//!
+//! Given a model descriptor, a FLOPs-reduction budget `B` and the per-layer
+//! latency tables, the selector walks every decomposable convolution and
+//! decides whether to decompose it and at which ranks:
+//!
+//! 1. candidates step channels by 32 (one warp);
+//! 2. among the candidates that satisfy the layer's share of the budget, pick
+//!    the fastest, preferring larger ranks on ties (`max{argmin T}`);
+//! 3. **θ threshold**: Tucker decomposition adds two extra 1×1 kernels, so if
+//!    the decomposed layer is not at least `θ` faster than the original layer
+//!    (`t1 ≥ (1 − θ)·t2`) the layer is left dense;
+//! 4. **budget recycling**: the FLOPs a skipped layer would have saved are
+//!    redistributed to the remaining layers by raising their effective budget.
+
+use crate::benchmark_table::LayerPerfTable;
+use crate::tiling::TilingStrategy;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use tdc_conv::{ConvShape, Tiling};
+use tdc_gpu_sim::DeviceSpec;
+use tdc_nn::models::ModelDescriptor;
+use tdc_tucker::rank::RankPair;
+
+/// Why a layer was left dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeepReason {
+    /// 1×1 convolutions are not decomposed (they are already channel mixers).
+    Pointwise,
+    /// No rank candidate could satisfy the (effective) budget.
+    NoAdmissibleRank,
+    /// The decomposed layer was not at least θ faster than the original
+    /// (`t1 ≥ (1 − θ)·t2`).
+    ThetaThreshold,
+}
+
+/// The decision made for one convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Decompose at the given ranks, running the core convolution with the
+    /// given tiling.
+    Decompose {
+        /// Selected Tucker ranks.
+        rank: RankPair,
+        /// Tiling of the generated core kernel.
+        tiling: Tiling,
+        /// Modelled latency of the Tucker-format layer (ms).
+        tucker_ms: f64,
+        /// Modelled latency of the original layer (ms).
+        original_ms: f64,
+    },
+    /// Keep the layer dense.
+    Keep {
+        /// Modelled latency of the original layer (ms).
+        original_ms: f64,
+        /// Why the layer was kept.
+        reason: KeepReason,
+    },
+}
+
+/// Per-layer outcome of rank selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerDecision {
+    /// Index of the layer in the descriptor's convolution list.
+    pub layer_index: usize,
+    /// The original convolution shape.
+    pub shape: ConvShape,
+    /// The decision.
+    pub decision: Decision,
+}
+
+impl LayerDecision {
+    /// The rank pair if the layer is decomposed.
+    pub fn rank(&self) -> Option<RankPair> {
+        match self.decision {
+            Decision::Decompose { rank, .. } => Some(rank),
+            Decision::Keep { .. } => None,
+        }
+    }
+
+    /// Modelled latency of this layer after the decision.
+    pub fn decided_ms(&self) -> f64 {
+        match self.decision {
+            Decision::Decompose { tucker_ms, .. } => tucker_ms,
+            Decision::Keep { original_ms, .. } => original_ms,
+        }
+    }
+
+    /// Modelled latency of the original layer.
+    pub fn original_ms(&self) -> f64 {
+        match self.decision {
+            Decision::Decompose { original_ms, .. } | Decision::Keep { original_ms, .. } => original_ms,
+        }
+    }
+}
+
+/// Configuration of the rank-selection pass.
+#[derive(Debug, Clone)]
+pub struct RankSelectionConfig {
+    /// Target fractional FLOPs reduction `B` over the decomposable layers
+    /// (e.g. 0.6 = 60%).
+    pub budget: f64,
+    /// The θ skip threshold (the paper uses 15%).
+    pub theta: f64,
+    /// Tiling selection strategy for the core kernels.
+    pub strategy: TilingStrategy,
+    /// Rank-candidate step (32 for real models; smaller for the miniature
+    /// trainable models).
+    pub rank_step: usize,
+}
+
+impl Default for RankSelectionConfig {
+    fn default() -> Self {
+        RankSelectionConfig {
+            budget: 0.6,
+            theta: 0.15,
+            strategy: TilingStrategy::Model,
+            rank_step: 32,
+        }
+    }
+}
+
+/// Summary of a whole-model rank selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionSummary {
+    /// Per-layer decisions, in layer order.
+    pub decisions: Vec<LayerDecision>,
+    /// Achieved FLOPs reduction over the decomposable layers.
+    pub achieved_reduction: f64,
+    /// Number of layers decomposed.
+    pub decomposed_layers: usize,
+    /// Number of layers kept dense by the θ threshold.
+    pub theta_skipped_layers: usize,
+}
+
+/// Run Algorithm 1 over every convolution layer of a model descriptor.
+pub fn select_ranks(
+    model: &ModelDescriptor,
+    device: &DeviceSpec,
+    cfg: &RankSelectionConfig,
+) -> Result<SelectionSummary> {
+    let mut decisions = Vec::with_capacity(model.convs.len());
+    // The budget is defined over the decomposable (spatial) convolutions.
+    let decomposable_flops: f64 =
+        model.convs.iter().filter(|s| s.r > 1 || s.s > 1).map(|s| s.flops()).sum();
+    let mut required_reduction = cfg.budget * decomposable_flops;
+    let mut remaining_flops = decomposable_flops;
+    let mut achieved_reduction_flops = 0.0f64;
+    let mut theta_skipped = 0usize;
+
+    for (index, shape) in model.convs.iter().enumerate() {
+        if shape.r == 1 && shape.s == 1 {
+            let original_ms =
+                tdc_conv::cost::best_cudnn_latency_ms(shape, device).1;
+            decisions.push(LayerDecision {
+                layer_index: index,
+                shape: *shape,
+                decision: Decision::Keep { original_ms, reason: KeepReason::Pointwise },
+            });
+            continue;
+        }
+
+        // Effective per-layer budget after recycling what earlier layers
+        // saved or failed to save.
+        let effective_budget = if remaining_flops > 0.0 {
+            (required_reduction / remaining_flops).clamp(0.0, 0.95)
+        } else {
+            0.0
+        };
+
+        let table = LayerPerfTable::build_with_step(shape, device, cfg.strategy, cfg.rank_step)?;
+        let choice = table.best_under_budget(effective_budget);
+
+        let decision = match choice {
+            None => Decision::Keep { original_ms: table.original_ms, reason: KeepReason::NoAdmissibleRank },
+            Some(entry) => {
+                // θ threshold: skip if not clearly faster than the original.
+                if entry.tucker_ms >= (1.0 - cfg.theta) * table.original_ms {
+                    theta_skipped += 1;
+                    Decision::Keep { original_ms: table.original_ms, reason: KeepReason::ThetaThreshold }
+                } else {
+                    Decision::Decompose {
+                        rank: entry.rank,
+                        tiling: entry.tiling,
+                        tucker_ms: entry.tucker_ms,
+                        original_ms: table.original_ms,
+                    }
+                }
+            }
+        };
+
+        // Budget bookkeeping: a decomposed layer contributes its reduction; a
+        // kept layer contributes nothing, and its share stays in
+        // `required_reduction`, implicitly raising the pressure on later layers
+        // (the paper's "increase B by the saved FLOPs" recycling).
+        if let Decision::Decompose { rank, .. } = decision {
+            let layer_saved =
+                shape.flops() * tdc_tucker::flops::flops_reduction(shape, rank.d1, rank.d2);
+            required_reduction -= layer_saved;
+            achieved_reduction_flops += layer_saved;
+        }
+        remaining_flops -= shape.flops();
+        required_reduction = required_reduction.max(0.0);
+        remaining_flops = remaining_flops.max(0.0);
+
+        decisions.push(LayerDecision { layer_index: index, shape: *shape, decision });
+    }
+
+    let decomposed_layers = decisions.iter().filter(|d| d.rank().is_some()).count();
+    Ok(SelectionSummary {
+        decisions,
+        achieved_reduction: if decomposable_flops > 0.0 {
+            achieved_reduction_flops / decomposable_flops
+        } else {
+            0.0
+        },
+        decomposed_layers,
+        theta_skipped_layers: theta_skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdc_nn::models::{resnet18_descriptor, vgg16_descriptor};
+
+    #[test]
+    fn resnet18_selection_decomposes_most_spatial_layers() {
+        let dev = DeviceSpec::a100();
+        let cfg = RankSelectionConfig { budget: 0.6, ..Default::default() };
+        let summary = select_ranks(&resnet18_descriptor(), &dev, &cfg).unwrap();
+        assert_eq!(summary.decisions.len(), resnet18_descriptor().convs.len());
+        // The co-design framework is selective: it decomposes the layers where
+        // decomposition pays off on the device (and the θ threshold keeps the
+        // rest), but a meaningful fraction of the spatial layers must be hit.
+        assert!(summary.decomposed_layers >= 5, "decomposed {}", summary.decomposed_layers);
+        // All pointwise layers are kept.
+        for d in &summary.decisions {
+            if d.shape.r == 1 && d.shape.s == 1 {
+                assert!(matches!(d.decision, Decision::Keep { reason: KeepReason::Pointwise, .. }));
+            }
+        }
+        // A non-trivial overall FLOPs reduction is achieved.
+        assert!(
+            summary.achieved_reduction > 0.2,
+            "achieved reduction {} too small",
+            summary.achieved_reduction
+        );
+    }
+
+    #[test]
+    fn decomposed_layers_are_faster_than_their_originals_by_theta() {
+        let dev = DeviceSpec::a100();
+        let cfg = RankSelectionConfig::default();
+        let summary = select_ranks(&resnet18_descriptor(), &dev, &cfg).unwrap();
+        for d in &summary.decisions {
+            if let Decision::Decompose { tucker_ms, original_ms, .. } = d.decision {
+                assert!(
+                    tucker_ms < (1.0 - cfg.theta) * original_ms,
+                    "layer {} violates the theta threshold",
+                    d.layer_index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_shrink_the_selected_ranks() {
+        // A larger FLOPs-reduction budget must not pick *larger* ranks for any
+        // layer that is decomposed under both budgets. (The total achieved
+        // reduction is not monotone in the budget: an over-aggressive budget
+        // can make individual layers infeasible and leave them dense.)
+        let dev = DeviceSpec::a100();
+        let loose = select_ranks(
+            &resnet18_descriptor(),
+            &dev,
+            &RankSelectionConfig { budget: 0.3, ..Default::default() },
+        )
+        .unwrap();
+        let tight = select_ranks(
+            &resnet18_descriptor(),
+            &dev,
+            &RankSelectionConfig { budget: 0.7, ..Default::default() },
+        )
+        .unwrap();
+        let mut compared = 0;
+        for (a, b) in loose.decisions.iter().zip(tight.decisions.iter()) {
+            if let (Some(ra), Some(rb)) = (a.rank(), b.rank()) {
+                assert!(
+                    rb.d1 + rb.d2 <= ra.d1 + ra.d2,
+                    "layer {}: tight budget picked larger ranks ({rb} > {ra})",
+                    a.layer_index
+                );
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "no layer decomposed under both budgets");
+        assert!(loose.achieved_reduction > 0.0 && tight.achieved_reduction > 0.0);
+    }
+
+    #[test]
+    fn vgg_selection_handles_the_large_spatial_layers() {
+        // The (64, 224, 224)-ish layers are where the TDC kernel can lose to
+        // the baselines; the θ threshold must be allowed to keep them dense
+        // without the whole selection failing.
+        let dev = DeviceSpec::rtx2080ti();
+        let cfg = RankSelectionConfig { budget: 0.5, ..Default::default() };
+        let summary = select_ranks(&vgg16_descriptor(), &dev, &cfg).unwrap();
+        assert_eq!(summary.decisions.len(), 13);
+        assert!(summary.decomposed_layers + summary.theta_skipped_layers > 0);
+    }
+
+    #[test]
+    fn decided_latency_never_exceeds_original_for_decomposed_layers() {
+        let dev = DeviceSpec::a100();
+        let summary =
+            select_ranks(&resnet18_descriptor(), &dev, &RankSelectionConfig::default()).unwrap();
+        let total_decided: f64 = summary.decisions.iter().map(|d| d.decided_ms()).sum();
+        let total_original: f64 = summary.decisions.iter().map(|d| d.original_ms()).sum();
+        assert!(total_decided <= total_original);
+    }
+}

@@ -1,0 +1,273 @@
+//! The kernel latency model (paper Eq. 14–19).
+//!
+//! Latency of a launch is modelled as the combination of
+//!
+//! * **compute latency** — per-block FLOPs divided by the per-block share of
+//!   peak throughput, multiplied by the number of waves (Eq. 15), inflated by
+//!   warp-divergence waste and per-sync stall cost;
+//! * **memory latency** — total post-coalescing global traffic divided by the
+//!   DRAM bandwidth (Section 5.4);
+//! * **launch overhead** — a fixed per-kernel cost, which is what makes
+//!   decomposing very small layers unprofitable (the θ threshold of Section 6).
+//!
+//! Compute and memory are partially overlapped: the modelled kernel time is
+//! `max(compute, memory) + overlap_penalty * min(compute, memory)`, with a
+//! small penalty factor representing imperfect latency hiding. The paper notes
+//! (citing prior work) that dense convolution is usually compute bound, which
+//! this model reproduces for the evaluated shapes.
+
+use crate::device::DeviceSpec;
+use crate::kernel::KernelLaunch;
+use crate::occupancy::{occupancy, OccupancyResult};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the shorter of (compute, memory) that is *not* hidden behind
+/// the longer one. 0 would be perfect overlap, 1 would be full serialisation.
+pub const DEFAULT_OVERLAP_PENALTY: f64 = 0.2;
+
+/// Cost of one block-wide `__syncthreads`, expressed in microseconds of stall
+/// per executed sync per wave. Calibrated so that the TVM scheme's per-channel
+/// double sync visibly hurts small Tucker-core convolutions, as reported in
+/// Section 5.1.
+pub const SYNC_STALL_US: f64 = 0.15;
+
+/// Detailed latency decomposition for one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Kernel name copied from the launch descriptor.
+    pub kernel: String,
+    /// Number of full waves the grid needs (Eq. 14).
+    pub waves: usize,
+    /// Occupancy used for the wave computation.
+    pub occupancy: f64,
+    /// Compute-side latency in milliseconds (Eq. 15 plus divergence and syncs).
+    pub compute_ms: f64,
+    /// Memory-side latency in milliseconds.
+    pub memory_ms: f64,
+    /// Fixed launch overhead in milliseconds.
+    pub launch_overhead_ms: f64,
+    /// Final modelled latency in milliseconds.
+    pub total_ms: f64,
+    /// True when compute latency exceeds memory latency.
+    pub compute_bound: bool,
+}
+
+/// Latency model bound to one device.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    device: DeviceSpec,
+    overlap_penalty: f64,
+}
+
+impl LatencyModel {
+    /// Create a model for the given device with the default overlap penalty.
+    pub fn new(device: DeviceSpec) -> Self {
+        LatencyModel { device, overlap_penalty: DEFAULT_OVERLAP_PENALTY }
+    }
+
+    /// Override the overlap penalty (0 = perfect overlap, 1 = serial).
+    pub fn with_overlap_penalty(mut self, penalty: f64) -> Self {
+        self.overlap_penalty = penalty.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The device this model simulates.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Per-block compute latency in milliseconds (the paper's
+    /// `comp_latency_blk`).
+    ///
+    /// The paper expresses the per-block peak as
+    /// `blk_peak = GPU_peak · N / GPU_ths`, i.e. a block with `N` threads gets
+    /// an `N / GPU_ths` share of the machine. That is exact when the device is
+    /// fully occupied, but it over-penalises under-occupied kernels: on real
+    /// hardware a lone warp still issues at up to one FMA per lane per cycle.
+    /// The model therefore computes the block's rate from the threads actually
+    /// co-resident on its SM:
+    ///
+    /// * each thread can issue at most
+    ///   [`DeviceSpec::per_thread_peak_flops`](crate::device::DeviceSpec::per_thread_peak_flops),
+    /// * the SM's aggregate rate is capped at its share of device peak,
+    ///   divided fairly among the blocks resident on it.
+    ///
+    /// With the SM fully resident this reduces exactly to the paper's formula;
+    /// with a single resident block it approaches the per-thread issue cap.
+    pub fn block_compute_latency_ms(&self, kernel: &KernelLaunch, occ: &OccupancyResult) -> f64 {
+        if kernel.flops_per_block <= 0.0 {
+            return 0.0;
+        }
+        // Idle lanes from divergence occupy issue slots without doing useful work.
+        let useful_threads = kernel.threads_per_block as f64 * (1.0 - kernel.divergence_waste);
+        let per_thread_max = self.device.per_thread_peak_flops();
+
+        // Blocks actually co-resident on one SM: bounded by the occupancy
+        // limit and by how many blocks the grid can even supply per SM.
+        let grid_per_sm = kernel.grid_blocks.div_ceil(self.device.sm_count);
+        let resident_blocks = occ.blocks_per_sm.min(grid_per_sm).max(1);
+        let resident_threads = (resident_blocks * kernel.threads_per_block) as f64;
+
+        // Demand if every resident thread issued at its cap, versus SM supply.
+        let sm_demand = resident_threads * per_thread_max;
+        let sm_peak = self.device.sm_peak_flops();
+        let scale = (sm_peak / sm_demand).min(1.0);
+
+        let block_rate = useful_threads * per_thread_max * scale;
+        kernel.flops_per_block / block_rate.max(1.0) * 1e3
+    }
+
+    /// Full latency decomposition for a kernel launch.
+    pub fn kernel_latency(&self, kernel: &KernelLaunch) -> Result<LatencyBreakdown> {
+        let occ = occupancy(&self.device, kernel)?;
+        let waves = kernel.grid_blocks.div_ceil(occ.blocks_per_wave);
+
+        // Compute side: waves * per-block latency (Eq. 15), plus sync stalls.
+        let block_ms = self.block_compute_latency_ms(kernel, &occ);
+        let sync_ms = kernel.syncs_per_block as f64 * SYNC_STALL_US / 1000.0;
+        let compute_ms = waves as f64 * (block_ms + sync_ms);
+
+        // Memory side: total effective traffic over device bandwidth.
+        let memory_ms =
+            kernel.total_traffic_bytes() / self.device.bandwidth_bytes_per_s() * 1e3;
+
+        let longer = compute_ms.max(memory_ms);
+        let shorter = compute_ms.min(memory_ms);
+        let launch_overhead_ms = self.device.launch_overhead_ms();
+        let total_ms = longer + self.overlap_penalty * shorter + launch_overhead_ms;
+
+        Ok(LatencyBreakdown {
+            kernel: kernel.name.clone(),
+            waves,
+            occupancy: occ.occupancy,
+            compute_ms,
+            memory_ms,
+            launch_overhead_ms,
+            total_ms,
+            compute_bound: compute_ms >= memory_ms,
+        })
+    }
+
+    /// Latency of a sequence of kernels executed back to back (one CUDA
+    /// stream): the sum of the individual latencies.
+    pub fn sequence_latency(&self, kernels: &[KernelLaunch]) -> Result<f64> {
+        let mut total = 0.0;
+        for k in kernels {
+            total += self.kernel_latency(k)?.total_ms;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_kernel(blocks: usize, threads: usize, flops_per_block: f64) -> KernelLaunch {
+        KernelLaunch::new("test", blocks, threads)
+            .with_regs(32)
+            .with_flops_per_block(flops_per_block)
+            .with_global_traffic(1e6, 1e5)
+    }
+
+    #[test]
+    fn more_flops_means_more_latency() {
+        let m = LatencyModel::new(DeviceSpec::a100());
+        let small = m.kernel_latency(&simple_kernel(100, 256, 1e6)).unwrap();
+        let big = m.kernel_latency(&simple_kernel(100, 256, 1e8)).unwrap();
+        assert!(big.total_ms > small.total_ms);
+        assert!(big.compute_ms > small.compute_ms);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_waves_staircase() {
+        // Fixing per-block work and growing the grid past a wave boundary
+        // produces the staircase the paper shows in Figure 4.
+        let dev = DeviceSpec::a100();
+        let m = LatencyModel::new(dev.clone());
+        let k_one_wave = simple_kernel(10, 256, 1e7);
+        let occ = occupancy(&dev, &k_one_wave).unwrap();
+        let per_wave = occ.blocks_per_wave;
+
+        let a = m.kernel_latency(&simple_kernel(per_wave, 256, 1e7)).unwrap();
+        let b = m.kernel_latency(&simple_kernel(per_wave + 1, 256, 1e7)).unwrap();
+        let c = m.kernel_latency(&simple_kernel(2 * per_wave, 256, 1e7)).unwrap();
+        assert_eq!(a.waves, 1);
+        assert_eq!(b.waves, 2);
+        assert_eq!(c.waves, 2);
+        assert!(b.compute_ms > a.compute_ms);
+        // Same wave count => same compute latency (the staircase plateau).
+        assert!((c.compute_ms - b.compute_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_detected() {
+        let m = LatencyModel::new(DeviceSpec::a100());
+        let k = KernelLaunch::new("copy", 1000, 256)
+            .with_regs(16)
+            .with_flops_per_block(10.0)
+            .with_global_traffic(1e9, 1e9);
+        let lat = m.kernel_latency(&k).unwrap();
+        assert!(!lat.compute_bound);
+        assert!(lat.memory_ms > lat.compute_ms);
+    }
+
+    #[test]
+    fn divergence_increases_compute_latency() {
+        let m = LatencyModel::new(DeviceSpec::a100());
+        let base = simple_kernel(100, 256, 1e7);
+        let diverged = simple_kernel(100, 256, 1e7).with_divergence(0.5);
+        let a = m.kernel_latency(&base).unwrap();
+        let b = m.kernel_latency(&diverged).unwrap();
+        assert!(b.compute_ms > a.compute_ms * 1.5);
+    }
+
+    #[test]
+    fn syncs_add_stall_time() {
+        let m = LatencyModel::new(DeviceSpec::a100());
+        let no_sync = simple_kernel(100, 256, 1e6);
+        let synced = simple_kernel(100, 256, 1e6).with_syncs(64);
+        let a = m.kernel_latency(&no_sync).unwrap();
+        let b = m.kernel_latency(&synced).unwrap();
+        assert!(b.compute_ms > a.compute_ms);
+    }
+
+    #[test]
+    fn launch_overhead_is_included() {
+        let m = LatencyModel::new(DeviceSpec::rtx2080ti());
+        let tiny = KernelLaunch::new("tiny", 1, 32).with_regs(16).with_flops_per_block(10.0);
+        let lat = m.kernel_latency(&tiny).unwrap();
+        assert!(lat.total_ms >= lat.launch_overhead_ms);
+        assert!(lat.launch_overhead_ms > 0.0);
+    }
+
+    #[test]
+    fn sequence_latency_is_sum() {
+        let m = LatencyModel::new(DeviceSpec::a100());
+        let k1 = simple_kernel(10, 128, 1e6);
+        let k2 = simple_kernel(20, 128, 1e6);
+        let s = m.sequence_latency(&[k1.clone(), k2.clone()]).unwrap();
+        let a = m.kernel_latency(&k1).unwrap().total_ms;
+        let b = m.kernel_latency(&k2).unwrap().total_ms;
+        assert!((s - (a + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a100_is_faster_than_2080ti_for_the_same_kernel() {
+        let k = simple_kernel(2000, 256, 1e8);
+        let a100 = LatencyModel::new(DeviceSpec::a100()).kernel_latency(&k).unwrap();
+        let ti = LatencyModel::new(DeviceSpec::rtx2080ti()).kernel_latency(&k).unwrap();
+        assert!(a100.total_ms < ti.total_ms);
+    }
+
+    #[test]
+    fn overlap_penalty_is_clamped_and_affects_total() {
+        let k = simple_kernel(100, 256, 1e7);
+        let serial = LatencyModel::new(DeviceSpec::a100()).with_overlap_penalty(5.0);
+        let overlapped = LatencyModel::new(DeviceSpec::a100()).with_overlap_penalty(0.0);
+        let a = serial.kernel_latency(&k).unwrap();
+        let b = overlapped.kernel_latency(&k).unwrap();
+        assert!(a.total_ms >= b.total_ms);
+    }
+}

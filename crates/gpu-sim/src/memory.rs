@@ -1,0 +1,162 @@
+//! Global-memory traffic and coalescing model.
+//!
+//! The TDC kernel stores its weights in `CRSN` order specifically so that the
+//! per-thread weight loads of consecutive threads (consecutive output channels
+//! `n`) are adjacent in memory and coalesce into full transactions
+//! (Section 5.2). This module models that effect: an access pattern is
+//! described by the element stride between consecutive threads of a warp, and
+//! the model reports how many 32-byte sectors each warp-level request touches
+//! and the resulting efficiency factor.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a DRAM sector / minimum transaction in bytes on modern NVIDIA GPUs.
+pub const SECTOR_BYTES: usize = 32;
+
+/// Size of one `f32` element in bytes.
+pub const F32_BYTES: usize = 4;
+
+/// How consecutive threads in a warp address global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Thread `i` reads element `base + i` — fully coalesced.
+    Unit,
+    /// Thread `i` reads element `base + i * stride` (stride in elements).
+    Strided { stride: usize },
+    /// All threads of the warp read the same element (broadcast); served by
+    /// one sector and usually cached.
+    Broadcast,
+}
+
+/// Number of 32-byte sectors one warp-wide request touches under the pattern.
+pub fn sectors_per_warp_request(pattern: AccessPattern, warp_size: usize, elem_bytes: usize) -> usize {
+    match pattern {
+        AccessPattern::Unit => {
+            // warp_size consecutive elements.
+            (warp_size * elem_bytes).div_ceil(SECTOR_BYTES)
+        }
+        AccessPattern::Broadcast => 1,
+        AccessPattern::Strided { stride } => {
+            if stride == 0 {
+                return 1;
+            }
+            if stride * elem_bytes >= SECTOR_BYTES {
+                // Every lane lands in its own sector.
+                warp_size
+            } else {
+                // Several lanes share a sector.
+                (warp_size * stride * elem_bytes).div_ceil(SECTOR_BYTES)
+            }
+        }
+    }
+}
+
+/// Coalescing efficiency in `(0, 1]`: useful bytes divided by transferred bytes.
+pub fn coalescing_efficiency(pattern: AccessPattern, warp_size: usize, elem_bytes: usize) -> f64 {
+    let useful = (warp_size * elem_bytes) as f64;
+    let sectors = sectors_per_warp_request(pattern, warp_size, elem_bytes) as f64;
+    let transferred = sectors * SECTOR_BYTES as f64;
+    match pattern {
+        // A broadcast is fully useful even though only one element is unique.
+        AccessPattern::Broadcast => 1.0,
+        _ => (useful / transferred).min(1.0),
+    }
+}
+
+/// Description of one logical global-memory stream of a kernel (e.g. "input
+/// tile loads" or "kernel weight loads").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStream {
+    /// Name used in reports.
+    pub name: String,
+    /// Useful bytes the kernel needs from this stream.
+    pub useful_bytes: f64,
+    /// Access pattern of the stream.
+    pub pattern: AccessPattern,
+}
+
+impl TrafficStream {
+    /// Create a stream carrying `useful_bytes` with the given pattern.
+    pub fn new(name: impl Into<String>, useful_bytes: f64, pattern: AccessPattern) -> Self {
+        TrafficStream { name: name.into(), useful_bytes, pattern }
+    }
+
+    /// Bytes actually moved across the DRAM interface after coalescing waste.
+    pub fn transferred_bytes(&self, warp_size: usize) -> f64 {
+        let eff = coalescing_efficiency(self.pattern, warp_size, F32_BYTES);
+        self.useful_bytes / eff.max(1e-6)
+    }
+}
+
+/// Aggregate the effective (post-coalescing) traffic of several streams.
+pub fn total_transferred_bytes(streams: &[TrafficStream], warp_size: usize) -> f64 {
+    streams.iter().map(|s| s.transferred_bytes(warp_size)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_f32_uses_four_sectors_per_warp() {
+        // 32 threads * 4 B = 128 B = 4 sectors.
+        assert_eq!(sectors_per_warp_request(AccessPattern::Unit, 32, 4), 4);
+        assert!((coalescing_efficiency(AccessPattern::Unit, 32, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_stride_wastes_bandwidth() {
+        let p = AccessPattern::Strided { stride: 64 };
+        assert_eq!(sectors_per_warp_request(p, 32, 4), 32);
+        let eff = coalescing_efficiency(p, 32, 4);
+        assert!((eff - 0.125).abs() < 1e-9, "eff = {eff}");
+    }
+
+    #[test]
+    fn small_stride_partially_coalesces() {
+        let p = AccessPattern::Strided { stride: 2 };
+        // 32 lanes * 2 elements * 4 B = 256 B = 8 sectors.
+        assert_eq!(sectors_per_warp_request(p, 32, 4), 8);
+        let eff = coalescing_efficiency(p, 32, 4);
+        assert!((eff - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stride_one_equals_unit() {
+        assert_eq!(
+            sectors_per_warp_request(AccessPattern::Strided { stride: 1 }, 32, 4),
+            sectors_per_warp_request(AccessPattern::Unit, 32, 4)
+        );
+    }
+
+    #[test]
+    fn broadcast_is_cheap() {
+        assert_eq!(sectors_per_warp_request(AccessPattern::Broadcast, 32, 4), 1);
+        assert!((coalescing_efficiency(AccessPattern::Broadcast, 32, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_stride_treated_as_broadcast() {
+        assert_eq!(sectors_per_warp_request(AccessPattern::Strided { stride: 0 }, 32, 4), 1);
+    }
+
+    #[test]
+    fn stream_transferred_bytes_reflect_efficiency() {
+        let coalesced = TrafficStream::new("in", 1000.0, AccessPattern::Unit);
+        let strided = TrafficStream::new("w", 1000.0, AccessPattern::Strided { stride: 64 });
+        assert!((coalesced.transferred_bytes(32) - 1000.0).abs() < 1e-6);
+        assert!((strided.transferred_bytes(32) - 8000.0).abs() < 1e-3);
+        let total = total_transferred_bytes(&[coalesced, strided], 32);
+        assert!((total - 9000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn crsn_vs_ncrs_layout_story() {
+        // The paper's point: with CRSN layout, consecutive threads (output
+        // channels) read consecutive weights -> unit stride. With the naive
+        // NCRS layout each thread is R*S*C elements apart -> heavily strided.
+        let crsn = coalescing_efficiency(AccessPattern::Unit, 32, 4);
+        let ncrs = coalescing_efficiency(AccessPattern::Strided { stride: 9 * 64 }, 32, 4);
+        assert!(crsn / ncrs >= 4.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! # tdc-nn
+//!
+//! A from-scratch CNN training substrate.
+//!
+//! The TDC paper trains and fine-tunes its Tucker-compressed models with
+//! PyTorch on ImageNet; neither is available here, so this crate provides the
+//! minimal substrate the ADMM compression experiments need:
+//!
+//! * batched layers with forward *and* backward passes ([`layer`]): 2-D
+//!   convolution (via the im2col kernels of `tdc-conv`), batch normalisation,
+//!   ReLU, max/average pooling, flatten and fully-connected layers, plus
+//!   residual blocks;
+//! * networks as explicit layer enums ([`layer::LayerKind`]) so the ADMM
+//!   trainer in `tdc-tucker` can reach into convolution kernels without
+//!   downcasting;
+//! * a model zoo ([`models`]): small trainable networks (ResNet-20-style for
+//!   the Table 2 experiment, a compact CNN for tests) and *architecture
+//!   descriptors* carrying the exact per-layer convolution shapes of the five
+//!   ImageNet networks the paper evaluates (ResNet-18/50, VGG-16,
+//!   DenseNet-121/201) for the latency experiments;
+//! * synthetic, separable image datasets ([`data`]) standing in for
+//!   CIFAR-10 / ImageNet;
+//! * SGD with momentum and weight decay ([`optim`]) and a training loop with
+//!   accuracy evaluation ([`train`]).
+//!
+//! Activations are NHWC; convolution kernels are CNRS, matching the paper's
+//! notation and the rest of the workspace.
+
+pub mod data;
+pub mod layer;
+pub mod loss;
+pub mod models;
+pub mod optim;
+pub mod train;
+
+pub use layer::{Conv2dLayer, LayerKind, Network, Param};
+pub use models::ModelDescriptor;
+
+/// Errors produced by the training substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer received an input of the wrong shape.
+    BadInput { layer: &'static str, expected: String, actual: Vec<usize> },
+    /// Backward called before forward, or other ordering violations.
+    Protocol { reason: &'static str },
+    /// An underlying tensor operation failed.
+    Tensor(tdc_tensor::TensorError),
+    /// An underlying convolution failed.
+    Conv(tdc_conv::ConvError),
+    /// Invalid configuration (e.g. zero classes).
+    BadConfig { reason: String },
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::BadInput { layer, expected, actual } => {
+                write!(f, "{layer}: expected input {expected}, got {actual:?}")
+            }
+            NnError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Conv(e) => write!(f, "convolution error: {e}"),
+            NnError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+impl From<tdc_tensor::TensorError> for NnError {
+    fn from(e: tdc_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<tdc_conv::ConvError> for NnError {
+    fn from(e: tdc_conv::ConvError) -> Self {
+        NnError::Conv(e)
+    }
+}
+
+/// Result alias for the training substrate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = NnError::Protocol { reason: "backward before forward" };
+        assert!(e.to_string().contains("backward before forward"));
+        let e: NnError = tdc_tensor::TensorError::NotAMatrix { rank: 1 }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: NnError = tdc_conv::ConvError::BadTiling { reason: "x".into() }.into();
+        assert!(e.to_string().contains("convolution error"));
+    }
+}

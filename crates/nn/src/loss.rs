@@ -1,0 +1,121 @@
+//! Softmax cross-entropy loss.
+
+use crate::{NnError, Result};
+use tdc_tensor::{ops, Tensor};
+
+/// Result of a loss evaluation: the scalar loss, the gradient with respect to
+/// the logits, and the number of correct top-1 predictions in the batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, `[batch, classes]`.
+    pub grad: Tensor,
+    /// Number of samples whose argmax matches the label.
+    pub correct: usize,
+}
+
+/// Softmax cross-entropy with integer labels.
+///
+/// `logits` is `[batch, classes]`; `labels[i]` is the class index of sample `i`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInput {
+            layer: "softmax_cross_entropy",
+            expected: "[batch, classes]".into(),
+            actual: logits.dims().to_vec(),
+        });
+    }
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != batch {
+        return Err(NnError::BadConfig {
+            reason: format!("{} labels for a batch of {}", labels.len(), batch),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(NnError::BadConfig { reason: format!("label {bad} out of range (classes={classes})") });
+    }
+
+    let probs = ops::softmax_rows(logits)?;
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.get(&[i, label]).max(1e-12);
+        loss -= (p as f64).ln();
+        let idx = [i, label];
+        grad.set(&idx, grad.get(&idx) - 1.0);
+        // Top-1 prediction.
+        let mut best = 0usize;
+        for c in 1..classes {
+            if probs.get(&[i, c]) > probs.get(&[i, best]) {
+                best = c;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    let scale = 1.0 / batch as f32;
+    let grad = ops::scale(&grad, scale);
+    Ok(LossOutput { loss: (loss / batch as f64) as f32, grad, correct })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss_and_full_accuracy() {
+        // Strongly peaked logits at the right class.
+        let logits = Tensor::from_vec(vec![2, 3], vec![10.0, 0.0, 0.0, 0.0, 0.0, 10.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 2]).unwrap();
+        assert!(out.loss < 0.01);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros(vec![4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[1]).unwrap();
+        let probs = ops::softmax_rows(&logits).unwrap();
+        assert!((out.grad.get(&[0, 0]) - probs.get(&[0, 0])).abs() < 1e-6);
+        assert!((out.grad.get(&[0, 1]) - (probs.get(&[0, 1]) - 1.0)).abs() < 1e-6);
+        // Gradient rows sum to ~0.
+        let row_sum: f32 = (0..3).map(|c| out.grad.get(&[0, c])).sum();
+        assert!(row_sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![2, 4], vec![0.3, -0.5, 1.2, 0.1, 0.0, 0.7, -1.0, 0.4]).unwrap();
+        let labels = [2usize, 1];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for &probe in &[[0usize, 0], [0, 2], [1, 3]] {
+            let mut plus = logits.clone();
+            plus.set(&probe, plus.get(&probe) + eps);
+            let mut minus = logits.clone();
+            minus.set(&probe, minus.get(&probe) - eps);
+            let fp = softmax_cross_entropy(&plus, &labels).unwrap().loss;
+            let fm = softmax_cross_entropy(&minus, &labels).unwrap().loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - out.grad.get(&probe)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let logits = Tensor::zeros(vec![2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 5]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(vec![6]), &[0]).is_err());
+    }
+}

@@ -1,0 +1,423 @@
+//! Model zoo: trainable small networks and architecture descriptors of the
+//! five ImageNet CNNs the paper evaluates.
+//!
+//! Two different needs, two different artefacts:
+//!
+//! * the **accuracy** experiments (Tables 2/3, the budget sweep) need networks
+//!   we can actually train here, so they use small ResNet-style models on
+//!   synthetic data ([`resnet_cifar`], [`tiny_cnn`]);
+//! * the **latency** experiments (Figures 6–9) only need the exact per-layer
+//!   convolution shapes of the real networks, which the descriptors below
+//!   encode ([`resnet18_descriptor`], [`resnet50_descriptor`],
+//!   [`vgg16_descriptor`], [`densenet121_descriptor`],
+//!   [`densenet201_descriptor`]).
+
+use crate::layer::{
+    BatchNorm2dLayer, Conv2dLayer, FlattenLayer, GlobalAvgPoolLayer, LayerKind, LinearLayer,
+    MaxPool2dLayer, Network, ReluLayer, ResidualBlock,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tdc_conv::ConvShape;
+
+// ---------------------------------------------------------------------------
+// Architecture descriptors (shapes only)
+// ---------------------------------------------------------------------------
+
+/// Shape-level description of a CNN: every convolution layer in execution
+/// order plus the fully-connected layers. Enough to drive the latency model
+/// and the rank-selection co-design, which never need the weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDescriptor {
+    /// Model name as used in the paper's figures.
+    pub name: String,
+    /// Convolution layers in execution order.
+    pub convs: Vec<ConvShape>,
+    /// Fully-connected layers as `(in_features, out_features)`.
+    pub fc: Vec<(usize, usize)>,
+}
+
+impl ModelDescriptor {
+    /// Total FLOPs of all convolution and FC layers (2 per MAC).
+    pub fn total_flops(&self) -> f64 {
+        let conv: f64 = self.convs.iter().map(|c| c.flops()).sum();
+        let fc: f64 = self.fc.iter().map(|&(i, o)| 2.0 * i as f64 * o as f64).sum();
+        conv + fc
+    }
+
+    /// Total parameter count of convolution and FC layers.
+    pub fn total_params(&self) -> usize {
+        let conv: usize = self.convs.iter().map(|c| c.params()).sum();
+        let fc: usize = self.fc.iter().map(|&(i, o)| i * o + o).sum();
+        conv + fc
+    }
+
+    /// Convolution layers that are candidates for Tucker decomposition:
+    /// the paper decomposes the spatial (R×S > 1×1) convolutions.
+    pub fn decomposable_convs(&self) -> Vec<(usize, ConvShape)> {
+        self.convs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, s)| s.r > 1 || s.s > 1)
+            .collect()
+    }
+}
+
+/// ResNet-18 on 224×224 ImageNet inputs.
+pub fn resnet18_descriptor() -> ModelDescriptor {
+    let mut convs = vec![ConvShape::new(3, 64, 224, 224, 7, 7, 3, 2)];
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 56, 2), (128, 28, 2), (256, 14, 2), (512, 7, 2)];
+    let mut in_c = 64;
+    for (si, &(width, hw, blocks)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let stride_in = if si > 0 && b == 0 { hw * 2 } else { hw };
+            let stride = if si > 0 && b == 0 { 2 } else { 1 };
+            convs.push(ConvShape::new(in_c, width, stride_in, stride_in, 3, 3, 1, stride));
+            convs.push(ConvShape::same3x3(width, width, hw, hw));
+            if si > 0 && b == 0 {
+                // projection shortcut
+                convs.push(ConvShape::new(in_c, width, stride_in, stride_in, 1, 1, 0, 2));
+            }
+            in_c = width;
+        }
+    }
+    ModelDescriptor { name: "ResNet-18".into(), convs, fc: vec![(512, 1000)] }
+}
+
+/// ResNet-50 (bottleneck blocks) on 224×224 inputs.
+pub fn resnet50_descriptor() -> ModelDescriptor {
+    let mut convs = vec![ConvShape::new(3, 64, 224, 224, 7, 7, 3, 2)];
+    // (bottleneck width, output width, spatial size, number of blocks)
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(64, 256, 56, 3), (128, 512, 28, 4), (256, 1024, 14, 6), (512, 2048, 7, 3)];
+    let mut in_c = 64;
+    for (si, &(mid, out, hw, blocks)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let first = b == 0;
+            let stride = if si > 0 && first { 2 } else { 1 };
+            let in_hw = if si > 0 && first { hw * 2 } else { hw };
+            convs.push(ConvShape::new(in_c, mid, in_hw, in_hw, 1, 1, 0, 1));
+            convs.push(ConvShape::new(mid, mid, in_hw, in_hw, 3, 3, 1, stride));
+            convs.push(ConvShape::new(mid, out, hw, hw, 1, 1, 0, 1));
+            if first {
+                convs.push(ConvShape::new(in_c, out, in_hw, in_hw, 1, 1, 0, stride));
+            }
+            in_c = out;
+        }
+    }
+    ModelDescriptor { name: "ResNet-50".into(), convs, fc: vec![(2048, 1000)] }
+}
+
+/// VGG-16 on 224×224 inputs.
+pub fn vgg16_descriptor() -> ModelDescriptor {
+    let cfg: [(usize, usize, usize); 13] = [
+        (3, 64, 224),
+        (64, 64, 224),
+        (64, 128, 112),
+        (128, 128, 112),
+        (128, 256, 56),
+        (256, 256, 56),
+        (256, 256, 56),
+        (256, 512, 28),
+        (512, 512, 28),
+        (512, 512, 28),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+    ];
+    let convs = cfg.iter().map(|&(c, n, hw)| ConvShape::same3x3(c, n, hw, hw)).collect();
+    ModelDescriptor {
+        name: "VGG-16".into(),
+        convs,
+        fc: vec![(512 * 7 * 7, 4096), (4096, 4096), (4096, 1000)],
+    }
+}
+
+fn densenet_descriptor(name: &str, block_config: [usize; 4]) -> ModelDescriptor {
+    const GROWTH: usize = 32;
+    const BOTTLENECK: usize = 4 * GROWTH;
+    let mut convs = vec![ConvShape::new(3, 64, 224, 224, 7, 7, 3, 2)];
+    let mut channels = 64usize;
+    let spatial = [56usize, 28, 14, 7];
+    for (bi, &layers) in block_config.iter().enumerate() {
+        let hw = spatial[bi];
+        for _ in 0..layers {
+            // 1x1 bottleneck then 3x3 producing GROWTH channels.
+            convs.push(ConvShape::pointwise(channels, BOTTLENECK, hw, hw));
+            convs.push(ConvShape::same3x3(BOTTLENECK, GROWTH, hw, hw));
+            channels += GROWTH;
+        }
+        if bi + 1 < block_config.len() {
+            // Transition: 1x1 halving the channels, then 2x2 average pool.
+            let out = channels / 2;
+            convs.push(ConvShape::pointwise(channels, out, hw, hw));
+            channels = out;
+        }
+    }
+    ModelDescriptor { name: name.into(), convs, fc: vec![(channels, 1000)] }
+}
+
+/// DenseNet-121 on 224×224 inputs.
+pub fn densenet121_descriptor() -> ModelDescriptor {
+    densenet_descriptor("DenseNet-121", [6, 12, 24, 16])
+}
+
+/// DenseNet-201 on 224×224 inputs.
+pub fn densenet201_descriptor() -> ModelDescriptor {
+    densenet_descriptor("DenseNet-201", [6, 12, 48, 32])
+}
+
+/// All five evaluation models, in the order of Figures 8/9.
+pub fn all_descriptors() -> Vec<ModelDescriptor> {
+    vec![
+        densenet121_descriptor(),
+        densenet201_descriptor(),
+        resnet18_descriptor(),
+        resnet50_descriptor(),
+        vgg16_descriptor(),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Trainable networks
+// ---------------------------------------------------------------------------
+
+fn conv_bn_relu<R: Rng + ?Sized>(shape: ConvShape, rng: &mut R) -> Vec<LayerKind> {
+    vec![
+        LayerKind::Conv(Conv2dLayer::new(shape, false, rng)),
+        LayerKind::BatchNorm(BatchNorm2dLayer::new(shape.n)),
+        LayerKind::Relu(ReluLayer::default()),
+    ]
+}
+
+/// A compact CNN for tests and quick experiments:
+/// conv-bn-relu → conv-bn-relu → maxpool → conv-bn-relu → GAP → linear.
+pub fn tiny_cnn<R: Rng + ?Sized>(
+    height: usize,
+    width: usize,
+    channels: usize,
+    classes: usize,
+    base_width: usize,
+    rng: &mut R,
+) -> Network {
+    let w1 = base_width;
+    let w2 = base_width * 2;
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(ConvShape::same3x3(channels, w1, height, width), rng));
+    layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w1, height, width), rng));
+    layers.push(LayerKind::MaxPool(MaxPool2dLayer::default()));
+    layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w2, height / 2, width / 2), rng));
+    layers.push(LayerKind::GlobalAvgPool(GlobalAvgPoolLayer::default()));
+    layers.push(LayerKind::Linear(LinearLayer::new(w2, classes, rng)));
+    Network::new(layers)
+}
+
+/// A CIFAR-style ResNet in the spirit of ResNet-20: a stem convolution
+/// followed by `blocks_per_stage` residual blocks at each of three widths
+/// (`base`, `2·base`, `4·base`), with stride-2 transitions, global average
+/// pooling and a linear classifier.
+///
+/// `resnet_cifar(16, 3, ...)` on 32×32 inputs is the standard ResNet-20;
+/// the Table 2 experiment uses a reduced width/size so it trains in seconds
+/// on synthetic data while keeping the architecture family.
+pub fn resnet_cifar<R: Rng + ?Sized>(
+    base_width: usize,
+    blocks_per_stage: usize,
+    height: usize,
+    width: usize,
+    in_channels: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Network {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(ConvShape::same3x3(in_channels, base_width, height, width), rng));
+
+    let mut hw = (height, width);
+    let mut in_c = base_width;
+    for stage in 0..3 {
+        let out_c = base_width << stage;
+        for b in 0..blocks_per_stage {
+            let downsample = stage > 0 && b == 0;
+            let (in_h, in_w) = hw;
+            let (out_h, out_w) = if downsample { (in_h / 2, in_w / 2) } else { (in_h, in_w) };
+            let stride = if downsample { 2 } else { 1 };
+            let main = vec![
+                LayerKind::Conv(Conv2dLayer::new(
+                    ConvShape::new(in_c, out_c, in_h, in_w, 3, 3, 1, stride),
+                    false,
+                    rng,
+                )),
+                LayerKind::BatchNorm(BatchNorm2dLayer::new(out_c)),
+                LayerKind::Relu(ReluLayer::default()),
+                LayerKind::Conv(Conv2dLayer::new(
+                    ConvShape::same3x3(out_c, out_c, out_h, out_w),
+                    false,
+                    rng,
+                )),
+                LayerKind::BatchNorm(BatchNorm2dLayer::new(out_c)),
+            ];
+            let shortcut = if downsample || in_c != out_c {
+                vec![
+                    LayerKind::Conv(Conv2dLayer::new(
+                        ConvShape::new(in_c, out_c, in_h, in_w, 1, 1, 0, stride),
+                        false,
+                        rng,
+                    )),
+                    LayerKind::BatchNorm(BatchNorm2dLayer::new(out_c)),
+                ]
+            } else {
+                vec![]
+            };
+            layers.push(LayerKind::Residual(ResidualBlock::new(main, shortcut)));
+            in_c = out_c;
+            hw = (out_h, out_w);
+        }
+    }
+    layers.push(LayerKind::GlobalAvgPool(GlobalAvgPoolLayer::default()));
+    layers.push(LayerKind::Linear(LinearLayer::new(in_c, classes, rng)));
+    Network::new(layers)
+}
+
+/// A plain (non-residual) CNN used as a VGG-style trainable stand-in.
+pub fn vgg_like<R: Rng + ?Sized>(
+    base_width: usize,
+    height: usize,
+    width: usize,
+    in_channels: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Network {
+    let mut layers = Vec::new();
+    let w1 = base_width;
+    let w2 = base_width * 2;
+    layers.extend(conv_bn_relu(ConvShape::same3x3(in_channels, w1, height, width), rng));
+    layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w1, height, width), rng));
+    layers.push(LayerKind::MaxPool(MaxPool2dLayer::default()));
+    layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w2, height / 2, width / 2), rng));
+    layers.extend(conv_bn_relu(ConvShape::same3x3(w2, w2, height / 2, width / 2), rng));
+    layers.push(LayerKind::MaxPool(MaxPool2dLayer::default()));
+    layers.push(LayerKind::Flatten(FlattenLayer::default()));
+    layers.push(LayerKind::Linear(LinearLayer::new(w2 * (height / 4) * (width / 4), classes, rng)));
+    Network::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tdc_tensor::init;
+
+    #[test]
+    fn resnet18_descriptor_matches_known_structure() {
+        let d = resnet18_descriptor();
+        // 1 stem + 16 block convs + 3 projection shortcuts = 20 convolutions.
+        assert_eq!(d.convs.len(), 20);
+        assert_eq!(d.fc, vec![(512, 1000)]);
+        // ~1.8 GFLOPs (x2 for MAC counting) and ~11M conv+fc parameters.
+        let gflops = d.total_flops() / 1e9;
+        assert!(gflops > 3.0 && gflops < 4.5, "ResNet-18 FLOPs {gflops} GFLOP");
+        let params = d.total_params();
+        assert!(params > 10_000_000 && params < 13_000_000, "params {params}");
+    }
+
+    #[test]
+    fn resnet50_descriptor_size() {
+        let d = resnet50_descriptor();
+        // 1 stem + 16 blocks * 3 convs + 4 projections = 53.
+        assert_eq!(d.convs.len(), 53);
+        let params = d.total_params();
+        assert!(params > 22_000_000 && params < 28_000_000, "params {params}");
+    }
+
+    #[test]
+    fn vgg16_descriptor_size() {
+        let d = vgg16_descriptor();
+        assert_eq!(d.convs.len(), 13);
+        assert_eq!(d.fc.len(), 3);
+        // VGG-16 is ~15.5 GMACs => ~31 GFLOPs.
+        let gflops = d.total_flops() / 1e9;
+        assert!(gflops > 25.0 && gflops < 36.0, "VGG-16 FLOPs {gflops}");
+        let params = d.total_params();
+        assert!(params > 130_000_000 && params < 140_000_000, "params {params}");
+    }
+
+    #[test]
+    fn densenet_descriptors_grow_channels() {
+        let d121 = densenet121_descriptor();
+        let d201 = densenet201_descriptor();
+        // 1 stem + 2 per dense layer + 3 transitions.
+        assert_eq!(d121.convs.len(), 1 + 2 * 58 + 3);
+        assert_eq!(d201.convs.len(), 1 + 2 * 98 + 3);
+        assert!(d201.total_flops() > d121.total_flops());
+        // Final classifier input is 1024 for DN-121, 1920 for DN-201.
+        assert_eq!(d121.fc, vec![(1024, 1000)]);
+        assert_eq!(d201.fc, vec![(1920, 1000)]);
+    }
+
+    #[test]
+    fn decomposable_convs_exclude_pointwise() {
+        let d = resnet50_descriptor();
+        let dec = d.decomposable_convs();
+        assert!(dec.iter().all(|(_, s)| s.r == 3 || s.r == 7));
+        assert!(dec.len() < d.convs.len());
+    }
+
+    #[test]
+    fn all_descriptors_listed_in_figure_order() {
+        let all = all_descriptors();
+        let names: Vec<&str> = all.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["DenseNet-121", "DenseNet-201", "ResNet-18", "ResNet-50", "VGG-16"]
+        );
+    }
+
+    #[test]
+    fn tiny_cnn_trains_forward_and_backward() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = tiny_cnn(8, 8, 3, 4, 4, &mut rng);
+        let x = init::uniform(vec![2, 8, 8, 3], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+        let g = net.backward(&tdc_tensor::Tensor::ones(vec![2, 4])).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(net.conv_layers_mut().len(), 3);
+    }
+
+    #[test]
+    fn resnet_cifar_structure_and_gradients() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut net = resnet_cifar(4, 1, 16, 16, 3, 5, &mut rng);
+        // Stem conv + 3 stages * 1 block * 2 convs + 2 projection shortcuts = 9.
+        assert_eq!(net.conv_layers_mut().len(), 9);
+        let x = init::uniform(vec![2, 16, 16, 3], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 5]);
+        let g = net.backward(&tdc_tensor::Tensor::ones(vec![2, 5])).unwrap();
+        assert!(g.is_finite());
+        // Every conv has picked up some gradient signal.
+        for conv in net.conv_layers_mut() {
+            assert!(conv.kernel.grad.frobenius_norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn resnet20_configuration_has_expected_depth() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = resnet_cifar(16, 3, 32, 32, 3, 10, &mut rng);
+        // Standard ResNet-20: stem + 3 stages * 3 blocks * 2 convs = 19 convs,
+        // plus 2 projection shortcuts.
+        assert_eq!(net.conv_layers_mut().len(), 21);
+    }
+
+    #[test]
+    fn vgg_like_builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut net = vgg_like(4, 16, 16, 3, 7, &mut rng);
+        let x = init::uniform(vec![1, 16, 16, 3], -1.0, 1.0, &mut rng);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 7]);
+    }
+}

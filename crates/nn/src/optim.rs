@@ -1,0 +1,122 @@
+//! Optimisers: SGD with momentum and weight decay.
+
+use crate::layer::Param;
+use crate::Result;
+use tdc_tensor::{ops, Tensor};
+
+/// Stochastic gradient descent with (classical) momentum and L2 weight decay —
+/// the optimiser the paper's ADMM K-update builds on (Eq. 10).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate α.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (0 disables decay).
+    pub weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Create an SGD optimiser.
+    pub fn new(learning_rate: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { learning_rate, momentum, weight_decay, velocities: Vec::new() }
+    }
+
+    /// Plain SGD without momentum or decay.
+    pub fn plain(learning_rate: f32) -> Self {
+        Sgd::new(learning_rate, 0.0, 0.0)
+    }
+
+    /// Apply one update step to the given parameters. The parameter list must
+    /// be the same (same order, same shapes) on every call so the per-parameter
+    /// momentum buffers stay aligned.
+    pub fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        if self.velocities.len() != params.len() {
+            self.velocities =
+                params.iter().map(|p| Tensor::zeros(p.value.dims().to_vec())).collect();
+        }
+        for (param, velocity) in params.iter_mut().zip(self.velocities.iter_mut()) {
+            // Effective gradient: dL/dw + weight_decay * w.
+            let mut grad = param.grad.clone();
+            if self.weight_decay != 0.0 {
+                ops::axpy_inplace(&mut grad, self.weight_decay, &param.value)?;
+            }
+            if self.momentum != 0.0 {
+                // v <- momentum * v + grad ; w <- w - lr * v
+                *velocity = ops::axpy(&ops::scale(velocity, self.momentum), 1.0, &grad)?;
+                ops::axpy_inplace(&mut param.value, -self.learning_rate, velocity)?;
+            } else {
+                ops::axpy_inplace(&mut param.value, -self.learning_rate, &grad)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiply the learning rate by a factor (simple step decay schedule).
+    pub fn decay_lr(&mut self, factor: f32) {
+        self.learning_rate *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param(values: Vec<f32>, grads: Vec<f32>) -> Param {
+        let n = values.len();
+        let mut p = Param::new(Tensor::from_vec(vec![n], values).unwrap());
+        p.grad = Tensor::from_vec(vec![n], grads).unwrap();
+        p
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_the_gradient() {
+        let mut p = param(vec![1.0, 2.0], vec![0.5, -1.0]);
+        let mut opt = Sgd::plain(0.1);
+        opt.step(&mut [&mut p]).unwrap();
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+        assert!((p.value.data()[1] - 2.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = param(vec![0.0], vec![1.0]);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        opt.step(&mut [&mut p]).unwrap();
+        let after_one = p.value.data()[0];
+        // Same gradient again: the step should be larger because of momentum.
+        p.grad = Tensor::from_vec(vec![1], vec![1.0]).unwrap();
+        opt.step(&mut [&mut p]).unwrap();
+        let second_step = after_one - p.value.data()[0];
+        assert!(second_step > 0.1 + 1e-6, "second step {second_step} should exceed lr");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut p = param(vec![10.0], vec![0.0]);
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        opt.step(&mut [&mut p]).unwrap();
+        assert!(p.value.data()[0] < 10.0);
+    }
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(w) = (w - 3)^2, grad = 2 (w - 3)
+        let mut p = param(vec![0.0], vec![0.0]);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        for _ in 0..100 {
+            let w = p.value.data()[0];
+            p.grad = Tensor::from_vec(vec![1], vec![2.0 * (w - 3.0)]).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn lr_decay() {
+        let mut opt = Sgd::plain(0.1);
+        opt.decay_lr(0.5);
+        assert!((opt.learning_rate - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Random tensor initialisers used by the training substrate.
+
+use crate::tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Uniform initialisation in `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(dims: Vec<usize>, lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    let n: usize = dims.iter().product();
+    let dist = Uniform::new(lo, hi);
+    let data: Vec<f32> = (0..n).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(dims, data).expect("uniform init shape")
+}
+
+/// Standard-normal initialisation scaled by `std`, using a Box-Muller transform
+/// so the crate needs no extra distribution dependencies.
+pub fn normal<R: Rng + ?Sized>(dims: Vec<usize>, mean: f32, std: f32, rng: &mut R) -> Tensor {
+    let n: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z0 = mag * (2.0 * std::f64::consts::PI * u2).cos();
+        let z1 = mag * (2.0 * std::f64::consts::PI * u2).sin();
+        data.push(mean + std * z0 as f32);
+        if data.len() < n {
+            data.push(mean + std * z1 as f32);
+        }
+    }
+    Tensor::from_vec(dims, data).expect("normal init shape")
+}
+
+/// Xavier/Glorot uniform initialisation for a layer with the given fan-in and
+/// fan-out: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    dims: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(dims, -a, a, rng)
+}
+
+/// Kaiming/He normal initialisation for ReLU networks:
+/// `N(0, sqrt(2 / fan_in))`.
+pub fn kaiming_normal<R: Rng + ?Sized>(dims: Vec<usize>, fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(dims, 0.0, std, rng)
+}
+
+/// Fan-in / fan-out of a convolution kernel stored as `C × N × R × S`
+/// (input channels, output channels, filter height, filter width) — the
+/// layout used throughout the paper.
+pub fn conv_fans(dims: &[usize]) -> (usize, usize) {
+    assert_eq!(dims.len(), 4, "conv kernel must be 4-D (C, N, R, S)");
+    let (c, n, r, s) = (dims[0], dims[1], dims[2], dims[3]);
+    (c * r * s, n * r * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(vec![1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+        assert_eq!(t.numel(), 1000);
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(vec![20_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var: f32 =
+            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn xavier_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small_fan = xavier_uniform(vec![100], 2, 2, &mut rng);
+        let big_fan = xavier_uniform(vec![100], 2000, 2000, &mut rng);
+        assert!(small_fan.max().abs() > big_fan.max().abs());
+    }
+
+    #[test]
+    fn kaiming_std_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = kaiming_normal(vec![10_000], 8, &mut rng);
+        let b = kaiming_normal(vec![10_000], 800, &mut rng);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            (t.data().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / t.numel() as f32).sqrt()
+        };
+        assert!(std(&a) > std(&b));
+    }
+
+    #[test]
+    fn conv_fans_formula() {
+        // C=16, N=32, R=S=3
+        let (fan_in, fan_out) = conv_fans(&[16, 32, 3, 3]);
+        assert_eq!(fan_in, 16 * 9);
+        assert_eq!(fan_out, 32 * 9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let a = uniform(vec![64], -1.0, 1.0, &mut r1);
+        let b = uniform(vec![64], -1.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Small dense linear-algebra helpers: identity, QR, orthogonality checks.
+
+use crate::matmul::{matmul_at_b, transpose};
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// The `n × n` identity matrix.
+pub fn identity(n: usize) -> Tensor {
+    Tensor::from_fn(vec![n, n], |i| if i[0] == i[1] { 1.0 } else { 0.0 })
+}
+
+/// Thin QR decomposition of an `m × n` matrix with `m >= n`, via modified
+/// Gram-Schmidt. Returns `(Q, R)` with `Q: m × n` (orthonormal columns) and
+/// `R: n × n` upper triangular.
+pub fn qr(a: &Tensor) -> Result<(Tensor, Tensor)> {
+    if a.rank() != 2 {
+        return Err(TensorError::NotAMatrix { rank: a.rank() });
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if m < n {
+        return Err(TensorError::InvalidParameter { what: "qr requires rows >= cols" });
+    }
+    // Work column-wise in f64 for stability.
+    let mut cols: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..m).map(|i| a.data()[i * n + j] as f64).collect())
+        .collect();
+    let mut r = vec![0.0f64; n * n];
+
+    for j in 0..n {
+        // Orthogonalise column j against all previous q columns (MGS).
+        for k in 0..j {
+            let dot: f64 = (0..m).map(|i| cols[k][i] * cols[j][i]).sum();
+            r[k * n + j] = dot;
+            for i in 0..m {
+                cols[j][i] -= dot * cols[k][i];
+            }
+        }
+        let norm: f64 = cols[j].iter().map(|v| v * v).sum::<f64>().sqrt();
+        r[j * n + j] = norm;
+        if norm > 1e-30 {
+            for v in cols[j].iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+
+    let mut q = vec![0.0f32; m * n];
+    for j in 0..n {
+        for i in 0..m {
+            q[i * n + j] = cols[j][i] as f32;
+        }
+    }
+    Ok((
+        Tensor::from_vec(vec![m, n], q)?,
+        Tensor::from_vec(vec![n, n], r.into_iter().map(|v| v as f32).collect())?,
+    ))
+}
+
+/// Maximum absolute deviation of `M^T M` from the identity — 0 for a matrix
+/// with perfectly orthonormal columns.
+pub fn orthonormality_defect(m: &Tensor) -> Result<f32> {
+    let gram = matmul_at_b(m, m)?;
+    let k = gram.dims()[0];
+    let mut worst = 0.0f32;
+    for i in 0..k {
+        for j in 0..k {
+            let expect = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((gram.get(&[i, j]) - expect).abs());
+        }
+    }
+    Ok(worst)
+}
+
+/// Trace of a square matrix.
+pub fn trace(a: &Tensor) -> Result<f32> {
+    if a.rank() != 2 || a.dims()[0] != a.dims()[1] {
+        return Err(TensorError::NotAMatrix { rank: a.rank() });
+    }
+    let n = a.dims()[0];
+    Ok((0..n).map(|i| a.data()[i * n + i] as f64).sum::<f64>() as f32)
+}
+
+/// Whether a square matrix is (numerically) upper triangular.
+pub fn is_upper_triangular(a: &Tensor, tol: f32) -> Result<bool> {
+    if a.rank() != 2 || a.dims()[0] != a.dims()[1] {
+        return Err(TensorError::NotAMatrix { rank: a.rank() });
+    }
+    let n = a.dims()[0];
+    for i in 0..n {
+        for j in 0..i {
+            if a.data()[i * n + j].abs() > tol {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Symmetrise a square matrix: `(A + A^T) / 2`.
+pub fn symmetrize(a: &Tensor) -> Result<Tensor> {
+    let t = transpose(a)?;
+    crate::ops::scale(&crate::ops::add(a, &t)?, 0.5).reshape(a.dims().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::matmul::matmul;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn identity_matrix() {
+        let i = identity(3);
+        assert_eq!(i.get(&[0, 0]), 1.0);
+        assert_eq!(i.get(&[0, 1]), 0.0);
+        assert!((trace(&i).unwrap() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(m, n) in &[(5, 5), (10, 4), (30, 17)] {
+            let a = init::uniform(vec![m, n], -1.0, 1.0, &mut rng);
+            let (q, r) = qr(&a).unwrap();
+            assert!(orthonormality_defect(&q).unwrap() < 1e-4);
+            assert!(is_upper_triangular(&r, 1e-5).unwrap());
+            let rec = matmul(&q, &r).unwrap();
+            assert!(rec.relative_error(&a).unwrap() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrices() {
+        assert!(qr(&Tensor::zeros(vec![2, 5])).is_err());
+        assert!(qr(&Tensor::zeros(vec![5])).is_err());
+    }
+
+    #[test]
+    fn orthonormality_defect_of_identity_is_zero() {
+        assert!(orthonormality_defect(&identity(4)).unwrap() < 1e-7);
+        // A clearly non-orthonormal matrix has a large defect.
+        let a = Tensor::full(vec![3, 3], 1.0);
+        assert!(orthonormality_defect(&a).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn trace_requires_square() {
+        assert!(trace(&Tensor::zeros(vec![2, 3])).is_err());
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric_matrix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = init::uniform(vec![4, 4], -1.0, 1.0, &mut rng);
+        let s = symmetrize(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((s.get(&[i, j]) - s.get(&[j, i])).abs() < 1e-6);
+            }
+        }
+    }
+}

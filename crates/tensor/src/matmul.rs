@@ -1,0 +1,328 @@
+//! Cache-blocked, rayon-parallel matrix multiplication.
+//!
+//! GEMM is the workhorse behind im2col convolution, the 1×1 convolutions of a
+//! Tucker-format layer, the fully-connected layers of the training substrate
+//! and the matricized products inside HOSVD. The implementation follows the
+//! standard blocked `i-k-j` loop order with the `i` blocks distributed over a
+//! rayon parallel iterator, which keeps the inner loop contiguous over both
+//! the `B` panel and the output row.
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+use rayon::prelude::*;
+
+/// Block size along the M (rows of A / C) dimension.
+const MC: usize = 64;
+/// Block size along the K (inner) dimension.
+const KC: usize = 256;
+/// Minimum number of output elements before the parallel path is used.
+const PAR_MIN_WORK: usize = 64 * 64;
+
+fn as_matrix_dims(t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::NotAMatrix { rank: t.rank() });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `C = A * B` for row-major matrices.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = as_matrix_dims(a)?;
+    let (kb, n) = as_matrix_dims(b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(a.data(), b.data(), &mut out, m, ka, n);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A^T * B` without materialising the transpose.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = as_matrix_dims(a)?;
+    let (kb, n) = as_matrix_dims(b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_at_b",
+        });
+    }
+    // C(i,j) = sum_k A(k,i) B(k,j)
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let do_row_block = |i0: usize, block: &mut [f32]| {
+        let rows = block.len() / n;
+        for k in 0..ka {
+            let brow = &b_data[k * n..(k + 1) * n];
+            for ii in 0..rows {
+                let aval = a_data[k * m + i0 + ii];
+                if aval == 0.0 {
+                    continue;
+                }
+                let crow = &mut block[ii * n..(ii + 1) * n];
+                for j in 0..n {
+                    crow[j] += aval * brow[j];
+                }
+            }
+        }
+    };
+    if m * n >= PAR_MIN_WORK {
+        out.par_chunks_mut(MC * n).enumerate().for_each(|(bi, block)| {
+            do_row_block(bi * MC, block);
+        });
+    } else {
+        for (bi, block) in out.chunks_mut(MC * n).enumerate() {
+            do_row_block(bi * MC, block);
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A * B^T` without materialising the transpose.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = as_matrix_dims(a)?;
+    let (n, kb) = as_matrix_dims(b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_a_bt",
+        });
+    }
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let body = |i: usize, row: &mut [f32]| {
+        let arow = &a_data[i * ka..(i + 1) * ka];
+        for (j, slot) in row.iter_mut().enumerate() {
+            let brow = &b_data[j * ka..(j + 1) * ka];
+            let mut acc = 0.0f32;
+            for k in 0..ka {
+                acc += arow[k] * brow[k];
+            }
+            *slot = acc;
+        }
+    };
+    if m * n >= PAR_MIN_WORK {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            body(i, row);
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Matrix-vector product `y = A x`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = as_matrix_dims(a)?;
+    if x.rank() != 1 || x.dims()[0] != k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: x.dims().to_vec(),
+            op: "matvec",
+        });
+    }
+    let a_data = a.data();
+    let x_data = x.data();
+    let mut out = vec![0.0f32; m];
+    out.iter_mut().enumerate().for_each(|(i, slot)| {
+        let row = &a_data[i * k..(i + 1) * k];
+        let mut acc = 0.0f64;
+        for j in 0..k {
+            acc += row[j] as f64 * x_data[j] as f64;
+        }
+        *slot = acc as f32;
+    });
+    Tensor::from_vec(vec![m], out)
+}
+
+/// Raw blocked GEMM on slices: `c[m x n] += a[m x k] * b[k x n]`, row major.
+/// `c` must be zero-initialised by the caller if a pure product is wanted.
+pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let row_block = |i0: usize, cblock: &mut [f32]| {
+        let rows = cblock.len() / n;
+        let mut k0 = 0;
+        while k0 < k {
+            let kb = KC.min(k - k0);
+            for ii in 0..rows {
+                let arow = &a[(i0 + ii) * k + k0..(i0 + ii) * k + k0 + kb];
+                let crow = &mut cblock[ii * n..(ii + 1) * n];
+                for (kk, &aval) in arow.iter().enumerate() {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                    for j in 0..n {
+                        crow[j] += aval * brow[j];
+                    }
+                }
+            }
+            k0 += kb;
+        }
+    };
+
+    if m * n >= PAR_MIN_WORK {
+        c.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(bi, block)| row_block(bi * MC, block));
+    } else {
+        for (bi, block) in c.chunks_mut(MC * n).enumerate() {
+            row_block(bi * MC, block);
+        }
+    }
+}
+
+/// Naive triple-loop GEMM kept as a reference for tests.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = as_matrix_dims(a)?;
+    let (kb, n) = as_matrix_dims(b)?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_naive",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..ka {
+                acc += a.data()[i * ka + kk] as f64 * b.data()[kk * n + j] as f64;
+            }
+            out[i * n + j] = acc as f32;
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Transpose a rank-2 tensor.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = as_matrix_dims(a)?;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(vec![n, m], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_random_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (70, 130, 65), (128, 257, 96)] {
+            let a = init::uniform(vec![m, k], -1.0, 1.0, &mut rng);
+            let b = init::uniform(vec![k, n], -1.0, 1.0, &mut rng);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            assert!(fast.relative_error(&slow).unwrap() < 1e-5, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = init::uniform(vec![37, 21], -1.0, 1.0, &mut rng);
+        let b = init::uniform(vec![37, 19], -1.0, 1.0, &mut rng);
+        // A^T * B
+        let direct = matmul_at_b(&a, &b).unwrap();
+        let via_transpose = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert!(direct.relative_error(&via_transpose).unwrap() < 1e-5);
+
+        let c = init::uniform(vec![21, 19], -1.0, 1.0, &mut rng);
+        let d = init::uniform(vec![33, 19], -1.0, 1.0, &mut rng);
+        // C * D^T
+        let direct = matmul_a_bt(&c, &d).unwrap();
+        let via_transpose = matmul(&c, &transpose(&d).unwrap()).unwrap();
+        assert!(direct.relative_error(&via_transpose).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = init::uniform(vec![13, 29], -1.0, 1.0, &mut rng);
+        let x = init::uniform(vec![29], -1.0, 1.0, &mut rng);
+        let y = matvec(&a, &x).unwrap();
+        let x_col = x.clone().reshape(vec![29, 1]).unwrap();
+        let y2 = matmul(&a, &x_col).unwrap().reshape(vec![13]).unwrap();
+        assert!(y.relative_error(&y2).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_at_b(&a, &b).is_err());
+        assert!(matmul_a_bt(&a, &b).is_err());
+        let v = Tensor::zeros(vec![5]);
+        assert!(matvec(&a, &v).is_err());
+        assert!(matmul(&v, &a).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = init::uniform(vec![8, 8], -1.0, 1.0, &mut rng);
+        let eye = Tensor::from_fn(vec![8, 8], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        let prod = matmul(&a, &eye).unwrap();
+        assert!(prod.relative_error(&a).unwrap() < 1e-6);
+        let prod = matmul(&eye, &a).unwrap();
+        assert!(prod.relative_error(&a).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = init::uniform(vec![6, 11], -1.0, 1.0, &mut rng);
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn gemm_into_accumulates() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 4.0];
+        let mut c = vec![10.0f32];
+        gemm_into(&a, &b, &mut c, 1, 2, 1);
+        assert_eq!(c[0], 10.0 + 1.0 * 3.0 + 2.0 * 4.0);
+    }
+
+    #[test]
+    fn zero_dimension_is_ok() {
+        let a = Tensor::zeros(vec![0, 3]);
+        let b = Tensor::zeros(vec![3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[0, 2]);
+        assert_eq!(c.numel(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Mode-n matricization (unfolding) and its inverse for 4-D kernel tensors.
+//!
+//! The ADMM projection step of the paper (Section 4.1, "K̂-update") performs a
+//! truncated HOSVD of the convolution kernel `K ∈ R^{C×N×R×S}` by matricizing
+//! along mode 1 (the `C` axis) and mode 2 (the `N` axis), running an SVD on
+//! each unfolding, truncating, and folding back. This module provides those
+//! unfold/fold operations for tensors of arbitrary rank, with the convention
+//! that mode-`n` matricization places axis `n` as the rows and the remaining
+//! axes — in their original relative order — flattened as the columns.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// Mode-n matricization: returns a matrix of shape `(dims[mode], numel / dims[mode])`.
+///
+/// Column ordering follows the row-major flattening of the remaining axes in
+/// their original order, which is the convention the fold operation below
+/// inverts exactly.
+pub fn unfold(t: &Tensor, mode: usize) -> Result<Tensor> {
+    let rank = t.rank();
+    if mode >= rank {
+        return Err(TensorError::InvalidAxis { axis: mode, rank });
+    }
+    let dims = t.dims();
+    let rows = dims[mode];
+    let cols = t.numel() / rows.max(1);
+    let mut out = vec![0.0f32; t.numel()];
+
+    // Remaining axes in original order.
+    let rest: Vec<usize> = (0..rank).filter(|&a| a != mode).collect();
+    let rest_dims: Vec<usize> = rest.iter().map(|&a| dims[a]).collect();
+    let rest_shape = Shape::new(rest_dims);
+    let shape = t.shape();
+
+    let mut full_idx = vec![0usize; rank];
+    for r in 0..rows {
+        full_idx[mode] = r;
+        for c in 0..cols {
+            let rest_idx = rest_shape.unravel(c);
+            for (k, &axis) in rest.iter().enumerate() {
+                full_idx[axis] = rest_idx[k];
+            }
+            let src = shape.offset(&full_idx)?;
+            out[r * cols + c] = t.data()[src];
+        }
+    }
+    Tensor::from_vec(vec![rows, cols], out)
+}
+
+/// Inverse of [`unfold`]: fold a `(dims[mode], numel/dims[mode])` matrix back
+/// into a tensor with the given full dimensions.
+pub fn fold(m: &Tensor, mode: usize, dims: &[usize]) -> Result<Tensor> {
+    let rank = dims.len();
+    if mode >= rank {
+        return Err(TensorError::InvalidAxis { axis: mode, rank });
+    }
+    if m.rank() != 2 {
+        return Err(TensorError::NotAMatrix { rank: m.rank() });
+    }
+    let target = Shape::new(dims.to_vec());
+    let rows = dims[mode];
+    let cols = target.numel() / rows.max(1);
+    if m.dims()[0] != rows || m.dims()[1] != cols {
+        return Err(TensorError::ShapeMismatch {
+            lhs: m.dims().to_vec(),
+            rhs: vec![rows, cols],
+            op: "fold",
+        });
+    }
+
+    let rest: Vec<usize> = (0..rank).filter(|&a| a != mode).collect();
+    let rest_dims: Vec<usize> = rest.iter().map(|&a| dims[a]).collect();
+    let rest_shape = Shape::new(rest_dims);
+
+    let mut out = vec![0.0f32; target.numel()];
+    let mut full_idx = vec![0usize; rank];
+    for r in 0..rows {
+        full_idx[mode] = r;
+        for c in 0..cols {
+            let rest_idx = rest_shape.unravel(c);
+            for (k, &axis) in rest.iter().enumerate() {
+                full_idx[axis] = rest_idx[k];
+            }
+            let dst = target.offset(&full_idx)?;
+            out[dst] = m.data()[r * cols + c];
+        }
+    }
+    Tensor::from_vec(dims.to_vec(), out)
+}
+
+/// Mode-n tensor-times-matrix product: contracts axis `mode` of `t` (size `dims[mode]`)
+/// with the second axis of `u` (shape `(j, dims[mode])`), producing a tensor whose
+/// `mode` axis has size `j`.
+///
+/// This is the standard `×_n` operator used to build a Tucker reconstruction
+/// `K = C ×_1 U1 ×_2 U2`.
+pub fn mode_n_product(t: &Tensor, u: &Tensor, mode: usize) -> Result<Tensor> {
+    if u.rank() != 2 {
+        return Err(TensorError::NotAMatrix { rank: u.rank() });
+    }
+    let rank = t.rank();
+    if mode >= rank {
+        return Err(TensorError::InvalidAxis { axis: mode, rank });
+    }
+    let (j, contract) = (u.dims()[0], u.dims()[1]);
+    if contract != t.dims()[mode] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: t.dims().to_vec(),
+            rhs: u.dims().to_vec(),
+            op: "mode_n_product",
+        });
+    }
+    // Unfold, multiply, fold back with the new mode size.
+    let unfolded = unfold(t, mode)?; // (dims[mode], rest)
+    let product = crate::matmul::matmul(u, &unfolded)?; // (j, rest)
+    let mut new_dims = t.dims().to_vec();
+    new_dims[mode] = j;
+    fold(&product, mode, &new_dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn unfold_mode0_of_matrix_is_identity() {
+        let m = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let u = unfold(&m, 0).unwrap();
+        assert_eq!(u, m);
+    }
+
+    #[test]
+    fn unfold_mode1_of_matrix_is_transpose() {
+        let m = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let u = unfold(&m, 1).unwrap();
+        let t = crate::matmul::transpose(&m).unwrap();
+        assert_eq!(u, t);
+    }
+
+    #[test]
+    fn unfold_known_3d_example() {
+        // 2x2x2 tensor with entries equal to their linear index.
+        let t = Tensor::from_vec(vec![2, 2, 2], (0..8).map(|v| v as f32).collect()).unwrap();
+        // Mode-0: rows indexed by axis 0, columns by (axis1, axis2) row-major.
+        let u0 = unfold(&t, 0).unwrap();
+        assert_eq!(u0.dims(), &[2, 4]);
+        assert_eq!(u0.data(), &[0., 1., 2., 3., 4., 5., 6., 7.]);
+        // Mode-1: rows indexed by axis 1, columns by (axis0, axis2).
+        let u1 = unfold(&t, 1).unwrap();
+        assert_eq!(u1.dims(), &[2, 4]);
+        assert_eq!(u1.data(), &[0., 1., 4., 5., 2., 3., 6., 7.]);
+        // Mode-2: rows indexed by axis 2, columns by (axis0, axis1).
+        let u2 = unfold(&t, 2).unwrap();
+        assert_eq!(u2.data(), &[0., 2., 4., 6., 1., 3., 5., 7.]);
+    }
+
+    #[test]
+    fn fold_inverts_unfold_for_all_modes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let t = init::uniform(vec![3, 4, 5, 2], -1.0, 1.0, &mut rng);
+        for mode in 0..4 {
+            let u = unfold(&t, mode).unwrap();
+            let back = fold(&u, mode, t.dims()).unwrap();
+            assert_eq!(back, t, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn invalid_modes_and_shapes_error() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert!(unfold(&t, 3).is_err());
+        let m = Tensor::zeros(vec![2, 12]);
+        assert!(fold(&m, 5, &[2, 3, 4]).is_err());
+        let wrong = Tensor::zeros(vec![3, 8]);
+        assert!(fold(&wrong, 0, &[2, 3, 4]).is_err());
+        let not_matrix = Tensor::zeros(vec![2, 3, 4]);
+        assert!(fold(&not_matrix, 0, &[2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn mode_n_product_matches_manual_contraction() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = init::uniform(vec![3, 4, 2], -1.0, 1.0, &mut rng);
+        let u = init::uniform(vec![5, 4], -1.0, 1.0, &mut rng);
+        let p = mode_n_product(&t, &u, 1).unwrap();
+        assert_eq!(p.dims(), &[3, 5, 2]);
+        // Manual: p[a, j, c] = sum_b u[j, b] * t[a, b, c]
+        for a in 0..3 {
+            for j in 0..5 {
+                for c in 0..2 {
+                    let mut acc = 0.0f32;
+                    for b in 0..4 {
+                        acc += u.get(&[j, b]) * t.get(&[a, b, c]);
+                    }
+                    assert!((p.get(&[a, j, c]) - acc).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode_n_product_with_identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let t = init::uniform(vec![4, 3, 2, 2], -1.0, 1.0, &mut rng);
+        let eye = Tensor::from_fn(vec![3, 3], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        let p = mode_n_product(&t, &eye, 1).unwrap();
+        assert!(p.relative_error(&t).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn mode_n_product_rejects_bad_shapes() {
+        let t = Tensor::zeros(vec![4, 3]);
+        let u = Tensor::zeros(vec![5, 7]);
+        assert!(mode_n_product(&t, &u, 0).is_err());
+        assert!(mode_n_product(&t, &u, 9).is_err());
+        let v = Tensor::zeros(vec![5]);
+        assert!(mode_n_product(&t, &v, 0).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Shapes, strides and index arithmetic for row-major dense tensors.
+
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// The shape of a dense, row-major tensor.
+///
+/// A `Shape` owns the dimension sizes and the derived contiguous strides.
+/// Strides are element strides (not byte strides): the last axis always has
+/// stride 1 for a contiguous row-major layout.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from dimension sizes, computing contiguous strides.
+    ///
+    /// A zero-sized dimension is allowed and yields an empty tensor.
+    pub fn new(dims: Vec<usize>) -> Self {
+        let strides = contiguous_strides(&dims);
+        Shape { dims, strides }
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape::new(vec![])
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Contiguous row-major strides (in elements).
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dims, 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size along one axis.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::InvalidAxis { axis, rank: self.rank() })
+    }
+
+    /// Flatten a multi-dimensional index into a linear offset.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                dims: self.dims.clone(),
+            });
+        }
+        let mut off = 0usize;
+        for (axis, (&i, (&d, &s))) in index
+            .iter()
+            .zip(self.dims.iter().zip(self.strides.iter()))
+            .enumerate()
+        {
+            let _ = axis;
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    dims: self.dims.clone(),
+                });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Inverse of [`Shape::offset`]: convert a linear offset to a multi-index.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.rank()];
+        for (axis, &s) in self.strides.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            idx[axis] = offset / s;
+            offset %= s;
+        }
+        idx
+    }
+
+    /// Whether two shapes have identical dimensions.
+    pub fn same_dims(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+/// Compute contiguous row-major strides for the given dimensions.
+pub fn contiguous_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for axis in (0..dims.len().saturating_sub(1)).rev() {
+        strides[axis] = strides[axis + 1] * dims[axis + 1].max(1);
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_strides_row_major() {
+        assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(contiguous_strides(&[5]), vec![1]);
+        assert_eq!(contiguous_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn zero_dim_gives_zero_numel() {
+        let s = Shape::new(vec![4, 0, 3]);
+        assert_eq!(s.numel(), 0);
+    }
+
+    #[test]
+    fn offset_round_trips_with_unravel() {
+        let s = Shape::new(vec![3, 4, 5]);
+        for lin in 0..s.numel() {
+            let idx = s.unravel(lin);
+            assert_eq!(s.offset(&idx).unwrap(), lin);
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(vec![2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 2]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn dim_accessor_checks_axis() {
+        let s = Shape::new(vec![7, 9]);
+        assert_eq!(s.dim(0).unwrap(), 7);
+        assert_eq!(s.dim(1).unwrap(), 9);
+        assert!(matches!(s.dim(2), Err(TensorError::InvalidAxis { axis: 2, rank: 2 })));
+    }
+
+    #[test]
+    fn from_slice_and_vec() {
+        let a: Shape = vec![2, 3].into();
+        let b: Shape = (&[2usize, 3][..]).into();
+        assert!(a.same_dims(&b));
+    }
+}

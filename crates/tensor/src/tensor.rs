@@ -1,0 +1,381 @@
+//! The dense `f32` tensor type used throughout the TDC reproduction.
+
+use crate::shape::Shape;
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// All layers, convolution kernels and decomposition factors in the
+/// reproduction are stored as `Tensor`s. The type is deliberately simple:
+/// owned contiguous storage, explicit shape, no views or broadcasting magic —
+/// higher-level code (convolutions, GEMM, matricization) handles its own
+/// indexing for performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor filled with zeros.
+    pub fn zeros(dims: Vec<usize>) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Create a tensor filled with ones.
+    pub fn ones(dims: Vec<usize>) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![1.0; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Create a tensor filled with a constant value.
+    pub fn full(dims: Vec<usize>, value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Create a tensor from existing data. The data length must match the shape.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.numel() != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Create a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Create a tensor whose elements are produced by `f(multi_index)`.
+    pub fn from_fn(dims: Vec<usize>, mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        for lin in 0..n {
+            let idx = shape.unravel(lin);
+            data.push(f(&idx));
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes, shorthand for `shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Rank (number of axes).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Immutable view of the underlying contiguous storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying contiguous storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its storage.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Read one element by multi-index. Panics on out-of-bounds (use
+    /// [`Tensor::try_get`] for a fallible variant).
+    pub fn get(&self, index: &[usize]) -> f32 {
+        let off = self.shape.offset(index).expect("index out of bounds");
+        self.data[off]
+    }
+
+    /// Fallible element read.
+    pub fn try_get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Write one element by multi-index. Panics on out-of-bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index).expect("index out of bounds");
+        self.data[off] = value;
+    }
+
+    /// Fallible element write.
+    pub fn try_set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reshape to new dimensions with the same number of elements. The data is
+    /// reinterpreted in row-major order; no copy beyond the move is made.
+    pub fn reshape(self, dims: Vec<usize>) -> Result<Self> {
+        let new_shape = Shape::new(dims);
+        if new_shape.numel() != self.numel() {
+            return Err(TensorError::InvalidReshape {
+                from: self.numel(),
+                to: new_shape.numel(),
+            });
+        }
+        Ok(Tensor { shape: new_shape, data: self.data })
+    }
+
+    /// Return a copy with axes permuted according to `perm` (a permutation of
+    /// `0..rank`). The result is materialised contiguously.
+    pub fn permute(&self, perm: &[usize]) -> Result<Self> {
+        let rank = self.rank();
+        if perm.len() != rank {
+            return Err(TensorError::InvalidParameter { what: "permutation length must equal rank" });
+        }
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            if p >= rank || seen[p] {
+                return Err(TensorError::InvalidParameter { what: "permutation must be a bijection of axes" });
+            }
+            seen[p] = true;
+        }
+        let old_dims = self.dims();
+        let new_dims: Vec<usize> = perm.iter().map(|&p| old_dims[p]).collect();
+        let new_shape = Shape::new(new_dims.clone());
+        let old_strides = self.shape.strides().to_vec();
+        let mut data = vec![0.0f32; self.numel()];
+        // For each element of the output, compute the source offset.
+        for (lin, slot) in data.iter_mut().enumerate() {
+            let new_idx = new_shape.unravel(lin);
+            let mut src = 0usize;
+            for (axis, &p) in perm.iter().enumerate() {
+                src += new_idx[axis] * old_strides[p];
+            }
+            *slot = self.data[src];
+        }
+        Ok(Tensor { shape: new_shape, data })
+    }
+
+    /// Frobenius norm (square root of the sum of squares).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|v| *v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in flattened order (`None` for empty).
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Whether every element is finite (no NaN/inf) — used as a training sanity check.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute elementwise difference between two same-shaped tensors.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if !self.shape.same_dims(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+
+    /// Relative Frobenius error `||self - other||_F / ||other||_F` (or the
+    /// absolute error when `other` is all zeros).
+    pub fn relative_error(&self, other: &Tensor) -> Result<f32> {
+        if !self.shape.same_dims(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "relative_error",
+            });
+        }
+        let mut diff = 0.0f64;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            let d = (*a - *b) as f64;
+            diff += d * d;
+        }
+        let denom = other.frobenius_norm() as f64;
+        let num = diff.sqrt();
+        Ok(if denom > 0.0 { (num / denom) as f32 } else { num as f32 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(vec![2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(vec![4]);
+        assert!(o.data().iter().all(|&v| v == 1.0));
+        let f = Tensor::full(vec![2, 2], 2.5);
+        assert!(f.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![2, 2], vec![1.0; 5]),
+            Err(TensorError::ShapeDataMismatch { expected: 4, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(vec![2, 3, 4]);
+        t.set(&[1, 2, 3], 42.0);
+        assert_eq!(t.get(&[1, 2, 3]), 42.0);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+        assert!(t.try_get(&[2, 0, 0]).is_err());
+        assert!(t.try_set(&[0, 3, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn from_fn_uses_indices() {
+        let t = Tensor::from_fn(vec![2, 3], |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[1, 2]), 12.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        let r = t.clone().reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn permute_transposes_matrix() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let p = t.permute(&[1, 0]).unwrap();
+        assert_eq!(p.dims(), &[3, 2]);
+        assert_eq!(p.get(&[0, 1]), t.get(&[1, 0]));
+        assert_eq!(p.get(&[2, 0]), t.get(&[0, 2]));
+    }
+
+    #[test]
+    fn permute_4d_matches_manual_indexing() {
+        let t = Tensor::from_fn(vec![2, 3, 4, 5], |i| {
+            (i[0] * 1000 + i[1] * 100 + i[2] * 10 + i[3]) as f32
+        });
+        let p = t.permute(&[2, 0, 3, 1]).unwrap();
+        assert_eq!(p.dims(), &[4, 2, 5, 3]);
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    for d in 0..5 {
+                        assert_eq!(p.get(&[c, a, d, b]), t.get(&[a, b, c, d]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_rejects_bad_permutations() {
+        let t = Tensor::zeros(vec![2, 2]);
+        assert!(t.permute(&[0]).is_err());
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![4], vec![1., -2., 3., 2.]).unwrap();
+        assert_eq!(t.sum(), 4.0);
+        assert_eq!(t.mean(), 1.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), Some(2));
+        assert!((t.frobenius_norm() - (18.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_error_and_max_abs_diff() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![1.0, 2.5]).unwrap();
+        assert!((a.max_abs_diff(&b).unwrap() - 0.5).abs() < 1e-6);
+        assert!(a.relative_error(&a).unwrap() < 1e-9);
+        let c = Tensor::zeros(vec![3]);
+        assert!(a.relative_error(&c).is_err());
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut t = Tensor::ones(vec![3]);
+        assert!(t.is_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.get(&[]), 3.5);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the tensor crate: GEMM algebra, matricization
+//! round-trips and SVD invariants.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use tdc_tensor::matricize::{fold, unfold};
+use tdc_tensor::matmul::{matmul, matmul_naive, transpose};
+use tdc_tensor::svd::svd;
+use tdc_tensor::{init, linalg, ops};
+
+fn seeded(seed: u64, dims: Vec<usize>) -> tdc_tensor::Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(dims, -1.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn blocked_gemm_matches_naive(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let a = seeded(seed, vec![m, k]);
+        let b = seeded(seed.wrapping_add(1), vec![k, n]);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_naive(&a, &b).unwrap();
+        prop_assert!(fast.relative_error(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn gemm_is_linear_in_the_left_operand(m in 1usize..16, k in 1usize..16, n in 1usize..16, seed in 0u64..1000) {
+        let a1 = seeded(seed, vec![m, k]);
+        let a2 = seeded(seed.wrapping_add(7), vec![m, k]);
+        let b = seeded(seed.wrapping_add(13), vec![k, n]);
+        let lhs = matmul(&ops::add(&a1, &a2).unwrap(), &b).unwrap();
+        let rhs = ops::add(&matmul(&a1, &b).unwrap(), &matmul(&a2, &b).unwrap()).unwrap();
+        prop_assert!(lhs.relative_error(&rhs).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn transpose_reverses_products(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+        // (A B)^T = B^T A^T
+        let a = seeded(seed, vec![m, k]);
+        let b = seeded(seed.wrapping_add(3), vec![k, n]);
+        let lhs = transpose(&matmul(&a, &b).unwrap()).unwrap();
+        let rhs = matmul(&transpose(&b).unwrap(), &transpose(&a).unwrap()).unwrap();
+        prop_assert!(lhs.relative_error(&rhs).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn unfold_fold_round_trip(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5, d3 in 1usize..5, mode in 0usize..4, seed in 0u64..1000) {
+        let t = seeded(seed, vec![d0, d1, d2, d3]);
+        let u = unfold(&t, mode).unwrap();
+        let back = fold(&u, mode, t.dims()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn svd_reconstructs_and_is_orthonormal(m in 1usize..14, n in 1usize..14, seed in 0u64..1000) {
+        let a = seeded(seed, vec![m, n]);
+        let r = svd(&a).unwrap();
+        prop_assert!(r.reconstruct().unwrap().relative_error(&a).unwrap() < 1e-3);
+        prop_assert!(linalg::orthonormality_defect(&r.u).unwrap() < 1e-2);
+        prop_assert!(linalg::orthonormality_defect(&r.v).unwrap() < 1e-2);
+        // Singular values sorted in non-increasing order.
+        prop_assert!(r.s.windows(2).all(|w| w[0] >= w[1] - 1e-5));
+    }
+
+    #[test]
+    fn axpy_matches_definition(n in 1usize..64, alpha in -2.0f32..2.0, seed in 0u64..1000) {
+        let a = seeded(seed, vec![n]);
+        let b = seeded(seed.wrapping_add(11), vec![n]);
+        let got = ops::axpy(&a, alpha, &b).unwrap();
+        for i in 0..n {
+            prop_assert!((got.data()[i] - (a.data()[i] + alpha * b.data()[i])).abs() < 1e-5);
+        }
+    }
+}

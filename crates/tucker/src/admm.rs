@@ -1,0 +1,427 @@
+//! ADMM-based training of Tucker-format models (paper Section 4.1, Algorithm 1
+//! lines 5–11).
+//!
+//! The training objective `min ℓ(K) s.t. rank(K) ≤ [D1*, D2*]` is non-convex
+//! and non-differentiable in the constraint, so the paper splits it with a
+//! scaled augmented Lagrangian and alternates three updates:
+//!
+//! * **K-update** (Eq. 9–10): one (or more) SGD steps on the task loss plus the
+//!   proximal term `ρ/2‖K − K̂ + M‖²`, whose gradient `ρ(K − K̂ + M)` is simply
+//!   added to the back-propagated gradient of every decomposed kernel;
+//! * **K̂-update** (Eq. 11–12): project `K + M` onto the rank-constrained set
+//!   with truncated HOSVD ([`crate::tkd::project`]);
+//! * **M-update**: dual ascent `M ← M + K − K̂`.
+//!
+//! The same module also implements the *direct compression* baseline the paper
+//! contrasts in Table 2 (decompose the pre-trained kernel, then retrain), so
+//! the comparison can be reproduced.
+
+use crate::rank::RankPair;
+use crate::tkd::{self, TuckerFactors};
+use crate::{Result, TuckerError};
+use tdc_nn::data::SyntheticDataset;
+use tdc_nn::layer::Network;
+use tdc_nn::loss::softmax_cross_entropy;
+use tdc_nn::optim::Sgd;
+use tdc_tensor::{ops, Tensor};
+
+/// Configuration for ADMM-incorporated training.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmmConfig {
+    /// Penalty coefficient ρ of the augmented Lagrangian.
+    pub rho: f32,
+    /// Training epochs with the ADMM proximal term.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate of the K-update SGD.
+    pub learning_rate: f32,
+    /// Momentum of the K-update SGD.
+    pub momentum: f32,
+    /// Weight decay of the K-update SGD.
+    pub weight_decay: f32,
+    /// Fine-tuning epochs after the hard projection at the end.
+    pub finetune_epochs: usize,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        AdmmConfig {
+            rho: 0.02,
+            epochs: 8,
+            batch_size: 16,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            finetune_epochs: 2,
+        }
+    }
+}
+
+/// Per-layer ADMM state: the auxiliary rank-constrained copy K̂ and the dual M.
+#[derive(Debug, Clone)]
+struct LayerState {
+    rank: RankPair,
+    k_hat: Tensor,
+    dual: Tensor,
+}
+
+/// Per-epoch statistics of an ADMM training run.
+#[derive(Debug, Clone)]
+pub struct AdmmEpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean task loss.
+    pub loss: f32,
+    /// Training accuracy.
+    pub accuracy: f32,
+    /// Mean (over decomposed layers) relative distance of the kernels from the
+    /// rank-constrained set — should shrink as training progresses.
+    pub rank_violation: f32,
+}
+
+/// ADMM trainer bound to a set of per-convolution target ranks.
+#[derive(Debug, Clone)]
+pub struct AdmmTrainer {
+    /// Target ranks per convolution layer (same order as
+    /// [`Network::conv_layers_mut`]); `None` leaves the layer dense.
+    pub ranks: Vec<Option<RankPair>>,
+    /// Training configuration.
+    pub config: AdmmConfig,
+    states: Vec<Option<LayerState>>,
+}
+
+impl AdmmTrainer {
+    /// Create a trainer for a network whose convolutions get the given ranks.
+    pub fn new(ranks: Vec<Option<RankPair>>, config: AdmmConfig) -> Self {
+        AdmmTrainer { states: vec![None; ranks.len()], ranks, config }
+    }
+
+    fn ensure_states(&mut self, network: &mut Network) -> Result<()> {
+        let mut convs = network.conv_layers_mut();
+        if convs.len() != self.ranks.len() {
+            return Err(TuckerError::BadConfig {
+                reason: format!(
+                    "{} target ranks for a network with {} convolutions",
+                    self.ranks.len(),
+                    convs.len()
+                ),
+            });
+        }
+        for (i, conv) in convs.iter_mut().enumerate() {
+            if self.states[i].is_some() {
+                continue;
+            }
+            if let Some(rank) = self.ranks[i] {
+                let k_hat = tkd::project(&conv.kernel.value, rank.d1, rank.d2)?;
+                let dual = Tensor::zeros(conv.kernel.value.dims().to_vec());
+                self.states[i] = Some(LayerState { rank, k_hat, dual });
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean relative distance of the decomposed kernels from their rank-
+    /// constrained projections.
+    pub fn rank_violation(&self, network: &mut Network) -> Result<f32> {
+        let convs = network.conv_layers_mut();
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for (i, conv) in convs.iter().enumerate() {
+            if let Some(rank) = self.ranks.get(i).copied().flatten() {
+                total += tkd::reconstruction_error(&conv.kernel.value, rank.d1, rank.d2)?;
+                count += 1;
+            }
+        }
+        Ok(if count == 0 { 0.0 } else { total / count as f32 })
+    }
+
+    /// Run ADMM-incorporated training on `network` over `dataset`.
+    pub fn train(
+        &mut self,
+        network: &mut Network,
+        dataset: &SyntheticDataset,
+    ) -> Result<Vec<AdmmEpochStats>> {
+        self.ensure_states(network)?;
+        let cfg = self.config;
+        let mut optimizer = Sgd::new(cfg.learning_rate, cfg.momentum, cfg.weight_decay);
+        let mut history = Vec::with_capacity(cfg.epochs);
+
+        for epoch in 0..cfg.epochs {
+            let mut total_loss = 0.0f64;
+            let mut correct = 0usize;
+            let mut samples = 0usize;
+            for (batch, labels) in dataset.batches(cfg.batch_size) {
+                network.zero_grad();
+                let logits = network.forward(&batch, true)?;
+                let loss = softmax_cross_entropy(&logits, &labels)?;
+                network.backward(&loss.grad)?;
+
+                // K-update gradient augmentation: grad += rho * (K - K̂ + M).
+                {
+                    let mut convs = network.conv_layers_mut();
+                    for (i, conv) in convs.iter_mut().enumerate() {
+                        if let Some(state) = &self.states[i] {
+                            let mut prox = ops::sub(&conv.kernel.value, &state.k_hat)?;
+                            ops::axpy_inplace(&mut prox, 1.0, &state.dual)?;
+                            ops::axpy_inplace(&mut conv.kernel.grad, cfg.rho, &prox)?;
+                        }
+                    }
+                }
+                optimizer.step(&mut network.params_mut())?;
+
+                total_loss += loss.loss as f64 * labels.len() as f64;
+                correct += loss.correct;
+                samples += labels.len();
+            }
+
+            // K̂-update and M-update once per epoch.
+            {
+                let mut convs = network.conv_layers_mut();
+                for (i, conv) in convs.iter_mut().enumerate() {
+                    if let Some(state) = &mut self.states[i] {
+                        let k_plus_m = ops::add(&conv.kernel.value, &state.dual)?;
+                        state.k_hat = tkd::project(&k_plus_m, state.rank.d1, state.rank.d2)?;
+                        // M <- M + K - K̂
+                        let mut new_dual = ops::add(&state.dual, &conv.kernel.value)?;
+                        ops::axpy_inplace(&mut new_dual, -1.0, &state.k_hat)?;
+                        state.dual = new_dual;
+                    }
+                }
+            }
+
+            history.push(AdmmEpochStats {
+                epoch,
+                loss: (total_loss / samples.max(1) as f64) as f32,
+                accuracy: correct as f32 / samples.max(1) as f32,
+                rank_violation: self.rank_violation(network)?,
+            });
+        }
+        Ok(history)
+    }
+
+    /// Hard-project every decomposed kernel to its target ranks (replacing the
+    /// dense kernel with its reconstruction) and return the Tucker factors —
+    /// Algorithm 1 line 12. Optionally follow with fine-tuning epochs.
+    pub fn finalize(
+        &mut self,
+        network: &mut Network,
+        dataset: Option<&SyntheticDataset>,
+    ) -> Result<Vec<Option<TuckerFactors>>> {
+        self.ensure_states(network)?;
+        let mut factors_out = Vec::with_capacity(self.ranks.len());
+        {
+            let mut convs = network.conv_layers_mut();
+            for (i, conv) in convs.iter_mut().enumerate() {
+                if let Some(rank) = self.ranks[i] {
+                    let factors = tkd::tucker2(&conv.kernel.value, rank.d1, rank.d2)?;
+                    conv.kernel.value = factors.reconstruct()?;
+                    factors_out.push(Some(factors));
+                } else {
+                    factors_out.push(None);
+                }
+            }
+        }
+        if let Some(data) = dataset {
+            // Projected-gradient fine-tuning: after every epoch the kernels are
+            // re-projected onto their rank-constrained set, so the model the
+            // caller gets back is exactly low-rank while having been adapted to
+            // the projection.
+            let cfg = tdc_nn::train::TrainConfig {
+                epochs: 1,
+                batch_size: self.config.batch_size,
+                learning_rate: self.config.learning_rate * 0.2,
+                momentum: self.config.momentum,
+                weight_decay: self.config.weight_decay,
+                lr_decay: 1.0,
+            };
+            for _ in 0..self.config.finetune_epochs {
+                tdc_nn::train::train(network, data, &cfg)?;
+                let mut convs = network.conv_layers_mut();
+                for (i, conv) in convs.iter_mut().enumerate() {
+                    if let Some(rank) = self.ranks[i] {
+                        let factors = tkd::tucker2(&conv.kernel.value, rank.d1, rank.d2)?;
+                        conv.kernel.value = factors.reconstruct()?;
+                        factors_out[i] = Some(factors);
+                    }
+                }
+            }
+        }
+        Ok(factors_out)
+    }
+}
+
+/// The "direct compression" baseline of Table 2: project the (pre-trained)
+/// kernels straight to their target ranks with no ADMM phase. Returns the
+/// factors; the caller may retrain afterwards.
+pub fn direct_compress(
+    network: &mut Network,
+    ranks: &[Option<RankPair>],
+) -> Result<Vec<Option<TuckerFactors>>> {
+    let mut convs = network.conv_layers_mut();
+    if convs.len() != ranks.len() {
+        return Err(TuckerError::BadConfig {
+            reason: format!("{} ranks for {} convolutions", ranks.len(), convs.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(ranks.len());
+    for (conv, rank) in convs.iter_mut().zip(ranks.iter()) {
+        if let Some(rank) = rank {
+            let factors = tkd::tucker2(&conv.kernel.value, rank.d1, rank.d2)?;
+            conv.kernel.value = factors.reconstruct()?;
+            out.push(Some(factors));
+        } else {
+            out.push(None);
+        }
+    }
+    Ok(out)
+}
+
+/// Uniform rank assignment helper: give every convolution with more than
+/// `min_channels` input and output channels the rank pair that divides its
+/// channels by `divisor` (rounded up), leaving small layers dense.
+pub fn uniform_ranks(network: &mut Network, divisor: usize, min_channels: usize) -> Vec<Option<RankPair>> {
+    network
+        .conv_shapes()
+        .iter()
+        .map(|s| {
+            if s.r > 1 && s.c >= min_channels && s.n >= min_channels {
+                Some(RankPair::new((s.c).div_ceil(divisor).max(1), (s.n).div_ceil(divisor).max(1)))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tdc_nn::data::{SyntheticConfig, SyntheticDataset};
+    use tdc_nn::models::tiny_cnn;
+    use tdc_nn::train::evaluate;
+
+    fn setup() -> (Network, SyntheticDataset, SyntheticDataset) {
+        let mut cfg = SyntheticConfig::tiny(11);
+        cfg.samples_per_class = 20;
+        cfg.noise = 0.25;
+        let data = SyntheticDataset::generate(cfg).unwrap();
+        let (train_set, test_set) = data.split(0.8);
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = tiny_cnn(8, 8, 3, 4, 8, &mut rng);
+        (net, train_set, test_set)
+    }
+
+    fn pretrain(net: &mut Network, train_set: &SyntheticDataset) {
+        let cfg = tdc_nn::train::TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
+        tdc_nn::train::train(net, train_set, &cfg).unwrap();
+    }
+
+    #[test]
+    fn admm_drives_kernels_toward_low_rank() {
+        let (mut net, train_set, _) = setup();
+        pretrain(&mut net, &train_set);
+        let ranks = uniform_ranks(&mut net, 2, 8);
+        assert!(ranks.iter().any(|r| r.is_some()), "at least one layer should be decomposed");
+        let cfg = AdmmConfig { epochs: 5, rho: 0.05, batch_size: 8, ..Default::default() };
+        let mut trainer = AdmmTrainer::new(ranks, cfg);
+        let before = trainer.rank_violation(&mut net).unwrap();
+        let history = trainer.train(&mut net, &train_set).unwrap();
+        let after = history.last().unwrap().rank_violation;
+        assert!(
+            after < before * 0.7,
+            "ADMM should reduce the rank violation: before {before}, after {after}"
+        );
+        assert!(history.iter().all(|e| e.loss.is_finite()));
+    }
+
+    #[test]
+    fn admm_compression_preserves_more_accuracy_than_direct_projection() {
+        // The Table 2 story: projecting a pre-trained model straight to low
+        // rank costs accuracy that ADMM-incorporated training recovers.
+        let (mut net, train_set, test_set) = setup();
+        pretrain(&mut net, &train_set);
+        let baseline_acc = evaluate(&mut net, &test_set, 8).unwrap();
+
+        let ranks = uniform_ranks(&mut net, 3, 8);
+
+        // Direct compression: project the trained kernels, no ADMM, no retraining.
+        let mut direct_net = net.clone();
+        direct_compress(&mut direct_net, &ranks).unwrap();
+        let direct_acc = evaluate(&mut direct_net, &test_set, 8).unwrap();
+
+        // ADMM compression at the same ranks.
+        let mut admm_net = net.clone();
+        let cfg = AdmmConfig {
+            epochs: 6,
+            finetune_epochs: 3,
+            batch_size: 8,
+            rho: 0.05,
+            learning_rate: 0.02,
+            ..Default::default()
+        };
+        let mut trainer = AdmmTrainer::new(ranks.clone(), cfg);
+        trainer.train(&mut admm_net, &train_set).unwrap();
+        trainer.finalize(&mut admm_net, Some(&train_set)).unwrap();
+        let admm_acc = evaluate(&mut admm_net, &test_set, 8).unwrap();
+
+        assert!(
+            admm_acc + 1e-6 >= direct_acc,
+            "ADMM ({admm_acc}) should not be worse than direct projection ({direct_acc}); baseline {baseline_acc}"
+        );
+        // The uncompressed baseline fits this separable task essentially
+        // perfectly; the compressed model should still be clearly above chance
+        // (25% for 4 classes). The paper-scale "≤0.05% accuracy drop" claim is
+        // not reproducible at this miniature scale — the full comparison is
+        // generated by the Table 2/3 benchmark binaries.
+        assert!(baseline_acc > 0.8, "baseline should fit the task, got {baseline_acc}");
+        assert!(admm_acc > 0.3, "compressed accuracy {admm_acc} should beat chance");
+    }
+
+    #[test]
+    fn finalize_returns_factors_with_requested_ranks() {
+        let (mut net, train_set, _) = setup();
+        let ranks = uniform_ranks(&mut net, 2, 8);
+        let cfg = AdmmConfig { epochs: 1, finetune_epochs: 0, batch_size: 8, ..Default::default() };
+        let mut trainer = AdmmTrainer::new(ranks.clone(), cfg);
+        trainer.train(&mut net, &train_set).unwrap();
+        let factors = trainer.finalize(&mut net, None).unwrap();
+        assert_eq!(factors.len(), ranks.len());
+        for (f, r) in factors.iter().zip(ranks.iter()) {
+            match (f, r) {
+                (Some(f), Some(r)) => assert_eq!(f.ranks(), (r.d1, r.d2)),
+                (None, None) => {}
+                _ => panic!("factor/rank mismatch"),
+            }
+        }
+        // After finalize the network kernels are exactly low-rank.
+        assert!(trainer.rank_violation(&mut net).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn mismatched_rank_lists_are_rejected() {
+        let (mut net, train_set, _) = setup();
+        let mut trainer = AdmmTrainer::new(vec![None], AdmmConfig::default());
+        assert!(trainer.train(&mut net, &train_set).is_err());
+        assert!(direct_compress(&mut net, &[None]).is_err());
+    }
+
+    #[test]
+    fn uniform_ranks_skip_small_and_pointwise_layers() {
+        let (mut net, _, _) = setup();
+        let ranks = uniform_ranks(&mut net, 2, 16);
+        // tiny_cnn(base 8): first convs have 8 channels < 16, final has 16.
+        let shapes = net.conv_shapes();
+        for (rank, shape) in ranks.iter().zip(shapes.iter()) {
+            if shape.c < 16 || shape.n < 16 {
+                assert!(rank.is_none());
+            }
+        }
+    }
+}

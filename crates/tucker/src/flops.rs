@@ -1,0 +1,108 @@
+//! Parameter and FLOP accounting for Tucker-format convolutions
+//! (paper Section 3, Eq. 5–6).
+
+use tdc_conv::ConvShape;
+
+/// Parameters of the original dense convolution: `C·N·R·S`.
+pub fn dense_params(shape: &ConvShape) -> f64 {
+    (shape.c * shape.n * shape.r * shape.s) as f64
+}
+
+/// Parameters of the Tucker-format layer: `C·D1 + R·S·D1·D2 + N·D2`.
+pub fn tucker_params(shape: &ConvShape, d1: usize, d2: usize) -> f64 {
+    (shape.c * d1 + shape.r * shape.s * d1 * d2 + shape.n * d2) as f64
+}
+
+/// FLOPs (multiply-accumulates ×2) of the original dense convolution:
+/// `2·H'·W'·R·S·C·N`.
+pub fn dense_flops(shape: &ConvShape) -> f64 {
+    shape.flops()
+}
+
+/// FLOPs of the Tucker-format layer, i.e. the sum over the three convolutions
+/// of Eq. (2)–(4): `2·(H·W·C·D1 + H'·W'·R·S·D1·D2 + H'·W'·N·D2)`.
+pub fn tucker_flops(shape: &ConvShape, d1: usize, d2: usize) -> f64 {
+    let (h, w) = (shape.h as f64, shape.w as f64);
+    let (oh, ow) = (shape.out_h() as f64, shape.out_w() as f64);
+    let rs = (shape.r * shape.s) as f64;
+    2.0 * (h * w * shape.c as f64 * d1 as f64
+        + oh * ow * rs * d1 as f64 * d2 as f64
+        + oh * ow * shape.n as f64 * d2 as f64)
+}
+
+/// Parameter reduction ratio γP of Eq. (5).
+pub fn gamma_p(shape: &ConvShape, d1: usize, d2: usize) -> f64 {
+    dense_params(shape) / tucker_params(shape, d1, d2)
+}
+
+/// FLOP reduction ratio γF of Eq. (6).
+pub fn gamma_f(shape: &ConvShape, d1: usize, d2: usize) -> f64 {
+    dense_flops(shape) / tucker_flops(shape, d1, d2)
+}
+
+/// FLOPs-reduction fraction of decomposing one layer, expressed the way the
+/// paper states budgets: `1 - tucker_flops / dense_flops` (e.g. 0.6 = "60%
+/// FLOPs reduction").
+pub fn flops_reduction(shape: &ConvShape, d1: usize, d2: usize) -> f64 {
+    1.0 - tucker_flops(shape, d1, d2) / dense_flops(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_the_paper_on_a_worked_example() {
+        // C=64, N=128, H=W=28, 3x3, same padding; D1=D2=32.
+        let shape = ConvShape::same3x3(64, 128, 28, 28);
+        let (d1, d2) = (32, 32);
+        assert_eq!(dense_params(&shape) as usize, 64 * 128 * 9);
+        assert_eq!(tucker_params(&shape, d1, d2) as usize, 64 * 32 + 9 * 32 * 32 + 128 * 32);
+        let expected_gamma_p = (64.0 * 128.0 * 9.0) / (64.0 * 32.0 + 9.0 * 32.0 * 32.0 + 128.0 * 32.0);
+        assert!((gamma_p(&shape, d1, d2) - expected_gamma_p).abs() < 1e-9);
+
+        let dense = 2.0 * 28.0 * 28.0 * 9.0 * 64.0 * 128.0;
+        assert!((dense_flops(&shape) - dense).abs() < 1.0);
+        let tucker = 2.0 * (28.0 * 28.0 * 64.0 * 32.0
+            + 28.0 * 28.0 * 9.0 * 32.0 * 32.0
+            + 28.0 * 28.0 * 128.0 * 32.0);
+        assert!((tucker_flops(&shape, d1, d2) - tucker).abs() < 1.0);
+        assert!((gamma_f(&shape, d1, d2) - dense / tucker).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_ranks_give_larger_reductions() {
+        let shape = ConvShape::same3x3(256, 256, 14, 14);
+        assert!(gamma_f(&shape, 32, 32) > gamma_f(&shape, 128, 128));
+        assert!(gamma_p(&shape, 32, 32) > gamma_p(&shape, 128, 128));
+        assert!(flops_reduction(&shape, 32, 32) > flops_reduction(&shape, 128, 128));
+    }
+
+    #[test]
+    fn full_rank_tucker_is_more_expensive_than_dense() {
+        // With D1=C and D2=N the factorised form adds the two 1x1 convs on top
+        // of the core conv, so the "reduction" is negative — exactly why the
+        // co-design framework needs the θ threshold.
+        let shape = ConvShape::same3x3(64, 64, 28, 28);
+        assert!(gamma_f(&shape, 64, 64) < 1.0);
+        assert!(flops_reduction(&shape, 64, 64) < 0.0);
+    }
+
+    #[test]
+    fn reduction_fraction_is_consistent_with_gamma() {
+        let shape = ConvShape::same3x3(128, 96, 28, 28);
+        let (d1, d2) = (32, 32);
+        let frac = flops_reduction(&shape, d1, d2);
+        let gamma = gamma_f(&shape, d1, d2);
+        assert!((frac - (1.0 - 1.0 / gamma)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_tucker_ranks_give_large_compression() {
+        // The paper reports up to 2.7x FLOPs reduction for ResNet-18-scale
+        // layers; check a representative layer lands in a plausible range.
+        let shape = ConvShape::same3x3(256, 256, 14, 14);
+        let g = gamma_f(&shape, 64, 64);
+        assert!(g > 2.0 && g < 20.0, "gamma_f = {g}");
+    }
+}

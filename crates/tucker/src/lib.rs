@@ -1,0 +1,101 @@
+//! # tdc-tucker
+//!
+//! Tucker-2 decomposition of convolution kernels and the ADMM-based low-rank
+//! training algorithm of the TDC paper (Sections 3 and 4).
+//!
+//! * [`tkd`] — truncated-HOSVD Tucker-2 decomposition of a `C×N×R×S` kernel
+//!   into factor matrices `U1 (C×D1)`, `U2 (N×D2)` and a core tensor
+//!   `(D1×D2×R×S)`, plus the projection operator the ADMM K̂-update uses.
+//! * [`flops`] — the parameter and FLOP reduction ratios γP, γF of Eq. (5)/(6)
+//!   and the Tucker-format layer cost model.
+//! * [`tucker_conv`] — the Tucker-format convolution layer: 1×1 conv → R×S
+//!   core conv → 1×1 conv (Eq. 2–4), mathematically equivalent to convolving
+//!   with the reconstructed kernel.
+//! * [`admm`] — the ADMM training loop (K-update / K̂-update / M-update of
+//!   Section 4.1) applied to a `tdc-nn` network, plus the "direct compression"
+//!   baseline it is compared against in Table 2.
+//! * [`rank`] — rank-candidate enumeration in steps of 32 and the per-layer
+//!   FLOPs-budget test used by the co-design framework (Section 6).
+
+pub mod admm;
+pub mod flops;
+pub mod rank;
+pub mod tkd;
+pub mod tucker_conv;
+
+pub use admm::{AdmmConfig, AdmmTrainer};
+pub use tkd::{tucker2, TuckerFactors};
+pub use tucker_conv::TuckerConv;
+
+/// Errors produced by the Tucker layer of the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuckerError {
+    /// A rank exceeds the dimension it compresses.
+    BadRank { rank: usize, dim: usize, which: &'static str },
+    /// The kernel tensor does not have the expected CNRS shape.
+    BadKernel { expected: String, actual: Vec<usize> },
+    /// An underlying tensor operation failed.
+    Tensor(tdc_tensor::TensorError),
+    /// An underlying convolution failed.
+    Conv(tdc_conv::ConvError),
+    /// An underlying network operation failed.
+    Nn(tdc_nn::NnError),
+    /// Invalid configuration.
+    BadConfig { reason: String },
+}
+
+impl std::fmt::Display for TuckerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuckerError::BadRank { rank, dim, which } => {
+                write!(f, "rank {rank} exceeds {which} dimension {dim}")
+            }
+            TuckerError::BadKernel { expected, actual } => {
+                write!(f, "bad kernel shape: expected {expected}, got {actual:?}")
+            }
+            TuckerError::Tensor(e) => write!(f, "tensor error: {e}"),
+            TuckerError::Conv(e) => write!(f, "convolution error: {e}"),
+            TuckerError::Nn(e) => write!(f, "network error: {e}"),
+            TuckerError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TuckerError {}
+
+impl From<tdc_tensor::TensorError> for TuckerError {
+    fn from(e: tdc_tensor::TensorError) -> Self {
+        TuckerError::Tensor(e)
+    }
+}
+
+impl From<tdc_conv::ConvError> for TuckerError {
+    fn from(e: tdc_conv::ConvError) -> Self {
+        TuckerError::Conv(e)
+    }
+}
+
+impl From<tdc_nn::NnError> for TuckerError {
+    fn from(e: tdc_nn::NnError) -> Self {
+        TuckerError::Nn(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TuckerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = TuckerError::BadRank { rank: 64, dim: 32, which: "input channel" };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("input channel"));
+        let e: TuckerError = tdc_tensor::TensorError::NotAMatrix { rank: 1 }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: TuckerError = tdc_nn::NnError::Protocol { reason: "x" }.into();
+        assert!(e.to_string().contains("network error"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Rank-candidate enumeration and budget tests (paper Section 6).
+//!
+//! The co-design framework does not consider every possible `(D1, D2)` pair:
+//! reducing channels one at a time barely changes FLOPs and creates idle
+//! threads inside warps, so candidates move in steps of 32 (the warp size).
+//! A candidate is admissible for a layer when the decomposed layer's FLOPs
+//! meet the budgeted reduction.
+
+use crate::flops;
+use serde::{Deserialize, Serialize};
+use tdc_conv::ConvShape;
+
+/// The channel step used when enumerating rank candidates (one warp).
+pub const RANK_STEP: usize = 32;
+
+/// A Tucker rank pair candidate for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RankPair {
+    /// Input-channel rank `D1`.
+    pub d1: usize,
+    /// Output-channel rank `D2`.
+    pub d2: usize,
+}
+
+impl RankPair {
+    /// Create a rank pair.
+    pub fn new(d1: usize, d2: usize) -> Self {
+        RankPair { d1, d2 }
+    }
+}
+
+impl std::fmt::Display for RankPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(D1={}, D2={})", self.d1, self.d2)
+    }
+}
+
+/// Rank values considered for a channel dimension of size `dim`: multiples of
+/// `step` up to `dim`, plus `dim` itself when it is not a multiple (so layers
+/// narrower than one step still have a candidate).
+pub fn rank_values(dim: usize, step: usize) -> Vec<usize> {
+    let step = step.max(1);
+    let mut out: Vec<usize> = (1..=dim / step).map(|k| k * step).collect();
+    if out.is_empty() || dim % step != 0 {
+        out.push(dim);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// All `(D1, D2)` candidates for one convolution layer, stepping by `RANK_STEP`
+/// (paper: `C/32 × N/32` candidates).
+pub fn rank_candidates(shape: &ConvShape) -> Vec<RankPair> {
+    rank_candidates_with_step(shape, RANK_STEP)
+}
+
+/// All `(D1, D2)` candidates for one layer with an explicit step.
+pub fn rank_candidates_with_step(shape: &ConvShape, step: usize) -> Vec<RankPair> {
+    let mut out = Vec::new();
+    for &d1 in &rank_values(shape.c, step) {
+        for &d2 in &rank_values(shape.n, step) {
+            out.push(RankPair::new(d1, d2));
+        }
+    }
+    out
+}
+
+/// Whether decomposing `shape` at this rank pair achieves at least a `budget`
+/// fractional FLOPs reduction (`P(D1, D2) ⪅ B` in Algorithm 1, with `B`
+/// expressed as a reduction fraction, e.g. 0.6 = 60%).
+pub fn meets_budget(shape: &ConvShape, rank: RankPair, budget: f64) -> bool {
+    flops::flops_reduction(shape, rank.d1, rank.d2) >= budget
+}
+
+/// The candidates (in step-32 space) that satisfy the budget for a layer.
+pub fn admissible_candidates(shape: &ConvShape, budget: f64) -> Vec<RankPair> {
+    rank_candidates(shape).into_iter().filter(|&r| meets_budget(shape, r, budget)).collect()
+}
+
+/// Among admissible candidates, the ones with the largest total rank
+/// (`max{...}` in Algorithm 1 line 3 — prefer to keep as much capacity as the
+/// budget allows).
+pub fn maximal_admissible(shape: &ConvShape, budget: f64) -> Vec<RankPair> {
+    let admissible = admissible_candidates(shape, budget);
+    let best = admissible.iter().map(|r| r.d1 + r.d2).max().unwrap_or(0);
+    admissible.into_iter().filter(|r| r.d1 + r.d2 == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_values_step_by_32() {
+        assert_eq!(rank_values(128, 32), vec![32, 64, 96, 128]);
+        assert_eq!(rank_values(96, 32), vec![32, 64, 96]);
+        // Non-multiples include the dimension itself.
+        assert_eq!(rank_values(48, 32), vec![32, 48]);
+        // Narrow layers still get one candidate.
+        assert_eq!(rank_values(16, 32), vec![16]);
+        assert_eq!(rank_values(1, 32), vec![1]);
+    }
+
+    #[test]
+    fn candidate_count_matches_paper_formula() {
+        // For C and N multiples of 32 there are (C/32) * (N/32) candidates.
+        let shape = ConvShape::same3x3(128, 96, 28, 28);
+        assert_eq!(rank_candidates(&shape).len(), 4 * 3);
+    }
+
+    #[test]
+    fn budget_test_matches_flops_reduction() {
+        let shape = ConvShape::same3x3(256, 256, 14, 14);
+        let aggressive = RankPair::new(32, 32);
+        let lazy = RankPair::new(256, 256);
+        assert!(meets_budget(&shape, aggressive, 0.6));
+        assert!(!meets_budget(&shape, lazy, 0.1));
+    }
+
+    #[test]
+    fn admissible_set_shrinks_as_budget_grows() {
+        let shape = ConvShape::same3x3(256, 256, 14, 14);
+        let loose = admissible_candidates(&shape, 0.3);
+        let tight = admissible_candidates(&shape, 0.8);
+        assert!(loose.len() >= tight.len());
+        assert!(!loose.is_empty());
+        assert!(tight.iter().all(|r| meets_budget(&shape, *r, 0.8)));
+    }
+
+    #[test]
+    fn maximal_admissible_prefers_larger_ranks() {
+        let shape = ConvShape::same3x3(256, 256, 14, 14);
+        let budget = 0.6;
+        let maximal = maximal_admissible(&shape, budget);
+        assert!(!maximal.is_empty());
+        let best_sum = maximal[0].d1 + maximal[0].d2;
+        for r in admissible_candidates(&shape, budget) {
+            assert!(r.d1 + r.d2 <= best_sum);
+        }
+    }
+
+    #[test]
+    fn impossible_budget_has_no_candidates() {
+        // A tiny layer cannot be reduced by 99.9%.
+        let shape = ConvShape::same3x3(32, 32, 7, 7);
+        assert!(admissible_candidates(&shape, 0.999).is_empty());
+        assert!(maximal_admissible(&shape, 0.999).is_empty());
+    }
+}

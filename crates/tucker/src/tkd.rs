@@ -1,0 +1,210 @@
+//! Tucker-2 decomposition of convolution kernels via truncated HOSVD.
+//!
+//! Following the paper's Eq. (1), only the channel modes of a `C×N×R×S` kernel
+//! are decomposed — the spatial modes stay intact so no spatial information is
+//! lost (the argument the paper makes against TT-based compression):
+//!
+//! ```text
+//! K(c, n, r, s) = Σ_{d1, d2} core(d1, d2, r, s) · U1(c, d1) · U2(n, d2)
+//! ```
+//!
+//! The factors come from a truncated higher-order SVD: `U1` is the leading
+//! `D1` left singular vectors of the mode-1 unfolding (`C × NRS`), `U2` the
+//! leading `D2` left singular vectors of the mode-2 unfolding (`N × CRS`), and
+//! the core is the kernel contracted with both factor transposes. The same
+//! routine is the projection operator of the ADMM K̂-update (Eq. 12).
+
+use crate::{Result, TuckerError};
+use tdc_tensor::matricize::{mode_n_product, unfold};
+use tdc_tensor::matmul::transpose;
+use tdc_tensor::svd::truncated_svd;
+use tdc_tensor::Tensor;
+
+/// The three components of a Tucker-2 decomposed convolution kernel.
+#[derive(Debug, Clone)]
+pub struct TuckerFactors {
+    /// Input-channel factor, `C × D1`.
+    pub u1: Tensor,
+    /// Output-channel factor, `N × D2`.
+    pub u2: Tensor,
+    /// Core tensor, `D1 × D2 × R × S`.
+    pub core: Tensor,
+}
+
+impl TuckerFactors {
+    /// Tucker ranks `(D1, D2)`.
+    pub fn ranks(&self) -> (usize, usize) {
+        (self.u1.dims()[1], self.u2.dims()[1])
+    }
+
+    /// Original kernel dimensions `(C, N, R, S)` this factorisation reconstructs to.
+    pub fn original_dims(&self) -> (usize, usize, usize, usize) {
+        (
+            self.u1.dims()[0],
+            self.u2.dims()[0],
+            self.core.dims()[2],
+            self.core.dims()[3],
+        )
+    }
+
+    /// Number of parameters stored by the factorised form:
+    /// `C·D1 + N·D2 + R·S·D1·D2` (paper Section 3).
+    pub fn num_params(&self) -> usize {
+        let (c, n, r, s) = self.original_dims();
+        let (d1, d2) = self.ranks();
+        c * d1 + n * d2 + r * s * d1 * d2
+    }
+
+    /// Reconstruct the dense `C×N×R×S` kernel: `core ×₁ U1 ×₂ U2`.
+    pub fn reconstruct(&self) -> Result<Tensor> {
+        // core: (D1, D2, R, S); contract mode 0 with U1 (C×D1) and mode 1 with U2 (N×D2).
+        let k = mode_n_product(&self.core, &self.u1, 0)?;
+        let k = mode_n_product(&k, &self.u2, 1)?;
+        Ok(k)
+    }
+}
+
+fn check_kernel(kernel: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if kernel.rank() != 4 {
+        return Err(TuckerError::BadKernel {
+            expected: "C×N×R×S (rank 4)".into(),
+            actual: kernel.dims().to_vec(),
+        });
+    }
+    let d = kernel.dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Tucker-2 decomposition of a CNRS kernel with target ranks `(d1, d2)`.
+pub fn tucker2(kernel: &Tensor, d1: usize, d2: usize) -> Result<TuckerFactors> {
+    let (c, n, _r, _s) = check_kernel(kernel)?;
+    if d1 == 0 || d1 > c {
+        return Err(TuckerError::BadRank { rank: d1, dim: c, which: "input channel (C)" });
+    }
+    if d2 == 0 || d2 > n {
+        return Err(TuckerError::BadRank { rank: d2, dim: n, which: "output channel (N)" });
+    }
+
+    // Mode-1 (C axis) and mode-2 (N axis) unfoldings and their leading
+    // singular vectors.
+    let m1 = unfold(kernel, 0)?; // C × (N·R·S)
+    let m2 = unfold(kernel, 1)?; // N × (C·R·S)
+    let u1 = truncated_svd(&m1, d1)?.u; // C × D1
+    let u2 = truncated_svd(&m2, d2)?.u; // N × D2
+
+    // Core = K ×₁ U1ᵀ ×₂ U2ᵀ.
+    let core = mode_n_product(kernel, &transpose(&u1)?, 0)?;
+    let core = mode_n_product(&core, &transpose(&u2)?, 1)?;
+
+    Ok(TuckerFactors { u1, u2, core })
+}
+
+/// The projection operator of the ADMM K̂-update (Eq. 12): decompose with
+/// truncated HOSVD at ranks `(d1, d2)` and immediately reconstruct, yielding
+/// the closest-in-practice kernel that satisfies the rank constraint.
+pub fn project(kernel: &Tensor, d1: usize, d2: usize) -> Result<Tensor> {
+    tucker2(kernel, d1, d2)?.reconstruct()
+}
+
+/// Relative Frobenius reconstruction error of a rank-`(d1, d2)` Tucker-2
+/// approximation of `kernel`.
+pub fn reconstruction_error(kernel: &Tensor, d1: usize, d2: usize) -> Result<f32> {
+    let approx = project(kernel, d1, d2)?;
+    Ok(approx.relative_error(kernel)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tdc_tensor::init;
+
+    fn random_kernel(c: usize, n: usize, r: usize, s: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::uniform(vec![c, n, r, s], -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn full_rank_decomposition_is_exact() {
+        let k = random_kernel(8, 6, 3, 3, 1);
+        let f = tucker2(&k, 8, 6).unwrap();
+        assert_eq!(f.ranks(), (8, 6));
+        let rec = f.reconstruct().unwrap();
+        assert!(rec.relative_error(&k).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn factor_shapes_and_param_count() {
+        let k = random_kernel(16, 12, 3, 3, 2);
+        let f = tucker2(&k, 5, 4).unwrap();
+        assert_eq!(f.u1.dims(), &[16, 5]);
+        assert_eq!(f.u2.dims(), &[12, 4]);
+        assert_eq!(f.core.dims(), &[5, 4, 3, 3]);
+        assert_eq!(f.num_params(), 16 * 5 + 12 * 4 + 9 * 5 * 4);
+        assert_eq!(f.original_dims(), (16, 12, 3, 3));
+        // Compression actually reduces the parameter count.
+        assert!(f.num_params() < k.numel());
+    }
+
+    #[test]
+    fn low_rank_kernel_recovers_exactly_at_its_rank() {
+        // Build a kernel that is exactly Tucker-rank (3, 2) and check that
+        // decomposing at (3, 2) reconstructs it, while (2, 1) cannot.
+        let mut rng = StdRng::seed_from_u64(3);
+        let u1 = init::uniform(vec![10, 3], -1.0, 1.0, &mut rng);
+        let u2 = init::uniform(vec![8, 2], -1.0, 1.0, &mut rng);
+        let core = init::uniform(vec![3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let k = TuckerFactors { u1, u2, core }.reconstruct().unwrap();
+
+        assert!(reconstruction_error(&k, 3, 2).unwrap() < 1e-3);
+        assert!(reconstruction_error(&k, 2, 1).unwrap() > 0.05);
+    }
+
+    #[test]
+    fn error_decreases_monotonically_with_rank() {
+        let k = random_kernel(12, 10, 3, 3, 4);
+        let mut last = f32::INFINITY;
+        for d in 1..=10 {
+            let err = reconstruction_error(&k, d, d).unwrap();
+            assert!(err <= last + 1e-4, "error should not grow with rank: d={d}, {err} > {last}");
+            last = err;
+        }
+        assert!(reconstruction_error(&k, 12, 10).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn factors_have_orthonormal_columns() {
+        let k = random_kernel(14, 9, 3, 3, 5);
+        let f = tucker2(&k, 6, 5).unwrap();
+        assert!(tdc_tensor::linalg::orthonormality_defect(&f.u1).unwrap() < 1e-3);
+        assert!(tdc_tensor::linalg::orthonormality_defect(&f.u2).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let k = random_kernel(10, 8, 3, 3, 6);
+        let once = project(&k, 4, 3).unwrap();
+        let twice = project(&once, 4, 3).unwrap();
+        assert!(twice.relative_error(&once).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_ranks_and_kernels_are_rejected() {
+        let k = random_kernel(8, 6, 3, 3, 7);
+        assert!(tucker2(&k, 0, 3).is_err());
+        assert!(tucker2(&k, 9, 3).is_err());
+        assert!(tucker2(&k, 3, 7).is_err());
+        let not_4d = Tensor::zeros(vec![8, 6, 3]);
+        assert!(tucker2(&not_4d, 2, 2).is_err());
+    }
+
+    #[test]
+    fn works_for_1x1_kernels_too() {
+        // Tucker-2 of a 1x1 convolution degenerates to a matrix factorisation.
+        let k = random_kernel(16, 8, 1, 1, 8);
+        let f = tucker2(&k, 4, 4).unwrap();
+        assert_eq!(f.core.dims(), &[4, 4, 1, 1]);
+        let err = f.reconstruct().unwrap().relative_error(&k).unwrap();
+        assert!(err < 1.0);
+    }
+}

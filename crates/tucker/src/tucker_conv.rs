@@ -1,0 +1,167 @@
+//! The Tucker-format convolution layer (paper Eq. 2–4, Figure 3).
+//!
+//! A decomposed layer executes three small convolutions back to back:
+//!
+//! 1. a 1×1 convolution with `U1` taking the input from `C` channels to the
+//!    latent `D1` channels (Eq. 2),
+//! 2. the `R×S` **core** convolution from `D1` to `D2` channels (Eq. 3) — the
+//!    kernel the TDC GPU scheme is designed for,
+//! 3. a 1×1 convolution with `U2ᵀ` expanding `D2` back to the original `N`
+//!    output channels (Eq. 4).
+//!
+//! The composition is mathematically equivalent to convolving with the
+//! reconstructed kernel, which the tests verify against the direct reference.
+
+use crate::tkd::TuckerFactors;
+use crate::{Result, TuckerError};
+use tdc_conv::{direct, ConvShape};
+use tdc_tensor::{matmul::transpose, Tensor};
+
+/// A Tucker-format convolution layer for batch-1 HWC inference.
+#[derive(Debug, Clone)]
+pub struct TuckerConv {
+    /// The convolution this layer replaces.
+    pub original_shape: ConvShape,
+    /// Input-channel mixing matrix, `C × D1`.
+    pub u1: Tensor,
+    /// Core kernel in CNRS layout: `D1 × D2 × R × S`.
+    pub core: Tensor,
+    /// Output-channel mixing matrix, `D2 × N` (i.e. `U2ᵀ`).
+    pub u2_t: Tensor,
+}
+
+impl TuckerConv {
+    /// Build the layer from Tucker factors of the original kernel.
+    pub fn from_factors(original_shape: ConvShape, factors: &TuckerFactors) -> Result<Self> {
+        let (c, n, r, s) = factors.original_dims();
+        if c != original_shape.c || n != original_shape.n || r != original_shape.r || s != original_shape.s
+        {
+            return Err(TuckerError::BadKernel {
+                expected: format!("{:?}", original_shape.kernel_dims()),
+                actual: vec![c, n, r, s],
+            });
+        }
+        Ok(TuckerConv {
+            original_shape,
+            u1: factors.u1.clone(),
+            core: factors.core.clone(),
+            u2_t: transpose(&factors.u2)?,
+        })
+    }
+
+    /// Tucker ranks `(D1, D2)`.
+    pub fn ranks(&self) -> (usize, usize) {
+        (self.u1.dims()[1], self.u2_t.dims()[0])
+    }
+
+    /// The shape of the core convolution — the input the TDC kernel-design and
+    /// rank-selection machinery works with.
+    pub fn core_shape(&self) -> ConvShape {
+        let (d1, d2) = self.ranks();
+        self.original_shape.with_ranks(d1, d2)
+    }
+
+    /// Number of parameters of the factorised layer.
+    pub fn num_params(&self) -> usize {
+        self.u1.numel() + self.core.numel() + self.u2_t.numel()
+    }
+
+    /// Forward pass on a single HWC input, executing the three convolutions.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let shape = &self.original_shape;
+        if input.dims() != shape.input_dims().as_slice() {
+            return Err(TuckerError::BadKernel {
+                expected: format!("{:?}", shape.input_dims()),
+                actual: input.dims().to_vec(),
+            });
+        }
+        // Eq. (2): channel-wise 1x1 convolution C -> D1.
+        let z1 = direct::conv1x1(input, &self.u1)?;
+        // Eq. (3): the R x S core convolution D1 -> D2 (carries pad/stride).
+        let core_shape = self.core_shape();
+        let z2 = direct::conv2d(&z1, &self.core, &core_shape)?;
+        // Eq. (4): channel-wise 1x1 convolution D2 -> N.
+        let y = direct::conv1x1(&z2, &self.u2_t)?;
+        Ok(y)
+    }
+
+    /// Reconstruct the dense kernel this layer is equivalent to.
+    pub fn reconstruct_kernel(&self) -> Result<Tensor> {
+        let factors = TuckerFactors {
+            u1: self.u1.clone(),
+            u2: transpose(&self.u2_t)?,
+            core: self.core.clone(),
+        };
+        factors.reconstruct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tkd::tucker2;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tdc_tensor::init;
+
+    fn setup(shape: ConvShape, d1: usize, d2: usize, seed: u64) -> (Tensor, Tensor, TuckerConv) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
+        let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
+        let factors = tucker2(&kernel, d1, d2).unwrap();
+        let layer = TuckerConv::from_factors(shape, &factors).unwrap();
+        (input, kernel, layer)
+    }
+
+    #[test]
+    fn full_rank_layer_matches_dense_convolution() {
+        let shape = ConvShape::same3x3(6, 8, 9, 9);
+        let (input, kernel, layer) = setup(shape, 6, 8, 1);
+        let dense = direct::conv2d(&input, &kernel, &shape).unwrap();
+        let tucker = layer.forward(&input).unwrap();
+        assert!(tucker.relative_error(&dense).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn truncated_layer_matches_convolution_with_reconstructed_kernel() {
+        // The key equivalence: the three-stage pipeline equals convolving with
+        // the (low-rank) reconstructed kernel, regardless of the truncation.
+        for (shape, d1, d2) in [
+            (ConvShape::same3x3(8, 10, 7, 7), 3, 4),
+            (ConvShape::core(6, 6, 8, 8), 2, 5),
+            (ConvShape::new(5, 7, 9, 9, 3, 3, 1, 2), 2, 3),
+        ] {
+            let (input, _, layer) = setup(shape, d1, d2, 7);
+            let reconstructed = layer.reconstruct_kernel().unwrap();
+            let expected = direct::conv2d(&input, &reconstructed, &shape).unwrap();
+            let got = layer.forward(&input).unwrap();
+            assert!(
+                got.relative_error(&expected).unwrap() < 1e-3,
+                "mismatch for {shape} at ranks ({d1},{d2})"
+            );
+        }
+    }
+
+    #[test]
+    fn output_shape_and_ranks_and_params() {
+        let shape = ConvShape::same3x3(16, 12, 10, 10);
+        let (input, _, layer) = setup(shape, 5, 4, 3);
+        assert_eq!(layer.ranks(), (5, 4));
+        assert_eq!(layer.core_shape(), shape.with_ranks(5, 4));
+        assert_eq!(layer.num_params(), 16 * 5 + 5 * 4 * 9 + 4 * 12);
+        let y = layer.forward(&input).unwrap();
+        assert_eq!(y.dims(), shape.output_dims().as_slice());
+    }
+
+    #[test]
+    fn mismatched_factors_or_inputs_are_rejected() {
+        let shape = ConvShape::same3x3(6, 8, 9, 9);
+        let (_, kernel, _) = setup(shape, 3, 3, 5);
+        let factors = tucker2(&kernel, 3, 3).unwrap();
+        let wrong_shape = ConvShape::same3x3(7, 8, 9, 9);
+        assert!(TuckerConv::from_factors(wrong_shape, &factors).is_err());
+
+        let (_, _, layer) = setup(shape, 3, 3, 5);
+        let bad_input = Tensor::zeros(vec![9, 9, 5]);
+        assert!(layer.forward(&bad_input).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the Tucker crate: decomposition invariants, the
+//! equivalence of the factorised layer with the dense convolution, and the
+//! rank/budget arithmetic.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use tdc_conv::{direct, ConvShape};
+use tdc_tensor::init;
+use tdc_tucker::rank::{meets_budget, rank_candidates_with_step, rank_values, RankPair};
+use tdc_tucker::tkd::{project, tucker2};
+use tdc_tucker::tucker_conv::TuckerConv;
+use tdc_tucker::flops;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tucker_factor_shapes_and_param_formula(c in 2usize..10, n in 2usize..10, d1 in 1usize..10, d2 in 1usize..10, seed in 0u64..1000) {
+        let d1 = d1.min(c);
+        let d2 = d2.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = init::uniform(vec![c, n, 3, 3], -1.0, 1.0, &mut rng);
+        let f = tucker2(&kernel, d1, d2).unwrap();
+        prop_assert_eq!(f.u1.dims(), &[c, d1]);
+        prop_assert_eq!(f.u2.dims(), &[n, d2]);
+        prop_assert_eq!(f.core.dims(), &[d1, d2, 3, 3]);
+        prop_assert_eq!(f.num_params(), c * d1 + n * d2 + 9 * d1 * d2);
+        let reconstructed = f.reconstruct().unwrap();
+        prop_assert_eq!(reconstructed.dims(), kernel.dims());
+    }
+
+    #[test]
+    fn projection_never_increases_rank_error_when_ranks_grow(c in 3usize..9, n in 3usize..9, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = init::uniform(vec![c, n, 3, 3], -1.0, 1.0, &mut rng);
+        let small = project(&kernel, 1, 1).unwrap().relative_error(&kernel).unwrap();
+        let large = project(&kernel, c, n).unwrap().relative_error(&kernel).unwrap();
+        prop_assert!(large <= small + 1e-4);
+        prop_assert!(large < 1e-3);
+    }
+
+    #[test]
+    fn tucker_layer_equals_convolution_with_reconstructed_kernel(
+        c in 2usize..6, n in 2usize..6, hw in 5usize..9, d1 in 1usize..6, d2 in 1usize..6, seed in 0u64..1000
+    ) {
+        let d1 = d1.min(c);
+        let d2 = d2.min(n);
+        let shape = ConvShape::same3x3(c, n, hw, hw);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
+        let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
+        let factors = tucker2(&kernel, d1, d2).unwrap();
+        let layer = TuckerConv::from_factors(shape, &factors).unwrap();
+        let via_layer = layer.forward(&input).unwrap();
+        let via_dense = direct::conv2d(&input, &layer.reconstruct_kernel().unwrap(), &shape).unwrap();
+        prop_assert!(via_layer.relative_error(&via_dense).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn rank_values_are_sorted_unique_and_bounded(dim in 1usize..512, step in 1usize..64) {
+        let vals = rank_values(dim, step);
+        prop_assert!(!vals.is_empty());
+        prop_assert!(vals.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(vals.iter().all(|&v| v >= 1 && v <= dim));
+    }
+
+    #[test]
+    fn budget_test_is_monotone_in_ranks(c in 2usize..9, n in 2usize..9, hw in 7usize..29, budget in 0.1f64..0.9) {
+        let shape = ConvShape::same3x3(c * 16, n * 16, hw, hw);
+        // If a larger rank pair meets the budget, every smaller pair does too.
+        let candidates = rank_candidates_with_step(&shape, 16);
+        for r in &candidates {
+            if meets_budget(&shape, *r, budget) {
+                let smaller = RankPair::new((r.d1 / 2).max(1), (r.d2 / 2).max(1));
+                prop_assert!(
+                    meets_budget(&shape, smaller, budget),
+                    "smaller ranks {smaller} should also meet the budget met by {r}"
+                );
+            }
+        }
+        // γF of the smallest candidate is at least that of the largest.
+        let first = candidates.first().unwrap();
+        let last = candidates.last().unwrap();
+        prop_assert!(
+            flops::gamma_f(&shape, first.d1, first.d2) >= flops::gamma_f(&shape, last.d1, last.d2) - 1e-9
+        );
+    }
+}

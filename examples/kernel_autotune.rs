@@ -1,0 +1,41 @@
+//! Compare the TDC kernel (oracle and analytical-model tiling) against the
+//! cuDNN algorithm families and the TVM scheme for one convolution shape on
+//! both devices — the per-shape slice of Figures 6/7.
+//!
+//! Run with: `cargo run --release --example kernel_autotune [C N H W]`
+//! (defaults to the 160x96x28x28 shape from the paper's evaluation set).
+
+use tdc::tiling::{select, TilingStrategy};
+use tdc_conv::cost::{algorithm_latency_ms, ConvAlgorithm};
+use tdc_conv::ConvShape;
+use tdc_gpu_sim::DeviceSpec;
+
+fn parse_shape() -> ConvShape {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    if args.len() == 4 {
+        ConvShape::same3x3(args[0], args[1], args[2], args[3])
+    } else {
+        ConvShape::same3x3(160, 96, 28, 28)
+    }
+}
+
+fn main() {
+    let shape = parse_shape();
+    println!("Autotuning the core convolution {shape}\n");
+    for device in [DeviceSpec::a100(), DeviceSpec::rtx2080ti()] {
+        println!("== {} ==", device.name);
+        for alg in [
+            ConvAlgorithm::CudnnFft,
+            ConvAlgorithm::CudnnWinograd,
+            ConvAlgorithm::CudnnGemm,
+            ConvAlgorithm::Tvm,
+        ] {
+            println!("  {:<16} {:>10.4} ms", alg.label(), algorithm_latency_ms(alg, &shape, &device));
+        }
+        let model = select(&shape, &device, TilingStrategy::Model).expect("model tiling");
+        let oracle = select(&shape, &device, TilingStrategy::Oracle).expect("oracle tiling");
+        println!("  {:<16} {:>10.4} ms  (tiling {})", "TDC-MODELING", model.latency_ms, model.tiling);
+        println!("  {:<16} {:>10.4} ms  (tiling {})", "TDC-ORACLE", oracle.latency_ms, oracle.tiling);
+        println!();
+    }
+}

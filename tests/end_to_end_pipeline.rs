@@ -1,0 +1,91 @@
+//! Cross-crate integration test: the full latency-side pipeline on a real
+//! model descriptor, asserting the qualitative results the paper's Figures 8/9
+//! report.
+
+use tdc::inference::Backend;
+use tdc::pipeline::TdcPipeline;
+use tdc::rank_select::Decision;
+use tdc::tiling::TilingStrategy;
+use tdc_gpu_sim::DeviceSpec;
+use tdc_nn::models::{resnet18_descriptor, vgg16_descriptor};
+
+#[test]
+fn resnet18_plan_reproduces_the_figure8_ordering_on_a100() {
+    let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
+    let plan = pipeline.plan(&resnet18_descriptor(), 0.6).expect("plan");
+
+    let ms = |b: Backend| plan.report(b).unwrap().total_ms;
+    let original = ms(Backend::OriginalCudnn);
+    let tk_cudnn = ms(Backend::TuckerCudnn);
+    let tdc_oracle = ms(Backend::TuckerTdcOracle);
+    let tdc_model = ms(Backend::TuckerTdcModel);
+
+    // Paper Figure 8 orderings (relative, not absolute):
+    assert!(tdc_oracle <= tdc_model + 1e-9, "oracle should be at least as fast as model tiling");
+    assert!(tdc_model < tk_cudnn, "the TDC kernel should beat cuDNN on the compressed model");
+    assert!(tk_cudnn < original, "compression alone should already beat the original model");
+
+    // Speedups in a plausible band around the paper's 2.2x / 3.3x.
+    let speedup_vs_original = original / tdc_oracle;
+    let speedup_vs_cudnn = tk_cudnn / tdc_oracle;
+    assert!(
+        speedup_vs_original > 1.3 && speedup_vs_original < 25.0,
+        "speedup over original = {speedup_vs_original}"
+    );
+    assert!(speedup_vs_cudnn > 1.05 && speedup_vs_cudnn < 10.0, "speedup over TK-cuDNN = {speedup_vs_cudnn}");
+}
+
+#[test]
+fn generated_kernels_cover_every_decomposed_layer_shape() {
+    let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
+    let plan = pipeline.plan(&resnet18_descriptor(), 0.6).expect("plan");
+    assert!(!plan.kernels.is_empty());
+    for d in &plan.decisions {
+        if let Decision::Decompose { rank, .. } = d.decision {
+            let core = d.shape.with_ranks(rank.d1, rank.d2);
+            let found = plan.kernels.iter().any(|k| {
+                k.threads_per_block == core.n && k.source.contains(&format!("#define C        {}", core.c))
+            });
+            assert!(found, "no generated kernel for core shape {core}");
+        }
+    }
+    // Every generated kernel follows the Listing-2 structure.
+    for k in &plan.kernels {
+        assert_eq!(k.source.matches("__syncthreads()").count(), 1);
+        assert!(k.source.contains("atomicAdd"));
+    }
+}
+
+#[test]
+fn both_devices_produce_consistent_plans_for_vgg16() {
+    for device in [DeviceSpec::a100(), DeviceSpec::rtx2080ti()] {
+        let pipeline = TdcPipeline::new(device.clone(), TilingStrategy::Model);
+        let plan = pipeline.plan(&vgg16_descriptor(), 0.5).expect("plan");
+        assert_eq!(plan.decisions.len(), 13);
+        let original = plan.report(Backend::OriginalCudnn).unwrap().total_ms;
+        let tdc = plan.report(Backend::TuckerTdcModel).unwrap().total_ms;
+        assert!(tdc <= original, "TDC should not be slower end-to-end on {}", device.name);
+        // Latency reports are internally consistent.
+        for r in &plan.reports {
+            let layer_sum: f64 = r.layers.iter().map(|l| l.ms).sum();
+            assert!((layer_sum - r.conv_ms).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn a100_is_faster_than_2080ti_for_the_same_plan() {
+    let model = resnet18_descriptor();
+    let a100 = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model)
+        .plan(&model, 0.6)
+        .expect("a100 plan");
+    let ti = TdcPipeline::new(DeviceSpec::rtx2080ti(), TilingStrategy::Model)
+        .plan(&model, 0.6)
+        .expect("2080ti plan");
+    for backend in Backend::all() {
+        assert!(
+            a100.report(backend).unwrap().total_ms < ti.report(backend).unwrap().total_ms,
+            "{backend:?} should be faster on the A100"
+        );
+    }
+}
