@@ -12,15 +12,22 @@ use tdc_gpu_sim::DeviceSpec;
 fn bench_staircase(c: &mut Criterion) {
     let device = DeviceSpec::rtx2080ti();
     let mut group = c.benchmark_group("fig4_staircase");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &n in &[32usize, 128, 256] {
         let shape = ConvShape::same3x3(64, n, 28, 28);
-        group.bench_with_input(BenchmarkId::new("model_selection_28x28", n), &shape, |b, s| {
-            b.iter(|| select_by_model(s, &device).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("oracle_selection_28x28", n), &shape, |b, s| {
-            b.iter(|| select_by_oracle(s, &device).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("model_selection_28x28", n),
+            &shape,
+            |b, s| b.iter(|| select_by_model(s, &device).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oracle_selection_28x28", n),
+            &shape,
+            |b, s| b.iter(|| select_by_oracle(s, &device).unwrap()),
+        );
     }
     group.finish();
 }

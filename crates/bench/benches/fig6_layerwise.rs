@@ -17,7 +17,10 @@ fn bench_layerwise(c: &mut Criterion) {
         ("large", ConvShape::same3x3(64, 32, 112, 112)),
     ];
     let mut group = c.benchmark_group("fig6_layerwise");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (label, shape) in shapes {
         for alg in [
             ConvAlgorithm::CudnnGemm,

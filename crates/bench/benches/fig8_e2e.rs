@@ -18,7 +18,10 @@ fn bench_e2e(c: &mut Criterion) {
     let summary = select_ranks(&model, &device, &RankSelectionConfig::default()).unwrap();
 
     let mut group = c.benchmark_group("fig8_e2e_resnet18_a100");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     for backend in Backend::all() {
         group.bench_function(format!("{backend:?}"), |b| {
             b.iter(|| model_latency(&model, &summary.decisions, backend, &device).unwrap())

@@ -20,11 +20,22 @@ fn bench_cpu_kernels(c: &mut Criterion) {
     let tvm_tile = tvm_scheme::TvmTile::new(7, 7);
 
     let mut group = c.benchmark_group("cpu_conv_32x32x28x28");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    group.bench_function("direct", |b| b.iter(|| direct::conv2d(&input, &kernel, &shape).unwrap()));
-    group.bench_function("im2col_gemm", |b| b.iter(|| im2col::conv2d(&input, &kernel, &shape).unwrap()));
-    group.bench_function("winograd_f2x3", |b| b.iter(|| winograd::conv2d(&input, &kernel, &shape).unwrap()));
-    group.bench_function("fft", |b| b.iter(|| fft::conv2d(&input, &kernel, &shape).unwrap()));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function("direct", |b| {
+        b.iter(|| direct::conv2d(&input, &kernel, &shape).unwrap())
+    });
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| im2col::conv2d(&input, &kernel, &shape).unwrap())
+    });
+    group.bench_function("winograd_f2x3", |b| {
+        b.iter(|| winograd::conv2d(&input, &kernel, &shape).unwrap())
+    });
+    group.bench_function("fft", |b| {
+        b.iter(|| fft::conv2d(&input, &kernel, &shape).unwrap())
+    });
     group.bench_function("tvm_scheme", |b| {
         b.iter(|| tvm_scheme::run(&input, &kernel, &shape, &tvm_tile).unwrap())
     });

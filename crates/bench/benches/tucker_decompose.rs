@@ -19,10 +19,19 @@ fn bench_tucker(c: &mut Criterion) {
     let layer = TuckerConv::from_factors(shape, &factors).unwrap();
 
     let mut group = c.benchmark_group("tucker_256x256x3x3");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    group.bench_function("tucker2_rank64", |b| b.iter(|| tucker2(&kernel, 64, 64).unwrap()));
-    group.bench_function("admm_projection_rank64", |b| b.iter(|| project(&kernel, 64, 64).unwrap()));
-    group.bench_function("tucker_layer_forward_14x14", |b| b.iter(|| layer.forward(&input).unwrap()));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function("tucker2_rank64", |b| {
+        b.iter(|| tucker2(&kernel, 64, 64).unwrap())
+    });
+    group.bench_function("admm_projection_rank64", |b| {
+        b.iter(|| project(&kernel, 64, 64).unwrap())
+    });
+    group.bench_function("tucker_layer_forward_14x14", |b| {
+        b.iter(|| layer.forward(&input).unwrap())
+    });
     group.finish();
 }
 

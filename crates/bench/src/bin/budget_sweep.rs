@@ -23,19 +23,40 @@ fn main() {
     train(
         &mut base_net,
         &train_set,
-        &TrainConfig { epochs: 10, batch_size: 16, learning_rate: 0.05, ..Default::default() },
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
     )
     .expect("pre-training");
     let baseline = evaluate(&mut base_net, &test_set, 16).expect("baseline eval");
 
     let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
-    let mut table = TextTable::new(&["target budget", "achieved FLOPs reduction", "Top-1 accuracy"]);
-    table.row(&["0% (baseline)".into(), "0.0%".into(), fmt_pct(baseline as f64)]);
+    let mut table = TextTable::new(&[
+        "target budget",
+        "achieved FLOPs reduction",
+        "Top-1 accuracy",
+    ]);
+    table.row(&[
+        "0% (baseline)".into(),
+        "0.0%".into(),
+        fmt_pct(baseline as f64),
+    ]);
 
     for &budget in &[0.5f64, 0.65, 0.75, 0.85] {
-        eprintln!("[budget_sweep] compressing at budget {}...", fmt_pct(budget));
+        eprintln!(
+            "[budget_sweep] compressing at budget {}...",
+            fmt_pct(budget)
+        );
         let mut net = base_net.clone();
-        let admm = AdmmConfig { epochs: 5, finetune_epochs: 3, batch_size: 16, ..Default::default() };
+        let admm = AdmmConfig {
+            epochs: 5,
+            finetune_epochs: 3,
+            batch_size: 16,
+            ..Default::default()
+        };
         let result = pipeline
             .compress_and_train(&mut net, &train_set, &test_set, budget, 2, admm)
             .expect("compression");

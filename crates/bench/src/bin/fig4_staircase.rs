@@ -8,7 +8,10 @@ use tdc_gpu_sim::DeviceSpec;
 
 fn main() {
     let device = DeviceSpec::rtx2080ti();
-    println!("Figure 4 — core convolution latency vs. output channels ({})", device.name);
+    println!(
+        "Figure 4 — core convolution latency vs. output channels ({})",
+        device.name
+    );
     println!("(C = 64 fixed, N swept 32..256, TDC kernel with model-selected tiling)\n");
     staircase_figure(&device);
     println!(

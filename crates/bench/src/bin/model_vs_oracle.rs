@@ -10,13 +10,27 @@ use tdc_conv::shapes::figure6_shapes;
 use tdc_gpu_sim::DeviceSpec;
 
 fn report(device: &DeviceSpec) {
-    println!("Analytical model vs. oracle tiling selection on {}\n", device.name);
-    let mut table = TextTable::new(&["shape (C,N,H,W)", "oracle (ms)", "model (ms)", "model/oracle", "TVM (ms)", "TVM/model"]);
+    println!(
+        "Analytical model vs. oracle tiling selection on {}\n",
+        device.name
+    );
+    let mut table = TextTable::new(&[
+        "shape (C,N,H,W)",
+        "oracle (ms)",
+        "model (ms)",
+        "model/oracle",
+        "TVM (ms)",
+        "TVM/model",
+    ]);
     let mut model_vs_oracle = Vec::new();
     let mut tvm_vs_model = Vec::new();
     for shape in figure6_shapes() {
-        let oracle = select(&shape, device, TilingStrategy::Oracle).unwrap().latency_ms;
-        let model = select(&shape, device, TilingStrategy::Model).unwrap().latency_ms;
+        let oracle = select(&shape, device, TilingStrategy::Oracle)
+            .unwrap()
+            .latency_ms;
+        let model = select(&shape, device, TilingStrategy::Model)
+            .unwrap()
+            .latency_ms;
         let tvm = algorithm_latency_ms(ConvAlgorithm::Tvm, &shape, device);
         model_vs_oracle.push(model / oracle);
         tvm_vs_model.push(tvm / model);
@@ -30,8 +44,14 @@ fn report(device: &DeviceSpec) {
         ]);
     }
     println!("{}", table.render());
-    println!("geomean model/oracle ratio : {:.2} (paper reports ~1.25)", geomean(&model_vs_oracle));
-    println!("geomean TVM speedup of model: {} (paper reports ~1.5x)\n", fmt_x(geomean(&tvm_vs_model)));
+    println!(
+        "geomean model/oracle ratio : {:.2} (paper reports ~1.25)",
+        geomean(&model_vs_oracle)
+    );
+    println!(
+        "geomean TVM speedup of model: {} (paper reports ~1.5x)\n",
+        fmt_x(geomean(&tvm_vs_model))
+    );
 }
 
 fn main() {

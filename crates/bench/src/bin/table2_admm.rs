@@ -29,19 +29,33 @@ fn main() {
     let mut net = resnet_cifar(8, 1, 16, 16, 3, 10, &mut rng);
 
     eprintln!("[table2] pre-training the baseline...");
-    let cfg = TrainConfig { epochs: 10, batch_size: 16, learning_rate: 0.05, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 16,
+        learning_rate: 0.05,
+        ..Default::default()
+    };
     train(&mut net, &train_set, &cfg).expect("baseline training");
     let baseline = evaluate(&mut net, &test_set, 16).expect("baseline eval");
 
     eprintln!("[table2] compressing with direct projection and with ADMM...");
     let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
-    let admm = AdmmConfig { epochs: 6, finetune_epochs: 3, batch_size: 16, ..Default::default() };
+    let admm = AdmmConfig {
+        epochs: 6,
+        finetune_epochs: 3,
+        batch_size: 16,
+        ..Default::default()
+    };
     let result = pipeline
         .compress_and_train(&mut net, &train_set, &test_set, 0.6, 2, admm)
         .expect("compression");
 
     let mut table = TextTable::new(&["Method", "Top-1 accuracy", "FLOPs reduction"]);
-    table.row(&["Baseline (no compression)".into(), fmt_pct(baseline as f64), "N/A".into()]);
+    table.row(&[
+        "Baseline (no compression)".into(),
+        fmt_pct(baseline as f64),
+        "N/A".into(),
+    ]);
     table.row(&[
         "Direct Compression (project, no ADMM)".into(),
         fmt_pct(result.direct_accuracy as f64),

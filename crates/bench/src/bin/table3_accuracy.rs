@@ -35,37 +35,77 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
 
     let families = vec![
-        Family { name: "ResNet family (ResNet-18/50 stand-in)", budget: 0.6, net: resnet_cifar(8, 1, 16, 16, 3, 10, &mut rng) },
-        Family { name: "VGG family (VGG-16 stand-in)", budget: 0.6, net: vgg_like(8, 16, 16, 3, 10, &mut rng) },
-        Family { name: "DenseNet family (compact stand-in)", budget: 0.3, net: tiny_cnn(16, 16, 3, 10, 16, &mut rng) },
+        Family {
+            name: "ResNet family (ResNet-18/50 stand-in)",
+            budget: 0.6,
+            net: resnet_cifar(8, 1, 16, 16, 3, 10, &mut rng),
+        },
+        Family {
+            name: "VGG family (VGG-16 stand-in)",
+            budget: 0.6,
+            net: vgg_like(8, 16, 16, 3, 10, &mut rng),
+        },
+        Family {
+            name: "DenseNet family (compact stand-in)",
+            budget: 0.3,
+            net: tiny_cnn(16, 16, 3, 10, 16, &mut rng),
+        },
     ];
 
-    let mut table = TextTable::new(&["Model family", "Method", "Top-1 accuracy", "FLOPs reduction"]);
+    let mut table = TextTable::new(&[
+        "Model family",
+        "Method",
+        "Top-1 accuracy",
+        "FLOPs reduction",
+    ]);
     let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
-    let train_cfg = TrainConfig { epochs: 10, batch_size: 16, learning_rate: 0.05, ..Default::default() };
+    let train_cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 16,
+        learning_rate: 0.05,
+        ..Default::default()
+    };
 
     for family in families {
         eprintln!("[table3] {}: pre-training...", family.name);
         let mut net = family.net;
         train(&mut net, &train_set, &train_cfg).expect("pre-training");
         let baseline = evaluate(&mut net, &test_set, 16).expect("baseline eval");
-        table.row(&[family.name.into(), "Original (no compression)".into(), fmt_pct(baseline as f64), "N/A".into()]);
+        table.row(&[
+            family.name.into(),
+            "Original (no compression)".into(),
+            fmt_pct(baseline as f64),
+            "N/A".into(),
+        ]);
 
         // Std. TKD analogue: decompose the pre-trained model and retrain.
-        eprintln!("[table3] {}: decompose-and-retrain baseline...", family.name);
+        eprintln!(
+            "[table3] {}: decompose-and-retrain baseline...",
+            family.name
+        );
         let ranks = pipeline
             .select_ranks_for_network(&net, family.budget, 2)
             .expect("rank selection");
         let mut std_tkd = net.clone();
         direct_compress(&mut std_tkd, &ranks).expect("direct compression");
         let no_retrain_acc = evaluate(&mut std_tkd, &test_set, 16).expect("eval");
-        let retrain_cfg = TrainConfig { epochs: 4, batch_size: 16, learning_rate: 0.01, ..Default::default() };
+        let retrain_cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            learning_rate: 0.01,
+            ..Default::default()
+        };
         train(&mut std_tkd, &train_set, &retrain_cfg).expect("retraining");
         let std_tkd_acc = evaluate(&mut std_tkd, &test_set, 16).expect("eval");
 
         // TDC: ADMM-based compression at the same budget.
         eprintln!("[table3] {}: TDC ADMM compression...", family.name);
-        let admm = AdmmConfig { epochs: 6, finetune_epochs: 3, batch_size: 16, ..Default::default() };
+        let admm = AdmmConfig {
+            epochs: 6,
+            finetune_epochs: 3,
+            batch_size: 16,
+            ..Default::default()
+        };
         let mut tdc_net = net.clone();
         let result = pipeline
             .compress_and_train(&mut tdc_net, &train_set, &test_set, family.budget, 2, admm)

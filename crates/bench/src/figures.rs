@@ -26,7 +26,10 @@ pub struct LayerwiseRow {
 
 /// Generate and print the Figure 6/7 layer-wise comparison for one device.
 pub fn layerwise_figure(device: &DeviceSpec, figure: &str) -> Vec<LayerwiseRow> {
-    println!("{figure} — per-layer core convolution runtime on {}\n", device.name);
+    println!(
+        "{figure} — per-layer core convolution runtime on {}\n",
+        device.name
+    );
     let mut table = TextTable::new(&[
         "shape (C,N,H,W)",
         "cuDNN-FFT",
@@ -42,8 +45,12 @@ pub fn layerwise_figure(device: &DeviceSpec, figure: &str) -> Vec<LayerwiseRow> 
         let wino = algorithm_latency_ms(ConvAlgorithm::CudnnWinograd, &shape, device);
         let gemm = algorithm_latency_ms(ConvAlgorithm::CudnnGemm, &shape, device);
         let tvm = algorithm_latency_ms(ConvAlgorithm::Tvm, &shape, device);
-        let oracle = select(&shape, device, TilingStrategy::Oracle).expect("oracle tiling").latency_ms;
-        let model = select(&shape, device, TilingStrategy::Model).expect("model tiling").latency_ms;
+        let oracle = select(&shape, device, TilingStrategy::Oracle)
+            .expect("oracle tiling")
+            .latency_ms;
+        let model = select(&shape, device, TilingStrategy::Model)
+            .expect("model tiling")
+            .latency_ms;
         table.row(&[
             format!("({},{},{},{})", shape.c, shape.n, shape.h, shape.w),
             fmt_ms(fft),
@@ -53,17 +60,25 @@ pub fn layerwise_figure(device: &DeviceSpec, figure: &str) -> Vec<LayerwiseRow> 
             fmt_ms(oracle),
             fmt_ms(model),
         ]);
-        rows.push(LayerwiseRow { shape, ms: [fft, wino, gemm, tvm, oracle, model] });
+        rows.push(LayerwiseRow {
+            shape,
+            ms: [fft, wino, gemm, tvm, oracle, model],
+        });
     }
     println!("{}", table.render());
 
-    let ratio = |idx: usize| -> f64 { geomean(&rows.iter().map(|r| r.ms[idx] / r.ms[4]).collect::<Vec<_>>()) };
+    let ratio = |idx: usize| -> f64 {
+        geomean(&rows.iter().map(|r| r.ms[idx] / r.ms[4]).collect::<Vec<_>>())
+    };
     println!("Geometric-mean speedup of TDC-ORACLE over:");
     println!("  cuDNN-FFT      : {}", fmt_x(ratio(0)));
     println!("  cuDNN-WINOGRAD : {}", fmt_x(ratio(1)));
     println!("  cuDNN-GEMM     : {}", fmt_x(ratio(2)));
     println!("  TVM            : {}", fmt_x(ratio(3)));
-    println!("TDC-MODELING vs TDC-ORACLE (geomean ratio): {:.2}", ratio(5));
+    println!(
+        "TDC-MODELING vs TDC-ORACLE (geomean ratio): {:.2}",
+        ratio(5)
+    );
     println!(
         "\nExpected shape (paper): TDC fastest on the small/medium spatial shapes,\n\
          losing or tying only on the two large VGG shapes (224/112).\n"
@@ -118,7 +133,9 @@ pub fn end_to_end_figure(device: &DeviceSpec, figure: &str) -> Vec<EndToEndRow> 
     let mut rows = Vec::new();
     for descriptor in all_descriptors() {
         let budget = paper_budget(&descriptor.name);
-        let plan = pipeline.plan(&descriptor, budget).expect("compression plan");
+        let plan = pipeline
+            .plan(&descriptor, budget)
+            .expect("compression plan");
         let ms_of = |b: Backend| plan.report(b).expect("report").total_ms;
         let ms = [
             ms_of(Backend::OriginalCudnn),
@@ -138,7 +155,10 @@ pub fn end_to_end_figure(device: &DeviceSpec, figure: &str) -> Vec<EndToEndRow> 
             fmt_x(ms[1] / ms[3]),
             fmt_x(ms[2] / ms[3]),
         ]);
-        rows.push(EndToEndRow { model: descriptor.name.clone(), ms });
+        rows.push(EndToEndRow {
+            model: descriptor.name.clone(),
+            ms,
+        });
     }
     println!("{}", table.render());
     println!(
@@ -174,9 +194,14 @@ mod tests {
     fn layerwise_rows_cover_all_shapes_with_finite_latencies() {
         let rows = layerwise_figure(&DeviceSpec::a100(), "Figure 6 (test)");
         assert_eq!(rows.len(), 18);
-        assert!(rows.iter().all(|r| r.ms.iter().all(|m| m.is_finite() && *m > 0.0)));
+        assert!(rows
+            .iter()
+            .all(|r| r.ms.iter().all(|m| m.is_finite() && *m > 0.0)));
         // On the medium shapes TDC-oracle should be the fastest column.
-        let medium = rows.iter().find(|r| r.shape.h == 28 && r.shape.c == 160).unwrap();
+        let medium = rows
+            .iter()
+            .find(|r| r.shape.h == 28 && r.shape.c == 160)
+            .unwrap();
         let oracle = medium.ms[4];
         assert!(medium.ms[..4].iter().all(|&m| m > oracle));
     }
@@ -189,8 +214,11 @@ mod tests {
         // end clearly above where it started.
         let series = staircase_figure(&DeviceSpec::rtx2080ti());
         for label in ["28x28", "14x14"] {
-            let lat: Vec<f64> =
-                series.iter().filter(|(l, _, _)| *l == label).map(|(_, _, ms)| *ms).collect();
+            let lat: Vec<f64> = series
+                .iter()
+                .filter(|(l, _, _)| *l == label)
+                .map(|(_, _, ms)| *ms)
+                .collect();
             assert_eq!(lat.len(), 8);
             assert!(
                 lat.windows(2).all(|w| w[1] >= w[0] * 0.9),

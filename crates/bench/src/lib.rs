@@ -30,7 +30,10 @@ pub struct TextTable {
 impl TextTable {
     /// Create a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must have the same arity as the headers).

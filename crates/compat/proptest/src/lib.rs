@@ -1,0 +1,192 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property as `cases` deterministic random samples (seeded from
+//! the property's name and the case index, so failures are reproducible).
+//! There is no shrinking: a failing case panics with the drawn inputs via the
+//! ordinary `assert!` machinery. The supported surface is what this
+//! workspace's property tests use: range strategies, tuple strategies,
+//! `prop_map`, `ProptestConfig { cases }`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+
+pub use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+use rand::{Rng, SampleUniform};
+
+/// Runner configuration. Only `cases` is meaningful in this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of random values for one property input.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate_one(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate_one(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate_one(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate_one(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate_one(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate_one(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// FNV-1a over a string, for deriving per-property seeds.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                        $crate::seed_for(stringify!($name), case),
+                    );
+                    $(let $arg = ($strategy).generate_one(&mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (no shrinking; plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Map, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn mapped_tuples_work(pair in (1usize..4, 1usize..4).prop_map(|(a, b)| a * 10 + b)) {
+            let (tens, ones) = (pair / 10, pair % 10);
+            prop_assert!((1..4).contains(&tens));
+            prop_assert!((1..4).contains(&ones));
+            prop_assert_eq!(tens * 10 + ones, pair);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(super::seed_for("a", 0), super::seed_for("a", 0));
+        assert_ne!(super::seed_for("a", 0), super::seed_for("a", 1));
+        assert_ne!(super::seed_for("a", 0), super::seed_for("b", 0));
+    }
+}

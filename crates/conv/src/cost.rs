@@ -45,7 +45,11 @@ impl ConvAlgorithm {
 
     /// All cuDNN algorithm variants.
     pub fn cudnn_variants() -> [ConvAlgorithm; 3] {
-        [ConvAlgorithm::CudnnGemm, ConvAlgorithm::CudnnWinograd, ConvAlgorithm::CudnnFft]
+        [
+            ConvAlgorithm::CudnnGemm,
+            ConvAlgorithm::CudnnWinograd,
+            ConvAlgorithm::CudnnFft,
+        ]
     }
 }
 
@@ -126,10 +130,12 @@ impl ConvCostModel for CudnnWinogradCost {
         // Effective multiplies: padded tile volume / 2.25, plus ~35% transform
         // overhead (input BtdB, kernel GgGt, output AtmA).
         let padded_outputs = (grid * TILE_HW * TILE_HW * TILE_N) as f64;
-        let flops = 2.0 * padded_outputs * shape.c as f64 * (shape.r * shape.s) as f64 / 2.25 * 1.35;
+        let flops =
+            2.0 * padded_outputs * shape.c as f64 * (shape.r * shape.s) as f64 / 2.25 * 1.35;
         let read_input = shape.n.div_ceil(TILE_N) as f64 * shape.input_elems() as f64 * 4.0;
         // Transformed filters (4x4 per (c, n) pair) are re-read by every spatial tile.
-        let spatial_tiles = (shape.out_h().div_ceil(TILE_HW) * shape.out_w().div_ceil(TILE_HW)) as f64;
+        let spatial_tiles =
+            (shape.out_h().div_ceil(TILE_HW) * shape.out_w().div_ceil(TILE_HW)) as f64;
         let read_filters = spatial_tiles * (shape.c * shape.n * 16) as f64 * 4.0;
         let write = shape.output_elems() as f64 * 4.0;
         vec![KernelLaunch::new("cudnn_winograd", grid, 256)
@@ -169,7 +175,10 @@ impl ConvCostModel for CudnnFftCost {
             .with_shared_mem(2 * L * L * 8)
             .with_regs(64)
             .with_flops_per_block(evenly(k1_flops, k1_grid))
-            .with_global_traffic(tiles as f64 * c * plane * 4.0, tiles as f64 * c * plane * 8.0)
+            .with_global_traffic(
+                tiles as f64 * c * plane * 4.0,
+                tiles as f64 * c * plane * 8.0,
+            )
             .with_syncs(10);
 
         // Kernel 2: filter FFTs plus the complex pointwise product accumulated
@@ -178,7 +187,8 @@ impl ConvCostModel for CudnnFftCost {
         let filter_fft_flops = c * n * fft_plane_flops;
         let pointwise_flops = tiles as f64 * plane * c * n * 8.0;
         let k2_flops = filter_fft_flops + pointwise_flops;
-        let k2_read = tiles as f64 * c * plane * 8.0 * n.min(4.0) + c * n * (shape.r * shape.s) as f64 * 4.0;
+        let k2_read =
+            tiles as f64 * c * plane * 8.0 * n.min(4.0) + c * n * (shape.r * shape.s) as f64 * 4.0;
         let k2_write = tiles as f64 * n * plane * 8.0;
         let k2 = KernelLaunch::new("cudnn_fft_pointwise", k2_grid, 256)
             .with_shared_mem(2 * L * L * 8)
@@ -194,7 +204,10 @@ impl ConvCostModel for CudnnFftCost {
             .with_shared_mem(2 * L * L * 8)
             .with_regs(64)
             .with_flops_per_block(evenly(k3_flops, k3_grid))
-            .with_global_traffic(tiles as f64 * n * plane * 8.0, shape.output_elems() as f64 * 4.0)
+            .with_global_traffic(
+                tiles as f64 * n * plane * 8.0,
+                shape.output_elems() as f64 * 4.0,
+            )
             .with_syncs(10);
 
         vec![k1, k2, k3]
@@ -247,7 +260,10 @@ pub fn algorithm_latency_ms(alg: ConvAlgorithm, shape: &ConvShape, device: &Devi
             Tiling::enumerate(shape, device)
                 .into_iter()
                 .filter_map(|t| {
-                    model.kernel_latency(&t.kernel_launch(shape, device)).ok().map(|l| l.total_ms)
+                    model
+                        .kernel_latency(&t.kernel_launch(shape, device))
+                        .ok()
+                        .map(|l| l.total_ms)
                 })
                 .fold(f64::INFINITY, f64::min)
         }
@@ -350,7 +366,10 @@ mod tests {
         let shape = ConvShape::same3x3(96, 64, 28, 28);
         let fft = algorithm_latency_ms(ConvAlgorithm::CudnnFft, &shape, &dev);
         let wino = algorithm_latency_ms(ConvAlgorithm::CudnnWinograd, &shape, &dev);
-        assert!(fft > wino, "FFT ({fft:.4}) should lose to Winograd ({wino:.4}) on 3x3 filters");
+        assert!(
+            fft > wino,
+            "FFT ({fft:.4}) should lose to Winograd ({wino:.4}) on 3x3 filters"
+        );
     }
 
     #[test]

@@ -36,34 +36,36 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tens
     let k_n_stride = r * s;
 
     let mut out = vec![0.0f32; out_h * out_w * n];
-    out.par_chunks_mut(out_w * n).enumerate().for_each(|(oy, row)| {
-        for ox in 0..out_w {
-            let acc = &mut row[ox * n..(ox + 1) * n];
-            for rr in 0..r {
-                let iy = oy as isize * stride + rr as isize - pad;
-                if iy < 0 || iy >= h {
-                    continue;
-                }
-                for ss in 0..s {
-                    let ix = ox as isize * stride + ss as isize - pad;
-                    if ix < 0 || ix >= w {
+    out.par_chunks_mut(out_w * n)
+        .enumerate()
+        .for_each(|(oy, row)| {
+            for ox in 0..out_w {
+                let acc = &mut row[ox * n..(ox + 1) * n];
+                for rr in 0..r {
+                    let iy = oy as isize * stride + rr as isize - pad;
+                    if iy < 0 || iy >= h {
                         continue;
                     }
-                    let x_base = (iy as usize * shape.w + ix as usize) * c;
-                    for ch in 0..c {
-                        let xv = x[x_base + ch];
-                        if xv == 0.0 {
+                    for ss in 0..s {
+                        let ix = ox as isize * stride + ss as isize - pad;
+                        if ix < 0 || ix >= w {
                             continue;
                         }
-                        let k_base = ch * k_c_stride + rr * s + ss;
-                        for on in 0..n {
-                            acc[on] += xv * k[k_base + on * k_n_stride];
+                        let x_base = (iy as usize * shape.w + ix as usize) * c;
+                        for ch in 0..c {
+                            let xv = x[x_base + ch];
+                            if xv == 0.0 {
+                                continue;
+                            }
+                            let k_base = ch * k_c_stride + rr * s + ss;
+                            for on in 0..n {
+                                acc[on] += xv * k[k_base + on * k_n_stride];
+                            }
                         }
                     }
                 }
             }
-        }
-    });
+        });
 
     Ok(Tensor::from_vec(vec![out_h, out_w, n], out)?)
 }
@@ -84,7 +86,8 @@ pub fn conv2d_naive(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Resul
                         for ss in 0..shape.s {
                             let iy = (oy * shape.stride + rr) as isize - shape.pad as isize;
                             let ix = (ox * shape.stride + ss) as isize - shape.pad as isize;
-                            if iy < 0 || iy >= shape.h as isize || ix < 0 || ix >= shape.w as isize {
+                            if iy < 0 || iy >= shape.h as isize || ix < 0 || ix >= shape.w as isize
+                            {
                                 continue;
                             }
                             acc += input.get(&[iy as usize, ix as usize, ch]) as f64
@@ -104,7 +107,10 @@ pub fn conv2d_naive(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Resul
 /// exactly this operation.
 pub fn conv1x1(input: &Tensor, weights: &Tensor) -> Result<Tensor> {
     if input.rank() != 3 {
-        return Err(ConvError::BadInput { expected: vec![0, 0, 0], actual: input.dims().to_vec() });
+        return Err(ConvError::BadInput {
+            expected: vec![0, 0, 0],
+            actual: input.dims().to_vec(),
+        });
     }
     if weights.rank() != 2 || weights.dims()[0] != input.dims()[2] {
         return Err(ConvError::BadKernel {
@@ -129,7 +135,13 @@ mod tests {
     fn identity_kernel_reproduces_input_channel() {
         // 1x1 kernel that copies channel 0 to the single output channel.
         let shape = ConvShape::new(2, 1, 4, 4, 1, 1, 0, 1);
-        let input = Tensor::from_fn(vec![4, 4, 2], |i| if i[2] == 0 { (i[0] * 4 + i[1]) as f32 } else { 99.0 });
+        let input = Tensor::from_fn(vec![4, 4, 2], |i| {
+            if i[2] == 0 {
+                (i[0] * 4 + i[1]) as f32
+            } else {
+                99.0
+            }
+        });
         let mut kernel = Tensor::zeros(vec![2, 1, 1, 1]);
         kernel.set(&[0, 0, 0, 0], 1.0);
         let out = conv2d(&input, &kernel, &shape).unwrap();

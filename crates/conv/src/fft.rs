@@ -30,7 +30,12 @@ pub struct ComplexPlane {
 impl ComplexPlane {
     /// All-zero plane.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        ComplexPlane { rows, cols, re: vec![0.0; rows * cols], im: vec![0.0; rows * cols] }
+        ComplexPlane {
+            rows,
+            cols,
+            re: vec![0.0; rows * cols],
+            im: vec![0.0; rows * cols],
+        }
     }
 
     /// Pointwise complex multiply-accumulate: `self += a ⊙ b`.
@@ -111,7 +116,11 @@ pub fn fft_2d(plane: &mut ComplexPlane, inverse: bool) {
     let (rows, cols) = (plane.rows, plane.cols);
     // Row transforms.
     for r in 0..rows {
-        fft_1d(&mut plane.re[r * cols..(r + 1) * cols], &mut plane.im[r * cols..(r + 1) * cols], inverse);
+        fft_1d(
+            &mut plane.re[r * cols..(r + 1) * cols],
+            &mut plane.im[r * cols..(r + 1) * cols],
+            inverse,
+        );
     }
     // Column transforms via transpose-free strided gather.
     let mut col_re = vec![0.0f64; rows];
@@ -141,6 +150,8 @@ pub fn fft_2d(plane: &mut ComplexPlane, inverse: bool) {
 /// FFT-based convolution matching [`crate::direct::conv2d`]. Supports any
 /// stride ≥ 1 (stride > 1 is handled by computing the stride-1 result and
 /// subsampling, which is also how FFT libraries handle it).
+// Index-symmetric numeric kernel: explicit indices mirror the math.
+#[allow(clippy::needless_range_loop)]
 pub fn conv2d(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tensor> {
     check_input_hwc(input, shape)?;
     check_kernel_cnrs(kernel, shape)?;

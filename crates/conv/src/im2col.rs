@@ -171,7 +171,10 @@ mod tests {
             let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
             let gemm = conv2d(&input, &kernel, &shape).unwrap();
             let reference = direct::conv2d(&input, &kernel, &shape).unwrap();
-            assert!(gemm.relative_error(&reference).unwrap() < 1e-4, "shape {shape}");
+            assert!(
+                gemm.relative_error(&reference).unwrap() < 1e-4,
+                "shape {shape}"
+            );
         }
     }
 
@@ -236,6 +239,9 @@ mod tests {
         let kmat = kernel_matrix(&kernel, &shape).unwrap();
         assert_eq!(kmat.dims(), &[3 * 9, 4]);
         assert_eq!(kmat.get(&[0, 0]), kernel.get(&[0, 0, 0, 0]));
-        assert_eq!(kmat.get(&[(2 * 3 + 1) * 3 + 2, 3]), kernel.get(&[2, 3, 1, 2]));
+        assert_eq!(
+            kmat.get(&[(2 * 3 + 1) * 3 + 2, 3]),
+            kernel.get(&[2, 3, 1, 2])
+        );
     }
 }

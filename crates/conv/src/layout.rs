@@ -26,7 +26,10 @@ pub enum KernelLayout {
 pub fn check_kernel_cnrs(kernel: &Tensor, shape: &ConvShape) -> Result<()> {
     let expected = shape.kernel_dims();
     if kernel.dims() != expected.as_slice() {
-        return Err(ConvError::BadKernel { expected, actual: kernel.dims().to_vec() });
+        return Err(ConvError::BadKernel {
+            expected,
+            actual: kernel.dims().to_vec(),
+        });
     }
     Ok(())
 }
@@ -35,7 +38,10 @@ pub fn check_kernel_cnrs(kernel: &Tensor, shape: &ConvShape) -> Result<()> {
 pub fn check_input_hwc(input: &Tensor, shape: &ConvShape) -> Result<()> {
     let expected = shape.input_dims();
     if input.dims() != expected.as_slice() {
-        return Err(ConvError::BadInput { expected, actual: input.dims().to_vec() });
+        return Err(ConvError::BadInput {
+            expected,
+            actual: input.dims().to_vec(),
+        });
     }
     Ok(())
 }
@@ -43,7 +49,10 @@ pub fn check_input_hwc(input: &Tensor, shape: &ConvShape) -> Result<()> {
 /// Convert a CNRS kernel to CRSN layout (the offline conversion of Section 5.2).
 pub fn cnrs_to_crsn(kernel: &Tensor) -> Result<Tensor> {
     if kernel.rank() != 4 {
-        return Err(ConvError::BadKernel { expected: vec![0, 0, 0, 0], actual: kernel.dims().to_vec() });
+        return Err(ConvError::BadKernel {
+            expected: vec![0, 0, 0, 0],
+            actual: kernel.dims().to_vec(),
+        });
     }
     // (C, N, R, S) -> (C, R, S, N)
     Ok(kernel.permute(&[0, 2, 3, 1])?)
@@ -52,7 +61,10 @@ pub fn cnrs_to_crsn(kernel: &Tensor) -> Result<Tensor> {
 /// Convert a CRSN kernel back to CNRS layout.
 pub fn crsn_to_cnrs(kernel: &Tensor) -> Result<Tensor> {
     if kernel.rank() != 4 {
-        return Err(ConvError::BadKernel { expected: vec![0, 0, 0, 0], actual: kernel.dims().to_vec() });
+        return Err(ConvError::BadKernel {
+            expected: vec![0, 0, 0, 0],
+            actual: kernel.dims().to_vec(),
+        });
     }
     // (C, R, S, N) -> (C, N, R, S)
     Ok(kernel.permute(&[0, 3, 1, 2])?)
@@ -61,7 +73,10 @@ pub fn crsn_to_cnrs(kernel: &Tensor) -> Result<Tensor> {
 /// Convert a CNRS kernel to NCRS (PyTorch-style) layout.
 pub fn cnrs_to_ncrs(kernel: &Tensor) -> Result<Tensor> {
     if kernel.rank() != 4 {
-        return Err(ConvError::BadKernel { expected: vec![0, 0, 0, 0], actual: kernel.dims().to_vec() });
+        return Err(ConvError::BadKernel {
+            expected: vec![0, 0, 0, 0],
+            actual: kernel.dims().to_vec(),
+        });
     }
     Ok(kernel.permute(&[1, 0, 2, 3])?)
 }
@@ -74,7 +89,10 @@ pub fn ncrs_to_cnrs(kernel: &Tensor) -> Result<Tensor> {
 /// Zero-pad an HWC input tensor symmetrically in both spatial dimensions.
 pub fn pad_hwc(input: &Tensor, pad: usize) -> Result<Tensor> {
     if input.rank() != 3 {
-        return Err(ConvError::BadInput { expected: vec![0, 0, 0], actual: input.dims().to_vec() });
+        return Err(ConvError::BadInput {
+            expected: vec![0, 0, 0],
+            actual: input.dims().to_vec(),
+        });
     }
     if pad == 0 {
         return Ok(input.clone());
@@ -95,7 +113,10 @@ pub fn pad_hwc(input: &Tensor, pad: usize) -> Result<Tensor> {
 /// Convert an HWC activation tensor to CHW layout.
 pub fn hwc_to_chw(t: &Tensor) -> Result<Tensor> {
     if t.rank() != 3 {
-        return Err(ConvError::BadInput { expected: vec![0, 0, 0], actual: t.dims().to_vec() });
+        return Err(ConvError::BadInput {
+            expected: vec![0, 0, 0],
+            actual: t.dims().to_vec(),
+        });
     }
     Ok(t.permute(&[2, 0, 1])?)
 }
@@ -103,7 +124,10 @@ pub fn hwc_to_chw(t: &Tensor) -> Result<Tensor> {
 /// Convert a CHW activation tensor to HWC layout.
 pub fn chw_to_hwc(t: &Tensor) -> Result<Tensor> {
     if t.rank() != 3 {
-        return Err(ConvError::BadInput { expected: vec![0, 0, 0], actual: t.dims().to_vec() });
+        return Err(ConvError::BadInput {
+            expected: vec![0, 0, 0],
+            actual: t.dims().to_vec(),
+        });
     }
     Ok(t.permute(&[1, 2, 0])?)
 }

@@ -53,12 +53,21 @@ pub use tdc_scheme::Tiling;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConvError {
     /// The input tensor's shape is inconsistent with the convolution shape.
-    BadInput { expected: Vec<usize>, actual: Vec<usize> },
+    BadInput {
+        expected: Vec<usize>,
+        actual: Vec<usize>,
+    },
     /// The kernel tensor's shape is inconsistent with the convolution shape.
-    BadKernel { expected: Vec<usize>, actual: Vec<usize> },
+    BadKernel {
+        expected: Vec<usize>,
+        actual: Vec<usize>,
+    },
     /// The algorithm does not support this configuration (e.g. Winograd with
     /// stride 2).
-    Unsupported { algorithm: &'static str, reason: String },
+    Unsupported {
+        algorithm: &'static str,
+        reason: String,
+    },
     /// A tiling parameter is invalid for the shape.
     BadTiling { reason: String },
     /// An underlying tensor operation failed.
@@ -75,7 +84,10 @@ impl std::fmt::Display for ConvError {
                 write!(f, "bad kernel shape: expected {expected:?}, got {actual:?}")
             }
             ConvError::Unsupported { algorithm, reason } => {
-                write!(f, "{algorithm} does not support this configuration: {reason}")
+                write!(
+                    f,
+                    "{algorithm} does not support this configuration: {reason}"
+                )
             }
             ConvError::BadTiling { reason } => write!(f, "bad tiling: {reason}"),
             ConvError::Tensor(e) => write!(f, "tensor error: {e}"),
@@ -100,7 +112,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ConvError::Unsupported { algorithm: "winograd", reason: "stride 2".into() };
+        let e = ConvError::Unsupported {
+            algorithm: "winograd",
+            reason: "stride 2".into(),
+        };
         assert!(e.to_string().contains("winograd"));
         let e: ConvError = tdc_tensor::TensorError::NotAMatrix { rank: 3 }.into();
         assert!(e.to_string().contains("tensor error"));

@@ -29,24 +29,69 @@ impl ConvShape {
     /// A 3×3, stride-1, unpadded ("valid") convolution — the configuration the
     /// paper's core-convolution kernels are evaluated with.
     pub fn core(c: usize, n: usize, h: usize, w: usize) -> Self {
-        ConvShape { c, n, h, w, r: 3, s: 3, pad: 0, stride: 1 }
+        ConvShape {
+            c,
+            n,
+            h,
+            w,
+            r: 3,
+            s: 3,
+            pad: 0,
+            stride: 1,
+        }
     }
 
     /// A 3×3, stride-1 convolution with "same" padding (pad = 1).
     pub fn same3x3(c: usize, n: usize, h: usize, w: usize) -> Self {
-        ConvShape { c, n, h, w, r: 3, s: 3, pad: 1, stride: 1 }
+        ConvShape {
+            c,
+            n,
+            h,
+            w,
+            r: 3,
+            s: 3,
+            pad: 1,
+            stride: 1,
+        }
     }
 
     /// A 1×1 (pointwise) convolution — the channel-mixing layers a
     /// Tucker-format convolution adds before and after the core convolution.
     pub fn pointwise(c: usize, n: usize, h: usize, w: usize) -> Self {
-        ConvShape { c, n, h, w, r: 1, s: 1, pad: 0, stride: 1 }
+        ConvShape {
+            c,
+            n,
+            h,
+            w,
+            r: 1,
+            s: 1,
+            pad: 0,
+            stride: 1,
+        }
     }
 
     /// General constructor.
     #[allow(clippy::too_many_arguments)]
-    pub fn new(c: usize, n: usize, h: usize, w: usize, r: usize, s: usize, pad: usize, stride: usize) -> Self {
-        ConvShape { c, n, h, w, r, s, pad, stride }
+    pub fn new(
+        c: usize,
+        n: usize,
+        h: usize,
+        w: usize,
+        r: usize,
+        s: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Self {
+        ConvShape {
+            c,
+            n,
+            h,
+            w,
+            r,
+            s,
+            pad,
+            stride,
+        }
     }
 
     /// Output height `H'`.
@@ -114,7 +159,11 @@ impl ConvShape {
     /// The shape of the Tucker *core* convolution obtained by replacing the
     /// channel counts with the Tucker ranks `(D1, D2)` (paper Section 6).
     pub fn with_ranks(&self, d1: usize, d2: usize) -> ConvShape {
-        ConvShape { c: d1, n: d2, ..*self }
+        ConvShape {
+            c: d1,
+            n: d2,
+            ..*self
+        }
     }
 }
 
@@ -151,7 +200,9 @@ pub fn figure6_shapes() -> Vec<ConvShape> {
         (96, 64, 7, 7),
         (192, 160, 7, 7),
     ];
-    RAW.iter().map(|&(c, n, h, w)| ConvShape::same3x3(c, n, h, w)).collect()
+    RAW.iter()
+        .map(|&(c, n, h, w)| ConvShape::same3x3(c, n, h, w))
+        .collect()
 }
 
 /// The two shape families swept in Figure 4 (latency staircase): input channels

@@ -38,7 +38,11 @@ pub struct Tiling {
 impl Tiling {
     /// Create a tiling; all components must be at least 1.
     pub fn new(th: usize, tw: usize, tc: usize) -> Self {
-        Tiling { th: th.max(1), tw: tw.max(1), tc: tc.max(1) }
+        Tiling {
+            th: th.max(1),
+            tw: tw.max(1),
+            tc: tc.max(1),
+        }
     }
 
     /// Check the tiling against a convolution shape.
@@ -65,7 +69,9 @@ impl Tiling {
     /// Number of thread blocks this tiling produces for a shape:
     /// `⌈H'/TH⌉ · ⌈W'/TW⌉ · ⌈C/TC⌉`.
     pub fn grid_blocks(&self, shape: &ConvShape) -> usize {
-        shape.out_h().div_ceil(self.th) * shape.out_w().div_ceil(self.tw) * shape.c.div_ceil(self.tc)
+        shape.out_h().div_ceil(self.th)
+            * shape.out_w().div_ceil(self.tw)
+            * shape.c.div_ceil(self.tc)
     }
 
     /// Shared-memory bytes one block needs: the input cube
@@ -100,13 +106,10 @@ impl Tiling {
         let tiles_hw = (shape.out_h().div_ceil(self.th) * shape.out_w().div_ceil(self.tw)) as f64;
         let halo = ((self.th + shape.r - 1) * (self.tw + shape.s - 1)) as f64;
         let input = tiles_hw * shape.c as f64 * halo * 4.0;
-        let kernel = tiles_hw
-            * shape.c as f64
-            * shape.n as f64
-            * (shape.r * shape.s) as f64
+        let kernel = tiles_hw * shape.c as f64 * shape.n as f64 * (shape.r * shape.s) as f64 * 4.0;
+        let output = (shape.out_h() * shape.out_w() * shape.n) as f64
+            * shape.c.div_ceil(self.tc) as f64
             * 4.0;
-        let output =
-            (shape.out_h() * shape.out_w() * shape.n) as f64 * shape.c.div_ceil(self.tc) as f64 * 4.0;
         (input, kernel, output)
     }
 
@@ -132,8 +135,7 @@ impl Tiling {
     /// Whether this tiling can be launched at all on the device (thread count,
     /// shared memory, registers within limits).
     pub fn is_launchable(&self, shape: &ConvShape, device: &DeviceSpec) -> bool {
-        self.validate(shape).is_ok()
-            && self.kernel_launch(shape, device).validate(device).is_ok()
+        self.validate(shape).is_ok() && self.kernel_launch(shape, device).validate(device).is_ok()
     }
 
     /// Candidate tile values used by both the oracle (exhaustive) and the
@@ -149,7 +151,7 @@ impl Tiling {
             v *= 2;
         }
         for d in [48usize, 56, 112, 224] {
-            if d <= dim && dim % d == 0 {
+            if d <= dim && dim.is_multiple_of(d) {
                 vals.push(d);
             }
         }
@@ -190,7 +192,12 @@ impl std::fmt::Display for Tiling {
 ///
 /// The kernel must be supplied in `CRSN` layout
 /// (see [`crate::layout::cnrs_to_crsn`]); stride must be 1.
-pub fn run(input: &Tensor, kernel_crsn: &Tensor, shape: &ConvShape, tiling: &Tiling) -> Result<Tensor> {
+pub fn run(
+    input: &Tensor,
+    kernel_crsn: &Tensor,
+    shape: &ConvShape,
+    tiling: &Tiling,
+) -> Result<Tensor> {
     check_input_hwc(input, shape)?;
     if shape.stride != 1 {
         return Err(ConvError::Unsupported {
@@ -225,8 +232,9 @@ pub fn run(input: &Tensor, kernel_crsn: &Tensor, shape: &ConvShape, tiling: &Til
     // parallelise over spatial tiles and keep the channel-tile loop sequential
     // inside — same arithmetic, deterministic order.
     let mut out = vec![0.0f32; out_h * out_w * n];
-    let blocks: Vec<(usize, usize)> =
-        (0..tiles_h).flat_map(|y| (0..tiles_w).map(move |x| (y, x))).collect();
+    let blocks: Vec<(usize, usize)> = (0..tiles_h)
+        .flat_map(|y| (0..tiles_w).map(move |x| (y, x)))
+        .collect();
 
     let tile_results: Vec<(usize, usize, Vec<f32>)> = blocks
         .par_iter()

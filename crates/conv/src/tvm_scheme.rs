@@ -32,7 +32,10 @@ pub struct TvmTile {
 impl TvmTile {
     /// Create a tile; components are clamped to at least 1.
     pub fn new(th: usize, tw: usize) -> Self {
-        TvmTile { th: th.max(1), tw: tw.max(1) }
+        TvmTile {
+            th: th.max(1),
+            tw: tw.max(1),
+        }
     }
 
     /// Threads per block: one output position per thread.
@@ -173,8 +176,11 @@ pub fn run(input: &Tensor, kernel: &Tensor, shape: &ConvShape, tile: &TvmTile) -
                     for wx in 0..halo_w {
                         let gy = ty * tile.th + hy;
                         let gx = tx * tile.tw + wx;
-                        shared_input[hy * halo_w + wx] =
-                            if gy < ph && gx < pw { x[(gy * pw + gx) * c + ch] } else { 0.0 };
+                        shared_input[hy * halo_w + wx] = if gy < ph && gx < pw {
+                            x[(gy * pw + gx) * c + ch]
+                        } else {
+                            0.0
+                        };
                     }
                 }
                 // shared_kernel: this channel's weights for all N outputs.
@@ -254,9 +260,15 @@ mod tests {
     #[test]
     fn autotune_picks_a_launchable_tile() {
         let dev = DeviceSpec::rtx2080ti();
-        for shape in [ConvShape::same3x3(64, 32, 28, 28), ConvShape::same3x3(64, 32, 224, 224)] {
+        for shape in [
+            ConvShape::same3x3(64, 32, 28, 28),
+            ConvShape::same3x3(64, 32, 224, 224),
+        ] {
             let best = TvmTile::autotune(&shape, &dev);
-            assert!(best.is_launchable(&shape, &dev), "{best} not launchable for {shape}");
+            assert!(
+                best.is_launchable(&shape, &dev),
+                "{best} not launchable for {shape}"
+            );
         }
     }
 

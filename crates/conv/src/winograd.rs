@@ -107,13 +107,18 @@ fn transform_output(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
 
 /// Winograd F(2×2, 3×3) convolution. Requires `r = s = 3` and `stride = 1`;
 /// any padding is handled by materialising the padded input first.
+// Index-symmetric numeric kernel: explicit indices mirror the math.
+#[allow(clippy::needless_range_loop)]
 pub fn conv2d(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tensor> {
     check_input_hwc(input, shape)?;
     check_kernel_cnrs(kernel, shape)?;
     if shape.r != 3 || shape.s != 3 {
         return Err(ConvError::Unsupported {
             algorithm: "winograd",
-            reason: format!("only 3x3 filters are supported, got {}x{}", shape.r, shape.s),
+            reason: format!(
+                "only 3x3 filters are supported, got {}x{}",
+                shape.r, shape.s
+            ),
         });
     }
     if shape.stride != 1 {
@@ -239,7 +244,11 @@ mod tests {
     #[test]
     fn matches_direct_on_even_sizes() {
         let mut rng = StdRng::seed_from_u64(21);
-        for &(c, n, h, w) in &[(1usize, 1usize, 6usize, 6usize), (3, 4, 8, 8), (5, 2, 10, 6)] {
+        for &(c, n, h, w) in &[
+            (1usize, 1usize, 6usize, 6usize),
+            (3, 4, 8, 8),
+            (5, 2, 10, 6),
+        ] {
             let shape = ConvShape::core(c, n, h, w);
             let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
             let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
@@ -256,7 +265,11 @@ mod tests {
     #[test]
     fn matches_direct_with_same_padding_and_odd_sizes() {
         let mut rng = StdRng::seed_from_u64(22);
-        for &(c, n, h, w) in &[(2usize, 3usize, 7usize, 7usize), (4, 4, 9, 11), (3, 2, 5, 13)] {
+        for &(c, n, h, w) in &[
+            (2usize, 3usize, 7usize, 7usize),
+            (4, 4, 9, 11),
+            (3, 2, 5, 13),
+        ] {
             let shape = ConvShape::same3x3(c, n, h, w);
             let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
             let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);

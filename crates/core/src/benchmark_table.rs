@@ -65,7 +65,11 @@ pub fn tucker_layer_latency_ms(
     let choice = tiling::select(&core_shape, device, strategy)?;
     let first = pointwise_latency_ms(shape.c, rank.d1, shape.h, shape.w, device);
     let last = pointwise_latency_ms(rank.d2, shape.n, shape.out_h(), shape.out_w(), device);
-    Ok((first + choice.latency_ms + last, choice.latency_ms, choice.tiling))
+    Ok((
+        first + choice.latency_ms + last,
+        choice.latency_ms,
+        choice.tiling,
+    ))
 }
 
 impl LayerPerfTable {
@@ -82,10 +86,14 @@ impl LayerPerfTable {
         strategy: TilingStrategy,
         step: usize,
     ) -> Result<Self> {
-        let (_, original_ms) = (best_cudnn_latency_ms(shape, device).0, best_cudnn_latency_ms(shape, device).1);
+        let (_, original_ms) = (
+            best_cudnn_latency_ms(shape, device).0,
+            best_cudnn_latency_ms(shape, device).1,
+        );
         let mut entries = Vec::new();
         for rank in rank_candidates_with_step(shape, step) {
-            let (tucker_ms, core_ms, tiling) = tucker_layer_latency_ms(shape, rank, device, strategy)?;
+            let (tucker_ms, core_ms, tiling) =
+                tucker_layer_latency_ms(shape, rank, device, strategy)?;
             entries.push(RankLatency {
                 rank,
                 tucker_ms,
@@ -94,7 +102,11 @@ impl LayerPerfTable {
                 flops_reduction: flops::flops_reduction(shape, rank.d1, rank.d2),
             });
         }
-        Ok(LayerPerfTable { shape: *shape, original_ms, entries })
+        Ok(LayerPerfTable {
+            shape: *shape,
+            original_ms,
+            entries,
+        })
     }
 
     /// Look up a specific rank pair.
@@ -104,7 +116,10 @@ impl LayerPerfTable {
 
     /// Entries whose FLOPs reduction meets the budget fraction.
     pub fn admissible(&self, budget: f64) -> Vec<&RankLatency> {
-        self.entries.iter().filter(|e| e.flops_reduction >= budget).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.flops_reduction >= budget)
+            .collect()
     }
 
     /// Algorithm 1, line 3 for one layer:
@@ -128,7 +143,8 @@ impl LayerPerfTable {
 
     /// Speedup of the best admissible candidate over the original layer.
     pub fn best_speedup(&self, budget: f64) -> Option<f64> {
-        self.best_under_budget(budget).map(|e| self.original_ms / e.tucker_ms)
+        self.best_under_budget(budget)
+            .map(|e| self.original_ms / e.tucker_ms)
     }
 }
 
@@ -143,7 +159,10 @@ mod tests {
         let table = LayerPerfTable::build(&shape, &dev, TilingStrategy::Model).unwrap();
         assert_eq!(table.entries.len(), 4 * 3);
         assert!(table.original_ms > 0.0);
-        assert!(table.entries.iter().all(|e| e.tucker_ms.is_finite() && e.tucker_ms > 0.0));
+        assert!(table
+            .entries
+            .iter()
+            .all(|e| e.tucker_ms.is_finite() && e.tucker_ms > 0.0));
         assert!(table.lookup(RankPair::new(32, 32)).is_some());
         assert!(table.lookup(RankPair::new(33, 32)).is_none());
     }
@@ -167,7 +186,9 @@ mod tests {
         let dev = DeviceSpec::a100();
         let table = LayerPerfTable::build(&shape, &dev, TilingStrategy::Model).unwrap();
         let budget = 0.6;
-        let best = table.best_under_budget(budget).expect("budget should be feasible");
+        let best = table
+            .best_under_budget(budget)
+            .expect("budget should be feasible");
         assert!(best.flops_reduction >= budget);
         // No admissible candidate is strictly faster.
         for e in table.admissible(budget) {
@@ -194,7 +215,8 @@ mod tests {
     fn small_step_tables_for_miniature_layers() {
         let shape = ConvShape::same3x3(8, 16, 8, 8);
         let dev = DeviceSpec::a100();
-        let table = LayerPerfTable::build_with_step(&shape, &dev, TilingStrategy::Model, 4).unwrap();
+        let table =
+            LayerPerfTable::build_with_step(&shape, &dev, TilingStrategy::Model, 4).unwrap();
         assert_eq!(table.entries.len(), 2 * 4);
         assert!(table.best_under_budget(0.3).is_some());
     }

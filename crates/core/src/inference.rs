@@ -103,7 +103,10 @@ fn fc_latency_ms(in_features: usize, out_features: usize, device: &DeviceSpec) -
     let launch = KernelLaunch::new("fc_gemv", out_features.div_ceil(128).max(1), 128)
         .with_regs(32)
         .with_flops_per_block(2.0 * in_features as f64 * 128.0)
-        .with_global_traffic((in_features * out_features) as f64 * 4.0, out_features as f64 * 4.0);
+        .with_global_traffic(
+            (in_features * out_features) as f64 * 4.0,
+            out_features as f64 * 4.0,
+        );
     LatencyModel::new(device.clone())
         .kernel_latency(&launch)
         .map(|l| l.total_ms)
@@ -111,17 +114,17 @@ fn fc_latency_ms(in_features: usize, out_features: usize, device: &DeviceSpec) -
 }
 
 /// Latency of the core convolution of a decomposed layer under the backend.
-fn core_latency_ms(
-    core_shape: &ConvShape,
-    backend: Backend,
-    device: &DeviceSpec,
-) -> Result<f64> {
+fn core_latency_ms(core_shape: &ConvShape, backend: Backend, device: &DeviceSpec) -> Result<f64> {
     Ok(match backend {
         Backend::OriginalCudnn => unreachable!("original backend has no core convolutions"),
         Backend::TuckerCudnn => tdc_conv::cost::best_cudnn_latency_ms(core_shape, device).1,
         Backend::TuckerTvm => algorithm_latency_ms(ConvAlgorithm::Tvm, core_shape, device),
-        Backend::TuckerTdcOracle => tiling::select(core_shape, device, TilingStrategy::Oracle)?.latency_ms,
-        Backend::TuckerTdcModel => tiling::select(core_shape, device, TilingStrategy::Model)?.latency_ms,
+        Backend::TuckerTdcOracle => {
+            tiling::select(core_shape, device, TilingStrategy::Oracle)?.latency_ms
+        }
+        Backend::TuckerTdcModel => {
+            tiling::select(core_shape, device, TilingStrategy::Model)?.latency_ms
+        }
     })
 }
 
@@ -160,9 +163,18 @@ pub fn model_latency(
     for decision in decisions {
         let (ms, decomposed) = layer_latency_ms(decision, backend, device)?;
         conv_ms += ms;
-        layers.push(LayerLatency { index: decision.layer_index, shape: decision.shape, ms, decomposed });
+        layers.push(LayerLatency {
+            index: decision.layer_index,
+            shape: decision.shape,
+            ms,
+            decomposed,
+        });
     }
-    let other_ms: f64 = model.fc.iter().map(|&(i, o)| fc_latency_ms(i, o, device)).sum();
+    let other_ms: f64 = model
+        .fc
+        .iter()
+        .map(|&(i, o)| fc_latency_ms(i, o, device))
+        .sum();
     Ok(ModelLatencyReport {
         model: model.name.clone(),
         backend,
@@ -210,12 +222,21 @@ mod tests {
         let oracle = by(Backend::TuckerTdcOracle);
         let model_sel = by(Backend::TuckerTdcModel);
 
-        assert!(oracle <= model_sel + 1e-9, "oracle {oracle} vs model {model_sel}");
+        assert!(
+            oracle <= model_sel + 1e-9,
+            "oracle {oracle} vs model {model_sel}"
+        );
         assert!(model_sel < tk_tvm, "model {model_sel} vs tvm {tk_tvm}");
         // TVM and cuDNN are close on the compressed model (the paper's own
         // gap is only 1.02–1.12x); require TVM not to be meaningfully slower.
-        assert!(tk_tvm <= tk_cudnn * 1.10, "tvm {tk_tvm} vs tk-cudnn {tk_cudnn}");
-        assert!(tk_cudnn < original, "tk-cudnn {tk_cudnn} vs original {original}");
+        assert!(
+            tk_tvm <= tk_cudnn * 1.10,
+            "tvm {tk_tvm} vs tk-cudnn {tk_cudnn}"
+        );
+        assert!(
+            tk_cudnn < original,
+            "tk-cudnn {tk_cudnn} vs original {original}"
+        );
         assert!(oracle < original && model_sel < original);
     }
 
@@ -228,7 +249,10 @@ mod tests {
         let by = |b: Backend| reports.iter().find(|r| r.backend == b).unwrap();
         let vs_original = by(Backend::TuckerTdcOracle).speedup_over(by(Backend::OriginalCudnn));
         let vs_cudnn = by(Backend::TuckerTdcOracle).speedup_over(by(Backend::TuckerCudnn));
-        assert!(vs_original > 1.2 && vs_original < 20.0, "vs original {vs_original}");
+        assert!(
+            vs_original > 1.2 && vs_original < 20.0,
+            "vs original {vs_original}"
+        );
         assert!(vs_cudnn > 1.05 && vs_cudnn < 10.0, "vs tk-cudnn {vs_cudnn}");
         assert!(vs_original > vs_cudnn);
     }
@@ -247,16 +271,25 @@ mod tests {
     #[test]
     fn original_backend_never_marks_layers_decomposed() {
         let reports = resnet18_reports(&DeviceSpec::a100());
-        let original = reports.iter().find(|r| r.backend == Backend::OriginalCudnn).unwrap();
+        let original = reports
+            .iter()
+            .find(|r| r.backend == Backend::OriginalCudnn)
+            .unwrap();
         assert!(original.layers.iter().all(|l| !l.decomposed));
-        let tdc = reports.iter().find(|r| r.backend == Backend::TuckerTdcModel).unwrap();
+        let tdc = reports
+            .iter()
+            .find(|r| r.backend == Backend::TuckerTdcModel)
+            .unwrap();
         assert!(tdc.layers.iter().any(|l| l.decomposed));
     }
 
     #[test]
     fn labels_match_figures() {
         assert_eq!(Backend::OriginalCudnn.label(), "Original Network");
-        assert_eq!(Backend::TuckerTdcModel.label(), "TK-compressed TDC-MODELING");
+        assert_eq!(
+            Backend::TuckerTdcModel.label(),
+            "TK-compressed TDC-MODELING"
+        );
         assert_eq!(Backend::all().len(), 5);
     }
 }

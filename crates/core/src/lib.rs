@@ -104,7 +104,9 @@ mod tests {
 
     #[test]
     fn error_display_and_conversions() {
-        let e = TdcError::NoTiling { shape: "(C=1, ...)".into() };
+        let e = TdcError::NoTiling {
+            shape: "(C=1, ...)".into(),
+        };
         assert!(e.to_string().contains("no launchable tiling"));
         let e: TdcError = tdc_gpu_sim::SimError::InvalidLaunch { reason: "x".into() }.into();
         assert!(e.to_string().contains("simulator error"));

@@ -150,7 +150,10 @@ mod tests {
         }
         // Non-decreasing and not all equal (at least one step up).
         assert!(waves.windows(2).all(|w| w[1] >= w[0]), "waves {waves:?}");
-        assert!(waves.last().unwrap() > waves.first().unwrap(), "waves {waves:?}");
+        assert!(
+            waves.last().unwrap() > waves.first().unwrap(),
+            "waves {waves:?}"
+        );
     }
 
     #[test]
@@ -183,7 +186,8 @@ mod tests {
         let ti = memory_latency_ms(&s, &t, &DeviceSpec::rtx2080ti());
         assert!(a100 < ti);
         let ratio = ti / a100;
-        let bw_ratio = DeviceSpec::a100().dram_bandwidth_gbs / DeviceSpec::rtx2080ti().dram_bandwidth_gbs;
+        let bw_ratio =
+            DeviceSpec::a100().dram_bandwidth_gbs / DeviceSpec::rtx2080ti().dram_bandwidth_gbs;
         assert!((ratio - bw_ratio).abs() / bw_ratio < 1e-9);
     }
 

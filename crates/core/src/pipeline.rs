@@ -57,6 +57,47 @@ impl CompressionPlan {
         self.reports.iter().find(|r| r.backend == backend)
     }
 
+    /// A stable FNV-1a fingerprint over the plan's identity and decisions.
+    ///
+    /// Serving-layer caches key plans by `(model, device, budget)`; the
+    /// fingerprint additionally covers every per-layer decision, so two plans
+    /// that agree on the key but were produced by different selection logic
+    /// (e.g. after a rank-selection change) hash differently. Generated
+    /// kernels are derived from the decisions and deliberately excluded,
+    /// mirroring their `#[serde(skip)]` treatment.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.model.as_bytes());
+        eat(self.device.as_bytes());
+        eat(&self.achieved_reduction.to_bits().to_le_bytes());
+        for d in &self.decisions {
+            eat(&(d.layer_index as u64).to_le_bytes());
+            eat(format!("{:?}", d.decision).as_bytes());
+        }
+        hash
+    }
+
+    /// Serialize the plan as pretty JSON (kernels excluded — they are
+    /// regenerated from the decisions when needed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("CompressionPlan serialization is infallible: {e}"))
+    }
+
+    /// Parse a plan previously written by [`CompressionPlan::to_json`]. The
+    /// `kernels` field comes back empty.
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| TdcError::BadConfig {
+            reason: format!("invalid plan JSON: {e}"),
+        })
+    }
+
     /// Speedup of a backend over the original-cuDNN configuration.
     pub fn speedup_over_original(&self, backend: Backend) -> Option<f64> {
         let original = self.report(Backend::OriginalCudnn)?;
@@ -98,11 +139,30 @@ impl TdcPipeline {
     /// Latency-side planning: rank selection, code generation and end-to-end
     /// latency prediction for a model descriptor under a FLOPs budget.
     pub fn plan(&self, model: &ModelDescriptor, budget: f64) -> Result<CompressionPlan> {
+        let cfg = RankSelectionConfig {
+            budget,
+            strategy: self.strategy,
+            ..Default::default()
+        };
+        self.plan_with_config(model, &cfg)
+    }
+
+    /// [`TdcPipeline::plan`] with full control over the rank-selection
+    /// configuration. Serving deployments of miniature models need a smaller
+    /// `rank_step` than the warp-sized default (32), which would otherwise
+    /// leave every small layer dense.
+    pub fn plan_with_config(
+        &self,
+        model: &ModelDescriptor,
+        cfg: &RankSelectionConfig,
+    ) -> Result<CompressionPlan> {
+        let budget = cfg.budget;
         if !(0.0..1.0).contains(&budget) {
-            return Err(TdcError::BadConfig { reason: format!("budget {budget} must be in [0, 1)") });
+            return Err(TdcError::BadConfig {
+                reason: format!("budget {budget} must be in [0, 1)"),
+            });
         }
-        let cfg = RankSelectionConfig { budget, strategy: self.strategy, ..Default::default() };
-        let summary = select_ranks(model, &self.device, &cfg)?;
+        let summary = select_ranks(model, &self.device, cfg)?;
         let reports = all_backends(model, &summary.decisions, &self.device)?;
 
         let mut kernels: Vec<GeneratedKernel> = Vec::new();
@@ -158,8 +218,10 @@ impl TdcPipeline {
                 continue;
             }
             let best_sum = admissible.iter().map(|r| r.d1 + r.d2).max().unwrap_or(0);
-            let maximal: Vec<RankPair> =
-                admissible.into_iter().filter(|r| r.d1 + r.d2 == best_sum).collect();
+            let maximal: Vec<RankPair> = admissible
+                .into_iter()
+                .filter(|r| r.d1 + r.d2 == best_sum)
+                .collect();
             if maximal.len() == 1 {
                 out.push(Some(maximal[0]));
                 continue;
@@ -170,8 +232,14 @@ impl TdcPipeline {
             let best = maximal
                 .into_iter()
                 .min_by(|a, b| {
-                    let la = table.lookup(*a).map(|e| e.tucker_ms).unwrap_or(f64::INFINITY);
-                    let lb = table.lookup(*b).map(|e| e.tucker_ms).unwrap_or(f64::INFINITY);
+                    let la = table
+                        .lookup(*a)
+                        .map(|e| e.tucker_ms)
+                        .unwrap_or(f64::INFINITY);
+                    let lb = table
+                        .lookup(*b)
+                        .map(|e| e.tucker_ms)
+                        .unwrap_or(f64::INFINITY);
                     la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .expect("non-empty maximal candidate set");
@@ -222,7 +290,11 @@ impl TdcPipeline {
             direct_accuracy,
             admm_accuracy,
             ranks,
-            achieved_reduction: if total > 0.0 { 1.0 - compressed / total } else { 0.0 },
+            achieved_reduction: if total > 0.0 {
+                1.0 - compressed / total
+            } else {
+                0.0
+            },
         })
     }
 }
@@ -243,7 +315,11 @@ mod tests {
         assert!(!plan.kernels.is_empty());
         assert!(plan.achieved_reduction > 0.3);
         // Every decomposed layer's kernel is represented (by name) exactly once.
-        let mut names: Vec<&str> = plan.kernels.iter().map(|k| k.kernel_name.as_str()).collect();
+        let mut names: Vec<&str> = plan
+            .kernels
+            .iter()
+            .map(|k| k.kernel_name.as_str())
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), plan.kernels.len());
@@ -251,6 +327,50 @@ mod tests {
         let original = plan.report(Backend::OriginalCudnn).unwrap().total_ms;
         let tdc = plan.report(Backend::TuckerTdcModel).unwrap().total_ms;
         assert!(tdc < original);
+    }
+
+    #[test]
+    fn plan_json_round_trip_and_fingerprint_stability() {
+        let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
+        let plan = pipeline.plan(&resnet18_descriptor(), 0.6).unwrap();
+        let json = plan.to_json();
+        let back = CompressionPlan::from_json(&json).unwrap();
+        assert_eq!(back.model, plan.model);
+        assert_eq!(back.device, plan.device);
+        assert_eq!(back.decisions, plan.decisions);
+        assert_eq!(back.reports.len(), plan.reports.len());
+        assert_eq!(back.achieved_reduction, plan.achieved_reduction);
+        // Kernels are excluded from the JSON form by design.
+        assert!(back.kernels.is_empty());
+        // Fingerprint covers the decision payload, not the kernels.
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+        let other = pipeline.plan(&resnet18_descriptor(), 0.4).unwrap();
+        assert_ne!(other.fingerprint(), plan.fingerprint());
+        assert!(CompressionPlan::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn plan_with_config_honours_small_rank_steps() {
+        // A miniature chain: with the default warp-sized step every layer
+        // stays dense; with step 4 at least one decomposes.
+        let model = ModelDescriptor {
+            name: "mini".into(),
+            convs: vec![
+                tdc_conv::ConvShape::same3x3(16, 16, 16, 16),
+                tdc_conv::ConvShape::same3x3(16, 24, 16, 16),
+            ],
+            fc: vec![(24, 10)],
+        };
+        let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
+        let cfg = RankSelectionConfig {
+            budget: 0.5,
+            theta: 0.0,
+            strategy: TilingStrategy::Model,
+            rank_step: 4,
+        };
+        let plan = pipeline.plan_with_config(&model, &cfg).unwrap();
+        assert!(plan.decisions.iter().any(|d| d.rank().is_some()));
+        assert_eq!(plan.reports.len(), 5);
     }
 
     #[test]
@@ -271,19 +391,35 @@ mod tests {
         tdc_nn::train::train(
             &mut net,
             &train_set,
-            &TrainConfig { epochs: 6, batch_size: 8, ..Default::default() },
+            &TrainConfig {
+                epochs: 6,
+                batch_size: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
 
         let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
-        let admm = AdmmConfig { epochs: 3, finetune_epochs: 2, batch_size: 8, ..Default::default() };
+        let admm = AdmmConfig {
+            epochs: 3,
+            finetune_epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        };
         let result = pipeline
             .compress_and_train(&mut net, &train_set, &test_set, 0.4, 2, admm)
             .unwrap();
 
         assert!((0.0..=1.0).contains(&result.baseline_accuracy));
         assert!((0.0..=1.0).contains(&result.admm_accuracy));
-        assert!(result.ranks.iter().any(|r| r.is_some()), "some layer should be compressed");
-        assert!(result.achieved_reduction > 0.0, "reduction {}", result.achieved_reduction);
+        assert!(
+            result.ranks.iter().any(|r| r.is_some()),
+            "some layer should be compressed"
+        );
+        assert!(
+            result.achieved_reduction > 0.0,
+            "reduction {}",
+            result.achieved_reduction
+        );
     }
 }

@@ -89,7 +89,9 @@ impl LayerDecision {
     /// Modelled latency of the original layer.
     pub fn original_ms(&self) -> f64 {
         match self.decision {
-            Decision::Decompose { original_ms, .. } | Decision::Keep { original_ms, .. } => original_ms,
+            Decision::Decompose { original_ms, .. } | Decision::Keep { original_ms, .. } => {
+                original_ms
+            }
         }
     }
 }
@@ -141,8 +143,12 @@ pub fn select_ranks(
 ) -> Result<SelectionSummary> {
     let mut decisions = Vec::with_capacity(model.convs.len());
     // The budget is defined over the decomposable (spatial) convolutions.
-    let decomposable_flops: f64 =
-        model.convs.iter().filter(|s| s.r > 1 || s.s > 1).map(|s| s.flops()).sum();
+    let decomposable_flops: f64 = model
+        .convs
+        .iter()
+        .filter(|s| s.r > 1 || s.s > 1)
+        .map(|s| s.flops())
+        .sum();
     let mut required_reduction = cfg.budget * decomposable_flops;
     let mut remaining_flops = decomposable_flops;
     let mut achieved_reduction_flops = 0.0f64;
@@ -150,12 +156,14 @@ pub fn select_ranks(
 
     for (index, shape) in model.convs.iter().enumerate() {
         if shape.r == 1 && shape.s == 1 {
-            let original_ms =
-                tdc_conv::cost::best_cudnn_latency_ms(shape, device).1;
+            let original_ms = tdc_conv::cost::best_cudnn_latency_ms(shape, device).1;
             decisions.push(LayerDecision {
                 layer_index: index,
                 shape: *shape,
-                decision: Decision::Keep { original_ms, reason: KeepReason::Pointwise },
+                decision: Decision::Keep {
+                    original_ms,
+                    reason: KeepReason::Pointwise,
+                },
             });
             continue;
         }
@@ -172,12 +180,18 @@ pub fn select_ranks(
         let choice = table.best_under_budget(effective_budget);
 
         let decision = match choice {
-            None => Decision::Keep { original_ms: table.original_ms, reason: KeepReason::NoAdmissibleRank },
+            None => Decision::Keep {
+                original_ms: table.original_ms,
+                reason: KeepReason::NoAdmissibleRank,
+            },
             Some(entry) => {
                 // θ threshold: skip if not clearly faster than the original.
                 if entry.tucker_ms >= (1.0 - cfg.theta) * table.original_ms {
                     theta_skipped += 1;
-                    Decision::Keep { original_ms: table.original_ms, reason: KeepReason::ThetaThreshold }
+                    Decision::Keep {
+                        original_ms: table.original_ms,
+                        reason: KeepReason::ThetaThreshold,
+                    }
                 } else {
                     Decision::Decompose {
                         rank: entry.rank,
@@ -203,7 +217,11 @@ pub fn select_ranks(
         required_reduction = required_reduction.max(0.0);
         remaining_flops = remaining_flops.max(0.0);
 
-        decisions.push(LayerDecision { layer_index: index, shape: *shape, decision });
+        decisions.push(LayerDecision {
+            layer_index: index,
+            shape: *shape,
+            decision,
+        });
     }
 
     let decomposed_layers = decisions.iter().filter(|d| d.rank().is_some()).count();
@@ -227,17 +245,30 @@ mod tests {
     #[test]
     fn resnet18_selection_decomposes_most_spatial_layers() {
         let dev = DeviceSpec::a100();
-        let cfg = RankSelectionConfig { budget: 0.6, ..Default::default() };
+        let cfg = RankSelectionConfig {
+            budget: 0.6,
+            ..Default::default()
+        };
         let summary = select_ranks(&resnet18_descriptor(), &dev, &cfg).unwrap();
         assert_eq!(summary.decisions.len(), resnet18_descriptor().convs.len());
         // The co-design framework is selective: it decomposes the layers where
         // decomposition pays off on the device (and the θ threshold keeps the
         // rest), but a meaningful fraction of the spatial layers must be hit.
-        assert!(summary.decomposed_layers >= 5, "decomposed {}", summary.decomposed_layers);
+        assert!(
+            summary.decomposed_layers >= 5,
+            "decomposed {}",
+            summary.decomposed_layers
+        );
         // All pointwise layers are kept.
         for d in &summary.decisions {
             if d.shape.r == 1 && d.shape.s == 1 {
-                assert!(matches!(d.decision, Decision::Keep { reason: KeepReason::Pointwise, .. }));
+                assert!(matches!(
+                    d.decision,
+                    Decision::Keep {
+                        reason: KeepReason::Pointwise,
+                        ..
+                    }
+                ));
             }
         }
         // A non-trivial overall FLOPs reduction is achieved.
@@ -254,7 +285,12 @@ mod tests {
         let cfg = RankSelectionConfig::default();
         let summary = select_ranks(&resnet18_descriptor(), &dev, &cfg).unwrap();
         for d in &summary.decisions {
-            if let Decision::Decompose { tucker_ms, original_ms, .. } = d.decision {
+            if let Decision::Decompose {
+                tucker_ms,
+                original_ms,
+                ..
+            } = d.decision
+            {
                 assert!(
                     tucker_ms < (1.0 - cfg.theta) * original_ms,
                     "layer {} violates the theta threshold",
@@ -274,13 +310,19 @@ mod tests {
         let loose = select_ranks(
             &resnet18_descriptor(),
             &dev,
-            &RankSelectionConfig { budget: 0.3, ..Default::default() },
+            &RankSelectionConfig {
+                budget: 0.3,
+                ..Default::default()
+            },
         )
         .unwrap();
         let tight = select_ranks(
             &resnet18_descriptor(),
             &dev,
-            &RankSelectionConfig { budget: 0.7, ..Default::default() },
+            &RankSelectionConfig {
+                budget: 0.7,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut compared = 0;
@@ -304,7 +346,10 @@ mod tests {
         // the baselines; the θ threshold must be allowed to keep them dense
         // without the whole selection failing.
         let dev = DeviceSpec::rtx2080ti();
-        let cfg = RankSelectionConfig { budget: 0.5, ..Default::default() };
+        let cfg = RankSelectionConfig {
+            budget: 0.5,
+            ..Default::default()
+        };
         let summary = select_ranks(&vgg16_descriptor(), &dev, &cfg).unwrap();
         assert_eq!(summary.decisions.len(), 13);
         assert!(summary.decomposed_layers + summary.theta_skipped_layers > 0);
@@ -313,8 +358,12 @@ mod tests {
     #[test]
     fn decided_latency_never_exceeds_original_for_decomposed_layers() {
         let dev = DeviceSpec::a100();
-        let summary =
-            select_ranks(&resnet18_descriptor(), &dev, &RankSelectionConfig::default()).unwrap();
+        let summary = select_ranks(
+            &resnet18_descriptor(),
+            &dev,
+            &RankSelectionConfig::default(),
+        )
+        .unwrap();
         let total_decided: f64 = summary.decisions.iter().map(|d| d.decided_ms()).sum();
         let total_original: f64 = summary.decisions.iter().map(|d| d.original_ms()).sum();
         assert!(total_decided <= total_original);

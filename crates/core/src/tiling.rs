@@ -18,10 +18,9 @@
 
 use crate::perf_model;
 use crate::{Result, TdcError};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use tdc_conv::{ConvShape, Tiling};
 use tdc_gpu_sim::{DeviceSpec, LatencyModel};
 
@@ -76,7 +75,9 @@ fn simulated_latency_ms(shape: &ConvShape, tiling: &Tiling, device: &DeviceSpec)
 pub fn select_by_model(shape: &ConvShape, device: &DeviceSpec) -> Result<TilingChoice> {
     let candidates = Tiling::enumerate(shape, device);
     if candidates.is_empty() {
-        return Err(TdcError::NoTiling { shape: shape.to_string() });
+        return Err(TdcError::NoTiling {
+            shape: shape.to_string(),
+        });
     }
     let mut scored: Vec<(Tiling, f64)> = candidates
         .into_iter()
@@ -87,10 +88,13 @@ pub fn select_by_model(shape: &ConvShape, device: &DeviceSpec) -> Result<TilingC
         .filter(|(_, lat)| lat.is_finite())
         .collect();
     if scored.is_empty() {
-        return Err(TdcError::NoTiling { shape: shape.to_string() });
+        return Err(TdcError::NoTiling {
+            shape: shape.to_string(),
+        });
     }
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    let keep = ((scored.len() as f64 * top_fraction(device)).ceil() as usize).clamp(1, scored.len());
+    let keep =
+        ((scored.len() as f64 * top_fraction(device)).ceil() as usize).clamp(1, scored.len());
     let best = scored[..keep]
         .iter()
         .min_by(|a, b| {
@@ -110,7 +114,9 @@ pub fn select_by_model(shape: &ConvShape, device: &DeviceSpec) -> Result<TilingC
 pub fn select_by_oracle(shape: &ConvShape, device: &DeviceSpec) -> Result<TilingChoice> {
     let candidates = Tiling::enumerate(shape, device);
     if candidates.is_empty() {
-        return Err(TdcError::NoTiling { shape: shape.to_string() });
+        return Err(TdcError::NoTiling {
+            shape: shape.to_string(),
+        });
     }
     let best = candidates
         .into_iter()
@@ -121,35 +127,49 @@ pub fn select_by_oracle(shape: &ConvShape, device: &DeviceSpec) -> Result<Tiling
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
         .expect("non-empty candidates");
     if !best.1.is_finite() {
-        return Err(TdcError::NoTiling { shape: shape.to_string() });
+        return Err(TdcError::NoTiling {
+            shape: shape.to_string(),
+        });
     }
-    Ok(TilingChoice { tiling: best.0, latency_ms: best.1 })
+    Ok(TilingChoice {
+        tiling: best.0,
+        latency_ms: best.1,
+    })
 }
 
 type CacheKey = (ConvShape, String, TilingStrategy);
 
-fn cache() -> &'static Mutex<HashMap<CacheKey, TilingChoice>> {
+fn cache() -> MutexGuard<'static, HashMap<CacheKey, TilingChoice>> {
     static CACHE: OnceLock<Mutex<HashMap<CacheKey, TilingChoice>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    // A poisoned lock can only mean a panic mid-`insert`; the map is still
+    // structurally sound, so keep serving from it.
+    match CACHE.get_or_init(|| Mutex::new(HashMap::new())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// Memoised tiling selection — the entry point the rest of the framework uses.
-pub fn select(shape: &ConvShape, device: &DeviceSpec, strategy: TilingStrategy) -> Result<TilingChoice> {
+pub fn select(
+    shape: &ConvShape,
+    device: &DeviceSpec,
+    strategy: TilingStrategy,
+) -> Result<TilingChoice> {
     let key = (*shape, device.name.clone(), strategy);
-    if let Some(hit) = cache().lock().get(&key) {
+    if let Some(hit) = cache().get(&key) {
         return Ok(*hit);
     }
     let choice = match strategy {
         TilingStrategy::Model => select_by_model(shape, device)?,
         TilingStrategy::Oracle => select_by_oracle(shape, device)?,
     };
-    cache().lock().insert(key, choice);
+    cache().insert(key, choice);
     Ok(choice)
 }
 
 /// Number of memoised selections (useful in tests and reports).
 pub fn cache_len() -> usize {
-    cache().lock().len()
+    cache().len()
 }
 
 #[cfg(test)]
@@ -180,14 +200,20 @@ mod tests {
             );
             // The paper reports the model selection lands within ~25% of the
             // oracle on average; allow a generous 2x bound per-shape here.
-            assert!(model.latency_ms <= oracle.latency_ms * 2.0, "model too far from oracle on {shape}");
+            assert!(
+                model.latency_ms <= oracle.latency_ms * 2.0,
+                "model too far from oracle on {shape}"
+            );
         }
     }
 
     #[test]
     fn selected_tilings_are_launchable_and_within_shape() {
         let dev = DeviceSpec::rtx2080ti();
-        for shape in [ConvShape::same3x3(64, 32, 56, 56), ConvShape::same3x3(192, 160, 7, 7)] {
+        for shape in [
+            ConvShape::same3x3(64, 32, 56, 56),
+            ConvShape::same3x3(192, 160, 7, 7),
+        ] {
             for strategy in [TilingStrategy::Model, TilingStrategy::Oracle] {
                 let choice = select(&shape, &dev, strategy).unwrap();
                 assert!(choice.tiling.is_launchable(&shape, &dev));

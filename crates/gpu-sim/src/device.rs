@@ -128,9 +128,11 @@ impl DeviceSpec {
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<()> {
         if self.sm_count == 0 {
-            return Err(SimError::InvalidDevice { reason: "sm_count must be > 0".into() });
+            return Err(SimError::InvalidDevice {
+                reason: "sm_count must be > 0".into(),
+            });
         }
-        if self.warp_size == 0 || self.max_threads_per_block % self.warp_size != 0 {
+        if self.warp_size == 0 || !self.max_threads_per_block.is_multiple_of(self.warp_size) {
             return Err(SimError::InvalidDevice {
                 reason: "max_threads_per_block must be a positive multiple of warp_size".into(),
             });

@@ -82,8 +82,10 @@ impl WaveEngine {
         // future schemes can have non-uniform block costs.
         let block_ms = self.model.block_compute_latency_ms(kernel, &occ)
             + kernel.syncs_per_block as f64 * crate::latency::SYNC_STALL_US / 1000.0;
-        let block_costs: Vec<f64> =
-            (0..kernel.grid_blocks).into_par_iter().map(|_blk| block_ms).collect();
+        let block_costs: Vec<f64> = (0..kernel.grid_blocks)
+            .into_par_iter()
+            .map(|_blk| block_ms)
+            .collect();
 
         // Schedule blocks onto resident slots, wave by wave. Blocks resident in
         // the same wave execute concurrently, each progressing at its
@@ -108,15 +110,17 @@ impl WaveEngine {
         }
 
         // Memory side and overlap identical to the closed-form model.
-        let memory_ms =
-            kernel.total_traffic_bytes() / self.device.bandwidth_bytes_per_s() * 1e3;
+        let memory_ms = kernel.total_traffic_bytes() / self.device.bandwidth_bytes_per_s() * 1e3;
         let longer = compute_ms.max(memory_ms);
         let shorter = compute_ms.min(memory_ms);
         let kernel_ms = longer + crate::latency::DEFAULT_OVERLAP_PENALTY * shorter;
         let total_ms = kernel_ms + self.device.launch_overhead_ms();
 
-        let sm_utilization =
-            if compute_ms > 0.0 { (weighted_resident / compute_ms).min(1.0) } else { 0.0 };
+        let sm_utilization = if compute_ms > 0.0 {
+            (weighted_resident / compute_ms).min(1.0)
+        } else {
+            0.0
+        };
         let total_flops = kernel.total_flops();
         let achieved = if kernel_ms > 0.0 {
             (total_flops / (kernel_ms / 1e3)) / self.device.peak_flops()
@@ -191,7 +195,9 @@ mod tests {
         let occ = occupancy(&dev, &kernel(1, 256, 1e6)).unwrap();
         let full = engine.run(&kernel(occ.blocks_per_wave, 256, 1e6)).unwrap();
         assert!((full.tail_efficiency - 1.0).abs() < 1e-9);
-        let ragged = engine.run(&kernel(occ.blocks_per_wave + 1, 256, 1e6)).unwrap();
+        let ragged = engine
+            .run(&kernel(occ.blocks_per_wave + 1, 256, 1e6))
+            .unwrap();
         assert!(ragged.tail_efficiency < 0.01);
     }
 
@@ -209,7 +215,11 @@ mod tests {
     #[test]
     fn sequence_accumulates() {
         let engine = WaveEngine::new(DeviceSpec::a100());
-        let ks = vec![kernel(10, 64, 1e5), kernel(20, 64, 1e5), kernel(30, 64, 1e5)];
+        let ks = vec![
+            kernel(10, 64, 1e5),
+            kernel(20, 64, 1e5),
+            kernel(30, 64, 1e5),
+        ];
         let seq = engine.run_sequence(&ks).unwrap();
         assert_eq!(seq.len(), 3);
         let total = engine.sequence_total_ms(&ks).unwrap();
@@ -228,7 +238,12 @@ mod tests {
         let stats = engine.run(&k).unwrap();
         let breakdown = model.kernel_latency(&k).unwrap();
         let rel = (stats.total_ms - breakdown.total_ms).abs() / breakdown.total_ms;
-        assert!(rel < 0.25, "engine {} vs model {}", stats.total_ms, breakdown.total_ms);
+        assert!(
+            rel < 0.25,
+            "engine {} vs model {}",
+            stats.total_ms,
+            breakdown.total_ms
+        );
     }
 
     #[test]

@@ -124,7 +124,9 @@ impl KernelLaunch {
     /// Validate this launch against a device's hard limits.
     pub fn validate(&self, device: &DeviceSpec) -> Result<()> {
         if self.grid_blocks == 0 {
-            return Err(SimError::InvalidLaunch { reason: format!("{}: zero blocks", self.name) });
+            return Err(SimError::InvalidLaunch {
+                reason: format!("{}: zero blocks", self.name),
+            });
         }
         if self.threads_per_block == 0 {
             return Err(SimError::InvalidLaunch {
@@ -216,9 +218,15 @@ mod tests {
     fn validate_against_device_limits() {
         let dev = DeviceSpec::rtx2080ti();
         assert!(KernelLaunch::new("ok", 100, 256).validate(&dev).is_ok());
-        assert!(KernelLaunch::new("zero blocks", 0, 256).validate(&dev).is_err());
-        assert!(KernelLaunch::new("zero threads", 10, 0).validate(&dev).is_err());
-        assert!(KernelLaunch::new("too many threads", 10, 2048).validate(&dev).is_err());
+        assert!(KernelLaunch::new("zero blocks", 0, 256)
+            .validate(&dev)
+            .is_err());
+        assert!(KernelLaunch::new("zero threads", 10, 0)
+            .validate(&dev)
+            .is_err());
+        assert!(KernelLaunch::new("too many threads", 10, 2048)
+            .validate(&dev)
+            .is_err());
         assert!(KernelLaunch::new("too much smem", 10, 256)
             .with_shared_mem(1 << 20)
             .validate(&dev)

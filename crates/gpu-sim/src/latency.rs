@@ -63,7 +63,10 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// Create a model for the given device with the default overlap penalty.
     pub fn new(device: DeviceSpec) -> Self {
-        LatencyModel { device, overlap_penalty: DEFAULT_OVERLAP_PENALTY }
+        LatencyModel {
+            device,
+            overlap_penalty: DEFAULT_OVERLAP_PENALTY,
+        }
     }
 
     /// Override the overlap penalty (0 = perfect overlap, 1 = serial).
@@ -129,8 +132,7 @@ impl LatencyModel {
         let compute_ms = waves as f64 * (block_ms + sync_ms);
 
         // Memory side: total effective traffic over device bandwidth.
-        let memory_ms =
-            kernel.total_traffic_bytes() / self.device.bandwidth_bytes_per_s() * 1e3;
+        let memory_ms = kernel.total_traffic_bytes() / self.device.bandwidth_bytes_per_s() * 1e3;
 
         let longer = compute_ms.max(memory_ms);
         let shorter = compute_ms.min(memory_ms);
@@ -190,9 +192,15 @@ mod tests {
         let occ = occupancy(&dev, &k_one_wave).unwrap();
         let per_wave = occ.blocks_per_wave;
 
-        let a = m.kernel_latency(&simple_kernel(per_wave, 256, 1e7)).unwrap();
-        let b = m.kernel_latency(&simple_kernel(per_wave + 1, 256, 1e7)).unwrap();
-        let c = m.kernel_latency(&simple_kernel(2 * per_wave, 256, 1e7)).unwrap();
+        let a = m
+            .kernel_latency(&simple_kernel(per_wave, 256, 1e7))
+            .unwrap();
+        let b = m
+            .kernel_latency(&simple_kernel(per_wave + 1, 256, 1e7))
+            .unwrap();
+        let c = m
+            .kernel_latency(&simple_kernel(2 * per_wave, 256, 1e7))
+            .unwrap();
         assert_eq!(a.waves, 1);
         assert_eq!(b.waves, 2);
         assert_eq!(c.waves, 2);
@@ -236,7 +244,9 @@ mod tests {
     #[test]
     fn launch_overhead_is_included() {
         let m = LatencyModel::new(DeviceSpec::rtx2080ti());
-        let tiny = KernelLaunch::new("tiny", 1, 32).with_regs(16).with_flops_per_block(10.0);
+        let tiny = KernelLaunch::new("tiny", 1, 32)
+            .with_regs(16)
+            .with_flops_per_block(10.0);
         let lat = m.kernel_latency(&tiny).unwrap();
         assert!(lat.total_ms >= lat.launch_overhead_ms);
         assert!(lat.launch_overhead_ms > 0.0);
@@ -256,8 +266,12 @@ mod tests {
     #[test]
     fn a100_is_faster_than_2080ti_for_the_same_kernel() {
         let k = simple_kernel(2000, 256, 1e8);
-        let a100 = LatencyModel::new(DeviceSpec::a100()).kernel_latency(&k).unwrap();
-        let ti = LatencyModel::new(DeviceSpec::rtx2080ti()).kernel_latency(&k).unwrap();
+        let a100 = LatencyModel::new(DeviceSpec::a100())
+            .kernel_latency(&k)
+            .unwrap();
+        let ti = LatencyModel::new(DeviceSpec::rtx2080ti())
+            .kernel_latency(&k)
+            .unwrap();
         assert!(a100.total_ms < ti.total_ms);
     }
 

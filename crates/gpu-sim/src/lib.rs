@@ -69,9 +69,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SimError::InvalidLaunch { reason: "zero blocks".into() };
+        let e = SimError::InvalidLaunch {
+            reason: "zero blocks".into(),
+        };
         assert!(e.to_string().contains("zero blocks"));
-        let e = SimError::InvalidDevice { reason: "no SMs".into() };
+        let e = SimError::InvalidDevice {
+            reason: "no SMs".into(),
+        };
         assert!(e.to_string().contains("no SMs"));
     }
 }

@@ -29,7 +29,11 @@ pub enum AccessPattern {
 }
 
 /// Number of 32-byte sectors one warp-wide request touches under the pattern.
-pub fn sectors_per_warp_request(pattern: AccessPattern, warp_size: usize, elem_bytes: usize) -> usize {
+pub fn sectors_per_warp_request(
+    pattern: AccessPattern,
+    warp_size: usize,
+    elem_bytes: usize,
+) -> usize {
     match pattern {
         AccessPattern::Unit => {
             // warp_size consecutive elements.
@@ -78,7 +82,11 @@ pub struct TrafficStream {
 impl TrafficStream {
     /// Create a stream carrying `useful_bytes` with the given pattern.
     pub fn new(name: impl Into<String>, useful_bytes: f64, pattern: AccessPattern) -> Self {
-        TrafficStream { name: name.into(), useful_bytes, pattern }
+        TrafficStream {
+            name: name.into(),
+            useful_bytes,
+            pattern,
+        }
     }
 
     /// Bytes actually moved across the DRAM interface after coalescing waste.
@@ -137,7 +145,10 @@ mod tests {
 
     #[test]
     fn zero_stride_treated_as_broadcast() {
-        assert_eq!(sectors_per_warp_request(AccessPattern::Strided { stride: 0 }, 32, 4), 1);
+        assert_eq!(
+            sectors_per_warp_request(AccessPattern::Strided { stride: 0 }, 32, 4),
+            1
+        );
     }
 
     #[test]

@@ -52,19 +52,17 @@ pub fn occupancy(device: &DeviceSpec, kernel: &KernelLaunch) -> Result<Occupancy
     let by_threads = device.max_threads_per_sm / kernel.threads_per_block;
 
     // Limit 2: shared memory. A kernel using no shared memory is unconstrained.
-    let by_smem = if kernel.shared_mem_per_block == 0 {
-        usize::MAX
-    } else {
-        device.shared_mem_per_sm / kernel.shared_mem_per_block
-    };
+    let by_smem = device
+        .shared_mem_per_sm
+        .checked_div(kernel.shared_mem_per_block)
+        .unwrap_or(usize::MAX);
 
     // Limit 3: registers.
     let regs_per_block = kernel.regs_per_thread * kernel.threads_per_block;
-    let by_regs = if regs_per_block == 0 {
-        usize::MAX
-    } else {
-        device.registers_per_sm / regs_per_block
-    };
+    let by_regs = device
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(usize::MAX);
 
     // Limit 4: hardware block slots.
     let by_slots = device.max_blocks_per_sm;
@@ -122,7 +120,9 @@ mod tests {
     #[test]
     fn shared_memory_limits_occupancy() {
         let dev = DeviceSpec::rtx2080ti(); // 64 KB per SM
-        let k = KernelLaunch::new("k", 1000, 128).with_shared_mem(40 * 1024).with_regs(16);
+        let k = KernelLaunch::new("k", 1000, 128)
+            .with_shared_mem(40 * 1024)
+            .with_regs(16);
         let occ = occupancy(&dev, &k).unwrap();
         // Only one 40 KB block fits in 64 KB.
         assert_eq!(occ.blocks_per_sm, 1);
@@ -173,7 +173,9 @@ mod tests {
     fn occupancy_always_at_least_one_block() {
         // A block that uses almost all shared memory still runs (one at a time).
         let dev = DeviceSpec::rtx2080ti();
-        let k = KernelLaunch::new("k", 5, 1024).with_shared_mem(48 * 1024).with_regs(32);
+        let k = KernelLaunch::new("k", 5, 1024)
+            .with_shared_mem(48 * 1024)
+            .with_regs(32);
         let occ = occupancy(&dev, &k).unwrap();
         assert_eq!(occ.blocks_per_sm, 1);
     }
@@ -189,8 +191,12 @@ mod tests {
     fn smaller_tiles_raise_occupancy() {
         // The co-design story: shrinking the shared-memory tile raises occupancy.
         let dev = DeviceSpec::rtx2080ti();
-        let big = KernelLaunch::new("big", 100, 128).with_shared_mem(32 * 1024).with_regs(16);
-        let small = KernelLaunch::new("small", 100, 128).with_shared_mem(8 * 1024).with_regs(16);
+        let big = KernelLaunch::new("big", 100, 128)
+            .with_shared_mem(32 * 1024)
+            .with_regs(16);
+        let small = KernelLaunch::new("small", 100, 128)
+            .with_shared_mem(8 * 1024)
+            .with_regs(16);
         let occ_big = occupancy(&dev, &big).unwrap();
         let occ_small = occupancy(&dev, &small).unwrap();
         assert!(occ_small.occupancy > occ_big.occupancy);

@@ -82,12 +82,15 @@ impl SyntheticDataset {
     /// Generate a dataset from a configuration.
     pub fn generate(cfg: SyntheticConfig) -> Result<Self> {
         if cfg.classes == 0 || cfg.samples_per_class == 0 {
-            return Err(NnError::BadConfig { reason: "classes and samples_per_class must be > 0".into() });
+            return Err(NnError::BadConfig {
+                reason: "classes and samples_per_class must be > 0".into(),
+            });
         }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let dims = vec![cfg.height, cfg.width, cfg.channels];
-        let prototypes: Vec<Tensor> =
-            (0..cfg.classes).map(|_| init::uniform(dims.clone(), -1.0, 1.0, &mut rng)).collect();
+        let prototypes: Vec<Tensor> = (0..cfg.classes)
+            .map(|_| init::uniform(dims.clone(), -1.0, 1.0, &mut rng))
+            .collect();
 
         let mut images = Vec::with_capacity(cfg.classes * cfg.samples_per_class);
         let mut labels = Vec::with_capacity(cfg.classes * cfg.samples_per_class);
@@ -156,9 +159,8 @@ impl SyntheticDataset {
             for img in &self.images[i..end] {
                 data.extend_from_slice(img.data());
             }
-            let batch =
-                Tensor::from_vec(vec![count, self.height, self.width, self.channels], data)
-                    .expect("batch tensor");
+            let batch = Tensor::from_vec(vec![count, self.height, self.width, self.channels], data)
+                .expect("batch tensor");
             out.push((batch, self.labels[i..end].to_vec()));
             i = end;
         }
@@ -189,7 +191,10 @@ mod tests {
         assert_eq!(total, d.len());
         assert_eq!(batches[0].0.dims(), &[5, 8, 8, 3]);
         // Last batch is the remainder.
-        assert_eq!(batches.last().unwrap().1.len(), d.len() % 5 + if d.len() % 5 == 0 { 5 } else { 0 });
+        assert_eq!(
+            batches.last().unwrap().1.len(),
+            d.len() % 5 + if d.len() % 5 == 0 { 5 } else { 0 }
+        );
     }
 
     #[test]

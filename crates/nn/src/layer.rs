@@ -53,8 +53,11 @@ fn batch_dims(x: &Tensor, layer: &'static str) -> Result<(usize, usize, usize, u
 fn slice_sample(x: &Tensor, b: usize) -> Tensor {
     let (h, w, c) = (x.dims()[1], x.dims()[2], x.dims()[3]);
     let stride = h * w * c;
-    Tensor::from_vec(vec![h, w, c], x.data()[b * stride..(b + 1) * stride].to_vec())
-        .expect("sample slice")
+    Tensor::from_vec(
+        vec![h, w, c],
+        x.data()[b * stride..(b + 1) * stride].to_vec(),
+    )
+    .expect("sample slice")
 }
 
 fn stack_samples(samples: Vec<Tensor>) -> Tensor {
@@ -92,7 +95,12 @@ impl Conv2dLayer {
         let fan_in = shape.c * shape.r * shape.s;
         let kernel = init::kaiming_normal(shape.kernel_dims(), fan_in, rng);
         let bias = with_bias.then(|| Param::new(Tensor::zeros(vec![shape.n])));
-        Conv2dLayer { shape, kernel: Param::new(kernel), bias, cached_input: None }
+        Conv2dLayer {
+            shape,
+            kernel: Param::new(kernel),
+            bias,
+            cached_input: None,
+        }
     }
 
     /// Create a layer from an existing kernel tensor (used when rebuilding a
@@ -144,10 +152,9 @@ impl Conv2dLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self
-            .cached_input
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "conv2d backward before forward" })?;
+        let x = self.cached_input.as_ref().ok_or(NnError::Protocol {
+            reason: "conv2d backward before forward",
+        })?;
         let (b, ..) = batch_dims(x, "conv2d")?;
         let shape = self.shape;
         let kernel = self.kernel.value.clone();
@@ -270,8 +277,10 @@ impl BatchNorm2dLayer {
             )
         };
 
-        let std_inv: Vec<f32> =
-            var.iter().map(|&v| (1.0 / (v + self.eps as f64).sqrt()) as f32).collect();
+        let std_inv: Vec<f32> = var
+            .iter()
+            .map(|&v| (1.0 / (v + self.eps as f64).sqrt()) as f32)
+            .collect();
         let gamma = self.gamma.value.data();
         let beta = self.beta.value.data();
         let mut out = x.clone();
@@ -283,16 +292,19 @@ impl BatchNorm2dLayer {
             *v = gamma[ch] * norm + beta[ch];
         }
         if train {
-            self.cached = Some(BnCache { normalized, std_inv, count });
+            self.cached = Some(BnCache {
+                normalized,
+                std_inv,
+                count,
+            });
         }
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let cache = self
-            .cached
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "batchnorm backward before forward" })?;
+        let cache = self.cached.as_ref().ok_or(NnError::Protocol {
+            reason: "batchnorm backward before forward",
+        })?;
         let c = self.channels;
         let m = cache.count as f32;
         let gamma = self.gamma.value.data();
@@ -346,10 +358,9 @@ impl ReluLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self
-            .cached_input
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "relu backward before forward" })?;
+        let x = self.cached_input.as_ref().ok_or(NnError::Protocol {
+            reason: "relu backward before forward",
+        })?;
         let mask = ops::relu_grad_mask(x);
         Ok(ops::mul(grad_out, &mask)?)
     }
@@ -406,10 +417,9 @@ impl MaxPool2dLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let (argmax, in_dims) = self
-            .cached_argmax
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "maxpool backward before forward" })?;
+        let (argmax, in_dims) = self.cached_argmax.as_ref().ok_or(NnError::Protocol {
+            reason: "maxpool backward before forward",
+        })?;
         let mut grad_in = Tensor::zeros(in_dims.clone());
         for (o, &src) in argmax.iter().enumerate() {
             grad_in.data_mut()[src] += grad_out.data()[o];
@@ -446,10 +456,9 @@ impl GlobalAvgPoolLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let dims = self
-            .cached_dims
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "avgpool backward before forward" })?;
+        let dims = self.cached_dims.as_ref().ok_or(NnError::Protocol {
+            reason: "avgpool backward before forward",
+        })?;
         let (b, h, w, c) = (dims[0], dims[1], dims[2], dims[3]);
         let scale = 1.0 / (h * w) as f32;
         let mut grad_in = Tensor::zeros(dims.clone());
@@ -483,10 +492,9 @@ impl FlattenLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let dims = self
-            .cached_dims
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "flatten backward before forward" })?;
+        let dims = self.cached_dims.as_ref().ok_or(NnError::Protocol {
+            reason: "flatten backward before forward",
+        })?;
         Ok(grad_out.clone().reshape(dims.clone())?)
     }
 }
@@ -508,7 +516,12 @@ pub struct LinearLayer {
 impl LinearLayer {
     /// Create a linear layer with Xavier-uniform initialised weights.
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
-        let w = init::xavier_uniform(vec![in_features, out_features], in_features, out_features, rng);
+        let w = init::xavier_uniform(
+            vec![in_features, out_features],
+            in_features,
+            out_features,
+            rng,
+        );
         LinearLayer {
             weight: Param::new(w),
             bias: Param::new(Tensor::zeros(vec![out_features])),
@@ -536,10 +549,9 @@ impl LinearLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self
-            .cached_input
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "linear backward before forward" })?;
+        let x = self.cached_input.as_ref().ok_or(NnError::Protocol {
+            reason: "linear backward before forward",
+        })?;
         // dW = x^T g, dx = g W^T, db = column sums of g.
         let dw = matmul::matmul_at_b(x, grad_out)?;
         self.weight.grad = ops::add(&self.weight.grad, &dw)?;
@@ -567,7 +579,11 @@ pub struct ResidualBlock {
 impl ResidualBlock {
     /// Create a residual block.
     pub fn new(main: Vec<LayerKind>, shortcut: Vec<LayerKind>) -> Self {
-        ResidualBlock { main, shortcut, cached_sum: None }
+        ResidualBlock {
+            main,
+            shortcut,
+            cached_sum: None,
+        }
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
@@ -587,10 +603,9 @@ impl ResidualBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let sum = self
-            .cached_sum
-            .as_ref()
-            .ok_or(NnError::Protocol { reason: "residual backward before forward" })?;
+        let sum = self.cached_sum.as_ref().ok_or(NnError::Protocol {
+            reason: "residual backward before forward",
+        })?;
         let mut grad = ops::mul(grad_out, &ops::relu_grad_mask(sum))?;
 
         let mut main_grad = grad.clone();
@@ -743,7 +758,10 @@ impl Network {
 
     /// All trainable parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zero every parameter gradient.
@@ -755,7 +773,10 @@ impl Network {
 
     /// All convolution layers, in forward order.
     pub fn conv_layers_mut(&mut self) -> Vec<&mut Conv2dLayer> {
-        self.layers.iter_mut().flat_map(|l| l.conv_layers_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.conv_layers_mut())
+            .collect()
     }
 
     /// All convolution shapes, in forward order.
@@ -808,9 +829,14 @@ mod tests {
         // Kernel gradient check at one coordinate.
         let probe = [1usize, 2, 1, 1];
         let mut plus = layer.clone();
-        plus.kernel.value.set(&probe, plus.kernel.value.get(&probe) + eps);
+        plus.kernel
+            .value
+            .set(&probe, plus.kernel.value.get(&probe) + eps);
         let mut minus = layer.clone();
-        minus.kernel.value.set(&probe, minus.kernel.value.get(&probe) - eps);
+        minus
+            .kernel
+            .value
+            .set(&probe, minus.kernel.value.get(&probe) - eps);
         let fp = plus.forward(&x, false).unwrap().sum();
         let fm = minus.forward(&x, false).unwrap().sum();
         let numeric = (fp - fm) / (2.0 * eps);
@@ -826,10 +852,16 @@ mod tests {
         // Per-channel output should be ~zero-mean, ~unit-variance.
         let c = 4;
         for ch in 0..c {
-            let vals: Vec<f32> =
-                y.data().iter().enumerate().filter(|(i, _)| i % c == ch).map(|(_, &v)| v).collect();
+            let vals: Vec<f32> = y
+                .data()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % c == ch)
+                .map(|(_, &v)| v)
+                .collect();
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -892,16 +924,27 @@ mod tests {
         let gin = layer.backward(&Tensor::ones(vec![4, 3])).unwrap();
         assert_eq!(gin.dims(), &[4, 6]);
         // Bias gradient for sum loss is the batch size per output.
-        assert!(layer.bias.grad.data().iter().all(|&v| (v - 4.0).abs() < 1e-5));
+        assert!(layer
+            .bias
+            .grad
+            .data()
+            .iter()
+            .all(|&v| (v - 4.0).abs() < 1e-5));
         // Weight gradient check at one coordinate.
         let eps = 1e-2f32;
         let probe = [2usize, 1];
         let mut plus = layer.clone();
-        plus.weight.value.set(&probe, plus.weight.value.get(&probe) + eps);
+        plus.weight
+            .value
+            .set(&probe, plus.weight.value.get(&probe) + eps);
         let mut minus = layer.clone();
-        minus.weight.value.set(&probe, minus.weight.value.get(&probe) - eps);
-        let numeric =
-            (plus.forward(&x, false).unwrap().sum() - minus.forward(&x, false).unwrap().sum()) / (2.0 * eps);
+        minus
+            .weight
+            .value
+            .set(&probe, minus.weight.value.get(&probe) - eps);
+        let numeric = (plus.forward(&x, false).unwrap().sum()
+            - minus.forward(&x, false).unwrap().sum())
+            / (2.0 * eps);
         assert!((numeric - layer.weight.grad.get(&probe)).abs() < 3e-2);
     }
 
@@ -952,7 +995,10 @@ mod tests {
         assert_eq!(net.params_mut().len(), 5);
         assert!(net.num_params() > 0);
         net.zero_grad();
-        assert!(net.params_mut().iter().all(|p| p.grad.frobenius_norm() == 0.0));
+        assert!(net
+            .params_mut()
+            .iter()
+            .all(|p| p.grad.frobenius_norm() == 0.0));
     }
 
     #[test]

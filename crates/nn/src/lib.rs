@@ -40,7 +40,11 @@ pub use models::ModelDescriptor;
 #[derive(Debug, Clone, PartialEq)]
 pub enum NnError {
     /// A layer received an input of the wrong shape.
-    BadInput { layer: &'static str, expected: String, actual: Vec<usize> },
+    BadInput {
+        layer: &'static str,
+        expected: String,
+        actual: Vec<usize>,
+    },
     /// Backward called before forward, or other ordering violations.
     Protocol { reason: &'static str },
     /// An underlying tensor operation failed.
@@ -54,7 +58,11 @@ pub enum NnError {
 impl std::fmt::Display for NnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            NnError::BadInput { layer, expected, actual } => {
+            NnError::BadInput {
+                layer,
+                expected,
+                actual,
+            } => {
                 write!(f, "{layer}: expected input {expected}, got {actual:?}")
             }
             NnError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
@@ -88,7 +96,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = NnError::Protocol { reason: "backward before forward" };
+        let e = NnError::Protocol {
+            reason: "backward before forward",
+        };
         assert!(e.to_string().contains("backward before forward"));
         let e: NnError = tdc_tensor::TensorError::NotAMatrix { rank: 1 }.into();
         assert!(e.to_string().contains("tensor error"));

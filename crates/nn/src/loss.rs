@@ -33,7 +33,9 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
         });
     }
     if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
-        return Err(NnError::BadConfig { reason: format!("label {bad} out of range (classes={classes})") });
+        return Err(NnError::BadConfig {
+            reason: format!("label {bad} out of range (classes={classes})"),
+        });
     }
 
     let probs = ops::softmax_rows(logits)?;
@@ -58,7 +60,11 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
     }
     let scale = 1.0 / batch as f32;
     let grad = ops::scale(&grad, scale);
-    Ok(LossOutput { loss: (loss / batch as f64) as f32, grad, correct })
+    Ok(LossOutput {
+        loss: (loss / batch as f64) as f32,
+        grad,
+        correct,
+    })
 }
 
 #[cfg(test)]
@@ -95,7 +101,8 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let logits = Tensor::from_vec(vec![2, 4], vec![0.3, -0.5, 1.2, 0.1, 0.0, 0.7, -1.0, 0.4]).unwrap();
+        let logits =
+            Tensor::from_vec(vec![2, 4], vec![0.3, -0.5, 1.2, 0.1, 0.0, 0.7, -1.0, 0.4]).unwrap();
         let labels = [2usize, 1];
         let out = softmax_cross_entropy(&logits, &labels).unwrap();
         let eps = 1e-3f32;

@@ -41,7 +41,11 @@ impl ModelDescriptor {
     /// Total FLOPs of all convolution and FC layers (2 per MAC).
     pub fn total_flops(&self) -> f64 {
         let conv: f64 = self.convs.iter().map(|c| c.flops()).sum();
-        let fc: f64 = self.fc.iter().map(|&(i, o)| 2.0 * i as f64 * o as f64).sum();
+        let fc: f64 = self
+            .fc
+            .iter()
+            .map(|&(i, o)| 2.0 * i as f64 * o as f64)
+            .sum();
         conv + fc
     }
 
@@ -67,31 +71,42 @@ impl ModelDescriptor {
 /// ResNet-18 on 224×224 ImageNet inputs.
 pub fn resnet18_descriptor() -> ModelDescriptor {
     let mut convs = vec![ConvShape::new(3, 64, 224, 224, 7, 7, 3, 2)];
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 56, 2), (128, 28, 2), (256, 14, 2), (512, 7, 2)];
+    let stages: [(usize, usize, usize); 4] = [(64, 56, 2), (128, 28, 2), (256, 14, 2), (512, 7, 2)];
     let mut in_c = 64;
     for (si, &(width, hw, blocks)) in stages.iter().enumerate() {
         for b in 0..blocks {
             let stride_in = if si > 0 && b == 0 { hw * 2 } else { hw };
             let stride = if si > 0 && b == 0 { 2 } else { 1 };
-            convs.push(ConvShape::new(in_c, width, stride_in, stride_in, 3, 3, 1, stride));
+            convs.push(ConvShape::new(
+                in_c, width, stride_in, stride_in, 3, 3, 1, stride,
+            ));
             convs.push(ConvShape::same3x3(width, width, hw, hw));
             if si > 0 && b == 0 {
                 // projection shortcut
-                convs.push(ConvShape::new(in_c, width, stride_in, stride_in, 1, 1, 0, 2));
+                convs.push(ConvShape::new(
+                    in_c, width, stride_in, stride_in, 1, 1, 0, 2,
+                ));
             }
             in_c = width;
         }
     }
-    ModelDescriptor { name: "ResNet-18".into(), convs, fc: vec![(512, 1000)] }
+    ModelDescriptor {
+        name: "ResNet-18".into(),
+        convs,
+        fc: vec![(512, 1000)],
+    }
 }
 
 /// ResNet-50 (bottleneck blocks) on 224×224 inputs.
 pub fn resnet50_descriptor() -> ModelDescriptor {
     let mut convs = vec![ConvShape::new(3, 64, 224, 224, 7, 7, 3, 2)];
     // (bottleneck width, output width, spatial size, number of blocks)
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(64, 256, 56, 3), (128, 512, 28, 4), (256, 1024, 14, 6), (512, 2048, 7, 3)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (64, 256, 56, 3),
+        (128, 512, 28, 4),
+        (256, 1024, 14, 6),
+        (512, 2048, 7, 3),
+    ];
     let mut in_c = 64;
     for (si, &(mid, out, hw, blocks)) in stages.iter().enumerate() {
         for b in 0..blocks {
@@ -107,7 +122,11 @@ pub fn resnet50_descriptor() -> ModelDescriptor {
             in_c = out;
         }
     }
-    ModelDescriptor { name: "ResNet-50".into(), convs, fc: vec![(2048, 1000)] }
+    ModelDescriptor {
+        name: "ResNet-50".into(),
+        convs,
+        fc: vec![(2048, 1000)],
+    }
 }
 
 /// VGG-16 on 224×224 inputs.
@@ -127,7 +146,10 @@ pub fn vgg16_descriptor() -> ModelDescriptor {
         (512, 512, 14),
         (512, 512, 14),
     ];
-    let convs = cfg.iter().map(|&(c, n, hw)| ConvShape::same3x3(c, n, hw, hw)).collect();
+    let convs = cfg
+        .iter()
+        .map(|&(c, n, hw)| ConvShape::same3x3(c, n, hw, hw))
+        .collect();
     ModelDescriptor {
         name: "VGG-16".into(),
         convs,
@@ -156,7 +178,11 @@ fn densenet_descriptor(name: &str, block_config: [usize; 4]) -> ModelDescriptor 
             channels = out;
         }
     }
-    ModelDescriptor { name: name.into(), convs, fc: vec![(channels, 1000)] }
+    ModelDescriptor {
+        name: name.into(),
+        convs,
+        fc: vec![(channels, 1000)],
+    }
 }
 
 /// DenseNet-121 on 224×224 inputs.
@@ -205,10 +231,16 @@ pub fn tiny_cnn<R: Rng + ?Sized>(
     let w1 = base_width;
     let w2 = base_width * 2;
     let mut layers = Vec::new();
-    layers.extend(conv_bn_relu(ConvShape::same3x3(channels, w1, height, width), rng));
+    layers.extend(conv_bn_relu(
+        ConvShape::same3x3(channels, w1, height, width),
+        rng,
+    ));
     layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w1, height, width), rng));
     layers.push(LayerKind::MaxPool(MaxPool2dLayer::default()));
-    layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w2, height / 2, width / 2), rng));
+    layers.extend(conv_bn_relu(
+        ConvShape::same3x3(w1, w2, height / 2, width / 2),
+        rng,
+    ));
     layers.push(LayerKind::GlobalAvgPool(GlobalAvgPoolLayer::default()));
     layers.push(LayerKind::Linear(LinearLayer::new(w2, classes, rng)));
     Network::new(layers)
@@ -232,7 +264,10 @@ pub fn resnet_cifar<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Network {
     let mut layers = Vec::new();
-    layers.extend(conv_bn_relu(ConvShape::same3x3(in_channels, base_width, height, width), rng));
+    layers.extend(conv_bn_relu(
+        ConvShape::same3x3(in_channels, base_width, height, width),
+        rng,
+    ));
 
     let mut hw = (height, width);
     let mut in_c = base_width;
@@ -241,7 +276,11 @@ pub fn resnet_cifar<R: Rng + ?Sized>(
         for b in 0..blocks_per_stage {
             let downsample = stage > 0 && b == 0;
             let (in_h, in_w) = hw;
-            let (out_h, out_w) = if downsample { (in_h / 2, in_w / 2) } else { (in_h, in_w) };
+            let (out_h, out_w) = if downsample {
+                (in_h / 2, in_w / 2)
+            } else {
+                (in_h, in_w)
+            };
             let stride = if downsample { 2 } else { 1 };
             let main = vec![
                 LayerKind::Conv(Conv2dLayer::new(
@@ -292,14 +331,27 @@ pub fn vgg_like<R: Rng + ?Sized>(
     let mut layers = Vec::new();
     let w1 = base_width;
     let w2 = base_width * 2;
-    layers.extend(conv_bn_relu(ConvShape::same3x3(in_channels, w1, height, width), rng));
+    layers.extend(conv_bn_relu(
+        ConvShape::same3x3(in_channels, w1, height, width),
+        rng,
+    ));
     layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w1, height, width), rng));
     layers.push(LayerKind::MaxPool(MaxPool2dLayer::default()));
-    layers.extend(conv_bn_relu(ConvShape::same3x3(w1, w2, height / 2, width / 2), rng));
-    layers.extend(conv_bn_relu(ConvShape::same3x3(w2, w2, height / 2, width / 2), rng));
+    layers.extend(conv_bn_relu(
+        ConvShape::same3x3(w1, w2, height / 2, width / 2),
+        rng,
+    ));
+    layers.extend(conv_bn_relu(
+        ConvShape::same3x3(w2, w2, height / 2, width / 2),
+        rng,
+    ));
     layers.push(LayerKind::MaxPool(MaxPool2dLayer::default()));
     layers.push(LayerKind::Flatten(FlattenLayer::default()));
-    layers.push(LayerKind::Linear(LinearLayer::new(w2 * (height / 4) * (width / 4), classes, rng)));
+    layers.push(LayerKind::Linear(LinearLayer::new(
+        w2 * (height / 4) * (width / 4),
+        classes,
+        rng,
+    )));
     Network::new(layers)
 }
 
@@ -317,9 +369,15 @@ mod tests {
         assert_eq!(d.fc, vec![(512, 1000)]);
         // ~1.8 GFLOPs (x2 for MAC counting) and ~11M conv+fc parameters.
         let gflops = d.total_flops() / 1e9;
-        assert!(gflops > 3.0 && gflops < 4.5, "ResNet-18 FLOPs {gflops} GFLOP");
+        assert!(
+            gflops > 3.0 && gflops < 4.5,
+            "ResNet-18 FLOPs {gflops} GFLOP"
+        );
         let params = d.total_params();
-        assert!(params > 10_000_000 && params < 13_000_000, "params {params}");
+        assert!(
+            params > 10_000_000 && params < 13_000_000,
+            "params {params}"
+        );
     }
 
     #[test]
@@ -328,7 +386,10 @@ mod tests {
         // 1 stem + 16 blocks * 3 convs + 4 projections = 53.
         assert_eq!(d.convs.len(), 53);
         let params = d.total_params();
-        assert!(params > 22_000_000 && params < 28_000_000, "params {params}");
+        assert!(
+            params > 22_000_000 && params < 28_000_000,
+            "params {params}"
+        );
     }
 
     #[test]
@@ -340,7 +401,10 @@ mod tests {
         let gflops = d.total_flops() / 1e9;
         assert!(gflops > 25.0 && gflops < 36.0, "VGG-16 FLOPs {gflops}");
         let params = d.total_params();
-        assert!(params > 130_000_000 && params < 140_000_000, "params {params}");
+        assert!(
+            params > 130_000_000 && params < 140_000_000,
+            "params {params}"
+        );
     }
 
     #[test]
@@ -370,7 +434,13 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|d| d.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["DenseNet-121", "DenseNet-201", "ResNet-18", "ResNet-50", "VGG-16"]
+            vec![
+                "DenseNet-121",
+                "DenseNet-201",
+                "ResNet-18",
+                "ResNet-50",
+                "VGG-16"
+            ]
         );
     }
 

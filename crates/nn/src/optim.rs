@@ -20,7 +20,12 @@ pub struct Sgd {
 impl Sgd {
     /// Create an SGD optimiser.
     pub fn new(learning_rate: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { learning_rate, momentum, weight_decay, velocities: Vec::new() }
+        Sgd {
+            learning_rate,
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
     }
 
     /// Plain SGD without momentum or decay.
@@ -33,8 +38,10 @@ impl Sgd {
     /// momentum buffers stay aligned.
     pub fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
         if self.velocities.len() != params.len() {
-            self.velocities =
-                params.iter().map(|p| Tensor::zeros(p.value.dims().to_vec())).collect();
+            self.velocities = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims().to_vec()))
+                .collect();
         }
         for (param, velocity) in params.iter_mut().zip(self.velocities.iter_mut()) {
             // Effective gradient: dL/dw + weight_decay * w.
@@ -89,7 +96,10 @@ mod tests {
         p.grad = Tensor::from_vec(vec![1], vec![1.0]).unwrap();
         opt.step(&mut [&mut p]).unwrap();
         let second_step = after_one - p.value.data()[0];
-        assert!(second_step > 0.1 + 1e-6, "second step {second_step} should exceed lr");
+        assert!(
+            second_step > 0.1 + 1e-6,
+            "second step {second_step} should exceed lr"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl Default for TrainConfig {
 /// This is the "standard mini-batch SGD" half of the paper's Eq. (10); the
 /// ADMM proximal term is added by the trainer in `tdc-tucker`, which calls
 /// back into this crate's forward/backward machinery.
-pub fn train(network: &mut Network, dataset: &SyntheticDataset, cfg: &TrainConfig) -> Result<Vec<EpochStats>> {
+pub fn train(
+    network: &mut Network,
+    dataset: &SyntheticDataset,
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>> {
     let mut optimizer = Sgd::new(cfg.learning_rate, cfg.momentum, cfg.weight_decay);
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
@@ -81,7 +85,11 @@ pub fn train(network: &mut Network, dataset: &SyntheticDataset, cfg: &TrainConfi
 
 /// Top-1 accuracy of `network` on `dataset` (evaluation mode: no caching,
 /// batch-norm uses running statistics).
-pub fn evaluate(network: &mut Network, dataset: &SyntheticDataset, batch_size: usize) -> Result<f32> {
+pub fn evaluate(
+    network: &mut Network,
+    dataset: &SyntheticDataset,
+    batch_size: usize,
+) -> Result<f32> {
     let mut correct = 0usize;
     let mut total = 0usize;
     for (batch, labels) in dataset.batches(batch_size) {
@@ -111,8 +119,12 @@ mod tests {
         let mut net = tiny_cnn(8, 8, 3, 4, 8, &mut rng);
 
         let before = evaluate(&mut net, &test_set, 8).unwrap();
-        let cfg =
-            TrainConfig { epochs: 10, batch_size: 8, learning_rate: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
         let history = train(&mut net, &train_set, &cfg).unwrap();
         assert_eq!(history.len(), 10);
         // Loss should drop substantially from the first to the last epoch.
@@ -129,7 +141,10 @@ mod tests {
         );
         // ...and generalise above chance (25% for 4 classes) in eval mode.
         let after = evaluate(&mut net, &test_set, 8).unwrap();
-        assert!(after > 0.45, "accuracy after training {after} (before {before}), history {history:?}");
+        assert!(
+            after > 0.45,
+            "accuracy after training {after} (before {before}), history {history:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! The request queue and dynamic batcher.
+//!
+//! Requests enter a FIFO protected by a mutex + condvar. Worker threads pull
+//! *batches*: a worker blocks until at least one request is queued, then
+//! keeps collecting until either `max_batch_size` requests are in hand or
+//! the **oldest** request in the batch has been waiting `max_batch_delay`.
+//! Small batches therefore cost at most the configured delay in added
+//! latency, while bursts immediately fill whole batches with no waiting —
+//! the standard dynamic-batching contract of serving systems.
+//!
+//! Shutdown is graceful by construction: closing the queue stops new
+//! submissions, but [`BatchQueue::next_batch`] keeps handing out queued
+//! requests until the FIFO is drained, and only then returns `None` to
+//! terminate the workers.
+
+use crate::{Result, ServeError};
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tdc_tensor::Tensor;
+
+/// One queued inference request.
+pub struct InferenceRequest {
+    /// Caller-assigned id, echoed in the response.
+    pub id: u64,
+    /// HWC input sample.
+    pub input: Tensor,
+    /// When the request entered the queue.
+    pub enqueued_at: Instant,
+    /// Where the worker sends the response.
+    pub responder: Sender<InferenceResponse>,
+}
+
+/// The answer to one request.
+#[derive(Debug, Clone)]
+pub struct InferenceResponse {
+    /// Id echoed from the request.
+    pub id: u64,
+    /// Output logits.
+    pub output: Tensor,
+    /// Time spent waiting in the queue (including batching delay), ms.
+    pub queue_ms: f64,
+    /// Time spent in the executor for this request's batch, ms.
+    pub exec_ms: f64,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Predicted GPU latency for the whole batch on the planned device, ms
+    /// (from `tdc::inference`, per-sample latency × batch size).
+    pub predicted_gpu_batch_ms: f64,
+}
+
+impl InferenceResponse {
+    /// Queue wait plus execution — the end-to-end service latency, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.queue_ms + self.exec_ms
+    }
+}
+
+struct QueueState {
+    fifo: VecDeque<InferenceRequest>,
+    closed: bool,
+}
+
+/// The shared request queue with dynamic batch formation.
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    max_batch_size: usize,
+    max_batch_delay: Duration,
+}
+
+impl BatchQueue {
+    /// Create a queue forming batches of up to `max_batch_size` requests,
+    /// holding the oldest request at most `max_batch_delay`.
+    pub fn new(max_batch_size: usize, max_batch_delay: Duration) -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                fifo: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            max_batch_size: max_batch_size.max(1),
+            max_batch_delay,
+        }
+    }
+
+    fn state(&self) -> MutexGuard<'_, QueueState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueue a request. Fails with [`ServeError::Closed`] after shutdown.
+    pub fn push(&self, request: InferenceRequest) -> Result<()> {
+        let mut state = self.state();
+        if state.closed {
+            return Err(ServeError::Closed);
+        }
+        state.fifo.push_back(request);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of queued (not yet dispatched) requests.
+    pub fn depth(&self) -> usize {
+        self.state().fifo.len()
+    }
+
+    /// Stop accepting new requests; queued ones will still be served.
+    pub fn close(&self) {
+        self.state().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BatchQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state().closed
+    }
+
+    /// Pull the next batch, blocking until one is available. Returns `None`
+    /// once the queue is closed **and** drained. Never returns an empty
+    /// batch: if another worker drains the queue between the wake-up and the
+    /// drain (two workers racing on one request), this worker goes back to
+    /// waiting.
+    pub fn next_batch(&self) -> Option<Vec<InferenceRequest>> {
+        let mut state = self.state();
+        loop {
+            // Phase 1: wait for the first request (or shutdown).
+            loop {
+                if !state.fifo.is_empty() {
+                    break;
+                }
+                if state.closed {
+                    return None;
+                }
+                state = match self.not_empty.wait(state) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+            // Phase 2: batch formation. The deadline belongs to the oldest
+            // request so its latency overhead is bounded by `max_batch_delay`.
+            let deadline = state
+                .fifo
+                .front()
+                .map(|r| r.enqueued_at + self.max_batch_delay);
+            let deadline = deadline.unwrap_or_else(Instant::now);
+            while state.fifo.len() < self.max_batch_size && !state.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) =
+                    self.timed_wait(state, deadline.saturating_duration_since(now));
+                state = guard;
+                if timeout {
+                    break;
+                }
+            }
+            let take = state.fifo.len().min(self.max_batch_size);
+            if take > 0 {
+                return Some(state.fifo.drain(..take).collect());
+            }
+            // A sibling worker took everything while we slept; wait again.
+        }
+    }
+
+    fn timed_wait<'a>(
+        &'a self,
+        guard: MutexGuard<'a, QueueState>,
+        duration: Duration,
+    ) -> (MutexGuard<'a, QueueState>, bool) {
+        match self.not_empty.wait_timeout(guard, duration) {
+            Ok((guard, timeout)) => (guard, timeout.timed_out()),
+            Err(poisoned) => {
+                let (guard, timeout) = poisoned.into_inner();
+                (guard, timeout.timed_out())
+            }
+        }
+    }
+}
+
+/// A response handle for one submitted request.
+pub struct PendingResponse {
+    receiver: Receiver<InferenceResponse>,
+}
+
+impl PendingResponse {
+    /// Wrap a receiver end.
+    pub fn new(receiver: Receiver<InferenceResponse>) -> Self {
+        PendingResponse { receiver }
+    }
+
+    /// Block until the response arrives. Fails with [`ServeError::Closed`]
+    /// if the engine dropped the request during shutdown.
+    pub fn wait(self) -> Result<InferenceResponse> {
+        self.receiver.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<InferenceResponse> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn request(id: u64) -> (InferenceRequest, Receiver<InferenceResponse>) {
+        let (tx, rx) = mpsc::channel();
+        let req = InferenceRequest {
+            id,
+            input: Tensor::zeros(vec![2, 2, 1]),
+            enqueued_at: Instant::now(),
+            responder: tx,
+        };
+        (req, rx)
+    }
+
+    #[test]
+    fn full_batches_form_without_waiting_for_the_deadline() {
+        let queue = BatchQueue::new(4, Duration::from_secs(60));
+        for id in 0..4 {
+            queue.push(request(id).0).unwrap();
+        }
+        let started = Instant::now();
+        let batch = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "must not wait out the delay"
+        );
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn partial_batches_release_at_the_deadline() {
+        let queue = BatchQueue::new(8, Duration::from_millis(30));
+        queue.push(request(1).0).unwrap();
+        let started = Instant::now();
+        let batch = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        let waited = started.elapsed();
+        assert!(
+            waited >= Duration::from_millis(15),
+            "released too early: {waited:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_backlog_splits_into_max_sized_batches() {
+        let queue = BatchQueue::new(3, Duration::from_millis(5));
+        for id in 0..7 {
+            queue.push(request(id).0).unwrap();
+        }
+        let sizes: Vec<usize> = (0..3).map(|_| queue.next_batch().unwrap().len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn close_drains_then_terminates() {
+        let queue = Arc::new(BatchQueue::new(2, Duration::from_millis(5)));
+        for id in 0..3 {
+            queue.push(request(id).0).unwrap();
+        }
+        queue.close();
+        assert!(queue.push(request(9).0).is_err());
+        assert_eq!(queue.next_batch().unwrap().len(), 2);
+        assert_eq!(queue.next_batch().unwrap().len(), 1);
+        assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_close() {
+        let queue = Arc::new(BatchQueue::new(2, Duration::from_secs(60)));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.next_batch().is_none())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert!(waiter.join().unwrap(), "worker should see the shutdown");
+    }
+
+    #[test]
+    fn preserves_fifo_order() {
+        let queue = BatchQueue::new(8, Duration::from_millis(5));
+        for id in 0..5 {
+            queue.push(request(id).0).unwrap();
+        }
+        let ids: Vec<u64> = queue.next_batch().unwrap().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

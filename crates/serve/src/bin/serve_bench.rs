@@ -1,0 +1,236 @@
+//! Synthetic open-loop serving benchmark.
+//!
+//! Drives the `tdc-serve` engine with a multi-client, open-loop workload
+//! (clients submit at a fixed rate regardless of completions — the standard
+//! way to surface queueing delay), prints throughput and latency
+//! percentiles, demonstrates at least one plan-cache hit via a warm engine
+//! restart, and records everything as a `BENCH_serve.json` artifact so later
+//! changes can track the serving-performance trajectory.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SERVE_BENCH_REQUESTS`  — total requests in the measured phase (default 240)
+//! * `SERVE_BENCH_CLIENTS`   — concurrent client threads (default 4)
+//! * `SERVE_BENCH_WORKERS`   — executor worker threads (default 4)
+//! * `SERVE_BENCH_RATE_HZ`   — per-client submission rate (default 1000)
+//! * `SERVE_BENCH_OUT`       — artifact path (default `BENCH_serve.json`)
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdc_serve::{
+    serving_descriptor, CacheOutcome, LatencySummary, PlanCache, ServeConfig, ServeEngine,
+    ServeMetrics,
+};
+use tdc_tensor::init;
+
+/// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ServeBenchArtifact {
+    schema_version: u32,
+    bench: String,
+    model: String,
+    device: String,
+    budget: f64,
+    workers: usize,
+    clients: usize,
+    max_batch_size: usize,
+    max_batch_delay_ms: f64,
+    requests: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    total_latency: LatencySummary,
+    queue_latency: LatencySummary,
+    exec_latency: LatencySummary,
+    mean_batch_size: f64,
+    max_batch_observed: u64,
+    predicted_gpu_ms_per_sample: f64,
+    predicted_gpu_ms_total: f64,
+    plan_fingerprint: String,
+    plan_cache_memory_hits: u64,
+    plan_cache_disk_hits: u64,
+    plan_cache_misses: u64,
+    decomposed_layers: usize,
+    achieved_flops_reduction: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let requests = env_usize("SERVE_BENCH_REQUESTS", 240);
+    let clients = env_usize("SERVE_BENCH_CLIENTS", 4).max(1);
+    let workers = env_usize("SERVE_BENCH_WORKERS", 4).max(1);
+    let rate_hz = env_f64("SERVE_BENCH_RATE_HZ", 1000.0);
+    let out_path =
+        std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
+    let config = ServeConfig {
+        workers,
+        max_batch_size: 8,
+        max_batch_delay: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    let cache = Arc::new(PlanCache::new(4));
+
+    println!(
+        "tdc-serve bench: model {} on {}",
+        descriptor.name, config.device.name
+    );
+    println!(
+        "  {requests} requests, {clients} clients @ {rate_hz:.0} req/s each, \
+         {workers} workers, batch <= {} / {:?}",
+        config.max_batch_size, config.max_batch_delay
+    );
+
+    // Cold start: planning is a cache miss.
+    let plan_started = Instant::now();
+    let engine = ServeEngine::start(&descriptor, &config, &cache).expect("start engine");
+    let cold_plan_ms = plan_started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(engine.plan_outcome(), CacheOutcome::Miss);
+    println!(
+        "  cold start: planned in {cold_plan_ms:.1} ms ({} of {} layers decomposed, \
+         {:.0}% FLOPs reduction)",
+        engine.model().decomposed_layers(),
+        engine.plan().decisions.len(),
+        engine.plan().achieved_reduction * 100.0
+    );
+
+    // Warm restart: same (model, device, budget) key must hit the cache.
+    drop(engine);
+    let warm_started = Instant::now();
+    let engine =
+        Arc::new(ServeEngine::start(&descriptor, &config, &cache).expect("restart engine"));
+    let warm_plan_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(engine.plan_outcome(), CacheOutcome::MemoryHit);
+    println!(
+        "  warm restart: plan cache hit, engine up in {warm_plan_ms:.1} ms \
+         ({}x faster than cold)",
+        (cold_plan_ms / warm_plan_ms.max(1e-9)).round()
+    );
+
+    // Open-loop measured phase.
+    let interval = Duration::from_secs_f64(1.0 / rate_hz.max(1.0));
+    let per_client = requests.div_ceil(clients);
+    let measured_started = Instant::now();
+    let client_threads: Vec<_> = (0..clients)
+        .map(|client_index| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + client_index as u64);
+                let mut pending = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let input = init::uniform(vec![16, 16, 8], -1.0, 1.0, &mut rng);
+                    pending.push(engine.submit(input).expect("submit"));
+                    std::thread::sleep(interval);
+                }
+                // Await everything this client submitted (arrivals stay
+                // open-loop; the drain at the end just bounds the run).
+                for p in pending {
+                    p.wait().expect("response");
+                }
+            })
+        })
+        .collect();
+    for t in client_threads {
+        t.join().expect("client thread");
+    }
+
+    let engine =
+        Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("clients still hold the engine"));
+    let predicted_gpu_ms_per_sample = engine.predicted_gpu_ms_per_sample();
+    let decomposed_layers = engine.model().decomposed_layers();
+    let achieved_flops_reduction = engine.plan().achieved_reduction;
+    let report = engine.shutdown();
+    let elapsed_s = measured_started.elapsed().as_secs_f64();
+    let metrics: &ServeMetrics = &report.metrics;
+    let throughput_rps = metrics.completed_requests as f64 / elapsed_s.max(1e-9);
+
+    println!("\n  measured phase: {:.2} s wall clock", elapsed_s);
+    println!(
+        "  completed        : {} requests in {} batches",
+        metrics.completed_requests, metrics.batches
+    );
+    println!("  throughput       : {throughput_rps:.1} req/s");
+    println!(
+        "  latency (total)  : p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+        metrics.total_latency.p50_ms,
+        metrics.total_latency.p90_ms,
+        metrics.total_latency.p99_ms,
+        metrics.total_latency.max_ms
+    );
+    println!(
+        "  latency (queue)  : p50 {:.2} ms  p99 {:.2} ms",
+        metrics.queue_latency.p50_ms, metrics.queue_latency.p99_ms
+    );
+    println!(
+        "  latency (exec)   : p50 {:.2} ms  p99 {:.2} ms",
+        metrics.exec_latency.p50_ms, metrics.exec_latency.p99_ms
+    );
+    println!(
+        "  batching         : mean {:.2} req/batch, max {}",
+        metrics.mean_batch_size, metrics.max_batch_size
+    );
+    println!(
+        "  predicted GPU    : {:.4} ms/sample on {}, {:.2} ms total for this workload",
+        predicted_gpu_ms_per_sample, config.device.name, metrics.predicted_gpu_ms_total
+    );
+    let stats = cache.stats();
+    println!(
+        "  plan cache       : {} memory hit(s), {} disk hit(s), {} miss(es)",
+        stats.memory_hits, stats.disk_hits, stats.misses
+    );
+
+    let artifact = ServeBenchArtifact {
+        schema_version: 1,
+        bench: "serve".into(),
+        model: descriptor.name.clone(),
+        device: config.device.name.clone(),
+        budget: config.budget,
+        workers,
+        clients,
+        max_batch_size: config.max_batch_size,
+        max_batch_delay_ms: config.max_batch_delay.as_secs_f64() * 1e3,
+        requests: metrics.completed_requests,
+        elapsed_s,
+        throughput_rps,
+        total_latency: metrics.total_latency,
+        queue_latency: metrics.queue_latency,
+        exec_latency: metrics.exec_latency,
+        mean_batch_size: metrics.mean_batch_size,
+        max_batch_observed: metrics.max_batch_size,
+        predicted_gpu_ms_per_sample,
+        predicted_gpu_ms_total: metrics.predicted_gpu_ms_total,
+        plan_fingerprint: format!("{:016x}", report.plan_fingerprint),
+        plan_cache_memory_hits: stats.memory_hits,
+        plan_cache_disk_hits: stats.disk_hits,
+        plan_cache_misses: stats.misses,
+        decomposed_layers,
+        achieved_flops_reduction,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(&out_path, json).expect("write artifact");
+    println!("\n  artifact written : {out_path}");
+
+    assert!(
+        stats.hits() >= 1,
+        "the warm restart must produce a plan-cache hit"
+    );
+    assert!(
+        metrics.completed_requests as usize >= requests,
+        "all requests must complete"
+    );
+}

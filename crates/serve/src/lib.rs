@@ -1,0 +1,171 @@
+//! # tdc-serve
+//!
+//! Batched inference serving for Tucker-compressed CNNs — the "serve online"
+//! half of the paper's compress-offline / serve-online split (Figure 1).
+//! Everything upstream of this crate is a one-shot batch job: plan a
+//! compression, print a figure, exit. `tdc-serve` turns those pieces into a
+//! long-lived, concurrent service:
+//!
+//! * [`plan_cache`] — memoizes [`tdc::CompressionPlan`]s behind a
+//!   `(model, device, FLOPs-budget)` key: in-memory LRU with an optional JSON
+//!   spill directory, so a restarted server skips rank selection entirely.
+//! * [`batcher`] — a request queue with a dynamic batcher: requests coalesce
+//!   until either `max_batch_size` is reached or the oldest request has
+//!   waited `max_batch_delay`, then the batch is handed to a worker.
+//! * [`model`] — the executor: a materialized compressed network that runs
+//!   real CPU forward passes — kept layers through `tdc-conv`'s algorithm
+//!   zoo, decomposed layers through `tdc-tucker`'s three-stage Tucker-2
+//!   convolution — alongside the predicted GPU latency per batch from
+//!   `tdc::inference`.
+//! * [`server`] — the engine tying the three together with a worker thread
+//!   pool, graceful drain on shutdown, and [`metrics`] (throughput,
+//!   latency percentiles, batch-size distribution).
+//!
+//! The `serve_bench` binary drives a synthetic open-loop workload against the
+//! engine and records a `BENCH_serve.json` artifact; `examples/serve_demo.rs`
+//! at the repository root is the minimal end-to-end tour.
+
+pub mod batcher;
+pub mod metrics;
+pub mod model;
+pub mod plan_cache;
+pub mod server;
+
+pub use batcher::{BatchQueue, InferenceRequest, InferenceResponse};
+pub use metrics::{LatencySummary, ServeMetrics};
+pub use model::CompressedModel;
+pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheStats, PlanKey};
+pub use server::{ServeConfig, ServeEngine, ServeReport};
+
+use tdc_conv::ConvShape;
+use tdc_nn::models::ModelDescriptor;
+
+/// Errors produced by the serving subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying TDC framework failed (planning, tiling, ...).
+    Tdc(tdc::TdcError),
+    /// A tensor/convolution operation failed during execution.
+    Conv(tdc_conv::ConvError),
+    /// A Tucker operation failed during materialization or execution.
+    Tucker(tdc_tucker::TuckerError),
+    /// The model descriptor cannot be executed as a sequential chain.
+    NotAChain { layer_index: usize, reason: String },
+    /// An inference input does not match the model's expected shape.
+    BadInput {
+        expected: Vec<usize>,
+        actual: Vec<usize>,
+    },
+    /// The engine is shut down and no longer accepts requests.
+    Closed,
+    /// Invalid serving configuration.
+    BadConfig { reason: String },
+    /// A plan-cache spill could not be read or written.
+    Spill { reason: String },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Tdc(e) => write!(f, "planning error: {e}"),
+            ServeError::Conv(e) => write!(f, "convolution error: {e}"),
+            ServeError::Tucker(e) => write!(f, "tucker error: {e}"),
+            ServeError::NotAChain {
+                layer_index,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "descriptor is not a sequential chain at layer {layer_index}: {reason}"
+                )
+            }
+            ServeError::BadInput { expected, actual } => {
+                write!(
+                    f,
+                    "bad inference input: expected {expected:?}, got {actual:?}"
+                )
+            }
+            ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::BadConfig { reason } => write!(f, "bad serving configuration: {reason}"),
+            ServeError::Spill { reason } => write!(f, "plan-cache spill error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<tdc::TdcError> for ServeError {
+    fn from(e: tdc::TdcError) -> Self {
+        ServeError::Tdc(e)
+    }
+}
+
+impl From<tdc_conv::ConvError> for ServeError {
+    fn from(e: tdc_conv::ConvError) -> Self {
+        ServeError::Conv(e)
+    }
+}
+
+impl From<tdc_tucker::TuckerError> for ServeError {
+    fn from(e: tdc_tucker::TuckerError) -> Self {
+        ServeError::Tucker(e)
+    }
+}
+
+impl From<tdc_tensor::TensorError> for ServeError {
+    fn from(e: tdc_tensor::TensorError) -> Self {
+        ServeError::Conv(tdc_conv::ConvError::Tensor(e))
+    }
+}
+
+/// Result alias for the serving subsystem.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// A miniature VGG-style serving model: a chain of same-padded 3×3
+/// convolutions that widens from `base` to `4·base` channels over a
+/// `spatial × spatial` input, closed by one FC layer to `classes` logits.
+/// Every consecutive pair of layers is shape-compatible, so the descriptor is
+/// executable as a real sequential network — the property the executor needs
+/// and the ImageNet descriptors (with their residual shortcuts) do not have.
+pub fn serving_descriptor(
+    name: &str,
+    spatial: usize,
+    base: usize,
+    classes: usize,
+) -> ModelDescriptor {
+    let convs = vec![
+        ConvShape::same3x3(base, base * 2, spatial, spatial),
+        ConvShape::same3x3(base * 2, base * 2, spatial, spatial),
+        ConvShape::same3x3(base * 2, base * 4, spatial, spatial),
+        ConvShape::same3x3(base * 4, base * 4, spatial, spatial),
+    ];
+    ModelDescriptor {
+        name: name.into(),
+        convs,
+        fc: vec![(base * 4, classes)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_descriptor_is_a_chain() {
+        let d = serving_descriptor("svc", 16, 8, 10);
+        for pair in d.convs.windows(2) {
+            assert_eq!(pair[0].output_dims(), pair[1].input_dims());
+        }
+        assert_eq!(d.fc, vec![(32, 10)]);
+        assert_eq!(d.convs.len(), 4);
+    }
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e: ServeError = tdc::TdcError::BadConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("planning error"));
+        let e: ServeError = tdc_tensor::TensorError::NotAMatrix { rank: 3 }.into();
+        assert!(e.to_string().contains("convolution error"));
+        assert!(ServeError::Closed.to_string().contains("shut down"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The serving engine: planning through the cache, executor materialization,
+//! the worker thread pool, and graceful shutdown.
+
+use crate::batcher::{BatchQueue, InferenceRequest, InferenceResponse, PendingResponse};
+use crate::metrics::{MetricsRecorder, ServeMetrics};
+use crate::model::{CompressedModel, DenseAlgorithm};
+use crate::plan_cache::{CacheOutcome, PlanCache, PlanKey};
+use crate::{Result, ServeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tdc::inference::Backend;
+use tdc::rank_select::RankSelectionConfig;
+use tdc::tiling::TilingStrategy;
+use tdc::{CompressionPlan, TdcPipeline};
+use tdc_gpu_sim::DeviceSpec;
+use tdc_nn::models::ModelDescriptor;
+use tdc_tensor::Tensor;
+
+/// Configuration of one serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Target device model for planning and predicted-latency reporting.
+    pub device: DeviceSpec,
+    /// Tiling strategy used when planning.
+    pub strategy: TilingStrategy,
+    /// FLOPs-reduction budget for rank selection.
+    pub budget: f64,
+    /// Rank-candidate step (use small steps for miniature serving models).
+    pub rank_step: usize,
+    /// θ skip threshold for rank selection (0 decomposes whenever feasible).
+    pub theta: f64,
+    /// Maximum requests per batch.
+    pub max_batch_size: usize,
+    /// Longest the oldest queued request may wait for batch-mates.
+    pub max_batch_delay: Duration,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Seed for weight materialization.
+    pub seed: u64,
+    /// CPU algorithm for kept (dense) layers.
+    pub dense_algorithm: DenseAlgorithm,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            device: DeviceSpec::a100(),
+            strategy: TilingStrategy::Model,
+            budget: 0.5,
+            rank_step: 4,
+            theta: 0.0,
+            max_batch_size: 8,
+            max_batch_delay: Duration::from_millis(2),
+            workers: 2,
+            seed: 0x7DC,
+            dense_algorithm: DenseAlgorithm::Im2col,
+        }
+    }
+}
+
+/// Final report returned by [`ServeEngine::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Aggregated metrics at shutdown.
+    pub metrics: ServeMetrics,
+    /// How the engine's plan was obtained.
+    pub plan_outcome: CacheOutcome,
+    /// Fingerprint of the plan served.
+    pub plan_fingerprint: u64,
+}
+
+/// A running, batched inference service for one compressed model.
+pub struct ServeEngine {
+    queue: Arc<BatchQueue>,
+    metrics: Arc<MetricsRecorder>,
+    workers: Vec<JoinHandle<()>>,
+    plan: Arc<CompressionPlan>,
+    plan_outcome: CacheOutcome,
+    model: Arc<CompressedModel>,
+    next_id: AtomicU64,
+    predicted_gpu_ms_per_sample: f64,
+}
+
+impl ServeEngine {
+    /// Plan (through `cache`), materialize the executor, and start the
+    /// worker pool.
+    pub fn start(
+        descriptor: &ModelDescriptor,
+        config: &ServeConfig,
+        cache: &PlanCache,
+    ) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "workers must be > 0".into(),
+            });
+        }
+        let cfg = RankSelectionConfig {
+            budget: config.budget,
+            theta: config.theta,
+            strategy: config.strategy,
+            rank_step: config.rank_step,
+        };
+        let key = PlanKey::new(&descriptor.name, &config.device.name, &cfg);
+        let (plan, plan_outcome) = cache.get_or_compute(&key, || {
+            let pipeline = TdcPipeline::new(config.device.clone(), config.strategy);
+            pipeline
+                .plan_with_config(descriptor, &cfg)
+                .map_err(Into::into)
+        })?;
+        let model = Arc::new(CompressedModel::materialize_with(
+            descriptor,
+            &plan,
+            config.seed,
+            config.dense_algorithm,
+        )?);
+        // Validate the whole execution chain once with a zero input, so a
+        // dense algorithm that cannot run one of the kept layers (e.g.
+        // Winograd on a stride-2 layer) fails engine start with a real error
+        // instead of silently dropping every request in the workers.
+        model.forward(&Tensor::zeros(model.input_dims().to_vec()))?;
+        // Predicted GPU latency of one sample under the paper's TDC-model
+        // backend; workers scale it by batch size when reporting.
+        let predicted_gpu_ms_per_sample = plan
+            .report(Backend::TuckerTdcModel)
+            .map(|r| r.total_ms)
+            .unwrap_or(0.0);
+
+        let queue = Arc::new(BatchQueue::new(
+            config.max_batch_size,
+            config.max_batch_delay,
+        ));
+        let metrics = Arc::new(MetricsRecorder::default());
+        let workers = (0..config.workers)
+            .map(|worker_index| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let model = Arc::clone(&model);
+                std::thread::Builder::new()
+                    .name(format!("tdc-serve-worker-{worker_index}"))
+                    .spawn(move || {
+                        worker_loop(&queue, &metrics, &model, predicted_gpu_ms_per_sample)
+                    })
+                    .expect("spawn serving worker")
+            })
+            .collect();
+
+        Ok(ServeEngine {
+            queue,
+            metrics,
+            workers,
+            plan,
+            plan_outcome,
+            model,
+            next_id: AtomicU64::new(0),
+            predicted_gpu_ms_per_sample,
+        })
+    }
+
+    /// The compression plan this engine serves.
+    pub fn plan(&self) -> &CompressionPlan {
+        &self.plan
+    }
+
+    /// How the plan was obtained from the cache.
+    pub fn plan_outcome(&self) -> CacheOutcome {
+        self.plan_outcome
+    }
+
+    /// The materialized executor.
+    pub fn model(&self) -> &CompressedModel {
+        &self.model
+    }
+
+    /// Predicted GPU latency of a single sample on the planned device, ms.
+    pub fn predicted_gpu_ms_per_sample(&self) -> f64 {
+        self.predicted_gpu_ms_per_sample
+    }
+
+    /// Submit one HWC input; returns a handle to await the response.
+    pub fn submit(&self, input: Tensor) -> Result<PendingResponse> {
+        if input.dims() != self.model.input_dims() {
+            return Err(ServeError::BadInput {
+                expected: self.model.input_dims().to_vec(),
+                actual: input.dims().to_vec(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let request = InferenceRequest {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            input,
+            enqueued_at: Instant::now(),
+            responder: tx,
+        };
+        self.queue.push(request)?;
+        Ok(PendingResponse::new(rx))
+    }
+
+    /// Submit and block for the response.
+    pub fn infer(&self, input: Tensor) -> Result<InferenceResponse> {
+        self.submit(input)?.wait()
+    }
+
+    /// Metrics snapshot of the work completed so far.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics.snapshot()
+    }
+
+    /// Current queue depth (requests not yet dispatched to a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Stop accepting requests, drain the queue, join the workers and return
+    /// the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        ServeReport {
+            metrics: self.metrics.snapshot(),
+            plan_outcome: self.plan_outcome,
+            plan_fingerprint: self.plan.fingerprint(),
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Belt and braces for engines dropped without `shutdown()`: close the
+        // queue so workers terminate instead of blocking forever.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &BatchQueue,
+    metrics: &MetricsRecorder,
+    model: &CompressedModel,
+    predicted_gpu_ms_per_sample: f64,
+) {
+    while let Some(batch) = queue.next_batch() {
+        let batch_size = batch.len();
+        let predicted_gpu_batch_ms = predicted_gpu_ms_per_sample * batch_size as f64;
+        let exec_started = Instant::now();
+        let outputs: Vec<Option<Tensor>> = batch
+            .iter()
+            .map(|request| model.forward(&request.input).ok())
+            .collect();
+        let exec_ms = exec_started.elapsed().as_secs_f64() * 1e3;
+        metrics.record_batch(batch_size, predicted_gpu_batch_ms);
+        let completed_at = Instant::now();
+        for (request, output) in batch.into_iter().zip(outputs) {
+            // Engine start validates the whole chain with a probe forward and
+            // `submit` rejects wrong shapes, so a failure here is a genuine
+            // anomaly (e.g. an algorithm panic-adjacent edge); the request is
+            // dropped and the client's `wait` surfaces `Closed`.
+            let Some(output) = output else { continue };
+            let total_ms = completed_at
+                .duration_since(request.enqueued_at)
+                .as_secs_f64()
+                * 1e3;
+            let queue_ms = (total_ms - exec_ms).max(0.0);
+            metrics.record_request(total_ms, queue_ms, exec_ms);
+            let response = InferenceResponse {
+                id: request.id,
+                output,
+                queue_ms,
+                exec_ms,
+                batch_size,
+                predicted_gpu_batch_ms,
+            };
+            // The client may have given up; that is not the worker's problem.
+            let _ = request.responder.send(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving_descriptor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tdc_tensor::init;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            max_batch_size: 4,
+            max_batch_delay: Duration::from_millis(2),
+            workers: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_concurrent_requests_and_batches_them() {
+        let descriptor = serving_descriptor("engine-test", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        let engine = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        assert_eq!(engine.plan_outcome(), CacheOutcome::Miss);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let pending: Vec<_> = (0..16)
+            .map(|_| {
+                engine
+                    .submit(init::uniform(vec![10, 10, 4], -1.0, 1.0, &mut rng))
+                    .unwrap()
+            })
+            .collect();
+        for p in pending {
+            let response = p.wait().unwrap();
+            assert_eq!(response.output.dims(), &[6]);
+            assert!(response.batch_size >= 1);
+            assert!(response.predicted_gpu_batch_ms > 0.0);
+            assert!(response.total_ms() >= response.exec_ms);
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.metrics.completed_requests, 16);
+        assert!(report.metrics.batches <= 16);
+        assert!(report.metrics.mean_batch_size >= 1.0);
+    }
+
+    #[test]
+    fn second_engine_start_hits_the_plan_cache() {
+        let descriptor = serving_descriptor("engine-cache", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        let first = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        let fp = first.plan().fingerprint();
+        drop(first);
+        let second = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        assert_eq!(second.plan_outcome(), CacheOutcome::MemoryHit);
+        assert_eq!(second.plan().fingerprint(), fp);
+        assert_eq!(cache.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs_and_configs() {
+        let descriptor = serving_descriptor("engine-bad", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        let engine = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        assert!(engine.submit(Tensor::zeros(vec![3, 3, 3])).is_err());
+        drop(engine);
+        let bad = ServeConfig {
+            workers: 0,
+            ..test_config()
+        };
+        assert!(ServeEngine::start(&descriptor, &bad, &cache).is_err());
+    }
+
+    #[test]
+    fn start_rejects_a_dense_algorithm_that_cannot_run_a_kept_layer() {
+        use crate::model::DenseAlgorithm;
+        use tdc_conv::ConvShape;
+        use tdc_nn::models::ModelDescriptor;
+        // A chain with a pointwise layer: always kept dense, and Winograd
+        // cannot execute 1x1 filters. The probe forward at start must catch
+        // this instead of letting workers drop every request.
+        let descriptor = ModelDescriptor {
+            name: "engine-wino".into(),
+            convs: vec![
+                ConvShape::same3x3(4, 8, 10, 10),
+                ConvShape::pointwise(8, 8, 10, 10),
+            ],
+            fc: vec![(8, 3)],
+        };
+        let cache = PlanCache::new(2);
+        let bad = ServeConfig {
+            dense_algorithm: DenseAlgorithm::Winograd,
+            ..test_config()
+        };
+        assert!(matches!(
+            ServeEngine::start(&descriptor, &bad, &cache),
+            Err(ServeError::Conv(_))
+        ));
+        // The same descriptor serves fine with the default algorithm.
+        let ok = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        drop(ok);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let descriptor = serving_descriptor("engine-close", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        let engine = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        let input = Tensor::zeros(vec![10, 10, 4]);
+        engine.queue.close();
+        assert!(matches!(engine.submit(input), Err(ServeError::Closed)));
+    }
+}

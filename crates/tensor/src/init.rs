@@ -77,8 +77,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = normal(vec![20_000], 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var: f32 =
-            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.numel() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
         assert!(t.is_finite());

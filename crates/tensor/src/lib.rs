@@ -44,7 +44,11 @@ pub enum TensorError {
     /// The number of elements implied by the shape does not match the data length.
     ShapeDataMismatch { expected: usize, actual: usize },
     /// Two operands have incompatible shapes for the requested operation.
-    ShapeMismatch { lhs: Vec<usize>, rhs: Vec<usize>, op: &'static str },
+    ShapeMismatch {
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+        op: &'static str,
+    },
     /// A dimension index was out of range for the tensor's rank.
     InvalidAxis { axis: usize, rank: usize },
     /// A multi-dimensional index was out of bounds.
@@ -54,7 +58,10 @@ pub enum TensorError {
     /// An operation requires a matrix (rank-2 tensor) but got something else.
     NotAMatrix { rank: usize },
     /// Numerical routine failed to converge.
-    NoConvergence { routine: &'static str, iterations: usize },
+    NoConvergence {
+        routine: &'static str,
+        iterations: usize,
+    },
     /// A parameter was outside its legal range.
     InvalidParameter { what: &'static str },
 }
@@ -81,8 +88,14 @@ impl std::fmt::Display for TensorError {
             TensorError::NotAMatrix { rank } => {
                 write!(f, "expected a rank-2 tensor, got rank {rank}")
             }
-            TensorError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} failed to converge after {iterations} iterations")
+            TensorError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} failed to converge after {iterations} iterations"
+                )
             }
             TensorError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
         }
@@ -100,7 +113,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TensorError::ShapeDataMismatch { expected: 6, actual: 5 };
+        let e = TensorError::ShapeDataMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert!(e.to_string().contains("6"));
         assert!(e.to_string().contains("5"));
 
@@ -111,7 +127,10 @@ mod tests {
         };
         assert!(e.to_string().contains("matmul"));
 
-        let e = TensorError::NoConvergence { routine: "jacobi_svd", iterations: 100 };
+        let e = TensorError::NoConvergence {
+            routine: "jacobi_svd",
+            iterations: 100,
+        };
         assert!(e.to_string().contains("jacobi_svd"));
     }
 

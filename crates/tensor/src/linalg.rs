@@ -12,13 +12,17 @@ pub fn identity(n: usize) -> Tensor {
 /// Thin QR decomposition of an `m × n` matrix with `m >= n`, via modified
 /// Gram-Schmidt. Returns `(Q, R)` with `Q: m × n` (orthonormal columns) and
 /// `R: n × n` upper triangular.
+// Index-symmetric numeric kernel: explicit indices mirror the math.
+#[allow(clippy::needless_range_loop)]
 pub fn qr(a: &Tensor) -> Result<(Tensor, Tensor)> {
     if a.rank() != 2 {
         return Err(TensorError::NotAMatrix { rank: a.rank() });
     }
     let (m, n) = (a.dims()[0], a.dims()[1]);
     if m < n {
-        return Err(TensorError::InvalidParameter { what: "qr requires rows >= cols" });
+        return Err(TensorError::InvalidParameter {
+            what: "qr requires rows >= cols",
+        });
     }
     // Work column-wise in f64 for stability.
     let mut cols: Vec<Vec<f64>> = (0..n)

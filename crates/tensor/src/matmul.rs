@@ -73,9 +73,11 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
     };
     if m * n >= PAR_MIN_WORK {
-        out.par_chunks_mut(MC * n).enumerate().for_each(|(bi, block)| {
-            do_row_block(bi * MC, block);
-        });
+        out.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(bi, block)| {
+                do_row_block(bi * MC, block);
+            });
     } else {
         for (bi, block) in out.chunks_mut(MC * n).enumerate() {
             do_row_block(bi * MC, block);
@@ -110,7 +112,9 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
     };
     if m * n >= PAR_MIN_WORK {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
     } else {
         for (i, row) in out.chunks_mut(n).enumerate() {
             body(i, row);
@@ -239,12 +243,21 @@ mod tests {
     #[test]
     fn blocked_matches_naive_on_random_sizes() {
         let mut rng = StdRng::seed_from_u64(7);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (70, 130, 65), (128, 257, 96)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 33, 9),
+            (70, 130, 65),
+            (128, 257, 96),
+        ] {
             let a = init::uniform(vec![m, k], -1.0, 1.0, &mut rng);
             let b = init::uniform(vec![k, n], -1.0, 1.0, &mut rng);
             let fast = matmul(&a, &b).unwrap();
             let slow = matmul_naive(&a, &b).unwrap();
-            assert!(fast.relative_error(&slow).unwrap() < 1e-5, "m={m} k={k} n={n}");
+            assert!(
+                fast.relative_error(&slow).unwrap() < 1e-5,
+                "m={m} k={k} n={n}"
+            );
         }
     }
 

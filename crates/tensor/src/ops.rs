@@ -24,7 +24,12 @@ fn check_same_shape(a: &Tensor, b: &Tensor, op: &'static str) -> Result<()> {
     Ok(())
 }
 
-fn binary_op(a: &Tensor, b: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
+fn binary_op(
+    a: &Tensor,
+    b: &Tensor,
+    op: &'static str,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) -> Result<Tensor> {
     check_same_shape(a, b, op)?;
     let mut out = vec![0.0f32; a.numel()];
     if a.numel() >= PAR_THRESHOLD {
@@ -139,6 +144,8 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
 }
 
 /// Sum over the last axis of a rank-2 tensor, producing a rank-1 tensor of row sums.
+// Index-symmetric numeric kernel: explicit indices mirror the math.
+#[allow(clippy::needless_range_loop)]
 pub fn row_sums(a: &Tensor) -> Result<Tensor> {
     if a.rank() != 2 {
         return Err(TensorError::NotAMatrix { rank: a.rank() });
@@ -156,6 +163,8 @@ pub fn row_sums(a: &Tensor) -> Result<Tensor> {
 }
 
 /// Column sums of a rank-2 tensor.
+// Index-symmetric numeric kernel: explicit indices mirror the math.
+#[allow(clippy::needless_range_loop)]
 pub fn col_sums(a: &Tensor) -> Result<Tensor> {
     if a.rank() != 2 {
         return Err(TensorError::NotAMatrix { rank: a.rank() });

@@ -53,7 +53,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::InvalidAxis { axis, rank: self.rank() })
+            .ok_or(TensorError::InvalidAxis {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Flatten a multi-dimensional index into a linear offset.
@@ -171,7 +174,10 @@ mod tests {
         let s = Shape::new(vec![7, 9]);
         assert_eq!(s.dim(0).unwrap(), 7);
         assert_eq!(s.dim(1).unwrap(), 9);
-        assert!(matches!(s.dim(2), Err(TensorError::InvalidAxis { axis: 2, rank: 2 })));
+        assert!(matches!(
+            s.dim(2),
+            Err(TensorError::InvalidAxis { axis: 2, rank: 2 })
+        ));
     }
 
     #[test]

@@ -40,9 +40,8 @@ impl Svd {
             }
         }
         let us = Tensor::from_vec(vec![m, k], us)?;
-        crate::matmul::matmul_a_bt(&us, &self.v).map(|t| {
+        crate::matmul::matmul_a_bt(&us, &self.v).inspect(|t| {
             debug_assert_eq!(t.dims(), &[m, n]);
-            t
         })
     }
 
@@ -83,7 +82,9 @@ pub fn svd(a: &Tensor) -> Result<Svd> {
     }
     let (m, n) = (a.dims()[0], a.dims()[1]);
     if m == 0 || n == 0 {
-        return Err(TensorError::InvalidParameter { what: "svd of an empty matrix" });
+        return Err(TensorError::InvalidParameter {
+            what: "svd of an empty matrix",
+        });
     }
     if m <= n {
         svd_rows_leq_cols(a)
@@ -91,7 +92,11 @@ pub fn svd(a: &Tensor) -> Result<Svd> {
         // Work on the transpose and swap the factors.
         let at = transpose(a)?;
         let r = svd_rows_leq_cols(&at)?;
-        Ok(Svd { u: r.v, s: r.s, v: r.u })
+        Ok(Svd {
+            u: r.v,
+            s: r.s,
+            v: r.u,
+        })
     }
 }
 
@@ -165,7 +170,10 @@ fn svd_rows_leq_cols(a: &Tensor) -> Result<Svd> {
     // Singular values are the row norms of W; V columns are the normalised rows.
     let mut entries: Vec<(f64, usize)> = (0..m)
         .map(|i| {
-            let norm: f64 = (0..n).map(|j| w[i * n + j] * w[i * n + j]).sum::<f64>().sqrt();
+            let norm: f64 = (0..n)
+                .map(|j| w[i * n + j] * w[i * n + j])
+                .sum::<f64>()
+                .sqrt();
             (norm, i)
         })
         .collect();
@@ -229,7 +237,11 @@ mod tests {
     #[test]
     fn svd_of_diagonal_matrix() {
         let a = Tensor::from_fn(vec![3, 3], |i| {
-            if i[0] == i[1] { (3 - i[0]) as f32 } else { 0.0 }
+            if i[0] == i[1] {
+                (3 - i[0]) as f32
+            } else {
+                0.0
+            }
         });
         let r = svd(&a).unwrap();
         assert!((r.s[0] - 3.0).abs() < 1e-4);

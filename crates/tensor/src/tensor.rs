@@ -53,7 +53,10 @@ impl Tensor {
 
     /// Create a rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Create a tensor whose elements are produced by `f(multi_index)`.
@@ -138,7 +141,10 @@ impl Tensor {
                 to: new_shape.numel(),
             });
         }
-        Ok(Tensor { shape: new_shape, data: self.data })
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data,
+        })
     }
 
     /// Return a copy with axes permuted according to `perm` (a permutation of
@@ -146,12 +152,16 @@ impl Tensor {
     pub fn permute(&self, perm: &[usize]) -> Result<Self> {
         let rank = self.rank();
         if perm.len() != rank {
-            return Err(TensorError::InvalidParameter { what: "permutation length must equal rank" });
+            return Err(TensorError::InvalidParameter {
+                what: "permutation length must equal rank",
+            });
         }
         let mut seen = vec![false; rank];
         for &p in perm {
             if p >= rank || seen[p] {
-                return Err(TensorError::InvalidParameter { what: "permutation must be a bijection of axes" });
+                return Err(TensorError::InvalidParameter {
+                    what: "permutation must be a bijection of axes",
+                });
             }
             seen[p] = true;
         }
@@ -169,12 +179,19 @@ impl Tensor {
             }
             *slot = self.data[src];
         }
-        Ok(Tensor { shape: new_shape, data })
+        Ok(Tensor {
+            shape: new_shape,
+            data,
+        })
     }
 
     /// Frobenius norm (square root of the sum of squares).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Sum of all elements.
@@ -254,7 +271,11 @@ impl Tensor {
         }
         let denom = other.frobenius_norm() as f64;
         let num = diff.sqrt();
-        Ok(if denom > 0.0 { (num / denom) as f32 } else { num as f32 })
+        Ok(if denom > 0.0 {
+            (num / denom) as f32
+        } else {
+            num as f32
+        })
     }
 }
 
@@ -278,7 +299,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec(vec![2, 2], vec![1.0; 5]),
-            Err(TensorError::ShapeDataMismatch { expected: 4, actual: 5 })
+            Err(TensorError::ShapeDataMismatch {
+                expected: 4,
+                actual: 5
+            })
         ));
     }
 

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
-use tdc_tensor::matricize::{fold, unfold};
 use tdc_tensor::matmul::{matmul, matmul_naive, transpose};
+use tdc_tensor::matricize::{fold, unfold};
 use tdc_tensor::svd::svd;
 use tdc_tensor::{init, linalg, ops};
 

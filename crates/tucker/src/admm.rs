@@ -94,7 +94,11 @@ pub struct AdmmTrainer {
 impl AdmmTrainer {
     /// Create a trainer for a network whose convolutions get the given ranks.
     pub fn new(ranks: Vec<Option<RankPair>>, config: AdmmConfig) -> Self {
-        AdmmTrainer { states: vec![None; ranks.len()], ranks, config }
+        AdmmTrainer {
+            states: vec![None; ranks.len()],
+            ranks,
+            config,
+        }
     }
 
     fn ensure_states(&mut self, network: &mut Network) -> Result<()> {
@@ -133,7 +137,11 @@ impl AdmmTrainer {
                 count += 1;
             }
         }
-        Ok(if count == 0 { 0.0 } else { total / count as f32 })
+        Ok(if count == 0 {
+            0.0
+        } else {
+            total / count as f32
+        })
     }
 
     /// Run ADMM-incorporated training on `network` over `dataset`.
@@ -280,13 +288,20 @@ pub fn direct_compress(
 /// Uniform rank assignment helper: give every convolution with more than
 /// `min_channels` input and output channels the rank pair that divides its
 /// channels by `divisor` (rounded up), leaving small layers dense.
-pub fn uniform_ranks(network: &mut Network, divisor: usize, min_channels: usize) -> Vec<Option<RankPair>> {
+pub fn uniform_ranks(
+    network: &mut Network,
+    divisor: usize,
+    min_channels: usize,
+) -> Vec<Option<RankPair>> {
     network
         .conv_shapes()
         .iter()
         .map(|s| {
             if s.r > 1 && s.c >= min_channels && s.n >= min_channels {
-                Some(RankPair::new((s.c).div_ceil(divisor).max(1), (s.n).div_ceil(divisor).max(1)))
+                Some(RankPair::new(
+                    (s.c).div_ceil(divisor).max(1),
+                    (s.n).div_ceil(divisor).max(1),
+                ))
             } else {
                 None
             }
@@ -328,8 +343,16 @@ mod tests {
         let (mut net, train_set, _) = setup();
         pretrain(&mut net, &train_set);
         let ranks = uniform_ranks(&mut net, 2, 8);
-        assert!(ranks.iter().any(|r| r.is_some()), "at least one layer should be decomposed");
-        let cfg = AdmmConfig { epochs: 5, rho: 0.05, batch_size: 8, ..Default::default() };
+        assert!(
+            ranks.iter().any(|r| r.is_some()),
+            "at least one layer should be decomposed"
+        );
+        let cfg = AdmmConfig {
+            epochs: 5,
+            rho: 0.05,
+            batch_size: 8,
+            ..Default::default()
+        };
         let mut trainer = AdmmTrainer::new(ranks, cfg);
         let before = trainer.rank_violation(&mut net).unwrap();
         let history = trainer.train(&mut net, &train_set).unwrap();
@@ -380,15 +403,26 @@ mod tests {
         // (25% for 4 classes). The paper-scale "≤0.05% accuracy drop" claim is
         // not reproducible at this miniature scale — the full comparison is
         // generated by the Table 2/3 benchmark binaries.
-        assert!(baseline_acc > 0.8, "baseline should fit the task, got {baseline_acc}");
-        assert!(admm_acc > 0.3, "compressed accuracy {admm_acc} should beat chance");
+        assert!(
+            baseline_acc > 0.8,
+            "baseline should fit the task, got {baseline_acc}"
+        );
+        assert!(
+            admm_acc > 0.3,
+            "compressed accuracy {admm_acc} should beat chance"
+        );
     }
 
     #[test]
     fn finalize_returns_factors_with_requested_ranks() {
         let (mut net, train_set, _) = setup();
         let ranks = uniform_ranks(&mut net, 2, 8);
-        let cfg = AdmmConfig { epochs: 1, finetune_epochs: 0, batch_size: 8, ..Default::default() };
+        let cfg = AdmmConfig {
+            epochs: 1,
+            finetune_epochs: 0,
+            batch_size: 8,
+            ..Default::default()
+        };
         let mut trainer = AdmmTrainer::new(ranks.clone(), cfg);
         trainer.train(&mut net, &train_set).unwrap();
         let factors = trainer.finalize(&mut net, None).unwrap();

@@ -57,15 +57,20 @@ mod tests {
         let shape = ConvShape::same3x3(64, 128, 28, 28);
         let (d1, d2) = (32, 32);
         assert_eq!(dense_params(&shape) as usize, 64 * 128 * 9);
-        assert_eq!(tucker_params(&shape, d1, d2) as usize, 64 * 32 + 9 * 32 * 32 + 128 * 32);
-        let expected_gamma_p = (64.0 * 128.0 * 9.0) / (64.0 * 32.0 + 9.0 * 32.0 * 32.0 + 128.0 * 32.0);
+        assert_eq!(
+            tucker_params(&shape, d1, d2) as usize,
+            64 * 32 + 9 * 32 * 32 + 128 * 32
+        );
+        let expected_gamma_p =
+            (64.0 * 128.0 * 9.0) / (64.0 * 32.0 + 9.0 * 32.0 * 32.0 + 128.0 * 32.0);
         assert!((gamma_p(&shape, d1, d2) - expected_gamma_p).abs() < 1e-9);
 
         let dense = 2.0 * 28.0 * 28.0 * 9.0 * 64.0 * 128.0;
         assert!((dense_flops(&shape) - dense).abs() < 1.0);
-        let tucker = 2.0 * (28.0 * 28.0 * 64.0 * 32.0
-            + 28.0 * 28.0 * 9.0 * 32.0 * 32.0
-            + 28.0 * 28.0 * 128.0 * 32.0);
+        let tucker = 2.0
+            * (28.0 * 28.0 * 64.0 * 32.0
+                + 28.0 * 28.0 * 9.0 * 32.0 * 32.0
+                + 28.0 * 28.0 * 128.0 * 32.0);
         assert!((tucker_flops(&shape, d1, d2) - tucker).abs() < 1.0);
         assert!((gamma_f(&shape, d1, d2) - dense / tucker).abs() < 1e-9);
     }

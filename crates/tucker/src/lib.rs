@@ -31,9 +31,16 @@ pub use tucker_conv::TuckerConv;
 #[derive(Debug, Clone, PartialEq)]
 pub enum TuckerError {
     /// A rank exceeds the dimension it compresses.
-    BadRank { rank: usize, dim: usize, which: &'static str },
+    BadRank {
+        rank: usize,
+        dim: usize,
+        which: &'static str,
+    },
     /// The kernel tensor does not have the expected CNRS shape.
-    BadKernel { expected: String, actual: Vec<usize> },
+    BadKernel {
+        expected: String,
+        actual: Vec<usize>,
+    },
     /// An underlying tensor operation failed.
     Tensor(tdc_tensor::TensorError),
     /// An underlying convolution failed.
@@ -90,7 +97,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TuckerError::BadRank { rank: 64, dim: 32, which: "input channel" };
+        let e = TuckerError::BadRank {
+            rank: 64,
+            dim: 32,
+            which: "input channel",
+        };
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("input channel"));
         let e: TuckerError = tdc_tensor::TensorError::NotAMatrix { rank: 1 }.into();

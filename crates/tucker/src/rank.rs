@@ -41,7 +41,7 @@ impl std::fmt::Display for RankPair {
 pub fn rank_values(dim: usize, step: usize) -> Vec<usize> {
     let step = step.max(1);
     let mut out: Vec<usize> = (1..=dim / step).map(|k| k * step).collect();
-    if out.is_empty() || dim % step != 0 {
+    if out.is_empty() || !dim.is_multiple_of(step) {
         out.push(dim);
     }
     out.sort_unstable();
@@ -75,7 +75,10 @@ pub fn meets_budget(shape: &ConvShape, rank: RankPair, budget: f64) -> bool {
 
 /// The candidates (in step-32 space) that satisfy the budget for a layer.
 pub fn admissible_candidates(shape: &ConvShape, budget: f64) -> Vec<RankPair> {
-    rank_candidates(shape).into_iter().filter(|&r| meets_budget(shape, r, budget)).collect()
+    rank_candidates(shape)
+        .into_iter()
+        .filter(|&r| meets_budget(shape, r, budget))
+        .collect()
 }
 
 /// Among admissible candidates, the ones with the largest total rank
@@ -84,7 +87,10 @@ pub fn admissible_candidates(shape: &ConvShape, budget: f64) -> Vec<RankPair> {
 pub fn maximal_admissible(shape: &ConvShape, budget: f64) -> Vec<RankPair> {
     let admissible = admissible_candidates(shape, budget);
     let best = admissible.iter().map(|r| r.d1 + r.d2).max().unwrap_or(0);
-    admissible.into_iter().filter(|r| r.d1 + r.d2 == best).collect()
+    admissible
+        .into_iter()
+        .filter(|r| r.d1 + r.d2 == best)
+        .collect()
 }
 
 #[cfg(test)]

@@ -15,8 +15,8 @@
 //! routine is the projection operator of the ADMM K̂-update (Eq. 12).
 
 use crate::{Result, TuckerError};
-use tdc_tensor::matricize::{mode_n_product, unfold};
 use tdc_tensor::matmul::transpose;
+use tdc_tensor::matricize::{mode_n_product, unfold};
 use tdc_tensor::svd::truncated_svd;
 use tdc_tensor::Tensor;
 
@@ -79,10 +79,18 @@ fn check_kernel(kernel: &Tensor) -> Result<(usize, usize, usize, usize)> {
 pub fn tucker2(kernel: &Tensor, d1: usize, d2: usize) -> Result<TuckerFactors> {
     let (c, n, _r, _s) = check_kernel(kernel)?;
     if d1 == 0 || d1 > c {
-        return Err(TuckerError::BadRank { rank: d1, dim: c, which: "input channel (C)" });
+        return Err(TuckerError::BadRank {
+            rank: d1,
+            dim: c,
+            which: "input channel (C)",
+        });
     }
     if d2 == 0 || d2 > n {
-        return Err(TuckerError::BadRank { rank: d2, dim: n, which: "output channel (N)" });
+        return Err(TuckerError::BadRank {
+            rank: d2,
+            dim: n,
+            which: "output channel (N)",
+        });
     }
 
     // Mode-1 (C axis) and mode-2 (N axis) unfoldings and their leading
@@ -166,7 +174,10 @@ mod tests {
         let mut last = f32::INFINITY;
         for d in 1..=10 {
             let err = reconstruction_error(&k, d, d).unwrap();
-            assert!(err <= last + 1e-4, "error should not grow with rank: d={d}, {err} > {last}");
+            assert!(
+                err <= last + 1e-4,
+                "error should not grow with rank: d={d}, {err} > {last}"
+            );
             last = err;
         }
         assert!(reconstruction_error(&k, 12, 10).unwrap() < 1e-4);

@@ -34,7 +34,10 @@ impl TuckerConv {
     /// Build the layer from Tucker factors of the original kernel.
     pub fn from_factors(original_shape: ConvShape, factors: &TuckerFactors) -> Result<Self> {
         let (c, n, r, s) = factors.original_dims();
-        if c != original_shape.c || n != original_shape.n || r != original_shape.r || s != original_shape.s
+        if c != original_shape.c
+            || n != original_shape.n
+            || r != original_shape.r
+            || s != original_shape.s
         {
             return Err(TuckerError::BadKernel {
                 expected: format!("{:?}", original_shape.kernel_dims()),

@@ -6,10 +6,10 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use tdc_conv::{direct, ConvShape};
 use tdc_tensor::init;
+use tdc_tucker::flops;
 use tdc_tucker::rank::{meets_budget, rank_candidates_with_step, rank_values, RankPair};
 use tdc_tucker::tkd::{project, tucker2};
 use tdc_tucker::tucker_conv::TuckerConv;
-use tdc_tucker::flops;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]

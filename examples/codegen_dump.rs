@@ -14,12 +14,18 @@ use tdc_nn::models::resnet18_descriptor;
 fn main() {
     let device = DeviceSpec::a100();
     let pipeline = TdcPipeline::new(device, TilingStrategy::Oracle);
-    let plan = pipeline.plan(&resnet18_descriptor(), 0.6).expect("compression plan");
+    let plan = pipeline
+        .plan(&resnet18_descriptor(), 0.6)
+        .expect("compression plan");
 
     let out_dir = Path::new("generated_kernels");
     fs::create_dir_all(out_dir).expect("create output directory");
 
-    println!("Writing {} specialised kernels to {}/", plan.kernels.len(), out_dir.display());
+    println!(
+        "Writing {} specialised kernels to {}/",
+        plan.kernels.len(),
+        out_dir.display()
+    );
     for kernel in &plan.kernels {
         let path = out_dir.join(format!("{}.cu", kernel.kernel_name));
         fs::write(&path, &kernel.source).expect("write kernel source");
@@ -32,5 +38,7 @@ fn main() {
         );
     }
     println!("\nEach .cu file is a self-contained translation unit implementing paper Listing 2");
-    println!("for one core-convolution shape, plus a host-side launcher with the geometry baked in.");
+    println!(
+        "for one core-convolution shape, plus a host-side launcher with the geometry baked in."
+    );
 }

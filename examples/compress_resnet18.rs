@@ -16,14 +16,24 @@ fn main() {
     let model = resnet18_descriptor();
     let budget = 0.6; // 60% FLOPs reduction target, as in the paper.
 
-    println!("Compressing {} for {} with budget {:.0}%\n", model.name, device.name, budget * 100.0);
+    println!(
+        "Compressing {} for {} with budget {:.0}%\n",
+        model.name,
+        device.name,
+        budget * 100.0
+    );
     let pipeline = TdcPipeline::new(device, TilingStrategy::Model);
     let plan = pipeline.plan(&model, budget).expect("compression plan");
 
     println!("Per-layer decisions:");
     for d in &plan.decisions {
         match d.decision {
-            Decision::Decompose { rank, tiling, tucker_ms, original_ms } => println!(
+            Decision::Decompose {
+                rank,
+                tiling,
+                tucker_ms,
+                original_ms,
+            } => println!(
                 "  layer {:>2} {:<40} -> decompose {}  tiling {}  {:.4} ms (was {:.4} ms)",
                 d.layer_index,
                 d.shape.to_string(),
@@ -32,7 +42,10 @@ fn main() {
                 tucker_ms,
                 original_ms
             ),
-            Decision::Keep { reason, original_ms } => println!(
+            Decision::Keep {
+                reason,
+                original_ms,
+            } => println!(
                 "  layer {:>2} {:<40} -> keep dense ({reason:?}), {:.4} ms",
                 d.layer_index,
                 d.shape.to_string(),
@@ -45,7 +58,10 @@ fn main() {
         "\nAchieved FLOPs reduction over decomposable layers: {:.1}%",
         plan.achieved_reduction * 100.0
     );
-    println!("Generated {} specialised CUDA kernels.\n", plan.kernels.len());
+    println!(
+        "Generated {} specialised CUDA kernels.\n",
+        plan.kernels.len()
+    );
 
     println!("Predicted end-to-end latency (batch 1):");
     for backend in Backend::all() {

@@ -11,7 +11,10 @@ use tdc_conv::ConvShape;
 use tdc_gpu_sim::DeviceSpec;
 
 fn parse_shape() -> ConvShape {
-    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     if args.len() == 4 {
         ConvShape::same3x3(args[0], args[1], args[2], args[3])
     } else {
@@ -30,12 +33,22 @@ fn main() {
             ConvAlgorithm::CudnnGemm,
             ConvAlgorithm::Tvm,
         ] {
-            println!("  {:<16} {:>10.4} ms", alg.label(), algorithm_latency_ms(alg, &shape, &device));
+            println!(
+                "  {:<16} {:>10.4} ms",
+                alg.label(),
+                algorithm_latency_ms(alg, &shape, &device)
+            );
         }
         let model = select(&shape, &device, TilingStrategy::Model).expect("model tiling");
         let oracle = select(&shape, &device, TilingStrategy::Oracle).expect("oracle tiling");
-        println!("  {:<16} {:>10.4} ms  (tiling {})", "TDC-MODELING", model.latency_ms, model.tiling);
-        println!("  {:<16} {:>10.4} ms  (tiling {})", "TDC-ORACLE", oracle.latency_ms, oracle.tiling);
+        println!(
+            "  {:<16} {:>10.4} ms  (tiling {})",
+            "TDC-MODELING", model.latency_ms, model.tiling
+        );
+        println!(
+            "  {:<16} {:>10.4} ms  (tiling {})",
+            "TDC-ORACLE", oracle.latency_ms, oracle.tiling
+        );
         println!();
     }
 }

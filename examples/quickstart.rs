@@ -44,8 +44,14 @@ fn main() {
     let model = select(&core_shape, &device, TilingStrategy::Model).expect("model tiling");
     let oracle = select(&core_shape, &device, TilingStrategy::Oracle).expect("oracle tiling");
     println!("\nCore convolution {core_shape} on {}", device.name);
-    println!("  model-selected tiling  {} -> {:.4} ms", model.tiling, model.latency_ms);
-    println!("  oracle-selected tiling {} -> {:.4} ms", oracle.tiling, oracle.latency_ms);
+    println!(
+        "  model-selected tiling  {} -> {:.4} ms",
+        model.tiling, model.latency_ms
+    );
+    println!(
+        "  oracle-selected tiling {} -> {:.4} ms",
+        oracle.tiling, oracle.latency_ms
+    );
 
     // Generated CUDA kernel (first lines).
     let kernel_src = generate_core_kernel(&core_shape, &oracle.tiling);

@@ -11,14 +11,16 @@
 //! * [`tucker`] — Tucker-2 decomposition and ADMM training (`tdc-tucker`)
 //! * [`core`] — the TDC framework: performance model, tiling selection,
 //!   code generation, rank selection, end-to-end pipeline (`tdc`)
+//! * [`serve`] — batched inference serving with a compression-plan cache
+//!   (`tdc-serve`)
 //!
-//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
-//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for a quickstart.
 
 pub use tdc as core;
 pub use tdc_conv as conv;
 pub use tdc_gpu_sim as gpu_sim;
 pub use tdc_nn as nn;
+pub use tdc_serve as serve;
 pub use tdc_tensor as tensor;
 pub use tdc_tucker as tucker;
 
@@ -33,5 +35,6 @@ mod tests {
         let _ = crate::nn::models::resnet18_descriptor();
         let _ = crate::tucker::rank::RankPair::new(32, 32);
         let _ = crate::core::tiling::TilingStrategy::Model;
+        let _ = crate::serve::PlanCache::new(2);
     }
 }

@@ -23,20 +23,37 @@ fn resnet_family_compression_keeps_accuracy_above_chance_and_reduces_flops() {
     train(
         &mut net,
         &train_set,
-        &TrainConfig { epochs: 6, batch_size: 16, learning_rate: 0.05, ..Default::default() },
+        &TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            learning_rate: 0.05,
+            ..Default::default()
+        },
     )
     .expect("pre-training");
     let baseline = evaluate(&mut net, &test_set, 16).expect("baseline");
-    assert!(baseline > 0.4, "the baseline should learn the separable task, got {baseline}");
+    assert!(
+        baseline > 0.4,
+        "the baseline should learn the separable task, got {baseline}"
+    );
 
     let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
-    let admm = AdmmConfig { epochs: 4, finetune_epochs: 2, batch_size: 16, ..Default::default() };
+    let admm = AdmmConfig {
+        epochs: 4,
+        finetune_epochs: 2,
+        batch_size: 16,
+        ..Default::default()
+    };
     let result = pipeline
         .compress_and_train(&mut net, &train_set, &test_set, 0.5, 2, admm)
         .expect("compression");
 
     // The compression must actually compress...
-    assert!(result.achieved_reduction > 0.2, "reduction {}", result.achieved_reduction);
+    assert!(
+        result.achieved_reduction > 0.2,
+        "reduction {}",
+        result.achieved_reduction
+    );
     assert!(result.ranks.iter().any(|r| r.is_some()));
     // ...ADMM must land in the neighbourhood of (usually above) the naive
     // projection — at this miniature scale the two can swap places by a few
@@ -49,5 +66,9 @@ fn resnet_family_compression_keeps_accuracy_above_chance_and_reduces_flops() {
         result.direct_accuracy
     );
     // ...and the compressed model must stay above chance (1/6).
-    assert!(result.admm_accuracy > 1.0 / 6.0 + 0.05, "admm accuracy {}", result.admm_accuracy);
+    assert!(
+        result.admm_accuracy > 1.0 / 6.0 + 0.05,
+        "admm accuracy {}",
+        result.admm_accuracy
+    );
 }

@@ -11,9 +11,8 @@ use tdc_tensor::init;
 use tdc_tucker::{flops, tkd};
 
 fn small_shape() -> impl Strategy<Value = ConvShape> {
-    (1usize..5, 1usize..6, 5usize..10, 5usize..10, 0usize..2).prop_map(|(c, n, h, w, pad)| {
-        ConvShape::new(c, n, h, w, 3, 3, pad, 1)
-    })
+    (1usize..5, 1usize..6, 5usize..10, 5usize..10, 0usize..2)
+        .prop_map(|(c, n, h, w, pad)| ConvShape::new(c, n, h, w, 3, 3, pad, 1))
 }
 
 proptest! {
