@@ -51,6 +51,7 @@ pub use tdc_scheme::Tiling;
 
 /// Errors produced by convolution routines.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ConvError {
     /// The input tensor's shape is inconsistent with the convolution shape.
     BadInput {
@@ -95,7 +96,14 @@ impl std::fmt::Display for ConvError {
     }
 }
 
-impl std::error::Error for ConvError {}
+impl std::error::Error for ConvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<tdc_tensor::TensorError> for ConvError {
     fn from(e: tdc_tensor::TensorError) -> Self {
@@ -119,5 +127,19 @@ mod tests {
         assert!(e.to_string().contains("winograd"));
         let e: ConvError = tdc_tensor::TensorError::NotAMatrix { rank: 3 }.into();
         assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_source_chains_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: ConvError = tdc_tensor::TensorError::NotAMatrix { rank: 3 }.into();
+        assert!(e
+            .source()
+            .expect("tensor source")
+            .to_string()
+            .contains("rank"));
+        assert!(ConvError::BadTiling { reason: "x".into() }
+            .source()
+            .is_none());
     }
 }

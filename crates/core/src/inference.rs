@@ -15,7 +15,7 @@ use crate::Result;
 use serde::{Deserialize, Serialize};
 use tdc_conv::cost::{algorithm_latency_ms, ConvAlgorithm, ConvCostModel, CudnnGemmCost};
 use tdc_conv::ConvShape;
-use tdc_gpu_sim::{DeviceSpec, KernelLaunch, LatencyModel};
+use tdc_gpu_sim::{DeviceSpec, LatencyModel};
 use tdc_nn::models::ModelDescriptor;
 
 /// The execution configurations compared in Figures 8/9.
@@ -99,14 +99,8 @@ impl ModelLatencyReport {
 /// Latency of a fully-connected layer executed as a GEMM (batch 1).
 fn fc_latency_ms(in_features: usize, out_features: usize, device: &DeviceSpec) -> f64 {
     // A batch-1 FC layer is a matrix-vector product: memory bound on the
-    // weight matrix, with a small GEMV kernel.
-    let launch = KernelLaunch::new("fc_gemv", out_features.div_ceil(128).max(1), 128)
-        .with_regs(32)
-        .with_flops_per_block(2.0 * in_features as f64 * 128.0)
-        .with_global_traffic(
-            (in_features * out_features) as f64 * 4.0,
-            out_features as f64 * 4.0,
-        );
+    // weight matrix, with a small GEMV kernel (shared with plan lowering).
+    let launch = crate::lowering::fc_gemv_launch(in_features, out_features);
     LatencyModel::new(device.clone())
         .kernel_latency(&launch)
         .map(|l| l.total_ms)

@@ -21,10 +21,16 @@
 //!   in Figures 8/9 (cuDNN, TVM, TDC-oracle, TDC-model).
 //! * [`pipeline`] — the end-to-end co-design pipeline tying rank selection,
 //!   ADMM training and code generation together (Figure 1).
+//! * [`lowering`] — plan → kernel lowering: the per-layer [`KernelLaunch`]
+//!   sequences a plan executes, for execution layers that replay plans
+//!   through the wave-level simulator.
+//!
+//! [`KernelLaunch`]: tdc_gpu_sim::KernelLaunch
 
 pub mod benchmark_table;
 pub mod codegen;
 pub mod inference;
+pub mod lowering;
 pub mod perf_model;
 pub mod pipeline;
 pub mod rank_select;
@@ -32,12 +38,14 @@ pub mod tiling;
 
 pub use benchmark_table::LayerPerfTable;
 pub use inference::{Backend, ModelLatencyReport};
+pub use lowering::{lower_plan, lower_plan_with_fc, LoweredLayer};
 pub use pipeline::{CompressionPlan, TdcPipeline};
 pub use rank_select::{LayerDecision, RankSelectionConfig};
 pub use tiling::{TilingChoice, TilingStrategy};
 
 /// Errors produced by the TDC framework.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TdcError {
     /// No launchable tiling exists for a shape on the device.
     NoTiling { shape: String },
@@ -69,7 +77,19 @@ impl std::fmt::Display for TdcError {
     }
 }
 
-impl std::error::Error for TdcError {}
+impl std::error::Error for TdcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TdcError::Conv(e) => Some(e),
+            TdcError::Sim(e) => Some(e),
+            TdcError::Tucker(e) => Some(e),
+            TdcError::Nn(e) => Some(e),
+            TdcError::NoTiling { .. }
+            | TdcError::BudgetInfeasible { .. }
+            | TdcError::BadConfig { .. } => None,
+        }
+    }
+}
 
 impl From<tdc_conv::ConvError> for TdcError {
     fn from(e: tdc_conv::ConvError) -> Self {
@@ -116,5 +136,16 @@ mod tests {
         assert!(e.to_string().contains("network error"));
         let e: TdcError = tdc_conv::ConvError::BadTiling { reason: "t".into() }.into();
         assert!(e.to_string().contains("convolution error"));
+    }
+
+    #[test]
+    fn error_source_chains_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: TdcError = tdc_gpu_sim::SimError::InvalidLaunch { reason: "x".into() }.into();
+        let source = e.source().expect("wrapped error must be the source");
+        assert!(source.to_string().contains("invalid kernel launch"));
+        assert!(TdcError::BadConfig { reason: "y".into() }
+            .source()
+            .is_none());
     }
 }

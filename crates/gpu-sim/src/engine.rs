@@ -1,6 +1,6 @@
 //! Wave-level execution engine.
 //!
-//! [`LatencyModel`](crate::latency::LatencyModel) answers "how long does this
+//! [`LatencyModel`] answers "how long does this
 //! launch take" with a closed-form estimate. `WaveEngine` goes one level
 //! deeper: it actually schedules every block of the grid onto simulated SMs,
 //! wave by wave, and measures the resulting per-SM load. That exposes the
@@ -44,6 +44,21 @@ pub struct ExecStats {
     pub total_flops: f64,
     /// Achieved FLOP/s as a fraction of device peak.
     pub achieved_peak_fraction: f64,
+}
+
+/// Aggregate view of a dependent kernel sequence produced by
+/// [`WaveEngine::run_sequence_stats`] — the per-kernel stats plus the totals
+/// an execution backend reports per batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceStats {
+    /// Per-kernel execution statistics, in launch order.
+    pub per_kernel: Vec<ExecStats>,
+    /// Sum of every kernel's `total_ms` (kernel time + launch overhead).
+    pub total_ms: f64,
+    /// Sum of every kernel's `kernel_ms` (launch overhead excluded).
+    pub kernel_ms: f64,
+    /// Time-weighted mean SM utilisation across the sequence.
+    pub mean_sm_utilization: f64,
 }
 
 /// Block-granular wave simulator for a single device.
@@ -150,6 +165,28 @@ impl WaveEngine {
     pub fn sequence_total_ms(&self, kernels: &[KernelLaunch]) -> Result<f64> {
         Ok(self.run_sequence(kernels)?.iter().map(|s| s.total_ms).sum())
     }
+
+    /// Simulate a dependent kernel sequence and aggregate it into
+    /// [`SequenceStats`].
+    pub fn run_sequence_stats(&self, kernels: &[KernelLaunch]) -> Result<SequenceStats> {
+        let per_kernel = self.run_sequence(kernels)?;
+        let total_ms: f64 = per_kernel.iter().map(|s| s.total_ms).sum();
+        let kernel_ms: f64 = per_kernel.iter().map(|s| s.kernel_ms).sum();
+        let weighted_util: f64 = per_kernel
+            .iter()
+            .map(|s| s.sm_utilization * s.kernel_ms)
+            .sum();
+        Ok(SequenceStats {
+            per_kernel,
+            total_ms,
+            kernel_ms,
+            mean_sm_utilization: if kernel_ms > 0.0 {
+                weighted_util / kernel_ms
+            } else {
+                0.0
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +262,42 @@ mod tests {
         let total = engine.sequence_total_ms(&ks).unwrap();
         let sum: f64 = seq.iter().map(|s| s.total_ms).sum();
         assert!((total - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_stats_aggregate_the_per_kernel_runs() {
+        let engine = WaveEngine::new(DeviceSpec::a100());
+        let ks = vec![kernel(10, 64, 1e5), kernel(5000, 256, 1e6)];
+        let stats = engine.run_sequence_stats(&ks).unwrap();
+        assert_eq!(stats.per_kernel.len(), 2);
+        let total: f64 = stats.per_kernel.iter().map(|s| s.total_ms).sum();
+        assert!((stats.total_ms - total).abs() < 1e-12);
+        assert!(
+            stats.kernel_ms < stats.total_ms,
+            "overhead must be excluded"
+        );
+        // The time-weighted utilisation sits between the two kernels' own.
+        let (lo, hi) = (
+            stats
+                .per_kernel
+                .iter()
+                .map(|s| s.sm_utilization)
+                .fold(f64::INFINITY, f64::min),
+            stats
+                .per_kernel
+                .iter()
+                .map(|s| s.sm_utilization)
+                .fold(0.0, f64::max),
+        );
+        assert!(stats.mean_sm_utilization >= lo && stats.mean_sm_utilization <= hi);
+        // A batch-scaled grid takes longer but uses the machine at least as well.
+        let batched = engine
+            .run_sequence_stats(&[ks[0].scaled_batch(8), ks[1].scaled_batch(8)])
+            .unwrap();
+        assert!(batched.total_ms > stats.total_ms);
+        let empty = engine.run_sequence_stats(&[]).unwrap();
+        assert_eq!(empty.total_ms, 0.0);
+        assert_eq!(empty.mean_sm_utilization, 0.0);
     }
 
     #[test]

@@ -95,6 +95,21 @@ impl KernelLaunch {
         self
     }
 
+    /// This launch scaled to a batch of `batch` independent samples: the grid
+    /// and the global-memory traffic grow `batch`-fold while the per-block
+    /// cost is unchanged (every block still owns one tile of one sample).
+    /// Execution layers use this to replay a per-sample kernel plan for a
+    /// whole serving batch.
+    pub fn scaled_batch(&self, batch: usize) -> KernelLaunch {
+        let batch = batch.max(1);
+        KernelLaunch {
+            grid_blocks: self.grid_blocks * batch,
+            global_read_bytes: self.global_read_bytes * batch as f64,
+            global_write_bytes: self.global_write_bytes * batch as f64,
+            ..self.clone()
+        }
+    }
+
     /// Total threads launched.
     pub fn total_threads(&self) -> usize {
         self.grid_blocks * self.threads_per_block
@@ -194,6 +209,20 @@ mod tests {
         assert!((k.total_flops() - 1e7).abs() < 1.0);
         assert!((k.total_traffic_bytes() - 1.2e7).abs() < 1.0);
         assert_eq!(k.total_threads(), 640);
+    }
+
+    #[test]
+    fn batch_scaling_grows_grid_and_traffic_only() {
+        let k = KernelLaunch::new("k", 10, 64)
+            .with_flops_per_block(1e6)
+            .with_global_traffic(1e7, 2e6);
+        let b = k.scaled_batch(4);
+        assert_eq!(b.grid_blocks, 40);
+        assert_eq!(b.threads_per_block, 64);
+        assert!((b.flops_per_block - 1e6).abs() < 1.0);
+        assert!((b.total_traffic_bytes() - 4.0 * 1.2e7).abs() < 1.0);
+        // Degenerate batch sizes are clamped to one sample.
+        assert_eq!(k.scaled_batch(0).grid_blocks, 10);
     }
 
     #[test]

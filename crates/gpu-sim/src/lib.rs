@@ -35,13 +35,14 @@ pub mod memory;
 pub mod occupancy;
 
 pub use device::DeviceSpec;
-pub use engine::{ExecStats, WaveEngine};
+pub use engine::{ExecStats, SequenceStats, WaveEngine};
 pub use kernel::KernelLaunch;
 pub use latency::{LatencyBreakdown, LatencyModel};
 pub use occupancy::OccupancyResult;
 
 /// Errors produced by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A launch parameter is invalid for the target device.
     InvalidLaunch { reason: String },
@@ -58,7 +59,12 @@ impl std::fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // Both variants are leaves; none wraps another error.
+        None
+    }
+}
 
 /// Result alias for simulator operations.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -38,6 +38,7 @@ pub use models::ModelDescriptor;
 
 /// Errors produced by the training substrate.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum NnError {
     /// A layer received an input of the wrong shape.
     BadInput {
@@ -73,7 +74,15 @@ impl std::fmt::Display for NnError {
     }
 }
 
-impl std::error::Error for NnError {}
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Conv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<tdc_tensor::TensorError> for NnError {
     fn from(e: tdc_tensor::TensorError) -> Self {
@@ -104,5 +113,14 @@ mod tests {
         assert!(e.to_string().contains("tensor error"));
         let e: NnError = tdc_conv::ConvError::BadTiling { reason: "x".into() }.into();
         assert!(e.to_string().contains("convolution error"));
+    }
+
+    #[test]
+    fn error_source_chains_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: NnError = tdc_tensor::TensorError::NotAMatrix { rank: 1 }.into();
+        assert!(e.source().is_some());
+        let e = NnError::Protocol { reason: "order" };
+        assert!(e.source().is_none());
     }
 }

@@ -48,6 +48,10 @@ pub struct InferenceResponse {
     /// Predicted GPU latency for the whole batch on the planned device, ms
     /// (from `tdc::inference`, per-sample latency × batch size).
     pub predicted_gpu_batch_ms: f64,
+    /// Simulated GPU latency for the whole batch as measured by the execution
+    /// backend's simulator, ms — `0.0` on backends that do not simulate
+    /// (e.g. the CPU backend).
+    pub simulated_gpu_batch_ms: f64,
 }
 
 impl InferenceResponse {
@@ -92,9 +96,16 @@ impl BatchQueue {
         }
     }
 
-    /// Enqueue a request. Fails with [`ServeError::Closed`] after shutdown.
+    /// Enqueue a request. Fails with [`ServeError::Closed`] after shutdown
+    /// and with [`ServeError::LockPoisoned`] if a worker panicked while
+    /// holding the queue lock — the submission side reports poisoning as an
+    /// error instead of panicking or silently enqueueing into a wounded
+    /// engine. (The drain side deliberately keeps recovering, so shutdown
+    /// still empties the queue.)
     pub fn push(&self, request: InferenceRequest) -> Result<()> {
-        let mut state = self.state();
+        let mut state = self.state.lock().map_err(|_| ServeError::LockPoisoned {
+            what: "batch queue",
+        })?;
         if state.closed {
             return Err(ServeError::Closed);
         }
@@ -194,10 +205,12 @@ impl PendingResponse {
         PendingResponse { receiver }
     }
 
-    /// Block until the response arrives. Fails with [`ServeError::Closed`]
-    /// if the engine dropped the request during shutdown.
+    /// Block until the response arrives. Fails with
+    /// [`ServeError::Disconnected`] if the worker dropped the request without
+    /// answering (engine shutdown discarding it, or a failed batch) — the
+    /// channel disconnect surfaces as a typed error, never a panic.
     pub fn wait(self) -> Result<InferenceResponse> {
-        self.receiver.recv().map_err(|_| ServeError::Closed)
+        self.receiver.recv().map_err(|_| ServeError::Disconnected)
     }
 
     /// Non-blocking poll.

@@ -4,8 +4,16 @@
 //! (clients submit at a fixed rate regardless of completions — the standard
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
-//! restart, and records everything as a `BENCH_serve.json` artifact so later
-//! changes can track the serving-performance trajectory.
+//! restart, and records everything as a `BENCH_serve.json` artifact
+//! (schema 2: one entry per execution backend, with the sim-GPU backend's
+//! per-layer simulated latency breakdown) so later changes can track the
+//! serving-performance trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_bench [--backend cpu|sim-gpu|both]        (default: both)
+//! ```
 //!
 //! Environment knobs (all optional):
 //!
@@ -13,6 +21,7 @@
 //! * `SERVE_BENCH_CLIENTS`   — concurrent client threads (default 4)
 //! * `SERVE_BENCH_WORKERS`   — executor worker threads (default 4)
 //! * `SERVE_BENCH_RATE_HZ`   — per-client submission rate (default 1000)
+//! * `SERVE_BENCH_BACKEND`   — same as `--backend` (the flag wins)
 //! * `SERVE_BENCH_OUT`       — artifact path (default `BENCH_serve.json`)
 
 use rand::rngs::StdRng;
@@ -20,12 +29,15 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdc_serve::{
-    serving_descriptor, CacheOutcome, LatencySummary, PlanCache, ServeConfig, ServeEngine,
-    ServeMetrics,
+    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, LatencySummary,
+    LayerSimLatency, PlanCache, PlanningOptions, RuntimeOptions, ServeEngine,
 };
 use tdc_tensor::init;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
+/// Schema 2: the measured phase runs per execution backend; each run records
+/// the backend identity and (for simulating backends) the per-layer
+/// simulated latency breakdown.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -37,6 +49,13 @@ struct ServeBenchArtifact {
     clients: usize,
     max_batch_size: usize,
     max_batch_delay_ms: f64,
+    runs: Vec<BackendRun>,
+}
+
+/// One backend's measured phase.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BackendRun {
+    backend: String,
     requests: u64,
     elapsed_s: f64,
     throughput_rps: f64,
@@ -47,10 +66,13 @@ struct ServeBenchArtifact {
     max_batch_observed: u64,
     predicted_gpu_ms_per_sample: f64,
     predicted_gpu_ms_total: f64,
+    simulated_gpu_ms_total: f64,
+    /// Per-sample (batch 1) simulated per-layer breakdown — absent on
+    /// backends that do not simulate.
+    simulated_per_layer: Option<Vec<LayerSimLatency>>,
     plan_fingerprint: String,
-    plan_cache_memory_hits: u64,
-    plan_cache_disk_hits: u64,
-    plan_cache_misses: u64,
+    plan_outcome_cold: String,
+    plan_outcome_warm: String,
     decomposed_layers: usize,
     achieved_flops_reduction: f64,
 }
@@ -69,38 +91,78 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn main() {
-    let requests = env_usize("SERVE_BENCH_REQUESTS", 240);
-    let clients = env_usize("SERVE_BENCH_CLIENTS", 4).max(1);
-    let workers = env_usize("SERVE_BENCH_WORKERS", 4).max(1);
-    let rate_hz = env_f64("SERVE_BENCH_RATE_HZ", 1000.0);
-    let out_path =
-        std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+fn backend_selection() -> Vec<BackendKind> {
+    let mut choice = std::env::var("SERVE_BENCH_BACKEND").ok();
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix("--backend=") {
+            choice = Some(value.to_string());
+        } else if arg == "--backend" {
+            match args.get(i + 1) {
+                Some(value) => choice = Some(value.clone()),
+                None => {
+                    eprintln!("serve_bench: --backend needs a value (cpu, sim-gpu or both)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    match choice.as_deref() {
+        None | Some("both") | Some("all") => BackendKind::all().to_vec(),
+        Some(label) => match BackendKind::parse(label) {
+            Some(kind) => vec![kind],
+            None => {
+                eprintln!("serve_bench: unknown backend {label:?}; use cpu, sim-gpu or both");
+                std::process::exit(2);
+            }
+        },
+    }
+}
 
-    let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
-    let config = ServeConfig {
-        workers,
-        max_batch_size: 8,
-        max_batch_delay: Duration::from_millis(2),
-        ..ServeConfig::default()
+fn cache_outcome_label(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::MemoryHit => "memory-hit",
+        CacheOutcome::DiskHit => "disk-hit",
+        CacheOutcome::Miss => "miss",
+    }
+}
+
+struct BenchSettings {
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    rate_hz: f64,
+    planning: PlanningOptions,
+    batching: BatchingOptions,
+}
+
+fn run_backend(
+    descriptor: &tdc_nn::models::ModelDescriptor,
+    cache: &PlanCache,
+    kind: BackendKind,
+    s: &BenchSettings,
+) -> BackendRun {
+    let build = |settings: &BenchSettings| {
+        ServeEngine::builder(descriptor)
+            .planning(settings.planning.clone())
+            .batching(settings.batching.clone())
+            .runtime(RuntimeOptions {
+                workers: settings.workers,
+                backend: kind,
+                ..RuntimeOptions::default()
+            })
+            .plan_cache(cache)
+            .build()
+            .expect("build engine")
     };
-    let cache = Arc::new(PlanCache::new(4));
 
-    println!(
-        "tdc-serve bench: model {} on {}",
-        descriptor.name, config.device.name
-    );
-    println!(
-        "  {requests} requests, {clients} clients @ {rate_hz:.0} req/s each, \
-         {workers} workers, batch <= {} / {:?}",
-        config.max_batch_size, config.max_batch_delay
-    );
+    println!("\n== backend: {kind} ==");
 
-    // Cold start: planning is a cache miss.
+    // Cold start: planning is a cache miss (each backend keys separately).
     let plan_started = Instant::now();
-    let engine = ServeEngine::start(&descriptor, &config, &cache).expect("start engine");
+    let engine = build(s);
     let cold_plan_ms = plan_started.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(engine.plan_outcome(), CacheOutcome::Miss);
+    let plan_outcome_cold = engine.plan_outcome();
     println!(
         "  cold start: planned in {cold_plan_ms:.1} ms ({} of {} layers decomposed, \
          {:.0}% FLOPs reduction)",
@@ -109,13 +171,13 @@ fn main() {
         engine.plan().achieved_reduction * 100.0
     );
 
-    // Warm restart: same (model, device, budget) key must hit the cache.
+    // Warm restart: same (model, device, backend, budget) key must hit.
     drop(engine);
     let warm_started = Instant::now();
-    let engine =
-        Arc::new(ServeEngine::start(&descriptor, &config, &cache).expect("restart engine"));
+    let engine = Arc::new(build(s));
     let warm_plan_ms = warm_started.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(engine.plan_outcome(), CacheOutcome::MemoryHit);
+    let plan_outcome_warm = engine.plan_outcome();
+    assert_eq!(plan_outcome_warm, CacheOutcome::MemoryHit);
     println!(
         "  warm restart: plan cache hit, engine up in {warm_plan_ms:.1} ms \
          ({}x faster than cold)",
@@ -123,17 +185,20 @@ fn main() {
     );
 
     // Open-loop measured phase.
-    let interval = Duration::from_secs_f64(1.0 / rate_hz.max(1.0));
-    let per_client = requests.div_ceil(clients);
+    let spatial = descriptor.convs[0].h;
+    let channels = descriptor.convs[0].c;
+    let interval = Duration::from_secs_f64(1.0 / s.rate_hz.max(1.0));
+    let per_client = s.requests.div_ceil(s.clients);
     let measured_started = Instant::now();
-    let client_threads: Vec<_> = (0..clients)
+    let client_threads: Vec<_> = (0..s.clients)
         .map(|client_index| {
             let engine = Arc::clone(&engine);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + client_index as u64);
                 let mut pending = Vec::with_capacity(per_client);
                 for _ in 0..per_client {
-                    let input = init::uniform(vec![16, 16, 8], -1.0, 1.0, &mut rng);
+                    let input =
+                        init::uniform(vec![spatial, spatial, channels], -1.0, 1.0, &mut rng);
                     pending.push(engine.submit(input).expect("submit"));
                     std::thread::sleep(interval);
                 }
@@ -156,10 +221,10 @@ fn main() {
     let achieved_flops_reduction = engine.plan().achieved_reduction;
     let report = engine.shutdown();
     let elapsed_s = measured_started.elapsed().as_secs_f64();
-    let metrics: &ServeMetrics = &report.metrics;
+    let metrics = &report.metrics;
     let throughput_rps = metrics.completed_requests as f64 / elapsed_s.max(1e-9);
 
-    println!("\n  measured phase: {:.2} s wall clock", elapsed_s);
+    println!("  measured phase: {:.2} s wall clock", elapsed_s);
     println!(
         "  completed        : {} requests in {} batches",
         metrics.completed_requests, metrics.batches
@@ -185,25 +250,32 @@ fn main() {
         metrics.mean_batch_size, metrics.max_batch_size
     );
     println!(
-        "  predicted GPU    : {:.4} ms/sample on {}, {:.2} ms total for this workload",
-        predicted_gpu_ms_per_sample, config.device.name, metrics.predicted_gpu_ms_total
-    );
-    let stats = cache.stats();
-    println!(
-        "  plan cache       : {} memory hit(s), {} disk hit(s), {} miss(es)",
-        stats.memory_hits, stats.disk_hits, stats.misses
+        "  predicted GPU    : {:.4} ms/sample, {:.2} ms total for this workload",
+        predicted_gpu_ms_per_sample, metrics.predicted_gpu_ms_total
     );
 
-    let artifact = ServeBenchArtifact {
-        schema_version: 1,
-        bench: "serve".into(),
-        model: descriptor.name.clone(),
-        device: config.device.name.clone(),
-        budget: config.budget,
-        workers,
-        clients,
-        max_batch_size: config.max_batch_size,
-        max_batch_delay_ms: config.max_batch_delay.as_secs_f64() * 1e3,
+    let simulated_per_layer = if kind == BackendKind::SimGpu {
+        let breakdown = &report.backend_latency;
+        println!(
+            "  simulated GPU    : {:.2} ms total; per-sample breakdown on {}:",
+            metrics.simulated_gpu_ms_total, breakdown.device
+        );
+        for layer in &breakdown.per_layer {
+            println!(
+                "    {:24} {:>9.4} ms  ({} kernel(s), {:.1}% SM util)",
+                layer.label,
+                layer.ms,
+                layer.kernels,
+                layer.sm_utilization * 100.0
+            );
+        }
+        Some(breakdown.per_layer.clone())
+    } else {
+        None
+    };
+
+    BackendRun {
+        backend: report.backend.clone(),
         requests: metrics.completed_requests,
         elapsed_s,
         throughput_rps,
@@ -214,23 +286,92 @@ fn main() {
         max_batch_observed: metrics.max_batch_size,
         predicted_gpu_ms_per_sample,
         predicted_gpu_ms_total: metrics.predicted_gpu_ms_total,
+        simulated_gpu_ms_total: metrics.simulated_gpu_ms_total,
+        simulated_per_layer,
         plan_fingerprint: format!("{:016x}", report.plan_fingerprint),
-        plan_cache_memory_hits: stats.memory_hits,
-        plan_cache_disk_hits: stats.disk_hits,
-        plan_cache_misses: stats.misses,
+        plan_outcome_cold: cache_outcome_label(plan_outcome_cold).to_string(),
+        plan_outcome_warm: cache_outcome_label(plan_outcome_warm).to_string(),
         decomposed_layers,
         achieved_flops_reduction,
+    }
+}
+
+fn main() {
+    let settings = BenchSettings {
+        requests: env_usize("SERVE_BENCH_REQUESTS", 240),
+        clients: env_usize("SERVE_BENCH_CLIENTS", 4).max(1),
+        workers: env_usize("SERVE_BENCH_WORKERS", 4).max(1),
+        rate_hz: env_f64("SERVE_BENCH_RATE_HZ", 1000.0),
+        planning: PlanningOptions::default(),
+        batching: BatchingOptions {
+            max_batch_size: 8,
+            max_batch_delay: Duration::from_millis(2),
+        },
+    };
+    let backends = backend_selection();
+    let out_path =
+        std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
+    let cache = Arc::new(PlanCache::new(4));
+
+    println!(
+        "tdc-serve bench: model {} on {}",
+        descriptor.name, settings.planning.device.name
+    );
+    println!(
+        "  {} requests, {} clients @ {:.0} req/s each, {} workers, batch <= {} / {:?}",
+        settings.requests,
+        settings.clients,
+        settings.rate_hz,
+        settings.workers,
+        settings.batching.max_batch_size,
+        settings.batching.max_batch_delay
+    );
+    println!(
+        "  backends: {}",
+        backends
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let runs: Vec<BackendRun> = backends
+        .iter()
+        .map(|&kind| run_backend(&descriptor, &cache, kind, &settings))
+        .collect();
+
+    let artifact = ServeBenchArtifact {
+        schema_version: 2,
+        bench: "serve".into(),
+        model: descriptor.name.clone(),
+        device: settings.planning.device.name.clone(),
+        budget: settings.planning.budget,
+        workers: settings.workers,
+        clients: settings.clients,
+        max_batch_size: settings.batching.max_batch_size,
+        max_batch_delay_ms: settings.batching.max_batch_delay.as_secs_f64() * 1e3,
+        runs,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
     println!("\n  artifact written : {out_path}");
 
-    assert!(
-        stats.hits() >= 1,
-        "the warm restart must produce a plan-cache hit"
+    let stats = cache.stats();
+    println!(
+        "  plan cache       : {} memory hit(s), {} disk hit(s), {} miss(es)",
+        stats.memory_hits, stats.disk_hits, stats.misses
     );
     assert!(
-        metrics.completed_requests as usize >= requests,
-        "all requests must complete"
+        stats.hits() >= artifact.runs.len() as u64,
+        "every backend's warm restart must produce a plan-cache hit"
     );
+    for run in &artifact.runs {
+        assert!(
+            run.requests as usize >= settings.requests,
+            "all requests must complete on backend {}",
+            run.backend
+        );
+    }
 }

@@ -7,61 +7,104 @@
 //! long-lived, concurrent service:
 //!
 //! * [`plan_cache`] — memoizes [`tdc::CompressionPlan`]s behind a
-//!   `(model, device, FLOPs-budget)` key: in-memory LRU with an optional JSON
-//!   spill directory, so a restarted server skips rank selection entirely.
+//!   `(model, device, backend, FLOPs-budget)` key: in-memory LRU with an
+//!   optional JSON spill directory, so a restarted server skips rank
+//!   selection entirely.
 //! * [`batcher`] — a request queue with a dynamic batcher: requests coalesce
 //!   until either `max_batch_size` is reached or the oldest request has
 //!   waited `max_batch_delay`, then the batch is handed to a worker.
-//! * [`model`] — the executor: a materialized compressed network that runs
-//!   real CPU forward passes — kept layers through `tdc-conv`'s algorithm
-//!   zoo, decomposed layers through `tdc-tucker`'s three-stage Tucker-2
-//!   convolution — alongside the predicted GPU latency per batch from
-//!   `tdc::inference`.
-//! * [`server`] — the engine tying the three together with a worker thread
-//!   pool, graceful drain on shutdown, and [`metrics`] (throughput,
-//!   latency percentiles, batch-size distribution).
+//! * [`backend`] — pluggable execution behind the [`ExecutionBackend`]
+//!   trait: [`CpuBackend`] runs real CPU forward passes through `tdc-conv`'s
+//!   algorithm zoo and `tdc-tucker`'s three-stage Tucker-2 convolution;
+//!   [`SimGpuBackend`] runs the same numerics *and* lowers the plan to
+//!   kernel-launch sequences replayed on `tdc-gpu-sim`'s wave engine, so
+//!   every batch carries a simulated per-layer GPU latency breakdown.
+//! * [`model`] — the materialized compressed network both backends execute.
+//! * [`options`] + [`server`] — the typed engine builder:
+//!   [`ServeEngine::builder`] takes [`PlanningOptions`], [`BatchingOptions`]
+//!   and [`RuntimeOptions`], validates them at build, and runs a worker
+//!   thread pool with graceful drain on shutdown and [`metrics`]
+//!   (throughput, latency percentiles, batch-size distribution, predicted
+//!   and simulated GPU totals).
 //!
-//! The `serve_bench` binary drives a synthetic open-loop workload against the
-//! engine and records a `BENCH_serve.json` artifact; `examples/serve_demo.rs`
-//! at the repository root is the minimal end-to-end tour.
+//! The `serve_bench` binary drives a synthetic open-loop workload against
+//! the engine on each backend and records a `BENCH_serve.json` artifact
+//! (schema 2, backend identity included); `examples/serve_demo.rs` at the
+//! repository root is the minimal end-to-end tour.
 
+pub mod backend;
 pub mod batcher;
 pub mod metrics;
 pub mod model;
+pub mod options;
 pub mod plan_cache;
 pub mod server;
 
+pub use backend::{
+    BackendKind, BackendLatencyReport, BatchExecution, CpuBackend, ExecutionBackend,
+    LayerSimLatency, SimGpuBackend,
+};
 pub use batcher::{BatchQueue, InferenceRequest, InferenceResponse};
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use model::CompressedModel;
+pub use options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheStats, PlanKey};
-pub use server::{ServeConfig, ServeEngine, ServeReport};
+pub use server::{ServeConfig, ServeEngine, ServeEngineBuilder, ServeReport};
 
 use tdc_conv::ConvShape;
 use tdc_nn::models::ModelDescriptor;
 
 /// Errors produced by the serving subsystem.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServeError {
-    /// The underlying TDC framework failed (planning, tiling, ...).
+    /// The underlying TDC framework failed (planning, lowering, tiling, ...).
     Tdc(tdc::TdcError),
     /// A tensor/convolution operation failed during execution.
     Conv(tdc_conv::ConvError),
     /// A Tucker operation failed during materialization or execution.
     Tucker(tdc_tucker::TuckerError),
     /// The model descriptor cannot be executed as a sequential chain.
-    NotAChain { layer_index: usize, reason: String },
+    NotAChain {
+        /// Index of the offending layer.
+        layer_index: usize,
+        /// Why the chain breaks there.
+        reason: String,
+    },
     /// An inference input does not match the model's expected shape.
     BadInput {
+        /// Dims the backend expects.
         expected: Vec<usize>,
+        /// Dims that were submitted.
         actual: Vec<usize>,
     },
     /// The engine is shut down and no longer accepts requests.
     Closed,
+    /// A request was dropped without an answer: its worker-side channel
+    /// disconnected (engine shutdown discarding the request, or a failed
+    /// batch).
+    Disconnected,
+    /// A shared lock was poisoned by a panicking thread.
+    LockPoisoned {
+        /// Which lock was found poisoned.
+        what: &'static str,
+    },
+    /// The serving runtime failed to start or operate (e.g. worker threads
+    /// could not be spawned).
+    Runtime {
+        /// What failed.
+        reason: String,
+    },
     /// Invalid serving configuration.
-    BadConfig { reason: String },
+    BadConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
     /// A plan-cache spill could not be read or written.
-    Spill { reason: String },
+    Spill {
+        /// The underlying I/O problem.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -86,13 +129,29 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::Disconnected => {
+                write!(f, "request dropped: worker channel disconnected")
+            }
+            ServeError::LockPoisoned { what } => {
+                write!(f, "{what} lock poisoned by a panicking thread")
+            }
+            ServeError::Runtime { reason } => write!(f, "serving runtime error: {reason}"),
             ServeError::BadConfig { reason } => write!(f, "bad serving configuration: {reason}"),
             ServeError::Spill { reason } => write!(f, "plan-cache spill error: {reason}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Tdc(e) => Some(e),
+            ServeError::Conv(e) => Some(e),
+            ServeError::Tucker(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<tdc::TdcError> for ServeError {
     fn from(e: tdc::TdcError) -> Self {
@@ -167,5 +226,30 @@ mod tests {
         let e: ServeError = tdc_tensor::TensorError::NotAMatrix { rank: 3 }.into();
         assert!(e.to_string().contains("convolution error"));
         assert!(ServeError::Closed.to_string().contains("shut down"));
+        assert!(ServeError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+        assert!(ServeError::LockPoisoned {
+            what: "batch queue"
+        }
+        .to_string()
+        .contains("batch queue"));
+        assert!(ServeError::Runtime {
+            reason: "spawn failed".into()
+        }
+        .to_string()
+        .contains("spawn failed"));
+    }
+
+    #[test]
+    fn error_source_chains_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: ServeError = tdc::TdcError::BadConfig { reason: "x".into() }.into();
+        assert!(e.source().is_some());
+        let e: ServeError = tdc_tensor::TensorError::NotAMatrix { rank: 3 }.into();
+        let source = e.source().expect("conv error wraps the tensor error");
+        // The chain continues one level deeper into the tensor error.
+        assert!(source.source().is_some());
+        assert!(ServeError::Closed.source().is_none());
     }
 }

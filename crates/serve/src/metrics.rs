@@ -64,6 +64,8 @@ impl LatencySummary {
 /// Aggregated metrics for one serving engine.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServeMetrics {
+    /// Identity of the execution backend that produced these metrics.
+    pub backend: String,
     /// Requests completed.
     pub completed_requests: u64,
     /// Batches executed.
@@ -81,10 +83,15 @@ pub struct ServeMetrics {
     /// Sum over batches of the predicted GPU latency from `tdc::inference`
     /// (what the planned device model would have spent on this workload), ms.
     pub predicted_gpu_ms_total: f64,
+    /// Sum over batches of the simulated GPU latency reported by the
+    /// execution backend (wave-level simulation), ms — stays `0.0` on
+    /// backends that do not simulate.
+    pub simulated_gpu_ms_total: f64,
 }
 
 /// Lock-light metric recorder shared by the worker pool.
 pub struct MetricsRecorder {
+    backend: String,
     completed: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
@@ -93,21 +100,30 @@ pub struct MetricsRecorder {
     /// Predicted GPU milliseconds, accumulated as integer nanoseconds so the
     /// counter can stay atomic.
     predicted_gpu_ns: AtomicU64,
+    /// Simulated GPU milliseconds (same integer-nanosecond trick).
+    simulated_gpu_ns: AtomicU64,
 }
 
 impl Default for MetricsRecorder {
     fn default() -> Self {
+        MetricsRecorder::new("")
+    }
+}
+
+impl MetricsRecorder {
+    /// A recorder tagged with the execution backend feeding it.
+    pub fn new(backend: impl Into<String>) -> Self {
         MetricsRecorder {
+            backend: backend.into(),
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             samples: Mutex::new(Vec::new()),
             predicted_gpu_ns: AtomicU64::new(0),
+            simulated_gpu_ns: AtomicU64::new(0),
         }
     }
-}
 
-impl MetricsRecorder {
     fn samples(&self) -> MutexGuard<'_, Vec<(f64, f64, f64)>> {
         match self.samples.lock() {
             Ok(guard) => guard,
@@ -115,13 +131,23 @@ impl MetricsRecorder {
         }
     }
 
-    /// Record one executed batch.
-    pub fn record_batch(&self, batch_size: usize, predicted_gpu_batch_ms: f64) {
+    /// Record one executed batch with the predicted and (backend-)simulated
+    /// GPU latencies for the whole batch.
+    pub fn record_batch(
+        &self,
+        batch_size: usize,
+        predicted_gpu_batch_ms: f64,
+        simulated_gpu_batch_ms: f64,
+    ) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.max_batch
             .fetch_max(batch_size as u64, Ordering::Relaxed);
         self.predicted_gpu_ns.fetch_add(
             (predicted_gpu_batch_ms * 1e6).round() as u64,
+            Ordering::Relaxed,
+        );
+        self.simulated_gpu_ns.fetch_add(
+            (simulated_gpu_batch_ms * 1e6).round() as u64,
             Ordering::Relaxed,
         );
     }
@@ -146,6 +172,7 @@ impl MetricsRecorder {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         ServeMetrics {
+            backend: self.backend.clone(),
             completed_requests: completed,
             batches,
             mean_batch_size: if batches > 0 {
@@ -158,6 +185,7 @@ impl MetricsRecorder {
             queue_latency: LatencySummary::from_samples(&queue),
             exec_latency: LatencySummary::from_samples(&exec),
             predicted_gpu_ms_total: self.predicted_gpu_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            simulated_gpu_ms_total: self.simulated_gpu_ns.load(Ordering::Relaxed) as f64 / 1e6,
         }
     }
 }
@@ -189,9 +217,9 @@ mod tests {
 
     #[test]
     fn recorder_aggregates_batches_and_requests() {
-        let rec = MetricsRecorder::default();
-        rec.record_batch(3, 0.9);
-        rec.record_batch(1, 0.3);
+        let rec = MetricsRecorder::new("sim-gpu");
+        rec.record_batch(3, 0.9, 1.5);
+        rec.record_batch(1, 0.3, 0.5);
         for (t, q, e) in [
             (1.0, 0.4, 0.6),
             (2.0, 1.0, 1.0),
@@ -201,12 +229,14 @@ mod tests {
             rec.record_request(t, q, e);
         }
         let m = rec.snapshot();
+        assert_eq!(m.backend, "sim-gpu");
         assert_eq!(m.completed_requests, 4);
         assert_eq!(m.batches, 2);
         assert_eq!(m.mean_batch_size, 2.0);
         assert_eq!(m.max_batch_size, 3);
         assert_eq!(m.total_latency.count, 4);
         assert!((m.predicted_gpu_ms_total - 1.2).abs() < 1e-9);
+        assert!((m.simulated_gpu_ms_total - 2.0).abs() < 1e-9);
         assert_eq!(m.total_latency.max_ms, 4.0);
     }
 }

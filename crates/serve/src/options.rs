@@ -1,0 +1,235 @@
+//! Typed configuration for the serving engine.
+//!
+//! The engine builder takes three narrow option structs instead of one flat
+//! config: [`PlanningOptions`] (everything that determines *which plan* is
+//! served — these fields form the plan-cache key together with the backend),
+//! [`BatchingOptions`] (dynamic-batcher shape) and [`RuntimeOptions`]
+//! (worker pool, weight seed and execution backend). Each struct validates
+//! itself; [`ServeEngineBuilder::build`](crate::ServeEngineBuilder::build)
+//! runs all three validations before any planning work starts.
+
+use crate::backend::BackendKind;
+use crate::model::DenseAlgorithm;
+use crate::{Result, ServeError};
+use std::time::Duration;
+use tdc::rank_select::RankSelectionConfig;
+use tdc::tiling::TilingStrategy;
+use tdc_gpu_sim::DeviceSpec;
+
+/// Everything that determines which compression plan the engine serves.
+///
+/// # Examples
+///
+/// ```
+/// use tdc_serve::PlanningOptions;
+///
+/// let planning = PlanningOptions {
+///     budget: 0.4,
+///     ..PlanningOptions::default()
+/// };
+/// assert!(planning.validate().is_ok());
+/// assert!(PlanningOptions { budget: f64::NAN, ..planning }.validate().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanningOptions {
+    /// Target device model for planning and predicted-latency reporting
+    /// (also the device the sim-GPU backend replays launches on).
+    pub device: DeviceSpec,
+    /// Tiling strategy used when planning.
+    pub strategy: TilingStrategy,
+    /// FLOPs-reduction budget for rank selection, in `[0, 1)`.
+    pub budget: f64,
+    /// Rank-candidate step (use small steps for miniature serving models).
+    pub rank_step: usize,
+    /// θ skip threshold for rank selection (0 decomposes whenever feasible).
+    pub theta: f64,
+}
+
+impl Default for PlanningOptions {
+    fn default() -> Self {
+        PlanningOptions {
+            device: DeviceSpec::a100(),
+            strategy: TilingStrategy::Model,
+            budget: 0.5,
+            rank_step: 4,
+            theta: 0.0,
+        }
+    }
+}
+
+impl PlanningOptions {
+    /// Check the options; [`build`](crate::ServeEngineBuilder::build) calls
+    /// this before planning.
+    pub fn validate(&self) -> Result<()> {
+        if !self.budget.is_finite() || !(0.0..1.0).contains(&self.budget) {
+            return Err(ServeError::BadConfig {
+                reason: format!("budget {} must be finite and in [0, 1)", self.budget),
+            });
+        }
+        if !self.theta.is_finite() || self.theta < 0.0 {
+            return Err(ServeError::BadConfig {
+                reason: format!("theta {} must be finite and non-negative", self.theta),
+            });
+        }
+        if self.rank_step == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "rank_step must be > 0".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The rank-selection configuration these options describe.
+    pub fn selection_config(&self) -> RankSelectionConfig {
+        RankSelectionConfig {
+            budget: self.budget,
+            theta: self.theta,
+            strategy: self.strategy,
+            rank_step: self.rank_step,
+        }
+    }
+}
+
+/// Shape of the dynamic batcher.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use tdc_serve::BatchingOptions;
+///
+/// let batching = BatchingOptions {
+///     max_batch_size: 16,
+///     max_batch_delay: Duration::from_millis(1),
+/// };
+/// assert!(batching.validate().is_ok());
+/// assert!(BatchingOptions { max_batch_size: 0, ..batching }.validate().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchingOptions {
+    /// Maximum requests per batch.
+    pub max_batch_size: usize,
+    /// Longest the oldest queued request may wait for batch-mates.
+    pub max_batch_delay: Duration,
+}
+
+impl Default for BatchingOptions {
+    fn default() -> Self {
+        BatchingOptions {
+            max_batch_size: 8,
+            max_batch_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl BatchingOptions {
+    /// Check the options; [`build`](crate::ServeEngineBuilder::build) calls
+    /// this before planning.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch_size == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "max_batch_size must be > 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Worker pool, weight materialization and execution backend.
+///
+/// # Examples
+///
+/// ```
+/// use tdc_serve::{BackendKind, RuntimeOptions};
+///
+/// let runtime = RuntimeOptions {
+///     workers: 4,
+///     backend: BackendKind::SimGpu,
+///     ..RuntimeOptions::default()
+/// };
+/// assert!(runtime.validate().is_ok());
+/// assert!(RuntimeOptions { workers: 0, ..runtime }.validate().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Seed for weight materialization.
+    pub seed: u64,
+    /// CPU algorithm for kept (dense) layers.
+    pub dense_algorithm: DenseAlgorithm,
+    /// Which execution backend runs the batches.
+    pub backend: BackendKind,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            workers: 2,
+            seed: 0x7DC,
+            dense_algorithm: DenseAlgorithm::Im2col,
+            backend: BackendKind::Cpu,
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// Check the options; [`build`](crate::ServeEngineBuilder::build) calls
+    /// this before planning.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "workers must be > 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(PlanningOptions::default().validate().is_ok());
+        assert!(BatchingOptions::default().validate().is_ok());
+        assert!(RuntimeOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn non_finite_budgets_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, 1.0] {
+            let opts = PlanningOptions {
+                budget: bad,
+                ..PlanningOptions::default()
+            };
+            assert!(opts.validate().is_err(), "budget {bad} must be rejected");
+        }
+        let opts = PlanningOptions {
+            theta: f64::NAN,
+            ..PlanningOptions::default()
+        };
+        assert!(opts.validate().is_err());
+        let opts = PlanningOptions {
+            rank_step: 0,
+            ..PlanningOptions::default()
+        };
+        assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn selection_config_mirrors_the_options() {
+        let planning = PlanningOptions {
+            budget: 0.3,
+            theta: 0.1,
+            rank_step: 8,
+            ..PlanningOptions::default()
+        };
+        let cfg = planning.selection_config();
+        assert_eq!(cfg.budget, 0.3);
+        assert_eq!(cfg.theta, 0.1);
+        assert_eq!(cfg.rank_step, 8);
+        assert_eq!(cfg.strategy, planning.strategy);
+    }
+}

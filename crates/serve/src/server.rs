@@ -1,9 +1,21 @@
-//! The serving engine: planning through the cache, executor materialization,
-//! the worker thread pool, and graceful shutdown.
+//! The serving engine: typed builder, planning through the cache, backend
+//! materialization, the worker thread pool, and graceful shutdown.
+//!
+//! Engines are constructed with [`ServeEngine::builder`]: three typed option
+//! structs ([`PlanningOptions`], [`BatchingOptions`], [`RuntimeOptions`]) are
+//! validated at [`build`](ServeEngineBuilder::build), the plan is obtained
+//! through the [`PlanCache`], and execution goes through a pluggable
+//! [`ExecutionBackend`] — the real CPU executor or the wave-level GPU
+//! simulation. The pre-redesign entry point [`ServeEngine::start`] survives
+//! as a deprecated shim for one release.
 
+use crate::backend::{
+    BackendKind, BackendLatencyReport, CpuBackend, ExecutionBackend, SimGpuBackend,
+};
 use crate::batcher::{BatchQueue, InferenceRequest, InferenceResponse, PendingResponse};
 use crate::metrics::{MetricsRecorder, ServeMetrics};
 use crate::model::{CompressedModel, DenseAlgorithm};
+use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 use crate::plan_cache::{CacheOutcome, PlanCache, PlanKey};
 use crate::{Result, ServeError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,14 +24,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tdc::inference::Backend;
-use tdc::rank_select::RankSelectionConfig;
 use tdc::tiling::TilingStrategy;
 use tdc::{CompressionPlan, TdcPipeline};
 use tdc_gpu_sim::DeviceSpec;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
 
-/// Configuration of one serving engine.
+/// Flat engine configuration superseded by the typed option structs.
+///
+/// Retained so [`ServeEngine::start`] keeps compiling for one release; new
+/// code should use [`ServeEngine::builder`] with [`PlanningOptions`],
+/// [`BatchingOptions`] and [`RuntimeOptions`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Target device model for planning and predicted-latency reporting.
@@ -64,12 +79,217 @@ impl Default for ServeConfig {
 /// Final report returned by [`ServeEngine::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ServeReport {
+    /// Identity of the backend that executed the batches.
+    pub backend: String,
     /// Aggregated metrics at shutdown.
     pub metrics: ServeMetrics,
     /// How the engine's plan was obtained.
     pub plan_outcome: CacheOutcome,
     /// Fingerprint of the plan served.
     pub plan_fingerprint: u64,
+    /// The backend's per-sample (batch 1) latency breakdown.
+    pub backend_latency: BackendLatencyReport,
+}
+
+/// Typed, validating constructor for [`ServeEngine`].
+///
+/// Obtained from [`ServeEngine::builder`]. Each option struct can be replaced
+/// wholesale; unspecified groups keep their defaults. Validation runs at
+/// [`build`](ServeEngineBuilder::build), before any planning work starts.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use tdc_serve::{
+///     serving_descriptor, BackendKind, BatchingOptions, PlanCache, PlanningOptions,
+///     ServeEngine,
+/// };
+///
+/// let descriptor = serving_descriptor("builder-docs", 8, 4, 4);
+/// let cache = PlanCache::new(2);
+/// let engine = ServeEngine::builder(&descriptor)
+///     .planning(PlanningOptions {
+///         budget: 0.4,
+///         ..PlanningOptions::default()
+///     })
+///     .batching(BatchingOptions {
+///         max_batch_size: 4,
+///         max_batch_delay: Duration::from_millis(1),
+///     })
+///     .backend(BackendKind::SimGpu)
+///     .plan_cache(&cache)
+///     .build()
+///     .unwrap();
+/// let response = engine.infer(tdc_tensor::Tensor::zeros(vec![8, 8, 4])).unwrap();
+/// assert_eq!(response.output.dims(), &[4]);
+/// assert!(response.simulated_gpu_batch_ms > 0.0);
+/// engine.shutdown();
+/// ```
+pub struct ServeEngineBuilder<'a> {
+    descriptor: &'a ModelDescriptor,
+    planning: PlanningOptions,
+    batching: BatchingOptions,
+    runtime: RuntimeOptions,
+    cache: Option<&'a PlanCache>,
+}
+
+impl<'a> ServeEngineBuilder<'a> {
+    fn new(descriptor: &'a ModelDescriptor) -> Self {
+        ServeEngineBuilder {
+            descriptor,
+            planning: PlanningOptions::default(),
+            batching: BatchingOptions::default(),
+            runtime: RuntimeOptions::default(),
+            cache: None,
+        }
+    }
+
+    /// Replace the planning options (plan identity: device, strategy, budget,
+    /// rank step, θ).
+    pub fn planning(mut self, planning: PlanningOptions) -> Self {
+        self.planning = planning;
+        self
+    }
+
+    /// Replace the batching options (batch size and delay).
+    pub fn batching(mut self, batching: BatchingOptions) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Replace the runtime options (workers, seed, dense algorithm, backend).
+    pub fn runtime(mut self, runtime: RuntimeOptions) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Select the execution backend, keeping the other runtime options.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.runtime.backend = backend;
+        self
+    }
+
+    /// Plan through `cache` instead of a private single-entry cache, so
+    /// engine restarts skip rank selection.
+    pub fn plan_cache(mut self, cache: &'a PlanCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Validate every option group, obtain the plan (through the cache when
+    /// one was attached), materialize the backend, probe it once, and start
+    /// the worker pool.
+    pub fn build(self) -> Result<ServeEngine> {
+        self.planning.validate()?;
+        self.batching.validate()?;
+        self.runtime.validate()?;
+
+        let cfg = self.planning.selection_config();
+        let key = PlanKey::new(
+            &self.descriptor.name,
+            &self.planning.device.name,
+            self.runtime.backend.label(),
+            &cfg,
+        );
+        let compute = || {
+            let pipeline = TdcPipeline::new(self.planning.device.clone(), self.planning.strategy);
+            pipeline
+                .plan_with_config(self.descriptor, &cfg)
+                .map_err(Into::into)
+        };
+        let local_cache;
+        let cache = match self.cache {
+            Some(cache) => cache,
+            None => {
+                local_cache = PlanCache::new(1);
+                &local_cache
+            }
+        };
+        let (plan, plan_outcome) = cache.get_or_compute(&key, compute)?;
+
+        let model = Arc::new(CompressedModel::materialize_with(
+            self.descriptor,
+            &plan,
+            self.runtime.seed,
+            self.runtime.dense_algorithm,
+        )?);
+        let backend: Arc<dyn ExecutionBackend> = match self.runtime.backend {
+            BackendKind::Cpu => Arc::new(CpuBackend::new(
+                Arc::clone(&model),
+                Arc::clone(&plan),
+                self.planning.device.clone(),
+                self.descriptor.fc.clone(),
+            )),
+            BackendKind::SimGpu => Arc::new(SimGpuBackend::new(
+                Arc::clone(&model),
+                Arc::clone(&plan),
+                self.planning.device.clone(),
+                self.descriptor.fc.clone(),
+            )),
+        };
+        // Probe the whole execution chain once, so a backend that cannot run
+        // one of the layers (e.g. Winograd on a pointwise layer) fails engine
+        // construction with a real error instead of silently dropping every
+        // request in the workers.
+        backend.warmup()?;
+        let latency_report = backend.latency_report(1)?;
+
+        // Predicted GPU latency of one sample under the paper's TDC-model
+        // backend; workers scale it by batch size when reporting.
+        let predicted_gpu_ms_per_sample = plan
+            .report(Backend::TuckerTdcModel)
+            .map(|r| r.total_ms)
+            .unwrap_or(0.0);
+
+        let queue = Arc::new(BatchQueue::new(
+            self.batching.max_batch_size,
+            self.batching.max_batch_delay,
+        ));
+        let metrics = Arc::new(MetricsRecorder::new(backend.name()));
+        let mut workers = Vec::with_capacity(self.runtime.workers);
+        for worker_index in 0..self.runtime.workers {
+            let worker_queue = Arc::clone(&queue);
+            let worker_metrics = Arc::clone(&metrics);
+            let worker_backend = Arc::clone(&backend);
+            let spawned = std::thread::Builder::new()
+                .name(format!("tdc-serve-worker-{worker_index}"))
+                .spawn(move || {
+                    worker_loop(
+                        &worker_queue,
+                        &worker_metrics,
+                        worker_backend.as_ref(),
+                        predicted_gpu_ms_per_sample,
+                    )
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unwind cleanly: release the workers already running.
+                    queue.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::Runtime {
+                        reason: format!("cannot spawn serving worker {worker_index}: {e}"),
+                    });
+                }
+            }
+        }
+
+        Ok(ServeEngine {
+            queue,
+            metrics,
+            workers,
+            plan,
+            plan_outcome,
+            model,
+            backend,
+            latency_report,
+            next_id: AtomicU64::new(0),
+            predicted_gpu_ms_per_sample,
+        })
+    }
 }
 
 /// A running, batched inference service for one compressed model.
@@ -80,83 +300,50 @@ pub struct ServeEngine {
     plan: Arc<CompressionPlan>,
     plan_outcome: CacheOutcome,
     model: Arc<CompressedModel>,
+    backend: Arc<dyn ExecutionBackend>,
+    latency_report: BackendLatencyReport,
     next_id: AtomicU64,
     predicted_gpu_ms_per_sample: f64,
 }
 
 impl ServeEngine {
-    /// Plan (through `cache`), materialize the executor, and start the
+    /// Start building an engine for `descriptor` with default options.
+    pub fn builder(descriptor: &ModelDescriptor) -> ServeEngineBuilder<'_> {
+        ServeEngineBuilder::new(descriptor)
+    }
+
+    /// Plan (through `cache`), materialize the CPU executor, and start the
     /// worker pool.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ServeEngine::builder(descriptor)` with typed \
+                `PlanningOptions`/`BatchingOptions`/`RuntimeOptions` instead"
+    )]
     pub fn start(
         descriptor: &ModelDescriptor,
         config: &ServeConfig,
         cache: &PlanCache,
     ) -> Result<Self> {
-        if config.workers == 0 {
-            return Err(ServeError::BadConfig {
-                reason: "workers must be > 0".into(),
-            });
-        }
-        let cfg = RankSelectionConfig {
-            budget: config.budget,
-            theta: config.theta,
-            strategy: config.strategy,
-            rank_step: config.rank_step,
-        };
-        let key = PlanKey::new(&descriptor.name, &config.device.name, &cfg);
-        let (plan, plan_outcome) = cache.get_or_compute(&key, || {
-            let pipeline = TdcPipeline::new(config.device.clone(), config.strategy);
-            pipeline
-                .plan_with_config(descriptor, &cfg)
-                .map_err(Into::into)
-        })?;
-        let model = Arc::new(CompressedModel::materialize_with(
-            descriptor,
-            &plan,
-            config.seed,
-            config.dense_algorithm,
-        )?);
-        // Validate the whole execution chain once with a zero input, so a
-        // dense algorithm that cannot run one of the kept layers (e.g.
-        // Winograd on a stride-2 layer) fails engine start with a real error
-        // instead of silently dropping every request in the workers.
-        model.forward(&Tensor::zeros(model.input_dims().to_vec()))?;
-        // Predicted GPU latency of one sample under the paper's TDC-model
-        // backend; workers scale it by batch size when reporting.
-        let predicted_gpu_ms_per_sample = plan
-            .report(Backend::TuckerTdcModel)
-            .map(|r| r.total_ms)
-            .unwrap_or(0.0);
-
-        let queue = Arc::new(BatchQueue::new(
-            config.max_batch_size,
-            config.max_batch_delay,
-        ));
-        let metrics = Arc::new(MetricsRecorder::default());
-        let workers = (0..config.workers)
-            .map(|worker_index| {
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(&metrics);
-                let model = Arc::clone(&model);
-                std::thread::Builder::new()
-                    .name(format!("tdc-serve-worker-{worker_index}"))
-                    .spawn(move || {
-                        worker_loop(&queue, &metrics, &model, predicted_gpu_ms_per_sample)
-                    })
-                    .expect("spawn serving worker")
+        ServeEngine::builder(descriptor)
+            .planning(PlanningOptions {
+                device: config.device.clone(),
+                strategy: config.strategy,
+                budget: config.budget,
+                rank_step: config.rank_step,
+                theta: config.theta,
             })
-            .collect();
-
-        Ok(ServeEngine {
-            queue,
-            metrics,
-            workers,
-            plan,
-            plan_outcome,
-            model,
-            next_id: AtomicU64::new(0),
-            predicted_gpu_ms_per_sample,
-        })
+            .batching(BatchingOptions {
+                max_batch_size: config.max_batch_size,
+                max_batch_delay: config.max_batch_delay,
+            })
+            .runtime(RuntimeOptions {
+                workers: config.workers,
+                seed: config.seed,
+                dense_algorithm: config.dense_algorithm,
+                backend: BackendKind::Cpu,
+            })
+            .plan_cache(cache)
+            .build()
     }
 
     /// The compression plan this engine serves.
@@ -169,9 +356,25 @@ impl ServeEngine {
         self.plan_outcome
     }
 
-    /// The materialized executor.
+    /// The materialized model shared by every backend.
     pub fn model(&self) -> &CompressedModel {
         &self.model
+    }
+
+    /// Identity of the execution backend running the batches.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// The backend's per-sample (batch 1) latency breakdown, computed at
+    /// engine start.
+    pub fn backend_latency_report(&self) -> &BackendLatencyReport {
+        &self.latency_report
+    }
+
+    /// The backend's latency breakdown at an arbitrary batch size.
+    pub fn backend_latency_report_at(&self, batch_size: usize) -> Result<BackendLatencyReport> {
+        self.backend.latency_report(batch_size)
     }
 
     /// Predicted GPU latency of a single sample on the planned device, ms.
@@ -181,9 +384,9 @@ impl ServeEngine {
 
     /// Submit one HWC input; returns a handle to await the response.
     pub fn submit(&self, input: Tensor) -> Result<PendingResponse> {
-        if input.dims() != self.model.input_dims() {
+        if input.dims() != self.backend.input_dims() {
             return Err(ServeError::BadInput {
-                expected: self.model.input_dims().to_vec(),
+                expected: self.backend.input_dims().to_vec(),
                 actual: input.dims().to_vec(),
             });
         }
@@ -221,9 +424,11 @@ impl ServeEngine {
             let _ = worker.join();
         }
         ServeReport {
+            backend: self.backend.name().to_string(),
             metrics: self.metrics.snapshot(),
             plan_outcome: self.plan_outcome,
             plan_fingerprint: self.plan.fingerprint(),
+            backend_latency: self.latency_report.clone(),
         }
     }
 }
@@ -242,26 +447,34 @@ impl Drop for ServeEngine {
 fn worker_loop(
     queue: &BatchQueue,
     metrics: &MetricsRecorder,
-    model: &CompressedModel,
+    backend: &dyn ExecutionBackend,
     predicted_gpu_ms_per_sample: f64,
 ) {
     while let Some(batch) = queue.next_batch() {
         let batch_size = batch.len();
         let predicted_gpu_batch_ms = predicted_gpu_ms_per_sample * batch_size as f64;
         let exec_started = Instant::now();
-        let outputs: Vec<Option<Tensor>> = batch
-            .iter()
-            .map(|request| model.forward(&request.input).ok())
-            .collect();
+        let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+        let execution = backend.forward_batch(&inputs);
         let exec_ms = exec_started.elapsed().as_secs_f64() * 1e3;
-        metrics.record_batch(batch_size, predicted_gpu_batch_ms);
+        let execution = match execution {
+            Ok(execution) => execution,
+            // Engine start probes the whole chain and `submit` rejects wrong
+            // shapes, so a failure here is a genuine anomaly. The batch is
+            // recorded, its requests are dropped, and every client's `wait`
+            // surfaces `Disconnected` — no panic crosses the worker boundary.
+            Err(_) => {
+                metrics.record_batch(batch_size, predicted_gpu_batch_ms, 0.0);
+                continue;
+            }
+        };
+        metrics.record_batch(
+            batch_size,
+            predicted_gpu_batch_ms,
+            execution.simulated_gpu_ms,
+        );
         let completed_at = Instant::now();
-        for (request, output) in batch.into_iter().zip(outputs) {
-            // Engine start validates the whole chain with a probe forward and
-            // `submit` rejects wrong shapes, so a failure here is a genuine
-            // anomaly (e.g. an algorithm panic-adjacent edge); the request is
-            // dropped and the client's `wait` surfaces `Closed`.
-            let Some(output) = output else { continue };
+        for (request, output) in batch.into_iter().zip(execution.outputs) {
             let total_ms = completed_at
                 .duration_since(request.enqueued_at)
                 .as_secs_f64()
@@ -275,6 +488,7 @@ fn worker_loop(
                 exec_ms,
                 batch_size,
                 predicted_gpu_batch_ms,
+                simulated_gpu_batch_ms: execution.simulated_gpu_ms,
             };
             // The client may have given up; that is not the worker's problem.
             let _ = request.responder.send(response);
@@ -290,21 +504,27 @@ mod tests {
     use rand::SeedableRng;
     use tdc_tensor::init;
 
-    fn test_config() -> ServeConfig {
-        ServeConfig {
+    fn test_batching() -> BatchingOptions {
+        BatchingOptions {
             max_batch_size: 4,
             max_batch_delay: Duration::from_millis(2),
-            workers: 2,
-            ..ServeConfig::default()
         }
+    }
+
+    fn test_engine(descriptor: &ModelDescriptor, cache: &PlanCache) -> Result<ServeEngine> {
+        ServeEngine::builder(descriptor)
+            .batching(test_batching())
+            .plan_cache(cache)
+            .build()
     }
 
     #[test]
     fn serves_concurrent_requests_and_batches_them() {
         let descriptor = serving_descriptor("engine-test", 10, 4, 6);
         let cache = PlanCache::new(2);
-        let engine = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        let engine = test_engine(&descriptor, &cache).unwrap();
         assert_eq!(engine.plan_outcome(), CacheOutcome::Miss);
+        assert_eq!(engine.backend_name(), "cpu");
 
         let mut rng = StdRng::seed_from_u64(1);
         let pending: Vec<_> = (0..16)
@@ -319,48 +539,136 @@ mod tests {
             assert_eq!(response.output.dims(), &[6]);
             assert!(response.batch_size >= 1);
             assert!(response.predicted_gpu_batch_ms > 0.0);
+            assert_eq!(
+                response.simulated_gpu_batch_ms, 0.0,
+                "cpu does not simulate"
+            );
             assert!(response.total_ms() >= response.exec_ms);
         }
         let report = engine.shutdown();
+        assert_eq!(report.backend, "cpu");
+        assert_eq!(report.metrics.backend, "cpu");
         assert_eq!(report.metrics.completed_requests, 16);
         assert!(report.metrics.batches <= 16);
         assert!(report.metrics.mean_batch_size >= 1.0);
+        assert_eq!(report.metrics.simulated_gpu_ms_total, 0.0);
+    }
+
+    #[test]
+    fn sim_gpu_engine_reports_simulated_latency_end_to_end() {
+        // Large enough that the planner decomposes at least one layer.
+        let descriptor = serving_descriptor("engine-sim", 12, 8, 10);
+        let cache = PlanCache::new(2);
+        let engine = ServeEngine::builder(&descriptor)
+            .batching(test_batching())
+            .backend(BackendKind::SimGpu)
+            .plan_cache(&cache)
+            .build()
+            .unwrap();
+        assert_eq!(engine.backend_name(), "sim-gpu");
+        let per_sample = engine.backend_latency_report();
+        assert_eq!(per_sample.batch_size, 1);
+        assert!(per_sample.total_ms > 0.0);
+        assert!(per_sample.per_layer.iter().any(|l| l.decomposed));
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let response = engine
+            .infer(init::uniform(vec![12, 12, 8], -1.0, 1.0, &mut rng))
+            .unwrap();
+        assert!(response.simulated_gpu_batch_ms > 0.0);
+
+        let report = engine.shutdown();
+        assert_eq!(report.backend, "sim-gpu");
+        assert_eq!(report.metrics.backend, "sim-gpu");
+        assert!(report.metrics.simulated_gpu_ms_total > 0.0);
+        assert_eq!(report.backend_latency.backend, "sim-gpu");
     }
 
     #[test]
     fn second_engine_start_hits_the_plan_cache() {
         let descriptor = serving_descriptor("engine-cache", 10, 4, 6);
         let cache = PlanCache::new(2);
-        let first = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        let first = test_engine(&descriptor, &cache).unwrap();
         let fp = first.plan().fingerprint();
         drop(first);
-        let second = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        let second = test_engine(&descriptor, &cache).unwrap();
         assert_eq!(second.plan_outcome(), CacheOutcome::MemoryHit);
         assert_eq!(second.plan().fingerprint(), fp);
         assert_eq!(cache.stats().memory_hits, 1);
     }
 
     #[test]
-    fn rejects_bad_inputs_and_configs() {
-        let descriptor = serving_descriptor("engine-bad", 10, 4, 6);
-        let cache = PlanCache::new(2);
-        let engine = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
-        assert!(engine.submit(Tensor::zeros(vec![3, 3, 3])).is_err());
-        drop(engine);
-        let bad = ServeConfig {
-            workers: 0,
-            ..test_config()
-        };
-        assert!(ServeEngine::start(&descriptor, &bad, &cache).is_err());
+    fn backend_identity_splits_the_plan_cache_key() {
+        let descriptor = serving_descriptor("engine-key", 10, 4, 6);
+        let cache = PlanCache::new(4);
+        let cpu = test_engine(&descriptor, &cache).unwrap();
+        drop(cpu);
+        let sim = ServeEngine::builder(&descriptor)
+            .batching(test_batching())
+            .backend(BackendKind::SimGpu)
+            .plan_cache(&cache)
+            .build()
+            .unwrap();
+        assert_eq!(
+            sim.plan_outcome(),
+            CacheOutcome::Miss,
+            "a different backend must not reuse another backend's cache entry"
+        );
+        drop(sim);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]
-    fn start_rejects_a_dense_algorithm_that_cannot_run_a_kept_layer() {
-        use crate::model::DenseAlgorithm;
+    fn builder_rejects_invalid_options() {
+        let descriptor = serving_descriptor("engine-bad", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        // Zero workers.
+        let err = ServeEngine::builder(&descriptor)
+            .runtime(RuntimeOptions {
+                workers: 0,
+                ..RuntimeOptions::default()
+            })
+            .plan_cache(&cache)
+            .build();
+        assert!(matches!(err, Err(ServeError::BadConfig { .. })));
+        // Zero batch size.
+        let err = ServeEngine::builder(&descriptor)
+            .batching(BatchingOptions {
+                max_batch_size: 0,
+                ..BatchingOptions::default()
+            })
+            .plan_cache(&cache)
+            .build();
+        assert!(matches!(err, Err(ServeError::BadConfig { .. })));
+        // Non-finite budget.
+        let err = ServeEngine::builder(&descriptor)
+            .planning(PlanningOptions {
+                budget: f64::NAN,
+                ..PlanningOptions::default()
+            })
+            .plan_cache(&cache)
+            .build();
+        assert!(matches!(err, Err(ServeError::BadConfig { .. })));
+        // Nothing was planned for any rejected configuration.
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let descriptor = serving_descriptor("engine-input", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        let engine = test_engine(&descriptor, &cache).unwrap();
+        assert!(matches!(
+            engine.submit(Tensor::zeros(vec![3, 3, 3])),
+            Err(ServeError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_a_dense_algorithm_that_cannot_run_a_kept_layer() {
         use tdc_conv::ConvShape;
-        use tdc_nn::models::ModelDescriptor;
         // A chain with a pointwise layer: always kept dense, and Winograd
-        // cannot execute 1x1 filters. The probe forward at start must catch
+        // cannot execute 1x1 filters. The warmup probe at build must catch
         // this instead of letting workers drop every request.
         let descriptor = ModelDescriptor {
             name: "engine-wino".into(),
@@ -371,26 +679,58 @@ mod tests {
             fc: vec![(8, 3)],
         };
         let cache = PlanCache::new(2);
-        let bad = ServeConfig {
-            dense_algorithm: DenseAlgorithm::Winograd,
-            ..test_config()
-        };
-        assert!(matches!(
-            ServeEngine::start(&descriptor, &bad, &cache),
-            Err(ServeError::Conv(_))
-        ));
+        let bad = ServeEngine::builder(&descriptor)
+            .runtime(RuntimeOptions {
+                dense_algorithm: DenseAlgorithm::Winograd,
+                ..RuntimeOptions::default()
+            })
+            .plan_cache(&cache)
+            .build();
+        assert!(matches!(bad, Err(ServeError::Conv(_))));
         // The same descriptor serves fine with the default algorithm.
-        let ok = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        let ok = test_engine(&descriptor, &cache).unwrap();
         drop(ok);
+    }
+
+    #[test]
+    fn deprecated_start_shim_still_serves() {
+        let descriptor = serving_descriptor("engine-shim", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        #[allow(deprecated)]
+        let engine = ServeEngine::start(&descriptor, &ServeConfig::default(), &cache).unwrap();
+        assert_eq!(engine.backend_name(), "cpu");
+        let response = engine.infer(Tensor::zeros(vec![10, 10, 4])).unwrap();
+        assert_eq!(response.output.dims(), &[6]);
+        #[allow(deprecated)]
+        let bad = ServeEngine::start(
+            &descriptor,
+            &ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            &cache,
+        );
+        assert!(bad.is_err());
     }
 
     #[test]
     fn shutdown_rejects_new_requests() {
         let descriptor = serving_descriptor("engine-close", 10, 4, 6);
         let cache = PlanCache::new(2);
-        let engine = ServeEngine::start(&descriptor, &test_config(), &cache).unwrap();
+        let engine = test_engine(&descriptor, &cache).unwrap();
         let input = Tensor::zeros(vec![10, 10, 4]);
         engine.queue.close();
         assert!(matches!(engine.submit(input), Err(ServeError::Closed)));
+    }
+
+    #[test]
+    fn builder_without_a_cache_still_builds() {
+        let descriptor = serving_descriptor("engine-nocache", 10, 4, 6);
+        let engine = ServeEngine::builder(&descriptor)
+            .batching(test_batching())
+            .build()
+            .unwrap();
+        assert_eq!(engine.plan_outcome(), CacheOutcome::Miss);
+        drop(engine);
     }
 }

@@ -29,6 +29,7 @@ pub use tucker_conv::TuckerConv;
 
 /// Errors produced by the Tucker layer of the stack.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TuckerError {
     /// A rank exceeds the dimension it compresses.
     BadRank {
@@ -68,7 +69,16 @@ impl std::fmt::Display for TuckerError {
     }
 }
 
-impl std::error::Error for TuckerError {}
+impl std::error::Error for TuckerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuckerError::Tensor(e) => Some(e),
+            TuckerError::Conv(e) => Some(e),
+            TuckerError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<tdc_tensor::TensorError> for TuckerError {
     fn from(e: tdc_tensor::TensorError) -> Self {
@@ -108,5 +118,18 @@ mod tests {
         assert!(e.to_string().contains("tensor error"));
         let e: TuckerError = tdc_nn::NnError::Protocol { reason: "x" }.into();
         assert!(e.to_string().contains("network error"));
+    }
+
+    #[test]
+    fn error_source_chains_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: TuckerError = tdc_conv::ConvError::BadTiling { reason: "t".into() }.into();
+        assert!(e
+            .source()
+            .expect("conv source")
+            .to_string()
+            .contains("bad tiling"));
+        let e = TuckerError::BadConfig { reason: "y".into() };
+        assert!(e.source().is_none());
     }
 }

@@ -1,39 +1,50 @@
-//! Minimal tour of the serving subsystem: plan through the cache, start the
-//! engine, serve a concurrent burst, restart warm, and print the report.
+//! Minimal tour of the serving subsystem: build an engine with the typed
+//! builder, serve a concurrent burst on the CPU backend, restart warm from
+//! the plan cache, then serve the same model on the simulated-GPU backend
+//! and print its per-layer simulated latency breakdown.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
-use tdc_repro::serve::{serving_descriptor, CacheOutcome, PlanCache, ServeConfig, ServeEngine};
+use tdc_repro::serve::{
+    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, PlanCache, PlanningOptions,
+    RuntimeOptions, ServeEngine,
+};
 use tdc_repro::tensor::init;
 
 fn main() {
     // A miniature chain model: 4 convolutions, 8->32 channels on 16x16 inputs.
     let descriptor = serving_descriptor("serve-demo", 16, 8, 10);
-    let config = ServeConfig {
-        workers: 2,
+    let planning = PlanningOptions::default();
+    let batching = BatchingOptions {
         max_batch_size: 8,
         max_batch_delay: Duration::from_millis(2),
-        ..ServeConfig::default()
     };
     let cache = PlanCache::new(4);
 
     // Cold start: rank selection + codegen run once and are cached.
     let started = Instant::now();
-    let engine = ServeEngine::start(&descriptor, &config, &cache).expect("start engine");
+    let engine = ServeEngine::builder(&descriptor)
+        .planning(planning.clone())
+        .batching(batching.clone())
+        .plan_cache(&cache)
+        .build()
+        .expect("build engine");
     println!(
-        "cold start in {:.1} ms: {} ({} of {} layers Tucker-decomposed, {:.0}% FLOPs reduction)",
+        "cold start in {:.1} ms: {} on the {} backend ({} of {} layers Tucker-decomposed, \
+         {:.0}% FLOPs reduction)",
         started.elapsed().as_secs_f64() * 1e3,
         descriptor.name,
+        engine.backend_name(),
         engine.model().decomposed_layers(),
         engine.plan().decisions.len(),
         engine.plan().achieved_reduction * 100.0,
     );
     println!(
         "predicted GPU latency on {}: {:.4} ms/sample",
-        config.device.name,
+        planning.device.name,
         engine.predicted_gpu_ms_per_sample()
     );
 
@@ -67,7 +78,12 @@ fn main() {
 
     // Warm restart: the plan comes straight from the cache.
     let started = Instant::now();
-    let engine = ServeEngine::start(&descriptor, &config, &cache).expect("restart engine");
+    let engine = ServeEngine::builder(&descriptor)
+        .planning(planning.clone())
+        .batching(batching.clone())
+        .plan_cache(&cache)
+        .build()
+        .expect("restart engine");
     assert_eq!(engine.plan_outcome(), CacheOutcome::MemoryHit);
     println!(
         "warm restart in {:.1} ms (plan-cache {} memory hit(s), {} miss(es))",
@@ -76,4 +92,51 @@ fn main() {
         cache.stats().misses,
     );
     engine.shutdown();
+
+    // Same model behind the simulated-GPU backend: identical outputs, plus a
+    // wave-level simulated latency account per batch.
+    let engine = ServeEngine::builder(&descriptor)
+        .planning(planning.clone())
+        .batching(batching)
+        .runtime(RuntimeOptions {
+            workers: 2,
+            backend: BackendKind::SimGpu,
+            ..RuntimeOptions::default()
+        })
+        .plan_cache(&cache)
+        .build()
+        .expect("build sim-gpu engine");
+    println!("\nsim-gpu backend:");
+    let mut rng = StdRng::seed_from_u64(42);
+    let pending: Vec<_> = (0..16)
+        .map(|_| {
+            let input = init::uniform(vec![16, 16, 8], -1.0, 1.0, &mut rng);
+            engine.submit(input).expect("submit")
+        })
+        .collect();
+    for (i, p) in pending.into_iter().enumerate() {
+        let r = p.wait().expect("response");
+        if i % 8 == 0 {
+            println!(
+                "  request {:2}: batch of {}, simulated GPU {:.4} ms/batch",
+                r.id, r.batch_size, r.simulated_gpu_batch_ms
+            );
+        }
+    }
+    let breakdown = engine.backend_latency_report().clone();
+    let report = engine.shutdown();
+    println!(
+        "served {} requests; simulated GPU total {:.2} ms on {}",
+        report.metrics.completed_requests, report.metrics.simulated_gpu_ms_total, breakdown.device
+    );
+    println!("per-sample simulated latency by layer:");
+    for layer in &breakdown.per_layer {
+        println!(
+            "  {:24} {:>9.4} ms  ({} kernel(s), {:.1}% SM util)",
+            layer.label,
+            layer.ms,
+            layer.kernels,
+            layer.sm_utilization * 100.0
+        );
+    }
 }

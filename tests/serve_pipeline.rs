@@ -1,23 +1,39 @@
 //! Cross-crate integration test of the serving subsystem: plan-cache
-//! hit/miss semantics (memory and disk), deterministic batched outputs, and
-//! graceful shutdown draining the queue.
+//! hit/miss semantics (memory and disk), deterministic batched outputs,
+//! execution-backend parity, builder validation, and graceful shutdown
+//! draining the queue.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
 use tdc_repro::serve::{
-    serving_descriptor, CacheOutcome, PlanCache, PlanKey, ServeConfig, ServeEngine,
+    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, PlanCache, PlanKey,
+    PlanningOptions, RuntimeOptions, ServeEngine, ServeError,
 };
 use tdc_repro::tensor::{init, Tensor};
 
-fn config(workers: usize, max_batch: usize, delay_ms: u64) -> ServeConfig {
-    ServeConfig {
-        workers,
-        max_batch_size: max_batch,
-        max_batch_delay: Duration::from_millis(delay_ms),
-        ..ServeConfig::default()
-    }
+fn engine(
+    descriptor: &tdc_repro::nn::models::ModelDescriptor,
+    cache: &PlanCache,
+    backend: BackendKind,
+    workers: usize,
+    max_batch: usize,
+    delay_ms: u64,
+) -> ServeEngine {
+    ServeEngine::builder(descriptor)
+        .batching(BatchingOptions {
+            max_batch_size: max_batch,
+            max_batch_delay: Duration::from_millis(delay_ms),
+        })
+        .runtime(RuntimeOptions {
+            workers,
+            backend,
+            ..RuntimeOptions::default()
+        })
+        .plan_cache(cache)
+        .build()
+        .expect("engine build")
 }
 
 #[test]
@@ -27,38 +43,52 @@ fn plan_cache_hit_miss_semantics_across_engines_and_processes() {
     let cache = PlanCache::new(4).with_spill_dir(&spill).unwrap();
 
     // Cold start misses, warm restart hits memory.
-    let first = ServeEngine::start(&descriptor, &config(1, 4, 1), &cache).unwrap();
+    let first = engine(&descriptor, &cache, BackendKind::Cpu, 1, 4, 1);
     assert_eq!(first.plan_outcome(), CacheOutcome::Miss);
     let fingerprint = first.plan().fingerprint();
     drop(first);
-    let second = ServeEngine::start(&descriptor, &config(1, 4, 1), &cache).unwrap();
+    let second = engine(&descriptor, &cache, BackendKind::Cpu, 1, 4, 1);
     assert_eq!(second.plan_outcome(), CacheOutcome::MemoryHit);
     assert_eq!(second.plan().fingerprint(), fingerprint);
     drop(second);
 
     // A different budget is a different key: miss again.
-    let other_budget = ServeConfig {
-        budget: 0.3,
-        ..config(1, 4, 1)
-    };
-    let third = ServeEngine::start(&descriptor, &other_budget, &cache).unwrap();
+    let third = ServeEngine::builder(&descriptor)
+        .planning(PlanningOptions {
+            budget: 0.3,
+            ..PlanningOptions::default()
+        })
+        .runtime(RuntimeOptions {
+            workers: 1,
+            ..RuntimeOptions::default()
+        })
+        .plan_cache(&cache)
+        .build()
+        .unwrap();
     assert_eq!(third.plan_outcome(), CacheOutcome::Miss);
     drop(third);
 
     // A different selection config (rank step) under the *same* budget is
     // also a different key — the cache must never serve a plan computed
     // under another configuration.
-    let other_step = ServeConfig {
-        rank_step: 8,
-        ..config(1, 4, 1)
-    };
-    let stepped = ServeEngine::start(&descriptor, &other_step, &cache).unwrap();
+    let stepped = ServeEngine::builder(&descriptor)
+        .planning(PlanningOptions {
+            rank_step: 8,
+            ..PlanningOptions::default()
+        })
+        .runtime(RuntimeOptions {
+            workers: 1,
+            ..RuntimeOptions::default()
+        })
+        .plan_cache(&cache)
+        .build()
+        .unwrap();
     assert_eq!(stepped.plan_outcome(), CacheOutcome::Miss);
     drop(stepped);
 
     // "Process restart": cold memory, warm disk -> disk hit, same plan.
     cache.clear_memory();
-    let fourth = ServeEngine::start(&descriptor, &config(1, 4, 1), &cache).unwrap();
+    let fourth = engine(&descriptor, &cache, BackendKind::Cpu, 1, 4, 1);
     assert_eq!(fourth.plan_outcome(), CacheOutcome::DiskHit);
     assert_eq!(fourth.plan().fingerprint(), fingerprint);
     drop(fourth);
@@ -69,15 +99,16 @@ fn plan_cache_hit_miss_semantics_across_engines_and_processes() {
     assert_eq!(stats.misses, 3);
 
     // Direct key-level checks of the keying: budget quantization absorbs
-    // float noise, and every selection input participates in the key.
+    // float noise, and every selection input — including the execution
+    // backend — participates in the key.
     let cfg = tdc_repro::core::RankSelectionConfig::default();
     let noisy = tdc_repro::core::RankSelectionConfig {
         budget: cfg.budget + 1e-9,
         ..cfg.clone()
     };
     assert_eq!(
-        PlanKey::new("m", "d", &cfg),
-        PlanKey::new("m", "d", &noisy),
+        PlanKey::new("m", "d", "cpu", &cfg),
+        PlanKey::new("m", "d", "cpu", &noisy),
         "float noise below a micro-unit must not split keys"
     );
     let stepped = tdc_repro::core::RankSelectionConfig {
@@ -85,8 +116,13 @@ fn plan_cache_hit_miss_semantics_across_engines_and_processes() {
         ..cfg.clone()
     };
     assert_ne!(
-        PlanKey::new("m", "d", &cfg),
-        PlanKey::new("m", "d", &stepped)
+        PlanKey::new("m", "d", "cpu", &cfg),
+        PlanKey::new("m", "d", "cpu", &stepped)
+    );
+    assert_ne!(
+        PlanKey::new("m", "d", "cpu", &cfg),
+        PlanKey::new("m", "d", "sim-gpu", &cfg),
+        "the backend identity must participate in the key"
     );
     std::fs::remove_dir_all(&spill).ok();
 }
@@ -101,7 +137,7 @@ fn outputs_are_deterministic_regardless_of_batch_composition() {
 
     // Reference: an engine serving one request at a time (batch size 1).
     let cache = PlanCache::new(2);
-    let solo = ServeEngine::start(&descriptor, &config(1, 1, 0), &cache).unwrap();
+    let solo = engine(&descriptor, &cache, BackendKind::Cpu, 1, 1, 0);
     let reference: Vec<Tensor> = inputs
         .iter()
         .map(|x| solo.infer(x.clone()).unwrap().output)
@@ -110,7 +146,7 @@ fn outputs_are_deterministic_regardless_of_batch_composition() {
 
     // Same inputs submitted concurrently through a batching engine: every
     // output must be bit-identical to the solo run, whatever batches formed.
-    let batched = ServeEngine::start(&descriptor, &config(3, 4, 5), &cache).unwrap();
+    let batched = engine(&descriptor, &cache, BackendKind::Cpu, 3, 4, 5);
     let pending: Vec<_> = inputs
         .iter()
         .map(|x| batched.submit(x.clone()).unwrap())
@@ -133,11 +169,97 @@ fn outputs_are_deterministic_regardless_of_batch_composition() {
 }
 
 #[test]
+fn cpu_and_sim_gpu_backends_produce_bit_identical_outputs() {
+    let descriptor = serving_descriptor("it-parity", 12, 4, 8);
+    let mut rng = StdRng::seed_from_u64(99);
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|_| init::uniform(vec![12, 12, 4], -1.0, 1.0, &mut rng))
+        .collect();
+
+    let cache = PlanCache::new(4);
+    let cpu = engine(&descriptor, &cache, BackendKind::Cpu, 2, 4, 2);
+    let cpu_outputs: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| cpu.infer(x.clone()).unwrap().output)
+        .collect();
+    let cpu_report = cpu.shutdown();
+    assert_eq!(cpu_report.backend, "cpu");
+    assert_eq!(cpu_report.metrics.simulated_gpu_ms_total, 0.0);
+
+    let sim = engine(&descriptor, &cache, BackendKind::SimGpu, 2, 4, 2);
+    assert_eq!(sim.backend_name(), "sim-gpu");
+    let pending: Vec<_> = inputs
+        .iter()
+        .map(|x| sim.submit(x.clone()).unwrap())
+        .collect();
+    for (p, expected) in pending.into_iter().zip(cpu_outputs.iter()) {
+        let response = p.wait().unwrap();
+        assert_eq!(
+            &response.output, expected,
+            "sim-gpu output diverged from the cpu backend"
+        );
+        assert!(
+            response.simulated_gpu_batch_ms > 0.0,
+            "every sim-gpu batch must carry a simulated latency"
+        );
+    }
+    let sim_report = sim.shutdown();
+    assert_eq!(sim_report.backend, "sim-gpu");
+    assert!(sim_report.metrics.simulated_gpu_ms_total > 0.0);
+    // The per-sample breakdown covers the 4 convolutions plus the FC layer.
+    assert_eq!(sim_report.backend_latency.per_layer.len(), 5);
+    assert!(sim_report.backend_latency.total_ms > 0.0);
+}
+
+#[test]
+fn builder_validation_rejects_degenerate_options() {
+    let descriptor = serving_descriptor("it-validate", 12, 4, 8);
+    let cache = PlanCache::new(2);
+
+    let zero_workers = ServeEngine::builder(&descriptor)
+        .runtime(RuntimeOptions {
+            workers: 0,
+            ..RuntimeOptions::default()
+        })
+        .plan_cache(&cache)
+        .build();
+    assert!(matches!(zero_workers, Err(ServeError::BadConfig { .. })));
+
+    let zero_batch = ServeEngine::builder(&descriptor)
+        .batching(BatchingOptions {
+            max_batch_size: 0,
+            ..BatchingOptions::default()
+        })
+        .plan_cache(&cache)
+        .build();
+    assert!(matches!(zero_batch, Err(ServeError::BadConfig { .. })));
+
+    for bad_budget in [f64::NAN, f64::INFINITY, -0.5, 1.5] {
+        let non_finite = ServeEngine::builder(&descriptor)
+            .planning(PlanningOptions {
+                budget: bad_budget,
+                ..PlanningOptions::default()
+            })
+            .plan_cache(&cache)
+            .build();
+        assert!(
+            matches!(non_finite, Err(ServeError::BadConfig { .. })),
+            "budget {bad_budget} must be rejected"
+        );
+    }
+    assert_eq!(
+        cache.stats().misses,
+        0,
+        "validation must fire before any planning work"
+    );
+}
+
+#[test]
 fn shutdown_drains_the_queue_gracefully() {
     let descriptor = serving_descriptor("it-drain", 12, 4, 8);
     let cache = PlanCache::new(2);
     // One slow worker and a generous batch delay so a backlog builds up.
-    let engine = Arc::new(ServeEngine::start(&descriptor, &config(1, 2, 1), &cache).unwrap());
+    let engine = Arc::new(engine(&descriptor, &cache, BackendKind::Cpu, 1, 2, 1));
 
     let mut rng = StdRng::seed_from_u64(5);
     let pending: Vec<_> = (0..20)
