@@ -26,6 +26,39 @@
 //!   through the wave-level simulator.
 //!
 //! [`KernelLaunch`]: tdc_gpu_sim::KernelLaunch
+//!
+//! # Example: plan a compression
+//!
+//! The crate's central entry point is [`TdcPipeline`]: give it a device and
+//! a tiling strategy, then plan any [`ModelDescriptor`] under a FLOPs
+//! budget. [`TdcPipeline::plan_with_config`] exposes the full
+//! [`RankSelectionConfig`] — miniature models need a smaller `rank_step`
+//! than the warp-sized default:
+//!
+//! ```
+//! use tdc::rank_select::RankSelectionConfig;
+//! use tdc::{TdcPipeline, TilingStrategy};
+//! use tdc_conv::ConvShape;
+//! use tdc_gpu_sim::DeviceSpec;
+//! use tdc_nn::models::ModelDescriptor;
+//!
+//! let model = ModelDescriptor {
+//!     name: "mini".into(),
+//!     convs: vec![ConvShape::same3x3(16, 24, 16, 16)],
+//!     fc: vec![(24, 10)],
+//! };
+//! let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
+//! let cfg = RankSelectionConfig {
+//!     budget: 0.5,
+//!     rank_step: 4,
+//!     ..RankSelectionConfig::default()
+//! };
+//! let plan = pipeline.plan_with_config(&model, &cfg).unwrap();
+//! assert_eq!(plan.decisions.len(), 1);
+//! assert!((0.0..1.0).contains(&plan.achieved_reduction));
+//! ```
+//!
+//! [`ModelDescriptor`]: tdc_nn::models::ModelDescriptor
 
 pub mod benchmark_table;
 pub mod codegen;

@@ -151,6 +151,36 @@ impl TdcPipeline {
     /// configuration. Serving deployments of miniature models need a smaller
     /// `rank_step` than the warp-sized default (32), which would otherwise
     /// leave every small layer dense.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tdc::rank_select::RankSelectionConfig;
+    /// use tdc::{TdcPipeline, TilingStrategy};
+    /// use tdc_gpu_sim::DeviceSpec;
+    /// use tdc_nn::models::ModelDescriptor;
+    ///
+    /// let model = ModelDescriptor {
+    ///     name: "mini".into(),
+    ///     convs: vec![
+    ///         tdc_conv::ConvShape::same3x3(16, 16, 16, 16),
+    ///         tdc_conv::ConvShape::same3x3(16, 24, 16, 16),
+    ///     ],
+    ///     fc: vec![(24, 10)],
+    /// };
+    /// let pipeline = TdcPipeline::new(DeviceSpec::a100(), TilingStrategy::Model);
+    /// let cfg = RankSelectionConfig {
+    ///     budget: 0.5,
+    ///     theta: 0.0, // decompose whenever feasible
+    ///     rank_step: 4,
+    ///     ..RankSelectionConfig::default()
+    /// };
+    /// let plan = pipeline.plan_with_config(&model, &cfg).unwrap();
+    /// // With step 4 at least one miniature layer decomposes, and the plan
+    /// // carries a latency report per execution backend.
+    /// assert!(plan.decisions.iter().any(|d| d.rank().is_some()));
+    /// assert_eq!(plan.reports.len(), 5);
+    /// ```
     pub fn plan_with_config(
         &self,
         model: &ModelDescriptor,

@@ -56,6 +56,43 @@ impl ModelDescriptor {
         conv + fc
     }
 
+    /// URL- and file-safe form of the model name: lowercased, with every run
+    /// of characters outside `[a-z0-9._]` collapsed into a single `-` and
+    /// leading/trailing dashes trimmed. Serving layers that key routes or
+    /// cache files by model identity (e.g. `tdc-serve`'s registry and HTTP
+    /// front end) use this as the canonical registered name, so
+    /// `"ResNet-18"` and `"resnet 18"` cannot silently become two models.
+    /// Names with no safe characters at all fall back to `"unnamed"` — the
+    /// slug is never empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tdc_nn::models::resnet18_descriptor;
+    ///
+    /// assert_eq!(resnet18_descriptor().slug(), "resnet-18");
+    /// ```
+    pub fn slug(&self) -> String {
+        let mut slug = String::with_capacity(self.name.len());
+        let mut pending_dash = false;
+        for ch in self.name.chars() {
+            let ch = ch.to_ascii_lowercase();
+            if ch.is_ascii_alphanumeric() || ch == '.' || ch == '_' {
+                if pending_dash && !slug.is_empty() {
+                    slug.push('-');
+                }
+                pending_dash = false;
+                slug.push(ch);
+            } else {
+                pending_dash = true;
+            }
+        }
+        if slug.is_empty() {
+            slug.push_str("unnamed");
+        }
+        slug
+    }
+
     /// Convolution layers that are candidates for Tucker decomposition:
     /// the paper decomposes the spatial (R×S > 1×1) convolutions.
     pub fn decomposable_convs(&self) -> Vec<(usize, ConvShape)> {
@@ -360,6 +397,24 @@ mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
     use tdc_tensor::init;
+
+    #[test]
+    fn slug_normalizes_descriptor_names() {
+        let named = |name: &str| ModelDescriptor {
+            name: name.into(),
+            convs: vec![],
+            fc: vec![],
+        };
+        assert_eq!(named("ResNet-18").slug(), "resnet-18");
+        assert_eq!(named("VGG 16 (bn)").slug(), "vgg-16-bn");
+        assert_eq!(named("  svc//mini  ").slug(), "svc-mini");
+        assert_eq!(named("v1.2_beta").slug(), "v1.2_beta");
+        // Nothing safe survives: never empty, always registrable.
+        assert_eq!(named("!!!").slug(), "unnamed");
+        assert_eq!(named("").slug(), "unnamed");
+        // Distinct spellings of the same identity collapse to one slug.
+        assert_eq!(named("ResNet 18").slug(), named("resnet-18").slug());
+    }
 
     #[test]
     fn resnet18_descriptor_matches_known_structure() {

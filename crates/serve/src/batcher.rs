@@ -12,6 +12,12 @@
 //! submissions, but [`BatchQueue::next_batch`] keeps handing out queued
 //! requests until the FIFO is drained, and only then returns `None` to
 //! terminate the workers.
+//!
+//! Admission is bounded: the queue holds at most `max_queue_depth` requests,
+//! and a push beyond the bound fails with [`ServeError::Overloaded`] instead
+//! of growing the FIFO without limit. A service under sustained overload
+//! therefore sheds load at the front door with a typed, retryable rejection
+//! while requests already admitted keep their bounded batching delay.
 
 use crate::{Result, ServeError};
 use std::collections::VecDeque;
@@ -72,12 +78,15 @@ pub struct BatchQueue {
     not_empty: Condvar,
     max_batch_size: usize,
     max_batch_delay: Duration,
+    max_queue_depth: usize,
 }
 
 impl BatchQueue {
     /// Create a queue forming batches of up to `max_batch_size` requests,
-    /// holding the oldest request at most `max_batch_delay`.
-    pub fn new(max_batch_size: usize, max_batch_delay: Duration) -> Self {
+    /// holding the oldest request at most `max_batch_delay`, and admitting at
+    /// most `max_queue_depth` undispatched requests (`usize::MAX` disables
+    /// the bound).
+    pub fn new(max_batch_size: usize, max_batch_delay: Duration, max_queue_depth: usize) -> Self {
         BatchQueue {
             state: Mutex::new(QueueState {
                 fifo: VecDeque::new(),
@@ -86,6 +95,7 @@ impl BatchQueue {
             not_empty: Condvar::new(),
             max_batch_size: max_batch_size.max(1),
             max_batch_delay,
+            max_queue_depth: max_queue_depth.max(1),
         }
     }
 
@@ -96,18 +106,25 @@ impl BatchQueue {
         }
     }
 
-    /// Enqueue a request. Fails with [`ServeError::Closed`] after shutdown
-    /// and with [`ServeError::LockPoisoned`] if a worker panicked while
-    /// holding the queue lock — the submission side reports poisoning as an
-    /// error instead of panicking or silently enqueueing into a wounded
-    /// engine. (The drain side deliberately keeps recovering, so shutdown
-    /// still empties the queue.)
+    /// Enqueue a request. Fails with [`ServeError::Closed`] after shutdown,
+    /// with [`ServeError::Overloaded`] when the queue already holds
+    /// `max_queue_depth` undispatched requests, and with
+    /// [`ServeError::LockPoisoned`] if a worker panicked while holding the
+    /// queue lock — the submission side reports poisoning as an error instead
+    /// of panicking or silently enqueueing into a wounded engine. (The drain
+    /// side deliberately keeps recovering, so shutdown still empties the
+    /// queue.)
     pub fn push(&self, request: InferenceRequest) -> Result<()> {
         let mut state = self.state.lock().map_err(|_| ServeError::LockPoisoned {
             what: "batch queue",
         })?;
         if state.closed {
             return Err(ServeError::Closed);
+        }
+        if state.fifo.len() >= self.max_queue_depth {
+            return Err(ServeError::Overloaded {
+                limit: self.max_queue_depth,
+            });
         }
         state.fifo.push_back(request);
         drop(state);
@@ -238,7 +255,7 @@ mod tests {
 
     #[test]
     fn full_batches_form_without_waiting_for_the_deadline() {
-        let queue = BatchQueue::new(4, Duration::from_secs(60));
+        let queue = BatchQueue::new(4, Duration::from_secs(60), usize::MAX);
         for id in 0..4 {
             queue.push(request(id).0).unwrap();
         }
@@ -254,7 +271,7 @@ mod tests {
 
     #[test]
     fn partial_batches_release_at_the_deadline() {
-        let queue = BatchQueue::new(8, Duration::from_millis(30));
+        let queue = BatchQueue::new(8, Duration::from_millis(30), usize::MAX);
         queue.push(request(1).0).unwrap();
         let started = Instant::now();
         let batch = queue.next_batch().unwrap();
@@ -268,7 +285,7 @@ mod tests {
 
     #[test]
     fn oversized_backlog_splits_into_max_sized_batches() {
-        let queue = BatchQueue::new(3, Duration::from_millis(5));
+        let queue = BatchQueue::new(3, Duration::from_millis(5), usize::MAX);
         for id in 0..7 {
             queue.push(request(id).0).unwrap();
         }
@@ -277,8 +294,21 @@ mod tests {
     }
 
     #[test]
+    fn pushes_beyond_the_admission_bound_are_rejected() {
+        let queue = BatchQueue::new(8, Duration::from_millis(5), 2);
+        queue.push(request(0).0).unwrap();
+        queue.push(request(1).0).unwrap();
+        let rejected = queue.push(request(2).0);
+        assert!(matches!(rejected, Err(ServeError::Overloaded { limit: 2 })));
+        assert_eq!(queue.depth(), 2, "the rejected request was not enqueued");
+        // Draining the queue re-opens admission.
+        assert_eq!(queue.next_batch().unwrap().len(), 2);
+        queue.push(request(3).0).unwrap();
+    }
+
+    #[test]
     fn close_drains_then_terminates() {
-        let queue = Arc::new(BatchQueue::new(2, Duration::from_millis(5)));
+        let queue = Arc::new(BatchQueue::new(2, Duration::from_millis(5), usize::MAX));
         for id in 0..3 {
             queue.push(request(id).0).unwrap();
         }
@@ -291,7 +321,7 @@ mod tests {
 
     #[test]
     fn blocked_worker_wakes_on_close() {
-        let queue = Arc::new(BatchQueue::new(2, Duration::from_secs(60)));
+        let queue = Arc::new(BatchQueue::new(2, Duration::from_secs(60), usize::MAX));
         let waiter = {
             let queue = Arc::clone(&queue);
             std::thread::spawn(move || queue.next_batch().is_none())
@@ -303,7 +333,7 @@ mod tests {
 
     #[test]
     fn preserves_fifo_order() {
-        let queue = BatchQueue::new(8, Duration::from_millis(5));
+        let queue = BatchQueue::new(8, Duration::from_millis(5), usize::MAX);
         for id in 0..5 {
             queue.push(request(id).0).unwrap();
         }

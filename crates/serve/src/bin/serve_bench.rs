@@ -5,14 +5,22 @@
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
 //! restart, and records everything as a `BENCH_serve.json` artifact
-//! (schema 2: one entry per execution backend, with the sim-GPU backend's
-//! per-layer simulated latency breakdown) so later changes can track the
-//! serving-performance trajectory.
+//! (schema 3) so later changes can track the serving-performance trajectory.
+//!
+//! Two modes:
+//!
+//! * default — one model, measured per execution backend (`runs`, with the
+//!   sim-GPU backend's per-layer simulated latency breakdown);
+//! * `--models N` — additionally, N models behind a [`ModelRegistry`] with
+//!   clients round-robining mixed traffic across them; the artifact gains
+//!   per-model latency summaries plus admission rejections (`multi_model`).
+//!   Composes with `--backend`: a single backend pins every model, the
+//!   default `both` alternates cpu / sim-gpu across the fleet.
 //!
 //! Usage:
 //!
 //! ```text
-//! serve_bench [--backend cpu|sim-gpu|both]        (default: both)
+//! serve_bench [--backend cpu|sim-gpu|both] [--models N]
 //! ```
 //!
 //! Environment knobs (all optional):
@@ -22,6 +30,7 @@
 //! * `SERVE_BENCH_WORKERS`   — executor worker threads (default 4)
 //! * `SERVE_BENCH_RATE_HZ`   — per-client submission rate (default 1000)
 //! * `SERVE_BENCH_BACKEND`   — same as `--backend` (the flag wins)
+//! * `SERVE_BENCH_MODELS`    — same as `--models` (the flag wins)
 //! * `SERVE_BENCH_OUT`       — artifact path (default `BENCH_serve.json`)
 
 use rand::rngs::StdRng;
@@ -30,14 +39,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdc_serve::{
     serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, LatencySummary,
-    LayerSimLatency, PlanCache, PlanningOptions, RuntimeOptions, ServeEngine,
+    LayerSimLatency, ModelConfig, ModelRegistry, PlanCache, PlanningOptions, RuntimeOptions,
+    ServeEngine, ServeError,
 };
 use tdc_tensor::init;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 2: the measured phase runs per execution backend; each run records
-/// the backend identity and (for simulating backends) the per-layer
-/// simulated latency breakdown.
+/// Schema 3: the single-model measured phase runs per execution backend
+/// (`runs`, each with the backend identity and — for simulating backends —
+/// the per-layer simulated latency breakdown); `--models N` additionally
+/// records a `multi_model` section with per-model latency summaries from
+/// mixed registry traffic.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -50,6 +62,34 @@ struct ServeBenchArtifact {
     max_batch_size: usize,
     max_batch_delay_ms: f64,
     runs: Vec<BackendRun>,
+    multi_model: Option<MultiModelRun>,
+}
+
+/// The `--models N` measured phase: mixed traffic through one registry.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct MultiModelRun {
+    models: usize,
+    requests_submitted: usize,
+    elapsed_s: f64,
+    total_throughput_rps: f64,
+    total_completed: u64,
+    total_rejected: u64,
+    per_model: Vec<ModelRun>,
+}
+
+/// One model's share of the mixed-traffic phase.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ModelRun {
+    model: String,
+    backend: String,
+    requests: u64,
+    rejected: u64,
+    throughput_rps: f64,
+    total_latency: LatencySummary,
+    queue_latency: LatencySummary,
+    exec_latency: LatencySummary,
+    mean_batch_size: f64,
+    plan_fingerprint: String,
 }
 
 /// One backend's measured phase.
@@ -57,6 +97,7 @@ struct ServeBenchArtifact {
 struct BackendRun {
     backend: String,
     requests: u64,
+    rejected: u64,
     elapsed_s: f64,
     throughput_rps: f64,
     total_latency: LatencySummary,
@@ -91,23 +132,30 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn backend_selection() -> Vec<BackendKind> {
-    let mut choice = std::env::var("SERVE_BENCH_BACKEND").ok();
+/// Resolve `--flag value` / `--flag=value` (last occurrence wins) with `env`
+/// as the fallback when the flag is absent.
+fn flag_or_env(flag: &str, env: &str) -> Option<String> {
+    let mut choice = std::env::var(env).ok();
     let args: Vec<String> = std::env::args().collect();
+    let prefix = format!("{flag}=");
     for (i, arg) in args.iter().enumerate() {
-        if let Some(value) = arg.strip_prefix("--backend=") {
+        if let Some(value) = arg.strip_prefix(&prefix) {
             choice = Some(value.to_string());
-        } else if arg == "--backend" {
+        } else if arg == flag {
             match args.get(i + 1) {
                 Some(value) => choice = Some(value.clone()),
                 None => {
-                    eprintln!("serve_bench: --backend needs a value (cpu, sim-gpu or both)");
+                    eprintln!("serve_bench: {flag} needs a value");
                     std::process::exit(2);
                 }
             }
         }
     }
-    match choice.as_deref() {
+    choice
+}
+
+fn backend_selection() -> Vec<BackendKind> {
+    match flag_or_env("--backend", "SERVE_BENCH_BACKEND").as_deref() {
         None | Some("both") | Some("all") => BackendKind::all().to_vec(),
         Some(label) => match BackendKind::parse(label) {
             Some(kind) => vec![kind],
@@ -116,6 +164,17 @@ fn backend_selection() -> Vec<BackendKind> {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+fn models_selection() -> usize {
+    match flag_or_env("--models", "SERVE_BENCH_MODELS").map(|v| v.parse()) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("serve_bench: --models needs a positive integer");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -196,10 +255,18 @@ fn run_backend(
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + client_index as u64);
                 let mut pending = Vec::with_capacity(per_client);
+                let mut rejected = 0u64;
                 for _ in 0..per_client {
                     let input =
                         init::uniform(vec![spatial, spatial, channels], -1.0, 1.0, &mut rng);
-                    pending.push(engine.submit(input).expect("submit"));
+                    // Under a sustained backlog the admission bound sheds
+                    // load; an open-loop client records the rejection and
+                    // keeps its arrival schedule.
+                    match engine.submit(input) {
+                        Ok(p) => pending.push(p),
+                        Err(ServeError::Overloaded { .. }) => rejected += 1,
+                        Err(e) => panic!("submit: {e}"),
+                    }
                     std::thread::sleep(interval);
                 }
                 // Await everything this client submitted (arrivals stay
@@ -207,11 +274,13 @@ fn run_backend(
                 for p in pending {
                     p.wait().expect("response");
                 }
+                rejected
             })
         })
         .collect();
+    let mut rejected = 0u64;
     for t in client_threads {
-        t.join().expect("client thread");
+        rejected += t.join().expect("client thread");
     }
 
     let engine =
@@ -226,8 +295,8 @@ fn run_backend(
 
     println!("  measured phase: {:.2} s wall clock", elapsed_s);
     println!(
-        "  completed        : {} requests in {} batches",
-        metrics.completed_requests, metrics.batches
+        "  completed        : {} requests in {} batches ({} rejected at admission)",
+        metrics.completed_requests, metrics.batches, rejected
     );
     println!("  throughput       : {throughput_rps:.1} req/s");
     println!(
@@ -277,6 +346,7 @@ fn run_backend(
     BackendRun {
         backend: report.backend.clone(),
         requests: metrics.completed_requests,
+        rejected,
         elapsed_s,
         throughput_rps,
         total_latency: metrics.total_latency,
@@ -296,6 +366,144 @@ fn run_backend(
     }
 }
 
+/// The `--models N` phase: N distinct models behind one registry, every
+/// client thread round-robining its submissions across all of them. The
+/// `--backend` selection composes: a single backend pins every model to it,
+/// the default `both` alternates cpu / sim-gpu across the fleet.
+fn run_multi_model(n: usize, backends: &[BackendKind], s: &BenchSettings) -> MultiModelRun {
+    let mut registry = ModelRegistry::new(n.max(2));
+    for index in 0..n {
+        // Genuinely different networks (growing spatial size), large enough
+        // that the planner decomposes at least one layer per model.
+        let descriptor = serving_descriptor(&format!("svc-{index}"), 12 + 2 * (index % 4), 8, 10);
+        let backend = backends[index % backends.len()];
+        registry
+            .register(
+                &descriptor.slug(),
+                &descriptor,
+                ModelConfig {
+                    planning: s.planning.clone(),
+                    batching: s.batching.clone(),
+                    runtime: RuntimeOptions {
+                        workers: s.workers,
+                        backend,
+                        ..RuntimeOptions::default()
+                    },
+                },
+            )
+            .expect("register model");
+    }
+    let names: Vec<String> = registry.names().iter().map(|x| x.to_string()).collect();
+    let dims: Vec<Vec<usize>> = registry
+        .model_info()
+        .iter()
+        .map(|i| i.input_dims.clone())
+        .collect();
+    println!("\n== multi-model: {} models ==", n);
+    for info in registry.model_info() {
+        println!(
+            "  {:12} {} on {} ({} of {} layers decomposed, queue bound {})",
+            info.name,
+            info.backend,
+            info.device,
+            info.decomposed_layers,
+            info.conv_layers,
+            info.max_queue_depth
+        );
+    }
+
+    let registry = Arc::new(registry);
+    let interval = Duration::from_secs_f64(1.0 / s.rate_hz.max(1.0));
+    let per_client = s.requests.div_ceil(s.clients);
+    let measured_started = Instant::now();
+    let client_threads: Vec<_> = (0..s.clients)
+        .map(|client_index| {
+            let registry = Arc::clone(&registry);
+            let names = names.clone();
+            let dims = dims.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(500 + client_index as u64);
+                let mut pending = Vec::with_capacity(per_client);
+                let mut rejected = 0u64;
+                for r in 0..per_client {
+                    // Mixed traffic: successive requests hit different
+                    // models, and the clients' disjoint global offsets cover
+                    // every model even when there are more models than any
+                    // one client's request budget.
+                    let m = (client_index * per_client + r) % names.len();
+                    let input = init::uniform(dims[m].clone(), -1.0, 1.0, &mut rng);
+                    match registry.submit(&names[m], input) {
+                        Ok(p) => pending.push(p),
+                        Err(ServeError::Overloaded { .. }) => rejected += 1,
+                        Err(e) => panic!("submit to {}: {e}", names[m]),
+                    }
+                    std::thread::sleep(interval);
+                }
+                for p in pending {
+                    p.wait().expect("response");
+                }
+                rejected
+            })
+        })
+        .collect();
+    let mut client_rejected = 0u64;
+    for t in client_threads {
+        client_rejected += t.join().expect("client thread");
+    }
+    let elapsed_s = measured_started.elapsed().as_secs_f64();
+
+    let metrics = registry.metrics();
+    assert_eq!(
+        metrics.total_rejected_requests, client_rejected,
+        "registry rejection counters must match the client-side count"
+    );
+    let registry =
+        Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("clients still hold the registry"));
+    // metrics.models and model_info() share the registry's name order.
+    let per_model: Vec<ModelRun> = metrics
+        .models
+        .iter()
+        .zip(registry.model_info())
+        .map(|(entry, info)| ModelRun {
+            model: entry.model.clone(),
+            backend: info.backend,
+            requests: entry.metrics.completed_requests,
+            rejected: entry.rejected_requests,
+            throughput_rps: entry.metrics.completed_requests as f64 / elapsed_s.max(1e-9),
+            total_latency: entry.metrics.total_latency,
+            queue_latency: entry.metrics.queue_latency,
+            exec_latency: entry.metrics.exec_latency,
+            mean_batch_size: entry.metrics.mean_batch_size,
+            plan_fingerprint: info.plan_fingerprint,
+        })
+        .collect();
+    registry.shutdown();
+
+    println!("  measured phase: {:.2} s wall clock", elapsed_s);
+    for run in &per_model {
+        println!(
+            "  {:12} {:>5} req ({} rejected) @ {:>7.1} req/s  \
+             p50 {:.2} ms  p99 {:.2} ms  mean batch {:.2}",
+            run.model,
+            run.requests,
+            run.rejected,
+            run.throughput_rps,
+            run.total_latency.p50_ms,
+            run.total_latency.p99_ms,
+            run.mean_batch_size
+        );
+    }
+    MultiModelRun {
+        models: n,
+        requests_submitted: per_client * s.clients,
+        elapsed_s,
+        total_throughput_rps: metrics.total_completed_requests as f64 / elapsed_s.max(1e-9),
+        total_completed: metrics.total_completed_requests,
+        total_rejected: metrics.total_rejected_requests,
+        per_model,
+    }
+}
+
 fn main() {
     let settings = BenchSettings {
         requests: env_usize("SERVE_BENCH_REQUESTS", 240),
@@ -306,9 +514,11 @@ fn main() {
         batching: BatchingOptions {
             max_batch_size: 8,
             max_batch_delay: Duration::from_millis(2),
+            ..BatchingOptions::default()
         },
     };
     let backends = backend_selection();
+    let models = models_selection();
     let out_path =
         std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
 
@@ -328,6 +538,7 @@ fn main() {
         settings.batching.max_batch_size,
         settings.batching.max_batch_delay
     );
+
     println!(
         "  backends: {}",
         backends
@@ -336,14 +547,24 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-
+    // The per-backend single-model runs always execute, so the artifact's
+    // backend trajectory stays comparable PR over PR; --models N adds the
+    // mixed registry phase on top.
     let runs: Vec<BackendRun> = backends
         .iter()
         .map(|&kind| run_backend(&descriptor, &cache, kind, &settings))
         .collect();
+    let multi_model = if models >= 2 {
+        println!("\n  mode: + multi-model registry ({models} models, mixed traffic)");
+        Some(run_multi_model(models, &backends, &settings))
+    } else {
+        None
+    };
 
+    // The top-level model field names what was actually benchmarked: the
+    // single-model descriptor, or the registry fleet in --models mode.
     let artifact = ServeBenchArtifact {
-        schema_version: 2,
+        schema_version: 3,
         bench: "serve".into(),
         model: descriptor.name.clone(),
         device: settings.planning.device.name.clone(),
@@ -353,10 +574,29 @@ fn main() {
         max_batch_size: settings.batching.max_batch_size,
         max_batch_delay_ms: settings.batching.max_batch_delay.as_secs_f64() * 1e3,
         runs,
+        multi_model,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
     println!("\n  artifact written : {out_path}");
+
+    if let Some(multi) = &artifact.multi_model {
+        assert_eq!(multi.per_model.len(), models);
+        assert_eq!(
+            multi.total_completed + multi.total_rejected,
+            multi.requests_submitted as u64,
+            "every submitted request must be either completed or rejected"
+        );
+        if multi.requests_submitted >= models {
+            for run in &multi.per_model {
+                assert!(
+                    run.requests + run.rejected > 0,
+                    "model {} saw no traffic in the mixed phase",
+                    run.model
+                );
+            }
+        }
+    }
 
     let stats = cache.stats();
     println!(
@@ -369,8 +609,8 @@ fn main() {
     );
     for run in &artifact.runs {
         assert!(
-            run.requests as usize >= settings.requests,
-            "all requests must complete on backend {}",
+            (run.requests + run.rejected) as usize >= settings.requests,
+            "every request must be either completed or rejected on backend {}",
             run.backend
         );
     }

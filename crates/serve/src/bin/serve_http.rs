@@ -1,0 +1,215 @@
+//! The HTTP serving daemon: a multi-model registry behind the std-only
+//! HTTP/1.1 front end.
+//!
+//! Registers `--models N` miniature models (alternating CPU and sim-GPU
+//! backends so one process demonstrates both execution paths), binds the
+//! front end and serves until killed. With `--smoke` the process instead
+//! exercises its own endpoints once — `/healthz`, `/v1/models`, one `/infer`
+//! per model, `/metrics` — and exits non-zero on any failure, which is what
+//! CI runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_http [--addr HOST:PORT] [--models N] [--smoke]
+//! ```
+//!
+//! Environment fallbacks: `SERVE_HTTP_ADDR` (default `127.0.0.1:7878`;
+//! `--smoke` defaults to an ephemeral port), `SERVE_HTTP_MODELS` (default 2).
+
+use std::sync::Arc;
+use tdc_serve::http::{http_request, InferBody, InferReply};
+use tdc_serve::{
+    serving_descriptor, BackendKind, BatchingOptions, HttpServer, ModelConfig, ModelRegistry,
+    RuntimeOptions,
+};
+
+struct Flags {
+    addr: String,
+    models: usize,
+    smoke: bool,
+}
+
+fn parse_flags() -> Flags {
+    let mut addr = std::env::var("SERVE_HTTP_ADDR").ok();
+    let mut models = std::env::var("SERVE_HTTP_MODELS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut smoke = false;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value_for = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match args.get(*i) {
+            Some(value) => value.clone(),
+            None => {
+                eprintln!("serve_http: {flag} needs a value");
+                std::process::exit(2);
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(value_for(&mut i, "--addr")),
+            "--models" => match value_for(&mut i, "--models").parse() {
+                Ok(n) => models = Some(n),
+                Err(_) => {
+                    eprintln!("serve_http: --models needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "serve_http: unknown flag {other:?}; usage: \
+                     serve_http [--addr HOST:PORT] [--models N] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Flags {
+        // A smoke run should never collide with a port already in use.
+        addr: addr.unwrap_or_else(|| {
+            if smoke {
+                "127.0.0.1:0".to_string()
+            } else {
+                "127.0.0.1:7878".to_string()
+            }
+        }),
+        models: models.unwrap_or(2).max(1),
+        smoke,
+    }
+}
+
+/// Register `n` miniature models: sizes vary so the models are genuinely
+/// different networks, and the backend alternates CPU / sim-GPU.
+fn build_registry(n: usize) -> ModelRegistry {
+    let mut registry = ModelRegistry::new(n.max(2));
+    for index in 0..n {
+        let descriptor = serving_descriptor(&format!("svc-{index}"), 10 + 2 * index, 4, 6);
+        let backend = if index % 2 == 0 {
+            BackendKind::Cpu
+        } else {
+            BackendKind::SimGpu
+        };
+        let config = ModelConfig {
+            batching: BatchingOptions {
+                max_batch_size: 8,
+                ..BatchingOptions::default()
+            },
+            runtime: RuntimeOptions {
+                backend,
+                ..RuntimeOptions::default()
+            },
+            ..ModelConfig::default()
+        };
+        let name = descriptor.slug();
+        registry
+            .register(&name, &descriptor, config)
+            .expect("register model");
+    }
+    registry
+}
+
+fn smoke(server: &HttpServer) -> Result<(), String> {
+    let addr = server.local_addr();
+    let check = |expect_status: u16, method: &str, path: &str, body: Option<&str>| {
+        let (status, reply) = http_request(&addr, method, path, body)
+            .map_err(|e| format!("{method} {path} failed: {e}"))?;
+        if status != expect_status {
+            return Err(format!("{method} {path}: status {status}, body {reply}"));
+        }
+        Ok(reply)
+    };
+
+    let health = check(200, "GET", "/healthz", None)?;
+    println!("  GET /healthz          -> 200 {health}");
+    let models = check(200, "GET", "/v1/models", None)?;
+    println!("  GET /v1/models        -> 200 ({} bytes)", models.len());
+
+    let infos = server.registry().model_info();
+    for info in &infos {
+        let body = serde_json::to_string(&InferBody {
+            input: vec![0.5f32; info.input_dims.iter().product()],
+            dims: Some(info.input_dims.clone()),
+        })
+        .map_err(|e| format!("serialize infer body: {}", e.message))?;
+        let path = format!("/v1/models/{}/infer", info.name);
+        let reply = check(200, "POST", &path, Some(&body))?;
+        let reply: InferReply = serde_json::from_str(&reply)
+            .map_err(|e| format!("POST {path}: bad reply: {}", e.message))?;
+        if reply.output.len() != info.output_classes {
+            return Err(format!(
+                "POST {path}: expected {} logits, got {}",
+                info.output_classes,
+                reply.output.len()
+            ));
+        }
+        println!(
+            "  POST {path} -> 200 ({} logits via {}, batch {})",
+            reply.output.len(),
+            reply.backend,
+            reply.batch_size
+        );
+    }
+
+    check(404, "POST", "/v1/models/no-such-model/infer", Some("{}")).map(|_| ())?;
+    println!("  POST /v1/models/no-such-model/infer -> 404 (as expected)");
+
+    let metrics = check(200, "GET", "/metrics", None)?;
+    if !metrics.contains(&format!("\"total_completed_requests\":{}", infos.len())) {
+        return Err(format!(
+            "metrics did not count the smoke requests: {metrics}"
+        ));
+    }
+    println!("  GET /metrics          -> 200 ({} bytes)", metrics.len());
+    Ok(())
+}
+
+fn main() {
+    let flags = parse_flags();
+    let registry = Arc::new(build_registry(flags.models));
+    let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+    let server = HttpServer::bind(&flags.addr, registry).expect("bind HTTP front end");
+    let addr = server.local_addr();
+
+    println!("tdc-serve HTTP front end on http://{addr}");
+    println!("  GET  /healthz");
+    println!("  GET  /v1/models");
+    println!("  GET  /metrics");
+    for name in &names {
+        println!("  POST /v1/models/{name}/infer");
+    }
+
+    if flags.smoke {
+        println!("\nsmoke mode: exercising every endpoint once");
+        match smoke(&server) {
+            Ok(()) => {
+                let registry = server.shutdown();
+                let registry =
+                    Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+                let reports = registry.shutdown();
+                println!(
+                    "smoke ok: {} model(s) served {} request(s)",
+                    reports.len(),
+                    reports
+                        .iter()
+                        .map(|(_, r)| r.metrics.completed_requests)
+                        .sum::<u64>()
+                );
+            }
+            Err(message) => {
+                eprintln!("smoke FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Serve until the process is killed; the acceptor thread owns the socket.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,711 @@
+//! A dependency-free HTTP/1.1 front end over a [`ModelRegistry`].
+//!
+//! Consistent with the offline `crates/compat` policy, this is a minimal
+//! hand-rolled server on [`std::net::TcpListener`] — no async runtime, no
+//! external HTTP crate. One acceptor thread hands each connection to a
+//! short-lived handler thread; requests and responses are JSON through the
+//! workspace's `serde_json` stand-in. The serving concurrency model is
+//! unchanged: handler threads only *submit* into the per-model engines, whose
+//! own batcher + worker pools execute the work.
+//!
+//! Routes:
+//!
+//! | Method | Path                          | Response |
+//! |--------|-------------------------------|----------|
+//! | `POST` | `/v1/models/{name}/infer`     | run one sample through `{name}` |
+//! | `GET`  | `/v1/models`                  | [`ModelInfo`](crate::registry::ModelInfo) list |
+//! | `GET`  | `/metrics`                    | [`RegistryMetrics`](crate::registry::RegistryMetrics) snapshot |
+//! | `GET`  | `/healthz`                    | liveness + model count |
+//!
+//! The infer body is `{"input": [f32...], "dims": [h, w, c]}`; `dims` may be
+//! omitted when it equals the model's expected input dims. Errors map onto
+//! conventional status codes: unknown model or route → `404`, malformed body
+//! or wrong shape → `400`, admission rejection ([`ServeError::Overloaded`])
+//! → `429`, engine shut down → `503`.
+//!
+//! Serving stays bit-exact across the wire: `f32` values are serialized
+//! through the stand-in's shortest-round-trip float formatting, so an output
+//! fetched over HTTP equals the in-process [`InferenceResponse`] bit for bit.
+
+use crate::batcher::InferenceResponse;
+use crate::registry::ModelRegistry;
+use crate::{Result, ServeError};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tdc_tensor::Tensor;
+
+/// Longest accepted request head (request line + headers), bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Longest accepted request body, bytes.
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Most connection-handler threads alive at once; connections beyond the cap
+/// are handled inline on the acceptor thread (natural backpressure) instead
+/// of spawning without bound.
+const MAX_HANDLER_THREADS: usize = 64;
+
+/// JSON body of `POST /v1/models/{name}/infer`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferBody {
+    /// Flat input sample, row-major.
+    pub input: Vec<f32>,
+    /// HWC dims of `input`; defaults to the model's expected input dims.
+    pub dims: Option<Vec<usize>>,
+}
+
+impl Serialize for InferBody {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![("input".to_string(), self.input.to_value())];
+        if let Some(dims) = &self.dims {
+            fields.push(("dims".to_string(), dims.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+// Hand-written so `dims` may be absent entirely (the derive macro requires
+// every field, including `Option`s, to be present as a key).
+impl Deserialize for InferBody {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let input = value
+            .get("input")
+            .ok_or_else(|| serde::Error::custom("missing field `input` in infer body"))?;
+        let dims = match value.get("dims") {
+            None | Some(serde::Value::Null) => None,
+            Some(dims) => Some(Vec::<usize>::from_value(dims)?),
+        };
+        Ok(InferBody {
+            input: Vec::<f32>::from_value(input)?,
+            dims,
+        })
+    }
+}
+
+/// JSON reply of `POST /v1/models/{name}/infer`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InferReply {
+    /// Registered model name that served the request.
+    pub model: String,
+    /// Execution backend identity.
+    pub backend: String,
+    /// Output logits, flat.
+    pub output: Vec<f32>,
+    /// Dims of `output`.
+    pub dims: Vec<usize>,
+    /// Size of the batch the request rode in.
+    pub batch_size: usize,
+    /// Queue wait, ms.
+    pub queue_ms: f64,
+    /// Executor time for the batch, ms.
+    pub exec_ms: f64,
+    /// Predicted GPU latency for the batch, ms.
+    pub predicted_gpu_batch_ms: f64,
+    /// Simulated GPU latency for the batch, ms (0 on non-simulating backends).
+    pub simulated_gpu_batch_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct HealthReply {
+    status: String,
+    models: usize,
+}
+
+#[derive(serde::Serialize)]
+struct ModelsReply {
+    models: Vec<crate::registry::ModelInfo>,
+}
+
+#[derive(serde::Serialize)]
+struct ErrorReply {
+    error: String,
+}
+
+fn json_response(status: u16, body: &impl serde::Serialize) -> (u16, String) {
+    (
+        status,
+        serde_json::to_string(body).unwrap_or_else(|e| format!("{{\"error\":\"{}\"}}", e.message)),
+    )
+}
+
+fn error_response(status: u16, message: impl std::fmt::Display) -> (u16, String) {
+    json_response(
+        status,
+        &ErrorReply {
+            error: message.to_string(),
+        },
+    )
+}
+
+fn status_for(error: &ServeError) -> u16 {
+    match error {
+        ServeError::UnknownModel { .. } => 404,
+        ServeError::BadInput { .. } | ServeError::BadConfig { .. } => 400,
+        ServeError::Overloaded { .. } => 429,
+        ServeError::Closed | ServeError::Disconnected => 503,
+        _ => 500,
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn infer(registry: &ModelRegistry, model: &str, body: &str) -> Result<InferReply> {
+    // Resolve the model first so an unknown name answers 404 even when the
+    // body is also malformed.
+    let engine = registry.engine(model)?;
+    let parsed: InferBody = serde_json::from_str(body).map_err(|e| ServeError::BadConfig {
+        reason: format!("malformed infer body: {}", e.message),
+    })?;
+    let dims = parsed
+        .dims
+        .unwrap_or_else(|| engine.model().input_dims().to_vec());
+    // A dims/input-length mismatch is a client error (400), not a server
+    // failure: map the tensor-construction error onto BadConfig.
+    let input = Tensor::from_vec(dims, parsed.input).map_err(|e| ServeError::BadConfig {
+        reason: format!("bad infer body: {e}"),
+    })?;
+    let response: InferenceResponse = registry.infer(model, input)?;
+    Ok(InferReply {
+        model: model.to_string(),
+        backend: engine.backend_name().to_string(),
+        output: response.output.data().to_vec(),
+        dims: response.output.dims().to_vec(),
+        batch_size: response.batch_size,
+        queue_ms: response.queue_ms,
+        exec_ms: response.exec_ms,
+        predicted_gpu_batch_ms: response.predicted_gpu_batch_ms,
+        simulated_gpu_batch_ms: response.simulated_gpu_batch_ms,
+    })
+}
+
+/// Pure request router, independent of any socket: maps one parsed request
+/// onto a `(status, JSON body)` pair. Exposed for direct testing.
+pub fn route(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> (u16, String) {
+    match (method, path) {
+        ("GET", "/healthz") => json_response(
+            200,
+            &HealthReply {
+                status: "ok".to_string(),
+                models: registry.len(),
+            },
+        ),
+        ("GET", "/v1/models") => json_response(
+            200,
+            &ModelsReply {
+                models: registry.model_info(),
+            },
+        ),
+        ("GET", "/metrics") => json_response(200, &registry.metrics()),
+        ("POST", infer_path) => {
+            // `/v1/models/{name}/infer` with a non-empty, single-segment
+            // name. strip_prefix + strip_suffix cannot overlap, so paths
+            // like `/v1/models/infer` fall through to 404 instead of
+            // slicing out of bounds.
+            let model = infer_path
+                .strip_prefix("/v1/models/")
+                .and_then(|rest| rest.strip_suffix("/infer"))
+                .filter(|model| !model.is_empty() && !model.contains('/'));
+            match model {
+                Some(model) => match infer(registry, model, body) {
+                    Ok(reply) => json_response(200, &reply),
+                    Err(e) => error_response(status_for(&e), e),
+                },
+                None => error_response(404, format!("no route for POST {infer_path}")),
+            }
+        }
+        ("GET", _) => error_response(404, format!("no route for {method} {path}")),
+        _ => error_response(405, format!("method {method} is not supported")),
+    }
+}
+
+struct ParsedRequest {
+    method: String,
+    path: String,
+    body: String,
+}
+
+enum ParseOutcome {
+    Request(ParsedRequest),
+    /// The peer closed without sending anything (e.g. the shutdown nudge).
+    Empty,
+    /// Malformed or over-limit input, with the status to answer.
+    Reject(u16, String),
+}
+
+fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the blank line terminating the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Ok(ParseOutcome::Reject(
+                413,
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if buffer.is_empty() {
+                Ok(ParseOutcome::Empty)
+            } else {
+                Ok(ParseOutcome::Reject(
+                    400,
+                    "connection closed mid-request".to_string(),
+                ))
+            };
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buffer[..head_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Ok(ParseOutcome::Reject(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ParseOutcome::Reject(
+            400,
+            format!("unsupported protocol {version:?}"),
+        ));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Ok(ParseOutcome::Reject(
+                            400,
+                            format!("bad content-length {:?}", value.trim()),
+                        ))
+                    }
+                };
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(ParseOutcome::Reject(
+            413,
+            format!("request body exceeds {MAX_BODY_BYTES} bytes"),
+        ));
+    }
+
+    let body_start = head_end + 4;
+    let mut body = buffer[body_start.min(buffer.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(ParseOutcome::Reject(
+                400,
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = match String::from_utf8(body) {
+        Ok(body) => body,
+        Err(_) => {
+            return Ok(ParseOutcome::Reject(
+                400,
+                "request body is not UTF-8".to_string(),
+            ))
+        }
+    };
+    Ok(ParseOutcome::Request(ParsedRequest { method, path, body }))
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason_phrase(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+fn handle_connection(registry: &ModelRegistry, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let outcome = match parse_request(&mut stream) {
+        Ok(outcome) => outcome,
+        // Socket-level failure (timeout, reset): nothing sensible to answer.
+        Err(_) => return,
+    };
+    let (status, body) = match outcome {
+        ParseOutcome::Empty => return,
+        ParseOutcome::Reject(status, message) => error_response(status, message),
+        ParseOutcome::Request(request) => {
+            route(registry, &request.method, &request.path, &request.body)
+        }
+    };
+    let _ = write_response(&mut stream, status, &body);
+}
+
+/// The running HTTP front end: an acceptor thread plus one short-lived
+/// handler thread per connection, all routing into a shared
+/// [`ModelRegistry`].
+pub struct HttpServer {
+    registry: Arc<ModelRegistry>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`; port `0` picks a free port) and
+    /// start accepting connections against `registry`.
+    pub fn bind(addr: &str, registry: Arc<ModelRegistry>) -> Result<HttpServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Runtime {
+            reason: format!("cannot bind {addr}: {e}"),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| ServeError::Runtime {
+            reason: format!("cannot resolve the bound address: {e}"),
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("tdc-serve-http-accept".to_string())
+                .spawn(move || {
+                    for connection in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = connection else { continue };
+                        // Reap finished handlers; if the pool is saturated
+                        // (or a spawn fails), serve this connection inline —
+                        // the acceptor stalls briefly, which is exactly the
+                        // backpressure an unbounded thread count would hide.
+                        let at_capacity = {
+                            let mut handlers = match handlers.lock() {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            handlers.retain(|h| !h.is_finished());
+                            handlers.len() >= MAX_HANDLER_THREADS
+                        };
+                        if at_capacity {
+                            handle_connection(&registry, stream);
+                            continue;
+                        }
+                        let conn_registry = Arc::clone(&registry);
+                        let spawned = std::thread::Builder::new()
+                            .name("tdc-serve-http-conn".to_string())
+                            .spawn(move || handle_connection(&conn_registry, stream));
+                        match spawned {
+                            Ok(handle) => {
+                                let mut handlers = match handlers.lock() {
+                                    Ok(guard) => guard,
+                                    Err(poisoned) => poisoned.into_inner(),
+                                };
+                                handlers.push(handle);
+                            }
+                            // The stream moved into the failed closure and
+                            // is gone; nothing further to answer here.
+                            Err(_) => continue,
+                        }
+                    }
+                })
+                .map_err(|e| ServeError::Runtime {
+                    reason: format!("cannot spawn the HTTP acceptor: {e}"),
+                })?
+        };
+        Ok(HttpServer {
+            registry,
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry this server routes into.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the acceptor out of its blocking `accept`. A wildcard bind
+        // (0.0.0.0 / ::) is not a connectable destination everywhere, so
+        // aim the nudge at loopback on the bound port.
+        let mut nudge = self.local_addr;
+        if nudge.ip().is_unspecified() {
+            match nudge {
+                SocketAddr::V4(_) => nudge.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => nudge.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        let _ = TcpStream::connect(nudge);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut handlers = match self.handlers.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            handlers.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop accepting connections, finish in-flight requests and return the
+    /// registry (so the caller can in turn drain the engines with
+    /// [`ModelRegistry::shutdown`] once it holds the only reference).
+    pub fn shutdown(mut self) -> Arc<ModelRegistry> {
+        self.stop_threads();
+        Arc::clone(&self.registry)
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Minimal blocking HTTP/1.1 client for tests, smoke checks and examples:
+/// send one request, read the full response, return `(status, body)`.
+pub fn http_request(
+    addr: &SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "response without a head")
+    })?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "response without a status")
+        })?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelConfig;
+    use crate::serving_descriptor;
+    use crate::BatchingOptions;
+    use std::time::Duration;
+
+    fn test_registry() -> Arc<ModelRegistry> {
+        let mut registry = ModelRegistry::new(4);
+        registry
+            .register(
+                "mini",
+                &serving_descriptor("http-mini", 8, 4, 4),
+                ModelConfig {
+                    batching: BatchingOptions {
+                        max_batch_size: 4,
+                        max_batch_delay: Duration::from_millis(1),
+                        ..BatchingOptions::default()
+                    },
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap();
+        Arc::new(registry)
+    }
+
+    fn infer_body(dims: &[usize]) -> String {
+        let input = vec![0.25f32; dims.iter().product()];
+        serde_json::to_string(&InferBody {
+            input,
+            dims: Some(dims.to_vec()),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_the_four_routes_over_a_real_socket() {
+        let server = HttpServer::bind("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"ok\"") && body.contains("\"models\":1"),
+            "{body}"
+        );
+
+        let (status, body) = http_request(&addr, "GET", "/v1/models", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"mini\""), "{body}");
+
+        let (status, reply) = http_request(
+            &addr,
+            "POST",
+            "/v1/models/mini/infer",
+            Some(&infer_body(&[8, 8, 4])),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{reply}");
+        let reply: InferReply = serde_json::from_str(&reply).unwrap();
+        assert_eq!(reply.model, "mini");
+        assert_eq!(reply.dims, vec![4]);
+        assert_eq!(reply.output.len(), 4);
+
+        // The same request without explicit dims defaults to the model's.
+        let body_no_dims = serde_json::to_string(&InferBody {
+            input: vec![0.25f32; 8 * 8 * 4],
+            dims: None,
+        })
+        .unwrap();
+        let (status, reply2) =
+            http_request(&addr, "POST", "/v1/models/mini/infer", Some(&body_no_dims)).unwrap();
+        assert_eq!(status, 200);
+        let reply2: InferReply = serde_json::from_str(&reply2).unwrap();
+        assert_eq!(reply2.output, reply.output, "same input, same logits");
+
+        let (status, metrics) = http_request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("\"total_completed_requests\":2"),
+            "{metrics}"
+        );
+
+        let registry = server.shutdown();
+        assert_eq!(registry.metrics().total_completed_requests, 2);
+    }
+
+    #[test]
+    fn maps_errors_onto_conventional_status_codes() {
+        let server = HttpServer::bind("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/models/ghost/infer",
+            Some(&infer_body(&[8, 8, 4])),
+        )
+        .unwrap();
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("ghost"));
+
+        let (status, _) = http_request(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_request(&addr, "DELETE", "/healthz", None).unwrap();
+        assert_eq!(status, 405);
+
+        let (status, body) =
+            http_request(&addr, "POST", "/v1/models/mini/infer", Some("{not json")).unwrap();
+        assert_eq!(status, 400, "{body}");
+
+        // Input length inconsistent with dims: also a client error.
+        let (status, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/models/mini/infer",
+            Some("{\"input\": [1.0, 2.0, 3.0], \"dims\": [2, 2]}"),
+        )
+        .unwrap();
+        assert_eq!(status, 400, "{body}");
+
+        // Wrong shape: parses fine, rejected by the engine's input check.
+        let (status, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/models/mini/infer",
+            Some(&infer_body(&[2, 2, 2])),
+        )
+        .unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("expected"), "{body}");
+    }
+
+    #[test]
+    fn route_rejects_nested_and_degenerate_model_paths() {
+        let registry = test_registry();
+        let (status, _) = route(&registry, "POST", "/v1/models//infer", "{}");
+        assert_eq!(status, 404);
+        let (status, _) = route(&registry, "POST", "/v1/models/a/b/infer", "{}");
+        assert_eq!(status, 404);
+        // The prefix and suffix overlap here; must 404, not panic.
+        let (status, _) = route(&registry, "POST", "/v1/models/infer", "{}");
+        assert_eq!(status, 404);
+        let (status, _) = route(&registry, "POST", "/v1/models", "{}");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn infer_body_round_trips_with_and_without_dims() {
+        let with = InferBody {
+            input: vec![1.5, -2.25],
+            dims: Some(vec![2]),
+        };
+        let text = serde_json::to_string(&with).unwrap();
+        assert_eq!(serde_json::from_str::<InferBody>(&text).unwrap(), with);
+        let without = InferBody {
+            input: vec![0.5],
+            dims: None,
+        };
+        let text = serde_json::to_string(&without).unwrap();
+        assert!(!text.contains("dims"));
+        assert_eq!(serde_json::from_str::<InferBody>(&text).unwrap(), without);
+        assert!(serde_json::from_str::<InferBody>("{}").is_err());
+    }
+}

@@ -26,18 +26,53 @@
 //!   thread pool with graceful drain on shutdown and [`metrics`]
 //!   (throughput, latency percentiles, batch-size distribution, predicted
 //!   and simulated GPU totals).
+//! * [`registry`] — N named models behind one router, each with its own
+//!   engine and a per-model admission bound (typed [`ServeError::Overloaded`]
+//!   rejection instead of unbounded queues), sharing one plan cache and
+//!   aggregating metrics.
+//! * [`http`] — a dependency-free HTTP/1.1 front end on
+//!   `std::net::TcpListener` exposing the registry at
+//!   `POST /v1/models/{name}/infer`, `GET /v1/models`, `GET /metrics` and
+//!   `GET /healthz`.
 //!
-//! The `serve_bench` binary drives a synthetic open-loop workload against
-//! the engine on each backend and records a `BENCH_serve.json` artifact
-//! (schema 2, backend identity included); `examples/serve_demo.rs` at the
-//! repository root is the minimal end-to-end tour.
+//! The `serve_bench` binary drives a synthetic open-loop workload (per
+//! backend, or mixed multi-model traffic with `--models N`) and records a
+//! `BENCH_serve.json` artifact (schema 3); the `serve_http` binary is the
+//! HTTP daemon; `examples/serve_demo.rs` at the repository root is the
+//! minimal end-to-end tour.
+//!
+//! # Example: one engine, then a registry
+//!
+//! ```
+//! use tdc_serve::{serving_descriptor, ModelConfig, ModelRegistry, ServeEngine};
+//!
+//! // A single engine, built with the typed builder.
+//! let descriptor = serving_descriptor("crate-docs", 8, 4, 4);
+//! let engine = ServeEngine::builder(&descriptor).build().unwrap();
+//! let direct = engine.infer(tdc_tensor::Tensor::zeros(vec![8, 8, 4])).unwrap();
+//! assert_eq!(direct.output.dims(), &[4]);
+//! engine.shutdown();
+//!
+//! // The same model plus a second one behind a named registry.
+//! let mut registry = ModelRegistry::new(4);
+//! registry.register("a", &descriptor, ModelConfig::default()).unwrap();
+//! registry
+//!     .register("b", &serving_descriptor("crate-docs-b", 8, 6, 6), ModelConfig::default())
+//!     .unwrap();
+//! let routed = registry.infer("a", tdc_tensor::Tensor::zeros(vec![8, 8, 4])).unwrap();
+//! // Same descriptor, same seed, same plan: the registry serves the same model.
+//! assert_eq!(routed.output, direct.output);
+//! registry.shutdown();
+//! ```
 
 pub mod backend;
 pub mod batcher;
+pub mod http;
 pub mod metrics;
 pub mod model;
 pub mod options;
 pub mod plan_cache;
+pub mod registry;
 pub mod server;
 
 pub use backend::{
@@ -45,10 +80,12 @@ pub use backend::{
     LayerSimLatency, SimGpuBackend,
 };
 pub use batcher::{BatchQueue, InferenceRequest, InferenceResponse};
+pub use http::HttpServer;
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use model::CompressedModel;
 pub use options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheStats, PlanKey};
+pub use registry::{ModelConfig, ModelInfo, ModelRegistry, RegistryMetrics};
 pub use server::{ServeConfig, ServeEngine, ServeEngineBuilder, ServeReport};
 
 use tdc_conv::ConvShape;
@@ -80,6 +117,17 @@ pub enum ServeError {
     },
     /// The engine is shut down and no longer accepts requests.
     Closed,
+    /// The model's admission queue is at its configured bound; the request
+    /// was rejected instead of growing the queue without limit.
+    Overloaded {
+        /// Configured admission bound (`max_queue_depth`) that was hit.
+        limit: usize,
+    },
+    /// No model with this name is registered.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+    },
     /// A request was dropped without an answer: its worker-side channel
     /// disconnected (engine shutdown discarding the request, or a failed
     /// batch).
@@ -129,6 +177,15 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::Overloaded { limit } => {
+                write!(
+                    f,
+                    "model overloaded: admission queue is at its bound of {limit} requests"
+                )
+            }
+            ServeError::UnknownModel { name } => {
+                write!(f, "no model named {name:?} is registered")
+            }
             ServeError::Disconnected => {
                 write!(f, "request dropped: worker channel disconnected")
             }
@@ -226,6 +283,14 @@ mod tests {
         let e: ServeError = tdc_tensor::TensorError::NotAMatrix { rank: 3 }.into();
         assert!(e.to_string().contains("convolution error"));
         assert!(ServeError::Closed.to_string().contains("shut down"));
+        assert!(ServeError::Overloaded { limit: 64 }
+            .to_string()
+            .contains("bound of 64"));
+        assert!(ServeError::UnknownModel {
+            name: "ghost".into()
+        }
+        .to_string()
+        .contains("ghost"));
         assert!(ServeError::Disconnected
             .to_string()
             .contains("disconnected"));

@@ -90,7 +90,7 @@ impl PlanningOptions {
     }
 }
 
-/// Shape of the dynamic batcher.
+/// Shape of the dynamic batcher and its admission bound.
 ///
 /// # Examples
 ///
@@ -101,6 +101,7 @@ impl PlanningOptions {
 /// let batching = BatchingOptions {
 ///     max_batch_size: 16,
 ///     max_batch_delay: Duration::from_millis(1),
+///     ..BatchingOptions::default()
 /// };
 /// assert!(batching.validate().is_ok());
 /// assert!(BatchingOptions { max_batch_size: 0, ..batching }.validate().is_err());
@@ -111,6 +112,14 @@ pub struct BatchingOptions {
     pub max_batch_size: usize,
     /// Longest the oldest queued request may wait for batch-mates.
     pub max_batch_delay: Duration,
+    /// Admission bound: most requests the queue holds before
+    /// [`submit`](crate::ServeEngine::submit) rejects with
+    /// [`ServeError::Overloaded`]. Bounds both memory and worst-case queueing
+    /// delay under overload; one overloaded model in a registry sheds load
+    /// here instead of growing without limit. A bound below `max_batch_size`
+    /// is allowed — batches are then capped at the bound and release on the
+    /// delay deadline.
+    pub max_queue_depth: usize,
 }
 
 impl Default for BatchingOptions {
@@ -118,6 +127,7 @@ impl Default for BatchingOptions {
         BatchingOptions {
             max_batch_size: 8,
             max_batch_delay: Duration::from_millis(2),
+            max_queue_depth: 1024,
         }
     }
 }
@@ -129,6 +139,11 @@ impl BatchingOptions {
         if self.max_batch_size == 0 {
             return Err(ServeError::BadConfig {
                 reason: "max_batch_size must be > 0".into(),
+            });
+        }
+        if self.max_queue_depth == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "max_queue_depth must be > 0".into(),
             });
         }
         Ok(())
@@ -216,6 +231,22 @@ mod tests {
             ..PlanningOptions::default()
         };
         assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_queue_bounds_are_rejected() {
+        let opts = BatchingOptions {
+            max_queue_depth: 0,
+            ..BatchingOptions::default()
+        };
+        assert!(opts.validate().is_err());
+        // A bound below the batch size is legal: batches cap at the bound.
+        let opts = BatchingOptions {
+            max_batch_size: 8,
+            max_queue_depth: 4,
+            ..BatchingOptions::default()
+        };
+        assert!(opts.validate().is_ok());
     }
 
     #[test]

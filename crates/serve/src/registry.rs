@@ -1,0 +1,481 @@
+//! The multi-model registry: N named engines behind one router.
+//!
+//! A production deployment rarely serves exactly one network. The registry
+//! hosts any number of named models, each with its **own** [`ServeEngine`]
+//! (backend, dynamic batcher, worker pool, metrics) so that one model's
+//! traffic cannot starve another's workers, while sharing one [`PlanCache`]
+//! so models planned under the same `(model, device, backend, budget)` key
+//! skip rank selection on re-registration.
+//!
+//! Routing is by registered name. Admission control is per model: every
+//! engine's queue is bounded by its
+//! [`max_queue_depth`](crate::BatchingOptions::max_queue_depth), and a flood
+//! against one model is shed at that model's front door with a typed
+//! [`ServeError::Overloaded`] rejection — counted per model by the registry —
+//! instead of queueing without bound. [`ModelRegistry::metrics`] aggregates
+//! every model's [`ServeMetrics`] plus the rejection counters into one
+//! [`RegistryMetrics`] snapshot, which is what the HTTP front end
+//! ([`crate::http`]) serializes at `GET /metrics`.
+//!
+//! Registered names must be URL-safe (they become `/v1/models/{name}/infer`
+//! path segments); [`ModelDescriptor::slug`] produces a canonical safe name
+//! from any descriptor.
+
+use crate::batcher::{InferenceResponse, PendingResponse};
+use crate::metrics::ServeMetrics;
+use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
+use crate::plan_cache::{PlanCache, PlanCacheStats};
+use crate::server::{ServeEngine, ServeReport};
+use crate::{Result, ServeError};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tdc_nn::models::ModelDescriptor;
+use tdc_tensor::Tensor;
+
+/// Everything one registered model needs: the three engine option groups.
+///
+/// Each model in a registry gets its own configuration — different budgets,
+/// backends, batch shapes and admission bounds can coexist behind one router.
+#[derive(Debug, Clone, Default)]
+pub struct ModelConfig {
+    /// Plan identity: device, strategy, budget, rank step, θ.
+    pub planning: PlanningOptions,
+    /// Batch shape and admission bound.
+    pub batching: BatchingOptions,
+    /// Worker pool, weight seed, dense algorithm, execution backend.
+    pub runtime: RuntimeOptions,
+}
+
+/// Static description of one registered model, as listed at
+/// `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelInfo {
+    /// Registered (routing) name.
+    pub name: String,
+    /// Execution backend identity (`"cpu"`, `"sim-gpu"`).
+    pub backend: String,
+    /// Device the plan was selected for.
+    pub device: String,
+    /// Expected HWC dims of one input sample.
+    pub input_dims: Vec<usize>,
+    /// Logits the model produces per sample.
+    pub output_classes: usize,
+    /// Convolution layers running in Tucker-decomposed form.
+    pub decomposed_layers: usize,
+    /// Convolution layers in the plan.
+    pub conv_layers: usize,
+    /// FLOPs reduction the plan achieved.
+    pub achieved_flops_reduction: f64,
+    /// Fingerprint of the served plan, hex.
+    pub plan_fingerprint: String,
+    /// Most requests per executed batch.
+    pub max_batch_size: usize,
+    /// Admission bound of this model's queue.
+    pub max_queue_depth: usize,
+}
+
+/// One model's row in a [`RegistryMetrics`] snapshot.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelMetricsEntry {
+    /// Registered name.
+    pub model: String,
+    /// Requests rejected at admission with [`ServeError::Overloaded`].
+    pub rejected_requests: u64,
+    /// Requests queued but not yet dispatched at snapshot time.
+    pub queue_depth: usize,
+    /// The engine's full metrics snapshot.
+    pub metrics: ServeMetrics,
+}
+
+/// Aggregated metrics across every registered model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RegistryMetrics {
+    /// Per-model snapshots, in registration-name order.
+    pub models: Vec<ModelMetricsEntry>,
+    /// Sum of completed requests across models.
+    pub total_completed_requests: u64,
+    /// Sum of admission rejections across models.
+    pub total_rejected_requests: u64,
+    /// Sum of executed batches across models.
+    pub total_batches: u64,
+    /// Sum of predicted GPU milliseconds across models.
+    pub predicted_gpu_ms_total: f64,
+    /// Sum of simulated GPU milliseconds across models.
+    pub simulated_gpu_ms_total: f64,
+}
+
+struct RegisteredModel {
+    engine: ServeEngine,
+    info: ModelInfo,
+    rejected: AtomicU64,
+}
+
+/// N named serving engines behind one name-based router.
+///
+/// # Examples
+///
+/// ```
+/// use tdc_serve::{serving_descriptor, ModelConfig, ModelRegistry};
+///
+/// let mut registry = ModelRegistry::new(4);
+/// registry
+///     .register("small", &serving_descriptor("small", 8, 4, 4), ModelConfig::default())
+///     .unwrap();
+/// registry
+///     .register("wide", &serving_descriptor("wide", 8, 6, 6), ModelConfig::default())
+///     .unwrap();
+/// assert_eq!(registry.names(), vec!["small", "wide"]);
+///
+/// let input = tdc_tensor::Tensor::zeros(vec![8, 8, 4]);
+/// let response = registry.infer("small", input).unwrap();
+/// assert_eq!(response.output.dims(), &[4]);
+/// assert!(registry.infer("ghost", tdc_tensor::Tensor::zeros(vec![1])).is_err());
+///
+/// let metrics = registry.metrics();
+/// assert_eq!(metrics.total_completed_requests, 1);
+/// registry.shutdown();
+/// ```
+pub struct ModelRegistry {
+    cache: PlanCache,
+    models: BTreeMap<String, RegisteredModel>,
+}
+
+impl ModelRegistry {
+    /// An empty registry whose shared plan cache holds up to
+    /// `plan_capacity` plans.
+    pub fn new(plan_capacity: usize) -> Self {
+        ModelRegistry {
+            cache: PlanCache::new(plan_capacity),
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// An empty registry planning through `cache` (e.g. one configured with a
+    /// spill directory, so every registered model skips rank selection after
+    /// a process restart).
+    pub fn with_cache(cache: PlanCache) -> Self {
+        ModelRegistry {
+            cache,
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `name` can be registered: non-empty and made of URL-safe
+    /// characters (`[A-Za-z0-9._-]`), so it can appear verbatim as the
+    /// `/v1/models/{name}/infer` path segment.
+    pub fn is_valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    }
+
+    /// Build an engine for `descriptor` under `config` and route `name` to
+    /// it. Fails with [`ServeError::BadConfig`] on an invalid or duplicate
+    /// name and propagates any engine-build failure. Planning goes through
+    /// the registry's shared cache; the cache key carries the *descriptor*
+    /// name, so two registrations of the same descriptor share a plan while
+    /// same-shaped descriptors with different names never do.
+    pub fn register(
+        &mut self,
+        name: &str,
+        descriptor: &ModelDescriptor,
+        config: ModelConfig,
+    ) -> Result<()> {
+        if !Self::is_valid_name(name) {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "model name {name:?} is not URL-safe; use [A-Za-z0-9._-] \
+                     (ModelDescriptor::slug() produces a canonical safe name)"
+                ),
+            });
+        }
+        if self.models.contains_key(name) {
+            return Err(ServeError::BadConfig {
+                reason: format!("a model named {name:?} is already registered"),
+            });
+        }
+        let engine = ServeEngine::builder(descriptor)
+            .planning(config.planning.clone())
+            .batching(config.batching.clone())
+            .runtime(config.runtime.clone())
+            .plan_cache(&self.cache)
+            .build()?;
+        let info = ModelInfo {
+            name: name.to_string(),
+            backend: engine.backend_name().to_string(),
+            device: config.planning.device.name.clone(),
+            input_dims: engine.model().input_dims().to_vec(),
+            output_classes: descriptor.fc.last().map(|&(_, o)| o).unwrap_or(0),
+            decomposed_layers: engine.model().decomposed_layers(),
+            conv_layers: engine.plan().decisions.len(),
+            achieved_flops_reduction: engine.plan().achieved_reduction,
+            plan_fingerprint: format!("{:016x}", engine.plan().fingerprint()),
+            max_batch_size: config.batching.max_batch_size,
+            max_queue_depth: config.batching.max_queue_depth,
+        };
+        self.models.insert(
+            name.to_string(),
+            RegisteredModel {
+                engine,
+                info,
+                rejected: AtomicU64::new(0),
+            },
+        );
+        Ok(())
+    }
+
+    fn entry(&self, model: &str) -> Result<&RegisteredModel> {
+        self.models
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: model.to_string(),
+            })
+    }
+
+    /// Registered model count.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Registered names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+
+    /// The engine serving `model`, if registered.
+    pub fn engine(&self, model: &str) -> Result<&ServeEngine> {
+        self.entry(model).map(|m| &m.engine)
+    }
+
+    /// Static descriptions of every registered model, in name order.
+    pub fn model_info(&self) -> Vec<ModelInfo> {
+        self.models.values().map(|m| m.info.clone()).collect()
+    }
+
+    /// Submit one input to `model`; returns a handle to await the response.
+    /// Admission rejections ([`ServeError::Overloaded`]) are counted per
+    /// model and surface in [`ModelRegistry::metrics`].
+    pub fn submit(&self, model: &str, input: Tensor) -> Result<PendingResponse> {
+        let entry = self.entry(model)?;
+        let submitted = entry.engine.submit(input);
+        if matches!(submitted, Err(ServeError::Overloaded { .. })) {
+            entry.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        submitted
+    }
+
+    /// Submit to `model` and block for the response.
+    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferenceResponse> {
+        self.submit(model, input)?.wait()
+    }
+
+    /// Aggregate every model's metrics plus the per-model admission
+    /// rejection counters.
+    pub fn metrics(&self) -> RegistryMetrics {
+        let models: Vec<ModelMetricsEntry> = self
+            .models
+            .iter()
+            .map(|(name, m)| ModelMetricsEntry {
+                model: name.clone(),
+                rejected_requests: m.rejected.load(Ordering::Relaxed),
+                queue_depth: m.engine.queue_depth(),
+                metrics: m.engine.metrics(),
+            })
+            .collect();
+        RegistryMetrics {
+            total_completed_requests: models.iter().map(|m| m.metrics.completed_requests).sum(),
+            total_rejected_requests: models.iter().map(|m| m.rejected_requests).sum(),
+            total_batches: models.iter().map(|m| m.metrics.batches).sum(),
+            predicted_gpu_ms_total: models
+                .iter()
+                .map(|m| m.metrics.predicted_gpu_ms_total)
+                .sum(),
+            simulated_gpu_ms_total: models
+                .iter()
+                .map(|m| m.metrics.simulated_gpu_ms_total)
+                .sum(),
+            models,
+        }
+    }
+
+    /// Counters of the shared plan cache.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// Shut every engine down (graceful drain each) and return the final
+    /// reports in name order.
+    pub fn shutdown(self) -> Vec<(String, ServeReport)> {
+        self.models
+            .into_iter()
+            .map(|(name, m)| (name, m.engine.shutdown()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving_descriptor;
+    use crate::{BackendKind, CacheOutcome};
+    use std::time::Duration;
+
+    fn quick_config() -> ModelConfig {
+        ModelConfig {
+            batching: BatchingOptions {
+                max_batch_size: 4,
+                max_batch_delay: Duration::from_millis(1),
+                ..BatchingOptions::default()
+            },
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn routes_by_name_and_rejects_unknown_models() {
+        let mut registry = ModelRegistry::new(4);
+        registry
+            .register("a", &serving_descriptor("reg-a", 10, 4, 6), quick_config())
+            .unwrap();
+        registry
+            .register("b", &serving_descriptor("reg-b", 8, 4, 4), quick_config())
+            .unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["a", "b"]);
+
+        let ra = registry.infer("a", Tensor::zeros(vec![10, 10, 4])).unwrap();
+        assert_eq!(ra.output.dims(), &[6]);
+        let rb = registry.infer("b", Tensor::zeros(vec![8, 8, 4])).unwrap();
+        assert_eq!(rb.output.dims(), &[4]);
+
+        let missing = registry.infer("c", Tensor::zeros(vec![1]));
+        assert!(matches!(missing, Err(ServeError::UnknownModel { name }) if name == "c"));
+
+        let metrics = registry.metrics();
+        assert_eq!(metrics.total_completed_requests, 2);
+        assert_eq!(metrics.models.len(), 2);
+        assert_eq!(metrics.models[0].metrics.completed_requests, 1);
+        assert_eq!(metrics.total_rejected_requests, 0);
+
+        let reports = registry.shutdown();
+        assert_eq!(reports.len(), 2);
+        assert!(reports
+            .iter()
+            .all(|(_, r)| r.metrics.completed_requests == 1));
+    }
+
+    #[test]
+    fn rejects_invalid_and_duplicate_names() {
+        let mut registry = ModelRegistry::new(2);
+        let descriptor = serving_descriptor("reg-names", 8, 4, 4);
+        for bad in ["", "has space", "slash/y", "q?query", "p%cent"] {
+            assert!(
+                matches!(
+                    registry.register(bad, &descriptor, quick_config()),
+                    Err(ServeError::BadConfig { .. })
+                ),
+                "name {bad:?} must be rejected"
+            );
+        }
+        registry
+            .register("ok-1", &descriptor, quick_config())
+            .unwrap();
+        assert!(matches!(
+            registry.register("ok-1", &descriptor, quick_config()),
+            Err(ServeError::BadConfig { .. })
+        ));
+        // The descriptor's slug is always a valid name.
+        assert!(ModelRegistry::is_valid_name(&descriptor.slug()));
+    }
+
+    #[test]
+    fn same_shapes_under_different_descriptor_names_plan_separately() {
+        // The plan-cache key carries the descriptor name, so two models with
+        // identical shapes but different identities never share a plan entry.
+        let mut registry = ModelRegistry::new(4);
+        registry
+            .register(
+                "first",
+                &serving_descriptor("ident-a", 10, 4, 6),
+                quick_config(),
+            )
+            .unwrap();
+        registry
+            .register(
+                "second",
+                &serving_descriptor("ident-b", 10, 4, 6),
+                quick_config(),
+            )
+            .unwrap();
+        assert_eq!(registry.cache_stats().misses, 2);
+        // Re-registering the same descriptor under a new route shares the
+        // cached plan.
+        registry
+            .register(
+                "alias",
+                &serving_descriptor("ident-a", 10, 4, 6),
+                quick_config(),
+            )
+            .unwrap();
+        assert_eq!(registry.cache_stats().memory_hits, 1);
+        assert_eq!(
+            registry.engine("alias").unwrap().plan_outcome(),
+            CacheOutcome::MemoryHit
+        );
+        registry.shutdown();
+    }
+
+    #[test]
+    fn per_model_backends_and_metrics_stay_separate() {
+        let mut registry = ModelRegistry::new(4);
+        registry
+            .register(
+                "cpu",
+                &serving_descriptor("mix-cpu", 10, 4, 6),
+                quick_config(),
+            )
+            .unwrap();
+        registry
+            .register(
+                "sim",
+                &serving_descriptor("mix-sim", 10, 4, 6),
+                ModelConfig {
+                    runtime: RuntimeOptions {
+                        backend: BackendKind::SimGpu,
+                        ..RuntimeOptions::default()
+                    },
+                    ..quick_config()
+                },
+            )
+            .unwrap();
+        let info = registry.model_info();
+        assert_eq!(info[0].backend, "cpu");
+        assert_eq!(info[1].backend, "sim-gpu");
+        assert_eq!(info[0].input_dims, vec![10, 10, 4]);
+        assert_eq!(info[0].output_classes, 6);
+
+        for _ in 0..3 {
+            registry
+                .infer("sim", Tensor::zeros(vec![10, 10, 4]))
+                .unwrap();
+        }
+        let metrics = registry.metrics();
+        let cpu = &metrics.models[0];
+        let sim = &metrics.models[1];
+        assert_eq!(cpu.metrics.completed_requests, 0);
+        assert_eq!(sim.metrics.completed_requests, 3);
+        assert!(sim.metrics.simulated_gpu_ms_total > 0.0);
+        assert_eq!(metrics.total_completed_requests, 3);
+        assert_eq!(
+            metrics.simulated_gpu_ms_total,
+            sim.metrics.simulated_gpu_ms_total
+        );
+        registry.shutdown();
+    }
+}

@@ -116,6 +116,7 @@ pub struct ServeReport {
 ///     .batching(BatchingOptions {
 ///         max_batch_size: 4,
 ///         max_batch_delay: Duration::from_millis(1),
+///         ..BatchingOptions::default()
 ///     })
 ///     .backend(BackendKind::SimGpu)
 ///     .plan_cache(&cache)
@@ -245,6 +246,7 @@ impl<'a> ServeEngineBuilder<'a> {
         let queue = Arc::new(BatchQueue::new(
             self.batching.max_batch_size,
             self.batching.max_batch_delay,
+            self.batching.max_queue_depth,
         ));
         let metrics = Arc::new(MetricsRecorder::new(backend.name()));
         let mut workers = Vec::with_capacity(self.runtime.workers);
@@ -335,6 +337,7 @@ impl ServeEngine {
             .batching(BatchingOptions {
                 max_batch_size: config.max_batch_size,
                 max_batch_delay: config.max_batch_delay,
+                ..BatchingOptions::default()
             })
             .runtime(RuntimeOptions {
                 workers: config.workers,
@@ -508,6 +511,7 @@ mod tests {
         BatchingOptions {
             max_batch_size: 4,
             max_batch_delay: Duration::from_millis(2),
+            ..BatchingOptions::default()
         }
     }
 

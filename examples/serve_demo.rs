@@ -1,16 +1,20 @@
 //! Minimal tour of the serving subsystem: build an engine with the typed
 //! builder, serve a concurrent burst on the CPU backend, restart warm from
-//! the plan cache, then serve the same model on the simulated-GPU backend
-//! and print its per-layer simulated latency breakdown.
+//! the plan cache, serve the same model on the simulated-GPU backend and
+//! print its per-layer simulated latency breakdown, then host two models
+//! behind the multi-model registry + HTTP front end and query them over a
+//! real socket.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdc_repro::serve::http::{http_request, InferBody, InferReply};
 use tdc_repro::serve::{
-    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, PlanCache, PlanningOptions,
-    RuntimeOptions, ServeEngine,
+    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, HttpServer, ModelConfig,
+    ModelRegistry, PlanCache, PlanningOptions, RuntimeOptions, ServeEngine,
 };
 use tdc_repro::tensor::init;
 
@@ -21,6 +25,7 @@ fn main() {
     let batching = BatchingOptions {
         max_batch_size: 8,
         max_batch_delay: Duration::from_millis(2),
+        ..BatchingOptions::default()
     };
     let cache = PlanCache::new(4);
 
@@ -137,6 +142,73 @@ fn main() {
             layer.ms,
             layer.kernels,
             layer.sm_utilization * 100.0
+        );
+    }
+
+    // Finally: two models behind the multi-model registry and the std-only
+    // HTTP front end, queried over a real socket.
+    println!("\nmulti-model registry + HTTP front end:");
+    let mut registry = ModelRegistry::new(4);
+    registry
+        .register(
+            "demo-a",
+            &serving_descriptor("demo-a", 10, 4, 6),
+            ModelConfig::default(),
+        )
+        .expect("register demo-a");
+    registry
+        .register(
+            "demo-b",
+            &serving_descriptor("demo-b", 8, 4, 4),
+            ModelConfig {
+                runtime: RuntimeOptions {
+                    backend: BackendKind::SimGpu,
+                    ..RuntimeOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .expect("register demo-b");
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).expect("bind front end");
+    let addr = server.local_addr();
+    println!("  listening on http://{addr}");
+    let (status, health) = http_request(&addr, "GET", "/healthz", None).expect("healthz");
+    println!("  GET /healthz -> {status} {health}");
+    for (name, dims) in [("demo-a", vec![10, 10, 4]), ("demo-b", vec![8, 8, 4])] {
+        let body = serde_json::to_string(&InferBody {
+            input: vec![0.5f32; dims.iter().product()],
+            dims: Some(dims),
+        })
+        .expect("serialize body");
+        let (status, reply) = http_request(
+            &addr,
+            "POST",
+            &format!("/v1/models/{name}/infer"),
+            Some(&body),
+        )
+        .expect("infer over http");
+        let reply: InferReply = serde_json::from_str(&reply).expect("parse reply");
+        println!(
+            "  POST /v1/models/{name}/infer -> {status}: {} logits via {}",
+            reply.output.len(),
+            reply.backend
+        );
+    }
+    let registry = server.shutdown();
+    let metrics = registry.metrics();
+    println!(
+        "  served {} request(s) over HTTP across {} model(s), {} rejected",
+        metrics.total_completed_requests,
+        metrics.models.len(),
+        metrics.total_rejected_requests
+    );
+    // With the front end stopped this is the only reference left; drain the
+    // engines gracefully.
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    for (name, report) in registry.shutdown() {
+        println!(
+            "  {name}: drained with {} completed request(s)",
+            report.metrics.completed_requests
         );
     }
 }

@@ -1,0 +1,238 @@
+//! Cross-crate integration tests of the multi-model serving front door:
+//! bit-identical outputs through HTTP vs. direct engine calls with two
+//! models served concurrently, and per-model admission control (one flooded
+//! model sheds load with typed `Overloaded` rejections while its neighbour's
+//! latency stays bounded).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use tdc_repro::serve::http::{http_request, InferBody, InferReply};
+use tdc_repro::serve::{
+    serving_descriptor, BackendKind, BatchingOptions, HttpServer, ModelConfig, ModelRegistry,
+    RuntimeOptions, ServeEngine, ServeError,
+};
+use tdc_repro::tensor::{init, Tensor};
+
+#[test]
+fn two_models_over_http_match_direct_engine_calls_bit_for_bit() {
+    let descriptors = [
+        serving_descriptor("http-a", 12, 4, 8),
+        serving_descriptor("http-b", 10, 4, 6),
+    ];
+    let backends = [BackendKind::Cpu, BackendKind::SimGpu];
+
+    // Reference outputs from direct, in-process engines (same descriptor,
+    // same default planning and seed, so the weights are identical).
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut inputs: Vec<Vec<Tensor>> = Vec::new();
+    let mut expected: Vec<Vec<Tensor>> = Vec::new();
+    for (descriptor, &backend) in descriptors.iter().zip(&backends) {
+        let engine = ServeEngine::builder(descriptor)
+            .runtime(RuntimeOptions {
+                backend,
+                ..RuntimeOptions::default()
+            })
+            .build()
+            .unwrap();
+        let dims = engine.model().input_dims().to_vec();
+        let model_inputs: Vec<Tensor> = (0..6)
+            .map(|_| init::uniform(dims.clone(), -1.0, 1.0, &mut rng))
+            .collect();
+        expected.push(
+            model_inputs
+                .iter()
+                .map(|x| engine.infer(x.clone()).unwrap().output)
+                .collect(),
+        );
+        inputs.push(model_inputs);
+        engine.shutdown();
+    }
+
+    // The same two models behind the HTTP front end.
+    let mut registry = ModelRegistry::new(4);
+    for (descriptor, &backend) in descriptors.iter().zip(&backends) {
+        registry
+            .register(
+                &descriptor.slug(),
+                descriptor,
+                ModelConfig {
+                    runtime: RuntimeOptions {
+                        backend,
+                        ..RuntimeOptions::default()
+                    },
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap();
+    }
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+    let addr = server.local_addr();
+
+    // Both models queried concurrently, one client thread per model.
+    let clients: Vec<_> = descriptors
+        .iter()
+        .zip(inputs)
+        .map(|(descriptor, model_inputs)| {
+            let name = descriptor.slug();
+            std::thread::spawn(move || -> Vec<Vec<f32>> {
+                model_inputs
+                    .iter()
+                    .map(|input| {
+                        let body = serde_json::to_string(&InferBody {
+                            input: input.data().to_vec(),
+                            dims: Some(input.dims().to_vec()),
+                        })
+                        .unwrap();
+                        let (status, reply) = http_request(
+                            &addr,
+                            "POST",
+                            &format!("/v1/models/{name}/infer"),
+                            Some(&body),
+                        )
+                        .unwrap();
+                        assert_eq!(status, 200, "{reply}");
+                        let reply: InferReply = serde_json::from_str(&reply).unwrap();
+                        assert_eq!(reply.model, name);
+                        reply.output
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let via_http: Vec<Vec<Vec<f32>>> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    // Bit-identical across the JSON wire format, for both models.
+    for (model_index, (model_http, model_expected)) in
+        via_http.iter().zip(expected.iter()).enumerate()
+    {
+        for (request_index, (http_output, direct)) in
+            model_http.iter().zip(model_expected).enumerate()
+        {
+            assert_eq!(
+                http_output.as_slice(),
+                direct.data(),
+                "model {model_index} request {request_index}: HTTP output diverged from the \
+                 direct engine call"
+            );
+        }
+    }
+
+    let registry = server.shutdown();
+    let metrics = registry.metrics();
+    assert_eq!(metrics.total_completed_requests, 12);
+    assert_eq!(metrics.total_rejected_requests, 0);
+}
+
+#[test]
+fn flooding_one_model_rejects_typed_and_leaves_the_other_model_fast() {
+    // "flood" holds batches open for a long delay with a small admission
+    // bound, so a burst deterministically overflows it; "steady" is a
+    // normal low-latency model sharing the registry.
+    const FLOOD_BOUND: usize = 8;
+    let flood_delay = Duration::from_millis(1500);
+    let mut registry = ModelRegistry::new(4);
+    registry
+        .register(
+            "flood",
+            &serving_descriptor("ov-flood", 10, 4, 6),
+            ModelConfig {
+                batching: BatchingOptions {
+                    max_batch_size: 16,
+                    max_batch_delay: flood_delay,
+                    max_queue_depth: FLOOD_BOUND,
+                },
+                runtime: RuntimeOptions {
+                    workers: 1,
+                    ..RuntimeOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+    registry
+        .register(
+            "steady",
+            &serving_descriptor("ov-steady", 10, 4, 6),
+            ModelConfig {
+                batching: BatchingOptions {
+                    max_batch_size: 4,
+                    max_batch_delay: Duration::from_millis(1),
+                    ..BatchingOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+    let addr = server.local_addr();
+    let registry = Arc::clone(server.registry());
+
+    // Flood: 24 instantaneous submissions against a bound of 8. The single
+    // worker is waiting out the 1.5 s batch delay, so exactly the first 8
+    // are admitted and every later push is a typed rejection.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut admitted = Vec::new();
+    let mut rejections = 0usize;
+    for _ in 0..24 {
+        let input = init::uniform(vec![10, 10, 4], -1.0, 1.0, &mut rng);
+        match registry.submit("flood", input) {
+            Ok(pending) => admitted.push(pending),
+            Err(e) => {
+                assert!(
+                    matches!(e, ServeError::Overloaded { limit: FLOOD_BOUND }),
+                    "expected a typed Overloaded rejection, got {e}"
+                );
+                rejections += 1;
+            }
+        }
+    }
+    assert_eq!(admitted.len(), FLOOD_BOUND);
+    assert_eq!(rejections, 24 - FLOOD_BOUND);
+
+    // The front door surfaces the same condition as 429 while the flood
+    // model's queue is still full.
+    let body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; 10 * 10 * 4],
+        dims: Some(vec![10, 10, 4]),
+    })
+    .unwrap();
+    let (status, reply) =
+        http_request(&addr, "POST", "/v1/models/flood/infer", Some(&body)).unwrap();
+    assert_eq!(status, 429, "{reply}");
+    assert!(reply.contains("overloaded"), "{reply}");
+
+    // Meanwhile the steady model keeps serving with bounded latency: its
+    // engine, workers and queue are its own.
+    for _ in 0..12 {
+        let input = init::uniform(vec![10, 10, 4], -1.0, 1.0, &mut rng);
+        let response = registry.infer("steady", input).unwrap();
+        assert_eq!(response.output.dims(), &[6]);
+    }
+    let metrics = registry.metrics();
+    let steady = metrics.models.iter().find(|m| m.model == "steady").unwrap();
+    assert_eq!(steady.metrics.completed_requests, 12);
+    assert_eq!(steady.rejected_requests, 0);
+    assert!(
+        steady.metrics.total_latency.p99_ms < flood_delay.as_secs_f64() * 1e3 / 2.0,
+        "steady p99 {:.2} ms is not isolated from the flooded neighbour",
+        steady.metrics.total_latency.p99_ms
+    );
+    let flood = metrics.models.iter().find(|m| m.model == "flood").unwrap();
+    assert_eq!(flood.rejected_requests, (24 - FLOOD_BOUND) as u64 + 1);
+
+    // The admitted flood requests are still served once the batch releases.
+    for pending in admitted {
+        let response = pending.wait().unwrap();
+        assert_eq!(response.output.dims(), &[6]);
+    }
+    drop(registry);
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    let reports = registry.shutdown();
+    assert_eq!(reports.len(), 2);
+}

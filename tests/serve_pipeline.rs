@@ -25,6 +25,7 @@ fn engine(
         .batching(BatchingOptions {
             max_batch_size: max_batch,
             max_batch_delay: Duration::from_millis(delay_ms),
+            ..BatchingOptions::default()
         })
         .runtime(RuntimeOptions {
             workers,
