@@ -8,6 +8,20 @@
 //! latency, while bursts immediately fill whole batches with no waiting —
 //! the standard dynamic-batching contract of serving systems.
 //!
+//! Requests may carry a **deadline**. The batcher enforces it twice:
+//!
+//! * **batch assembly** — a forming batch never waits past the earliest
+//!   deadline among the requests it would dispatch, so one urgent request
+//!   releases the batch instead of idling out the full delay;
+//! * **dequeue** — requests whose deadline has already passed are split out
+//!   of the dispatched batch ([`DequeuedBatch::expired`]) before any executor
+//!   work is spent on them. The worker answers them with
+//!   [`ServeError::DeadlineExceeded`](crate::ServeError)
+//!   and runs only the live remainder.
+//!
+//! (The third checkpoint — delivery — lives in the worker loop: a response
+//! finishing after its request's deadline is replaced by the typed error.)
+//!
 //! Shutdown is graceful by construction: closing the queue stops new
 //! submissions, but [`BatchQueue::next_batch`] keeps handing out queued
 //! requests until the FIFO is drained, and only then returns `None` to
@@ -34,8 +48,19 @@ pub struct InferenceRequest {
     pub input: Tensor,
     /// When the request entered the queue.
     pub enqueued_at: Instant,
-    /// Where the worker sends the response.
-    pub responder: Sender<InferenceResponse>,
+    /// Absolute point after which the request must not be served. `None`
+    /// disables deadline enforcement for this request.
+    pub deadline: Option<Instant>,
+    /// Where the worker sends the response (or the typed error when the
+    /// deadline expired before delivery).
+    pub responder: Sender<Result<InferenceResponse>>,
+}
+
+impl InferenceRequest {
+    /// Whether the deadline has passed as of `now`.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|deadline| now >= deadline)
+    }
 }
 
 /// The answer to one request.
@@ -65,6 +90,19 @@ impl InferenceResponse {
     pub fn total_ms(&self) -> f64 {
         self.queue_ms + self.exec_ms
     }
+}
+
+/// One dequeued dispatch: the requests to execute, plus the requests whose
+/// deadline passed while they were queued. Expired requests are separated
+/// *before* the executor runs so no backend work is wasted on them; the
+/// worker answers each with a typed
+/// [`ServeError::DeadlineExceeded`](crate::ServeError).
+/// At least one of the two sets is non-empty.
+pub struct DequeuedBatch {
+    /// Requests still inside their deadline (or without one), in FIFO order.
+    pub live: Vec<InferenceRequest>,
+    /// Requests that expired while queued, in FIFO order.
+    pub expired: Vec<InferenceRequest>,
 }
 
 struct QueueState {
@@ -132,6 +170,33 @@ impl BatchQueue {
         Ok(())
     }
 
+    /// Enqueue a group of requests atomically: either every request is
+    /// admitted under one lock acquisition — so the group is contiguous in
+    /// the FIFO and a group no larger than `max_batch_size` rides a single
+    /// executor batch when the queue is otherwise idle — or none is, with
+    /// the same typed errors as [`BatchQueue::push`]. A group that would
+    /// exceed the remaining admission budget is rejected whole.
+    pub fn push_many(&self, requests: Vec<InferenceRequest>) -> Result<()> {
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock().map_err(|_| ServeError::LockPoisoned {
+            what: "batch queue",
+        })?;
+        if state.closed {
+            return Err(ServeError::Closed);
+        }
+        if state.fifo.len() + requests.len() > self.max_queue_depth {
+            return Err(ServeError::Overloaded {
+                limit: self.max_queue_depth,
+            });
+        }
+        state.fifo.extend(requests);
+        drop(state);
+        self.not_empty.notify_all();
+        Ok(())
+    }
+
     /// Number of queued (not yet dispatched) requests.
     pub fn depth(&self) -> usize {
         self.state().fifo.len()
@@ -148,12 +213,29 @@ impl BatchQueue {
         self.state().closed
     }
 
+    /// The instant at which the currently forming batch must release: the
+    /// oldest request's enqueue time plus `max_batch_delay`, pulled earlier
+    /// by any deadline among the requests that would be dispatched (the
+    /// first `max_batch_size` in FIFO order) — a batch never waits past its
+    /// earliest member's deadline.
+    fn release_at(&self, state: &QueueState) -> Option<Instant> {
+        let oldest = state.fifo.front()?;
+        let mut release = oldest.enqueued_at + self.max_batch_delay;
+        for request in state.fifo.iter().take(self.max_batch_size) {
+            if let Some(deadline) = request.deadline {
+                release = release.min(deadline);
+            }
+        }
+        Some(release)
+    }
+
     /// Pull the next batch, blocking until one is available. Returns `None`
     /// once the queue is closed **and** drained. Never returns an empty
-    /// batch: if another worker drains the queue between the wake-up and the
-    /// drain (two workers racing on one request), this worker goes back to
-    /// waiting.
-    pub fn next_batch(&self) -> Option<Vec<InferenceRequest>> {
+    /// dispatch: if another worker drains the queue between the wake-up and
+    /// the drain (two workers racing on one request), this worker goes back
+    /// to waiting. Requests whose deadline passed while queued come back in
+    /// [`DequeuedBatch::expired`] instead of the live set.
+    pub fn next_batch(&self) -> Option<DequeuedBatch> {
         let mut state = self.state();
         loop {
             // Phase 1: wait for the first request (or shutdown).
@@ -169,20 +251,19 @@ impl BatchQueue {
                     Err(poisoned) => poisoned.into_inner(),
                 };
             }
-            // Phase 2: batch formation. The deadline belongs to the oldest
-            // request so its latency overhead is bounded by `max_batch_delay`.
-            let deadline = state
-                .fifo
-                .front()
-                .map(|r| r.enqueued_at + self.max_batch_delay);
-            let deadline = deadline.unwrap_or_else(Instant::now);
+            // Phase 2: batch formation, bounded by the release instant
+            // (recomputed each wake-up — a newly arrived request may carry
+            // an earlier deadline than anything already queued).
             while state.fifo.len() < self.max_batch_size && !state.closed {
+                let Some(release) = self.release_at(&state) else {
+                    break;
+                };
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= release {
                     break;
                 }
                 let (guard, timeout) =
-                    self.timed_wait(state, deadline.saturating_duration_since(now));
+                    self.timed_wait(state, release.saturating_duration_since(now));
                 state = guard;
                 if timeout {
                     break;
@@ -190,7 +271,12 @@ impl BatchQueue {
             }
             let take = state.fifo.len().min(self.max_batch_size);
             if take > 0 {
-                return Some(state.fifo.drain(..take).collect());
+                let now = Instant::now();
+                let (expired, live): (Vec<_>, Vec<_>) = state
+                    .fifo
+                    .drain(..take)
+                    .partition(|request| request.expired_at(now));
+                return Some(DequeuedBatch { live, expired });
             }
             // A sibling worker took everything while we slept; wait again.
         }
@@ -213,25 +299,27 @@ impl BatchQueue {
 
 /// A response handle for one submitted request.
 pub struct PendingResponse {
-    receiver: Receiver<InferenceResponse>,
+    receiver: Receiver<Result<InferenceResponse>>,
 }
 
 impl PendingResponse {
     /// Wrap a receiver end.
-    pub fn new(receiver: Receiver<InferenceResponse>) -> Self {
+    pub fn new(receiver: Receiver<Result<InferenceResponse>>) -> Self {
         PendingResponse { receiver }
     }
 
     /// Block until the response arrives. Fails with
-    /// [`ServeError::Disconnected`] if the worker dropped the request without
-    /// answering (engine shutdown discarding it, or a failed batch) — the
-    /// channel disconnect surfaces as a typed error, never a panic.
+    /// [`ServeError::DeadlineExceeded`] when the request's deadline passed
+    /// before it could be served, and with [`ServeError::Disconnected`] if
+    /// the worker dropped the request without answering (engine shutdown
+    /// discarding it, or a failed batch) — the channel disconnect surfaces
+    /// as a typed error, never a panic.
     pub fn wait(self) -> Result<InferenceResponse> {
-        self.receiver.recv().map_err(|_| ServeError::Disconnected)
+        self.receiver.recv().map_err(|_| ServeError::Disconnected)?
     }
 
-    /// Non-blocking poll.
-    pub fn try_wait(&self) -> Option<InferenceResponse> {
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<InferenceResponse>> {
         self.receiver.try_recv().ok()
     }
 }
@@ -242,12 +330,21 @@ mod tests {
     use std::sync::mpsc;
     use std::sync::Arc;
 
-    fn request(id: u64) -> (InferenceRequest, Receiver<InferenceResponse>) {
+    fn request(id: u64) -> (InferenceRequest, Receiver<Result<InferenceResponse>>) {
+        request_with_deadline(id, None)
+    }
+
+    fn request_with_deadline(
+        id: u64,
+        deadline: Option<Duration>,
+    ) -> (InferenceRequest, Receiver<Result<InferenceResponse>>) {
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         let req = InferenceRequest {
             id,
             input: Tensor::zeros(vec![2, 2, 1]),
-            enqueued_at: Instant::now(),
+            enqueued_at: now,
+            deadline: deadline.map(|d| now + d),
             responder: tx,
         };
         (req, rx)
@@ -261,7 +358,8 @@ mod tests {
         }
         let started = Instant::now();
         let batch = queue.next_batch().unwrap();
-        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.live.len(), 4);
+        assert!(batch.expired.is_empty());
         assert!(
             started.elapsed() < Duration::from_secs(1),
             "must not wait out the delay"
@@ -275,7 +373,7 @@ mod tests {
         queue.push(request(1).0).unwrap();
         let started = Instant::now();
         let batch = queue.next_batch().unwrap();
-        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.live.len(), 1);
         let waited = started.elapsed();
         assert!(
             waited >= Duration::from_millis(15),
@@ -289,7 +387,9 @@ mod tests {
         for id in 0..7 {
             queue.push(request(id).0).unwrap();
         }
-        let sizes: Vec<usize> = (0..3).map(|_| queue.next_batch().unwrap().len()).collect();
+        let sizes: Vec<usize> = (0..3)
+            .map(|_| queue.next_batch().unwrap().live.len())
+            .collect();
         assert_eq!(sizes, vec![3, 3, 1]);
     }
 
@@ -302,8 +402,79 @@ mod tests {
         assert!(matches!(rejected, Err(ServeError::Overloaded { limit: 2 })));
         assert_eq!(queue.depth(), 2, "the rejected request was not enqueued");
         // Draining the queue re-opens admission.
-        assert_eq!(queue.next_batch().unwrap().len(), 2);
+        assert_eq!(queue.next_batch().unwrap().live.len(), 2);
         queue.push(request(3).0).unwrap();
+    }
+
+    #[test]
+    fn push_many_is_all_or_nothing_under_the_admission_bound() {
+        let queue = BatchQueue::new(8, Duration::from_millis(5), 4);
+        queue.push(request(0).0).unwrap();
+        // 1 + 4 > 4: the whole group is rejected, nothing was enqueued.
+        let group: Vec<InferenceRequest> = (1..5).map(|id| request(id).0).collect();
+        assert!(matches!(
+            queue.push_many(group),
+            Err(ServeError::Overloaded { limit: 4 })
+        ));
+        assert_eq!(queue.depth(), 1);
+        // 1 + 3 <= 4: admitted contiguously behind the existing request.
+        let group: Vec<InferenceRequest> = (1..4).map(|id| request(id).0).collect();
+        queue.push_many(group).unwrap();
+        assert_eq!(queue.depth(), 4);
+        let ids: Vec<u64> = queue
+            .next_batch()
+            .unwrap()
+            .live
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        // The empty group is a no-op even on a closed queue.
+        queue.close();
+        assert!(queue.push_many(Vec::new()).is_ok());
+        assert!(matches!(
+            queue.push_many(vec![request(9).0]),
+            Err(ServeError::Closed)
+        ));
+    }
+
+    #[test]
+    fn expired_requests_are_dropped_at_dequeue_and_later_live_ones_still_serve() {
+        let queue = BatchQueue::new(8, Duration::from_millis(5), usize::MAX);
+        // An already-expired request ahead of a live one: the dequeue splits
+        // them, serving the live request in the same dispatch instead of
+        // letting the dead head block it.
+        let (expired, _rx) = request_with_deadline(0, Some(Duration::ZERO));
+        queue.push(expired).unwrap();
+        let (live, _rx2) = request_with_deadline(1, Some(Duration::from_secs(60)));
+        queue.push(live).unwrap();
+        let batch = queue.next_batch().unwrap();
+        assert_eq!(
+            batch.expired.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(batch.live.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn a_batch_never_waits_past_its_earliest_member_deadline() {
+        // Formation delay of 60 s, but the queued request's deadline is
+        // 20 ms out: the batch must release at the deadline, not the delay,
+        // and the request — expired exactly at release — comes back in the
+        // expired set without any executor work.
+        let queue = BatchQueue::new(8, Duration::from_secs(60), usize::MAX);
+        let (req, _rx) = request_with_deadline(7, Some(Duration::from_millis(20)));
+        queue.push(req).unwrap();
+        let started = Instant::now();
+        let batch = queue.next_batch().unwrap();
+        let waited = started.elapsed();
+        assert!(
+            waited < Duration::from_secs(5),
+            "the member deadline did not release the batch: {waited:?}"
+        );
+        assert!(batch.live.is_empty());
+        assert_eq!(batch.expired.len(), 1);
     }
 
     #[test]
@@ -314,8 +485,8 @@ mod tests {
         }
         queue.close();
         assert!(queue.push(request(9).0).is_err());
-        assert_eq!(queue.next_batch().unwrap().len(), 2);
-        assert_eq!(queue.next_batch().unwrap().len(), 1);
+        assert_eq!(queue.next_batch().unwrap().live.len(), 2);
+        assert_eq!(queue.next_batch().unwrap().live.len(), 1);
         assert!(queue.next_batch().is_none());
     }
 
@@ -337,7 +508,13 @@ mod tests {
         for id in 0..5 {
             queue.push(request(id).0).unwrap();
         }
-        let ids: Vec<u64> = queue.next_batch().unwrap().iter().map(|r| r.id).collect();
+        let ids: Vec<u64> = queue
+            .next_batch()
+            .unwrap()
+            .live
+            .iter()
+            .map(|r| r.id)
+            .collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
     }
 }

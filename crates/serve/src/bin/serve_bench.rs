@@ -5,9 +5,9 @@
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
 //! restart, and records everything as a `BENCH_serve.json` artifact
-//! (schema 3) so later changes can track the serving-performance trajectory.
+//! (schema 4) so later changes can track the serving-performance trajectory.
 //!
-//! Two modes:
+//! Modes (composable):
 //!
 //! * default — one model, measured per execution backend (`runs`, with the
 //!   sim-GPU backend's per-layer simulated latency breakdown);
@@ -16,11 +16,21 @@
 //!   per-model latency summaries plus admission rejections (`multi_model`).
 //!   Composes with `--backend`: a single backend pins every model, the
 //!   default `both` alternates cpu / sim-gpu across the fleet.
+//! * `--deadline-ms D` — every benchmark request carries a `D` ms deadline;
+//!   requests expiring unserved are counted per run (`deadline_exceeded`).
+//! * `--keep-alive` — adds an HTTP phase: the single model behind the
+//!   HTTP/1.1 front end, driven over persistent connections; the artifact's
+//!   `http` section records connection-reuse and timeout counts.
+//! * `--check-schema` — no benchmark: read the existing artifact and fail
+//!   (exit 1) unless its `schema_version` matches this binary's expected
+//!   version. CI runs this after the bench smoke steps to catch schema
+//!   drift between the writer and its consumers.
 //!
 //! Usage:
 //!
 //! ```text
-//! serve_bench [--backend cpu|sim-gpu|both] [--models N]
+//! serve_bench [--backend cpu|sim-gpu|both] [--models N] [--deadline-ms D]
+//!             [--keep-alive] [--check-schema]
 //! ```
 //!
 //! Environment knobs (all optional):
@@ -31,25 +41,30 @@
 //! * `SERVE_BENCH_RATE_HZ`   — per-client submission rate (default 1000)
 //! * `SERVE_BENCH_BACKEND`   — same as `--backend` (the flag wins)
 //! * `SERVE_BENCH_MODELS`    — same as `--models` (the flag wins)
+//! * `SERVE_BENCH_DEADLINE_MS` — same as `--deadline-ms` (the flag wins)
 //! * `SERVE_BENCH_OUT`       — artifact path (default `BENCH_serve.json`)
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdc_serve::http::{http_request, InferBody};
 use tdc_serve::{
-    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, LatencySummary,
-    LayerSimLatency, ModelConfig, ModelRegistry, PlanCache, PlanningOptions, RuntimeOptions,
-    ServeEngine, ServeError,
+    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, HttpClient, HttpServer,
+    LatencySummary, LayerSimLatency, ModelConfig, ModelRegistry, PlanCache, PlanningOptions,
+    RuntimeOptions, ServeEngine, ServeError,
 };
 use tdc_tensor::init;
 
+/// The schema this binary writes — `--check-schema` validates an artifact
+/// on disk against it.
+const EXPECTED_SCHEMA_VERSION: u32 = 4;
+
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 3: the single-model measured phase runs per execution backend
-/// (`runs`, each with the backend identity and — for simulating backends —
-/// the per-layer simulated latency breakdown); `--models N` additionally
-/// records a `multi_model` section with per-model latency summaries from
-/// mixed registry traffic.
+/// Schema 4 (over 3): every run counts `deadline_exceeded` requests, the
+/// top level records the configured `deadline_ms`, and `--keep-alive` adds
+/// an `http` section with connection-reuse and timeout counts from driving
+/// the front end over persistent connections.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -61,8 +76,29 @@ struct ServeBenchArtifact {
     clients: usize,
     max_batch_size: usize,
     max_batch_delay_ms: f64,
+    deadline_ms: Option<u64>,
     runs: Vec<BackendRun>,
     multi_model: Option<MultiModelRun>,
+    http: Option<HttpRun>,
+}
+
+/// The `--keep-alive` HTTP phase: requests driven through the front end
+/// over persistent connections.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct HttpRun {
+    keep_alive: bool,
+    requests: u64,
+    /// TCP connections opened for `requests` (1 per client with keep-alive;
+    /// 1 per request without).
+    connections_opened: u64,
+    /// Requests that reused an existing connection instead of opening one.
+    connection_reuse: u64,
+    /// Mean requests served per connection.
+    requests_per_connection: f64,
+    /// `200 OK` responses.
+    completed: u64,
+    /// `504 Gateway Timeout` responses (deadline expiries over HTTP).
+    timeouts: u64,
 }
 
 /// The `--models N` measured phase: mixed traffic through one registry.
@@ -74,6 +110,7 @@ struct MultiModelRun {
     total_throughput_rps: f64,
     total_completed: u64,
     total_rejected: u64,
+    total_deadline_exceeded: u64,
     per_model: Vec<ModelRun>,
 }
 
@@ -84,6 +121,7 @@ struct ModelRun {
     backend: String,
     requests: u64,
     rejected: u64,
+    deadline_exceeded: u64,
     throughput_rps: f64,
     total_latency: LatencySummary,
     queue_latency: LatencySummary,
@@ -98,6 +136,7 @@ struct BackendRun {
     backend: String,
     requests: u64,
     rejected: u64,
+    deadline_exceeded: u64,
     elapsed_s: f64,
     throughput_rps: f64,
     total_latency: LatencySummary,
@@ -174,6 +213,74 @@ fn models_selection() -> usize {
         Some(_) => {
             eprintln!("serve_bench: --models needs a positive integer");
             std::process::exit(2);
+        }
+    }
+}
+
+fn deadline_selection() -> Option<u64> {
+    match flag_or_env("--deadline-ms", "SERVE_BENCH_DEADLINE_MS").map(|v| v.parse()) {
+        None => None,
+        Some(Ok(ms)) if ms > 0 => Some(ms),
+        Some(_) => {
+            eprintln!("serve_bench: --deadline-ms needs a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn bool_flag(flag: &str) -> bool {
+    std::env::args().any(|arg| arg == flag)
+}
+
+/// `--check-schema`: validate the artifact on disk against
+/// [`EXPECTED_SCHEMA_VERSION`] instead of running a benchmark. Exits the
+/// process.
+fn check_schema(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("serve_bench --check-schema: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let value: serde::Value = match serde_json::parse_value(&text) {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!(
+                "serve_bench --check-schema: {path} is not valid JSON: {}",
+                e.message
+            );
+            std::process::exit(1);
+        }
+    };
+    let version = value
+        .get("schema_version")
+        .and_then(|v| serde_json::from_value::<u32>(v).ok());
+    match version {
+        Some(version) if version == EXPECTED_SCHEMA_VERSION => {
+            // Round-trip through the typed artifact so field drift (not just
+            // the version number) fails the check too.
+            if let Err(e) = serde_json::from_str::<ServeBenchArtifact>(&text) {
+                eprintln!(
+                    "serve_bench --check-schema: {path} has schema_version \
+                     {version} but does not parse as the expected artifact: {}",
+                    e.message
+                );
+                std::process::exit(1);
+            }
+            println!("serve_bench --check-schema: {path} ok (schema_version {version})");
+            std::process::exit(0);
+        }
+        Some(version) => {
+            eprintln!(
+                "serve_bench --check-schema: {path} has schema_version {version}, \
+                 expected {EXPECTED_SCHEMA_VERSION}"
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("serve_bench --check-schema: {path} has no numeric schema_version");
+            std::process::exit(1);
         }
     }
 }
@@ -270,17 +377,27 @@ fn run_backend(
                     std::thread::sleep(interval);
                 }
                 // Await everything this client submitted (arrivals stay
-                // open-loop; the drain at the end just bounds the run).
+                // open-loop; the drain at the end just bounds the run). A
+                // deadline expiry is an expected open-loop outcome, not a
+                // client failure.
+                let mut timed_out = 0u64;
                 for p in pending {
-                    p.wait().expect("response");
+                    match p.wait() {
+                        Ok(_) => {}
+                        Err(ServeError::DeadlineExceeded { .. }) => timed_out += 1,
+                        Err(e) => panic!("response: {e}"),
+                    }
                 }
-                rejected
+                (rejected, timed_out)
             })
         })
         .collect();
     let mut rejected = 0u64;
+    let mut client_timeouts = 0u64;
     for t in client_threads {
-        rejected += t.join().expect("client thread");
+        let (r, d) = t.join().expect("client thread");
+        rejected += r;
+        client_timeouts += d;
     }
 
     let engine =
@@ -293,10 +410,15 @@ fn run_backend(
     let metrics = &report.metrics;
     let throughput_rps = metrics.completed_requests as f64 / elapsed_s.max(1e-9);
 
+    assert_eq!(
+        metrics.deadline_exceeded, client_timeouts,
+        "engine deadline counter must match the client-side count"
+    );
     println!("  measured phase: {:.2} s wall clock", elapsed_s);
     println!(
-        "  completed        : {} requests in {} batches ({} rejected at admission)",
-        metrics.completed_requests, metrics.batches, rejected
+        "  completed        : {} requests in {} batches ({} rejected at admission, \
+         {} expired past deadline)",
+        metrics.completed_requests, metrics.batches, rejected, metrics.deadline_exceeded
     );
     println!("  throughput       : {throughput_rps:.1} req/s");
     println!(
@@ -347,6 +469,7 @@ fn run_backend(
         backend: report.backend.clone(),
         requests: metrics.completed_requests,
         rejected,
+        deadline_exceeded: metrics.deadline_exceeded,
         elapsed_s,
         throughput_rps,
         total_latency: metrics.total_latency,
@@ -439,16 +562,24 @@ fn run_multi_model(n: usize, backends: &[BackendKind], s: &BenchSettings) -> Mul
                     }
                     std::thread::sleep(interval);
                 }
+                let mut timed_out = 0u64;
                 for p in pending {
-                    p.wait().expect("response");
+                    match p.wait() {
+                        Ok(_) => {}
+                        Err(ServeError::DeadlineExceeded { .. }) => timed_out += 1,
+                        Err(e) => panic!("response: {e}"),
+                    }
                 }
-                rejected
+                (rejected, timed_out)
             })
         })
         .collect();
     let mut client_rejected = 0u64;
+    let mut client_timeouts = 0u64;
     for t in client_threads {
-        client_rejected += t.join().expect("client thread");
+        let (r, d) = t.join().expect("client thread");
+        client_rejected += r;
+        client_timeouts += d;
     }
     let elapsed_s = measured_started.elapsed().as_secs_f64();
 
@@ -456,6 +587,10 @@ fn run_multi_model(n: usize, backends: &[BackendKind], s: &BenchSettings) -> Mul
     assert_eq!(
         metrics.total_rejected_requests, client_rejected,
         "registry rejection counters must match the client-side count"
+    );
+    assert_eq!(
+        metrics.total_deadline_exceeded, client_timeouts,
+        "registry deadline counters must match the client-side count"
     );
     let registry =
         Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("clients still hold the registry"));
@@ -469,6 +604,7 @@ fn run_multi_model(n: usize, backends: &[BackendKind], s: &BenchSettings) -> Mul
             backend: info.backend,
             requests: entry.metrics.completed_requests,
             rejected: entry.rejected_requests,
+            deadline_exceeded: entry.metrics.deadline_exceeded,
             throughput_rps: entry.metrics.completed_requests as f64 / elapsed_s.max(1e-9),
             total_latency: entry.metrics.total_latency,
             queue_latency: entry.metrics.queue_latency,
@@ -500,11 +636,129 @@ fn run_multi_model(n: usize, backends: &[BackendKind], s: &BenchSettings) -> Mul
         total_throughput_rps: metrics.total_completed_requests as f64 / elapsed_s.max(1e-9),
         total_completed: metrics.total_completed_requests,
         total_rejected: metrics.total_rejected_requests,
+        total_deadline_exceeded: metrics.total_deadline_exceeded,
         per_model,
     }
 }
 
+/// The `--keep-alive` HTTP phase: one model behind the front end, driven by
+/// this thread over persistent connections (or one connection per request
+/// when `keep_alive` is false — kept as a comparison point in the code
+/// path). Counts connection reuse and `504` timeouts.
+fn run_http_phase(
+    descriptor: &tdc_nn::models::ModelDescriptor,
+    s: &BenchSettings,
+    keep_alive: bool,
+) -> HttpRun {
+    let mut registry = ModelRegistry::new(2);
+    registry
+        .register(
+            &descriptor.slug(),
+            descriptor,
+            ModelConfig {
+                planning: s.planning.clone(),
+                batching: s.batching.clone(),
+                runtime: RuntimeOptions {
+                    workers: s.workers,
+                    ..RuntimeOptions::default()
+                },
+            },
+        )
+        .expect("register http-phase model");
+    let name = descriptor.slug();
+    let dims: Vec<usize> = registry.model_info()[0].input_dims.clone();
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).expect("bind http phase");
+    let addr = server.local_addr();
+    let path = format!("/v1/models/{name}/infer");
+
+    // A modest request budget: the HTTP phase measures connection behavior,
+    // not executor throughput (the per-backend runs already do that).
+    let requests: u64 = (s.requests as u64).clamp(8, 48);
+    let connections: u64 = (s.clients as u64).clamp(1, 4);
+    let mut rng = StdRng::seed_from_u64(900);
+    let mut completed = 0u64;
+    let mut timeouts = 0u64;
+    let mut connections_opened = 0u64;
+    let mut sent = 0u64;
+    let body_for = |rng: &mut StdRng| {
+        let input = init::uniform(dims.clone(), -1.0, 1.0, rng);
+        serde_json::to_string(&InferBody {
+            input: input.data().to_vec(),
+            dims: Some(dims.clone()),
+            deadline_ms: None,
+        })
+        .expect("serialize http body")
+    };
+    if keep_alive {
+        let per_connection = requests.div_ceil(connections);
+        'outer: for _ in 0..connections {
+            let mut client = HttpClient::connect(&addr).expect("connect http phase");
+            connections_opened += 1;
+            for _ in 0..per_connection {
+                if sent >= requests {
+                    break 'outer;
+                }
+                let body = body_for(&mut rng);
+                let (status, reply) = client
+                    .request("POST", &path, Some(&body))
+                    .expect("http request");
+                sent += 1;
+                match status {
+                    200 => completed += 1,
+                    504 => timeouts += 1,
+                    other => panic!("http phase: unexpected status {other}: {reply}"),
+                }
+            }
+        }
+    } else {
+        for _ in 0..requests {
+            let body = body_for(&mut rng);
+            connections_opened += 1;
+            let (status, reply) =
+                http_request(&addr, "POST", &path, Some(&body)).expect("http request");
+            sent += 1;
+            match status {
+                200 => completed += 1,
+                504 => timeouts += 1,
+                other => panic!("http phase: unexpected status {other}: {reply}"),
+            }
+        }
+    }
+    let registry = server.shutdown();
+    let registry =
+        Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("http-phase registry still shared"));
+    registry.shutdown();
+
+    let run = HttpRun {
+        keep_alive,
+        requests: sent,
+        connections_opened,
+        connection_reuse: sent - connections_opened.min(sent),
+        requests_per_connection: sent as f64 / connections_opened.max(1) as f64,
+        completed,
+        timeouts,
+    };
+    println!("\n== http phase: keep-alive {} ==", run.keep_alive);
+    println!(
+        "  {} request(s) over {} connection(s) ({:.1} req/conn, {} reused, \
+         {} ok, {} timed out)",
+        run.requests,
+        run.connections_opened,
+        run.requests_per_connection,
+        run.connection_reuse,
+        run.completed,
+        run.timeouts
+    );
+    run
+}
+
 fn main() {
+    let out_path =
+        std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    if bool_flag("--check-schema") {
+        check_schema(&out_path);
+    }
+    let deadline_ms = deadline_selection();
     let settings = BenchSettings {
         requests: env_usize("SERVE_BENCH_REQUESTS", 240),
         clients: env_usize("SERVE_BENCH_CLIENTS", 4).max(1),
@@ -514,13 +768,13 @@ fn main() {
         batching: BatchingOptions {
             max_batch_size: 8,
             max_batch_delay: Duration::from_millis(2),
+            default_deadline: deadline_ms.map(Duration::from_millis),
             ..BatchingOptions::default()
         },
     };
     let backends = backend_selection();
     let models = models_selection();
-    let out_path =
-        std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let keep_alive = bool_flag("--keep-alive");
 
     let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
     let cache = Arc::new(PlanCache::new(4));
@@ -560,11 +814,16 @@ fn main() {
     } else {
         None
     };
+    let http = if keep_alive {
+        Some(run_http_phase(&descriptor, &settings, true))
+    } else {
+        None
+    };
 
     // The top-level model field names what was actually benchmarked: the
     // single-model descriptor, or the registry fleet in --models mode.
     let artifact = ServeBenchArtifact {
-        schema_version: 3,
+        schema_version: EXPECTED_SCHEMA_VERSION,
         bench: "serve".into(),
         model: descriptor.name.clone(),
         device: settings.planning.device.name.clone(),
@@ -573,8 +832,10 @@ fn main() {
         clients: settings.clients,
         max_batch_size: settings.batching.max_batch_size,
         max_batch_delay_ms: settings.batching.max_batch_delay.as_secs_f64() * 1e3,
+        deadline_ms,
         runs,
         multi_model,
+        http,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
@@ -583,18 +844,27 @@ fn main() {
     if let Some(multi) = &artifact.multi_model {
         assert_eq!(multi.per_model.len(), models);
         assert_eq!(
-            multi.total_completed + multi.total_rejected,
+            multi.total_completed + multi.total_rejected + multi.total_deadline_exceeded,
             multi.requests_submitted as u64,
-            "every submitted request must be either completed or rejected"
+            "every submitted request must be completed, rejected or expired"
         );
         if multi.requests_submitted >= models {
             for run in &multi.per_model {
                 assert!(
-                    run.requests + run.rejected > 0,
+                    run.requests + run.rejected + run.deadline_exceeded > 0,
                     "model {} saw no traffic in the mixed phase",
                     run.model
                 );
             }
+        }
+    }
+    if let Some(http) = &artifact.http {
+        assert_eq!(http.completed + http.timeouts, http.requests);
+        if http.keep_alive && http.requests > http.connections_opened {
+            assert!(
+                http.connection_reuse > 0,
+                "keep-alive phase opened one connection per request"
+            );
         }
     }
 
@@ -609,8 +879,8 @@ fn main() {
     );
     for run in &artifact.runs {
         assert!(
-            (run.requests + run.rejected) as usize >= settings.requests,
-            "every request must be either completed or rejected on backend {}",
+            (run.requests + run.rejected + run.deadline_exceeded) as usize >= settings.requests,
+            "every request must be completed, rejected or expired on backend {}",
             run.backend
         );
     }

@@ -3,30 +3,40 @@
 //!
 //! Registers `--models N` miniature models (alternating CPU and sim-GPU
 //! backends so one process demonstrates both execution paths), binds the
-//! front end and serves until killed. With `--smoke` the process instead
-//! exercises its own endpoints once — `/healthz`, `/v1/models`, one `/infer`
-//! per model, `/metrics` — and exits non-zero on any failure, which is what
-//! CI runs.
+//! front end and serves until killed. `--default-deadline-ms D` gives every
+//! model a default per-request deadline (requests not served within `D` ms
+//! answer `504`; per-request `deadline_ms` in the body still overrides it).
+//!
+//! With `--smoke` the process instead exercises its own endpoints once —
+//! `/healthz`, `/v1/models`, one `/infer` per model, two pipelined
+//! keep-alive requests on a single connection, one batched `inputs` POST,
+//! one past-deadline request asserting `504`, and `/metrics` — and exits
+//! non-zero on any failure, which is what CI runs.
 //!
 //! Usage:
 //!
 //! ```text
-//! serve_http [--addr HOST:PORT] [--models N] [--smoke]
+//! serve_http [--addr HOST:PORT] [--models N] [--default-deadline-ms D] [--smoke]
 //! ```
 //!
 //! Environment fallbacks: `SERVE_HTTP_ADDR` (default `127.0.0.1:7878`;
 //! `--smoke` defaults to an ephemeral port), `SERVE_HTTP_MODELS` (default 2).
 
+use std::io::Write;
 use std::sync::Arc;
-use tdc_serve::http::{http_request, InferBody, InferReply};
+use std::time::Duration;
+use tdc_serve::http::{
+    http_request, read_response, BatchInferBody, BatchInferReply, InferBody, InferReply,
+};
 use tdc_serve::{
-    serving_descriptor, BackendKind, BatchingOptions, HttpServer, ModelConfig, ModelRegistry,
-    RuntimeOptions,
+    serving_descriptor, BackendKind, BatchingOptions, HttpClient, HttpServer, ModelConfig,
+    ModelRegistry, RuntimeOptions,
 };
 
 struct Flags {
     addr: String,
     models: usize,
+    default_deadline: Option<Duration>,
     smoke: bool,
 }
 
@@ -35,6 +45,7 @@ fn parse_flags() -> Flags {
     let mut models = std::env::var("SERVE_HTTP_MODELS")
         .ok()
         .and_then(|v| v.parse().ok());
+    let mut default_deadline = None;
     let mut smoke = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -58,11 +69,21 @@ fn parse_flags() -> Flags {
                     std::process::exit(2);
                 }
             },
+            "--default-deadline-ms" => {
+                match value_for(&mut i, "--default-deadline-ms").parse::<u64>() {
+                    Ok(ms) if ms > 0 => default_deadline = Some(Duration::from_millis(ms)),
+                    _ => {
+                        eprintln!("serve_http: --default-deadline-ms needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--smoke" => smoke = true,
             other => {
                 eprintln!(
                     "serve_http: unknown flag {other:?}; usage: \
-                     serve_http [--addr HOST:PORT] [--models N] [--smoke]"
+                     serve_http [--addr HOST:PORT] [--models N] \
+                     [--default-deadline-ms D] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -79,13 +100,14 @@ fn parse_flags() -> Flags {
             }
         }),
         models: models.unwrap_or(2).max(1),
+        default_deadline,
         smoke,
     }
 }
 
 /// Register `n` miniature models: sizes vary so the models are genuinely
 /// different networks, and the backend alternates CPU / sim-GPU.
-fn build_registry(n: usize) -> ModelRegistry {
+fn build_registry(n: usize, default_deadline: Option<Duration>) -> ModelRegistry {
     let mut registry = ModelRegistry::new(n.max(2));
     for index in 0..n {
         let descriptor = serving_descriptor(&format!("svc-{index}"), 10 + 2 * index, 4, 6);
@@ -97,6 +119,7 @@ fn build_registry(n: usize) -> ModelRegistry {
         let config = ModelConfig {
             batching: BatchingOptions {
                 max_batch_size: 8,
+                default_deadline,
                 ..BatchingOptions::default()
             },
             runtime: RuntimeOptions {
@@ -134,6 +157,7 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
         let body = serde_json::to_string(&InferBody {
             input: vec![0.5f32; info.input_dims.iter().product()],
             dims: Some(info.input_dims.clone()),
+            deadline_ms: None,
         })
         .map_err(|e| format!("serialize infer body: {}", e.message))?;
         let path = format!("/v1/models/{}/infer", info.name);
@@ -158,10 +182,87 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
     check(404, "POST", "/v1/models/no-such-model/infer", Some("{}")).map(|_| ())?;
     println!("  POST /v1/models/no-such-model/infer -> 404 (as expected)");
 
+    // Keep-alive: two pipelined requests written back-to-back on ONE
+    // connection, both answered in order from the server's request loop.
+    let mut client =
+        HttpClient::connect(&addr).map_err(|e| format!("keep-alive connect failed: {e}"))?;
+    {
+        let (stream, _) = client.raw_parts();
+        let one = format!(
+            "GET /healthz HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n"
+        );
+        stream
+            .write_all(format!("{one}{one}").as_bytes())
+            .and_then(|_| stream.flush())
+            .map_err(|e| format!("pipelined write failed: {e}"))?;
+    }
+    let (stream, buffer) = client.raw_parts();
+    for nth in 1..=2 {
+        let (status, reply) = read_response(stream, buffer)
+            .map_err(|e| format!("pipelined response {nth} failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("pipelined response {nth}: status {status} {reply}"));
+        }
+    }
+    // A third request on the same connection proves it survived.
+    let (status, _) = client
+        .request("GET", "/healthz", None)
+        .map_err(|e| format!("keep-alive follow-up failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("keep-alive follow-up: status {status}"));
+    }
+    println!("  keep-alive            -> 2 pipelined + 1 sequential request on one connection");
+
+    // A batched POST: several samples riding one executor batch.
+    let info = &infos[0];
+    let batch_body = serde_json::to_string(&BatchInferBody {
+        inputs: vec![vec![0.5f32; info.input_dims.iter().product()]; 3],
+        dims: Some(info.input_dims.clone()),
+        deadline_ms: None,
+    })
+    .map_err(|e| format!("serialize batch body: {}", e.message))?;
+    let path = format!("/v1/models/{}/infer", info.name);
+    let reply = check(200, "POST", &path, Some(&batch_body))?;
+    let reply: BatchInferReply = serde_json::from_str(&reply)
+        .map_err(|e| format!("batched POST {path}: bad reply: {}", e.message))?;
+    if reply.count != 3 || reply.outputs.len() != 3 {
+        return Err(format!(
+            "batched POST {path}: expected 3 outputs, got {}",
+            reply.outputs.len()
+        ));
+    }
+    println!(
+        "  POST {path} -> 200 (batched: {} inputs, executor batches {:?})",
+        reply.count, reply.batch_sizes
+    );
+
+    // A past-deadline request must answer 504 without reaching the executor:
+    // deadline_ms far below the model's batch delay on an idle queue.
+    let expired_body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; info.input_dims.iter().product()],
+        dims: Some(info.input_dims.clone()),
+        deadline_ms: Some(0),
+    })
+    .map_err(|e| format!("serialize expired body: {}", e.message))?;
+    let reply = check(504, "POST", &path, Some(&expired_body))?;
+    if !reply.contains("deadline exceeded") {
+        return Err(format!("504 reply without a deadline message: {reply}"));
+    }
+    println!("  POST {path} (deadline_ms=0) -> 504 (as expected)");
+
     let metrics = check(200, "GET", "/metrics", None)?;
-    if !metrics.contains(&format!("\"total_completed_requests\":{}", infos.len())) {
+    // Every model's single infer + the 3-sample batch on the first model.
+    let expected_completed = infos.len() + 3;
+    if !metrics.contains(&format!(
+        "\"total_completed_requests\":{expected_completed}"
+    )) {
         return Err(format!(
             "metrics did not count the smoke requests: {metrics}"
+        ));
+    }
+    if !metrics.contains("\"total_deadline_exceeded\":1") {
+        return Err(format!(
+            "metrics did not count the expired smoke request: {metrics}"
         ));
     }
     println!("  GET /metrics          -> 200 ({} bytes)", metrics.len());
@@ -170,12 +271,15 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
 
 fn main() {
     let flags = parse_flags();
-    let registry = Arc::new(build_registry(flags.models));
+    let registry = Arc::new(build_registry(flags.models, flags.default_deadline));
     let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
     let server = HttpServer::bind(&flags.addr, registry).expect("bind HTTP front end");
     let addr = server.local_addr();
 
     println!("tdc-serve HTTP front end on http://{addr}");
+    if let Some(deadline) = flags.default_deadline {
+        println!("  default request deadline: {} ms", deadline.as_millis());
+    }
     println!("  GET  /healthz");
     println!("  GET  /v1/models");
     println!("  GET  /metrics");

@@ -3,29 +3,48 @@
 //! Consistent with the offline `crates/compat` policy, this is a minimal
 //! hand-rolled server on [`std::net::TcpListener`] — no async runtime, no
 //! external HTTP crate. One acceptor thread hands each connection to a
-//! short-lived handler thread; requests and responses are JSON through the
-//! workspace's `serde_json` stand-in. The serving concurrency model is
-//! unchanged: handler threads only *submit* into the per-model engines, whose
-//! own batcher + worker pools execute the work.
+//! handler thread; requests and responses are JSON through the workspace's
+//! `serde_json` stand-in. The serving concurrency model is unchanged:
+//! handler threads only *submit* into the per-model engines, whose own
+//! batcher + worker pools execute the work.
+//!
+//! Connections are **persistent** (HTTP/1.1 keep-alive): a handler runs a
+//! per-connection request loop, honoring the `Connection:` header
+//! (`keep-alive` is the HTTP/1.1 default, `close` ends the loop; HTTP/1.0
+//! defaults to `close`), with an idle timeout between requests and a bound
+//! on requests served per connection. Pipelined requests — several requests
+//! written before the first response is read — are handled in order from
+//! the connection's read buffer.
 //!
 //! Routes:
 //!
 //! | Method | Path                          | Response |
 //! |--------|-------------------------------|----------|
-//! | `POST` | `/v1/models/{name}/infer`     | run one sample through `{name}` |
+//! | `POST` | `/v1/models/{name}/infer`     | run one sample (or a batch) through `{name}` |
 //! | `GET`  | `/v1/models`                  | [`ModelInfo`](crate::registry::ModelInfo) list |
 //! | `GET`  | `/metrics`                    | [`RegistryMetrics`](crate::registry::RegistryMetrics) snapshot |
 //! | `GET`  | `/healthz`                    | liveness + model count |
 //!
-//! The infer body is `{"input": [f32...], "dims": [h, w, c]}`; `dims` may be
-//! omitted when it equals the model's expected input dims. Errors map onto
-//! conventional status codes: unknown model or route → `404`, malformed body
-//! or wrong shape → `400`, admission rejection ([`ServeError::Overloaded`])
-//! → `429`, engine shut down → `503`.
+//! The infer body comes in two forms:
+//!
+//! * single — `{"input": [f32...], "dims": [h, w, c], "deadline_ms": N}`;
+//! * batched — `{"inputs": [[f32...], ...], "dims": [h, w, c],
+//!   "deadline_ms": N}`: the samples are submitted atomically and ride one
+//!   executor batch (when they fit `max_batch_size` on an idle queue), and
+//!   the reply carries per-input outputs bit-identical to N sequential
+//!   single calls.
+//!
+//! `dims` may be omitted when it equals the model's expected input dims;
+//! `deadline_ms` overrides the model's configured default deadline for this
+//! request. Errors map onto conventional status codes: unknown model or
+//! route → `404`, malformed body or wrong shape → `400`, admission
+//! rejection ([`ServeError::Overloaded`]) → `429`, deadline expiry
+//! ([`ServeError::DeadlineExceeded`]) → `504`, engine shut down → `503`.
 //!
 //! Serving stays bit-exact across the wire: `f32` values are serialized
 //! through the stand-in's shortest-round-trip float formatting, so an output
-//! fetched over HTTP equals the in-process [`InferenceResponse`] bit for bit.
+//! fetched over HTTP equals the in-process [`InferenceResponse`] bit for bit
+//! — whether the connection is reused or closed per request.
 
 use crate::batcher::InferenceResponse;
 use crate::registry::ModelRegistry;
@@ -36,27 +55,41 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tdc_tensor::Tensor;
 
 /// Longest accepted request head (request line + headers), bytes.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Longest accepted request body, bytes.
 const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
-/// Per-connection socket read timeout.
+/// Longest a started request may take to arrive in full.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Longest a keep-alive connection may sit idle between requests.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Granularity of socket reads: each blocking read wakes at least this
+/// often so handlers notice server shutdown and enforce the two timeouts
+/// above without parking on a dead socket.
+const READ_SLICE: Duration = Duration::from_millis(250);
+/// Most requests one keep-alive connection may issue before the server
+/// closes it (bounds per-connection resource lifetime).
+const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
 /// Most connection-handler threads alive at once; connections beyond the cap
 /// are handled inline on the acceptor thread (natural backpressure) instead
-/// of spawning without bound.
+/// of spawning without bound. Inline connections serve a single request —
+/// a keep-alive loop on the acceptor would stall every other client.
 const MAX_HANDLER_THREADS: usize = 64;
 
-/// JSON body of `POST /v1/models/{name}/infer`.
+/// JSON body of `POST /v1/models/{name}/infer` (single-sample form).
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferBody {
     /// Flat input sample, row-major.
     pub input: Vec<f32>,
     /// HWC dims of `input`; defaults to the model's expected input dims.
     pub dims: Option<Vec<usize>>,
+    /// Per-request deadline in milliseconds, overriding the model's default
+    /// ([`BatchingOptions::default_deadline`](crate::BatchingOptions)); a
+    /// request not served within the deadline answers `504`.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Serialize for InferBody {
@@ -65,29 +98,77 @@ impl Serialize for InferBody {
         if let Some(dims) = &self.dims {
             fields.push(("dims".to_string(), dims.to_value()));
         }
+        if let Some(deadline_ms) = &self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
+        }
         serde::Value::Object(fields)
     }
 }
 
-// Hand-written so `dims` may be absent entirely (the derive macro requires
-// every field, including `Option`s, to be present as a key).
+// Hand-written so optional fields may be absent entirely (the derive macro
+// requires every field, including `Option`s, to be present as a key).
 impl Deserialize for InferBody {
     fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let input = value
             .get("input")
             .ok_or_else(|| serde::Error::custom("missing field `input` in infer body"))?;
-        let dims = match value.get("dims") {
-            None | Some(serde::Value::Null) => None,
-            Some(dims) => Some(Vec::<usize>::from_value(dims)?),
-        };
         Ok(InferBody {
             input: Vec::<f32>::from_value(input)?,
-            dims,
+            dims: optional_field(value, "dims")?,
+            deadline_ms: optional_field(value, "deadline_ms")?,
         })
     }
 }
 
-/// JSON reply of `POST /v1/models/{name}/infer`.
+/// JSON body of the batched infer form: N samples riding one submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchInferBody {
+    /// Flat input samples, row-major, all sharing one `dims`.
+    pub inputs: Vec<Vec<f32>>,
+    /// HWC dims of each sample; defaults to the model's expected input dims.
+    pub dims: Option<Vec<usize>>,
+    /// Per-request deadline in milliseconds shared by every sample in the
+    /// group, overriding the model's default.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Serialize for BatchInferBody {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![("inputs".to_string(), self.inputs.to_value())];
+        if let Some(dims) = &self.dims {
+            fields.push(("dims".to_string(), dims.to_value()));
+        }
+        if let Some(deadline_ms) = &self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for BatchInferBody {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let inputs = value
+            .get("inputs")
+            .ok_or_else(|| serde::Error::custom("missing field `inputs` in batched infer body"))?;
+        Ok(BatchInferBody {
+            inputs: Vec::<Vec<f32>>::from_value(inputs)?,
+            dims: optional_field(value, "dims")?,
+            deadline_ms: optional_field(value, "deadline_ms")?,
+        })
+    }
+}
+
+fn optional_field<T: Deserialize>(
+    value: &serde::Value,
+    key: &str,
+) -> std::result::Result<Option<T>, serde::Error> {
+    match value.get(key) {
+        None | Some(serde::Value::Null) => Ok(None),
+        Some(field) => Ok(Some(T::from_value(field)?)),
+    }
+}
+
+/// JSON reply of `POST /v1/models/{name}/infer` (single-sample form).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct InferReply {
     /// Registered model name that served the request.
@@ -108,6 +189,26 @@ pub struct InferReply {
     pub predicted_gpu_batch_ms: f64,
     /// Simulated GPU latency for the batch, ms (0 on non-simulating backends).
     pub simulated_gpu_batch_ms: f64,
+}
+
+/// JSON reply of the batched infer form: one entry per submitted input, in
+/// submission order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchInferReply {
+    /// Registered model name that served the group.
+    pub model: String,
+    /// Execution backend identity.
+    pub backend: String,
+    /// Per-input output logits, flat, in submission order — bit-identical
+    /// to N sequential single-sample calls.
+    pub outputs: Vec<Vec<f32>>,
+    /// Dims of each entry in `outputs`.
+    pub dims: Vec<usize>,
+    /// Number of inputs served.
+    pub count: usize,
+    /// Executor batch size each input rode in (all equal to `count` when the
+    /// group fit one batch).
+    pub batch_sizes: Vec<usize>,
 }
 
 #[derive(serde::Serialize)]
@@ -147,6 +248,7 @@ fn status_for(error: &ServeError) -> u16 {
         ServeError::UnknownModel { .. } => 404,
         ServeError::BadInput { .. } | ServeError::BadConfig { .. } => 400,
         ServeError::Overloaded { .. } => 429,
+        ServeError::DeadlineExceeded { .. } => 504,
         ServeError::Closed | ServeError::Disconnected => 503,
         _ => 500,
     }
@@ -158,20 +260,29 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
 
-fn infer(registry: &ModelRegistry, model: &str, body: &str) -> Result<InferReply> {
-    // Resolve the model first so an unknown name answers 404 even when the
-    // body is also malformed.
-    let engine = registry.engine(model)?;
-    let parsed: InferBody = serde_json::from_str(body).map_err(|e| ServeError::BadConfig {
+fn bad_body(e: serde::Error) -> ServeError {
+    ServeError::BadConfig {
         reason: format!("malformed infer body: {}", e.message),
-    })?;
+    }
+}
+
+/// Serve the single-sample infer form.
+fn infer_single(
+    registry: &ModelRegistry,
+    engine: &crate::server::ServeEngine,
+    model: &str,
+    value: &serde::Value,
+) -> Result<InferReply> {
+    let parsed = InferBody::from_value(value).map_err(bad_body)?;
     let dims = parsed
         .dims
         .unwrap_or_else(|| engine.model().input_dims().to_vec());
@@ -180,7 +291,11 @@ fn infer(registry: &ModelRegistry, model: &str, body: &str) -> Result<InferReply
     let input = Tensor::from_vec(dims, parsed.input).map_err(|e| ServeError::BadConfig {
         reason: format!("bad infer body: {e}"),
     })?;
-    let response: InferenceResponse = registry.infer(model, input)?;
+    let deadline = parsed
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or_else(|| engine.default_deadline());
+    let response: InferenceResponse = registry.infer_with_deadline(model, input, deadline)?;
     Ok(InferReply {
         model: model.to_string(),
         backend: engine.backend_name().to_string(),
@@ -191,6 +306,73 @@ fn infer(registry: &ModelRegistry, model: &str, body: &str) -> Result<InferReply
         exec_ms: response.exec_ms,
         predicted_gpu_batch_ms: response.predicted_gpu_batch_ms,
         simulated_gpu_batch_ms: response.simulated_gpu_batch_ms,
+    })
+}
+
+/// Serve the batched infer form: submit every sample atomically so the group
+/// rides one executor batch, then await them all.
+fn infer_batch(
+    registry: &ModelRegistry,
+    engine: &crate::server::ServeEngine,
+    model: &str,
+    value: &serde::Value,
+) -> Result<BatchInferReply> {
+    let parsed = BatchInferBody::from_value(value).map_err(bad_body)?;
+    if parsed.inputs.is_empty() {
+        return Err(ServeError::BadConfig {
+            reason: "batched infer body needs at least one entry in `inputs`".into(),
+        });
+    }
+    let dims = parsed
+        .dims
+        .unwrap_or_else(|| engine.model().input_dims().to_vec());
+    let tensors = parsed
+        .inputs
+        .into_iter()
+        .map(|input| {
+            Tensor::from_vec(dims.clone(), input).map_err(|e| ServeError::BadConfig {
+                reason: format!("bad infer body: {e}"),
+            })
+        })
+        .collect::<Result<Vec<Tensor>>>()?;
+    let deadline = parsed
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or_else(|| engine.default_deadline());
+    let pending = registry.submit_many(model, tensors, deadline)?;
+    let mut outputs = Vec::with_capacity(pending.len());
+    let mut batch_sizes = Vec::with_capacity(pending.len());
+    let mut out_dims = Vec::new();
+    for handle in pending {
+        let response = handle.wait()?;
+        out_dims = response.output.dims().to_vec();
+        outputs.push(response.output.data().to_vec());
+        batch_sizes.push(response.batch_size);
+    }
+    Ok(BatchInferReply {
+        model: model.to_string(),
+        backend: engine.backend_name().to_string(),
+        count: outputs.len(),
+        outputs,
+        dims: out_dims,
+        batch_sizes,
+    })
+}
+
+fn infer(registry: &ModelRegistry, model: &str, body: &str) -> Result<String> {
+    // Resolve the model first — once, shared by both body forms — so an
+    // unknown name answers 404 even when the body is also malformed.
+    let engine = registry.engine(model)?;
+    let value = serde_json::parse_value(body).map_err(bad_body)?;
+    // The body form picks the path: `inputs` is the batched contract,
+    // `input` the single-sample one.
+    let rendered = if value.get("inputs").is_some() {
+        serde_json::to_string(&infer_batch(registry, engine, model, &value)?)
+    } else {
+        serde_json::to_string(&infer_single(registry, engine, model, &value)?)
+    };
+    rendered.map_err(|e| ServeError::Runtime {
+        reason: format!("cannot serialize the infer reply: {}", e.message),
     })
 }
 
@@ -223,7 +405,7 @@ pub fn route(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> 
                 .filter(|model| !model.is_empty() && !model.contains('/'));
             match model {
                 Some(model) => match infer(registry, model, body) {
-                    Ok(reply) => json_response(200, &reply),
+                    Ok(reply) => (200, reply),
                     Err(e) => error_response(status_for(&e), e),
                 },
                 None => error_response(404, format!("no route for POST {infer_path}")),
@@ -238,22 +420,102 @@ struct ParsedRequest {
     method: String,
     path: String,
     body: String,
+    /// Whether the connection may serve another request after this one,
+    /// per the request's `Connection:` header and HTTP version defaults.
+    keep_alive: bool,
 }
 
 enum ParseOutcome {
     Request(ParsedRequest),
-    /// The peer closed without sending anything (e.g. the shutdown nudge).
+    /// The peer closed (or went idle past the timeout) between requests —
+    /// nothing to answer, close quietly. Also covers the shutdown nudge.
     Empty,
-    /// Malformed or over-limit input, with the status to answer.
+    /// Malformed or over-limit input, with the status to answer. The
+    /// connection closes after the reply: the read buffer can no longer be
+    /// trusted to start at a request boundary.
     Reject(u16, String),
 }
 
-fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
-    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+/// One slice of a socket read: distinguishes data, EOF and a timeout wake.
+enum SocketRead {
+    Data(usize),
+    Closed,
+    TimedOut,
+}
+
+fn read_slice(stream: &mut TcpStream, chunk: &mut [u8]) -> std::io::Result<SocketRead> {
+    match stream.read(chunk) {
+        Ok(0) => Ok(SocketRead::Closed),
+        Ok(n) => Ok(SocketRead::Data(n)),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(SocketRead::TimedOut)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(SocketRead::TimedOut),
+        Err(e) => Err(e),
+    }
+}
+
+/// Parse one request from the connection. `buffer` persists across requests
+/// on the same connection: bytes past the current request's body (pipelined
+/// requests) stay in it for the next call. The socket must be configured
+/// with a [`READ_SLICE`] read timeout so the wait loop can enforce
+/// [`IDLE_TIMEOUT`] / [`READ_TIMEOUT`] and notice `stop`.
+fn parse_request(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> std::io::Result<ParseOutcome> {
+    // Two independent clocks: the idle phase (no request bytes yet) is
+    // bounded by IDLE_TIMEOUT from entry; the request phase is bounded by
+    // READ_TIMEOUT from its *first byte* — an almost-idled-out connection
+    // that then starts a large upload still gets the full request budget.
+    let idle_since = Instant::now();
+    let mut request_since = if buffer.is_empty() {
+        None
+    } else {
+        Some(idle_since)
+    };
     let mut chunk = [0u8; 4096];
+    let mut wait = |stream: &mut TcpStream,
+                    buffer: &mut Vec<u8>|
+     -> std::io::Result<Option<ParseOutcome>> {
+        match read_slice(stream, &mut chunk)? {
+            SocketRead::Data(n) => {
+                buffer.extend_from_slice(&chunk[..n]);
+                if request_since.is_none() {
+                    request_since = Some(Instant::now());
+                }
+                Ok(None)
+            }
+            SocketRead::Closed => Ok(Some(if request_since.is_some() {
+                ParseOutcome::Reject(400, "connection closed mid-request".to_string())
+            } else {
+                ParseOutcome::Empty
+            })),
+            SocketRead::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    // Server shutting down: abandon idle connections quietly.
+                    return Ok(Some(ParseOutcome::Empty));
+                }
+                match request_since {
+                    Some(since) if since.elapsed() >= READ_TIMEOUT => Ok(Some(
+                        ParseOutcome::Reject(408, "request timed out".to_string()),
+                    )),
+                    None if idle_since.elapsed() >= IDLE_TIMEOUT => Ok(Some(ParseOutcome::Empty)),
+                    _ => Ok(None),
+                }
+            }
+        }
+    };
+
     // Read until the blank line terminating the head.
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buffer) {
+        if let Some(pos) = find_head_end(buffer) {
             break pos;
         }
         if buffer.len() > MAX_HEAD_BYTES {
@@ -262,18 +524,9 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
                 format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
             ));
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return if buffer.is_empty() {
-                Ok(ParseOutcome::Empty)
-            } else {
-                Ok(ParseOutcome::Reject(
-                    400,
-                    "connection closed mid-request".to_string(),
-                ))
-            };
+        if let Some(outcome) = wait(stream, buffer)? {
+            return Ok(outcome);
         }
-        buffer.extend_from_slice(&chunk[..n]);
     };
 
     let head = String::from_utf8_lossy(&buffer[..head_end]).to_string();
@@ -281,7 +534,7 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v.to_string()),
         _ => {
             return Ok(ParseOutcome::Reject(
                 400,
@@ -296,9 +549,11 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
         ));
     }
     let mut content_length = 0usize;
+    let mut connection: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = match value.trim().parse() {
                     Ok(n) => n,
                     Err(_) => {
@@ -308,9 +563,18 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
                         ))
                     }
                 };
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_ascii_lowercase());
             }
         }
     }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // `Connection:` header wins either way.
+    let keep_alive = match connection.as_deref() {
+        Some(value) if value.contains("close") => false,
+        Some(value) if value.contains("keep-alive") => true,
+        _ => version != "HTTP/1.0",
+    };
     if content_length > MAX_BODY_BYTES {
         return Ok(ParseOutcome::Reject(
             413,
@@ -319,18 +583,14 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
     }
 
     let body_start = head_end + 4;
-    let mut body = buffer[body_start.min(buffer.len())..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(ParseOutcome::Reject(
-                400,
-                "connection closed mid-body".to_string(),
-            ));
+    while buffer.len() < body_start + content_length {
+        if let Some(outcome) = wait(stream, buffer)? {
+            return Ok(outcome);
         }
-        body.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
+    let body = buffer[body_start..body_start + content_length].to_vec();
+    // Keep any pipelined follow-up request for the next parse.
+    buffer.drain(..body_start + content_length);
     let body = match String::from_utf8(body) {
         Ok(body) => body,
         Err(_) => {
@@ -340,43 +600,75 @@ fn parse_request(stream: &mut TcpStream) -> std::io::Result<ParseOutcome> {
             ))
         }
     };
-    Ok(ParseOutcome::Request(ParsedRequest { method, path, body }))
+    Ok(ParseOutcome::Request(ParsedRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
 }
 
 fn find_head_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         reason_phrase(status),
         body.len(),
+        if close { "close" } else { "keep-alive" },
     )?;
     stream.flush()
 }
 
-fn handle_connection(registry: &ModelRegistry, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let outcome = match parse_request(&mut stream) {
-        Ok(outcome) => outcome,
-        // Socket-level failure (timeout, reset): nothing sensible to answer.
-        Err(_) => return,
-    };
-    let (status, body) = match outcome {
-        ParseOutcome::Empty => return,
-        ParseOutcome::Reject(status, message) => error_response(status, message),
-        ParseOutcome::Request(request) => {
-            route(registry, &request.method, &request.path, &request.body)
+/// The per-connection request loop: parse → route → respond, until the
+/// client asks to close, the request budget runs out, the connection idles
+/// past the timeout, or the server stops.
+fn handle_connection(
+    registry: &ModelRegistry,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    max_requests: usize,
+) {
+    let _ = stream.set_read_timeout(Some(READ_SLICE));
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut served = 0usize;
+    loop {
+        let outcome = match parse_request(&mut stream, &mut buffer, stop) {
+            Ok(outcome) => outcome,
+            // Socket-level failure (reset): nothing sensible to answer.
+            Err(_) => return,
+        };
+        match outcome {
+            ParseOutcome::Empty => return,
+            ParseOutcome::Reject(status, message) => {
+                let (status, body) = error_response(status, message);
+                let _ = write_response(&mut stream, status, &body, true);
+                return;
+            }
+            ParseOutcome::Request(request) => {
+                served += 1;
+                let (status, body) = route(registry, &request.method, &request.path, &request.body);
+                let close =
+                    !request.keep_alive || served >= max_requests || stop.load(Ordering::SeqCst);
+                if write_response(&mut stream, status, &body, close).is_err() || close {
+                    return;
+                }
+            }
         }
-    };
-    let _ = write_response(&mut stream, status, &body);
+    }
 }
 
-/// The running HTTP front end: an acceptor thread plus one short-lived
-/// handler thread per connection, all routing into a shared
-/// [`ModelRegistry`].
+/// The running HTTP front end: an acceptor thread plus per-connection
+/// handler threads (each running a keep-alive request loop), all routing
+/// into a shared [`ModelRegistry`].
 pub struct HttpServer {
     registry: Arc<ModelRegistry>,
     local_addr: SocketAddr,
@@ -422,13 +714,21 @@ impl HttpServer {
                             handlers.len() >= MAX_HANDLER_THREADS
                         };
                         if at_capacity {
-                            handle_connection(&registry, stream);
+                            handle_connection(&registry, stream, &stop, 1);
                             continue;
                         }
                         let conn_registry = Arc::clone(&registry);
+                        let conn_stop = Arc::clone(&stop);
                         let spawned = std::thread::Builder::new()
                             .name("tdc-serve-http-conn".to_string())
-                            .spawn(move || handle_connection(&conn_registry, stream));
+                            .spawn(move || {
+                                handle_connection(
+                                    &conn_registry,
+                                    stream,
+                                    &conn_stop,
+                                    MAX_REQUESTS_PER_CONNECTION,
+                                )
+                            });
                         match spawned {
                             Ok(handle) => {
                                 let mut handlers = match handlers.lock() {
@@ -484,6 +784,9 @@ impl HttpServer {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Handlers notice `stop` within one read slice: in-flight requests
+        // finish and answer with `Connection: close`, idle keep-alive
+        // connections are abandoned.
         let handles: Vec<JoinHandle<()>> = {
             let mut handlers = match self.handlers.lock() {
                 Ok(guard) => guard,
@@ -511,8 +814,89 @@ impl Drop for HttpServer {
     }
 }
 
+/// Read one HTTP response from `stream`, honoring `Content-Length` instead
+/// of assuming an EOF-terminated body — mandatory on a keep-alive
+/// connection, where EOF never comes between responses. `buffer` carries
+/// bytes already read past the previous response (e.g. when the peer
+/// pipelines) and keeps any surplus for the next call.
+pub fn read_response(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+) -> std::io::Result<(u16, String)> {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buffer) {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "connection closed before a full response head",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buffer[..head_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let status = lines
+        .next()
+        .unwrap_or_default()
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "response without a status")
+        })?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    let body_start = head_end + 4;
+    while buffer.len() < body_start + content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "connection closed mid-body",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+    let body =
+        String::from_utf8_lossy(&buffer[body_start..body_start + content_length]).to_string();
+    buffer.drain(..body_start + content_length);
+    Ok((status, body))
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: &SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    stream.flush()
+}
+
 /// Minimal blocking HTTP/1.1 client for tests, smoke checks and examples:
-/// send one request, read the full response, return `(status, body)`.
+/// open a fresh connection, send one `Connection: close` request, read the
+/// full response, return `(status, body)`. For connection reuse, use
+/// [`HttpClient`].
 pub fn http_request(
     addr: &SocketAddr,
     method: &str,
@@ -521,26 +905,59 @@ pub fn http_request(
 ) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let body = body.unwrap_or("");
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    )?;
-    stream.flush()?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "response without a head")
-    })?;
-    let status = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "response without a status")
-        })?;
-    Ok((status, body.to_string()))
+    write_request(&mut stream, addr, method, path, body, false)?;
+    read_response(&mut stream, &mut Vec::new())
+}
+
+/// A persistent HTTP/1.1 test client: one TCP connection serving any number
+/// of sequential `Connection: keep-alive` requests, reading each response by
+/// its `Content-Length`. The counterpart of the server's keep-alive loop —
+/// and the way to verify that N requests really shared one connection
+/// ([`HttpClient::requests_sent`]).
+pub struct HttpClient {
+    stream: TcpStream,
+    addr: SocketAddr,
+    buffer: Vec<u8>,
+    requests_sent: u64,
+}
+
+impl HttpClient {
+    /// Open one connection to `addr`.
+    pub fn connect(addr: &SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(HttpClient {
+            stream,
+            addr: *addr,
+            buffer: Vec::with_capacity(1024),
+            requests_sent: 0,
+        })
+    }
+
+    /// Send one keep-alive request on the shared connection and read its
+    /// response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        write_request(&mut self.stream, &self.addr, method, path, body, true)?;
+        self.requests_sent += 1;
+        read_response(&mut self.stream, &mut self.buffer)
+    }
+
+    /// How many requests were sent over this single connection.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// The underlying stream and read buffer, for raw-bytes tests (e.g.
+    /// writing two pipelined requests in one syscall before reading either
+    /// response).
+    pub fn raw_parts(&mut self) -> (&mut TcpStream, &mut Vec<u8>) {
+        (&mut self.stream, &mut self.buffer)
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +992,7 @@ mod tests {
         serde_json::to_string(&InferBody {
             input,
             dims: Some(dims.to_vec()),
+            deadline_ms: None,
         })
         .unwrap()
     }
@@ -612,6 +1030,7 @@ mod tests {
         let body_no_dims = serde_json::to_string(&InferBody {
             input: vec![0.25f32; 8 * 8 * 4],
             dims: None,
+            deadline_ms: None,
         })
         .unwrap();
         let (status, reply2) =
@@ -629,6 +1048,68 @@ mod tests {
 
         let registry = server.shutdown();
         assert_eq!(registry.metrics().total_completed_requests, 2);
+    }
+
+    #[test]
+    fn keep_alive_connection_serves_many_requests_and_honors_close() {
+        let server = HttpServer::bind("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr();
+        let mut client = HttpClient::connect(&addr).unwrap();
+
+        // Several sequential requests on one connection.
+        for _ in 0..3 {
+            let (status, body) = client.request("GET", "/healthz", None).unwrap();
+            assert_eq!(status, 200, "{body}");
+        }
+        let (status, reply) = client
+            .request(
+                "POST",
+                "/v1/models/mini/infer",
+                Some(&infer_body(&[8, 8, 4])),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{reply}");
+        assert_eq!(client.requests_sent(), 4);
+
+        // Two pipelined requests written back-to-back before reading either
+        // response: the server must answer both, in order, from its
+        // connection buffer.
+        {
+            let (stream, _) = client.raw_parts();
+            let addr_text = addr.to_string();
+            let one = format!(
+                "GET /healthz HTTP/1.1\r\nHost: {addr_text}\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n"
+            );
+            stream.write_all(format!("{one}{one}").as_bytes()).unwrap();
+            stream.flush().unwrap();
+        }
+        let (stream, buffer) = client.raw_parts();
+        let (status_a, _) = read_response(stream, buffer).unwrap();
+        let (status_b, _) = read_response(stream, buffer).unwrap();
+        assert_eq!((status_a, status_b), (200, 200));
+
+        // An explicit `Connection: close` request ends the loop: the server
+        // answers, then closes, so the next read sees EOF.
+        let (stream, buffer) = client.raw_parts();
+        let addr_text = addr.to_string();
+        stream
+            .write_all(
+                format!(
+                    "GET /healthz HTTP/1.1\r\nHost: {addr_text}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let (status, _) = read_response(stream, buffer).unwrap();
+        assert_eq!(status, 200);
+        let mut probe = [0u8; 1];
+        assert_eq!(
+            stream.read(&mut probe).unwrap(),
+            0,
+            "server must close after Connection: close"
+        );
+
+        server.shutdown();
     }
 
     #[test]
@@ -675,6 +1156,60 @@ mod tests {
         .unwrap();
         assert_eq!(status, 400, "{body}");
         assert!(body.contains("expected"), "{body}");
+
+        // Batched form with no inputs: a client error too.
+        let (status, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/models/mini/infer",
+            Some("{\"inputs\": []}"),
+        )
+        .unwrap();
+        assert_eq!(status, 400, "{body}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_bodies_ride_one_batch_and_map_expiry_onto_504() {
+        let server = HttpServer::bind("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr();
+
+        let body = serde_json::to_string(&BatchInferBody {
+            inputs: vec![vec![0.25f32; 8 * 8 * 4]; 3],
+            dims: None,
+            deadline_ms: None,
+        })
+        .unwrap();
+        let (status, reply) =
+            http_request(&addr, "POST", "/v1/models/mini/infer", Some(&body)).unwrap();
+        assert_eq!(status, 200, "{reply}");
+        let reply: BatchInferReply = serde_json::from_str(&reply).unwrap();
+        assert_eq!(reply.count, 3);
+        assert_eq!(reply.outputs.len(), 3);
+        assert_eq!(reply.dims, vec![4]);
+        assert_eq!(
+            reply.batch_sizes,
+            vec![3, 3, 3],
+            "the group must ride one executor batch"
+        );
+        // Identical inputs → identical logits, thrice.
+        assert_eq!(reply.outputs[0], reply.outputs[1]);
+        assert_eq!(reply.outputs[0], reply.outputs[2]);
+
+        // deadline_ms: 0 expires immediately → 504 Gateway Timeout.
+        let expired = serde_json::to_string(&InferBody {
+            input: vec![0.25f32; 8 * 8 * 4],
+            dims: None,
+            deadline_ms: Some(0),
+        })
+        .unwrap();
+        let (status, body) =
+            http_request(&addr, "POST", "/v1/models/mini/infer", Some(&expired)).unwrap();
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains("deadline exceeded"), "{body}");
+
+        server.shutdown();
     }
 
     #[test]
@@ -692,20 +1227,35 @@ mod tests {
     }
 
     #[test]
-    fn infer_body_round_trips_with_and_without_dims() {
+    fn infer_bodies_round_trip_with_and_without_optional_fields() {
         let with = InferBody {
             input: vec![1.5, -2.25],
             dims: Some(vec![2]),
+            deadline_ms: Some(250),
         };
         let text = serde_json::to_string(&with).unwrap();
+        assert!(text.contains("deadline_ms"));
         assert_eq!(serde_json::from_str::<InferBody>(&text).unwrap(), with);
         let without = InferBody {
             input: vec![0.5],
             dims: None,
+            deadline_ms: None,
         };
         let text = serde_json::to_string(&without).unwrap();
-        assert!(!text.contains("dims"));
+        assert!(!text.contains("dims") && !text.contains("deadline_ms"));
         assert_eq!(serde_json::from_str::<InferBody>(&text).unwrap(), without);
         assert!(serde_json::from_str::<InferBody>("{}").is_err());
+
+        let batch = BatchInferBody {
+            inputs: vec![vec![1.0], vec![2.0]],
+            dims: Some(vec![1]),
+            deadline_ms: None,
+        };
+        let text = serde_json::to_string(&batch).unwrap();
+        assert_eq!(
+            serde_json::from_str::<BatchInferBody>(&text).unwrap(),
+            batch
+        );
+        assert!(serde_json::from_str::<BatchInferBody>("{}").is_err());
     }
 }

@@ -79,8 +79,10 @@ pub use backend::{
     BackendKind, BackendLatencyReport, BatchExecution, CpuBackend, ExecutionBackend,
     LayerSimLatency, SimGpuBackend,
 };
-pub use batcher::{BatchQueue, InferenceRequest, InferenceResponse};
-pub use http::HttpServer;
+pub use batcher::{
+    BatchQueue, DequeuedBatch, InferenceRequest, InferenceResponse, PendingResponse,
+};
+pub use http::{HttpClient, HttpServer};
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use model::CompressedModel;
 pub use options::{BatchingOptions, PlanningOptions, RuntimeOptions};
@@ -127,6 +129,15 @@ pub enum ServeError {
     UnknownModel {
         /// The name that failed to resolve.
         name: String,
+    },
+    /// The request's deadline passed before it could be served: either it
+    /// expired while queued (dropped at dequeue, before any executor work)
+    /// or its batch finished executing after the deadline. Counted in
+    /// [`ServeMetrics::deadline_exceeded`](crate::ServeMetrics) and mapped
+    /// to HTTP `504 Gateway Timeout` by the front end.
+    DeadlineExceeded {
+        /// How long the request had been waiting when it was expired, ms.
+        waited_ms: f64,
     },
     /// A request was dropped without an answer: its worker-side channel
     /// disconnected (engine shutdown discarding the request, or a failed
@@ -185,6 +196,13 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::UnknownModel { name } => {
                 write!(f, "no model named {name:?} is registered")
+            }
+            ServeError::DeadlineExceeded { waited_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded: request expired after {waited_ms:.2} ms without being \
+                     served"
+                )
             }
             ServeError::Disconnected => {
                 write!(f, "request dropped: worker channel disconnected")
@@ -294,6 +312,9 @@ mod tests {
         assert!(ServeError::Disconnected
             .to_string()
             .contains("disconnected"));
+        assert!(ServeError::DeadlineExceeded { waited_ms: 3.5 }
+            .to_string()
+            .contains("deadline exceeded"));
         assert!(ServeError::LockPoisoned {
             what: "batch queue"
         }

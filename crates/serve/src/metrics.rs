@@ -68,6 +68,12 @@ pub struct ServeMetrics {
     pub backend: String,
     /// Requests completed.
     pub completed_requests: u64,
+    /// Requests that expired past their deadline without being served —
+    /// dropped at dequeue before executor work, or finished past the
+    /// deadline at delivery. Expired requests contribute **no** latency
+    /// samples, so a flood of impossible deadlines cannot inflate the
+    /// percentiles of the work that was actually served.
+    pub deadline_exceeded: u64,
     /// Batches executed.
     pub batches: u64,
     /// Mean requests per executed batch.
@@ -93,6 +99,7 @@ pub struct ServeMetrics {
 pub struct MetricsRecorder {
     backend: String,
     completed: AtomicU64,
+    deadline_exceeded: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
     /// (total_ms, queue_ms, exec_ms) per completed request.
@@ -116,6 +123,7 @@ impl MetricsRecorder {
         MetricsRecorder {
             backend: backend.into(),
             completed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             samples: Mutex::new(Vec::new()),
@@ -158,6 +166,13 @@ impl MetricsRecorder {
         self.samples().push((total_ms, queue_ms, exec_ms));
     }
 
+    /// Record one request expired past its deadline without being served.
+    /// Deliberately adds no latency sample: expired requests must not skew
+    /// the percentiles of the served traffic.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests completed so far.
     pub fn completed(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
@@ -174,6 +189,7 @@ impl MetricsRecorder {
         ServeMetrics {
             backend: self.backend.clone(),
             completed_requests: completed,
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             batches,
             mean_batch_size: if batches > 0 {
                 completed as f64 / batches as f64
@@ -228,9 +244,15 @@ mod tests {
         ] {
             rec.record_request(t, q, e);
         }
+        rec.record_deadline_exceeded();
         let m = rec.snapshot();
         assert_eq!(m.backend, "sim-gpu");
         assert_eq!(m.completed_requests, 4);
+        assert_eq!(m.deadline_exceeded, 1);
+        assert_eq!(
+            m.total_latency.count, 4,
+            "expired requests must not add latency samples"
+        );
         assert_eq!(m.batches, 2);
         assert_eq!(m.mean_batch_size, 2.0);
         assert_eq!(m.max_batch_size, 3);

@@ -120,6 +120,20 @@ pub struct BatchingOptions {
     /// is allowed — batches are then capped at the bound and release on the
     /// delay deadline.
     pub max_queue_depth: usize,
+    /// Default per-request deadline, applied to every request submitted
+    /// without an explicit override
+    /// ([`submit_with_deadline`](crate::ServeEngine::submit_with_deadline)
+    /// overrides it per request). `None` — the default — disables deadline
+    /// enforcement. An admitted request whose deadline passes before it can
+    /// be served fails with
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError)
+    /// instead of waiting for its batch without bound; the batcher drops
+    /// expired requests before any executor work is spent on them, and a
+    /// forming batch never waits past its earliest member's deadline. A
+    /// deadline shorter than `max_batch_delay` can therefore only be met
+    /// when a full batch forms early — an under-full batch releases exactly
+    /// at the deadline, when the request is already expired.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for BatchingOptions {
@@ -128,6 +142,7 @@ impl Default for BatchingOptions {
             max_batch_size: 8,
             max_batch_delay: Duration::from_millis(2),
             max_queue_depth: 1024,
+            default_deadline: None,
         }
     }
 }
@@ -144,6 +159,11 @@ impl BatchingOptions {
         if self.max_queue_depth == 0 {
             return Err(ServeError::BadConfig {
                 reason: "max_queue_depth must be > 0".into(),
+            });
+        }
+        if self.default_deadline == Some(Duration::ZERO) {
+            return Err(ServeError::BadConfig {
+                reason: "default_deadline must be positive (use None to disable deadlines)".into(),
             });
         }
         Ok(())
@@ -244,6 +264,20 @@ mod tests {
         let opts = BatchingOptions {
             max_batch_size: 8,
             max_queue_depth: 4,
+            ..BatchingOptions::default()
+        };
+        assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_default_deadline_is_rejected() {
+        let opts = BatchingOptions {
+            default_deadline: Some(Duration::ZERO),
+            ..BatchingOptions::default()
+        };
+        assert!(opts.validate().is_err());
+        let opts = BatchingOptions {
+            default_deadline: Some(Duration::from_millis(1)),
             ..BatchingOptions::default()
         };
         assert!(opts.validate().is_ok());

@@ -29,6 +29,7 @@ use crate::server::{ServeEngine, ServeReport};
 use crate::{Result, ServeError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
 
@@ -72,6 +73,9 @@ pub struct ModelInfo {
     pub max_batch_size: usize,
     /// Admission bound of this model's queue.
     pub max_queue_depth: usize,
+    /// Default per-request deadline in milliseconds; `None` disables
+    /// deadline enforcement for requests without an explicit override.
+    pub default_deadline_ms: Option<u64>,
 }
 
 /// One model's row in a [`RegistryMetrics`] snapshot.
@@ -96,6 +100,9 @@ pub struct RegistryMetrics {
     pub total_completed_requests: u64,
     /// Sum of admission rejections across models.
     pub total_rejected_requests: u64,
+    /// Sum of deadline expiries across models
+    /// ([`ServeMetrics::deadline_exceeded`]).
+    pub total_deadline_exceeded: u64,
     /// Sum of executed batches across models.
     pub total_batches: u64,
     /// Sum of predicted GPU milliseconds across models.
@@ -213,6 +220,10 @@ impl ModelRegistry {
             plan_fingerprint: format!("{:016x}", engine.plan().fingerprint()),
             max_batch_size: config.batching.max_batch_size,
             max_queue_depth: config.batching.max_queue_depth,
+            default_deadline_ms: config
+                .batching
+                .default_deadline
+                .map(|d| d.as_millis() as u64),
         };
         self.models.insert(
             name.to_string(),
@@ -258,14 +269,58 @@ impl ModelRegistry {
         self.models.values().map(|m| m.info.clone()).collect()
     }
 
-    /// Submit one input to `model`; returns a handle to await the response.
-    /// Admission rejections ([`ServeError::Overloaded`]) are counted per
-    /// model and surface in [`ModelRegistry::metrics`].
+    /// Submit one input to `model` under the model's default deadline;
+    /// returns a handle to await the response. Admission rejections
+    /// ([`ServeError::Overloaded`]) are counted per model and surface in
+    /// [`ModelRegistry::metrics`].
     pub fn submit(&self, model: &str, input: Tensor) -> Result<PendingResponse> {
         let entry = self.entry(model)?;
-        let submitted = entry.engine.submit(input);
+        let deadline = entry.engine.default_deadline();
+        self.submit_to(entry, input, deadline)
+    }
+
+    /// Submit one input to `model` with an explicit per-request deadline
+    /// (`None` disables enforcement for this request), overriding the
+    /// model's configured default.
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<PendingResponse> {
+        let entry = self.entry(model)?;
+        self.submit_to(entry, input, deadline)
+    }
+
+    fn submit_to(
+        &self,
+        entry: &RegisteredModel,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<PendingResponse> {
+        let submitted = entry.engine.submit_with_deadline(input, deadline);
         if matches!(submitted, Err(ServeError::Overloaded { .. })) {
             entry.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        submitted
+    }
+
+    /// Submit a group of inputs to `model` atomically under one deadline
+    /// (see [`ServeEngine::submit_many`]): the group is contiguous in the
+    /// model's queue, so a group no larger than the model's batch size rides
+    /// one executor batch on an idle queue. An admission rejection rejects
+    /// the group whole and counts one rejection per request in it.
+    pub fn submit_many(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<PendingResponse>> {
+        let entry = self.entry(model)?;
+        let count = inputs.len() as u64;
+        let submitted = entry.engine.submit_many(inputs, deadline);
+        if matches!(submitted, Err(ServeError::Overloaded { .. })) {
+            entry.rejected.fetch_add(count, Ordering::Relaxed);
         }
         submitted
     }
@@ -273,6 +328,17 @@ impl ModelRegistry {
     /// Submit to `model` and block for the response.
     pub fn infer(&self, model: &str, input: Tensor) -> Result<InferenceResponse> {
         self.submit(model, input)?.wait()
+    }
+
+    /// Submit to `model` with an explicit deadline and block for the
+    /// response.
+    pub fn infer_with_deadline(
+        &self,
+        model: &str,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<InferenceResponse> {
+        self.submit_with_deadline(model, input, deadline)?.wait()
     }
 
     /// Aggregate every model's metrics plus the per-model admission
@@ -291,6 +357,7 @@ impl ModelRegistry {
         RegistryMetrics {
             total_completed_requests: models.iter().map(|m| m.metrics.completed_requests).sum(),
             total_rejected_requests: models.iter().map(|m| m.rejected_requests).sum(),
+            total_deadline_exceeded: models.iter().map(|m| m.metrics.deadline_exceeded).sum(),
             total_batches: models.iter().map(|m| m.metrics.batches).sum(),
             predicted_gpu_ms_total: models
                 .iter()
@@ -427,6 +494,77 @@ mod tests {
         assert_eq!(
             registry.engine("alias").unwrap().plan_outcome(),
             CacheOutcome::MemoryHit
+        );
+        registry.shutdown();
+    }
+
+    #[test]
+    fn expiring_flood_on_one_model_does_not_inflate_a_sibling_p99() {
+        let mut registry = ModelRegistry::new(4);
+        // "expiry": a long batch delay so every impossible-deadline request
+        // is released (and expired) at its own deadline instead of riding a
+        // real batch; "steady": a normal low-latency sibling.
+        registry
+            .register(
+                "expiry",
+                &serving_descriptor("dl-expiry", 10, 4, 6),
+                ModelConfig {
+                    batching: BatchingOptions {
+                        max_batch_size: 16,
+                        max_batch_delay: Duration::from_millis(400),
+                        ..BatchingOptions::default()
+                    },
+                    runtime: RuntimeOptions {
+                        workers: 1,
+                        ..RuntimeOptions::default()
+                    },
+                    ..quick_config()
+                },
+            )
+            .unwrap();
+        registry
+            .register(
+                "steady",
+                &serving_descriptor("dl-steady", 10, 4, 6),
+                quick_config(),
+            )
+            .unwrap();
+
+        // Flood "expiry" with impossible 1 ms deadlines…
+        const FLOOD: usize = 10;
+        for _ in 0..FLOOD {
+            let err = registry
+                .infer_with_deadline(
+                    "expiry",
+                    Tensor::zeros(vec![10, 10, 4]),
+                    Some(Duration::from_millis(1)),
+                )
+                .unwrap_err();
+            assert!(matches!(err, ServeError::DeadlineExceeded { .. }));
+        }
+        // …while "steady" keeps serving normally.
+        for _ in 0..8 {
+            registry
+                .infer("steady", Tensor::zeros(vec![10, 10, 4]))
+                .unwrap();
+        }
+
+        let metrics = registry.metrics();
+        assert_eq!(metrics.total_deadline_exceeded, FLOOD as u64);
+        let expiry = metrics.models.iter().find(|m| m.model == "expiry").unwrap();
+        assert_eq!(expiry.metrics.deadline_exceeded, FLOOD as u64);
+        assert_eq!(expiry.metrics.completed_requests, 0);
+        assert_eq!(
+            expiry.metrics.total_latency.count, 0,
+            "expired requests must not leave latency samples behind"
+        );
+        let steady = metrics.models.iter().find(|m| m.model == "steady").unwrap();
+        assert_eq!(steady.metrics.completed_requests, 8);
+        assert_eq!(steady.metrics.deadline_exceeded, 0);
+        assert!(
+            steady.metrics.total_latency.p99_ms < 200.0,
+            "steady p99 {:.2} ms was inflated by the sibling's expiring flood",
+            steady.metrics.total_latency.p99_ms
         );
         registry.shutdown();
     }

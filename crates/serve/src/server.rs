@@ -290,6 +290,7 @@ impl<'a> ServeEngineBuilder<'a> {
             latency_report,
             next_id: AtomicU64::new(0),
             predicted_gpu_ms_per_sample,
+            default_deadline: self.batching.default_deadline,
         })
     }
 }
@@ -306,6 +307,7 @@ pub struct ServeEngine {
     latency_report: BackendLatencyReport,
     next_id: AtomicU64,
     predicted_gpu_ms_per_sample: f64,
+    default_deadline: Option<Duration>,
 }
 
 impl ServeEngine {
@@ -385,28 +387,99 @@ impl ServeEngine {
         self.predicted_gpu_ms_per_sample
     }
 
-    /// Submit one HWC input; returns a handle to await the response.
-    pub fn submit(&self, input: Tensor) -> Result<PendingResponse> {
+    /// The default per-request deadline configured at build
+    /// ([`BatchingOptions::default_deadline`]); `None` disables enforcement.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.default_deadline
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
         if input.dims() != self.backend.input_dims() {
             return Err(ServeError::BadInput {
                 expected: self.backend.input_dims().to_vec(),
                 actual: input.dims().to_vec(),
             });
         }
+        Ok(())
+    }
+
+    fn request_for(
+        &self,
+        input: Tensor,
+        enqueued_at: Instant,
+        deadline: Option<Duration>,
+    ) -> (InferenceRequest, PendingResponse) {
         let (tx, rx) = mpsc::channel();
         let request = InferenceRequest {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             input,
-            enqueued_at: Instant::now(),
+            enqueued_at,
+            deadline: deadline.map(|d| enqueued_at + d),
             responder: tx,
         };
+        (request, PendingResponse::new(rx))
+    }
+
+    /// Submit one HWC input under the engine's default deadline; returns a
+    /// handle to await the response.
+    pub fn submit(&self, input: Tensor) -> Result<PendingResponse> {
+        self.submit_with_deadline(input, self.default_deadline)
+    }
+
+    /// Submit one HWC input with an explicit per-request deadline,
+    /// overriding [`BatchingOptions::default_deadline`] (`None` disables
+    /// enforcement for this request). If the deadline passes before the
+    /// request is served, [`PendingResponse::wait`] fails with
+    /// [`ServeError::DeadlineExceeded`]; requests that expire while queued
+    /// never reach the executor.
+    pub fn submit_with_deadline(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<PendingResponse> {
+        self.check_input(&input)?;
+        let (request, pending) = self.request_for(input, Instant::now(), deadline);
         self.queue.push(request)?;
-        Ok(PendingResponse::new(rx))
+        Ok(pending)
+    }
+
+    /// Submit a group of inputs atomically under one deadline: all inputs
+    /// are validated first, then enqueued contiguously in a single queue
+    /// operation — so a group no larger than `max_batch_size` rides one
+    /// executor batch when the queue is otherwise idle. Admission is
+    /// all-or-nothing: a group that would exceed the admission bound is
+    /// rejected whole with [`ServeError::Overloaded`]. This is what the
+    /// HTTP front end's batched `{"inputs": [[...], ...]}` POST body maps
+    /// onto.
+    pub fn submit_many(
+        &self,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<PendingResponse>> {
+        for input in &inputs {
+            self.check_input(input)?;
+        }
+        let enqueued_at = Instant::now();
+        let (requests, handles): (Vec<_>, Vec<_>) = inputs
+            .into_iter()
+            .map(|input| self.request_for(input, enqueued_at, deadline))
+            .unzip();
+        self.queue.push_many(requests)?;
+        Ok(handles)
     }
 
     /// Submit and block for the response.
     pub fn infer(&self, input: Tensor) -> Result<InferenceResponse> {
         self.submit(input)?.wait()
+    }
+
+    /// Submit with an explicit deadline and block for the response.
+    pub fn infer_with_deadline(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<InferenceResponse> {
+        self.submit_with_deadline(input, deadline)?.wait()
     }
 
     /// Metrics snapshot of the work completed so far.
@@ -447,13 +520,37 @@ impl Drop for ServeEngine {
     }
 }
 
+/// Answer one expired request with the typed deadline error and count it.
+/// No latency sample is recorded: expired requests must not skew the
+/// percentiles of the traffic that was actually served.
+fn expire_request(request: InferenceRequest, metrics: &MetricsRecorder, now: Instant) {
+    metrics.record_deadline_exceeded();
+    let waited_ms = now.duration_since(request.enqueued_at).as_secs_f64() * 1e3;
+    // The client may have given up; that is not the worker's problem.
+    let _ = request
+        .responder
+        .send(Err(ServeError::DeadlineExceeded { waited_ms }));
+}
+
 fn worker_loop(
     queue: &BatchQueue,
     metrics: &MetricsRecorder,
     backend: &dyn ExecutionBackend,
     predicted_gpu_ms_per_sample: f64,
 ) {
-    while let Some(batch) = queue.next_batch() {
+    while let Some(dispatch) = queue.next_batch() {
+        // Deadline checkpoint 1 (dequeue): requests that expired while
+        // queued were split out by the batcher and never reach the backend.
+        if !dispatch.expired.is_empty() {
+            let now = Instant::now();
+            for request in dispatch.expired {
+                expire_request(request, metrics, now);
+            }
+        }
+        let batch = dispatch.live;
+        if batch.is_empty() {
+            continue;
+        }
         let batch_size = batch.len();
         let predicted_gpu_batch_ms = predicted_gpu_ms_per_sample * batch_size as f64;
         let exec_started = Instant::now();
@@ -478,6 +575,13 @@ fn worker_loop(
         );
         let completed_at = Instant::now();
         for (request, output) in batch.into_iter().zip(execution.outputs) {
+            // Deadline checkpoint 3 (delivery): execution finished past the
+            // request's deadline — the client contract is "answered within
+            // the deadline or a typed error", so the late output is dropped.
+            if request.expired_at(completed_at) {
+                expire_request(request, metrics, completed_at);
+                continue;
+            }
             let total_ms = completed_at
                 .duration_since(request.enqueued_at)
                 .as_secs_f64()
@@ -494,7 +598,7 @@ fn worker_loop(
                 simulated_gpu_batch_ms: execution.simulated_gpu_ms,
             };
             // The client may have given up; that is not the worker's problem.
-            let _ = request.responder.send(response);
+            let _ = request.responder.send(Ok(response));
         }
     }
 }
@@ -655,6 +759,114 @@ mod tests {
         assert!(matches!(err, Err(ServeError::BadConfig { .. })));
         // Nothing was planned for any rejected configuration.
         assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn impossible_deadlines_expire_without_reaching_the_executor() {
+        let descriptor = serving_descriptor("engine-deadline", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        // A generous batch delay so an under-full batch would normally idle;
+        // the 1 ms deadline must release and expire the request long before.
+        let engine = ServeEngine::builder(&descriptor)
+            .batching(BatchingOptions {
+                max_batch_size: 8,
+                max_batch_delay: Duration::from_millis(500),
+                ..BatchingOptions::default()
+            })
+            .plan_cache(&cache)
+            .build()
+            .unwrap();
+        let started = Instant::now();
+        let err = engine
+            .infer_with_deadline(
+                Tensor::zeros(vec![10, 10, 4]),
+                Some(Duration::from_millis(1)),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::DeadlineExceeded { .. }),
+            "expected DeadlineExceeded, got {err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "the deadline did not bound the wait"
+        );
+        let metrics = engine.metrics();
+        assert_eq!(metrics.deadline_exceeded, 1, "exactly one expiry counted");
+        assert_eq!(
+            metrics.completed_requests, 0,
+            "the expired request must never reach the executor"
+        );
+        assert_eq!(
+            metrics.total_latency.count, 0,
+            "expired requests must not add latency samples"
+        );
+
+        // A later live request is unaffected and still counts normally.
+        let response = engine.infer(Tensor::zeros(vec![10, 10, 4])).unwrap();
+        assert_eq!(response.output.dims(), &[6]);
+        let metrics = engine.metrics();
+        assert_eq!(metrics.completed_requests, 1);
+        assert_eq!(metrics.deadline_exceeded, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn default_deadline_applies_to_plain_submits_and_can_be_overridden() {
+        let descriptor = serving_descriptor("engine-default-deadline", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        let engine = ServeEngine::builder(&descriptor)
+            .batching(BatchingOptions {
+                max_batch_size: 8,
+                max_batch_delay: Duration::from_millis(300),
+                default_deadline: Some(Duration::from_millis(1)),
+                ..BatchingOptions::default()
+            })
+            .plan_cache(&cache)
+            .build()
+            .unwrap();
+        assert_eq!(engine.default_deadline(), Some(Duration::from_millis(1)));
+        // Plain submit inherits the impossible default and expires…
+        let err = engine.infer(Tensor::zeros(vec![10, 10, 4])).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }));
+        // …while an explicit None override disables enforcement entirely.
+        let response = engine
+            .infer_with_deadline(Tensor::zeros(vec![10, 10, 4]), None)
+            .unwrap();
+        assert_eq!(response.output.dims(), &[6]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_many_rides_one_executor_batch_and_matches_single_submits() {
+        let descriptor = serving_descriptor("engine-group", 10, 4, 6);
+        let cache = PlanCache::new(2);
+        let engine = test_engine(&descriptor, &cache).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| init::uniform(vec![10, 10, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let expected: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| engine.infer(x.clone()).unwrap().output)
+            .collect();
+        let handles = engine.submit_many(inputs, None).unwrap();
+        for (handle, expected) in handles.into_iter().zip(expected) {
+            let response = handle.wait().unwrap();
+            assert_eq!(
+                response.batch_size, 4,
+                "an idle-queue group must ride a single executor batch"
+            );
+            assert_eq!(response.output, expected, "group output diverged");
+        }
+        // A group with a bad input is rejected whole before anything queues.
+        let bad = engine.submit_many(
+            vec![Tensor::zeros(vec![10, 10, 4]), Tensor::zeros(vec![1])],
+            None,
+        );
+        assert!(matches!(bad, Err(ServeError::BadInput { .. })));
+        assert_eq!(engine.queue_depth(), 0);
+        engine.shutdown();
     }
 
     #[test]

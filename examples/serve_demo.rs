@@ -11,10 +11,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tdc_repro::serve::http::{http_request, InferBody, InferReply};
+use tdc_repro::serve::http::{
+    http_request, BatchInferBody, BatchInferReply, InferBody, InferReply,
+};
 use tdc_repro::serve::{
-    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, HttpServer, ModelConfig,
-    ModelRegistry, PlanCache, PlanningOptions, RuntimeOptions, ServeEngine,
+    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, HttpClient, HttpServer,
+    ModelConfig, ModelRegistry, PlanCache, PlanningOptions, RuntimeOptions, ServeEngine,
 };
 use tdc_repro::tensor::init;
 
@@ -174,26 +176,62 @@ fn main() {
     println!("  listening on http://{addr}");
     let (status, health) = http_request(&addr, "GET", "/healthz", None).expect("healthz");
     println!("  GET /healthz -> {status} {health}");
+    // One keep-alive connection serves every model: HTTP/1.1 connection
+    // reuse instead of one TCP handshake per request.
+    let mut client = HttpClient::connect(&addr).expect("connect keep-alive client");
     for (name, dims) in [("demo-a", vec![10, 10, 4]), ("demo-b", vec![8, 8, 4])] {
         let body = serde_json::to_string(&InferBody {
             input: vec![0.5f32; dims.iter().product()],
             dims: Some(dims),
+            deadline_ms: None,
         })
         .expect("serialize body");
-        let (status, reply) = http_request(
-            &addr,
-            "POST",
-            &format!("/v1/models/{name}/infer"),
-            Some(&body),
-        )
-        .expect("infer over http");
+        let (status, reply) = client
+            .request("POST", &format!("/v1/models/{name}/infer"), Some(&body))
+            .expect("infer over http");
         let reply: InferReply = serde_json::from_str(&reply).expect("parse reply");
         println!(
-            "  POST /v1/models/{name}/infer -> {status}: {} logits via {}",
+            "  POST /v1/models/{name}/infer -> {status}: {} logits via {} (keep-alive)",
             reply.output.len(),
             reply.backend
         );
     }
+
+    // A batched POST body: three samples riding one executor batch, with
+    // per-input outputs bit-identical to three sequential single calls.
+    let batch_body = serde_json::to_string(&BatchInferBody {
+        inputs: vec![vec![0.5f32; 10 * 10 * 4]; 3],
+        dims: Some(vec![10, 10, 4]),
+        deadline_ms: None,
+    })
+    .expect("serialize batch body");
+    let (status, reply) = client
+        .request("POST", "/v1/models/demo-a/infer", Some(&batch_body))
+        .expect("batched infer over http");
+    let reply: BatchInferReply = serde_json::from_str(&reply).expect("parse batch reply");
+    println!(
+        "  POST /v1/models/demo-a/infer (batched) -> {status}: {} inputs in executor \
+         batches {:?}",
+        reply.count, reply.batch_sizes
+    );
+
+    // An impossible deadline: admitted, expired while queued, answered 504
+    // without ever reaching the executor.
+    let expired_body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; 10 * 10 * 4],
+        dims: Some(vec![10, 10, 4]),
+        deadline_ms: Some(0),
+    })
+    .expect("serialize expired body");
+    let (status, _) = client
+        .request("POST", "/v1/models/demo-a/infer", Some(&expired_body))
+        .expect("expired infer over http");
+    println!(
+        "  POST /v1/models/demo-a/infer (deadline_ms=0) -> {status} Gateway Timeout \
+         ({} request(s) on one keep-alive connection)",
+        client.requests_sent()
+    );
+    drop(client);
     let registry = server.shutdown();
     let metrics = registry.metrics();
     println!(

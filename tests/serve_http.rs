@@ -1,17 +1,21 @@
 //! Cross-crate integration tests of the multi-model serving front door:
 //! bit-identical outputs through HTTP vs. direct engine calls with two
-//! models served concurrently, and per-model admission control (one flooded
+//! models served concurrently, per-model admission control (one flooded
 //! model sheds load with typed `Overloaded` rejections while its neighbour's
-//! latency stays bounded).
+//! latency stays bounded), request deadlines surfacing as `504` without
+//! reaching the executor, keep-alive connection reuse with bit-identical
+//! outputs, and the batched POST body riding one executor batch.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Duration;
-use tdc_repro::serve::http::{http_request, InferBody, InferReply};
+use std::time::{Duration, Instant};
+use tdc_repro::serve::http::{
+    http_request, BatchInferBody, BatchInferReply, InferBody, InferReply,
+};
 use tdc_repro::serve::{
-    serving_descriptor, BackendKind, BatchingOptions, HttpServer, ModelConfig, ModelRegistry,
-    RuntimeOptions, ServeEngine, ServeError,
+    serving_descriptor, BackendKind, BatchingOptions, HttpClient, HttpServer, ModelConfig,
+    ModelRegistry, RuntimeOptions, ServeEngine, ServeError,
 };
 use tdc_repro::tensor::{init, Tensor};
 
@@ -83,6 +87,7 @@ fn two_models_over_http_match_direct_engine_calls_bit_for_bit() {
                         let body = serde_json::to_string(&InferBody {
                             input: input.data().to_vec(),
                             dims: Some(input.dims().to_vec()),
+                            deadline_ms: None,
                         })
                         .unwrap();
                         let (status, reply) = http_request(
@@ -145,6 +150,7 @@ fn flooding_one_model_rejects_typed_and_leaves_the_other_model_fast() {
                     max_batch_size: 16,
                     max_batch_delay: flood_delay,
                     max_queue_depth: FLOOD_BOUND,
+                    ..BatchingOptions::default()
                 },
                 runtime: RuntimeOptions {
                     workers: 1,
@@ -199,6 +205,7 @@ fn flooding_one_model_rejects_typed_and_leaves_the_other_model_fast() {
     let body = serde_json::to_string(&InferBody {
         input: vec![0.5f32; 10 * 10 * 4],
         dims: Some(vec![10, 10, 4]),
+        deadline_ms: None,
     })
     .unwrap();
     let (status, reply) =
@@ -235,4 +242,209 @@ fn flooding_one_model_rejects_typed_and_leaves_the_other_model_fast() {
     let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
     let reports = registry.shutdown();
     assert_eq!(reports.len(), 2);
+}
+
+#[test]
+fn past_deadline_request_answers_504_without_reaching_the_executor() {
+    // "saturated": a single worker that would hold an under-full batch open
+    // for 1.5 s — any request with a short deadline expires while queued.
+    let flood_delay = Duration::from_millis(1500);
+    let mut registry = ModelRegistry::new(2);
+    registry
+        .register(
+            "sat",
+            &serving_descriptor("dl-sat", 10, 4, 6),
+            ModelConfig {
+                batching: BatchingOptions {
+                    max_batch_size: 16,
+                    max_batch_delay: flood_delay,
+                    ..BatchingOptions::default()
+                },
+                runtime: RuntimeOptions {
+                    workers: 1,
+                    ..RuntimeOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+    let addr = server.local_addr();
+
+    let body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; 10 * 10 * 4],
+        dims: Some(vec![10, 10, 4]),
+        deadline_ms: Some(1),
+    })
+    .unwrap();
+    let started = Instant::now();
+    let (status, reply) = http_request(&addr, "POST", "/v1/models/sat/infer", Some(&body)).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(status, 504, "{reply}");
+    assert!(reply.contains("deadline exceeded"), "{reply}");
+    assert!(
+        elapsed < flood_delay / 2,
+        "the deadline did not bound the wait: {elapsed:?}"
+    );
+
+    // The request was admitted (not rejected) but never executed: the
+    // engine counts one expiry, zero completions, zero latency samples.
+    let metrics = server.registry().engine("sat").unwrap().metrics();
+    assert_eq!(metrics.deadline_exceeded, 1);
+    assert_eq!(
+        metrics.completed_requests, 0,
+        "the expired request must never reach the executor"
+    );
+    assert_eq!(metrics.total_latency.count, 0);
+
+    // The registry-level snapshot (what /metrics serializes) agrees.
+    let (status, metrics_json) = http_request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics_json.contains("\"total_deadline_exceeded\":1"),
+        "{metrics_json}"
+    );
+
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    registry.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_matches_connection_close_bit_for_bit() {
+    let descriptor = serving_descriptor("ka-parity", 10, 4, 6);
+    let mut registry = ModelRegistry::new(2);
+    registry
+        .register("ka", &descriptor, ModelConfig::default())
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+    let addr = server.local_addr();
+
+    let mut rng = StdRng::seed_from_u64(321);
+    let bodies: Vec<String> = (0..4)
+        .map(|_| {
+            let input = init::uniform(vec![10, 10, 4], -1.0, 1.0, &mut rng);
+            serde_json::to_string(&InferBody {
+                input: input.data().to_vec(),
+                dims: Some(input.dims().to_vec()),
+                deadline_ms: None,
+            })
+            .unwrap()
+        })
+        .collect();
+
+    // Reference: one fresh Connection: close request per input.
+    let via_close: Vec<Vec<f32>> = bodies
+        .iter()
+        .map(|body| {
+            let (status, reply) =
+                http_request(&addr, "POST", "/v1/models/ka/infer", Some(body)).unwrap();
+            assert_eq!(status, 200, "{reply}");
+            serde_json::from_str::<InferReply>(&reply).unwrap().output
+        })
+        .collect();
+
+    // The same inputs over ONE keep-alive connection.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let via_keep_alive: Vec<Vec<f32>> = bodies
+        .iter()
+        .map(|body| {
+            let (status, reply) = client
+                .request("POST", "/v1/models/ka/infer", Some(body))
+                .unwrap();
+            assert_eq!(status, 200, "{reply}");
+            serde_json::from_str::<InferReply>(&reply).unwrap().output
+        })
+        .collect();
+    assert!(
+        client.requests_sent() >= 3,
+        "the connection must have served at least 3 sequential requests"
+    );
+    assert_eq!(
+        via_keep_alive, via_close,
+        "keep-alive outputs diverged from Connection: close outputs"
+    );
+
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    registry.shutdown();
+}
+
+#[test]
+fn batched_post_body_rides_one_batch_and_matches_sequential_singles() {
+    let descriptor = serving_descriptor("batch-parity", 10, 4, 6);
+    let make_registry = || {
+        let mut registry = ModelRegistry::new(2);
+        registry
+            .register(
+                "bp",
+                &descriptor,
+                ModelConfig {
+                    batching: BatchingOptions {
+                        max_batch_size: 8,
+                        ..BatchingOptions::default()
+                    },
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap();
+        registry
+    };
+
+    let mut rng = StdRng::seed_from_u64(654);
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|_| {
+            init::uniform(vec![10, 10, 4], -1.0, 1.0, &mut rng)
+                .data()
+                .to_vec()
+        })
+        .collect();
+
+    // Reference: N sequential single-sample calls on a fresh server.
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(make_registry())).unwrap();
+    let addr = server.local_addr();
+    let sequential: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|input| {
+            let body = serde_json::to_string(&InferBody {
+                input: input.clone(),
+                dims: Some(vec![10, 10, 4]),
+                deadline_ms: None,
+            })
+            .unwrap();
+            let (status, reply) =
+                http_request(&addr, "POST", "/v1/models/bp/infer", Some(&body)).unwrap();
+            assert_eq!(status, 200, "{reply}");
+            serde_json::from_str::<InferReply>(&reply).unwrap().output
+        })
+        .collect();
+    drop(server);
+
+    // One batched POST carrying all N inputs on another fresh server (same
+    // descriptor and seed -> identical weights).
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(make_registry())).unwrap();
+    let addr = server.local_addr();
+    let body = serde_json::to_string(&BatchInferBody {
+        inputs: inputs.clone(),
+        dims: Some(vec![10, 10, 4]),
+        deadline_ms: None,
+    })
+    .unwrap();
+    let (status, reply) = http_request(&addr, "POST", "/v1/models/bp/infer", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    let reply: BatchInferReply = serde_json::from_str(&reply).unwrap();
+    assert_eq!(reply.count, 4);
+    assert_eq!(
+        reply.batch_sizes,
+        vec![4, 4, 4, 4],
+        "the batched POST must ride one executor batch"
+    );
+    assert_eq!(
+        reply.outputs, sequential,
+        "batched POST outputs diverged from sequential single calls"
+    );
+
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    registry.shutdown();
 }
