@@ -114,6 +114,9 @@ struct QueueState {
 pub struct BatchQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
+    /// Notified whenever a dispatch empties the FIFO — what
+    /// [`BatchQueue::wait_drained`] blocks on during a graceful retire.
+    drained: Condvar,
     max_batch_size: usize,
     max_batch_delay: Duration,
     max_queue_depth: usize,
@@ -131,6 +134,7 @@ impl BatchQueue {
                 closed: false,
             }),
             not_empty: Condvar::new(),
+            drained: Condvar::new(),
             max_batch_size: max_batch_size.max(1),
             max_batch_delay,
             max_queue_depth: max_queue_depth.max(1),
@@ -213,6 +217,35 @@ impl BatchQueue {
         self.state().closed
     }
 
+    /// Block until every queued request has been handed to a worker (FIFO
+    /// empty) or `timeout` passes; returns whether the queue drained. Used by
+    /// a graceful retire after [`BatchQueue::close`]: once this returns
+    /// `true`, no admitted request is still waiting for dispatch — only
+    /// in-flight executor batches remain, and joining the workers (engine
+    /// shutdown) bounds those. Note "drained" means *dispatched*, not
+    /// *answered*.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state();
+        loop {
+            if state.fifo.is_empty() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = match self
+                .drained
+                .wait_timeout(state, deadline.saturating_duration_since(now))
+            {
+                Ok((guard, timeout)) => (guard, timeout),
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state = guard;
+        }
+    }
+
     /// The instant at which the currently forming batch must release: the
     /// oldest request's enqueue time plus `max_batch_delay`, pulled earlier
     /// by any deadline among the requests that would be dispatched (the
@@ -276,6 +309,11 @@ impl BatchQueue {
                     .fifo
                     .drain(..take)
                     .partition(|request| request.expired_at(now));
+                if state.fifo.is_empty() {
+                    // Wake a retire blocked in `wait_drained`: every admitted
+                    // request is now in some worker's hands.
+                    self.drained.notify_all();
+                }
                 return Some(DequeuedBatch { live, expired });
             }
             // A sibling worker took everything while we slept; wait again.
@@ -500,6 +538,36 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         queue.close();
         assert!(waiter.join().unwrap(), "worker should see the shutdown");
+    }
+
+    #[test]
+    fn wait_drained_returns_once_every_request_is_dispatched() {
+        let queue = Arc::new(BatchQueue::new(2, Duration::from_millis(1), usize::MAX));
+        // Empty queue: drained immediately.
+        assert!(queue.wait_drained(Duration::from_millis(1)));
+        for id in 0..4 {
+            queue.push(request(id).0).unwrap();
+        }
+        // Nobody is dequeuing: the wait must time out with work still queued.
+        assert!(!queue.wait_drained(Duration::from_millis(20)));
+        let drainer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                while queue.next_batch().is_some() {
+                    if queue.depth() == 0 {
+                        break;
+                    }
+                }
+            })
+        };
+        assert!(
+            queue.wait_drained(Duration::from_secs(5)),
+            "the drain notification never arrived"
+        );
+        assert_eq!(queue.depth(), 0);
+        queue.close();
+        drainer.join().unwrap();
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //! * `--keep-alive` — adds an HTTP phase: the single model behind the
 //!   HTTP/1.1 front end, driven over persistent connections; the artifact's
 //!   `http` section records connection-reuse and timeout counts.
+//! * `--autotune` — adds the SLO phase: one sim-GPU model registered at a
+//!   deliberately over-provisioned budget (0.9 — past the feasibility
+//!   cliff, so its plan misses the SLO), then the control plane's budget
+//!   search bisects down to the largest budget whose estimated p99 meets
+//!   the target, hot-swaps it in, and serves traffic on the tuned plan; the
+//!   artifact's `autotune` section records the search trace and the
+//!   control-plane lifecycle counters. The target defaults to the estimate
+//!   at budget 0.45 (so convergence is meaningful) and can be overridden
+//!   with `SERVE_BENCH_TARGET_P99_MS`.
 //! * `--check-schema` — no benchmark: read the existing artifact and fail
 //!   (exit 1) unless its `schema_version` matches this binary's expected
 //!   version. CI runs this after the bench smoke steps to catch schema
@@ -30,7 +39,7 @@
 //!
 //! ```text
 //! serve_bench [--backend cpu|sim-gpu|both] [--models N] [--deadline-ms D]
-//!             [--keep-alive] [--check-schema]
+//!             [--keep-alive] [--autotune] [--check-schema]
 //! ```
 //!
 //! Environment knobs (all optional):
@@ -42,6 +51,7 @@
 //! * `SERVE_BENCH_BACKEND`   — same as `--backend` (the flag wins)
 //! * `SERVE_BENCH_MODELS`    — same as `--models` (the flag wins)
 //! * `SERVE_BENCH_DEADLINE_MS` — same as `--deadline-ms` (the flag wins)
+//! * `SERVE_BENCH_TARGET_P99_MS` — `--autotune` SLO target override, ms
 //! * `SERVE_BENCH_OUT`       — artifact path (default `BENCH_serve.json`)
 
 use rand::rngs::StdRng;
@@ -50,21 +60,21 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdc_serve::http::{http_request, InferBody};
 use tdc_serve::{
-    serving_descriptor, BackendKind, BatchingOptions, CacheOutcome, HttpClient, HttpServer,
-    LatencySummary, LayerSimLatency, ModelConfig, ModelRegistry, PlanCache, PlanningOptions,
-    RuntimeOptions, ServeEngine, ServeError,
+    serving_descriptor, AutotuneRequest, BackendKind, BatchingOptions, CacheOutcome, HttpClient,
+    HttpServer, LatencySummary, LayerSimLatency, ModelConfig, ModelRegistry, PlanCache,
+    PlanningOptions, RuntimeOptions, ServeEngine, ServeError,
 };
 use tdc_tensor::init;
 
 /// The schema this binary writes — `--check-schema` validates an artifact
 /// on disk against it.
-const EXPECTED_SCHEMA_VERSION: u32 = 4;
+const EXPECTED_SCHEMA_VERSION: u32 = 5;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 4 (over 3): every run counts `deadline_exceeded` requests, the
-/// top level records the configured `deadline_ms`, and `--keep-alive` adds
-/// an `http` section with connection-reuse and timeout counts from driving
-/// the front end over persistent connections.
+/// Schema 5 (over 4): `--autotune` adds an `autotune` section — the SLO
+/// budget search's full probe trace, the winning budget, the post-swap
+/// serving proof, and the control plane's lifecycle counters (table epoch,
+/// register/retire/replan/autotune totals).
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -80,6 +90,25 @@ struct ServeBenchArtifact {
     runs: Vec<BackendRun>,
     multi_model: Option<MultiModelRun>,
     http: Option<HttpRun>,
+    autotune: Option<AutotuneRun>,
+}
+
+/// The `--autotune` SLO phase: search trace, winning budget, post-swap
+/// serving proof and control-plane counters.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct AutotuneRun {
+    /// The model the search tuned.
+    model: String,
+    /// The over-provisioned budget the model was registered at.
+    registered_budget: f64,
+    /// The control plane's full search report (target, probes, winner).
+    report: tdc_serve::AutotuneReport,
+    /// Requests served on the tuned plan after the hot-swap.
+    post_swap_requests: u64,
+    /// p99 across the post-swap requests, ms (wall clock, not simulated).
+    post_swap_p99_ms: f64,
+    /// Control-plane lifecycle counters at the end of the phase.
+    lifecycle: tdc_serve::LifecycleCounters,
 }
 
 /// The `--keep-alive` HTTP phase: requests driven through the front end
@@ -494,7 +523,7 @@ fn run_backend(
 /// `--backend` selection composes: a single backend pins every model to it,
 /// the default `both` alternates cpu / sim-gpu across the fleet.
 fn run_multi_model(n: usize, backends: &[BackendKind], s: &BenchSettings) -> MultiModelRun {
-    let mut registry = ModelRegistry::new(n.max(2));
+    let registry = ModelRegistry::new(n.max(2));
     for index in 0..n {
         // Genuinely different networks (growing spatial size), large enough
         // that the planner decomposes at least one layer per model.
@@ -650,7 +679,7 @@ fn run_http_phase(
     s: &BenchSettings,
     keep_alive: bool,
 ) -> HttpRun {
-    let mut registry = ModelRegistry::new(2);
+    let registry = ModelRegistry::new(2);
     registry
         .register(
             &descriptor.slug(),
@@ -752,6 +781,122 @@ fn run_http_phase(
     run
 }
 
+/// The `--autotune` phase: register one sim-GPU model at a deliberately
+/// over-provisioned budget (0.9 demands more FLOPs reduction than the
+/// model's layers can deliver, so rank selection degrades to dense
+/// fallbacks and the plan misses the SLO), run the control plane's budget
+/// search against a target p99, and serve traffic on the hot-swapped tuned
+/// plan.
+fn run_autotune(s: &BenchSettings) -> AutotuneRun {
+    const OVER_PROVISIONED_BUDGET: f64 = 0.9;
+    const REFERENCE_BUDGET: f64 = 0.45;
+    let registry = ModelRegistry::new(16);
+    let descriptor = serving_descriptor("svc-tune", 12, 8, 10);
+    let name = descriptor.slug();
+    registry
+        .register(
+            &name,
+            &descriptor,
+            ModelConfig {
+                planning: PlanningOptions {
+                    budget: OVER_PROVISIONED_BUDGET,
+                    ..s.planning.clone()
+                },
+                batching: s.batching.clone(),
+                runtime: RuntimeOptions {
+                    workers: s.workers,
+                    backend: BackendKind::SimGpu,
+                    ..RuntimeOptions::default()
+                },
+            },
+        )
+        .expect("register autotune model");
+
+    // The SLO: what a feasible mid-range budget delivers, unless the
+    // operator pinned one. With the default, the over-provisioned start is
+    // guaranteed to miss it and the search has real work to do.
+    let pinned_target = std::env::var("SERVE_BENCH_TARGET_P99_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let target_derived = pinned_target.is_none();
+    let target_p99_ms = pinned_target.unwrap_or_else(|| {
+        registry
+            .estimate_sim_p99_ms(&name, REFERENCE_BUDGET)
+            .expect("estimate the reference budget")
+    });
+
+    println!("\n== autotune: SLO target p99 {target_p99_ms:.4} ms ==");
+    println!(
+        "  registered {} at over-provisioned budget {:.2} (sim-gpu, {} worker(s))",
+        name, OVER_PROVISIONED_BUDGET, s.workers
+    );
+    let report = registry
+        .autotune(&name, &AutotuneRequest::new(target_p99_ms))
+        .expect("autotune search");
+    for probe in &report.probes {
+        println!(
+            "  probe budget {:.3} -> estimated p99 {:.4} ms{}",
+            probe.budget,
+            probe.estimated_p99_ms,
+            if probe.estimated_p99_ms <= target_p99_ms {
+                "  (meets SLO)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "  winner: budget {:.3} (estimated p99 {:.4} ms, converged {}, applied {})",
+        report.final_budget, report.achieved_p99_ms, report.converged, report.applied
+    );
+    if target_derived {
+        // The default target is the estimate at a feasible budget inside
+        // the interval, so the search must converge on it.
+        assert!(
+            report.converged,
+            "the default interval must contain a budget meeting the SLO"
+        );
+        assert!(
+            report.achieved_p99_ms <= target_p99_ms,
+            "winner p99 {:.4} ms misses the target {:.4} ms",
+            report.achieved_p99_ms,
+            target_p99_ms
+        );
+    } else if !report.converged {
+        // A pinned SERVE_BENCH_TARGET_P99_MS may be unreachable; record the
+        // non-converged trace instead of failing the bench.
+        println!("  note: pinned target is not reachable inside the interval; nothing applied");
+    }
+    assert!(report.final_budget <= report.start_budget);
+
+    // Serve on the tuned plan: the swap is only a win if traffic flows.
+    let mut rng = StdRng::seed_from_u64(1234);
+    let post_swap_requests = 16u64;
+    for _ in 0..post_swap_requests {
+        registry
+            .infer(&name, init::uniform(vec![12, 12, 8], -1.0, 1.0, &mut rng))
+            .expect("post-swap inference");
+    }
+    let metrics = registry.metrics();
+    let tuned = &metrics.models[0];
+    assert_eq!(tuned.metrics.completed_requests, post_swap_requests);
+    assert_eq!(tuned.generation, if report.applied { 2 } else { 1 });
+    println!(
+        "  post-swap: {} request(s) on the tuned plan, p99 {:.2} ms (generation {})",
+        post_swap_requests, tuned.metrics.total_latency.p99_ms, tuned.generation
+    );
+    let run = AutotuneRun {
+        model: name,
+        registered_budget: OVER_PROVISIONED_BUDGET,
+        report,
+        post_swap_requests,
+        post_swap_p99_ms: tuned.metrics.total_latency.p99_ms,
+        lifecycle: registry.control().counters(),
+    };
+    registry.shutdown();
+    run
+}
+
 fn main() {
     let out_path =
         std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
@@ -775,6 +920,7 @@ fn main() {
     let backends = backend_selection();
     let models = models_selection();
     let keep_alive = bool_flag("--keep-alive");
+    let autotune = bool_flag("--autotune");
 
     let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
     let cache = Arc::new(PlanCache::new(4));
@@ -819,6 +965,11 @@ fn main() {
     } else {
         None
     };
+    let autotune = if autotune {
+        Some(run_autotune(&settings))
+    } else {
+        None
+    };
 
     // The top-level model field names what was actually benchmarked: the
     // single-model descriptor, or the registry fleet in --models mode.
@@ -836,6 +987,7 @@ fn main() {
         runs,
         multi_model,
         http,
+        autotune,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
@@ -866,6 +1018,18 @@ fn main() {
                 "keep-alive phase opened one connection per request"
             );
         }
+    }
+    if let Some(tune) = &artifact.autotune {
+        assert!(
+            tune.report.probes.len() >= 2,
+            "the search must probe at least both interval edges"
+        );
+        assert_eq!(tune.lifecycle.autotune_runs_total, 1);
+        assert_eq!(
+            tune.lifecycle.replans_total,
+            u64::from(tune.report.applied),
+            "an applied search is exactly one hot-swap"
+        );
     }
 
     let stats = cache.stats();

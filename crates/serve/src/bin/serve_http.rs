@@ -10,8 +10,12 @@
 //! With `--smoke` the process instead exercises its own endpoints once —
 //! `/healthz`, `/v1/models`, one `/infer` per model, two pipelined
 //! keep-alive requests on a single connection, one batched `inputs` POST,
-//! one past-deadline request asserting `504`, and `/metrics` — and exits
-//! non-zero on any failure, which is what CI runs.
+//! one past-deadline request asserting `504`, the full hot-lifecycle loop
+//! (`PUT` a new model → infer against it bit-identical to a direct engine
+//! call → `POST …/replan` at a new budget → infer on the new plan →
+//! `DELETE` it → assert later infers `404`), and `/metrics` (including the
+//! control-plane lifecycle counters) — and exits non-zero on any failure,
+//! which is what CI runs.
 //!
 //! Usage:
 //!
@@ -27,10 +31,11 @@ use std::sync::Arc;
 use std::time::Duration;
 use tdc_serve::http::{
     http_request, read_response, BatchInferBody, BatchInferReply, InferBody, InferReply,
+    RegisterBody, RegisterReply, RetireReply,
 };
 use tdc_serve::{
     serving_descriptor, BackendKind, BatchingOptions, HttpClient, HttpServer, ModelConfig,
-    ModelRegistry, RuntimeOptions,
+    ModelRegistry, PlanningOptions, ReplanReport, RuntimeOptions, ServeEngine,
 };
 
 struct Flags {
@@ -108,7 +113,7 @@ fn parse_flags() -> Flags {
 /// Register `n` miniature models: sizes vary so the models are genuinely
 /// different networks, and the backend alternates CPU / sim-GPU.
 fn build_registry(n: usize, default_deadline: Option<Duration>) -> ModelRegistry {
-    let mut registry = ModelRegistry::new(n.max(2));
+    let registry = ModelRegistry::new(n.max(2) + 2);
     for index in 0..n {
         let descriptor = serving_descriptor(&format!("svc-{index}"), 10 + 2 * index, 4, 6);
         let backend = if index % 2 == 0 {
@@ -250,9 +255,100 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
     }
     println!("  POST {path} (deadline_ms=0) -> 504 (as expected)");
 
+    // The hot-lifecycle loop: register a brand-new model on the RUNNING
+    // server, infer against it (bit-identical to a direct in-process engine
+    // with the same descriptor/options/seed), re-plan it at a different
+    // budget, infer on the new plan, retire it, and assert 404 afterwards.
+    let hot_descriptor = serving_descriptor("smoke-hot", 10, 4, 6);
+    let register = serde_json::to_string(&RegisterBody {
+        backend: Some("cpu".to_string()),
+        max_batch_size: Some(4),
+        max_batch_delay_ms: Some(1),
+        ..RegisterBody::for_descriptor(hot_descriptor.clone())
+    })
+    .map_err(|e| format!("serialize register body: {}", e.message))?;
+    let reply = check(200, "PUT", "/v1/models/hot", Some(&register))?;
+    let registered: RegisterReply = serde_json::from_str(&reply)
+        .map_err(|e| format!("PUT /v1/models/hot: bad reply: {}", e.message))?;
+    println!(
+        "  PUT /v1/models/hot    -> 200 (epoch {}, plan {})",
+        registered.epoch, registered.registered.plan_fingerprint
+    );
+
+    let hot_input = vec![0.5f32; 10 * 10 * 4];
+    let hot_body = serde_json::to_string(&InferBody {
+        input: hot_input.clone(),
+        dims: None,
+        deadline_ms: None,
+    })
+    .map_err(|e| format!("serialize hot infer body: {}", e.message))?;
+    let reply = check(200, "POST", "/v1/models/hot/infer", Some(&hot_body))?;
+    let hot_reply: InferReply =
+        serde_json::from_str(&reply).map_err(|e| format!("hot infer: bad reply: {}", e.message))?;
+    // Bit parity: a direct engine under the same descriptor/options/seed.
+    let direct = |budget: f64| -> Result<Vec<f32>, String> {
+        let engine = ServeEngine::builder(&hot_descriptor)
+            .planning(PlanningOptions {
+                budget,
+                ..PlanningOptions::default()
+            })
+            .batching(BatchingOptions {
+                max_batch_size: 4,
+                max_batch_delay: Duration::from_millis(1),
+                ..BatchingOptions::default()
+            })
+            .build()
+            .map_err(|e| format!("direct engine: {e}"))?;
+        let response = engine
+            .infer(tdc_tensor::Tensor::from_vec(vec![10, 10, 4], hot_input.clone()).unwrap())
+            .map_err(|e| format!("direct infer: {e}"))?;
+        Ok(response.output.data().to_vec())
+    };
+    if hot_reply.output != direct(0.5)? {
+        return Err("hot model over HTTP diverged from the direct engine call".to_string());
+    }
+    println!("  POST /v1/models/hot/infer -> 200 (bit-identical to a direct engine)");
+
+    let reply = check(
+        200,
+        "POST",
+        "/v1/models/hot/replan",
+        Some("{\"budget\": 0.9}"),
+    )?;
+    let replanned: ReplanReport =
+        serde_json::from_str(&reply).map_err(|e| format!("replan: bad reply: {}", e.message))?;
+    if !replanned.plan_changed || replanned.generation != 2 {
+        return Err(format!("replan did not swap the plan: {reply}"));
+    }
+    let reply = check(200, "POST", "/v1/models/hot/infer", Some(&hot_body))?;
+    let swapped: InferReply = serde_json::from_str(&reply)
+        .map_err(|e| format!("post-replan infer: bad reply: {}", e.message))?;
+    if swapped.output != direct(0.9)? {
+        return Err("post-replan output diverged from a direct engine at the new budget".into());
+    }
+    println!(
+        "  POST /v1/models/hot/replan -> 200 (plan {} -> {}, generation 2, bit-parity held)",
+        replanned.old_plan_fingerprint, replanned.new_plan_fingerprint
+    );
+
+    let reply = check(200, "DELETE", "/v1/models/hot", None)?;
+    let retired: RetireReply =
+        serde_json::from_str(&reply).map_err(|e| format!("retire: bad reply: {}", e.message))?;
+    if retired.completed_requests != 1 {
+        return Err(format!(
+            "the replanned engine should have served exactly 1 request, saw {}",
+            retired.completed_requests
+        ));
+    }
+    check(404, "POST", "/v1/models/hot/infer", Some(&hot_body)).map(|_| ())?;
+    check(404, "DELETE", "/v1/models/hot", None).map(|_| ())?;
+    println!("  DELETE /v1/models/hot -> 200; later infers -> 404 (as expected)");
+
     let metrics = check(200, "GET", "/metrics", None)?;
-    // Every model's single infer + the 3-sample batch on the first model.
-    let expected_completed = infos.len() + 3;
+    // Every model's single infer + the 3-sample batch on the first model +
+    // the hot model's two lifecycle requests (drained at its replan and
+    // retire — the fleet total is monotonic, so they stay counted).
+    let expected_completed = infos.len() + 3 + 2;
     if !metrics.contains(&format!(
         "\"total_completed_requests\":{expected_completed}"
     )) {
@@ -265,7 +361,22 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
             "metrics did not count the expired smoke request: {metrics}"
         ));
     }
-    println!("  GET /metrics          -> 200 ({} bytes)", metrics.len());
+    for counter in [
+        "\"models_registered_total\":",
+        "\"models_retired_total\":1",
+        "\"replans_total\":1",
+        "\"plan_cache\"",
+    ] {
+        if !metrics.contains(counter) {
+            return Err(format!(
+                "metrics missing the control-plane counter {counter}: {metrics}"
+            ));
+        }
+    }
+    println!(
+        "  GET /metrics          -> 200 ({} bytes, lifecycle counters present)",
+        metrics.len()
+    );
     Ok(())
 }
 

@@ -1,0 +1,1227 @@
+//! The live control plane: hot model lifecycle, plan hot-swap and the
+//! SLO-driven budget autotuner.
+//!
+//! Before this module existed the serving fleet was frozen at startup:
+//! registration needed `&mut ModelRegistry`, so once the HTTP server held the
+//! registry behind an `Arc` nothing could be added, removed or re-planned
+//! without a process restart. The control plane unfreezes all three:
+//!
+//! * **Epoch-swapped model table** — [`EpochSwap`] is a small RCU-style
+//!   primitive: readers take an `Arc` snapshot of the whole routing table
+//!   (the critical section is one `Arc` clone — a pointer copy and a
+//!   refcount bump, never a wait on planning, draining or any other writer
+//!   work), writers build the next table off to the side and publish it
+//!   with a single swap that bumps the table **epoch**. Requests in flight
+//!   on the previous table keep serving from their snapshot; the grace
+//!   period is the natural lifetime of the snapshot `Arc`s.
+//! * **Hot lifecycle** — [`ControlPlane::register`] and
+//!   [`ControlPlane::retire`] mutate the table through `&self`, so a live
+//!   HTTP server can gain and lose models. Retire is graceful by
+//!   construction: the model is unrouted first (new lookups 404), admission
+//!   on its engine is closed (stale-snapshot submits get a typed
+//!   [`ServeError::Closed`] → HTTP 503), the queue drains, and only then is
+//!   the engine freed — every admitted request is answered.
+//! * **Plan hot-swap** — [`ControlPlane::replan`] re-runs planning at new
+//!   [`PlanningOptions`] and atomically swaps in a freshly built engine
+//!   under the same route. In-flight requests — including submits racing
+//!   through pre-swap snapshots — complete on the old plan (admission on the
+//!   old engine is *not* closed; it simply drains once the last snapshot
+//!   holder lets go), new requests ride the new plan: zero dropped requests
+//!   across the swap boundary, pinned by a bit-parity integration test.
+//! * **SLO autotuner** — [`ControlPlane::autotune`] turns the paper's core
+//!   premise (the compression plan is a tunable artifact derived from a
+//!   FLOPs budget) into an operational loop: bisect the budget over
+//!   `plan_with_config`, scoring each candidate with the sim-GPU backend's
+//!   wave-level latency account, until the estimated p99 meets a target SLO
+//!   — then apply the winning budget through the same hot-swap path. See
+//!   [`ControlPlane::autotune`] for the p99 estimator and search contract.
+//!
+//! Everything here is driven over HTTP by [`crate::http`]'s admin routes
+//! (`PUT`/`DELETE /v1/models/{name}`, `POST /v1/models/{name}/replan`,
+//! `POST /v1/models/{name}/autotune`) and surfaced in `GET /metrics` as the
+//! table epoch plus register/retire/replan/autotune counters.
+
+use crate::batcher::PendingResponse;
+use crate::options::PlanningOptions;
+use crate::plan_cache::{CacheOutcome, PlanCache, PlanKey};
+use crate::registry::{ModelConfig, ModelInfo, ModelRegistry};
+use crate::server::{ServeEngine, ServeReport};
+use crate::{Result, ServeError};
+use std::collections::BTreeMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tdc::lowering::lower_plan_with_fc;
+use tdc::TdcPipeline;
+use tdc_gpu_sim::WaveEngine;
+use tdc_nn::models::ModelDescriptor;
+use tdc_tensor::Tensor;
+
+/// Longest a retire / replan waits — in total, across both the queue drain
+/// and the wait for the old engine to become exclusively owned (i.e. for
+/// every in-flight request holding a table snapshot to finish). Past the
+/// bound the operation still *succeeds* (the table mutation committed
+/// before the drain began) and reports a metrics snapshot instead of the
+/// consumed engine's final report; the engine itself is freed gracefully
+/// when its last holder drops it.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Plans computed by autotune probes are memoized here, in a cache separate
+/// from the serving one: a single bisection plans ~10 one-shot budgets, and
+/// routing those through the serving cache would evict live models' plans
+/// and fill the eviction telemetry with probe noise.
+const PROBE_CACHE_CAPACITY: usize = 32;
+
+/// An RCU-style epoch-swapped value: readers take cheap `Arc` snapshots,
+/// writers publish whole replacement values.
+///
+/// The read path locks only long enough to clone an `Arc` — a pointer copy
+/// plus a refcount increment — so readers never wait on writer *work*
+/// (planning, engine builds, drains), only ever on another pointer copy.
+/// Writers construct the next value entirely outside the lock and publish it
+/// with [`EpochSwap::store`], which bumps a monotonically increasing
+/// **epoch**. Old snapshots stay valid for as long as someone holds them:
+/// the grace period of classic RCU is the `Arc` refcount reaching its
+/// publisher's drop.
+///
+/// # Examples
+///
+/// ```
+/// use tdc_serve::control::EpochSwap;
+///
+/// let table = EpochSwap::new(vec!["a"]);
+/// assert_eq!(table.epoch(), 0);
+/// let snapshot = table.load();
+/// table.store(std::sync::Arc::new(vec!["a", "b"]));
+/// assert_eq!(table.epoch(), 1);
+/// // The pre-swap snapshot is still intact for whoever holds it.
+/// assert_eq!(*snapshot, vec!["a"]);
+/// assert_eq!(*table.load(), vec!["a", "b"]);
+/// ```
+pub struct EpochSwap<T> {
+    current: Mutex<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochSwap<T> {
+    /// Wrap an initial value at epoch 0.
+    pub fn new(value: T) -> Self {
+        EpochSwap {
+            current: Mutex::new(Arc::new(value)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(&self) -> MutexGuard<'_, Arc<T>> {
+        match self.current.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Snapshot the current value. The critical section is one `Arc` clone.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.slot())
+    }
+
+    /// Publish `next` as the current value and return the new epoch.
+    pub fn store(&self, next: Arc<T>) -> u64 {
+        let mut slot = self.slot();
+        *slot = next;
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// How many times the value has been swapped since construction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// Counters a route inherits from engines it already drained (plan
+/// hot-swaps), so per-model lifetime totals survive an engine rotation.
+#[derive(Default)]
+pub(crate) struct RouteTotals {
+    /// Requests completed by this route's previous engines.
+    pub(crate) completed: AtomicU64,
+    /// Deadline expiries on this route's previous engines.
+    pub(crate) deadline_exceeded: AtomicU64,
+}
+
+/// One routed model: its engine plus everything needed to re-derive it
+/// (descriptor and config, for replan/autotune) and its admission telemetry.
+pub(crate) struct RegisteredModel {
+    pub(crate) engine: ServeEngine,
+    pub(crate) descriptor: ModelDescriptor,
+    pub(crate) config: ModelConfig,
+    pub(crate) info: ModelInfo,
+    /// Admission rejections. The counter belongs to the *route*, not the
+    /// engine: a replan shares this very `Arc` with the replacement entry,
+    /// so rejections recorded through pre-swap snapshots of the old entry
+    /// keep landing on the live counter instead of dying with the old
+    /// engine.
+    pub(crate) rejected: Arc<AtomicU64>,
+    /// Totals drained from this route's previous engines — shared across
+    /// replan swaps the same way `rejected` is.
+    pub(crate) prior: Arc<RouteTotals>,
+}
+
+impl RegisteredModel {
+    /// Submit one input through this entry's engine, counting an admission
+    /// rejection on the route's telemetry (what `/metrics` reports).
+    pub(crate) fn submit_counted(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<PendingResponse> {
+        let submitted = self.engine.submit_with_deadline(input, deadline);
+        if matches!(submitted, Err(ServeError::Overloaded { .. })) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        submitted
+    }
+
+    /// Submit a group atomically through this entry's engine; a whole-group
+    /// admission rejection counts once per request in it.
+    pub(crate) fn submit_many_counted(
+        &self,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<PendingResponse>> {
+        let count = inputs.len() as u64;
+        let submitted = self.engine.submit_many(inputs, deadline);
+        if matches!(submitted, Err(ServeError::Overloaded { .. })) {
+            self.rejected.fetch_add(count, Ordering::Relaxed);
+        }
+        submitted
+    }
+}
+
+/// The routing table: name → model, swapped whole on every mutation.
+pub(crate) type ModelTable = BTreeMap<String, Arc<RegisteredModel>>;
+
+/// A read handle on one routed model's engine, taken from a table snapshot.
+///
+/// Dereferences to [`ServeEngine`], so everything the engine exposes
+/// (metrics, latency reports, submits) is available through the handle. The
+/// handle keeps the underlying model alive: a retire or replan waits for
+/// outstanding handles to drop before freeing the old engine — which is
+/// exactly what makes "drain in-flight work" automatic. Drop handles
+/// promptly; do not park one across a blocking wait you do not want a
+/// retire to outlast.
+pub struct EngineHandle {
+    entry: Arc<RegisteredModel>,
+}
+
+impl EngineHandle {
+    /// The model's static description (what `GET /v1/models` lists).
+    pub fn info(&self) -> &ModelInfo {
+        &self.entry.info
+    }
+
+    /// Submit one input through the pinned engine, counting an admission
+    /// rejection on the route's `/metrics` telemetry. Unlike resolving the
+    /// model by name again, this is guaranteed to hit the same engine the
+    /// handle pinned — a replan landing in between cannot split the pin and
+    /// the submission across two engines.
+    pub fn submit_counted(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<PendingResponse> {
+        self.entry.submit_counted(input, deadline)
+    }
+
+    /// Submit a group atomically through the pinned engine (see
+    /// [`ServeEngine::submit_many`]), counting a whole-group admission
+    /// rejection once per request on the route's telemetry.
+    pub fn submit_many_counted(
+        &self,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<PendingResponse>> {
+        self.entry.submit_many_counted(inputs, deadline)
+    }
+
+    /// The configuration the model was registered (or last re-planned) with.
+    pub fn config(&self) -> &ModelConfig {
+        &self.entry.config
+    }
+
+    /// The descriptor the model serves.
+    pub fn descriptor(&self) -> &ModelDescriptor {
+        &self.entry.descriptor
+    }
+}
+
+impl Deref for EngineHandle {
+    type Target = ServeEngine;
+
+    fn deref(&self) -> &ServeEngine {
+        &self.entry.engine
+    }
+}
+
+/// Control-plane counter snapshot, embedded in
+/// [`RegistryMetrics`](crate::registry::RegistryMetrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LifecycleCounters {
+    /// Table epoch: how many times the routing table has been swapped
+    /// (register + retire + replan, including autotuner-applied replans).
+    pub epoch: u64,
+    /// Models registered over the process lifetime.
+    pub models_registered_total: u64,
+    /// Models retired over the process lifetime.
+    pub models_retired_total: u64,
+    /// Plan hot-swaps over the process lifetime (including those the
+    /// autotuner applied).
+    pub replans_total: u64,
+    /// Autotune searches run over the process lifetime.
+    pub autotune_runs_total: u64,
+}
+
+/// The outcome of one plan hot-swap, serialized verbatim as the
+/// `POST /v1/models/{name}/replan` reply.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplanReport {
+    /// Routed model name.
+    pub model: String,
+    /// FLOPs budget the retired plan was selected under.
+    pub old_budget: f64,
+    /// FLOPs budget of the plan now serving.
+    pub new_budget: f64,
+    /// Fingerprint of the retired plan, hex.
+    pub old_plan_fingerprint: String,
+    /// Fingerprint of the plan now serving, hex.
+    pub new_plan_fingerprint: String,
+    /// Whether the swap actually changed the served plan (same-budget
+    /// replans can be no-ops content-wise while still rotating the engine).
+    pub plan_changed: bool,
+    /// The model's plan generation after the swap (1 at registration,
+    /// bumped once per replan).
+    pub generation: u64,
+    /// Table epoch after the swap.
+    pub epoch: u64,
+    /// How the new plan was obtained (`"memory-hit"`, `"disk-hit"`,
+    /// `"miss"`).
+    pub plan_outcome: String,
+    /// Requests the retired engine completed over its whole lifetime —
+    /// including everything that was in flight at the swap, all of which was
+    /// served before the engine was freed.
+    pub drained_completed_requests: u64,
+}
+
+/// Parameters of one autotune search.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AutotuneRequest {
+    /// The SLO: target p99 end-to-end latency, milliseconds.
+    pub target_p99_ms: f64,
+    /// Lower edge of the budget search interval.
+    pub min_budget: f64,
+    /// Upper edge (the deliberately over-provisioned starting point);
+    /// defaults to the model's current budget when `None`.
+    pub max_budget: Option<f64>,
+    /// Bisection stops once the interval is narrower than this.
+    pub resolution: f64,
+    /// Whether to apply the winning budget via the hot-swap path.
+    pub apply: bool,
+}
+
+impl AutotuneRequest {
+    /// A search for `target_p99_ms` with the default interval
+    /// (`[0.02, current budget]`), resolution `0.01`, and apply-on-converge.
+    pub fn new(target_p99_ms: f64) -> Self {
+        AutotuneRequest {
+            target_p99_ms,
+            min_budget: 0.02,
+            max_budget: None,
+            resolution: 0.01,
+            apply: true,
+        }
+    }
+}
+
+/// One probed budget and its estimated p99.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AutotuneProbe {
+    /// The budget that was planned and scored.
+    pub budget: f64,
+    /// The sim-GPU p99 estimate at that budget, ms.
+    pub estimated_p99_ms: f64,
+}
+
+/// The outcome of one autotune search, serialized verbatim as the
+/// `POST /v1/models/{name}/autotune` reply and recorded in
+/// `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AutotuneReport {
+    /// Routed model name.
+    pub model: String,
+    /// The SLO the search targeted, ms.
+    pub target_p99_ms: f64,
+    /// The over-provisioned budget the search started from.
+    pub start_budget: f64,
+    /// The winning budget: the largest probed budget whose estimate meets
+    /// the target (or the start budget when nothing does).
+    pub final_budget: f64,
+    /// The estimated p99 at `final_budget`, ms.
+    pub achieved_p99_ms: f64,
+    /// Whether a budget meeting the target was found inside the interval.
+    pub converged: bool,
+    /// Whether the winning budget was applied via the hot-swap path.
+    pub applied: bool,
+    /// The model's plan generation after the search (bumped iff applied).
+    pub generation: u64,
+    /// Every `(budget, estimate)` pair the search evaluated, in probe order.
+    pub probes: Vec<AutotuneProbe>,
+}
+
+fn fingerprint_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+fn outcome_label(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::MemoryHit => "memory-hit",
+        CacheOutcome::DiskHit => "disk-hit",
+        CacheOutcome::Miss => "miss",
+    }
+}
+
+/// Wait for `entry` to become exclusively owned — i.e. for every in-flight
+/// request holding a pre-swap table snapshot to finish — then return it by
+/// value. `None` past the timeout (the `Arc` is dropped; the engine still
+/// drains and joins its workers when the last holder releases it).
+fn take_exclusive(mut entry: Arc<RegisteredModel>, timeout: Duration) -> Option<RegisteredModel> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match Arc::try_unwrap(entry) {
+            Ok(inner) => return Some(inner),
+            Err(shared) => {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                entry = shared;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// A `ServeReport` snapshot taken through a shared reference — the fallback
+/// when a drain outlasts [`DRAIN_TIMEOUT`] and the engine cannot be consumed
+/// for its final report.
+fn report_snapshot(engine: &ServeEngine) -> ServeReport {
+    ServeReport {
+        backend: engine.backend_name().to_string(),
+        metrics: engine.metrics(),
+        plan_outcome: engine.plan_outcome(),
+        plan_fingerprint: engine.plan().fingerprint(),
+        backend_latency: engine.backend_latency_report().clone(),
+    }
+}
+
+/// The control plane: the epoch-swapped routing table plus every live
+/// lifecycle operation over it.
+///
+/// All mutation goes through `&self`; the owner ([`ModelRegistry`]) can
+/// therefore sit behind an `Arc` shared with a running HTTP server and still
+/// gain, lose and re-plan models. Writers serialize on an internal mutex
+/// (registrations build engines — planning included — under it, which keeps
+/// duplicate-name races trivially impossible); readers never take that
+/// mutex at all.
+pub struct ControlPlane {
+    cache: PlanCache,
+    /// Memoizes autotune probe plans, separately from the serving cache
+    /// (see [`PROBE_CACHE_CAPACITY`]).
+    probe_cache: PlanCache,
+    table: EpochSwap<ModelTable>,
+    /// Serializes writers (register / retire / replan / shutdown). Readers
+    /// never touch it.
+    writer: Mutex<()>,
+    registered_total: AtomicU64,
+    retired_total: AtomicU64,
+    replans_total: AtomicU64,
+    autotune_runs_total: AtomicU64,
+    /// Requests completed by engines that have since been drained (replans
+    /// and retires), so the fleet-wide completed total in `/metrics` stays
+    /// monotonic across lifecycle operations instead of dropping with every
+    /// rotated engine.
+    drained_completed_total: AtomicU64,
+    /// Deadline expiries on since-drained engines (same role).
+    drained_deadline_exceeded_total: AtomicU64,
+}
+
+impl ControlPlane {
+    /// An empty control plane planning through `cache`.
+    pub fn new(cache: PlanCache) -> Self {
+        ControlPlane {
+            cache,
+            probe_cache: PlanCache::new(PROBE_CACHE_CAPACITY),
+            table: EpochSwap::new(ModelTable::new()),
+            writer: Mutex::new(()),
+            registered_total: AtomicU64::new(0),
+            retired_total: AtomicU64::new(0),
+            replans_total: AtomicU64::new(0),
+            autotune_runs_total: AtomicU64::new(0),
+            drained_completed_total: AtomicU64::new(0),
+            drained_deadline_exceeded_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a drained engine's final counters into the fleet-wide
+    /// monotonic totals.
+    fn note_drained(&self, metrics: &crate::metrics::ServeMetrics) {
+        self.drained_completed_total
+            .fetch_add(metrics.completed_requests, Ordering::Relaxed);
+        self.drained_deadline_exceeded_total
+            .fetch_add(metrics.deadline_exceeded, Ordering::Relaxed);
+    }
+
+    /// `(completed, deadline_exceeded)` accumulated from every engine
+    /// drained so far.
+    pub(crate) fn drained_totals(&self) -> (u64, u64) {
+        (
+            self.drained_completed_total.load(Ordering::Relaxed),
+            self.drained_deadline_exceeded_total.load(Ordering::Relaxed),
+        )
+    }
+
+    fn writer(&self) -> MutexGuard<'_, ()> {
+        match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The shared plan cache every registration and autotune probe plans
+    /// through.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Current routing-table epoch.
+    pub fn epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
+    /// Lifecycle counter snapshot.
+    pub fn counters(&self) -> LifecycleCounters {
+        LifecycleCounters {
+            epoch: self.table.epoch(),
+            models_registered_total: self.registered_total.load(Ordering::Relaxed),
+            models_retired_total: self.retired_total.load(Ordering::Relaxed),
+            replans_total: self.replans_total.load(Ordering::Relaxed),
+            autotune_runs_total: self.autotune_runs_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot the whole routing table.
+    pub(crate) fn snapshot(&self) -> Arc<ModelTable> {
+        self.table.load()
+    }
+
+    /// Resolve one routed model from the current table.
+    pub(crate) fn lookup(&self, name: &str) -> Result<Arc<RegisteredModel>> {
+        self.table
+            .load()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: name.to_string(),
+            })
+    }
+
+    /// Build the full entry for one registration: engine (through the shared
+    /// plan cache) plus its static description.
+    fn build_entry(
+        &self,
+        name: &str,
+        descriptor: &ModelDescriptor,
+        config: ModelConfig,
+        generation: u64,
+    ) -> Result<RegisteredModel> {
+        let engine = ServeEngine::builder(descriptor)
+            .planning(config.planning.clone())
+            .batching(config.batching.clone())
+            .runtime(config.runtime.clone())
+            .plan_cache(&self.cache)
+            .build()?;
+        let info = ModelInfo {
+            name: name.to_string(),
+            backend: engine.backend_name().to_string(),
+            device: config.planning.device.name.clone(),
+            input_dims: engine.model().input_dims().to_vec(),
+            output_classes: descriptor.fc.last().map(|&(_, o)| o).unwrap_or(0),
+            decomposed_layers: engine.model().decomposed_layers(),
+            conv_layers: engine.plan().decisions.len(),
+            budget: config.planning.budget,
+            achieved_flops_reduction: engine.plan().achieved_reduction,
+            plan_fingerprint: fingerprint_hex(engine.plan().fingerprint()),
+            generation,
+            max_batch_size: config.batching.max_batch_size,
+            max_queue_depth: config.batching.max_queue_depth,
+            default_deadline_ms: config
+                .batching
+                .default_deadline
+                .map(|d| d.as_millis() as u64),
+        };
+        Ok(RegisteredModel {
+            engine,
+            descriptor: descriptor.clone(),
+            config,
+            info,
+            rejected: Arc::new(AtomicU64::new(0)),
+            prior: Arc::new(RouteTotals::default()),
+        })
+    }
+
+    /// Register `name` on the live table and return the routed model's
+    /// description plus the table epoch this registration produced. The
+    /// engine (planning included) is built before the swap, so readers only
+    /// ever observe fully started models. Fails with
+    /// [`ServeError::BadConfig`] on an invalid or duplicate name. The
+    /// returned [`ModelInfo`] and epoch describe the entry and swap of
+    /// *this* call — no re-lookup needed (a racing retire could already
+    /// have removed it, and a racing register could have moved the epoch
+    /// on).
+    pub fn register(
+        &self,
+        name: &str,
+        descriptor: &ModelDescriptor,
+        config: ModelConfig,
+    ) -> Result<(ModelInfo, u64)> {
+        if !ModelRegistry::is_valid_name(name) {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "model name {name:?} is not URL-safe; use [A-Za-z0-9._-] \
+                     (ModelDescriptor::slug() produces a canonical safe name)"
+                ),
+            });
+        }
+        let _writer = self.writer();
+        let current = self.table.load();
+        if current.contains_key(name) {
+            return Err(ServeError::BadConfig {
+                reason: format!("a model named {name:?} is already registered"),
+            });
+        }
+        let entry = self.build_entry(name, descriptor, config, 1)?;
+        let info = entry.info.clone();
+        let mut next = (*current).clone();
+        next.insert(name.to_string(), Arc::new(entry));
+        let epoch = self.table.store(Arc::new(next));
+        self.registered_total.fetch_add(1, Ordering::Relaxed);
+        Ok((info, epoch))
+    }
+
+    /// Gracefully retire `name`: unroute it (new lookups fail with
+    /// [`ServeError::UnknownModel`] → HTTP 404 immediately), stop admission
+    /// on its engine (submits racing through pre-swap snapshots get a typed
+    /// [`ServeError::Closed`] → HTTP 503 with a Retry-After), drain every
+    /// admitted request, join the workers and return the final report plus
+    /// the table epoch the unroute produced. Once the model is unrouted the
+    /// retire always succeeds: if a snapshot holder outlives the 30 s drain
+    /// budget, the report is a metrics snapshot of the closed, drained
+    /// engine and the engine itself is freed when the last holder drops it.
+    pub fn retire(&self, name: &str) -> Result<(ServeReport, u64)> {
+        let (removed, epoch) = {
+            let _writer = self.writer();
+            let current = self.table.load();
+            let Some(entry) = current.get(name).cloned() else {
+                return Err(ServeError::UnknownModel {
+                    name: name.to_string(),
+                });
+            };
+            let mut next = (*current).clone();
+            next.remove(name);
+            let epoch = self.table.store(Arc::new(next));
+            self.retired_total.fetch_add(1, Ordering::Relaxed);
+            (entry, epoch)
+            // The writer lock is released here: the (potentially slow) drain
+            // below never blocks other control-plane operations.
+        };
+        // One deadline for both drain phases, so a retire blocks its caller
+        // for at most DRAIN_TIMEOUT in total.
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        removed.engine.close_admission();
+        removed
+            .engine
+            .wait_drained(deadline.saturating_duration_since(Instant::now()));
+        // Snapshot first: if a holdout outlives the remaining budget, the
+        // retire has still fully committed (unrouted, admission closed,
+        // queue drained) and this snapshot is its honest report.
+        let fallback = report_snapshot(&removed.engine);
+        let report =
+            match take_exclusive(removed, deadline.saturating_duration_since(Instant::now())) {
+                Some(model) => model.engine.shutdown(),
+                None => fallback,
+            };
+        // The drained engine's counts move into the fleet-wide monotonic
+        // totals instead of vanishing from /metrics.
+        self.note_drained(&report.metrics);
+        Ok((report, epoch))
+    }
+
+    /// Hot-swap the plan serving `name`: re-run planning under `planning`,
+    /// build a fresh engine, atomically swap it in under the same route, and
+    /// gracefully drain the old engine. Requests in flight at the swap —
+    /// including submits racing through pre-swap snapshots — complete on the
+    /// old plan (its admission is never closed; the engine drains naturally
+    /// once the last snapshot holder lets go), so no request is dropped
+    /// across the boundary.
+    pub fn replan(&self, name: &str, planning: PlanningOptions) -> Result<ReplanReport> {
+        self.replan_with(name, move |_| planning)
+    }
+
+    /// [`ControlPlane::replan`], deriving the new planning options from the
+    /// model's *current* ones **under the writer lock**: `update` receives
+    /// the options the route is serving with at swap time. This is how
+    /// partial updates (the HTTP route's budget/rank-step/θ overrides, the
+    /// autotuner's budget application) compose with concurrent admin
+    /// operations instead of clobbering them from a stale snapshot.
+    pub fn replan_with(
+        &self,
+        name: &str,
+        update: impl FnOnce(PlanningOptions) -> PlanningOptions,
+    ) -> Result<ReplanReport> {
+        let (old_entry, new_budget, new_fingerprint, plan_outcome, generation, epoch) = {
+            let _writer = self.writer();
+            let current = self.table.load();
+            let Some(old) = current.get(name).cloned() else {
+                return Err(ServeError::UnknownModel {
+                    name: name.to_string(),
+                });
+            };
+            let mut config = old.config.clone();
+            config.planning = update(config.planning.clone());
+            config.planning.validate()?;
+            let generation = old.info.generation + 1;
+            let mut entry = self.build_entry(name, &old.descriptor, config, generation)?;
+            // The route-level telemetry belongs to the route, not the
+            // engine: the replacement entry shares the old entry's counters,
+            // so rejections recorded through pre-swap snapshots while the
+            // old engine drains are never lost, and lifetime totals survive
+            // the rotation.
+            entry.rejected = Arc::clone(&old.rejected);
+            entry.prior = Arc::clone(&old.prior);
+            let new_budget = entry.config.planning.budget;
+            let new_fingerprint = entry.info.plan_fingerprint.clone();
+            let plan_outcome = outcome_label(entry.engine.plan_outcome());
+            let mut next = (*current).clone();
+            next.insert(name.to_string(), Arc::new(entry));
+            let epoch = self.table.store(Arc::new(next));
+            self.replans_total.fetch_add(1, Ordering::Relaxed);
+            (
+                old,
+                new_budget,
+                new_fingerprint,
+                plan_outcome,
+                generation,
+                epoch,
+            )
+        };
+        let old_budget = old_entry.config.planning.budget;
+        let old_fingerprint = old_entry.info.plan_fingerprint.clone();
+        let prior = Arc::clone(&old_entry.prior);
+        // The swap has committed — the replan succeeds regardless of how the
+        // old engine's drain goes. If a snapshot holder outlives the
+        // timeout, report the old engine's current counters; it keeps
+        // draining on its own and frees itself with the last holder.
+        let fallback_metrics = old_entry.engine.metrics();
+        let drained_metrics = match take_exclusive(old_entry, DRAIN_TIMEOUT) {
+            Some(model) => model.engine.shutdown().metrics,
+            None => fallback_metrics,
+        };
+        // The drained engine's counts flow into the route's lifetime totals
+        // (shared with the new entry) and the fleet-wide monotonic totals.
+        prior
+            .completed
+            .fetch_add(drained_metrics.completed_requests, Ordering::Relaxed);
+        prior
+            .deadline_exceeded
+            .fetch_add(drained_metrics.deadline_exceeded, Ordering::Relaxed);
+        self.note_drained(&drained_metrics);
+        Ok(ReplanReport {
+            model: name.to_string(),
+            old_budget,
+            new_budget,
+            plan_changed: old_fingerprint != new_fingerprint,
+            old_plan_fingerprint: old_fingerprint,
+            new_plan_fingerprint: new_fingerprint,
+            generation,
+            epoch,
+            plan_outcome: plan_outcome.to_string(),
+            drained_completed_requests: drained_metrics.completed_requests,
+        })
+    }
+
+    /// Estimate the p99 end-to-end latency `name` would serve at `budget`:
+    /// plan at that budget (through the shared cache, under the sim-GPU
+    /// key), lower the plan to kernel-launch sequences at the model's full
+    /// batch size, replay them on the wave engine, and add the configured
+    /// batch-formation delay. Full-batch service time plus maximum batching
+    /// wait is the tail a saturated open-loop workload converges to, which
+    /// is what an SLO bounds.
+    pub fn estimate_sim_p99_ms(&self, name: &str, budget: f64) -> Result<f64> {
+        let entry = self.lookup(name)?;
+        self.estimate_for(&entry, budget)
+    }
+
+    fn estimate_for(&self, entry: &RegisteredModel, budget: f64) -> Result<f64> {
+        let mut planning = entry.config.planning.clone();
+        planning.budget = budget;
+        planning.validate()?;
+        let cfg = planning.selection_config();
+        let key = PlanKey::new(
+            &entry.descriptor.name,
+            &planning.device.name,
+            // Estimates are always scored by the simulator, whatever backend
+            // serves the model.
+            "sim-gpu",
+            &cfg,
+        );
+        let descriptor = entry.descriptor.clone();
+        let device = planning.device.clone();
+        let strategy = planning.strategy;
+        // Probe plans are one-shot per budget: memoize them in the probe
+        // cache so a bisection can never evict live models' plans from the
+        // serving cache or drown its eviction telemetry in probe keys.
+        let (plan, _) = self.probe_cache.get_or_compute(&key, || {
+            TdcPipeline::new(device.clone(), strategy)
+                .plan_with_config(&descriptor, &cfg)
+                .map_err(Into::into)
+        })?;
+        let batch = entry.config.batching.max_batch_size.max(1);
+        let lowered = lower_plan_with_fc(&plan, &entry.descriptor.fc, &planning.device, batch)?;
+        let engine = WaveEngine::new(planning.device.clone());
+        let mut simulated_ms = 0.0f64;
+        for layer in &lowered {
+            simulated_ms += engine
+                .run_sequence_stats(&layer.launches)
+                .map_err(tdc::TdcError::from)?
+                .total_ms;
+        }
+        Ok(simulated_ms + entry.config.batching.max_batch_delay.as_secs_f64() * 1e3)
+    }
+
+    /// Search for the **largest** FLOPs budget (the most demanded
+    /// compression) whose estimated sim-GPU p99 still meets
+    /// `request.target_p99_ms`, then (by default) apply it through the
+    /// hot-swap path.
+    ///
+    /// The budget is the *required* FLOPs reduction, so raising it shrinks
+    /// the admissible rank set — the fastest-admissible plan can only get
+    /// slower, and past the feasibility cliff layers fall back to dense
+    /// (Algorithm 1's `NoAdmissibleRank`), which is slower still. The
+    /// modelled p99 is therefore non-decreasing in the budget, and the
+    /// search bisects `[min_budget, max_budget]` (budgets quantized to 1e-3
+    /// so probes land on stable plan-cache keys) maintaining the invariant
+    /// `p99(lo) ≤ target < p99(hi)`. Starting from a deliberately
+    /// over-provisioned budget — one demanding more reduction than the SLO
+    /// tolerates — the loop converges onto the *most* compression that
+    /// still meets the target: the operating point the paper's
+    /// tunable-artifact premise asks for. When even `min_budget` misses the
+    /// target the report comes back `converged: false` with nothing
+    /// applied; when the over-provisioned start already meets it, the start
+    /// itself wins.
+    pub fn autotune(&self, name: &str, request: &AutotuneRequest) -> Result<AutotuneReport> {
+        if !request.target_p99_ms.is_finite() || request.target_p99_ms <= 0.0 {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "autotune target_p99_ms {} must be finite and positive",
+                    request.target_p99_ms
+                ),
+            });
+        }
+        if !request.resolution.is_finite() || request.resolution <= 0.0 {
+            return Err(ServeError::BadConfig {
+                reason: "autotune resolution must be finite and positive".into(),
+            });
+        }
+        let round3 = |b: f64| (b * 1e3).round() / 1e3;
+        let entry = self.lookup(name)?;
+        let current_budget = entry.config.planning.budget;
+        let start = round3(request.max_budget.unwrap_or(current_budget));
+        let lo_edge = round3(request.min_budget);
+        if !(0.0..1.0).contains(&lo_edge) || !(0.0..1.0).contains(&start) || lo_edge >= start {
+            return Err(ServeError::BadConfig {
+                reason: format!(
+                    "autotune interval [{lo_edge}, {start}] must satisfy \
+                     0 <= min_budget < max_budget < 1"
+                ),
+            });
+        }
+
+        let mut probes: Vec<AutotuneProbe> = Vec::new();
+        let target = request.target_p99_ms;
+        let start_estimate = self.estimate_for(&entry, start)?;
+        probes.push(AutotuneProbe {
+            budget: start,
+            estimated_p99_ms: start_estimate,
+        });
+        let (final_budget, converged) = if start_estimate <= target {
+            // The "over-provisioned" start already meets the SLO: nothing in
+            // the interval demands more compression than it does.
+            (start, true)
+        } else {
+            let lo_estimate = self.estimate_for(&entry, lo_edge)?;
+            probes.push(AutotuneProbe {
+                budget: lo_edge,
+                estimated_p99_ms: lo_estimate,
+            });
+            if lo_estimate > target {
+                // Even the most conservative budget misses the SLO: the p99
+                // estimate is non-decreasing in the budget, so nothing in
+                // the interval can meet it.
+                (start, false)
+            } else {
+                // Invariant: p99(lo) ≤ target < p99(hi). Converge onto the
+                // boundary and return its feasible side.
+                let (mut lo, mut hi) = (lo_edge, start);
+                while hi - lo > request.resolution {
+                    let mid = round3((lo + hi) / 2.0);
+                    if mid <= lo || mid >= hi {
+                        break;
+                    }
+                    let estimate = self.estimate_for(&entry, mid)?;
+                    probes.push(AutotuneProbe {
+                        budget: mid,
+                        estimated_p99_ms: estimate,
+                    });
+                    if estimate <= target {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (lo, true)
+            }
+        };
+        let achieved_p99_ms = probes
+            .iter()
+            .find(|p| p.budget == final_budget)
+            .map(|p| p.estimated_p99_ms)
+            .unwrap_or(start_estimate);
+        let mut generation = entry.info.generation;
+        // Release our table-snapshot handle before replanning: the hot-swap
+        // waits for exclusive ownership of the old entry, and this very
+        // reference would otherwise be the holdout.
+        drop(entry);
+
+        let mut applied = false;
+        if request.apply && converged && (final_budget - current_budget).abs() > f64::EPSILON {
+            // Apply through the merge-under-lock path: only the budget is
+            // overridden, so a concurrent admin update to any other planning
+            // field composes instead of being clobbered by our pre-search
+            // snapshot.
+            let report = self.replan_with(name, move |mut planning| {
+                planning.budget = final_budget;
+                planning
+            })?;
+            generation = report.generation;
+            applied = true;
+        }
+        self.autotune_runs_total.fetch_add(1, Ordering::Relaxed);
+        Ok(AutotuneReport {
+            model: name.to_string(),
+            target_p99_ms: target,
+            start_budget: start,
+            final_budget,
+            achieved_p99_ms,
+            converged,
+            applied,
+            generation,
+            probes,
+        })
+    }
+
+    /// Retire every model: swap in an empty table, then drain and free each
+    /// engine, returning the final reports in name order.
+    pub(crate) fn shutdown_all(&self) -> Vec<(String, ServeReport)> {
+        let table = {
+            let _writer = self.writer();
+            let current = self.table.load();
+            self.table.store(Arc::new(ModelTable::new()));
+            current
+        };
+        let table = match Arc::try_unwrap(table) {
+            Ok(map) => map,
+            Err(shared) => (*shared).clone(),
+        };
+        table
+            .into_iter()
+            .map(|(name, entry)| {
+                // Same single per-engine drain budget as retire(): the two
+                // phases share one deadline.
+                let deadline = Instant::now() + DRAIN_TIMEOUT;
+                entry.engine.close_admission();
+                entry
+                    .engine
+                    .wait_drained(deadline.saturating_duration_since(Instant::now()));
+                // Snapshot first: if a holdout reference outlives the
+                // timeout below, this is still an accurate final report (the
+                // queue is closed and drained), and the engine joins its
+                // workers when the last holder drops it.
+                let fallback = report_snapshot(&entry.engine);
+                let report =
+                    match take_exclusive(entry, deadline.saturating_duration_since(Instant::now()))
+                    {
+                        Some(model) => model.engine.shutdown(),
+                        None => fallback,
+                    };
+                self.note_drained(&report.metrics);
+                (name, report)
+            })
+            .collect()
+    }
+
+    /// Wrap one model lookup in a read handle.
+    pub fn engine(&self, name: &str) -> Result<EngineHandle> {
+        Ok(EngineHandle {
+            entry: self.lookup(name)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::BatchingOptions;
+    use crate::serving_descriptor;
+
+    fn quick_config() -> ModelConfig {
+        ModelConfig {
+            batching: BatchingOptions {
+                max_batch_size: 4,
+                max_batch_delay: Duration::from_millis(1),
+                ..BatchingOptions::default()
+            },
+            ..ModelConfig::default()
+        }
+    }
+
+    fn plane() -> ControlPlane {
+        ControlPlane::new(PlanCache::new(8))
+    }
+
+    #[test]
+    fn epoch_swap_snapshots_are_immutable_and_epochs_monotonic() {
+        let swap = EpochSwap::new(1u32);
+        assert_eq!(swap.epoch(), 0);
+        let old = swap.load();
+        assert_eq!(swap.store(Arc::new(2)), 1);
+        assert_eq!(swap.store(Arc::new(3)), 2);
+        assert_eq!(*old, 1, "pre-swap snapshots must stay intact");
+        assert_eq!(*swap.load(), 3);
+        assert_eq!(swap.epoch(), 2);
+    }
+
+    #[test]
+    fn register_and_retire_mutate_through_a_shared_reference() {
+        let plane = plane();
+        let descriptor = serving_descriptor("ctl-life", 8, 4, 4);
+        plane.register("life", &descriptor, quick_config()).unwrap();
+        assert_eq!(plane.epoch(), 1);
+        assert_eq!(plane.counters().models_registered_total, 1);
+
+        // The handle routes, serves and reports.
+        let handle = plane.engine("life").unwrap();
+        assert_eq!(handle.info().name, "life");
+        assert_eq!(handle.info().generation, 1);
+        let response = handle
+            .infer(tdc_tensor::Tensor::zeros(vec![8, 8, 4]))
+            .unwrap();
+        assert_eq!(response.output.dims(), &[4]);
+        drop(handle);
+
+        let report = plane.retire("life").unwrap();
+        let (report, epoch) = report;
+        assert_eq!(report.metrics.completed_requests, 1);
+        assert_eq!(epoch, 2);
+        assert_eq!(plane.epoch(), 2);
+        assert_eq!(plane.counters().models_retired_total, 1);
+        assert!(matches!(
+            plane.engine("life"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            plane.retire("life"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn replan_swaps_the_plan_and_preserves_the_rejection_counter() {
+        let plane = plane();
+        // Large enough that different budgets select different plans.
+        let descriptor = serving_descriptor("ctl-replan", 12, 8, 10);
+        plane.register("rp", &descriptor, quick_config()).unwrap();
+        let before = plane.engine("rp").unwrap().info().clone();
+        plane
+            .lookup("rp")
+            .unwrap()
+            .rejected
+            .store(7, Ordering::Relaxed);
+
+        // 0.9 demands more reduction than several layers can deliver, so the
+        // selection genuinely changes (0.3 vs 0.5 would pick the same
+        // fastest-admissible ranks on a model this small).
+        let report = plane
+            .replan(
+                "rp",
+                PlanningOptions {
+                    budget: 0.9,
+                    ..PlanningOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.old_budget, 0.5);
+        assert_eq!(report.new_budget, 0.9);
+        assert_eq!(report.generation, 2);
+        assert!(report.plan_changed, "0.5 → 0.9 must select a new plan");
+        assert_ne!(report.new_plan_fingerprint, before.plan_fingerprint);
+
+        let after = plane.engine("rp").unwrap();
+        assert_eq!(after.info().generation, 2);
+        assert_eq!(after.info().budget, 0.9);
+        assert_eq!(
+            after.entry.rejected.load(Ordering::Relaxed),
+            7,
+            "the rejection counter must survive the swap"
+        );
+        assert_eq!(plane.counters().replans_total, 1);
+        drop(after);
+        plane.shutdown_all();
+    }
+
+    #[test]
+    fn rejections_recorded_through_pre_swap_snapshots_are_not_lost() {
+        // The counter belongs to the route: a holder of the OLD entry (a
+        // pre-swap table snapshot) recording a rejection while the replan
+        // drains must land on the same counter the NEW entry reports.
+        let plane = Arc::new(plane());
+        let descriptor = serving_descriptor("ctl-rej", 12, 8, 10);
+        plane.register("rj", &descriptor, quick_config()).unwrap();
+        let old_entry = plane.lookup("rj").unwrap();
+
+        let swapper = {
+            let plane = Arc::clone(&plane);
+            std::thread::spawn(move || {
+                plane
+                    .replan(
+                        "rj",
+                        PlanningOptions {
+                            budget: 0.9,
+                            ..PlanningOptions::default()
+                        },
+                    )
+                    .unwrap()
+            })
+        };
+        // Give the replan time to build and publish the new entry; our
+        // `old_entry` Arc is now the drain's holdout.
+        std::thread::sleep(Duration::from_millis(100));
+        old_entry.rejected.fetch_add(3, Ordering::Relaxed);
+        drop(old_entry);
+        let report = swapper.join().unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(
+            plane
+                .engine("rj")
+                .unwrap()
+                .entry
+                .rejected
+                .load(Ordering::Relaxed),
+            3,
+            "a rejection recorded through the draining old entry must \
+             surface on the live route counter"
+        );
+        plane.shutdown_all();
+    }
+
+    #[test]
+    fn autotune_converges_from_an_over_provisioned_budget() {
+        let plane = plane();
+        let descriptor = serving_descriptor("ctl-tune", 12, 8, 10);
+        let over_provisioned = ModelConfig {
+            planning: PlanningOptions {
+                budget: 0.9,
+                ..PlanningOptions::default()
+            },
+            runtime: crate::options::RuntimeOptions {
+                backend: crate::backend::BackendKind::SimGpu,
+                ..crate::options::RuntimeOptions::default()
+            },
+            ..quick_config()
+        };
+        plane
+            .register("tune", &descriptor, over_provisioned)
+            .unwrap();
+
+        // The SLO: what a mid-range, feasible budget delivers. The
+        // over-provisioned 0.9 start demands so much reduction that layers
+        // fall back to dense (slower), missing this target — the search must
+        // walk the budget down to the feasible side of the cliff.
+        let target = plane.estimate_sim_p99_ms("tune", 0.45).unwrap();
+        let report = plane
+            .autotune("tune", &AutotuneRequest::new(target))
+            .unwrap();
+        assert!(report.converged, "{report:?}");
+        assert!(report.applied, "{report:?}");
+        assert!(
+            report.final_budget < report.start_budget,
+            "the search must walk down from the over-provisioned start: {report:?}"
+        );
+        assert!(
+            report.achieved_p99_ms <= target,
+            "achieved {:.4} ms must meet the target {:.4} ms",
+            report.achieved_p99_ms,
+            target
+        );
+        assert!(report.probes.len() >= 3);
+        assert_eq!(report.generation, 2, "the winning budget was hot-swapped");
+
+        // The served model now carries the tuned budget and keeps serving.
+        let handle = plane.engine("tune").unwrap();
+        assert_eq!(handle.info().budget, report.final_budget);
+        let response = handle
+            .infer(tdc_tensor::Tensor::zeros(vec![12, 12, 8]))
+            .unwrap();
+        assert_eq!(response.output.dims(), &[10]);
+        assert_eq!(plane.counters().autotune_runs_total, 1);
+        drop(handle);
+
+        // An impossible SLO refuses to converge and applies nothing.
+        let impossible = plane.autotune("tune", &AutotuneRequest::new(1e-6)).unwrap();
+        assert!(!impossible.converged && !impossible.applied);
+        plane.shutdown_all();
+    }
+
+    #[test]
+    fn autotune_rejects_degenerate_requests() {
+        let plane = plane();
+        let descriptor = serving_descriptor("ctl-tune-bad", 8, 4, 4);
+        plane.register("t", &descriptor, quick_config()).unwrap();
+        for bad in [f64::NAN, 0.0, -1.0] {
+            assert!(matches!(
+                plane.autotune("t", &AutotuneRequest::new(bad)),
+                Err(ServeError::BadConfig { .. })
+            ));
+        }
+        let inverted = AutotuneRequest {
+            min_budget: 0.8,
+            max_budget: Some(0.2),
+            ..AutotuneRequest::new(10.0)
+        };
+        assert!(matches!(
+            plane.autotune("t", &inverted),
+            Err(ServeError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            plane.autotune("ghost", &AutotuneRequest::new(10.0)),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        plane.shutdown_all();
+    }
+}

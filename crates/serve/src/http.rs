@@ -16,7 +16,7 @@
 //! written before the first response is read — are handled in order from
 //! the connection's read buffer.
 //!
-//! Routes:
+//! Routes — the data plane:
 //!
 //! | Method | Path                          | Response |
 //! |--------|-------------------------------|----------|
@@ -24,6 +24,16 @@
 //! | `GET`  | `/v1/models`                  | [`ModelInfo`](crate::registry::ModelInfo) list |
 //! | `GET`  | `/metrics`                    | [`RegistryMetrics`](crate::registry::RegistryMetrics) snapshot |
 //! | `GET`  | `/healthz`                    | liveness + model count |
+//!
+//! …and the admin plane, backed by the [control plane](crate::control)
+//! (every operation is safe on a live, serving process):
+//!
+//! | Method   | Path                          | Response |
+//! |----------|-------------------------------|----------|
+//! | `PUT`    | `/v1/models/{name}`           | register from a JSON [`RegisterBody`] (descriptor + options) |
+//! | `DELETE` | `/v1/models/{name}`           | graceful retire: unroute, drain, free — final counters |
+//! | `POST`   | `/v1/models/{name}/replan`    | re-plan at a new budget and hot-swap ([`ReplanReport`](crate::control::ReplanReport)) |
+//! | `POST`   | `/v1/models/{name}/autotune`  | SLO budget search ([`AutotuneReport`](crate::control::AutotuneReport)) |
 //!
 //! The infer body comes in two forms:
 //!
@@ -39,7 +49,11 @@
 //! request. Errors map onto conventional status codes: unknown model or
 //! route → `404`, malformed body or wrong shape → `400`, admission
 //! rejection ([`ServeError::Overloaded`]) → `429`, deadline expiry
-//! ([`ServeError::DeadlineExceeded`]) → `504`, engine shut down → `503`.
+//! ([`ServeError::DeadlineExceeded`]) → `504`, engine shut down or mid-retire
+//! → `503`. The shed-load responses (`429` and `503`) carry a `Retry-After`
+//! header derived from the model's live queue depth times its estimated
+//! batch latency ([`ServeEngine::retry_after_hint`](crate::ServeEngine)),
+//! so clients back off proportionally to the actual backlog.
 //!
 //! Serving stays bit-exact across the wire: `f32` values are serialized
 //! through the stand-in's shortest-round-trip float formatting, so an output
@@ -47,8 +61,10 @@
 //! — whether the connection is reused or closed per request.
 
 use crate::batcher::InferenceResponse;
-use crate::registry::ModelRegistry;
-use crate::{Result, ServeError};
+use crate::control::AutotuneRequest;
+use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
+use crate::registry::{ModelConfig, ModelRegistry};
+use crate::{BackendKind, Result, ServeError};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,6 +72,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tdc_gpu_sim::DeviceSpec;
+use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
 
 /// Longest accepted request head (request line + headers), bytes.
@@ -168,6 +186,309 @@ fn optional_field<T: Deserialize>(
     }
 }
 
+/// JSON body of `PUT /v1/models/{name}`: the model descriptor plus optional
+/// planning / batching / runtime knobs (defaults match
+/// [`ModelConfig::default`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterBody {
+    /// The network to serve (`{"name", "convs": [...], "fc": [[in, out]]}`).
+    pub descriptor: ModelDescriptor,
+    /// FLOPs-reduction budget for rank selection, in `[0, 1)`.
+    pub budget: Option<f64>,
+    /// Rank-candidate step.
+    pub rank_step: Option<usize>,
+    /// θ skip threshold for rank selection.
+    pub theta: Option<f64>,
+    /// Planning/simulation device: `"a100"` (default) or `"rtx2080ti"`.
+    pub device: Option<String>,
+    /// Execution backend: `"cpu"` (default) or `"sim-gpu"`.
+    pub backend: Option<String>,
+    /// Maximum requests per executed batch.
+    pub max_batch_size: Option<usize>,
+    /// Longest the oldest queued request waits for batch-mates, ms.
+    pub max_batch_delay_ms: Option<u64>,
+    /// Admission bound of the model's queue.
+    pub max_queue_depth: Option<usize>,
+    /// Default per-request deadline, ms.
+    pub default_deadline_ms: Option<u64>,
+    /// Worker threads executing batches.
+    pub workers: Option<usize>,
+    /// Seed for weight materialization.
+    pub seed: Option<u64>,
+}
+
+impl RegisterBody {
+    /// A registration body for `descriptor` with every option left at its
+    /// default.
+    pub fn for_descriptor(descriptor: ModelDescriptor) -> Self {
+        RegisterBody {
+            descriptor,
+            budget: None,
+            rank_step: None,
+            theta: None,
+            device: None,
+            backend: None,
+            max_batch_size: None,
+            max_batch_delay_ms: None,
+            max_queue_depth: None,
+            default_deadline_ms: None,
+            workers: None,
+            seed: None,
+        }
+    }
+
+    /// Resolve the body's knobs into a full [`ModelConfig`], filling gaps
+    /// with the defaults. Unknown device or backend labels are a
+    /// [`ServeError::BadConfig`] (HTTP 400).
+    pub fn model_config(&self) -> Result<ModelConfig> {
+        let device = match self.device.as_deref() {
+            None | Some("a100") => DeviceSpec::a100(),
+            Some("rtx2080ti") | Some("2080ti") | Some("rtx-2080-ti") => DeviceSpec::rtx2080ti(),
+            Some(other) => {
+                return Err(ServeError::BadConfig {
+                    reason: format!("unknown device {other:?}; use \"a100\" or \"rtx2080ti\""),
+                })
+            }
+        };
+        let backend = match self.backend.as_deref() {
+            None => BackendKind::Cpu,
+            Some(label) => BackendKind::parse(label).ok_or_else(|| ServeError::BadConfig {
+                reason: format!("unknown backend {label:?}; use \"cpu\" or \"sim-gpu\""),
+            })?,
+        };
+        let planning_defaults = PlanningOptions::default();
+        let batching_defaults = BatchingOptions::default();
+        let runtime_defaults = RuntimeOptions::default();
+        Ok(ModelConfig {
+            planning: PlanningOptions {
+                device,
+                budget: self.budget.unwrap_or(planning_defaults.budget),
+                rank_step: self.rank_step.unwrap_or(planning_defaults.rank_step),
+                theta: self.theta.unwrap_or(planning_defaults.theta),
+                strategy: planning_defaults.strategy,
+            },
+            batching: BatchingOptions {
+                max_batch_size: self
+                    .max_batch_size
+                    .unwrap_or(batching_defaults.max_batch_size),
+                max_batch_delay: self
+                    .max_batch_delay_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or(batching_defaults.max_batch_delay),
+                max_queue_depth: self
+                    .max_queue_depth
+                    .unwrap_or(batching_defaults.max_queue_depth),
+                default_deadline: self.default_deadline_ms.map(Duration::from_millis),
+            },
+            runtime: RuntimeOptions {
+                workers: self.workers.unwrap_or(runtime_defaults.workers),
+                seed: self.seed.unwrap_or(runtime_defaults.seed),
+                backend,
+                ..runtime_defaults
+            },
+        })
+    }
+}
+
+impl Serialize for RegisterBody {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![("descriptor".to_string(), self.descriptor.to_value())];
+        let mut push_opt = |name: &str, value: Option<serde::Value>| {
+            if let Some(value) = value {
+                fields.push((name.to_string(), value));
+            }
+        };
+        push_opt("budget", self.budget.as_ref().map(Serialize::to_value));
+        push_opt(
+            "rank_step",
+            self.rank_step.as_ref().map(Serialize::to_value),
+        );
+        push_opt("theta", self.theta.as_ref().map(Serialize::to_value));
+        push_opt("device", self.device.as_ref().map(Serialize::to_value));
+        push_opt("backend", self.backend.as_ref().map(Serialize::to_value));
+        push_opt(
+            "max_batch_size",
+            self.max_batch_size.as_ref().map(Serialize::to_value),
+        );
+        push_opt(
+            "max_batch_delay_ms",
+            self.max_batch_delay_ms.as_ref().map(Serialize::to_value),
+        );
+        push_opt(
+            "max_queue_depth",
+            self.max_queue_depth.as_ref().map(Serialize::to_value),
+        );
+        push_opt(
+            "default_deadline_ms",
+            self.default_deadline_ms.as_ref().map(Serialize::to_value),
+        );
+        push_opt("workers", self.workers.as_ref().map(Serialize::to_value));
+        push_opt("seed", self.seed.as_ref().map(Serialize::to_value));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for RegisterBody {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let descriptor = value
+            .get("descriptor")
+            .ok_or_else(|| serde::Error::custom("missing field `descriptor` in register body"))?;
+        Ok(RegisterBody {
+            descriptor: ModelDescriptor::from_value(descriptor)?,
+            budget: optional_field(value, "budget")?,
+            rank_step: optional_field(value, "rank_step")?,
+            theta: optional_field(value, "theta")?,
+            device: optional_field(value, "device")?,
+            backend: optional_field(value, "backend")?,
+            max_batch_size: optional_field(value, "max_batch_size")?,
+            max_batch_delay_ms: optional_field(value, "max_batch_delay_ms")?,
+            max_queue_depth: optional_field(value, "max_queue_depth")?,
+            default_deadline_ms: optional_field(value, "default_deadline_ms")?,
+            workers: optional_field(value, "workers")?,
+            seed: optional_field(value, "seed")?,
+        })
+    }
+}
+
+/// JSON body of `POST /v1/models/{name}/replan`: the new budget, plus
+/// optional rank-step / θ overrides (everything else keeps the model's
+/// current planning options).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanBody {
+    /// The new FLOPs-reduction budget, in `[0, 1)`.
+    pub budget: f64,
+    /// Optional rank-candidate step override.
+    pub rank_step: Option<usize>,
+    /// Optional θ override.
+    pub theta: Option<f64>,
+}
+
+impl Serialize for ReplanBody {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![("budget".to_string(), self.budget.to_value())];
+        if let Some(rank_step) = &self.rank_step {
+            fields.push(("rank_step".to_string(), rank_step.to_value()));
+        }
+        if let Some(theta) = &self.theta {
+            fields.push(("theta".to_string(), theta.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ReplanBody {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let budget = value
+            .get("budget")
+            .ok_or_else(|| serde::Error::custom("missing field `budget` in replan body"))?;
+        Ok(ReplanBody {
+            budget: f64::from_value(budget)?,
+            rank_step: optional_field(value, "rank_step")?,
+            theta: optional_field(value, "theta")?,
+        })
+    }
+}
+
+/// JSON body of `POST /v1/models/{name}/autotune`: the target SLO plus
+/// optional search-interval overrides (see
+/// [`AutotuneRequest`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutotuneBody {
+    /// Target p99 end-to-end latency, ms.
+    pub target_p99_ms: f64,
+    /// Lower edge of the budget interval (default 0.02).
+    pub min_budget: Option<f64>,
+    /// Upper, over-provisioned edge (default: the model's current budget).
+    pub max_budget: Option<f64>,
+    /// Bisection resolution in budget units (default 0.01).
+    pub resolution: Option<f64>,
+    /// Whether to hot-swap the winning budget in (default true).
+    pub apply: Option<bool>,
+}
+
+impl AutotuneBody {
+    /// Resolve into the control plane's request, filling gaps with
+    /// [`AutotuneRequest::new`]'s defaults.
+    pub fn request(&self) -> AutotuneRequest {
+        let defaults = AutotuneRequest::new(self.target_p99_ms);
+        AutotuneRequest {
+            target_p99_ms: self.target_p99_ms,
+            min_budget: self.min_budget.unwrap_or(defaults.min_budget),
+            max_budget: self.max_budget,
+            resolution: self.resolution.unwrap_or(defaults.resolution),
+            apply: self.apply.unwrap_or(defaults.apply),
+        }
+    }
+}
+
+impl Serialize for AutotuneBody {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![("target_p99_ms".to_string(), self.target_p99_ms.to_value())];
+        let mut push_opt = |name: &str, value: Option<serde::Value>| {
+            if let Some(value) = value {
+                fields.push((name.to_string(), value));
+            }
+        };
+        push_opt(
+            "min_budget",
+            self.min_budget.as_ref().map(Serialize::to_value),
+        );
+        push_opt(
+            "max_budget",
+            self.max_budget.as_ref().map(Serialize::to_value),
+        );
+        push_opt(
+            "resolution",
+            self.resolution.as_ref().map(Serialize::to_value),
+        );
+        push_opt("apply", self.apply.as_ref().map(Serialize::to_value));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for AutotuneBody {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let target = value.get("target_p99_ms").ok_or_else(|| {
+            serde::Error::custom("missing field `target_p99_ms` in autotune body")
+        })?;
+        Ok(AutotuneBody {
+            target_p99_ms: f64::from_value(target)?,
+            min_budget: optional_field(value, "min_budget")?,
+            max_budget: optional_field(value, "max_budget")?,
+            resolution: optional_field(value, "resolution")?,
+            apply: optional_field(value, "apply")?,
+        })
+    }
+}
+
+/// JSON reply of `PUT /v1/models/{name}`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RegisterReply {
+    /// The freshly routed model's description.
+    pub registered: crate::registry::ModelInfo,
+    /// Routing-table epoch after the registration.
+    pub epoch: u64,
+}
+
+/// JSON reply of `DELETE /v1/models/{name}`: the retired engine's final
+/// counters.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RetireReply {
+    /// The name that was retired.
+    pub model: String,
+    /// Backend the retired engine ran.
+    pub backend: String,
+    /// Requests the engine completed over its lifetime (everything admitted
+    /// before the retire was drained and answered).
+    pub completed_requests: u64,
+    /// Deadline expiries over the engine's lifetime.
+    pub deadline_exceeded: u64,
+    /// Fingerprint of the plan that was serving, hex.
+    pub plan_fingerprint: String,
+    /// Routing-table epoch after the retire.
+    pub epoch: u64,
+}
+
 /// JSON reply of `POST /v1/models/{name}/infer` (single-sample form).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct InferReply {
@@ -227,20 +548,48 @@ struct ErrorReply {
     error: String,
 }
 
-fn json_response(status: u16, body: &impl serde::Serialize) -> (u16, String) {
-    (
-        status,
-        serde_json::to_string(body).unwrap_or_else(|e| format!("{{\"error\":\"{}\"}}", e.message)),
-    )
+/// One routed reply: status, JSON body and (for shed-load responses) the
+/// `Retry-After` value in seconds.
+struct Routed {
+    status: u16,
+    body: String,
+    retry_after: Option<u64>,
 }
 
-fn error_response(status: u16, message: impl std::fmt::Display) -> (u16, String) {
-    json_response(
+fn json_routed(status: u16, body: &impl serde::Serialize) -> Routed {
+    Routed {
+        status,
+        body: serde_json::to_string(body)
+            .unwrap_or_else(|e| format!("{{\"error\":\"{}\"}}", e.message)),
+        retry_after: None,
+    }
+}
+
+fn error_routed(status: u16, message: impl std::fmt::Display) -> Routed {
+    json_routed(
         status,
         &ErrorReply {
             error: message.to_string(),
         },
     )
+}
+
+/// Map a [`ServeError`] onto its status and body; shed-load conditions
+/// (admission rejection, engine mid-retire) additionally get a
+/// `Retry-After` derived from the model's live queue depth × estimated
+/// batch latency — or a conservative 1 s when the engine is already gone.
+fn serve_error_routed(registry: &ModelRegistry, model: Option<&str>, e: &ServeError) -> Routed {
+    let status = status_for(e);
+    let mut routed = error_routed(status, e);
+    if matches!(status, 429 | 503) {
+        routed.retry_after = Some(
+            model
+                .and_then(|name| registry.engine(name).ok())
+                .map(|handle| handle.retry_after_hint().as_secs().max(1))
+                .unwrap_or(1),
+        );
+    }
+    routed
 }
 
 fn status_for(error: &ServeError) -> u16 {
@@ -275,10 +624,14 @@ fn bad_body(e: serde::Error) -> ServeError {
     }
 }
 
-/// Serve the single-sample infer form.
+/// Serve the single-sample infer form. Takes the handle by value: the
+/// submission goes through the *pinned* engine (never a second by-name
+/// lookup that a concurrent replan could split from the pin), and the
+/// handle is released before the blocking wait so a retire or replan only
+/// waits for submissions, not for response delivery — the draining engine
+/// answers in-flight work on its way out.
 fn infer_single(
-    registry: &ModelRegistry,
-    engine: &crate::server::ServeEngine,
+    engine: crate::control::EngineHandle,
     model: &str,
     value: &serde::Value,
 ) -> Result<InferReply> {
@@ -295,10 +648,13 @@ fn infer_single(
         .deadline_ms
         .map(Duration::from_millis)
         .or_else(|| engine.default_deadline());
-    let response: InferenceResponse = registry.infer_with_deadline(model, input, deadline)?;
+    let backend = engine.backend_name().to_string();
+    let pending = engine.submit_counted(input, deadline)?;
+    drop(engine);
+    let response: InferenceResponse = pending.wait()?;
     Ok(InferReply {
         model: model.to_string(),
-        backend: engine.backend_name().to_string(),
+        backend,
         output: response.output.data().to_vec(),
         dims: response.output.dims().to_vec(),
         batch_size: response.batch_size,
@@ -309,11 +665,11 @@ fn infer_single(
     })
 }
 
-/// Serve the batched infer form: submit every sample atomically so the group
-/// rides one executor batch, then await them all.
+/// Serve the batched infer form: submit every sample atomically through the
+/// pinned engine so the group rides one executor batch, release the pin,
+/// then await them all (same handle discipline as [`infer_single`]).
 fn infer_batch(
-    registry: &ModelRegistry,
-    engine: &crate::server::ServeEngine,
+    engine: crate::control::EngineHandle,
     model: &str,
     value: &serde::Value,
 ) -> Result<BatchInferReply> {
@@ -339,7 +695,9 @@ fn infer_batch(
         .deadline_ms
         .map(Duration::from_millis)
         .or_else(|| engine.default_deadline());
-    let pending = registry.submit_many(model, tensors, deadline)?;
+    let backend = engine.backend_name().to_string();
+    let pending = engine.submit_many_counted(tensors, deadline)?;
+    drop(engine);
     let mut outputs = Vec::with_capacity(pending.len());
     let mut batch_sizes = Vec::with_capacity(pending.len());
     let mut out_dims = Vec::new();
@@ -351,7 +709,7 @@ fn infer_batch(
     }
     Ok(BatchInferReply {
         model: model.to_string(),
-        backend: engine.backend_name().to_string(),
+        backend,
         count: outputs.len(),
         outputs,
         dims: out_dims,
@@ -360,60 +718,182 @@ fn infer_batch(
 }
 
 fn infer(registry: &ModelRegistry, model: &str, body: &str) -> Result<String> {
-    // Resolve the model first — once, shared by both body forms — so an
-    // unknown name answers 404 even when the body is also malformed.
+    // Resolve the model once — shared by both body forms — so an unknown
+    // name answers 404 even when the body is also malformed. Submission
+    // then goes through this very handle, so the request is guaranteed to
+    // ride the engine that was resolved here.
     let engine = registry.engine(model)?;
     let value = serde_json::parse_value(body).map_err(bad_body)?;
     // The body form picks the path: `inputs` is the batched contract,
     // `input` the single-sample one.
     let rendered = if value.get("inputs").is_some() {
-        serde_json::to_string(&infer_batch(registry, engine, model, &value)?)
+        serde_json::to_string(&infer_batch(engine, model, &value)?)
     } else {
-        serde_json::to_string(&infer_single(registry, engine, model, &value)?)
+        serde_json::to_string(&infer_single(engine, model, &value)?)
     };
     rendered.map_err(|e| ServeError::Runtime {
         reason: format!("cannot serialize the infer reply: {}", e.message),
     })
 }
 
-/// Pure request router, independent of any socket: maps one parsed request
-/// onto a `(status, JSON body)` pair. Exposed for direct testing.
-pub fn route(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> (u16, String) {
+/// `/v1/models/{name}` with a non-empty, single-segment name.
+fn model_path(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/models/")
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+}
+
+/// `/v1/models/{name}/{action}` with a non-empty, single-segment name.
+/// strip_prefix + strip_suffix cannot overlap, so degenerate paths like
+/// `/v1/models/infer` fall through to 404 instead of slicing out of bounds.
+fn action_path<'a>(path: &'a str, action: &str) -> Option<&'a str> {
+    path.strip_prefix("/v1/models/")
+        .and_then(|rest| rest.strip_suffix(action))
+        .filter(|model| !model.is_empty() && !model.contains('/'))
+}
+
+/// `PUT /v1/models/{name}` — register a model on the live table. The reply
+/// is built from the entry and epoch this very call created (never a
+/// second by-name lookup or epoch read a racing admin operation could
+/// invalidate).
+fn put_model(registry: &ModelRegistry, name: &str, body: &str) -> Routed {
+    let registered = serde_json::parse_value(body)
+        .and_then(|value| RegisterBody::from_value(&value))
+        .map_err(bad_body)
+        .and_then(|parsed| {
+            let config = parsed.model_config()?;
+            registry
+                .control()
+                .register(name, &parsed.descriptor, config)
+        });
+    match registered {
+        Ok((info, epoch)) => json_routed(
+            200,
+            &RegisterReply {
+                registered: info,
+                epoch,
+            },
+        ),
+        Err(e) => serve_error_routed(registry, Some(name), &e),
+    }
+}
+
+/// `DELETE /v1/models/{name}` — graceful retire.
+fn delete_model(registry: &ModelRegistry, name: &str) -> Routed {
+    match registry.control().retire(name) {
+        Ok((report, epoch)) => json_routed(
+            200,
+            &RetireReply {
+                model: name.to_string(),
+                backend: report.backend,
+                completed_requests: report.metrics.completed_requests,
+                deadline_exceeded: report.metrics.deadline_exceeded,
+                plan_fingerprint: format!("{:016x}", report.plan_fingerprint),
+                epoch,
+            },
+        ),
+        Err(e) => serve_error_routed(registry, Some(name), &e),
+    }
+}
+
+/// `POST /v1/models/{name}/replan` — plan hot-swap at a new budget. The
+/// body's overrides are merged onto the model's current planning options
+/// *inside* the control plane's writer lock, so two concurrent replans
+/// compose instead of one clobbering the other from a stale snapshot.
+fn replan_model(registry: &ModelRegistry, name: &str, body: &str) -> Routed {
+    let parsed = match serde_json::parse_value(body)
+        .and_then(|value| ReplanBody::from_value(&value))
+        .map_err(bad_body)
+    {
+        Ok(parsed) => parsed,
+        Err(e) => return serve_error_routed(registry, Some(name), &e),
+    };
+    let replanned = registry.replan_with(name, move |mut planning| {
+        planning.budget = parsed.budget;
+        if let Some(rank_step) = parsed.rank_step {
+            planning.rank_step = rank_step;
+        }
+        if let Some(theta) = parsed.theta {
+            planning.theta = theta;
+        }
+        planning
+    });
+    match replanned {
+        Ok(report) => json_routed(200, &report),
+        Err(e) => serve_error_routed(registry, Some(name), &e),
+    }
+}
+
+/// `POST /v1/models/{name}/autotune` — SLO-driven budget search.
+fn autotune_model(registry: &ModelRegistry, name: &str, body: &str) -> Routed {
+    let parsed = match serde_json::parse_value(body)
+        .and_then(|value| AutotuneBody::from_value(&value))
+        .map_err(bad_body)
+    {
+        Ok(parsed) => parsed,
+        Err(e) => return serve_error_routed(registry, Some(name), &e),
+    };
+    match registry.autotune(name, &parsed.request()) {
+        Ok(report) => json_routed(200, &report),
+        Err(e) => serve_error_routed(registry, Some(name), &e),
+    }
+}
+
+/// Full request router, independent of any socket: maps one parsed request
+/// onto a reply with status, JSON body and optional Retry-After.
+fn route_full(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> Routed {
     match (method, path) {
-        ("GET", "/healthz") => json_response(
+        ("GET", "/healthz") => json_routed(
             200,
             &HealthReply {
                 status: "ok".to_string(),
                 models: registry.len(),
             },
         ),
-        ("GET", "/v1/models") => json_response(
+        ("GET", "/v1/models") => json_routed(
             200,
             &ModelsReply {
                 models: registry.model_info(),
             },
         ),
-        ("GET", "/metrics") => json_response(200, &registry.metrics()),
-        ("POST", infer_path) => {
-            // `/v1/models/{name}/infer` with a non-empty, single-segment
-            // name. strip_prefix + strip_suffix cannot overlap, so paths
-            // like `/v1/models/infer` fall through to 404 instead of
-            // slicing out of bounds.
-            let model = infer_path
-                .strip_prefix("/v1/models/")
-                .and_then(|rest| rest.strip_suffix("/infer"))
-                .filter(|model| !model.is_empty() && !model.contains('/'));
-            match model {
-                Some(model) => match infer(registry, model, body) {
-                    Ok(reply) => (200, reply),
-                    Err(e) => error_response(status_for(&e), e),
-                },
-                None => error_response(404, format!("no route for POST {infer_path}")),
+        ("GET", "/metrics") => json_routed(200, &registry.metrics()),
+        ("POST", post_path) => {
+            if let Some(model) = action_path(post_path, "/infer") {
+                match infer(registry, model, body) {
+                    Ok(reply) => Routed {
+                        status: 200,
+                        body: reply,
+                        retry_after: None,
+                    },
+                    Err(e) => serve_error_routed(registry, Some(model), &e),
+                }
+            } else if let Some(model) = action_path(post_path, "/replan") {
+                replan_model(registry, model, body)
+            } else if let Some(model) = action_path(post_path, "/autotune") {
+                autotune_model(registry, model, body)
+            } else {
+                error_routed(404, format!("no route for POST {post_path}"))
             }
         }
-        ("GET", _) => error_response(404, format!("no route for {method} {path}")),
-        _ => error_response(405, format!("method {method} is not supported")),
+        ("PUT", put_path) => match model_path(put_path) {
+            Some(model) => put_model(registry, model, body),
+            None => error_routed(404, format!("no route for PUT {put_path}")),
+        },
+        ("DELETE", delete_path) => match model_path(delete_path) {
+            Some(model) => delete_model(registry, model),
+            None => error_routed(404, format!("no route for DELETE {delete_path}")),
+        },
+        ("GET", _) => error_routed(404, format!("no route for {method} {path}")),
+        _ => error_routed(405, format!("method {method} is not supported")),
     }
+}
+
+/// Pure request router, independent of any socket: maps one parsed request
+/// onto a `(status, JSON body)` pair. Exposed for direct testing; the
+/// connection handler uses the full form that additionally carries the
+/// `Retry-After` header value.
+pub fn route(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> (u16, String) {
+    let routed = route_full(registry, method, path, body);
+    (routed.status, routed.body)
 }
 
 struct ParsedRequest {
@@ -617,10 +1097,14 @@ fn write_response(
     status: u16,
     body: &str,
     close: bool,
+    retry_after: Option<u64>,
 ) -> std::io::Result<()> {
+    let retry_after = retry_after
+        .map(|secs| format!("Retry-After: {secs}\r\n"))
+        .unwrap_or_default();
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {}\r\n\r\n{body}",
         reason_phrase(status),
         body.len(),
         if close { "close" } else { "keep-alive" },
@@ -649,16 +1133,23 @@ fn handle_connection(
         match outcome {
             ParseOutcome::Empty => return,
             ParseOutcome::Reject(status, message) => {
-                let (status, body) = error_response(status, message);
-                let _ = write_response(&mut stream, status, &body, true);
+                let rejected = error_routed(status, message);
+                let _ = write_response(&mut stream, rejected.status, &rejected.body, true, None);
                 return;
             }
             ParseOutcome::Request(request) => {
                 served += 1;
-                let (status, body) = route(registry, &request.method, &request.path, &request.body);
+                let routed = route_full(registry, &request.method, &request.path, &request.body);
                 let close =
                     !request.keep_alive || served >= max_requests || stop.load(Ordering::SeqCst);
-                if write_response(&mut stream, status, &body, close).is_err() || close {
+                let written = write_response(
+                    &mut stream,
+                    routed.status,
+                    &routed.body,
+                    close,
+                    routed.retry_after,
+                );
+                if written.is_err() || close {
                     return;
                 }
             }
@@ -823,6 +1314,20 @@ pub fn read_response(
     stream: &mut TcpStream,
     buffer: &mut Vec<u8>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = read_response_with_headers(stream, buffer)?;
+    Ok((status, body))
+}
+
+/// One parsed HTTP response: status, headers (lower-cased names) and body.
+pub type HttpResponseParts = (u16, Vec<(String, String)>, String);
+
+/// [`read_response`], additionally returning every response header as
+/// lower-cased `(name, value)` pairs — the way tests assert `Retry-After`
+/// on shed-load responses.
+pub fn read_response_with_headers(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+) -> std::io::Result<HttpResponseParts> {
     let mut chunk = [0u8; 4096];
     let head_end = loop {
         if let Some(pos) = find_head_end(buffer) {
@@ -849,13 +1354,17 @@ pub fn read_response(
             std::io::Error::new(std::io::ErrorKind::InvalidData, "response without a status")
         })?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                 })?;
             }
+            headers.push((name, value));
         }
     }
     let body_start = head_end + 4;
@@ -872,7 +1381,7 @@ pub fn read_response(
     let body =
         String::from_utf8_lossy(&buffer[body_start..body_start + content_length]).to_string();
     buffer.drain(..body_start + content_length);
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 fn write_request(
@@ -903,10 +1412,22 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = http_request_with_headers(addr, method, path, body)?;
+    Ok((status, body))
+}
+
+/// [`http_request`], additionally returning the response headers
+/// (lower-cased names) — e.g. to assert `Retry-After` on a `429`/`503`.
+pub fn http_request_with_headers(
+    addr: &SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponseParts> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     write_request(&mut stream, addr, method, path, body, false)?;
-    read_response(&mut stream, &mut Vec::new())
+    read_response_with_headers(&mut stream, &mut Vec::new())
 }
 
 /// A persistent HTTP/1.1 test client: one TCP connection serving any number
@@ -969,7 +1490,7 @@ mod tests {
     use std::time::Duration;
 
     fn test_registry() -> Arc<ModelRegistry> {
-        let mut registry = ModelRegistry::new(4);
+        let registry = ModelRegistry::new(4);
         registry
             .register(
                 "mini",
@@ -1129,7 +1650,11 @@ mod tests {
 
         let (status, _) = http_request(&addr, "GET", "/nope", None).unwrap();
         assert_eq!(status, 404);
+        // DELETE is a real (admin) method now, so an unroutable DELETE path
+        // is a 404; a method the server does not speak at all stays 405.
         let (status, _) = http_request(&addr, "DELETE", "/healthz", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_request(&addr, "PATCH", "/healthz", None).unwrap();
         assert_eq!(status, 405);
 
         let (status, body) =
@@ -1224,6 +1749,232 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _) = route(&registry, "POST", "/v1/models", "{}");
         assert_eq!(status, 404);
+        // The admin paths reject the same degenerate forms.
+        let (status, _) = route(&registry, "PUT", "/v1/models/", "{}");
+        assert_eq!(status, 404);
+        let (status, _) = route(&registry, "PUT", "/v1/models/a/b", "{}");
+        assert_eq!(status, 404);
+        let (status, _) = route(&registry, "DELETE", "/v1/models/", "");
+        assert_eq!(status, 404);
+        let (status, _) = route(&registry, "POST", "/v1/models//replan", "{}");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn admin_routes_register_replan_and_retire_on_a_live_server() {
+        let server = HttpServer::bind("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr();
+
+        // PUT a brand-new model on the running server.
+        let body = serde_json::to_string(&RegisterBody {
+            budget: Some(0.5),
+            backend: Some("sim-gpu".to_string()),
+            max_batch_size: Some(4),
+            max_batch_delay_ms: Some(1),
+            ..RegisterBody::for_descriptor(crate::serving_descriptor("http-hot", 12, 8, 10))
+        })
+        .unwrap();
+        let (status, reply) = http_request(&addr, "PUT", "/v1/models/hot", Some(&body)).unwrap();
+        assert_eq!(status, 200, "{reply}");
+        let reply: RegisterReply = serde_json::from_str(&reply).unwrap();
+        assert_eq!(reply.registered.name, "hot");
+        assert_eq!(reply.registered.backend, "sim-gpu");
+        assert_eq!(reply.registered.generation, 1);
+        let first_fingerprint = reply.registered.plan_fingerprint.clone();
+
+        // It serves immediately.
+        let infer = serde_json::to_string(&InferBody {
+            input: vec![0.25f32; 12 * 12 * 8],
+            dims: None,
+            deadline_ms: None,
+        })
+        .unwrap();
+        let (status, _) =
+            http_request(&addr, "POST", "/v1/models/hot/infer", Some(&infer)).unwrap();
+        assert_eq!(status, 200);
+
+        // Re-plan at a much more demanding budget: the plan hot-swaps in
+        // place (0.9 forces genuinely different rank decisions on a model
+        // this small).
+        let (status, reply) = http_request(
+            &addr,
+            "POST",
+            "/v1/models/hot/replan",
+            Some("{\"budget\": 0.9}"),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{reply}");
+        let reply: crate::control::ReplanReport = serde_json::from_str(&reply).unwrap();
+        assert_eq!(reply.old_budget, 0.5);
+        assert_eq!(reply.new_budget, 0.9);
+        assert_eq!(reply.generation, 2);
+        assert!(reply.plan_changed);
+        assert_ne!(reply.new_plan_fingerprint, first_fingerprint);
+        assert_eq!(
+            reply.drained_completed_requests, 1,
+            "the in-flight work on the old plan was served, not dropped"
+        );
+        let (status, _) =
+            http_request(&addr, "POST", "/v1/models/hot/infer", Some(&infer)).unwrap();
+        assert_eq!(status, 200, "the new plan serves");
+
+        // Retire it; the reply carries the drained engine's counters and
+        // later infers 404.
+        let (status, reply) = http_request(&addr, "DELETE", "/v1/models/hot", None).unwrap();
+        assert_eq!(status, 200, "{reply}");
+        let reply: RetireReply = serde_json::from_str(&reply).unwrap();
+        assert_eq!(reply.completed_requests, 1);
+        let (status, _) =
+            http_request(&addr, "POST", "/v1/models/hot/infer", Some(&infer)).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_request(&addr, "DELETE", "/v1/models/hot", None).unwrap();
+        assert_eq!(status, 404);
+
+        // The lifecycle counters surface in /metrics.
+        let (status, metrics) = http_request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(metrics.contains("\"replans_total\":1"), "{metrics}");
+        assert!(metrics.contains("\"models_retired_total\":1"), "{metrics}");
+        assert!(metrics.contains("\"plan_cache\""), "{metrics}");
+
+        // Malformed admin bodies are client errors.
+        let (status, _) = http_request(&addr, "PUT", "/v1/models/bad", Some("{}")).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) =
+            http_request(&addr, "POST", "/v1/models/mini/replan", Some("{}")).unwrap();
+        assert_eq!(status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overloaded_responses_carry_a_retry_after_header() {
+        // One worker stuck waiting out a long batch delay + a queue bound of
+        // 2: the third instant submit is a deterministic 429.
+        let registry = ModelRegistry::new(2);
+        registry
+            .register(
+                "tiny",
+                &serving_descriptor("http-429", 8, 4, 4),
+                ModelConfig {
+                    batching: BatchingOptions {
+                        max_batch_size: 16,
+                        max_batch_delay: Duration::from_millis(1200),
+                        max_queue_depth: 2,
+                        ..BatchingOptions::default()
+                    },
+                    runtime: crate::RuntimeOptions {
+                        workers: 1,
+                        ..crate::RuntimeOptions::default()
+                    },
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+        let addr = server.local_addr();
+
+        let fill = |n: usize| {
+            (0..n)
+                .map(|_| {
+                    server
+                        .registry()
+                        .submit("tiny", tdc_tensor::Tensor::zeros(vec![8, 8, 4]))
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        let pending = fill(2);
+        let (status, headers, body) = http_request_with_headers(
+            &addr,
+            "POST",
+            "/v1/models/tiny/infer",
+            Some(&infer_body(&[8, 8, 4])),
+        )
+        .unwrap();
+        assert_eq!(status, 429, "{body}");
+        let retry_after = headers
+            .iter()
+            .find(|(name, _)| name == "retry-after")
+            .map(|(_, value)| value.parse::<u64>().unwrap());
+        assert!(
+            matches!(retry_after, Some(secs) if secs >= 1),
+            "429 must carry a positive Retry-After, got {headers:?}"
+        );
+        for p in pending {
+            p.wait().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn admin_bodies_round_trip_with_and_without_optional_fields() {
+        let full = RegisterBody {
+            budget: Some(0.4),
+            rank_step: Some(2),
+            theta: Some(0.1),
+            device: Some("rtx2080ti".to_string()),
+            backend: Some("sim-gpu".to_string()),
+            max_batch_size: Some(4),
+            max_batch_delay_ms: Some(3),
+            max_queue_depth: Some(64),
+            default_deadline_ms: Some(250),
+            workers: Some(3),
+            seed: Some(42),
+            ..RegisterBody::for_descriptor(crate::serving_descriptor("rt", 8, 4, 4))
+        };
+        let text = serde_json::to_string(&full).unwrap();
+        assert_eq!(serde_json::from_str::<RegisterBody>(&text).unwrap(), full);
+        let config = full.model_config().unwrap();
+        assert_eq!(config.planning.budget, 0.4);
+        assert_eq!(config.planning.device.name, "NVIDIA GeForce RTX 2080 Ti");
+        assert_eq!(config.runtime.backend, crate::BackendKind::SimGpu);
+        assert_eq!(config.batching.max_queue_depth, 64);
+        assert_eq!(
+            config.batching.default_deadline,
+            Some(Duration::from_millis(250))
+        );
+
+        let bare = RegisterBody::for_descriptor(crate::serving_descriptor("rt", 8, 4, 4));
+        let text = serde_json::to_string(&bare).unwrap();
+        assert!(!text.contains("budget") && !text.contains("workers"));
+        assert_eq!(serde_json::from_str::<RegisterBody>(&text).unwrap(), bare);
+        assert!(serde_json::from_str::<RegisterBody>("{}").is_err());
+        assert!(RegisterBody {
+            device: Some("tpu".into()),
+            ..bare.clone()
+        }
+        .model_config()
+        .is_err());
+        assert!(RegisterBody {
+            backend: Some("npu".into()),
+            ..bare
+        }
+        .model_config()
+        .is_err());
+
+        let replan = ReplanBody {
+            budget: 0.25,
+            rank_step: None,
+            theta: Some(0.05),
+        };
+        let text = serde_json::to_string(&replan).unwrap();
+        assert_eq!(serde_json::from_str::<ReplanBody>(&text).unwrap(), replan);
+        assert!(serde_json::from_str::<ReplanBody>("{}").is_err());
+
+        let tune = AutotuneBody {
+            target_p99_ms: 12.5,
+            min_budget: None,
+            max_budget: Some(0.8),
+            resolution: None,
+            apply: Some(false),
+        };
+        let text = serde_json::to_string(&tune).unwrap();
+        assert_eq!(serde_json::from_str::<AutotuneBody>(&text).unwrap(), tune);
+        let request = tune.request();
+        assert_eq!(request.min_budget, 0.02, "defaults fill the gaps");
+        assert_eq!(request.max_budget, Some(0.8));
+        assert!(!request.apply);
+        assert!(serde_json::from_str::<AutotuneBody>("{}").is_err());
     }
 
     #[test]

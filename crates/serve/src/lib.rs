@@ -30,10 +30,16 @@
 //!   engine and a per-model admission bound (typed [`ServeError::Overloaded`]
 //!   rejection instead of unbounded queues), sharing one plan cache and
 //!   aggregating metrics.
+//! * [`control`] — the live control plane: an RCU-style epoch-swapped model
+//!   table makes the registry shareable (`&self` registration/retirement
+//!   behind an `Arc`; readers never block on writers), with graceful
+//!   retire, atomic plan hot-swap ([`ControlPlane::replan`]) and the
+//!   SLO-driven budget autotuner ([`ControlPlane::autotune`]).
 //! * [`http`] — a dependency-free HTTP/1.1 front end on
 //!   `std::net::TcpListener` exposing the registry at
 //!   `POST /v1/models/{name}/infer`, `GET /v1/models`, `GET /metrics` and
-//!   `GET /healthz`.
+//!   `GET /healthz`, plus the admin routes `PUT`/`DELETE /v1/models/{name}`,
+//!   `POST /v1/models/{name}/replan` and `POST /v1/models/{name}/autotune`.
 //!
 //! The `serve_bench` binary drives a synthetic open-loop workload (per
 //! backend, or mixed multi-model traffic with `--models N`) and records a
@@ -54,7 +60,7 @@
 //! engine.shutdown();
 //!
 //! // The same model plus a second one behind a named registry.
-//! let mut registry = ModelRegistry::new(4);
+//! let registry = ModelRegistry::new(4);
 //! registry.register("a", &descriptor, ModelConfig::default()).unwrap();
 //! registry
 //!     .register("b", &serving_descriptor("crate-docs-b", 8, 6, 6), ModelConfig::default())
@@ -67,6 +73,7 @@
 
 pub mod backend;
 pub mod batcher;
+pub mod control;
 pub mod http;
 pub mod metrics;
 pub mod model;
@@ -82,11 +89,15 @@ pub use backend::{
 pub use batcher::{
     BatchQueue, DequeuedBatch, InferenceRequest, InferenceResponse, PendingResponse,
 };
+pub use control::{
+    AutotuneProbe, AutotuneReport, AutotuneRequest, ControlPlane, EngineHandle, EpochSwap,
+    LifecycleCounters, ReplanReport,
+};
 pub use http::{HttpClient, HttpServer};
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use model::CompressedModel;
 pub use options::{BatchingOptions, PlanningOptions, RuntimeOptions};
-pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheStats, PlanKey};
+pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheStats, PlanKey, PlanKeyHits};
 pub use registry::{ModelConfig, ModelInfo, ModelRegistry, RegistryMetrics};
 pub use server::{ServeConfig, ServeEngine, ServeEngineBuilder, ServeReport};
 

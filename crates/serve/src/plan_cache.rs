@@ -119,8 +119,28 @@ pub enum CacheOutcome {
     Miss,
 }
 
-/// Monotonic counters describing cache behaviour.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// One key's telemetry row: the key's display form and how many in-memory
+/// hits it has absorbed. Appears twice in [`PlanCacheStats`]: once per
+/// resident key, and once per evicted key (frozen at eviction time).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlanKeyHits {
+    /// The plan key, rendered via its `Display` form.
+    pub key: String,
+    /// In-memory hits this key absorbed (at snapshot or at eviction).
+    pub hits: u64,
+}
+
+/// Counters and per-key telemetry describing cache behaviour.
+///
+/// Beyond the monotonic totals, the snapshot carries *which* keys are hot:
+/// `per_key` lists every resident plan with its in-memory hit count, and
+/// `evicted` logs the keys the LRU pushed out together with the hits they had
+/// absorbed. An operator reading `GET /metrics` can tell the two failure
+/// modes of a many-model fleet apart: hot keys being evicted (`evicted`
+/// entries with high hit counts → the LRU capacity is the binding
+/// constraint) versus cold recomputation after restarts (`misses` with an
+/// empty eviction log → the spill directory is what needs attention).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PlanCacheStats {
     /// In-memory hits.
     pub memory_hits: u64,
@@ -130,7 +150,17 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// LRU evictions.
     pub evictions: u64,
+    /// Every resident key with its in-memory hit count, hottest first.
+    pub per_key: Vec<PlanKeyHits>,
+    /// The most recent evictions (key + hits at eviction), oldest first,
+    /// bounded at [`EVICTION_LOG_CAPACITY`] entries.
+    pub evicted: Vec<PlanKeyHits>,
 }
+
+/// Most evicted-key rows retained in [`PlanCacheStats::evicted`]; older
+/// entries roll off so an eviction-thrashing fleet cannot grow the metrics
+/// payload without bound.
+pub const EVICTION_LOG_CAPACITY: usize = 64;
 
 impl PlanCacheStats {
     /// Hits of either kind.
@@ -142,11 +172,16 @@ impl PlanCacheStats {
 struct LruEntry {
     plan: Arc<CompressionPlan>,
     last_used: u64,
+    /// In-memory hits this entry has absorbed since insertion.
+    hits: u64,
 }
 
 struct LruState {
     entries: HashMap<PlanKey, LruEntry>,
     tick: u64,
+    /// Rolling log of `(key, hits at eviction)`, oldest first, bounded at
+    /// [`EVICTION_LOG_CAPACITY`].
+    evicted: Vec<PlanKeyHits>,
 }
 
 /// A thread-safe LRU of compression plans with optional disk spill.
@@ -167,6 +202,7 @@ impl PlanCache {
             state: Mutex::new(LruState {
                 entries: HashMap::new(),
                 tick: 0,
+                evicted: Vec::new(),
             }),
             capacity: capacity.max(1),
             spill_dir: None,
@@ -204,13 +240,29 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Counter snapshot.
+    /// Counter and per-key telemetry snapshot.
     pub fn stats(&self) -> PlanCacheStats {
+        let (per_key, evicted) = {
+            let state = self.state();
+            let mut per_key: Vec<PlanKeyHits> = state
+                .entries
+                .iter()
+                .map(|(key, entry)| PlanKeyHits {
+                    key: key.to_string(),
+                    hits: entry.hits,
+                })
+                .collect();
+            // Hottest first; ties broken by key so the snapshot is stable.
+            per_key.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.key.cmp(&b.key)));
+            (per_key, state.evicted.clone())
+        };
         PlanCacheStats {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            per_key,
+            evicted,
         }
     }
 
@@ -255,7 +307,17 @@ impl PlanCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                state.entries.remove(&oldest);
+                if let Some(entry) = state.entries.remove(&oldest) {
+                    // Log what was lost and how hot it was, so an operator
+                    // can tell capacity pressure from cold-start misses.
+                    if state.evicted.len() >= EVICTION_LOG_CAPACITY {
+                        state.evicted.remove(0);
+                    }
+                    state.evicted.push(PlanKeyHits {
+                        key: oldest.to_string(),
+                        hits: entry.hits,
+                    });
+                }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -264,6 +326,7 @@ impl PlanCache {
             LruEntry {
                 plan,
                 last_used: tick,
+                hits: 0,
             },
         );
     }
@@ -288,6 +351,7 @@ impl PlanCache {
             let tick = state.tick;
             if let Some(entry) = state.entries.get_mut(key) {
                 entry.last_used = tick;
+                entry.hits += 1;
                 self.memory_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((Arc::clone(&entry.plan), CacheOutcome::MemoryHit));
             }
@@ -386,6 +450,51 @@ mod tests {
         assert_eq!(outcome, CacheOutcome::MemoryHit);
         let (_, outcome) = cache.get_or_compute(&k2, || compute_plan(0.4)).unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn per_key_hit_counts_and_eviction_log_name_what_was_lost() {
+        let cache = PlanCache::new(2);
+        let hot = PlanKey::new("m", "d", "cpu", &selection(0.3));
+        let cold = PlanKey::new("m", "d", "cpu", &selection(0.4));
+        let newcomer = PlanKey::new("m", "d", "cpu", &selection(0.5));
+        cache.get_or_compute(&cold, || compute_plan(0.4)).unwrap();
+        cache.get_or_compute(&hot, || compute_plan(0.3)).unwrap();
+        for _ in 0..3 {
+            cache
+                .get_or_compute(&hot, || panic!("hit expected"))
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.per_key.len(), 2);
+        assert_eq!(stats.per_key[0].key, hot.to_string(), "hottest key first");
+        assert_eq!(stats.per_key[0].hits, 3);
+        assert_eq!(stats.per_key[1].hits, 0);
+        assert!(stats.evicted.is_empty());
+
+        // A third key evicts "cold" (LRU) and the log records it with the
+        // hits it had absorbed.
+        cache
+            .get_or_compute(&newcomer, || compute_plan(0.5))
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.evicted.len(), 1);
+        assert_eq!(stats.evicted[0].key, cold.to_string());
+        assert_eq!(stats.evicted[0].hits, 0);
+        assert_eq!(stats.per_key.len(), 2);
+        assert!(stats.per_key.iter().all(|k| k.key != cold.to_string()));
+
+        // The snapshot serializes (what GET /metrics embeds).
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(
+            json.contains("\"per_key\"") && json.contains("\"evicted\""),
+            "{json}"
+        );
+        assert_eq!(
+            serde_json::from_str::<PlanCacheStats>(&json).unwrap(),
+            stats
+        );
     }
 
     #[test]

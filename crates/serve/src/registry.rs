@@ -1,19 +1,31 @@
 //! The multi-model registry: N named engines behind one router.
 //!
 //! A production deployment rarely serves exactly one network. The registry
-//! hosts any number of named models, each with its **own** [`ServeEngine`]
+//! hosts any number of named models, each with its **own**
+//! [`ServeEngine`](crate::ServeEngine)
 //! (backend, dynamic batcher, worker pool, metrics) so that one model's
 //! traffic cannot starve another's workers, while sharing one [`PlanCache`]
 //! so models planned under the same `(model, device, backend, budget)` key
 //! skip rank selection on re-registration.
 //!
+//! The registry is **shareable and live**: routing goes through the
+//! [`ControlPlane`]'s epoch-swapped table, so every operation — including
+//! [`register`](ModelRegistry::register),
+//! [`retire`](ModelRegistry::retire) and the plan hot-swap
+//! ([`replan`](ModelRegistry::replan) /
+//! [`autotune`](ModelRegistry::autotune)) — takes `&self`. A registry behind
+//! an `Arc`, with an HTTP server attached, can gain, lose and re-plan models
+//! while serving; readers never block on writers (see [`crate::control`]).
+//!
 //! Routing is by registered name. Admission control is per model: every
 //! engine's queue is bounded by its
 //! [`max_queue_depth`](crate::BatchingOptions::max_queue_depth), and a flood
 //! against one model is shed at that model's front door with a typed
-//! [`ServeError::Overloaded`] rejection — counted per model by the registry —
+//! [`ServeError::Overloaded`](crate::ServeError::Overloaded) rejection — counted per model by the registry —
 //! instead of queueing without bound. [`ModelRegistry::metrics`] aggregates
-//! every model's [`ServeMetrics`] plus the rejection counters into one
+//! every model's [`ServeMetrics`] plus the rejection counters, the
+//! control-plane lifecycle counters (table epoch, registers, retires,
+//! replans, autotune runs) and the shared plan cache's telemetry into one
 //! [`RegistryMetrics`] snapshot, which is what the HTTP front end
 //! ([`crate::http`]) serializes at `GET /metrics`.
 //!
@@ -22,13 +34,13 @@
 //! from any descriptor.
 
 use crate::batcher::{InferenceResponse, PendingResponse};
+use crate::control::{AutotuneReport, AutotuneRequest, ControlPlane, EngineHandle, ReplanReport};
 use crate::metrics::ServeMetrics;
 use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 use crate::plan_cache::{PlanCache, PlanCacheStats};
-use crate::server::{ServeEngine, ServeReport};
-use crate::{Result, ServeError};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::server::ServeReport;
+use crate::Result;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
@@ -65,10 +77,15 @@ pub struct ModelInfo {
     pub decomposed_layers: usize,
     /// Convolution layers in the plan.
     pub conv_layers: usize,
+    /// FLOPs budget the served plan was selected under (what
+    /// [`replan`](ModelRegistry::replan) and the autotuner adjust).
+    pub budget: f64,
     /// FLOPs reduction the plan achieved.
     pub achieved_flops_reduction: f64,
     /// Fingerprint of the served plan, hex.
     pub plan_fingerprint: String,
+    /// Plan generation: 1 at registration, bumped once per hot-swap.
+    pub generation: u64,
     /// Most requests per executed batch.
     pub max_batch_size: usize,
     /// Admission bound of this model's queue.
@@ -83,24 +100,42 @@ pub struct ModelInfo {
 pub struct ModelMetricsEntry {
     /// Registered name.
     pub model: String,
-    /// Requests rejected at admission with [`ServeError::Overloaded`].
+    /// Plan generation currently serving (1 = as registered).
+    pub generation: u64,
+    /// Requests rejected at admission with [`ServeError::Overloaded`](crate::ServeError::Overloaded).
+    /// A route-lifetime counter: survives plan hot-swaps.
     pub rejected_requests: u64,
+    /// Requests completed over the route's lifetime — the current engine's
+    /// count plus everything drained engines served before their hot-swaps.
+    /// Unlike `metrics.completed_requests` (which is per plan generation),
+    /// this never regresses on a replan.
+    pub lifetime_completed_requests: u64,
+    /// Deadline expiries over the route's lifetime (same accumulation).
+    pub lifetime_deadline_exceeded: u64,
     /// Requests queued but not yet dispatched at snapshot time.
     pub queue_depth: usize,
-    /// The engine's full metrics snapshot.
+    /// The current engine's full metrics snapshot. Latency percentiles and
+    /// batch statistics are per plan generation: a hot-swap starts them
+    /// fresh (mixing percentile samples across different plans would
+    /// misattribute tail behaviour).
     pub metrics: ServeMetrics,
 }
 
-/// Aggregated metrics across every registered model.
+/// Aggregated metrics across every registered model, plus the control-plane
+/// lifecycle counters and the shared plan cache's telemetry.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RegistryMetrics {
     /// Per-model snapshots, in registration-name order.
     pub models: Vec<ModelMetricsEntry>,
-    /// Sum of completed requests across models.
+    /// Completed requests fleet-wide: live engines plus everything served
+    /// by engines drained since startup (replans and retires) — monotonic
+    /// across lifecycle operations, so a monitoring delta never sees it
+    /// regress when a plan hot-swaps or a model retires.
     pub total_completed_requests: u64,
     /// Sum of admission rejections across models.
     pub total_rejected_requests: u64,
-    /// Sum of deadline expiries across models
+    /// Deadline expiries fleet-wide, accumulated the same monotonic way as
+    /// `total_completed_requests`
     /// ([`ServeMetrics::deadline_exceeded`]).
     pub total_deadline_exceeded: u64,
     /// Sum of executed batches across models.
@@ -109,12 +144,20 @@ pub struct RegistryMetrics {
     pub predicted_gpu_ms_total: f64,
     /// Sum of simulated GPU milliseconds across models.
     pub simulated_gpu_ms_total: f64,
-}
-
-struct RegisteredModel {
-    engine: ServeEngine,
-    info: ModelInfo,
-    rejected: AtomicU64,
+    /// Routing-table epoch (swaps since start: registers + retires +
+    /// replans).
+    pub epoch: u64,
+    /// Models registered over the process lifetime.
+    pub models_registered_total: u64,
+    /// Models retired over the process lifetime.
+    pub models_retired_total: u64,
+    /// Plan hot-swaps over the process lifetime.
+    pub replans_total: u64,
+    /// Autotune searches over the process lifetime.
+    pub autotune_runs_total: u64,
+    /// Shared plan cache counters, per-key hit counts and the evicted-key
+    /// log.
+    pub plan_cache: PlanCacheStats,
 }
 
 /// N named serving engines behind one name-based router.
@@ -124,7 +167,7 @@ struct RegisteredModel {
 /// ```
 /// use tdc_serve::{serving_descriptor, ModelConfig, ModelRegistry};
 ///
-/// let mut registry = ModelRegistry::new(4);
+/// let registry = ModelRegistry::new(4);
 /// registry
 ///     .register("small", &serving_descriptor("small", 8, 4, 4), ModelConfig::default())
 ///     .unwrap();
@@ -138,23 +181,25 @@ struct RegisteredModel {
 /// assert_eq!(response.output.dims(), &[4]);
 /// assert!(registry.infer("ghost", tdc_tensor::Tensor::zeros(vec![1])).is_err());
 ///
+/// // Registration takes `&self`: a live, shared registry can lose models
+/// // too — retire drains gracefully and frees the engine.
+/// let report = registry.retire("wide").unwrap();
+/// assert_eq!(report.metrics.completed_requests, 0);
+///
 /// let metrics = registry.metrics();
 /// assert_eq!(metrics.total_completed_requests, 1);
+/// assert_eq!(metrics.models_retired_total, 1);
 /// registry.shutdown();
 /// ```
 pub struct ModelRegistry {
-    cache: PlanCache,
-    models: BTreeMap<String, RegisteredModel>,
+    control: ControlPlane,
 }
 
 impl ModelRegistry {
     /// An empty registry whose shared plan cache holds up to
     /// `plan_capacity` plans.
     pub fn new(plan_capacity: usize) -> Self {
-        ModelRegistry {
-            cache: PlanCache::new(plan_capacity),
-            models: BTreeMap::new(),
-        }
+        Self::with_cache(PlanCache::new(plan_capacity))
     }
 
     /// An empty registry planning through `cache` (e.g. one configured with a
@@ -162,9 +207,14 @@ impl ModelRegistry {
     /// a process restart).
     pub fn with_cache(cache: PlanCache) -> Self {
         ModelRegistry {
-            cache,
-            models: BTreeMap::new(),
+            control: ControlPlane::new(cache),
         }
+    }
+
+    /// The control plane this registry routes through: the epoch-swapped
+    /// table, lifecycle counters and the autotuner.
+    pub fn control(&self) -> &ControlPlane {
+        &self.control
     }
 
     /// Whether `name` can be registered: non-empty and made of URL-safe
@@ -178,105 +228,108 @@ impl ModelRegistry {
     }
 
     /// Build an engine for `descriptor` under `config` and route `name` to
-    /// it. Fails with [`ServeError::BadConfig`] on an invalid or duplicate
-    /// name and propagates any engine-build failure. Planning goes through
-    /// the registry's shared cache; the cache key carries the *descriptor*
-    /// name, so two registrations of the same descriptor share a plan while
+    /// it — on a live registry, through `&self` — returning the routed
+    /// model's description. Fails with
+    /// [`ServeError::BadConfig`](crate::ServeError::BadConfig) on an invalid or duplicate name and
+    /// propagates any engine-build failure. Planning goes through the
+    /// registry's shared cache; the cache key carries the *descriptor* name,
+    /// so two registrations of the same descriptor share a plan while
     /// same-shaped descriptors with different names never do.
     pub fn register(
-        &mut self,
+        &self,
         name: &str,
         descriptor: &ModelDescriptor,
         config: ModelConfig,
-    ) -> Result<()> {
-        if !Self::is_valid_name(name) {
-            return Err(ServeError::BadConfig {
-                reason: format!(
-                    "model name {name:?} is not URL-safe; use [A-Za-z0-9._-] \
-                     (ModelDescriptor::slug() produces a canonical safe name)"
-                ),
-            });
-        }
-        if self.models.contains_key(name) {
-            return Err(ServeError::BadConfig {
-                reason: format!("a model named {name:?} is already registered"),
-            });
-        }
-        let engine = ServeEngine::builder(descriptor)
-            .planning(config.planning.clone())
-            .batching(config.batching.clone())
-            .runtime(config.runtime.clone())
-            .plan_cache(&self.cache)
-            .build()?;
-        let info = ModelInfo {
-            name: name.to_string(),
-            backend: engine.backend_name().to_string(),
-            device: config.planning.device.name.clone(),
-            input_dims: engine.model().input_dims().to_vec(),
-            output_classes: descriptor.fc.last().map(|&(_, o)| o).unwrap_or(0),
-            decomposed_layers: engine.model().decomposed_layers(),
-            conv_layers: engine.plan().decisions.len(),
-            achieved_flops_reduction: engine.plan().achieved_reduction,
-            plan_fingerprint: format!("{:016x}", engine.plan().fingerprint()),
-            max_batch_size: config.batching.max_batch_size,
-            max_queue_depth: config.batching.max_queue_depth,
-            default_deadline_ms: config
-                .batching
-                .default_deadline
-                .map(|d| d.as_millis() as u64),
-        };
-        self.models.insert(
-            name.to_string(),
-            RegisteredModel {
-                engine,
-                info,
-                rejected: AtomicU64::new(0),
-            },
-        );
-        Ok(())
+    ) -> Result<ModelInfo> {
+        self.control
+            .register(name, descriptor, config)
+            .map(|(info, _epoch)| info)
     }
 
-    fn entry(&self, model: &str) -> Result<&RegisteredModel> {
-        self.models
-            .get(model)
-            .ok_or_else(|| ServeError::UnknownModel {
-                name: model.to_string(),
-            })
+    /// Gracefully retire `name`: unroute it (immediate 404 for new
+    /// requests), stop admission, drain every admitted request, free the
+    /// engine and return its final report. See [`ControlPlane::retire`].
+    pub fn retire(&self, name: &str) -> Result<ServeReport> {
+        self.control.retire(name).map(|(report, _epoch)| report)
+    }
+
+    /// Hot-swap the plan serving `name` by re-planning under `planning`;
+    /// zero requests are dropped across the swap boundary. See
+    /// [`ControlPlane::replan`].
+    pub fn replan(&self, name: &str, planning: PlanningOptions) -> Result<ReplanReport> {
+        self.control.replan(name, planning)
+    }
+
+    /// [`replan`](ModelRegistry::replan) with the new planning options
+    /// derived from the model's current ones under the control plane's
+    /// writer lock, so partial overrides compose with concurrent admin
+    /// operations. See [`ControlPlane::replan_with`].
+    pub fn replan_with(
+        &self,
+        name: &str,
+        update: impl FnOnce(PlanningOptions) -> PlanningOptions,
+    ) -> Result<ReplanReport> {
+        self.control.replan_with(name, update)
+    }
+
+    /// Search for the largest FLOPs budget meeting `request`'s p99 target
+    /// and (by default) apply it via the hot-swap path. See
+    /// [`ControlPlane::autotune`].
+    pub fn autotune(&self, name: &str, request: &AutotuneRequest) -> Result<AutotuneReport> {
+        self.control.autotune(name, request)
+    }
+
+    /// Estimate the sim-GPU p99 `name` would serve at `budget` (the
+    /// autotuner's scoring function). See
+    /// [`ControlPlane::estimate_sim_p99_ms`].
+    pub fn estimate_sim_p99_ms(&self, name: &str, budget: f64) -> Result<f64> {
+        self.control.estimate_sim_p99_ms(name, budget)
     }
 
     /// Registered model count.
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.control.snapshot().len()
     }
 
     /// Whether no model is registered.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.control.snapshot().is_empty()
     }
 
     /// Registered names in sorted order.
-    pub fn names(&self) -> Vec<&str> {
-        self.models.keys().map(String::as_str).collect()
+    pub fn names(&self) -> Vec<String> {
+        self.control.snapshot().keys().cloned().collect()
     }
 
-    /// The engine serving `model`, if registered.
-    pub fn engine(&self, model: &str) -> Result<&ServeEngine> {
-        self.entry(model).map(|m| &m.engine)
+    /// A read handle on the engine serving `model`, if registered. The
+    /// handle pins the model's current engine: a concurrent retire or replan
+    /// waits for it to drop before freeing that engine.
+    pub fn engine(&self, model: &str) -> Result<EngineHandle> {
+        self.control.engine(model)
     }
 
     /// Static descriptions of every registered model, in name order.
     pub fn model_info(&self) -> Vec<ModelInfo> {
-        self.models.values().map(|m| m.info.clone()).collect()
+        self.control
+            .snapshot()
+            .values()
+            .map(|m| m.info.clone())
+            .collect()
+    }
+
+    /// Routing-table epoch: how many times the model table has been swapped.
+    pub fn epoch(&self) -> u64 {
+        self.control.epoch()
     }
 
     /// Submit one input to `model` under the model's default deadline;
     /// returns a handle to await the response. Admission rejections
-    /// ([`ServeError::Overloaded`]) are counted per model and surface in
+    /// ([`ServeError::Overloaded`](crate::ServeError::Overloaded)) are counted per model and surface in
     /// [`ModelRegistry::metrics`].
     pub fn submit(&self, model: &str, input: Tensor) -> Result<PendingResponse> {
-        let entry = self.entry(model)?;
+        let entry = self.control.lookup(model)?;
         let deadline = entry.engine.default_deadline();
-        self.submit_to(entry, input, deadline)
+        entry.submit_counted(input, deadline)
     }
 
     /// Submit one input to `model` with an explicit per-request deadline
@@ -288,41 +341,24 @@ impl ModelRegistry {
         input: Tensor,
         deadline: Option<Duration>,
     ) -> Result<PendingResponse> {
-        let entry = self.entry(model)?;
-        self.submit_to(entry, input, deadline)
-    }
-
-    fn submit_to(
-        &self,
-        entry: &RegisteredModel,
-        input: Tensor,
-        deadline: Option<Duration>,
-    ) -> Result<PendingResponse> {
-        let submitted = entry.engine.submit_with_deadline(input, deadline);
-        if matches!(submitted, Err(ServeError::Overloaded { .. })) {
-            entry.rejected.fetch_add(1, Ordering::Relaxed);
-        }
-        submitted
+        let entry = self.control.lookup(model)?;
+        entry.submit_counted(input, deadline)
     }
 
     /// Submit a group of inputs to `model` atomically under one deadline
-    /// (see [`ServeEngine::submit_many`]): the group is contiguous in the
-    /// model's queue, so a group no larger than the model's batch size rides
-    /// one executor batch on an idle queue. An admission rejection rejects
-    /// the group whole and counts one rejection per request in it.
+    /// (see [`ServeEngine::submit_many`](crate::ServeEngine::submit_many)):
+    /// the group is contiguous in the model's queue, so a group no larger
+    /// than the model's batch size rides one executor batch on an idle
+    /// queue. An admission rejection rejects the group whole and counts one
+    /// rejection per request in it.
     pub fn submit_many(
         &self,
         model: &str,
         inputs: Vec<Tensor>,
         deadline: Option<Duration>,
     ) -> Result<Vec<PendingResponse>> {
-        let entry = self.entry(model)?;
-        let count = inputs.len() as u64;
-        let submitted = entry.engine.submit_many(inputs, deadline);
-        if matches!(submitted, Err(ServeError::Overloaded { .. })) {
-            entry.rejected.fetch_add(count, Ordering::Relaxed);
-        }
-        submitted
+        let entry = self.control.lookup(model)?;
+        entry.submit_many_counted(inputs, deadline)
     }
 
     /// Submit to `model` and block for the response.
@@ -341,23 +377,47 @@ impl ModelRegistry {
         self.submit_with_deadline(model, input, deadline)?.wait()
     }
 
-    /// Aggregate every model's metrics plus the per-model admission
-    /// rejection counters.
+    /// Aggregate every model's metrics, the per-model admission rejection
+    /// counters, the control-plane lifecycle counters and the plan cache's
+    /// telemetry.
     pub fn metrics(&self) -> RegistryMetrics {
-        let models: Vec<ModelMetricsEntry> = self
-            .models
+        let snapshot = self.control.snapshot();
+        let models: Vec<ModelMetricsEntry> = snapshot
             .iter()
-            .map(|(name, m)| ModelMetricsEntry {
-                model: name.clone(),
-                rejected_requests: m.rejected.load(Ordering::Relaxed),
-                queue_depth: m.engine.queue_depth(),
-                metrics: m.engine.metrics(),
+            .map(|(name, m)| {
+                let metrics = m.engine.metrics();
+                ModelMetricsEntry {
+                    model: name.clone(),
+                    generation: m.info.generation,
+                    rejected_requests: m.rejected.load(Ordering::Relaxed),
+                    lifetime_completed_requests: m.prior.completed.load(Ordering::Relaxed)
+                        + metrics.completed_requests,
+                    lifetime_deadline_exceeded: m.prior.deadline_exceeded.load(Ordering::Relaxed)
+                        + metrics.deadline_exceeded,
+                    queue_depth: m.engine.queue_depth(),
+                    metrics,
+                }
             })
             .collect();
+        let lifecycle = self.control.counters();
+        // Fleet totals stay monotonic across hot-swaps and retires: live
+        // engines plus everything drained engines served before they were
+        // rotated out. (Per-route `prior` totals are a subset of the
+        // drained totals, so summing live engines + drained counts each
+        // request exactly once.)
+        let (drained_completed, drained_deadline_exceeded) = self.control.drained_totals();
         RegistryMetrics {
-            total_completed_requests: models.iter().map(|m| m.metrics.completed_requests).sum(),
+            total_completed_requests: models
+                .iter()
+                .map(|m| m.metrics.completed_requests)
+                .sum::<u64>()
+                + drained_completed,
             total_rejected_requests: models.iter().map(|m| m.rejected_requests).sum(),
-            total_deadline_exceeded: models.iter().map(|m| m.metrics.deadline_exceeded).sum(),
+            total_deadline_exceeded: models
+                .iter()
+                .map(|m| m.metrics.deadline_exceeded)
+                .sum::<u64>()
+                + drained_deadline_exceeded,
             total_batches: models.iter().map(|m| m.metrics.batches).sum(),
             predicted_gpu_ms_total: models
                 .iter()
@@ -367,22 +427,25 @@ impl ModelRegistry {
                 .iter()
                 .map(|m| m.metrics.simulated_gpu_ms_total)
                 .sum(),
+            epoch: lifecycle.epoch,
+            models_registered_total: lifecycle.models_registered_total,
+            models_retired_total: lifecycle.models_retired_total,
+            replans_total: lifecycle.replans_total,
+            autotune_runs_total: lifecycle.autotune_runs_total,
+            plan_cache: self.control.cache().stats(),
             models,
         }
     }
 
-    /// Counters of the shared plan cache.
+    /// Counters and telemetry of the shared plan cache.
     pub fn cache_stats(&self) -> PlanCacheStats {
-        self.cache.stats()
+        self.control.cache().stats()
     }
 
     /// Shut every engine down (graceful drain each) and return the final
     /// reports in name order.
     pub fn shutdown(self) -> Vec<(String, ServeReport)> {
-        self.models
-            .into_iter()
-            .map(|(name, m)| (name, m.engine.shutdown()))
-            .collect()
+        self.control.shutdown_all()
     }
 }
 
@@ -390,7 +453,7 @@ impl ModelRegistry {
 mod tests {
     use super::*;
     use crate::serving_descriptor;
-    use crate::{BackendKind, CacheOutcome};
+    use crate::{BackendKind, CacheOutcome, ServeError};
     use std::time::Duration;
 
     fn quick_config() -> ModelConfig {
@@ -406,7 +469,7 @@ mod tests {
 
     #[test]
     fn routes_by_name_and_rejects_unknown_models() {
-        let mut registry = ModelRegistry::new(4);
+        let registry = ModelRegistry::new(4);
         registry
             .register("a", &serving_descriptor("reg-a", 10, 4, 6), quick_config())
             .unwrap();
@@ -415,6 +478,7 @@ mod tests {
             .unwrap();
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.names(), vec!["a", "b"]);
+        assert_eq!(registry.epoch(), 2, "one table swap per registration");
 
         let ra = registry.infer("a", Tensor::zeros(vec![10, 10, 4])).unwrap();
         assert_eq!(ra.output.dims(), &[6]);
@@ -428,7 +492,14 @@ mod tests {
         assert_eq!(metrics.total_completed_requests, 2);
         assert_eq!(metrics.models.len(), 2);
         assert_eq!(metrics.models[0].metrics.completed_requests, 1);
+        assert_eq!(metrics.models[0].generation, 1);
         assert_eq!(metrics.total_rejected_requests, 0);
+        assert_eq!(metrics.models_registered_total, 2);
+        assert_eq!(metrics.models_retired_total, 0);
+        assert_eq!(
+            metrics.plan_cache.misses, 2,
+            "/metrics embeds the plan cache telemetry"
+        );
 
         let reports = registry.shutdown();
         assert_eq!(reports.len(), 2);
@@ -439,7 +510,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_and_duplicate_names() {
-        let mut registry = ModelRegistry::new(2);
+        let registry = ModelRegistry::new(2);
         let descriptor = serving_descriptor("reg-names", 8, 4, 4);
         for bad in ["", "has space", "slash/y", "q?query", "p%cent"] {
             assert!(
@@ -465,7 +536,7 @@ mod tests {
     fn same_shapes_under_different_descriptor_names_plan_separately() {
         // The plan-cache key carries the descriptor name, so two models with
         // identical shapes but different identities never share a plan entry.
-        let mut registry = ModelRegistry::new(4);
+        let registry = ModelRegistry::new(4);
         registry
             .register(
                 "first",
@@ -500,7 +571,7 @@ mod tests {
 
     #[test]
     fn expiring_flood_on_one_model_does_not_inflate_a_sibling_p99() {
-        let mut registry = ModelRegistry::new(4);
+        let registry = ModelRegistry::new(4);
         // "expiry": a long batch delay so every impossible-deadline request
         // is released (and expired) at its own deadline instead of riding a
         // real batch; "steady": a normal low-latency sibling.
@@ -571,7 +642,7 @@ mod tests {
 
     #[test]
     fn per_model_backends_and_metrics_stay_separate() {
-        let mut registry = ModelRegistry::new(4);
+        let registry = ModelRegistry::new(4);
         registry
             .register(
                 "cpu",
@@ -597,6 +668,8 @@ mod tests {
         assert_eq!(info[1].backend, "sim-gpu");
         assert_eq!(info[0].input_dims, vec![10, 10, 4]);
         assert_eq!(info[0].output_classes, 6);
+        assert_eq!(info[0].budget, 0.5);
+        assert_eq!(info[0].generation, 1);
 
         for _ in 0..3 {
             registry
@@ -614,6 +687,45 @@ mod tests {
             metrics.simulated_gpu_ms_total,
             sim.metrics.simulated_gpu_ms_total
         );
+        registry.shutdown();
+    }
+
+    #[test]
+    fn retire_unroutes_immediately_and_reports_the_drained_engine() {
+        let registry = ModelRegistry::new(4);
+        registry
+            .register(
+                "keep",
+                &serving_descriptor("ret-keep", 10, 4, 6),
+                quick_config(),
+            )
+            .unwrap();
+        registry
+            .register(
+                "gone",
+                &serving_descriptor("ret-gone", 10, 4, 6),
+                quick_config(),
+            )
+            .unwrap();
+        for _ in 0..3 {
+            registry
+                .infer("gone", Tensor::zeros(vec![10, 10, 4]))
+                .unwrap();
+        }
+        let report = registry.retire("gone").unwrap();
+        assert_eq!(report.metrics.completed_requests, 3);
+        assert_eq!(registry.names(), vec!["keep"]);
+        assert!(matches!(
+            registry.infer("gone", Tensor::zeros(vec![10, 10, 4])),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        // The survivor is untouched.
+        registry
+            .infer("keep", Tensor::zeros(vec![10, 10, 4]))
+            .unwrap();
+        let metrics = registry.metrics();
+        assert_eq!(metrics.models.len(), 1);
+        assert_eq!(metrics.models_retired_total, 1);
         registry.shutdown();
     }
 }

@@ -279,6 +279,14 @@ impl<'a> ServeEngineBuilder<'a> {
             }
         }
 
+        // Estimated full-batch service time, for Retry-After hints: the
+        // backend's own latency account at max batch size (memoized on
+        // simulating backends, closed-form on the CPU one).
+        let estimated_batch_ms = backend
+            .latency_report(self.batching.max_batch_size)
+            .map(|r| r.total_ms)
+            .unwrap_or(latency_report.total_ms * self.batching.max_batch_size as f64);
+
         Ok(ServeEngine {
             queue,
             metrics,
@@ -291,6 +299,8 @@ impl<'a> ServeEngineBuilder<'a> {
             next_id: AtomicU64::new(0),
             predicted_gpu_ms_per_sample,
             default_deadline: self.batching.default_deadline,
+            max_batch_size: self.batching.max_batch_size,
+            estimated_batch_ms,
         })
     }
 }
@@ -308,6 +318,8 @@ pub struct ServeEngine {
     next_id: AtomicU64,
     predicted_gpu_ms_per_sample: f64,
     default_deadline: Option<Duration>,
+    max_batch_size: usize,
+    estimated_batch_ms: f64,
 }
 
 impl ServeEngine {
@@ -490,6 +502,47 @@ impl ServeEngine {
     /// Current queue depth (requests not yet dispatched to a worker).
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// The engine's configured maximum batch size.
+    pub fn max_batch_size(&self) -> usize {
+        self.max_batch_size
+    }
+
+    /// The backend's estimated service time for one full batch, ms (computed
+    /// once at build). What the Retry-After hint is derived from.
+    pub fn estimated_batch_ms(&self) -> f64 {
+        self.estimated_batch_ms
+    }
+
+    /// How long a rejected or shed request should wait before retrying:
+    /// the batches still ahead in the queue (`⌈depth / max_batch⌉`, at least
+    /// one) times the estimated full-batch service time. Clamped to
+    /// `[1 s, 1 h]` so the header is always actionable. The estimate is the
+    /// backend's *modelled* latency — a heuristic hint, not a promise.
+    pub fn retry_after_hint(&self) -> Duration {
+        let batches_ahead = self.queue.depth().div_ceil(self.max_batch_size).max(1);
+        let wait_ms = batches_ahead as f64 * self.estimated_batch_ms.max(0.0);
+        let secs = (wait_ms / 1e3).ceil().clamp(1.0, 3600.0);
+        Duration::from_secs(secs as u64)
+    }
+
+    /// Stop admitting new requests while leaving the queue's contents to
+    /// drain: every already-admitted request is still dispatched and
+    /// answered, while later [`submit`](ServeEngine::submit)s fail with
+    /// [`ServeError::Closed`] (HTTP `503`). The first step of a graceful
+    /// retire — the control plane calls this after unrouting the model, then
+    /// waits for the drain before freeing the engine.
+    pub fn close_admission(&self) {
+        self.queue.close();
+    }
+
+    /// Block until every admitted request has been handed to a worker, or
+    /// `timeout` passes; returns whether the queue fully drained. In-flight
+    /// executor batches are not covered — joining the workers (shutdown /
+    /// drop) bounds those.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        self.queue.wait_drained(timeout)
     }
 
     /// Stop accepting requests, drain the queue, join the workers and return

@@ -150,7 +150,7 @@ fn main() {
     // Finally: two models behind the multi-model registry and the std-only
     // HTTP front end, queried over a real socket.
     println!("\nmulti-model registry + HTTP front end:");
-    let mut registry = ModelRegistry::new(4);
+    let registry = ModelRegistry::new(4);
     registry
         .register(
             "demo-a",

@@ -55,7 +55,7 @@ fn two_models_over_http_match_direct_engine_calls_bit_for_bit() {
     }
 
     // The same two models behind the HTTP front end.
-    let mut registry = ModelRegistry::new(4);
+    let registry = ModelRegistry::new(4);
     for (descriptor, &backend) in descriptors.iter().zip(&backends) {
         registry
             .register(
@@ -140,7 +140,7 @@ fn flooding_one_model_rejects_typed_and_leaves_the_other_model_fast() {
     // normal low-latency model sharing the registry.
     const FLOOD_BOUND: usize = 8;
     let flood_delay = Duration::from_millis(1500);
-    let mut registry = ModelRegistry::new(4);
+    let registry = ModelRegistry::new(4);
     registry
         .register(
             "flood",
@@ -249,7 +249,7 @@ fn past_deadline_request_answers_504_without_reaching_the_executor() {
     // "saturated": a single worker that would hold an under-full batch open
     // for 1.5 s — any request with a short deadline expires while queued.
     let flood_delay = Duration::from_millis(1500);
-    let mut registry = ModelRegistry::new(2);
+    let registry = ModelRegistry::new(2);
     registry
         .register(
             "sat",
@@ -313,7 +313,7 @@ fn past_deadline_request_answers_504_without_reaching_the_executor() {
 #[test]
 fn keep_alive_connection_matches_connection_close_bit_for_bit() {
     let descriptor = serving_descriptor("ka-parity", 10, 4, 6);
-    let mut registry = ModelRegistry::new(2);
+    let registry = ModelRegistry::new(2);
     registry
         .register("ka", &descriptor, ModelConfig::default())
         .unwrap();
@@ -374,7 +374,7 @@ fn keep_alive_connection_matches_connection_close_bit_for_bit() {
 fn batched_post_body_rides_one_batch_and_matches_sequential_singles() {
     let descriptor = serving_descriptor("batch-parity", 10, 4, 6);
     let make_registry = || {
-        let mut registry = ModelRegistry::new(2);
+        let registry = ModelRegistry::new(2);
         registry
             .register(
                 "bp",
