@@ -139,6 +139,20 @@ pub trait Deserialize: Sized {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+// `Value` round-trips through itself, so callers can hold raw JSON trees
+// inside otherwise-typed structs (and `serde_json::to_string(&value)` works).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -5,7 +5,7 @@
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
 //! restart, and records everything as a `BENCH_serve.json` artifact
-//! (schema 4) so later changes can track the serving-performance trajectory.
+//! (schema 6) so later changes can track the serving-performance trajectory.
 //!
 //! Modes (composable):
 //!
@@ -30,6 +30,13 @@
 //!   control-plane lifecycle counters. The target defaults to the estimate
 //!   at budget 0.45 (so convergence is meaningful) and can be overridden
 //!   with `SERVE_BENCH_TARGET_P99_MS`.
+//! * `--router` — adds the fleet phase: three in-process replicas (each a
+//!   registry behind its own HTTP front end) behind a `tdc-router`
+//!   [`Router`], hammered over keep-alive connections while one replica is
+//!   shut down mid-load and later restarted on its old port. The artifact's
+//!   `router` section records per-replica forward counts plus the
+//!   failover/ejection/readmission counters; the phase asserts zero
+//!   client-visible failures.
 //! * `--check-schema` — no benchmark: read the existing artifact and fail
 //!   (exit 1) unless its `schema_version` matches this binary's expected
 //!   version. CI runs this after the bench smoke steps to catch schema
@@ -39,7 +46,7 @@
 //!
 //! ```text
 //! serve_bench [--backend cpu|sim-gpu|both] [--models N] [--deadline-ms D]
-//!             [--keep-alive] [--autotune] [--check-schema]
+//!             [--keep-alive] [--autotune] [--router] [--check-schema]
 //! ```
 //!
 //! Environment knobs (all optional):
@@ -58,6 +65,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdc_router::{Router, RouterOptions, RoutingPolicy};
 use tdc_serve::http::{http_request, InferBody};
 use tdc_serve::{
     serving_descriptor, AutotuneRequest, BackendKind, BatchingOptions, CacheOutcome, HttpClient,
@@ -68,13 +76,13 @@ use tdc_tensor::init;
 
 /// The schema this binary writes — `--check-schema` validates an artifact
 /// on disk against it.
-const EXPECTED_SCHEMA_VERSION: u32 = 5;
+const EXPECTED_SCHEMA_VERSION: u32 = 6;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 5 (over 4): `--autotune` adds an `autotune` section — the SLO
-/// budget search's full probe trace, the winning budget, the post-swap
-/// serving proof, and the control plane's lifecycle counters (table epoch,
-/// register/retire/replan/autotune totals).
+/// Schema 6 (over 5): `--router` adds a `router` section — the 3-replica
+/// fleet phase's per-replica forward counts and the router tier's
+/// failover/ejection/readmission counters under a mid-load replica kill
+/// and restart.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -91,6 +99,32 @@ struct ServeBenchArtifact {
     multi_model: Option<MultiModelRun>,
     http: Option<HttpRun>,
     autotune: Option<AutotuneRun>,
+    router: Option<RouterRun>,
+}
+
+/// The `--router` fleet phase: a 3-replica topology behind the router,
+/// with one replica killed under load and restarted.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct RouterRun {
+    /// Replicas in the fleet.
+    replicas: usize,
+    /// Routing policy label.
+    policy: String,
+    /// Client requests fired at the router across the phase.
+    requests: u64,
+    /// Requests answered `200 OK`. Must equal `requests`.
+    completed: u64,
+    /// Client-visible failures (non-200, transport errors). Must be zero —
+    /// failover masks the killed replica.
+    failed: u64,
+    /// Attempts beyond the first replica (failover masking in action).
+    failovers_total: u64,
+    /// Prober ejections across the phase (the killed replica).
+    ejections_total: u64,
+    /// Prober readmissions across the phase (the restarted replica).
+    readmissions_total: u64,
+    /// Requests each replica answered, in replica-id order.
+    per_replica_forwarded: Vec<u64>,
 }
 
 /// The `--autotune` SLO phase: search trace, winning budget, post-swap
@@ -897,6 +931,206 @@ fn run_autotune(s: &BenchSettings) -> AutotuneRun {
     run
 }
 
+/// One in-process replica for the `--router` phase: a registry serving the
+/// fleet model behind its own HTTP front end.
+fn bind_fleet_replica(
+    descriptor: &tdc_nn::models::ModelDescriptor,
+    s: &BenchSettings,
+    addr: &str,
+) -> HttpServer {
+    let registry = ModelRegistry::new(2);
+    registry
+        .register(
+            &descriptor.slug(),
+            descriptor,
+            ModelConfig {
+                planning: s.planning.clone(),
+                batching: BatchingOptions {
+                    max_batch_size: 4,
+                    max_batch_delay: Duration::from_millis(1),
+                    ..BatchingOptions::default()
+                },
+                runtime: RuntimeOptions {
+                    workers: 2,
+                    ..RuntimeOptions::default()
+                },
+            },
+        )
+        .expect("register fleet model");
+    HttpServer::bind(addr, Arc::new(registry)).expect("bind fleet replica")
+}
+
+/// Fully drain one fleet replica: stop its front end, then its engines.
+fn drain_fleet_replica(server: HttpServer) {
+    let registry = server.shutdown();
+    let registry =
+        Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("fleet registry still shared"));
+    registry.shutdown();
+}
+
+/// The `--router` phase: three in-process replicas behind a least-loaded
+/// [`Router`], hammered over keep-alive connections while replica 0 is
+/// drained mid-load (failover must mask it — zero client-visible failures),
+/// ejected by the prober, restarted on its old port and re-admitted.
+fn run_router_phase(s: &BenchSettings) -> RouterRun {
+    const REPLICAS: usize = 3;
+    let descriptor = serving_descriptor("svc-fleet", 10, 4, 6);
+    let name = descriptor.slug();
+    let mut servers: Vec<HttpServer> = (0..REPLICAS)
+        .map(|_| bind_fleet_replica(&descriptor, s, "127.0.0.1:0"))
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|sv| sv.local_addr()).collect();
+    let router = Arc::new(Router::new(
+        &addrs,
+        RouterOptions {
+            policy: RoutingPolicy::LeastLoaded,
+            probe_interval: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(250),
+            ..RouterOptions::default()
+        },
+    ));
+    let front = HttpServer::bind_with_handler("127.0.0.1:0", Arc::clone(&router) as _)
+        .expect("bind router");
+    let front_addr = front.local_addr();
+    println!("\n== router phase: {REPLICAS} replicas behind http://{front_addr} ==");
+
+    let path = format!("/v1/models/{name}/infer");
+    let body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; 10 * 10 * 4],
+        dims: None,
+        deadline_ms: None,
+    })
+    .expect("serialize fleet body");
+
+    // Keep-alive hammer clients; each records ok/failed and reconnects if
+    // the router drops its connection.
+    let clients = s.clients.clamp(2, 4);
+    let per_client: u64 = (s.requests as u64 / clients as u64).clamp(24, 80);
+    let hammer_threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = body.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut failed = 0u64;
+                let mut first_failure: Option<String> = None;
+                let mut client: Option<HttpClient> = None;
+                for _ in 0..per_client {
+                    if client.is_none() {
+                        client = HttpClient::connect(&front_addr).ok();
+                    }
+                    let outcome = match client.as_mut() {
+                        Some(live) => live.request("POST", &path, Some(&body)),
+                        None => http_request(&front_addr, "POST", &path, Some(&body)),
+                    };
+                    match outcome {
+                        Ok((200, _)) => ok += 1,
+                        Ok((status, reply)) => {
+                            failed += 1;
+                            first_failure.get_or_insert(format!("{status} {reply}"));
+                            client = None;
+                        }
+                        Err(e) => {
+                            failed += 1;
+                            first_failure.get_or_insert(format!("transport error: {e}"));
+                            client = None;
+                        }
+                    }
+                }
+                (ok, failed, first_failure)
+            })
+        })
+        .collect();
+
+    // Mid-load: drain replica 0 completely (listener closed, engines
+    // stopped). The router's pooled connections to it go stale and its
+    // later connects are refused — failover must absorb all of it.
+    std::thread::sleep(Duration::from_millis(30));
+    let victim_addr = addrs[0];
+    drain_fleet_replica(servers.remove(0));
+
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut first_failure: Option<String> = None;
+    for thread in hammer_threads {
+        let (ok, bad, first) = thread.join().expect("hammer thread");
+        completed += ok;
+        failed += bad;
+        if first_failure.is_none() {
+            first_failure = first;
+        }
+    }
+    assert_eq!(
+        failed,
+        0,
+        "kill-under-load leaked a client-visible failure: {}",
+        first_failure.unwrap_or_default()
+    );
+
+    // The prober (50 ms period, eject_after 2) must eject the dead replica.
+    let wait_until = |what: &str, pred: &dyn Fn() -> bool| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !pred() {
+            assert!(
+                Instant::now() < deadline,
+                "router phase: {what} not reached"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+    wait_until("ejection", &|| router.metrics().ejections_total >= 1);
+
+    // Restart the replica on its old port; the prober must re-admit it.
+    servers.insert(
+        0,
+        bind_fleet_replica(&descriptor, s, &victim_addr.to_string()),
+    );
+    wait_until("readmission", &|| {
+        let m = router.metrics();
+        m.readmissions_total >= 1 && m.replicas.iter().all(|r| r.healthy)
+    });
+
+    // A final burst over the healed fleet must stay clean.
+    let post_requests = 8u64;
+    for _ in 0..post_requests {
+        let (status, reply) =
+            http_request(&front_addr, "POST", &path, Some(&body)).expect("post-heal request");
+        assert_eq!(status, 200, "post-heal request failed: {reply}");
+        completed += 1;
+    }
+
+    let metrics = router.metrics();
+    let run = RouterRun {
+        replicas: REPLICAS,
+        policy: metrics.policy.clone(),
+        requests: clients as u64 * per_client + post_requests,
+        completed,
+        failed,
+        failovers_total: metrics.failovers_total,
+        ejections_total: metrics.ejections_total,
+        readmissions_total: metrics.readmissions_total,
+        per_replica_forwarded: metrics.replicas.iter().map(|r| r.forwarded_total).collect(),
+    };
+    println!(
+        "  {} requests, {} completed, {} failed ({} failover(s), \
+         {} ejection(s), {} readmission(s))",
+        run.requests,
+        run.completed,
+        run.failed,
+        run.failovers_total,
+        run.ejections_total,
+        run.readmissions_total
+    );
+    println!("  per-replica forwards: {:?}", run.per_replica_forwarded);
+
+    router.stop();
+    front.stop();
+    for server in servers {
+        drain_fleet_replica(server);
+    }
+    run
+}
+
 fn main() {
     let out_path =
         std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
@@ -921,6 +1155,7 @@ fn main() {
     let models = models_selection();
     let keep_alive = bool_flag("--keep-alive");
     let autotune = bool_flag("--autotune");
+    let router_mode = bool_flag("--router");
 
     let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
     let cache = Arc::new(PlanCache::new(4));
@@ -970,6 +1205,11 @@ fn main() {
     } else {
         None
     };
+    let router = if router_mode {
+        Some(run_router_phase(&settings))
+    } else {
+        None
+    };
 
     // The top-level model field names what was actually benchmarked: the
     // single-model descriptor, or the registry fleet in --models mode.
@@ -988,6 +1228,7 @@ fn main() {
         multi_model,
         http,
         autotune,
+        router,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
@@ -1018,6 +1259,19 @@ fn main() {
                 "keep-alive phase opened one connection per request"
             );
         }
+    }
+    if let Some(fleet) = &artifact.router {
+        assert_eq!(fleet.failed, 0, "the router phase must mask every failure");
+        assert_eq!(fleet.completed, fleet.requests);
+        assert!(
+            fleet.ejections_total >= 1,
+            "the killed replica was never ejected"
+        );
+        assert!(
+            fleet.readmissions_total >= 1,
+            "the restarted replica was never re-admitted"
+        );
+        assert_eq!(fleet.per_replica_forwarded.len(), fleet.replicas);
     }
     if let Some(tune) = &artifact.autotune {
         assert!(

@@ -1,0 +1,481 @@
+//! Replica endpoints and routing policies.
+//!
+//! A [`Replica`] is one backend `serve_http` process as seen from the
+//! router: an address, a health flag flipped by the prober, per-replica
+//! traffic counters, and a small pool of keep-alive [`HttpClient`]
+//! connections. [`candidates`] orders the current replica set for a given
+//! model under a [`RoutingPolicy`] — consistent hashing (stable per-model
+//! placement, deterministic failover order) or least-loaded (router-local
+//! in-flight count) — always healthy replicas first.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tdc_serve::http::HttpResponseParts;
+use tdc_serve::HttpClient;
+
+/// Cap on pooled keep-alive connections per replica; excess connections are
+/// simply dropped after use.
+const POOL_LIMIT: usize = 8;
+
+/// Virtual nodes per replica on the consistent-hash ring. More vnodes smooth
+/// the per-model placement distribution across small fleets.
+const VNODES: usize = 16;
+
+/// How requests pick a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// FNV-1a consistent hashing of the model name onto a vnode ring:
+    /// a model sticks to one replica (warm plan cache, stable batching)
+    /// and the ring walk gives every model a deterministic failover order.
+    ConsistentHash,
+    /// Pick the replica with the fewest router-observed in-flight requests
+    /// (ties broken by replica id). Spreads a single hot model evenly.
+    LeastLoaded,
+}
+
+impl RoutingPolicy {
+    /// Parse a CLI label (`hash` / `least-loaded`).
+    pub fn parse(label: &str) -> Option<RoutingPolicy> {
+        match label {
+            "hash" | "consistent-hash" => Some(RoutingPolicy::ConsistentHash),
+            "least-loaded" | "least_loaded" => Some(RoutingPolicy::LeastLoaded),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI/metrics label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::ConsistentHash => "consistent-hash",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the same cheap, dependency-free hash the plan cache's
+/// spill filenames use. Stable across processes, unlike `DefaultHasher`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One backend `serve_http` endpoint plus the router's view of it.
+pub struct Replica {
+    id: usize,
+    addr: SocketAddr,
+    healthy: AtomicBool,
+    probe_failures: AtomicU32,
+    probe_successes: AtomicU32,
+    inflight: AtomicU64,
+    forwarded: AtomicU64,
+    data_errors: AtomicU64,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+    probe_models: AtomicU64,
+    probe_epoch: AtomicU64,
+    probe_queue_depth: AtomicU64,
+    pool: Mutex<Vec<HttpClient>>,
+}
+
+impl Replica {
+    /// A new replica, assumed healthy until the prober says otherwise.
+    pub fn new(id: usize, addr: SocketAddr) -> Replica {
+        Replica {
+            id,
+            addr,
+            healthy: AtomicBool::new(true),
+            probe_failures: AtomicU32::new(0),
+            probe_successes: AtomicU32::new(0),
+            inflight: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            data_errors: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+            probe_models: AtomicU64::new(0),
+            probe_epoch: AtomicU64::new(0),
+            probe_queue_depth: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stable replica id (assigned in registration order).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The backend's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Is the replica currently admitted for routing?
+    pub fn healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Router-local in-flight request count (the least-loaded signal).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Requests successfully forwarded to this replica.
+    pub fn forwarded_total(&self) -> u64 {
+        self.forwarded.load(Ordering::SeqCst)
+    }
+
+    /// Data-path I/O errors (connect failures, resets, timeouts).
+    pub fn data_errors_total(&self) -> u64 {
+        self.data_errors.load(Ordering::SeqCst)
+    }
+
+    /// Times the prober ejected this replica.
+    pub fn ejections_total(&self) -> u64 {
+        self.ejections.load(Ordering::SeqCst)
+    }
+
+    /// Times the prober re-admitted this replica after recovery.
+    pub fn readmissions_total(&self) -> u64 {
+        self.readmissions.load(Ordering::SeqCst)
+    }
+
+    /// Model count reported by the replica's last successful health probe.
+    pub fn probe_models(&self) -> u64 {
+        self.probe_models.load(Ordering::SeqCst)
+    }
+
+    /// Registry table epoch from the last successful health probe.
+    pub fn probe_epoch(&self) -> u64 {
+        self.probe_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Aggregate queue depth from the last successful health probe.
+    pub fn probe_queue_depth(&self) -> u64 {
+        self.probe_queue_depth.load(Ordering::SeqCst)
+    }
+
+    /// Record a successful readiness probe. Returns `true` when this success
+    /// crosses `readmit_after` consecutive successes on an ejected replica —
+    /// i.e. the replica was just re-admitted.
+    pub fn note_probe_success(
+        &self,
+        models: u64,
+        epoch: u64,
+        queue_depth: u64,
+        readmit_after: u32,
+    ) -> bool {
+        self.probe_models.store(models, Ordering::SeqCst);
+        self.probe_epoch.store(epoch, Ordering::SeqCst);
+        self.probe_queue_depth.store(queue_depth, Ordering::SeqCst);
+        self.probe_failures.store(0, Ordering::SeqCst);
+        let successes = self.probe_successes.fetch_add(1, Ordering::SeqCst) + 1;
+        if !self.healthy() && successes >= readmit_after {
+            self.healthy.store(true, Ordering::SeqCst);
+            self.readmissions.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// Record a failed readiness probe. Returns `true` when this failure
+    /// crosses `eject_after` consecutive failures on a healthy replica —
+    /// i.e. the replica was just ejected.
+    pub fn note_probe_failure(&self, eject_after: u32) -> bool {
+        self.probe_successes.store(0, Ordering::SeqCst);
+        let failures = self.probe_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.healthy() && failures >= eject_after {
+            self.healthy.store(false, Ordering::SeqCst);
+            self.ejections.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// Record a successful data-path forward.
+    pub fn note_forwarded(&self) {
+        self.forwarded.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record a data-path I/O error.
+    pub fn note_data_error(&self) {
+        self.data_errors.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// RAII in-flight marker: increments the least-loaded signal for the
+    /// duration of one forwarded request.
+    pub fn begin(self: &Arc<Self>) -> InflightGuard {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        InflightGuard {
+            replica: Arc::clone(self),
+        }
+    }
+
+    /// Issue one HTTP request to this replica with a per-request timeout,
+    /// reusing a pooled keep-alive connection when one is available.
+    ///
+    /// A non-timeout failure on a *pooled* connection is retried once on a
+    /// fresh connection: the overwhelmingly likely cause is the backend
+    /// closing an idle keep-alive socket, which surfaces as an immediate
+    /// EOF/reset before the request was processed. Timeouts are never
+    /// retried here — the request may be mid-execution on the backend and
+    /// retrying would double-submit work (the router's failover layer
+    /// decides what happens next).
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        timeout: Duration,
+    ) -> io::Result<HttpResponseParts> {
+        let pooled = self
+            .pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop();
+        if let Some(mut client) = pooled {
+            client.set_request_timeout(Some(timeout))?;
+            match client.request_with_headers(method, path, body) {
+                Ok(parts) => {
+                    self.release(client);
+                    return Ok(parts);
+                }
+                Err(error) if tdc_serve::http::is_timeout(&error) => return Err(error),
+                Err(_) => {
+                    // Stale keep-alive socket; fall through to a fresh one.
+                }
+            }
+        }
+        let mut client = HttpClient::connect_with_timeout(&self.addr, timeout)?;
+        let parts = client.request_with_headers(method, path, body)?;
+        self.release(client);
+        Ok(parts)
+    }
+
+    fn release(&self, client: HttpClient) {
+        let mut pool = self
+            .pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if pool.len() < POOL_LIMIT {
+            pool.push(client);
+        }
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("healthy", &self.healthy())
+            .field("inflight", &self.inflight())
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`Replica::begin`]; decrements the in-flight
+/// counter on drop.
+pub struct InflightGuard {
+    replica: Arc<Replica>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.replica.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Order the replica set for one request: the policy's preference order,
+/// partitioned so healthy replicas come first (relative order preserved).
+/// Unhealthy replicas stay at the tail as a last resort — if every replica
+/// is ejected the router still tries rather than shedding outright.
+pub fn candidates(
+    replicas: &[Arc<Replica>],
+    model: &str,
+    policy: RoutingPolicy,
+) -> Vec<Arc<Replica>> {
+    if replicas.is_empty() {
+        return Vec::new();
+    }
+    let order: Vec<Arc<Replica>> = match policy {
+        RoutingPolicy::ConsistentHash => hash_order(replicas, model),
+        RoutingPolicy::LeastLoaded => {
+            let mut sorted: Vec<Arc<Replica>> = replicas.to_vec();
+            sorted.sort_by_key(|replica| (replica.inflight(), replica.id()));
+            sorted
+        }
+    };
+    let (healthy, unhealthy): (Vec<_>, Vec<_>) =
+        order.into_iter().partition(|replica| replica.healthy());
+    healthy.into_iter().chain(unhealthy).collect()
+}
+
+/// Walk the vnode ring clockwise from the model's hash point, collecting
+/// each distinct replica the first time one of its vnodes appears. The
+/// resulting order is the model's stable placement plus its deterministic
+/// failover sequence.
+fn hash_order(replicas: &[Arc<Replica>], model: &str) -> Vec<Arc<Replica>> {
+    let mut ring: Vec<(u64, usize)> = Vec::with_capacity(replicas.len() * VNODES);
+    for (index, replica) in replicas.iter().enumerate() {
+        for vnode in 0..VNODES {
+            let point = fnv1a(format!("replica-{}-vnode-{vnode}", replica.id()).as_bytes());
+            ring.push((point, index));
+        }
+    }
+    ring.sort_unstable();
+    let hash = fnv1a(model.as_bytes());
+    let start = ring.partition_point(|(point, _)| *point < hash) % ring.len();
+    let mut seen = vec![false; replicas.len()];
+    let mut order = Vec::with_capacity(replicas.len());
+    for step in 0..ring.len() {
+        let (_, index) = ring[(start + step) % ring.len()];
+        if !seen[index] {
+            seen[index] = true;
+            order.push(Arc::clone(&replicas[index]));
+            if order.len() == replicas.len() {
+                break;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<Arc<Replica>> {
+        (0..n)
+            .map(|id| {
+                Arc::new(Replica::new(
+                    id,
+                    format!("127.0.0.1:{}", 9000 + id).parse().unwrap(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hash_order_is_deterministic_and_complete() {
+        let replicas = fleet(4);
+        let first = candidates(&replicas, "resnet", RoutingPolicy::ConsistentHash);
+        let second = candidates(&replicas, "resnet", RoutingPolicy::ConsistentHash);
+        let ids: Vec<usize> = first.iter().map(|r| r.id()).collect();
+        let again: Vec<usize> = second.iter().map(|r| r.id()).collect();
+        assert_eq!(ids, again);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            vec![0, 1, 2, 3],
+            "every replica appears exactly once"
+        );
+    }
+
+    #[test]
+    fn hash_order_spreads_models_across_replicas() {
+        let replicas = fleet(4);
+        let mut owners = std::collections::HashSet::new();
+        for model in ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"] {
+            let order = candidates(&replicas, model, RoutingPolicy::ConsistentHash);
+            owners.insert(order[0].id());
+        }
+        assert!(
+            owners.len() >= 2,
+            "six models should not all land on one replica: {owners:?}"
+        );
+    }
+
+    #[test]
+    fn least_loaded_orders_by_inflight_then_id() {
+        let replicas = fleet(3);
+        let _busy = replicas[0].begin();
+        let _busier_a = replicas[1].begin();
+        let _busier_b = replicas[1].begin();
+        let order = candidates(&replicas, "any", RoutingPolicy::LeastLoaded);
+        let ids: Vec<usize> = order.iter().map(|r| r.id()).collect();
+        assert_eq!(ids, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn unhealthy_replicas_sink_to_the_tail() {
+        let replicas = fleet(3);
+        let order = candidates(&replicas, "m", RoutingPolicy::ConsistentHash);
+        let preferred = order[0].id();
+        // Eject the preferred replica; it must drop to the back.
+        assert!(!replicas[preferred].note_probe_failure(2));
+        assert!(replicas[preferred].note_probe_failure(2));
+        let after = candidates(&replicas, "m", RoutingPolicy::ConsistentHash);
+        assert_eq!(after.last().unwrap().id(), preferred);
+        assert!(after[0].healthy());
+    }
+
+    #[test]
+    fn probe_thresholds_gate_ejection_and_readmission() {
+        let replica = Arc::new(Replica::new(0, "127.0.0.1:9000".parse().unwrap()));
+        assert!(replica.healthy());
+        assert!(!replica.note_probe_failure(3));
+        assert!(!replica.note_probe_failure(3));
+        assert!(replica.note_probe_failure(3), "third failure ejects");
+        assert!(!replica.healthy());
+        assert_eq!(replica.ejections_total(), 1);
+        // One success is not enough to re-admit at readmit_after=2.
+        assert!(!replica.note_probe_success(2, 7, 0, 2));
+        assert!(!replica.healthy());
+        assert!(
+            replica.note_probe_success(2, 7, 0, 2),
+            "second success re-admits"
+        );
+        assert!(replica.healthy());
+        assert_eq!(replica.readmissions_total(), 1);
+        assert_eq!(replica.probe_models(), 2);
+        assert_eq!(replica.probe_epoch(), 7);
+        // A failure mid-recovery resets the success streak.
+        replica.note_probe_failure(2);
+        replica.note_probe_failure(2);
+        assert!(!replica.healthy());
+        assert!(!replica.note_probe_success(2, 8, 0, 2));
+        assert!(!replica.note_probe_failure(2), "already ejected");
+        assert!(!replica.note_probe_success(2, 8, 0, 2), "streak was reset");
+        assert!(replica.note_probe_success(2, 8, 0, 2));
+    }
+
+    #[test]
+    fn inflight_guard_is_raii() {
+        let replicas = fleet(1);
+        assert_eq!(replicas[0].inflight(), 0);
+        {
+            let _a = replicas[0].begin();
+            let _b = replicas[0].begin();
+            assert_eq!(replicas[0].inflight(), 2);
+        }
+        assert_eq!(replicas[0].inflight(), 0);
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for policy in [RoutingPolicy::ConsistentHash, RoutingPolicy::LeastLoaded] {
+            assert_eq!(RoutingPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(
+            RoutingPolicy::parse("hash"),
+            Some(RoutingPolicy::ConsistentHash)
+        );
+        assert_eq!(RoutingPolicy::parse("bogus"), None);
+    }
+}

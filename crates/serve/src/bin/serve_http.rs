@@ -20,11 +20,20 @@
 //! Usage:
 //!
 //! ```text
-//! serve_http [--addr HOST:PORT] [--models N] [--default-deadline-ms D] [--smoke]
+//! serve_http [--addr HOST:PORT] [--models N] [--default-deadline-ms D]
+//!            [--spill-dir DIR] [--smoke]
 //! ```
 //!
+//! `--spill-dir DIR` persists every planned model to `DIR` as JSON and warms
+//! the plan cache from it on start — replicas sharing one directory skip
+//! rank selection for plans a sibling already computed. `POST
+//! /admin/shutdown` drains gracefully (stop accepting, finish in-flight
+//! requests, drain the engines) and exits 0 — how a fleet router restarts
+//! replicas deterministically.
+//!
 //! Environment fallbacks: `SERVE_HTTP_ADDR` (default `127.0.0.1:7878`;
-//! `--smoke` defaults to an ephemeral port), `SERVE_HTTP_MODELS` (default 2).
+//! `--smoke` defaults to an ephemeral port), `SERVE_HTTP_MODELS` (default
+//! 2), `SERVE_HTTP_SPILL_DIR`.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -35,13 +44,14 @@ use tdc_serve::http::{
 };
 use tdc_serve::{
     serving_descriptor, BackendKind, BatchingOptions, HttpClient, HttpServer, ModelConfig,
-    ModelRegistry, PlanningOptions, ReplanReport, RuntimeOptions, ServeEngine,
+    ModelRegistry, PlanCache, PlanningOptions, ReplanReport, RuntimeOptions, ServeEngine,
 };
 
 struct Flags {
     addr: String,
     models: usize,
     default_deadline: Option<Duration>,
+    spill_dir: Option<String>,
     smoke: bool,
 }
 
@@ -51,6 +61,7 @@ fn parse_flags() -> Flags {
         .ok()
         .and_then(|v| v.parse().ok());
     let mut default_deadline = None;
+    let mut spill_dir = std::env::var("SERVE_HTTP_SPILL_DIR").ok();
     let mut smoke = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -83,12 +94,13 @@ fn parse_flags() -> Flags {
                     }
                 }
             }
+            "--spill-dir" => spill_dir = Some(value_for(&mut i, "--spill-dir")),
             "--smoke" => smoke = true,
             other => {
                 eprintln!(
                     "serve_http: unknown flag {other:?}; usage: \
                      serve_http [--addr HOST:PORT] [--models N] \
-                     [--default-deadline-ms D] [--smoke]"
+                     [--default-deadline-ms D] [--spill-dir DIR] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -106,14 +118,34 @@ fn parse_flags() -> Flags {
         }),
         models: models.unwrap_or(2).max(1),
         default_deadline,
+        spill_dir,
         smoke,
     }
 }
 
 /// Register `n` miniature models: sizes vary so the models are genuinely
-/// different networks, and the backend alternates CPU / sim-GPU.
-fn build_registry(n: usize, default_deadline: Option<Duration>) -> ModelRegistry {
-    let registry = ModelRegistry::new(n.max(2) + 2);
+/// different networks, and the backend alternates CPU / sim-GPU. With a
+/// spill directory, every planned model is persisted as JSON — a later
+/// replica pointed at the same directory warms its plan cache from disk
+/// instead of re-running rank selection.
+fn build_registry(
+    n: usize,
+    default_deadline: Option<Duration>,
+    spill_dir: Option<&str>,
+) -> ModelRegistry {
+    let capacity = n.max(2) + 2;
+    let registry = match spill_dir {
+        Some(dir) => {
+            let cache = PlanCache::new(capacity)
+                .with_spill_dir(dir)
+                .unwrap_or_else(|e| {
+                    eprintln!("serve_http: cannot use --spill-dir {dir:?}: {e}");
+                    std::process::exit(2);
+                });
+            ModelRegistry::with_cache(cache)
+        }
+        None => ModelRegistry::new(capacity),
+    };
     for index in 0..n {
         let descriptor = serving_descriptor(&format!("svc-{index}"), 10 + 2 * index, 4, 6);
         let backend = if index % 2 == 0 {
@@ -153,6 +185,11 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
     };
 
     let health = check(200, "GET", "/healthz", None)?;
+    let parsed: tdc_serve::HealthReply = serde_json::from_str(&health)
+        .map_err(|e| format!("GET /healthz: bad readiness body: {}", e.message))?;
+    if parsed.status != "ok" || !parsed.ready || parsed.admission != "open" {
+        return Err(format!("GET /healthz: not ready: {health}"));
+    }
     println!("  GET /healthz          -> 200 {health}");
     let models = check(200, "GET", "/v1/models", None)?;
     println!("  GET /v1/models        -> 200 ({} bytes)", models.len());
@@ -382,7 +419,11 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
 
 fn main() {
     let flags = parse_flags();
-    let registry = Arc::new(build_registry(flags.models, flags.default_deadline));
+    let registry = Arc::new(build_registry(
+        flags.models,
+        flags.default_deadline,
+        flags.spill_dir.as_deref(),
+    ));
     let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
     let server = HttpServer::bind(&flags.addr, registry).expect("bind HTTP front end");
     let addr = server.local_addr();
@@ -423,8 +464,23 @@ fn main() {
         return;
     }
 
-    // Serve until the process is killed; the acceptor thread owns the socket.
-    loop {
-        std::thread::park();
-    }
+    // Serve until `POST /admin/shutdown` (or the process is killed). On the
+    // admin route the drain is graceful: stop accepting, finish in-flight
+    // requests, drain every engine, exit 0.
+    let signal = server
+        .shutdown_signal()
+        .expect("registry-bound server has a shutdown signal");
+    signal.wait();
+    println!("tdc-serve: shutdown requested, draining");
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    let reports = registry.shutdown();
+    println!(
+        "tdc-serve: drained {} model(s), {} request(s) served",
+        reports.len(),
+        reports
+            .iter()
+            .map(|(_, r)| r.metrics.completed_requests)
+            .sum::<u64>()
+    );
 }

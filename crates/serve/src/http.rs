@@ -23,7 +23,8 @@
 //! | `POST` | `/v1/models/{name}/infer`     | run one sample (or a batch) through `{name}` |
 //! | `GET`  | `/v1/models`                  | [`ModelInfo`](crate::registry::ModelInfo) list |
 //! | `GET`  | `/metrics`                    | [`RegistryMetrics`](crate::registry::RegistryMetrics) snapshot |
-//! | `GET`  | `/healthz`                    | liveness + model count |
+//! | `GET`  | `/healthz`                    | readiness JSON ([`HealthReply`]): model count, table epoch, admission state |
+//! | `POST` | `/admin/shutdown`             | request graceful shutdown (the daemon drains and exits) |
 //!
 //! …and the admin plane, backed by the [control plane](crate::control)
 //! (every operation is safe on a live, serving process):
@@ -59,6 +60,11 @@
 //! through the stand-in's shortest-round-trip float formatting, so an output
 //! fetched over HTTP equals the in-process [`InferenceResponse`] bit for bit
 //! — whether the connection is reused or closed per request.
+//!
+//! The connection machinery is reusable beyond the registry: any
+//! [`HttpHandler`] can sit behind [`HttpServer::bind_with_handler`] — that
+//! is how the `tdc-router` crate fronts a whole replica fleet with this
+//! same std-only server.
 
 use crate::batcher::InferenceResponse;
 use crate::control::AutotuneRequest;
@@ -69,7 +75,7 @@ use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tdc_gpu_sim::DeviceSpec;
@@ -532,10 +538,53 @@ pub struct BatchInferReply {
     pub batch_sizes: Vec<usize>,
 }
 
-#[derive(serde::Serialize)]
-struct HealthReply {
-    status: String,
-    models: usize,
+/// JSON body of `GET /healthz`: liveness plus the readiness detail a fleet
+/// health-checker consumes. The original plain-liveness contract is kept —
+/// the reply is still a `200` whose body contains `"status":"ok"` and the
+/// model count — and the readiness fields ride along.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HealthReply {
+    /// Liveness: always `"ok"` on a serving process.
+    pub status: String,
+    /// Registered model count.
+    pub models: usize,
+    /// Routing-table epoch (bumps on every admin mutation).
+    pub epoch: u64,
+    /// Total queued requests across every model.
+    pub queue_depth: usize,
+    /// Admission state: `"open"`, or `"saturated"` when at least one model's
+    /// queue sits at its admission bound (new submits there answer `429`).
+    pub admission: String,
+    /// Readiness: the process accepts inference traffic.
+    pub ready: bool,
+}
+
+impl HealthReply {
+    /// Snapshot `registry`'s health.
+    pub fn snapshot(registry: &ModelRegistry) -> HealthReply {
+        let mut queue_depth = 0usize;
+        let mut models = 0usize;
+        let mut saturated = false;
+        for name in registry.names() {
+            // A model retired between names() and here simply drops out.
+            let Ok(engine) = registry.engine(&name) else {
+                continue;
+            };
+            models += 1;
+            let depth = engine.queue_depth();
+            queue_depth += depth;
+            let bound = engine.info().max_queue_depth;
+            saturated |= bound > 0 && depth >= bound;
+        }
+        HealthReply {
+            status: "ok".to_string(),
+            models,
+            epoch: registry.epoch(),
+            queue_depth,
+            admission: if saturated { "saturated" } else { "open" }.to_string(),
+            ready: true,
+        }
+    }
 }
 
 #[derive(serde::Serialize)]
@@ -549,12 +598,41 @@ struct ErrorReply {
 }
 
 /// One routed reply: status, JSON body and (for shed-load responses) the
-/// `Retry-After` value in seconds.
-struct Routed {
-    status: u16,
-    body: String,
-    retry_after: Option<u64>,
+/// `Retry-After` value in seconds. What an [`HttpHandler`] returns and the
+/// connection loop writes.
+pub struct RoutedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON response body.
+    pub body: String,
+    /// `Retry-After` header value in seconds, on shed-load responses.
+    pub retry_after: Option<u64>,
 }
+
+impl RoutedResponse {
+    /// A JSON reply at `status` (serialization failures degrade to an
+    /// `error` body rather than panicking the connection handler).
+    pub fn json(status: u16, body: &impl serde::Serialize) -> RoutedResponse {
+        json_routed(status, body)
+    }
+
+    /// An `{"error": message}` reply at `status`.
+    pub fn error(status: u16, message: impl std::fmt::Display) -> RoutedResponse {
+        error_routed(status, message)
+    }
+}
+
+/// What the connection loop serves: anything that maps one parsed request
+/// onto a [`RoutedResponse`]. [`HttpServer::bind`] installs the registry
+/// handler; [`HttpServer::bind_with_handler`] accepts any implementation —
+/// the way `tdc-router` reuses this server for a replica-fleet front end.
+pub trait HttpHandler: Send + Sync + 'static {
+    /// Answer one request. Runs on a connection-handler thread; blocking
+    /// here blocks only that connection.
+    fn handle(&self, method: &str, path: &str, body: &str) -> RoutedResponse;
+}
+
+type Routed = RoutedResponse;
 
 fn json_routed(status: u16, body: &impl serde::Serialize) -> Routed {
     Routed {
@@ -572,6 +650,117 @@ fn error_routed(status: u16, message: impl std::fmt::Display) -> Routed {
             error: message.to_string(),
         },
     )
+}
+
+/// A one-shot, waitable shutdown request — how `POST /admin/shutdown`
+/// reaches the daemon's main thread. Cloning shares the signal.
+#[derive(Clone)]
+pub struct ShutdownSignal {
+    inner: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, un-requested signal.
+    pub fn new() -> ShutdownSignal {
+        ShutdownSignal {
+            inner: Arc::new((Mutex::new(false), Condvar::new())),
+        }
+    }
+
+    /// Request shutdown, waking every [`wait`](ShutdownSignal::wait)er.
+    pub fn request(&self) {
+        let (flag, condvar) = &*self.inner;
+        let mut requested = match flag.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *requested = true;
+        condvar.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn requested(&self) -> bool {
+        let (flag, _) = &*self.inner;
+        match flag.lock() {
+            Ok(guard) => *guard,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
+    }
+
+    /// Block until shutdown is requested.
+    pub fn wait(&self) {
+        let (flag, condvar) = &*self.inner;
+        let mut requested = match flag.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while !*requested {
+            requested = match condvar.wait(requested) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Block until shutdown is requested or `timeout` passes; returns
+    /// whether shutdown was requested.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let (flag, condvar) = &*self.inner;
+        let mut requested = match flag.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while !*requested {
+            let remaining = match deadline.checked_duration_since(Instant::now()) {
+                Some(remaining) if !remaining.is_zero() => remaining,
+                _ => return false,
+            };
+            requested = match condvar.wait_timeout(requested, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        true
+    }
+}
+
+impl Default for ShutdownSignal {
+    fn default() -> Self {
+        ShutdownSignal::new()
+    }
+}
+
+/// The registry-backed [`HttpHandler`] that [`HttpServer::bind`] installs:
+/// the full route table, plus `POST /admin/shutdown`, which requests the
+/// server's [`ShutdownSignal`] (the daemon's main thread waits on it and
+/// runs the graceful drain) and answers before any teardown begins.
+struct RegistryHandler {
+    registry: Arc<ModelRegistry>,
+    shutdown: ShutdownSignal,
+}
+
+impl HttpHandler for RegistryHandler {
+    fn handle(&self, method: &str, path: &str, body: &str) -> RoutedResponse {
+        if (method, path) == ("POST", "/admin/shutdown") {
+            self.shutdown.request();
+            return json_routed(200, &StatusReply::shutting_down());
+        }
+        route_full(&self.registry, method, path, body)
+    }
+}
+
+#[derive(serde::Serialize)]
+struct StatusReply {
+    status: String,
+}
+
+impl StatusReply {
+    fn shutting_down() -> StatusReply {
+        StatusReply {
+            status: "shutting-down".to_string(),
+        }
+    }
 }
 
 /// Map a [`ServeError`] onto its status and body; shed-load conditions
@@ -842,13 +1031,7 @@ fn autotune_model(registry: &ModelRegistry, name: &str, body: &str) -> Routed {
 /// onto a reply with status, JSON body and optional Retry-After.
 fn route_full(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> Routed {
     match (method, path) {
-        ("GET", "/healthz") => json_routed(
-            200,
-            &HealthReply {
-                status: "ok".to_string(),
-                models: registry.len(),
-            },
-        ),
+        ("GET", "/healthz") => json_routed(200, &HealthReply::snapshot(registry)),
         ("GET", "/v1/models") => json_routed(
             200,
             &ModelsReply {
@@ -1116,7 +1299,7 @@ fn write_response(
 /// client asks to close, the request budget runs out, the connection idles
 /// past the timeout, or the server stops.
 fn handle_connection(
-    registry: &ModelRegistry,
+    handler: &dyn HttpHandler,
     mut stream: TcpStream,
     stop: &AtomicBool,
     max_requests: usize,
@@ -1139,7 +1322,7 @@ fn handle_connection(
             }
             ParseOutcome::Request(request) => {
                 served += 1;
-                let routed = route_full(registry, &request.method, &request.path, &request.body);
+                let routed = handler.handle(&request.method, &request.path, &request.body);
                 let close =
                     !request.keep_alive || served >= max_requests || stop.load(Ordering::SeqCst);
                 let written = write_response(
@@ -1159,9 +1342,12 @@ fn handle_connection(
 
 /// The running HTTP front end: an acceptor thread plus per-connection
 /// handler threads (each running a keep-alive request loop), all routing
-/// into a shared [`ModelRegistry`].
+/// into a shared [`HttpHandler`] — usually the registry handler that
+/// [`bind`](HttpServer::bind) installs, or any custom implementation via
+/// [`bind_with_handler`](HttpServer::bind_with_handler).
 pub struct HttpServer {
-    registry: Arc<ModelRegistry>,
+    registry: Option<Arc<ModelRegistry>>,
+    shutdown_signal: Option<ShutdownSignal>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
@@ -1170,8 +1356,26 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Bind `addr` (e.g. `"127.0.0.1:7878"`; port `0` picks a free port) and
-    /// start accepting connections against `registry`.
+    /// start accepting connections against `registry` — the full route
+    /// table plus `POST /admin/shutdown`, whose requests surface on
+    /// [`shutdown_signal`](HttpServer::shutdown_signal).
     pub fn bind(addr: &str, registry: Arc<ModelRegistry>) -> Result<HttpServer> {
+        let shutdown = ShutdownSignal::new();
+        let handler = Arc::new(RegistryHandler {
+            registry: Arc::clone(&registry),
+            shutdown: shutdown.clone(),
+        });
+        let mut server = HttpServer::bind_with_handler(addr, handler)?;
+        server.registry = Some(registry);
+        server.shutdown_signal = Some(shutdown);
+        Ok(server)
+    }
+
+    /// Bind `addr` and serve connections through an arbitrary handler. The
+    /// returned server has no registry: tear it down with
+    /// [`stop`](HttpServer::stop) (or drop), not
+    /// [`shutdown`](HttpServer::shutdown).
+    pub fn bind_with_handler(addr: &str, handler: Arc<dyn HttpHandler>) -> Result<HttpServer> {
         let listener = TcpListener::bind(addr).map_err(|e| ServeError::Runtime {
             reason: format!("cannot bind {addr}: {e}"),
         })?;
@@ -1181,7 +1385,7 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
-            let registry = Arc::clone(&registry);
+            let handler = Arc::clone(&handler);
             let stop = Arc::clone(&stop);
             let handlers = Arc::clone(&handlers);
             std::thread::Builder::new()
@@ -1205,16 +1409,16 @@ impl HttpServer {
                             handlers.len() >= MAX_HANDLER_THREADS
                         };
                         if at_capacity {
-                            handle_connection(&registry, stream, &stop, 1);
+                            handle_connection(handler.as_ref(), stream, &stop, 1);
                             continue;
                         }
-                        let conn_registry = Arc::clone(&registry);
+                        let conn_handler = Arc::clone(&handler);
                         let conn_stop = Arc::clone(&stop);
                         let spawned = std::thread::Builder::new()
                             .name("tdc-serve-http-conn".to_string())
                             .spawn(move || {
                                 handle_connection(
-                                    &conn_registry,
+                                    conn_handler.as_ref(),
                                     stream,
                                     &conn_stop,
                                     MAX_REQUESTS_PER_CONNECTION,
@@ -1239,7 +1443,8 @@ impl HttpServer {
                 })?
         };
         Ok(HttpServer {
-            registry,
+            registry: None,
+            shutdown_signal: None,
             local_addr,
             stop,
             acceptor: Some(acceptor),
@@ -1253,8 +1458,22 @@ impl HttpServer {
     }
 
     /// The registry this server routes into.
+    ///
+    /// # Panics
+    ///
+    /// On a handler-bound server ([`bind_with_handler`](HttpServer::bind_with_handler)),
+    /// which has no registry.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
-        &self.registry
+        self.registry
+            .as_ref()
+            .expect("handler-bound HttpServer has no registry")
+    }
+
+    /// The signal `POST /admin/shutdown` requests — a registry-bound
+    /// server's daemon waits on it and then runs the graceful drain.
+    /// `None` on a handler-bound server (its handler owns lifecycle).
+    pub fn shutdown_signal(&self) -> Option<ShutdownSignal> {
+        self.shutdown_signal.clone()
     }
 
     fn stop_threads(&mut self) {
@@ -1293,9 +1512,24 @@ impl HttpServer {
     /// Stop accepting connections, finish in-flight requests and return the
     /// registry (so the caller can in turn drain the engines with
     /// [`ModelRegistry::shutdown`] once it holds the only reference).
+    ///
+    /// # Panics
+    ///
+    /// On a handler-bound server, which has no registry — use
+    /// [`stop`](HttpServer::stop) there.
     pub fn shutdown(mut self) -> Arc<ModelRegistry> {
         self.stop_threads();
-        Arc::clone(&self.registry)
+        Arc::clone(
+            self.registry
+                .as_ref()
+                .expect("handler-bound HttpServer has no registry; use stop()"),
+        )
+    }
+
+    /// Stop accepting connections and finish in-flight requests, without
+    /// touching any registry — the teardown for handler-bound servers.
+    pub fn stop(mut self) {
+        self.stop_threads();
     }
 }
 
@@ -1430,16 +1664,50 @@ pub fn http_request_with_headers(
     read_response_with_headers(&mut stream, &mut Vec::new())
 }
 
+/// Re-type a raw socket timeout (`WouldBlock` on Unix) as the conventional
+/// [`TimedOut`](std::io::ErrorKind::TimedOut); other errors pass through.
+fn map_timeout(error: std::io::Error) -> std::io::Error {
+    if is_timeout(&error) && error.kind() != std::io::ErrorKind::TimedOut {
+        std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            format!("HTTP request timed out: {error}"),
+        )
+    } else {
+        error
+    }
+}
+
+/// Whether an I/O error is a timeout — either the typed
+/// [`TimedOut`](std::io::ErrorKind::TimedOut) a deadline-bounded
+/// [`HttpClient`] raises, or the raw
+/// [`WouldBlock`](std::io::ErrorKind::WouldBlock) a socket read timeout
+/// surfaces as on Unix.
+pub fn is_timeout(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
 /// A persistent HTTP/1.1 test client: one TCP connection serving any number
 /// of sequential `Connection: keep-alive` requests, reading each response by
 /// its `Content-Length`. The counterpart of the server's keep-alive loop —
 /// and the way to verify that N requests really shared one connection
 /// ([`HttpClient::requests_sent`]).
+///
+/// With [`connect_with_timeout`](HttpClient::connect_with_timeout) (or
+/// [`set_request_timeout`](HttpClient::set_request_timeout)) every socket
+/// operation is bounded: connecting, writing and each read return a typed
+/// [`TimedOut`](std::io::ErrorKind::TimedOut) error instead of hanging on a
+/// wedged peer — which is what lets a fleet health-checker probe replicas
+/// without ever blocking the prober. After a timeout the connection is no
+/// longer at a response boundary; drop the client and reconnect.
 pub struct HttpClient {
     stream: TcpStream,
     addr: SocketAddr,
     buffer: Vec<u8>,
     requests_sent: u64,
+    timeout: Option<Duration>,
 }
 
 impl HttpClient {
@@ -1452,7 +1720,38 @@ impl HttpClient {
             addr: *addr,
             buffer: Vec::with_capacity(1024),
             requests_sent: 0,
+            timeout: None,
         })
+    }
+
+    /// Open one connection to `addr`, bounding the connect itself and every
+    /// later socket operation by `timeout`.
+    pub fn connect_with_timeout(
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(addr, timeout).map_err(map_timeout)?;
+        let mut client = HttpClient {
+            stream,
+            addr: *addr,
+            buffer: Vec::with_capacity(1024),
+            requests_sent: 0,
+            timeout: None,
+        };
+        client.set_request_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Bound (or, with `None`, unbound back to the 10 s read default)
+    /// every subsequent socket operation on this connection.
+    pub fn set_request_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(
+            timeout.filter(|t| !t.is_zero()).unwrap_or(READ_TIMEOUT),
+        ))?;
+        self.stream
+            .set_write_timeout(timeout.filter(|t| !t.is_zero()))?;
+        self.timeout = timeout;
+        Ok(())
     }
 
     /// Send one keep-alive request on the shared connection and read its
@@ -1463,9 +1762,30 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
-        write_request(&mut self.stream, &self.addr, method, path, body, true)?;
-        self.requests_sent += 1;
-        read_response(&mut self.stream, &mut self.buffer)
+        let (status, _, body) = self.request_with_headers(method, path, body)?;
+        Ok((status, body))
+    }
+
+    /// [`request`](HttpClient::request), additionally returning the response
+    /// headers as lower-cased `(name, value)` pairs — e.g. to read
+    /// `Retry-After` off a shed-load response.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponseParts> {
+        let result = (|| -> std::io::Result<HttpResponseParts> {
+            write_request(&mut self.stream, &self.addr, method, path, body, true)?;
+            self.requests_sent += 1;
+            read_response_with_headers(&mut self.stream, &mut self.buffer)
+        })();
+        // With a configured deadline, surface the socket's WouldBlock as the
+        // typed timeout this client promises.
+        match result {
+            Err(e) if self.timeout.is_some() && is_timeout(&e) => Err(map_timeout(e)),
+            other => other,
+        }
     }
 
     /// How many requests were sent over this single connection.

@@ -41,11 +41,14 @@
 //!   `GET /healthz`, plus the admin routes `PUT`/`DELETE /v1/models/{name}`,
 //!   `POST /v1/models/{name}/replan` and `POST /v1/models/{name}/autotune`.
 //!
-//! The `serve_bench` binary drives a synthetic open-loop workload (per
-//! backend, or mixed multi-model traffic with `--models N`) and records a
-//! `BENCH_serve.json` artifact (schema 3); the `serve_http` binary is the
-//! HTTP daemon; `examples/serve_demo.rs` at the repository root is the
-//! minimal end-to-end tour.
+//! The `serve_http` binary is the HTTP daemon; the `serve_bench` binary
+//! (hosted by the `tdc-router` crate so it can also benchmark routed
+//! fleets) drives a synthetic open-loop workload and records a versioned
+//! `BENCH_serve.json` artifact; `examples/serve_demo.rs` at the repository
+//! root is the minimal end-to-end tour. For horizontal scale-out — N
+//! replica `serve_http` processes behind one routing front door — see the
+//! `tdc-router` crate, which reuses this crate's [`HttpServer`] via the
+//! [`HttpHandler`] trait and its keep-alive [`HttpClient`].
 //!
 //! # Example: one engine, then a registry
 //!
@@ -93,7 +96,7 @@ pub use control::{
     AutotuneProbe, AutotuneReport, AutotuneRequest, ControlPlane, EngineHandle, EpochSwap,
     LifecycleCounters, ReplanReport,
 };
-pub use http::{HttpClient, HttpServer};
+pub use http::{HealthReply, HttpClient, HttpHandler, HttpServer, RoutedResponse, ShutdownSignal};
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use model::CompressedModel;
 pub use options::{BatchingOptions, PlanningOptions, RuntimeOptions};

@@ -13,6 +13,8 @@
 //!   code generation, rank selection, end-to-end pipeline (`tdc`)
 //! * [`serve`] — batched inference serving with a compression-plan cache
 //!   (`tdc-serve`)
+//! * [`router`] — the replica-fleet router tier: health-driven ejection,
+//!   Retry-After-aware failover, fleet control-plane fan-out (`tdc-router`)
 //!
 //! See `README.md` for a quickstart.
 
@@ -20,6 +22,7 @@ pub use tdc as core;
 pub use tdc_conv as conv;
 pub use tdc_gpu_sim as gpu_sim;
 pub use tdc_nn as nn;
+pub use tdc_router as router;
 pub use tdc_serve as serve;
 pub use tdc_tensor as tensor;
 pub use tdc_tucker as tucker;
@@ -36,5 +39,6 @@ mod tests {
         let _ = crate::tucker::rank::RankPair::new(32, 32);
         let _ = crate::core::tiling::TilingStrategy::Model;
         let _ = crate::serve::PlanCache::new(2);
+        let _ = crate::router::RoutingPolicy::parse("least-loaded");
     }
 }

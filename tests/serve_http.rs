@@ -11,11 +11,11 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdc_repro::serve::http::{
-    http_request, BatchInferBody, BatchInferReply, InferBody, InferReply,
+    http_request, is_timeout, BatchInferBody, BatchInferReply, InferBody, InferReply,
 };
 use tdc_repro::serve::{
-    serving_descriptor, BackendKind, BatchingOptions, HttpClient, HttpServer, ModelConfig,
-    ModelRegistry, RuntimeOptions, ServeEngine, ServeError,
+    serving_descriptor, BackendKind, BatchingOptions, HealthReply, HttpClient, HttpServer,
+    ModelConfig, ModelRegistry, RuntimeOptions, ServeEngine, ServeError,
 };
 use tdc_repro::tensor::{init, Tensor};
 
@@ -304,6 +304,169 @@ fn past_deadline_request_answers_504_without_reaching_the_executor() {
         metrics_json.contains("\"total_deadline_exceeded\":1"),
         "{metrics_json}"
     );
+
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    registry.shutdown();
+}
+
+#[test]
+fn healthz_readiness_tracks_admission_saturation() {
+    // A congestible model: a single worker holds under-full batches open for
+    // 1.5 s, and the admission bound is 4 — four queued requests saturate it.
+    let registry = ModelRegistry::new(2);
+    registry
+        .register(
+            "hz",
+            &serving_descriptor("hz-model", 10, 4, 6),
+            ModelConfig {
+                batching: BatchingOptions {
+                    max_batch_size: 16,
+                    max_batch_delay: Duration::from_millis(1500),
+                    max_queue_depth: 4,
+                    ..BatchingOptions::default()
+                },
+                runtime: RuntimeOptions {
+                    workers: 1,
+                    ..RuntimeOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+    let addr = server.local_addr();
+    let registry = Arc::clone(server.registry());
+
+    // Idle fleet: alive, ready, admission open, nothing queued.
+    let (status, reply) = http_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    let health: HealthReply = serde_json::from_str(&reply).unwrap();
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.models, 1);
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(health.admission, "open");
+    assert!(health.ready, "an idle serving process must be ready");
+
+    // Fill the queue to the admission bound; the batch is still forming, so
+    // every submission is queued (not dispatched) for the next 1.5 s.
+    let mut rng = StdRng::seed_from_u64(99);
+    let admitted: Vec<_> = (0..4)
+        .map(|_| {
+            let input = init::uniform(vec![10, 10, 4], -1.0, 1.0, &mut rng);
+            registry.submit("hz", input).unwrap()
+        })
+        .collect();
+
+    let (status, reply) = http_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    let health: HealthReply = serde_json::from_str(&reply).unwrap();
+    assert_eq!(health.queue_depth, 4);
+    assert_eq!(
+        health.admission, "saturated",
+        "a queue at its admission bound must flip the health report"
+    );
+    assert!(health.ready, "saturation is backpressure, not unreadiness");
+
+    for pending in admitted {
+        pending.wait().unwrap();
+    }
+    drop(registry);
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    registry.shutdown();
+}
+
+#[test]
+fn admin_shutdown_surfaces_on_the_signal_and_answers_before_teardown() {
+    let registry = ModelRegistry::new(2);
+    registry
+        .register(
+            "sd",
+            &serving_descriptor("sd-model", 10, 4, 6),
+            ModelConfig::default(),
+        )
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+    let addr = server.local_addr();
+    let signal = server
+        .shutdown_signal()
+        .expect("a registry-bound server exposes its shutdown signal");
+    assert!(!signal.requested(), "signal must start un-requested");
+
+    let (status, reply) = http_request(&addr, "POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("shutting-down"), "{reply}");
+    assert!(
+        signal.wait_timeout(Duration::from_secs(2)),
+        "the admin request must reach the waitable signal"
+    );
+
+    // The handler only *requests* shutdown — the daemon owns the drain — so
+    // the listener keeps answering until its owner acts on the signal.
+    let (status, reply) = http_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{reply}");
+
+    let registry = server.shutdown();
+    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
+    registry.shutdown();
+}
+
+#[test]
+fn client_request_timeout_is_typed_and_a_fresh_connection_recovers() {
+    // A reply that cannot arrive within 150 ms: the single worker holds the
+    // under-full batch open for the full 1.5 s delay.
+    let registry = ModelRegistry::new(2);
+    registry
+        .register(
+            "to",
+            &serving_descriptor("to-model", 10, 4, 6),
+            ModelConfig {
+                batching: BatchingOptions {
+                    max_batch_size: 16,
+                    max_batch_delay: Duration::from_millis(1500),
+                    ..BatchingOptions::default()
+                },
+                runtime: RuntimeOptions {
+                    workers: 1,
+                    ..RuntimeOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(registry)).unwrap();
+    let addr = server.local_addr();
+    let body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; 10 * 10 * 4],
+        dims: Some(vec![10, 10, 4]),
+        deadline_ms: None,
+    })
+    .unwrap();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    client
+        .set_request_timeout(Some(Duration::from_millis(150)))
+        .unwrap();
+    let started = Instant::now();
+    let err = client
+        .request("POST", "/v1/models/to/infer", Some(&body))
+        .expect_err("a 1.5 s reply must trip a 150 ms request timeout");
+    assert!(
+        is_timeout(&err),
+        "the timeout must surface as a typed TimedOut/WouldBlock error, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_millis(1000),
+        "the client timeout did not bound the wait"
+    );
+
+    // The slow reply is still being produced server-side; a fresh
+    // connection without the aggressive timeout completes normally.
+    let (status, reply) = http_request(&addr, "POST", "/v1/models/to/infer", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    let reply: InferReply = serde_json::from_str(&reply).unwrap();
+    assert_eq!(reply.dims, vec![6]);
 
     let registry = server.shutdown();
     let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
