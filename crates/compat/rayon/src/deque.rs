@@ -1,0 +1,275 @@
+//! Work-stealing deque primitives in the style of `crossbeam-deque`.
+//!
+//! The build environment cannot reach crates.io, so the `Worker`/`Stealer`/
+//! `Injector` surface the fleet executor (`tdc-exec`) schedules on is
+//! provided here over `Mutex<VecDeque>` instead of the lock-free original.
+//! The *semantics* match crossbeam's: a `Worker` is the owner half of one
+//! deque (push and pop at the worker's end), its `Stealer` clones hand other
+//! threads the opposite end, and an `Injector` is a shared FIFO every thread
+//! may push to and steal from. At this workspace's scale (a handful of
+//! worker threads dispatching millisecond-scale batches) the mutex is
+//! nowhere near contention; correctness and API fidelity are what matter.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// Pop order of the owner's end of a [`Worker`] deque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// Owner pops the oldest task first.
+    Fifo,
+    /// Owner pops the newest task first; stealers still take the oldest.
+    Lifo,
+}
+
+fn lock<T>(queue: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    match queue.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The owner half of a work-stealing deque: the worker thread pushes and
+/// pops here, while [`Stealer`] clones take tasks from the opposite end.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A FIFO deque: the owner pops the oldest task, like stealers do.
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// A LIFO deque: the owner pops the task it pushed most recently,
+    /// stealers take the oldest.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// A stealer handle onto this deque; cloneable and shareable.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Push a task at the owner's end.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pop a task at the owner's end (oldest for FIFO, newest for LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let mut queue = lock(&self.queue);
+        match self.flavor {
+            Flavor::Fifo => queue.pop_front(),
+            Flavor::Lifo => queue.pop_back(),
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The thief half of a [`Worker`] deque: any thread may steal the oldest
+/// task.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task from the owning worker's deque.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks at the instant of the call.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Whether the deque was empty at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shared FIFO injector queue: every thread may push, every thread may
+/// steal. The global end of a work-stealing scheduler.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task at the tail.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steal the task at the head.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks at the instant of the call.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Whether the injector was empty at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_worker_pops_oldest_and_stealer_takes_the_same_end() {
+        let w: Worker<i32> = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn lifo_worker_pops_newest_while_stealers_take_oldest() {
+        let w: Worker<i32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops its most recent push");
+        assert_eq!(s.steal(), Steal::Success(1), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_a_shared_fifo() {
+        let inj: Injector<usize> = Injector::new();
+        assert!(inj.is_empty());
+        for i in 0..4 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 4);
+        for i in 0..4 {
+            assert_eq!(inj.steal().success(), Some(i));
+        }
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_success_helper_extracts_the_task() {
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<i32>::Empty.success(), None);
+        assert_eq!(Steal::<i32>::Retry.success(), None);
+        assert!(!Steal::Success(7).is_empty());
+    }
+
+    #[test]
+    fn concurrent_thieves_drain_a_worker_exactly_once_each() {
+        let w: Worker<usize> = Worker::new_fifo();
+        const TASKS: usize = 1000;
+        for i in 0..TASKS {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move || {
+                    while let Steal::Success(_) = s.steal() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            taken.load(Ordering::Relaxed),
+            TASKS,
+            "every task stolen exactly once"
+        );
+        assert!(w.is_empty());
+    }
+}

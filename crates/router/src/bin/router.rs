@@ -31,6 +31,7 @@
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -255,7 +256,13 @@ struct HammerReport {
 /// Fire `requests` single-sample infers at the router from one keep-alive
 /// connection (reconnecting if the router drops it), recording any
 /// client-visible failure.
-fn hammer(addr: SocketAddr, model: &str, input: &[f32], requests: u64) -> HammerReport {
+fn hammer(
+    addr: SocketAddr,
+    model: &str,
+    input: &[f32],
+    requests: u64,
+    progress: Option<Arc<AtomicU64>>,
+) -> HammerReport {
     let path = format!("/v1/models/{model}/infer");
     let body = serde_json::to_string(&InferBody {
         input: input.to_vec(),
@@ -291,6 +298,9 @@ fn hammer(addr: SocketAddr, model: &str, input: &[f32], requests: u64) -> Hammer
                     .get_or_insert((0, format!("transport error: {e}")));
                 client = None;
             }
+        }
+        if let Some(counter) = &progress {
+            counter.fetch_add(1, Ordering::Relaxed);
         }
     }
     report
@@ -458,13 +468,22 @@ fn smoke(
     // prober ejects the dead replica.
     let victim = children.remove(0);
     let victim_addr = victim.addr;
+    let progress = Arc::new(AtomicU64::new(0));
     let hammer_threads: Vec<_> = (0..4)
         .map(|_| {
             let input = input.clone();
-            std::thread::spawn(move || hammer(addr, "hot", &input, 120))
+            let progress = Arc::clone(&progress);
+            std::thread::spawn(move || hammer(addr, "hot", &input, 120, Some(progress)))
         })
         .collect();
-    std::thread::sleep(Duration::from_millis(50));
+    // Kill the victim once the hammer is demonstrably mid-flight — a fixed
+    // sleep either fires after a fast hammer already drained (no failovers
+    // to observe) or before it ramped. 60/480 done leaves 420 requests to
+    // land on a 2-replica fleet.
+    let ramp = Instant::now();
+    while progress.load(Ordering::Relaxed) < 60 && ramp.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
     shutdown_replica(victim);
     let mut ok = 0u64;
     for thread in hammer_threads {
@@ -522,7 +541,7 @@ fn smoke(
     let hammer_threads: Vec<_> = (0..2)
         .map(|_| {
             let input = input.clone();
-            std::thread::spawn(move || hammer(addr, "hot", &input, 80))
+            std::thread::spawn(move || hammer(addr, "hot", &input, 80, None))
         })
         .collect();
     let reply = check(

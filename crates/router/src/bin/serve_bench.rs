@@ -5,7 +5,7 @@
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
 //! restart, and records everything as a `BENCH_serve.json` artifact
-//! (schema 6) so later changes can track the serving-performance trajectory.
+//! (schema 7) so later changes can track the serving-performance trajectory.
 //!
 //! Modes (composable):
 //!
@@ -37,6 +37,12 @@
 //!   `router` section records per-replica forward counts plus the
 //!   failover/ejection/readmission counters; the phase asserts zero
 //!   client-visible failures.
+//! * `--qos` — adds the mixed-priority phase: three models — one per QoS
+//!   class (`interactive`, `standard`, `batch`) — behind one registry on
+//!   the shared fleet executor, driven with interleaved mixed traffic; the
+//!   artifact's `qos` section records per-class completion counts and
+//!   latency percentiles plus the executor's fleet telemetry (worker
+//!   utilization, steal totals).
 //! * `--check-schema` — no benchmark: read the existing artifact and fail
 //!   (exit 1) unless its `schema_version` matches this binary's expected
 //!   version. CI runs this after the bench smoke steps to catch schema
@@ -46,7 +52,7 @@
 //!
 //! ```text
 //! serve_bench [--backend cpu|sim-gpu|both] [--models N] [--deadline-ms D]
-//!             [--keep-alive] [--autotune] [--router] [--check-schema]
+//!             [--keep-alive] [--autotune] [--router] [--qos] [--check-schema]
 //! ```
 //!
 //! Environment knobs (all optional):
@@ -76,13 +82,12 @@ use tdc_tensor::init;
 
 /// The schema this binary writes — `--check-schema` validates an artifact
 /// on disk against it.
-const EXPECTED_SCHEMA_VERSION: u32 = 6;
+const EXPECTED_SCHEMA_VERSION: u32 = 7;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 6 (over 5): `--router` adds a `router` section — the 3-replica
-/// fleet phase's per-replica forward counts and the router tier's
-/// failover/ejection/readmission counters under a mid-load replica kill
-/// and restart.
+/// Schema 7 (over 6): `--qos` adds a `qos` section — the mixed-priority
+/// phase's per-class completion counts and latency percentiles, plus the
+/// fleet executor's worker-utilization and steal telemetry.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -100,6 +105,45 @@ struct ServeBenchArtifact {
     http: Option<HttpRun>,
     autotune: Option<AutotuneRun>,
     router: Option<RouterRun>,
+    qos: Option<QosRun>,
+}
+
+/// The `--qos` mixed-priority phase: one model per QoS class behind one
+/// registry, all scheduled by the shared fleet executor.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct QosRun {
+    /// Requests submitted to each class's model.
+    requests_per_class: u64,
+    /// One row per QoS class, in `interactive`, `standard`, `batch` order.
+    per_class: Vec<QosClassRun>,
+    /// Worker threads in the shared executor pool.
+    executor_workers: usize,
+    /// Batches dispatched by stealing another worker's token, fleet-wide.
+    steals_total: u64,
+    /// Fraction of executor worker time spent running batches across the
+    /// pool's lifetime, `0.0..=1.0`.
+    worker_utilization: f64,
+}
+
+/// One QoS class's share of the mixed-priority phase.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct QosClassRun {
+    /// QoS class label (`"interactive"`, `"standard"`, `"batch"`).
+    qos: String,
+    /// Registered model name serving this class.
+    model: String,
+    /// Fair-share weight the model was registered with.
+    fair_share_weight: usize,
+    /// Requests completed.
+    completed: u64,
+    /// Requests expired past their deadline.
+    deadline_exceeded: u64,
+    /// This model's batches that ran on a stolen dispatch token.
+    stolen_batches: u64,
+    /// End-to-end latency percentiles for the class.
+    total_latency: LatencySummary,
+    /// Queue-wait latency percentiles for the class.
+    queue_latency: LatencySummary,
 }
 
 /// The `--router` fleet phase: a 3-replica topology behind the router,
@@ -931,6 +975,145 @@ fn run_autotune(s: &BenchSettings) -> AutotuneRun {
     run
 }
 
+/// The `--qos` phase: one model per QoS class — `interactive`, `standard`,
+/// `batch` — behind one registry, every batch scheduled by the registry's
+/// shared fleet executor. Clients interleave traffic across the three
+/// classes (open loop, per-class request budgets equal), so the per-class
+/// percentiles show what priority banding buys the interactive tier under
+/// contention with batch work.
+fn run_qos_phase(s: &BenchSettings) -> QosRun {
+    use tdc_serve::QosClass;
+
+    let registry = ModelRegistry::new(4);
+    let classes = [QosClass::Interactive, QosClass::Standard, QosClass::Batch];
+    let mut names = Vec::new();
+    for (index, &qos) in classes.iter().enumerate() {
+        let descriptor = serving_descriptor(&format!("svc-qos-{qos}"), 12 + 2 * index, 8, 10);
+        registry
+            .register(
+                &descriptor.slug(),
+                &descriptor,
+                ModelConfig {
+                    planning: s.planning.clone(),
+                    batching: s.batching.clone(),
+                    runtime: RuntimeOptions {
+                        workers: s.workers,
+                        qos,
+                        ..RuntimeOptions::default()
+                    },
+                },
+            )
+            .expect("register qos model");
+        names.push(descriptor.slug());
+    }
+    // model_info() is name-sorted; re-order dims to match the class order
+    // of `names`.
+    let info = registry.model_info();
+    let dims: Vec<Vec<usize>> = names
+        .iter()
+        .map(|name| {
+            info.iter()
+                .find(|i| &i.name == name)
+                .expect("registered qos model")
+                .input_dims
+                .clone()
+        })
+        .collect();
+    println!("\n== qos phase: one model per class on the shared executor ==");
+
+    let registry = Arc::new(registry);
+    let interval = Duration::from_secs_f64(1.0 / s.rate_hz.max(1.0));
+    // A modest per-class budget: the phase measures class separation, not
+    // raw throughput (the per-backend runs already do that).
+    let per_class: u64 = (s.requests as u64 / 3).clamp(12, 60);
+    let client_threads: Vec<_> = (0..s.clients.clamp(2, 4))
+        .map(|client_index| {
+            let registry = Arc::clone(&registry);
+            let names = names.clone();
+            let dims = dims.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(700 + client_index as u64);
+                let mut pending = Vec::new();
+                // Interleave classes request by request so every batch
+                // window sees mixed-priority arrivals.
+                for r in 0..per_class {
+                    for m in 0..names.len() {
+                        let input = init::uniform(dims[m].clone(), -1.0, 1.0, &mut rng);
+                        match registry.submit(&names[m], input) {
+                            Ok(p) => pending.push(p),
+                            Err(ServeError::Overloaded { .. }) => {}
+                            Err(e) => panic!("submit to {}: {e}", names[m]),
+                        }
+                    }
+                    if r + 1 < per_class {
+                        std::thread::sleep(interval);
+                    }
+                }
+                for p in pending {
+                    match p.wait() {
+                        Ok(_) | Err(ServeError::DeadlineExceeded { .. }) => {}
+                        Err(e) => panic!("response: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in client_threads {
+        t.join().expect("qos client thread");
+    }
+
+    let metrics = registry.metrics();
+    let per_class_runs: Vec<QosClassRun> = names
+        .iter()
+        .map(|name| {
+            let entry = metrics
+                .models
+                .iter()
+                .find(|m| &m.model == name)
+                .expect("qos model metrics");
+            QosClassRun {
+                qos: entry.executor.qos.clone(),
+                model: name.clone(),
+                fair_share_weight: entry.executor.weight,
+                completed: entry.metrics.completed_requests,
+                deadline_exceeded: entry.metrics.deadline_exceeded,
+                stolen_batches: entry.metrics.stolen_batches,
+                total_latency: entry.metrics.total_latency,
+                queue_latency: entry.metrics.queue_latency,
+            }
+        })
+        .collect();
+    for run in &per_class_runs {
+        println!(
+            "  {:12} {:>5} completed ({} expired, {} stolen batch(es))  \
+             p50 {:.2} ms  p99 {:.2} ms",
+            run.qos,
+            run.completed,
+            run.deadline_exceeded,
+            run.stolen_batches,
+            run.total_latency.p50_ms,
+            run.total_latency.p99_ms
+        );
+    }
+    println!(
+        "  executor: {} worker(s), {} steal(s), {:.1}% utilization",
+        metrics.executor.workers,
+        metrics.executor.steals_total,
+        metrics.executor.utilization * 100.0
+    );
+    let run = QosRun {
+        requests_per_class: per_class,
+        per_class: per_class_runs,
+        executor_workers: metrics.executor.workers,
+        steals_total: metrics.executor.steals_total,
+        worker_utilization: metrics.executor.utilization,
+    };
+    let registry =
+        Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("qos-phase registry still shared"));
+    registry.shutdown();
+    run
+}
+
 /// One in-process replica for the `--router` phase: a registry serving the
 /// fleet model behind its own HTTP front end.
 fn bind_fleet_replica(
@@ -1156,6 +1339,7 @@ fn main() {
     let keep_alive = bool_flag("--keep-alive");
     let autotune = bool_flag("--autotune");
     let router_mode = bool_flag("--router");
+    let qos_mode = bool_flag("--qos");
 
     let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
     let cache = Arc::new(PlanCache::new(4));
@@ -1210,6 +1394,11 @@ fn main() {
     } else {
         None
     };
+    let qos = if qos_mode {
+        Some(run_qos_phase(&settings))
+    } else {
+        None
+    };
 
     // The top-level model field names what was actually benchmarked: the
     // single-model descriptor, or the registry fleet in --models mode.
@@ -1229,6 +1418,7 @@ fn main() {
         http,
         autotune,
         router,
+        qos,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
@@ -1272,6 +1462,24 @@ fn main() {
             "the restarted replica was never re-admitted"
         );
         assert_eq!(fleet.per_replica_forwarded.len(), fleet.replicas);
+    }
+    if let Some(qos) = &artifact.qos {
+        assert_eq!(qos.per_class.len(), 3, "one row per QoS class");
+        assert_eq!(
+            qos.per_class
+                .iter()
+                .map(|c| c.qos.as_str())
+                .collect::<Vec<_>>(),
+            vec!["interactive", "standard", "batch"]
+        );
+        assert!(qos.executor_workers >= 1, "the shared executor must exist");
+        for class in &qos.per_class {
+            assert!(
+                class.completed + class.deadline_exceeded > 0,
+                "class {} saw no traffic in the qos phase",
+                class.qos
+            );
+        }
     }
     if let Some(tune) = &artifact.autotune {
         assert!(

@@ -105,6 +105,21 @@ pub struct DequeuedBatch {
     pub expired: Vec<InferenceRequest>,
 }
 
+/// Outcome of the non-blocking [`BatchQueue::try_next_batch`], the dequeue
+/// form the shared executor's workers use (they must never park inside the
+/// batcher).
+pub enum TryBatch {
+    /// A batch was taken (live and/or expired requests).
+    Batch(DequeuedBatch),
+    /// Nothing is queued; come back on the next push notification.
+    Empty,
+    /// Nothing is queued and the queue is closed; the source is done.
+    Closed,
+    /// Requests are queued but the batch is still forming (under-full and
+    /// inside its release window); poll again at the contained instant.
+    NotReady(Instant),
+}
+
 struct QueueState {
     fifo: VecDeque<InferenceRequest>,
     closed: bool,
@@ -318,6 +333,45 @@ impl BatchQueue {
             }
             // A sibling worker took everything while we slept; wait again.
         }
+    }
+
+    /// Non-blocking batch take for the shared-executor dispatch path: a
+    /// pool worker must never park inside the batcher, so instead of
+    /// waiting out batch formation this returns [`TryBatch::NotReady`] with
+    /// the release instant (`release_at`'s verdict) and the executor
+    /// re-polls on a timer. A full batch, a
+    /// reached release instant, or a closed queue dispatches immediately,
+    /// exactly as the blocking [`next_batch`](BatchQueue::next_batch)
+    /// would.
+    pub fn try_next_batch(&self) -> TryBatch {
+        let mut state = self.state();
+        if state.fifo.is_empty() {
+            return if state.closed {
+                TryBatch::Closed
+            } else {
+                TryBatch::Empty
+            };
+        }
+        if state.fifo.len() < self.max_batch_size && !state.closed {
+            if let Some(release) = self.release_at(&state) {
+                let now = Instant::now();
+                if now < release {
+                    return TryBatch::NotReady(release);
+                }
+            }
+        }
+        let take = state.fifo.len().min(self.max_batch_size);
+        let now = Instant::now();
+        let (expired, live): (Vec<_>, Vec<_>) = state
+            .fifo
+            .drain(..take)
+            .partition(|request| request.expired_at(now));
+        if state.fifo.is_empty() {
+            // Wake a retire blocked in `wait_drained`: every admitted
+            // request is now in some worker's hands.
+            self.drained.notify_all();
+        }
+        TryBatch::Batch(DequeuedBatch { live, expired })
     }
 
     fn timed_wait<'a>(
@@ -584,5 +638,67 @@ mod tests {
             .map(|r| r.id)
             .collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_next_batch_never_blocks() {
+        let queue = BatchQueue::new(4, Duration::from_secs(60), usize::MAX);
+        // Empty and open.
+        assert!(matches!(queue.try_next_batch(), TryBatch::Empty));
+        // Under-full inside the release window: not ready, with the
+        // release instant (here the oldest request's 60 s delay horizon).
+        let (req, _rx) = request(0);
+        let enqueued_at = req.enqueued_at;
+        queue.push(req).unwrap();
+        match queue.try_next_batch() {
+            TryBatch::NotReady(release) => {
+                assert_eq!(release, enqueued_at + Duration::from_secs(60));
+            }
+            _ => panic!("an under-full fresh batch must report NotReady"),
+        }
+        assert_eq!(queue.depth(), 1, "NotReady must not consume requests");
+        // A full batch dispatches immediately.
+        for id in 1..4 {
+            queue.push(request(id).0).unwrap();
+        }
+        match queue.try_next_batch() {
+            TryBatch::Batch(batch) => assert_eq!(batch.live.len(), 4),
+            _ => panic!("a full batch must dispatch"),
+        }
+        // Close: queued leftovers still dispatch, then Closed.
+        queue.push(request(9).0).unwrap();
+        queue.close();
+        match queue.try_next_batch() {
+            TryBatch::Batch(batch) => assert_eq!(batch.live.len(), 1),
+            _ => panic!("a closed queue dispatches its remainder immediately"),
+        }
+        assert!(matches!(queue.try_next_batch(), TryBatch::Closed));
+    }
+
+    #[test]
+    fn try_next_batch_release_follows_the_earliest_deadline() {
+        let queue = BatchQueue::new(4, Duration::from_secs(60), usize::MAX);
+        let (req, _rx) = request_with_deadline(0, Some(Duration::from_millis(5)));
+        let deadline = req.deadline.unwrap();
+        queue.push(req).unwrap();
+        match queue.try_next_batch() {
+            TryBatch::NotReady(release) => {
+                assert_eq!(
+                    release, deadline,
+                    "the poll instant must be pulled in by the deadline"
+                );
+            }
+            _ => panic!("inside the window the batch is still forming"),
+        }
+        // Once the deadline passes, the same poll takes the batch and
+        // splits the request out as expired.
+        std::thread::sleep(Duration::from_millis(10));
+        match queue.try_next_batch() {
+            TryBatch::Batch(batch) => {
+                assert!(batch.live.is_empty());
+                assert_eq!(batch.expired.len(), 1);
+            }
+            _ => panic!("a passed release instant must dispatch"),
+        }
     }
 }

@@ -13,9 +13,11 @@
 //! one past-deadline request asserting `504`, the full hot-lifecycle loop
 //! (`PUT` a new model → infer against it bit-identical to a direct engine
 //! call → `POST …/replan` at a new budget → infer on the new plan →
-//! `DELETE` it → assert later infers `404`), and `/metrics` (including the
-//! control-plane lifecycle counters) — and exits non-zero on any failure,
-//! which is what CI runs.
+//! `DELETE` it → assert later infers `404`), a QoS fairness pass (`PUT` a
+//! batch-class model, serve a mixed-class burst, assert `/metrics` labels
+//! both classes and carries the fleet executor's telemetry), and `/metrics`
+//! (including the control-plane lifecycle counters) — and exits non-zero on
+//! any failure, which is what CI runs.
 //!
 //! Usage:
 //!
@@ -381,11 +383,86 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
     check(404, "DELETE", "/v1/models/hot", None).map(|_| ())?;
     println!("  DELETE /v1/models/hot -> 200; later infers -> 404 (as expected)");
 
+    // QoS fairness smoke: a batch-class model joins the shared fleet
+    // executor through the admin API, a burst rides it interleaved with the
+    // standard-class first model, everything completes, and /metrics labels
+    // both classes plus the executor's fleet telemetry.
+    let batch_descriptor = serving_descriptor("smoke-batch", 10, 4, 6);
+    let register = serde_json::to_string(&RegisterBody {
+        backend: Some("cpu".to_string()),
+        max_batch_size: Some(4),
+        max_batch_delay_ms: Some(1),
+        qos: Some("batch".to_string()),
+        workers: Some(1),
+        ..RegisterBody::for_descriptor(batch_descriptor)
+    })
+    .map_err(|e| format!("serialize batch-class register body: {}", e.message))?;
+    let reply = check(200, "PUT", "/v1/models/smoke-batch", Some(&register))?;
+    let registered: RegisterReply = serde_json::from_str(&reply)
+        .map_err(|e| format!("PUT /v1/models/smoke-batch: bad reply: {}", e.message))?;
+    if registered.registered.qos != "batch" || registered.registered.fair_share_weight != 1 {
+        return Err(format!(
+            "batch-class registration did not carry qos/weight: {reply}"
+        ));
+    }
+    let batch_class_body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; 10 * 10 * 4],
+        dims: None,
+        deadline_ms: None,
+    })
+    .map_err(|e| format!("serialize batch-class infer body: {}", e.message))?;
+    let standard_body = serde_json::to_string(&InferBody {
+        input: vec![0.5f32; info.input_dims.iter().product()],
+        dims: Some(info.input_dims.clone()),
+        deadline_ms: None,
+    })
+    .map_err(|e| format!("serialize standard infer body: {}", e.message))?;
+    for _ in 0..4 {
+        check(
+            200,
+            "POST",
+            "/v1/models/smoke-batch/infer",
+            Some(&batch_class_body),
+        )?;
+        check(200, "POST", &path, Some(&standard_body))?;
+    }
+    println!(
+        "  PUT /v1/models/smoke-batch (qos=batch) -> 200; 4+4 mixed-class \
+         requests all served"
+    );
+    let fairness_metrics = check(200, "GET", "/metrics", None)?;
+    for field in [
+        "\"qos\":\"batch\"",
+        "\"qos\":\"standard\"",
+        "\"executor\":",
+        "\"steals_total\":",
+        "\"utilization\":",
+        "\"bands\":",
+        "\"weight\":1",
+    ] {
+        if !fairness_metrics.contains(field) {
+            return Err(format!(
+                "metrics missing the executor field {field}: {fairness_metrics}"
+            ));
+        }
+    }
+    println!("  GET /metrics          -> 200 (executor telemetry + QoS labels present)");
+    let reply = check(200, "DELETE", "/v1/models/smoke-batch", None)?;
+    let retired: RetireReply = serde_json::from_str(&reply)
+        .map_err(|e| format!("retire smoke-batch: bad reply: {}", e.message))?;
+    if retired.completed_requests != 4 {
+        return Err(format!(
+            "the batch-class engine should have served exactly 4 requests, saw {}",
+            retired.completed_requests
+        ));
+    }
+
     let metrics = check(200, "GET", "/metrics", None)?;
     // Every model's single infer + the 3-sample batch on the first model +
-    // the hot model's two lifecycle requests (drained at its replan and
-    // retire — the fleet total is monotonic, so they stay counted).
-    let expected_completed = infos.len() + 3 + 2;
+    // the hot model's two lifecycle requests + the fairness smoke's 4+4
+    // mixed-class requests (drained engines stay counted — the fleet total
+    // is monotonic).
+    let expected_completed = infos.len() + 3 + 2 + 8;
     if !metrics.contains(&format!(
         "\"total_completed_requests\":{expected_completed}"
     )) {
@@ -400,7 +477,7 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
     }
     for counter in [
         "\"models_registered_total\":",
-        "\"models_retired_total\":1",
+        "\"models_retired_total\":2",
         "\"replans_total\":1",
         "\"plan_cache\"",
     ] {

@@ -54,6 +54,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use tdc::lowering::lower_plan_with_fc;
 use tdc::TdcPipeline;
+use tdc_exec::{BandMetrics, Executor, ExecutorMetrics, ExecutorOptions, QosClass};
 use tdc_gpu_sim::WaveEngine;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
@@ -435,6 +436,11 @@ pub struct ControlPlane {
     /// Memoizes autotune probe plans, separately from the serving cache
     /// (see [`PROBE_CACHE_CAPACITY`]).
     probe_cache: PlanCache,
+    /// The fleet-wide work-stealing executor every registered engine runs
+    /// its batches on. `None` only if the pool's worker threads could not be
+    /// spawned at construction — engines then fall back to private pools,
+    /// the pre-executor topology.
+    executor: Option<Arc<Executor>>,
     table: EpochSwap<ModelTable>,
     /// Serializes writers (register / retire / replan / shutdown). Readers
     /// never touch it.
@@ -453,11 +459,25 @@ pub struct ControlPlane {
 }
 
 impl ControlPlane {
-    /// An empty control plane planning through `cache`.
+    /// An empty control plane planning through `cache`, with a fleet
+    /// executor at default options (one worker per core, clamped).
     pub fn new(cache: PlanCache) -> Self {
+        let executor = Executor::new(ExecutorOptions::default()).ok().map(Arc::new);
+        Self::with_optional_executor(cache, executor)
+    }
+
+    /// An empty control plane whose engines run on `executor` — used by
+    /// deterministic fairness tests (paused pools) and by embedders that
+    /// share one pool across several registries.
+    pub fn with_executor(cache: PlanCache, executor: Arc<Executor>) -> Self {
+        Self::with_optional_executor(cache, Some(executor))
+    }
+
+    fn with_optional_executor(cache: PlanCache, executor: Option<Arc<Executor>>) -> Self {
         ControlPlane {
             cache,
             probe_cache: PlanCache::new(PROBE_CACHE_CAPACITY),
+            executor,
             table: EpochSwap::new(ModelTable::new()),
             writer: Mutex::new(()),
             registered_total: AtomicU64::new(0),
@@ -498,6 +518,35 @@ impl ControlPlane {
     /// through.
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The fleet executor engines are attached to (`None` only if its
+    /// worker threads could not be spawned; engines then run private pools).
+    pub fn executor(&self) -> Option<&Arc<Executor>> {
+        self.executor.as_ref()
+    }
+
+    /// Telemetry snapshot of the fleet executor: workers, steals,
+    /// utilization, per-QoS-band queue depth and per-source counters. An
+    /// all-zero snapshot when the fleet pool is absent.
+    pub fn executor_metrics(&self) -> ExecutorMetrics {
+        match &self.executor {
+            Some(executor) => executor.metrics(),
+            None => ExecutorMetrics {
+                workers: 0,
+                steals_total: 0,
+                utilization: 0.0,
+                bands: QosClass::ALL
+                    .iter()
+                    .map(|qos| BandMetrics {
+                        qos: qos.label().to_string(),
+                        queued: 0,
+                        tokens: 0,
+                    })
+                    .collect(),
+                sources: Vec::new(),
+            },
+        }
     }
 
     /// Current routing-table epoch.
@@ -541,12 +590,15 @@ impl ControlPlane {
         config: ModelConfig,
         generation: u64,
     ) -> Result<RegisteredModel> {
-        let engine = ServeEngine::builder(descriptor)
+        let mut builder = ServeEngine::builder(descriptor)
             .planning(config.planning.clone())
             .batching(config.batching.clone())
             .runtime(config.runtime.clone())
-            .plan_cache(&self.cache)
-            .build()?;
+            .plan_cache(&self.cache);
+        if let Some(executor) = &self.executor {
+            builder = builder.executor(executor);
+        }
+        let engine = builder.build()?;
         let info = ModelInfo {
             name: name.to_string(),
             backend: engine.backend_name().to_string(),
@@ -565,6 +617,8 @@ impl ControlPlane {
                 .batching
                 .default_deadline
                 .map(|d| d.as_millis() as u64),
+            qos: config.runtime.qos.label().to_string(),
+            fair_share_weight: config.runtime.fair_share_weight(),
         };
         Ok(RegisteredModel {
             engine,

@@ -4,9 +4,14 @@
 //! hand-rolled server on [`std::net::TcpListener`] — no async runtime, no
 //! external HTTP crate. One acceptor thread hands each connection to a
 //! handler thread; requests and responses are JSON through the workspace's
-//! `serde_json` stand-in. The serving concurrency model is unchanged:
-//! handler threads only *submit* into the per-model engines, whose own
-//! batcher + worker pools execute the work.
+//! `serde_json` stand-in. Handler threads only *submit* into the per-model
+//! engines; batches execute on the process-wide work-stealing executor
+//! (`tdc_exec`), which schedules every model by QoS band and fair-share
+//! weight. A registration body may pick the class (`"qos"`) and weight
+//! (`"workers"`), and `GET /metrics` reports the executor fleet-wide
+//! (`"executor"`: worker utilization, steal totals, per-band queue depths)
+//! and per model (each model row's `"executor"`: queued/running dispatch
+//! tokens and stolen-batch counts).
 //!
 //! Connections are **persistent** (HTTP/1.1 keep-alive): a handler runs a
 //! per-connection request loop, honoring the `Connection:` header
@@ -78,6 +83,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tdc_exec::QosClass;
 use tdc_gpu_sim::DeviceSpec;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
@@ -217,8 +223,13 @@ pub struct RegisterBody {
     pub max_queue_depth: Option<usize>,
     /// Default per-request deadline, ms.
     pub default_deadline_ms: Option<u64>,
-    /// Worker threads executing batches.
+    /// Fair-share weight on the fleet executor (historically the size of a
+    /// per-model worker pool; the executor is now shared, so this scales the
+    /// model's scheduling quantum instead).
     pub workers: Option<usize>,
+    /// QoS class on the fleet executor: `"interactive"`, `"standard"`
+    /// (default) or `"batch"`.
+    pub qos: Option<String>,
     /// Seed for weight materialization.
     pub seed: Option<u64>,
 }
@@ -239,6 +250,7 @@ impl RegisterBody {
             max_queue_depth: None,
             default_deadline_ms: None,
             workers: None,
+            qos: None,
             seed: None,
         }
     }
@@ -288,6 +300,14 @@ impl RegisterBody {
             },
             runtime: RuntimeOptions {
                 workers: self.workers.unwrap_or(runtime_defaults.workers),
+                qos: match self.qos.as_deref() {
+                    None => runtime_defaults.qos,
+                    Some(label) => QosClass::parse(label).ok_or_else(|| ServeError::BadConfig {
+                        reason: format!(
+                            "unknown qos {label:?}; use \"interactive\", \"standard\" or \"batch\""
+                        ),
+                    })?,
+                },
                 seed: self.seed.unwrap_or(runtime_defaults.seed),
                 backend,
                 ..runtime_defaults
@@ -329,6 +349,7 @@ impl Serialize for RegisterBody {
             self.default_deadline_ms.as_ref().map(Serialize::to_value),
         );
         push_opt("workers", self.workers.as_ref().map(Serialize::to_value));
+        push_opt("qos", self.qos.as_ref().map(Serialize::to_value));
         push_opt("seed", self.seed.as_ref().map(Serialize::to_value));
         serde::Value::Object(fields)
     }
@@ -351,6 +372,7 @@ impl Deserialize for RegisterBody {
             max_queue_depth: optional_field(value, "max_queue_depth")?,
             default_deadline_ms: optional_field(value, "default_deadline_ms")?,
             workers: optional_field(value, "workers")?,
+            qos: optional_field(value, "qos")?,
             seed: optional_field(value, "seed")?,
         })
     }
@@ -2239,6 +2261,7 @@ mod tests {
             max_queue_depth: Some(64),
             default_deadline_ms: Some(250),
             workers: Some(3),
+            qos: Some("batch".to_string()),
             seed: Some(42),
             ..RegisterBody::for_descriptor(crate::serving_descriptor("rt", 8, 4, 4))
         };
@@ -2248,6 +2271,8 @@ mod tests {
         assert_eq!(config.planning.budget, 0.4);
         assert_eq!(config.planning.device.name, "NVIDIA GeForce RTX 2080 Ti");
         assert_eq!(config.runtime.backend, crate::BackendKind::SimGpu);
+        assert_eq!(config.runtime.qos, tdc_exec::QosClass::Batch);
+        assert_eq!(config.runtime.fair_share_weight(), 3);
         assert_eq!(config.batching.max_queue_depth, 64);
         assert_eq!(
             config.batching.default_deadline,
@@ -2267,6 +2292,12 @@ mod tests {
         .is_err());
         assert!(RegisterBody {
             backend: Some("npu".into()),
+            ..bare.clone()
+        }
+        .model_config()
+        .is_err());
+        assert!(RegisterBody {
+            qos: Some("urgent".into()),
             ..bare
         }
         .model_config()

@@ -22,10 +22,12 @@
 //! * [`model`] — the materialized compressed network both backends execute.
 //! * [`options`] + [`server`] — the typed engine builder:
 //!   [`ServeEngine::builder`] takes [`PlanningOptions`], [`BatchingOptions`]
-//!   and [`RuntimeOptions`], validates them at build, and runs a worker
-//!   thread pool with graceful drain on shutdown and [`metrics`]
-//!   (throughput, latency percentiles, batch-size distribution, predicted
-//!   and simulated GPU totals).
+//!   and [`RuntimeOptions`], validates them at build, and registers the
+//!   engine on a `tdc-exec` work-stealing executor (shared fleet-wide when
+//!   attached via [`ServeEngineBuilder::executor`], private otherwise) with
+//!   a [`QosClass`] and fair-share weight, graceful drain on shutdown and
+//!   [`metrics`] (throughput, latency percentiles, batch-size distribution,
+//!   stolen batches, predicted and simulated GPU totals).
 //! * [`registry`] — N named models behind one router, each with its own
 //!   engine and a per-model admission bound (typed [`ServeError::Overloaded`]
 //!   rejection instead of unbounded queues), sharing one plan cache and
@@ -101,8 +103,9 @@ pub use metrics::{LatencySummary, ServeMetrics};
 pub use model::CompressedModel;
 pub use options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheStats, PlanKey, PlanKeyHits};
-pub use registry::{ModelConfig, ModelInfo, ModelRegistry, RegistryMetrics};
+pub use registry::{ModelConfig, ModelInfo, ModelMetricsEntry, ModelRegistry, RegistryMetrics};
 pub use server::{ServeConfig, ServeEngine, ServeEngineBuilder, ServeReport};
+pub use tdc_exec::{Executor, ExecutorMetrics, ExecutorOptions, QosClass};
 
 use tdc_conv::ConvShape;
 use tdc_nn::models::ModelDescriptor;

@@ -76,6 +76,11 @@ pub struct ServeMetrics {
     pub deadline_exceeded: u64,
     /// Batches executed.
     pub batches: u64,
+    /// Batches dispatched via executor work stealing — the engine's token
+    /// was taken from another worker's local deque rather than its own
+    /// injector. `0` until the engine's handle fills it in
+    /// ([`MetricsRecorder`] itself does not see the executor).
+    pub stolen_batches: u64,
     /// Mean requests per executed batch.
     pub mean_batch_size: f64,
     /// Largest batch executed.
@@ -191,6 +196,7 @@ impl MetricsRecorder {
             completed_requests: completed,
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             batches,
+            stolen_batches: 0,
             mean_batch_size: if batches > 0 {
                 completed as f64 / batches as f64
             } else {

@@ -4,7 +4,8 @@
 //! config: [`PlanningOptions`] (everything that determines *which plan* is
 //! served — these fields form the plan-cache key together with the backend),
 //! [`BatchingOptions`] (dynamic-batcher shape) and [`RuntimeOptions`]
-//! (worker pool, weight seed and execution backend). Each struct validates
+//! (fair-share weight, QoS class, weight seed and execution backend). Each
+//! struct validates
 //! itself; [`ServeEngineBuilder::build`](crate::ServeEngineBuilder::build)
 //! runs all three validations before any planning work starts.
 
@@ -14,6 +15,7 @@ use crate::{Result, ServeError};
 use std::time::Duration;
 use tdc::rank_select::RankSelectionConfig;
 use tdc::tiling::TilingStrategy;
+use tdc_exec::QosClass;
 use tdc_gpu_sim::DeviceSpec;
 
 /// Everything that determines which compression plan the engine serves.
@@ -170,25 +172,44 @@ impl BatchingOptions {
     }
 }
 
-/// Worker pool, weight materialization and execution backend.
+/// Scheduling share, weight materialization and execution backend.
 ///
 /// # Examples
 ///
 /// ```
+/// use tdc_exec::QosClass;
 /// use tdc_serve::{BackendKind, RuntimeOptions};
 ///
 /// let runtime = RuntimeOptions {
 ///     workers: 4,
+///     qos: QosClass::Interactive,
 ///     backend: BackendKind::SimGpu,
 ///     ..RuntimeOptions::default()
 /// };
 /// assert!(runtime.validate().is_ok());
+/// assert_eq!(runtime.fair_share_weight(), 4);
 /// assert!(RuntimeOptions { workers: 0, ..runtime }.validate().is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct RuntimeOptions {
-    /// Worker threads executing batches.
+    /// The model's fair-share weight on the shared executor: how many
+    /// batches one scheduling quantum runs before the model's dispatch
+    /// token goes back to the end of its QoS band.
+    ///
+    /// Before the fleet-wide executor this field sized a dedicated
+    /// per-engine worker pool, hence the name, which is kept as a
+    /// deprecation shim (prefer reading it through
+    /// [`fair_share_weight`](RuntimeOptions::fair_share_weight)). An engine
+    /// built *without* a shared executor still spawns a private pool of
+    /// this many workers, matching the legacy semantics exactly.
     pub workers: usize,
+    /// QoS class the model registers under on the shared executor:
+    /// [`QosClass::Interactive`](tdc_exec::QosClass) work is dispatched
+    /// before `Standard`, which is dispatched before `Batch`; `Batch`-class
+    /// submits can additionally be shed at admission under interactive
+    /// backlog (see
+    /// [`ExecutorOptions::batch_shed_backlog`](tdc_exec::ExecutorOptions)).
+    pub qos: QosClass,
     /// Seed for weight materialization.
     pub seed: u64,
     /// CPU algorithm for kept (dense) layers.
@@ -201,6 +222,7 @@ impl Default for RuntimeOptions {
     fn default() -> Self {
         RuntimeOptions {
             workers: 2,
+            qos: QosClass::Standard,
             seed: 0x7DC,
             dense_algorithm: DenseAlgorithm::Im2col,
             backend: BackendKind::Cpu,
@@ -209,6 +231,12 @@ impl Default for RuntimeOptions {
 }
 
 impl RuntimeOptions {
+    /// The model's fair-share weight on the shared executor (the renamed
+    /// meaning of the [`workers`](RuntimeOptions::workers) field).
+    pub fn fair_share_weight(&self) -> usize {
+        self.workers
+    }
+
     /// Check the options; [`build`](crate::ServeEngineBuilder::build) calls
     /// this before planning.
     pub fn validate(&self) -> Result<()> {

@@ -41,7 +41,9 @@ use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::server::ServeReport;
 use crate::Result;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
+use tdc_exec::Executor;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
 
@@ -93,6 +95,14 @@ pub struct ModelInfo {
     /// Default per-request deadline in milliseconds; `None` disables
     /// deadline enforcement for requests without an explicit override.
     pub default_deadline_ms: Option<u64>,
+    /// QoS class the model was registered under (`"interactive"`,
+    /// `"standard"` or `"batch"`): which executor priority band dispatches
+    /// its batches and whether overload shedding applies at admission.
+    pub qos: String,
+    /// Fair-share weight on the fleet executor: the model's deficit
+    /// round-robin quantum (batches per scheduling turn) and concurrent
+    /// dispatch ramp, relative to other models in the same QoS band.
+    pub fair_share_weight: usize,
 }
 
 /// One model's row in a [`RegistryMetrics`] snapshot.
@@ -119,6 +129,10 @@ pub struct ModelMetricsEntry {
     /// fresh (mixing percentile samples across different plans would
     /// misattribute tail behaviour).
     pub metrics: ServeMetrics,
+    /// The model's row on the fleet executor: QoS class, fair-share weight,
+    /// queued/running dispatch tokens, and how many of its batches ran on a
+    /// stolen token.
+    pub executor: tdc_exec::SourceMetrics,
 }
 
 /// Aggregated metrics across every registered model, plus the control-plane
@@ -158,6 +172,11 @@ pub struct RegistryMetrics {
     /// Shared plan cache counters, per-key hit counts and the evicted-key
     /// log.
     pub plan_cache: PlanCacheStats,
+    /// Fleet executor snapshot: worker count and utilization, total steals,
+    /// per-QoS-band queue depths and every registered source's row. All
+    /// zeros (with empty bands) when the registry fell back to per-engine
+    /// private pools.
+    pub executor: tdc_exec::ExecutorMetrics,
 }
 
 /// N named serving engines behind one name-based router.
@@ -208,6 +227,15 @@ impl ModelRegistry {
     pub fn with_cache(cache: PlanCache) -> Self {
         ModelRegistry {
             control: ControlPlane::new(cache),
+        }
+    }
+
+    /// An empty registry planning through `cache` and scheduling every
+    /// engine on `executor` — a pool shared with other registries in the
+    /// process, or a deterministic paused pool in tests.
+    pub fn with_executor(cache: PlanCache, executor: Arc<Executor>) -> Self {
+        ModelRegistry {
+            control: ControlPlane::with_executor(cache, executor),
         }
     }
 
@@ -396,6 +424,7 @@ impl ModelRegistry {
                         + metrics.deadline_exceeded,
                     queue_depth: m.engine.queue_depth(),
                     metrics,
+                    executor: m.engine.executor_source(),
                 }
             })
             .collect();
@@ -433,6 +462,7 @@ impl ModelRegistry {
             replans_total: lifecycle.replans_total,
             autotune_runs_total: lifecycle.autotune_runs_total,
             plan_cache: self.control.cache().stats(),
+            executor: self.control.executor_metrics(),
             models,
         }
     }

@@ -1,18 +1,25 @@
 //! The serving engine: typed builder, planning through the cache, backend
-//! materialization, the worker thread pool, and graceful shutdown.
+//! materialization, batch execution on the fleet executor, and graceful
+//! shutdown.
 //!
 //! Engines are constructed with [`ServeEngine::builder`]: three typed option
 //! structs ([`PlanningOptions`], [`BatchingOptions`], [`RuntimeOptions`]) are
 //! validated at [`build`](ServeEngineBuilder::build), the plan is obtained
 //! through the [`PlanCache`], and execution goes through a pluggable
 //! [`ExecutionBackend`] — the real CPU executor or the wave-level GPU
-//! simulation. The pre-redesign entry point [`ServeEngine::start`] survives
-//! as a deprecated shim for one release.
+//! simulation. Batches are dispatched by a `tdc-exec` work-stealing pool:
+//! attach the process-wide pool with
+//! [`executor`](ServeEngineBuilder::executor) (what
+//! [`ModelRegistry`](crate::ModelRegistry) does for every model it
+//! builds), or let the
+//! engine spawn a private pool of [`RuntimeOptions::workers`] threads —
+//! the legacy per-engine topology. The pre-redesign entry point
+//! [`ServeEngine::start`] survives as a deprecated shim for one release.
 
 use crate::backend::{
     BackendKind, BackendLatencyReport, CpuBackend, ExecutionBackend, SimGpuBackend,
 };
-use crate::batcher::{BatchQueue, InferenceRequest, InferenceResponse, PendingResponse};
+use crate::batcher::{BatchQueue, InferenceRequest, InferenceResponse, PendingResponse, TryBatch};
 use crate::metrics::{MetricsRecorder, ServeMetrics};
 use crate::model::{CompressedModel, DenseAlgorithm};
 use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
@@ -20,12 +27,12 @@ use crate::plan_cache::{CacheOutcome, PlanCache, PlanKey};
 use crate::{Result, ServeError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tdc::inference::Backend;
 use tdc::tiling::TilingStrategy;
 use tdc::{CompressionPlan, TdcPipeline};
+use tdc_exec::{BatchSource, Executor, ExecutorOptions, QosClass, SourceHandle, SourceState};
 use tdc_gpu_sim::DeviceSpec;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
@@ -133,6 +140,7 @@ pub struct ServeEngineBuilder<'a> {
     batching: BatchingOptions,
     runtime: RuntimeOptions,
     cache: Option<&'a PlanCache>,
+    executor: Option<Arc<Executor>>,
 }
 
 impl<'a> ServeEngineBuilder<'a> {
@@ -143,6 +151,7 @@ impl<'a> ServeEngineBuilder<'a> {
             batching: BatchingOptions::default(),
             runtime: RuntimeOptions::default(),
             cache: None,
+            executor: None,
         }
     }
 
@@ -178,9 +187,20 @@ impl<'a> ServeEngineBuilder<'a> {
         self
     }
 
+    /// Run batches on `executor` — the process-wide work-stealing pool —
+    /// instead of spawning a private per-engine pool. The engine registers
+    /// as one executor source under its fair-share weight
+    /// ([`RuntimeOptions::workers`]) and QoS class ([`RuntimeOptions::qos`]);
+    /// the registry attaches its fleet executor here for every model.
+    pub fn executor(mut self, executor: &Arc<Executor>) -> Self {
+        self.executor = Some(Arc::clone(executor));
+        self
+    }
+
     /// Validate every option group, obtain the plan (through the cache when
-    /// one was attached), materialize the backend, probe it once, and start
-    /// the worker pool.
+    /// one was attached), materialize the backend, probe it once, and attach
+    /// the engine to its executor (shared, or a freshly spawned private
+    /// pool).
     pub fn build(self) -> Result<ServeEngine> {
         self.planning.validate()?;
         self.batching.validate()?;
@@ -243,41 +263,41 @@ impl<'a> ServeEngineBuilder<'a> {
             .map(|r| r.total_ms)
             .unwrap_or(0.0);
 
-        let queue = Arc::new(BatchQueue::new(
-            self.batching.max_batch_size,
-            self.batching.max_batch_delay,
-            self.batching.max_queue_depth,
-        ));
-        let metrics = Arc::new(MetricsRecorder::new(backend.name()));
-        let mut workers = Vec::with_capacity(self.runtime.workers);
-        for worker_index in 0..self.runtime.workers {
-            let worker_queue = Arc::clone(&queue);
-            let worker_metrics = Arc::clone(&metrics);
-            let worker_backend = Arc::clone(&backend);
-            let spawned = std::thread::Builder::new()
-                .name(format!("tdc-serve-worker-{worker_index}"))
-                .spawn(move || {
-                    worker_loop(
-                        &worker_queue,
-                        &worker_metrics,
-                        worker_backend.as_ref(),
-                        predicted_gpu_ms_per_sample,
-                    )
-                });
-            match spawned {
-                Ok(handle) => workers.push(handle),
-                Err(e) => {
-                    // Unwind cleanly: release the workers already running.
-                    queue.close();
-                    for handle in workers {
-                        let _ = handle.join();
-                    }
-                    return Err(ServeError::Runtime {
-                        reason: format!("cannot spawn serving worker {worker_index}: {e}"),
-                    });
-                }
+        let core = Arc::new(EngineCore {
+            queue: BatchQueue::new(
+                self.batching.max_batch_size,
+                self.batching.max_batch_delay,
+                self.batching.max_queue_depth,
+            ),
+            metrics: MetricsRecorder::new(backend.name()),
+            backend: Arc::clone(&backend),
+            predicted_gpu_ms_per_sample,
+            running: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+
+        // Attach to the shared executor when one was provided; otherwise
+        // spawn a private pool sized by `workers` — the legacy per-engine
+        // topology, preserved for standalone engines.
+        let (executor, private_executor) = match self.executor {
+            Some(executor) => (executor, false),
+            None => {
+                let pool = Executor::new(ExecutorOptions {
+                    workers: self.runtime.workers,
+                    ..ExecutorOptions::default()
+                })
+                .map_err(|e| ServeError::Runtime {
+                    reason: format!("cannot spawn private engine executor: {e}"),
+                })?;
+                (Arc::new(pool), true)
             }
-        }
+        };
+        let handle = executor.register(
+            &self.descriptor.name,
+            self.runtime.fair_share_weight(),
+            self.runtime.qos,
+            Arc::clone(&core) as Arc<dyn BatchSource>,
+        );
 
         // Estimated full-batch service time, for Retry-After hints: the
         // backend's own latency account at max batch size (memoized on
@@ -288,16 +308,15 @@ impl<'a> ServeEngineBuilder<'a> {
             .unwrap_or(latency_report.total_ms * self.batching.max_batch_size as f64);
 
         Ok(ServeEngine {
-            queue,
-            metrics,
-            workers,
+            core,
+            handle,
+            executor,
+            private_executor,
             plan,
             plan_outcome,
             model,
-            backend,
             latency_report,
             next_id: AtomicU64::new(0),
-            predicted_gpu_ms_per_sample,
             default_deadline: self.batching.default_deadline,
             max_batch_size: self.batching.max_batch_size,
             estimated_batch_ms,
@@ -305,18 +324,190 @@ impl<'a> ServeEngineBuilder<'a> {
     }
 }
 
+/// The engine's executable heart: the batch queue, metrics and backend,
+/// shared between the engine handle and the executor's dispatch tokens.
+///
+/// This is what an engine registers on the executor — [`BatchSource::run_one`]
+/// dequeues one batch non-blockingly and runs the full dispatch path
+/// (expiry, forward, record, respond). A forming under-full batch parks the
+/// source on the executor's timer wheel via [`SourceState::NotReady`] instead
+/// of blocking a shared worker.
+struct EngineCore {
+    queue: BatchQueue,
+    metrics: MetricsRecorder,
+    backend: Arc<dyn ExecutionBackend>,
+    predicted_gpu_ms_per_sample: f64,
+    /// Dispatches currently inside `run_one` past the dequeue point; together
+    /// with an empty queue this defines "drained" for retire semantics.
+    running: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl EngineCore {
+    /// Block until the queue is empty **and** no executor worker is inside a
+    /// dispatch for this engine; `deadline` bounds the wait (`None` waits
+    /// without bound, mirroring the old worker-join semantics).
+    fn wait_idle(&self, deadline: Option<Instant>) -> bool {
+        loop {
+            let drained = match deadline {
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        return self.is_idle();
+                    }
+                    self.queue.wait_drained(at - now)
+                }
+                None => self.queue.wait_drained(Duration::from_secs(3600)),
+            };
+            if drained {
+                break;
+            }
+            if deadline.is_some() {
+                return false;
+            }
+        }
+        let mut running = self.running.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // A dispatch in flight may respond, and new requests may have
+            // been admitted and dequeued meanwhile; idle means both gates
+            // observed empty in one pass.
+            if *running == 0 && self.queue.depth() == 0 {
+                return true;
+            }
+            match deadline {
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        return false;
+                    }
+                    let (guard, _) = self
+                        .idle
+                        .wait_timeout(running, at - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    running = guard;
+                }
+                None => {
+                    running = self.idle.wait(running).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        let running = self.running.lock().unwrap_or_else(|e| e.into_inner());
+        *running == 0 && self.queue.depth() == 0
+    }
+
+    /// Run one dequeued batch end to end: expire, forward, record, respond.
+    fn execute(&self, dispatch: crate::batcher::DequeuedBatch) {
+        // Deadline checkpoint 1 (dequeue): requests that expired while
+        // queued were split out by the batcher and never reach the backend.
+        if !dispatch.expired.is_empty() {
+            let now = Instant::now();
+            for request in dispatch.expired {
+                expire_request(request, &self.metrics, now);
+            }
+        }
+        let batch = dispatch.live;
+        if batch.is_empty() {
+            return;
+        }
+        let batch_size = batch.len();
+        let predicted_gpu_batch_ms = self.predicted_gpu_ms_per_sample * batch_size as f64;
+        let exec_started = Instant::now();
+        let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+        let execution = self.backend.forward_batch(&inputs);
+        let exec_ms = exec_started.elapsed().as_secs_f64() * 1e3;
+        let execution = match execution {
+            Ok(execution) => execution,
+            // Engine start probes the whole chain and `submit` rejects wrong
+            // shapes, so a failure here is a genuine anomaly. The batch is
+            // recorded, its requests are dropped, and every client's `wait`
+            // surfaces `Disconnected` — no panic crosses the worker boundary.
+            Err(_) => {
+                self.metrics
+                    .record_batch(batch_size, predicted_gpu_batch_ms, 0.0);
+                return;
+            }
+        };
+        self.metrics.record_batch(
+            batch_size,
+            predicted_gpu_batch_ms,
+            execution.simulated_gpu_ms,
+        );
+        let completed_at = Instant::now();
+        for (request, output) in batch.into_iter().zip(execution.outputs) {
+            // Deadline checkpoint 3 (delivery): execution finished past the
+            // request's deadline — the client contract is "answered within
+            // the deadline or a typed error", so the late output is dropped.
+            if request.expired_at(completed_at) {
+                expire_request(request, &self.metrics, completed_at);
+                continue;
+            }
+            let total_ms = completed_at
+                .duration_since(request.enqueued_at)
+                .as_secs_f64()
+                * 1e3;
+            let queue_ms = (total_ms - exec_ms).max(0.0);
+            self.metrics.record_request(total_ms, queue_ms, exec_ms);
+            let response = InferenceResponse {
+                id: request.id,
+                output,
+                queue_ms,
+                exec_ms,
+                batch_size,
+                predicted_gpu_batch_ms,
+                simulated_gpu_batch_ms: execution.simulated_gpu_ms,
+            };
+            // The client may have given up; that is not the worker's problem.
+            let _ = request.responder.send(Ok(response));
+        }
+    }
+}
+
+impl BatchSource for EngineCore {
+    fn run_one(&self) -> SourceState {
+        // Count the dispatch as running *before* the batch leaves the queue,
+        // so `wait_idle` never observes "queue empty, nothing running" while
+        // a batch is actually between dequeue and response.
+        {
+            let mut running = self.running.lock().unwrap_or_else(|e| e.into_inner());
+            *running += 1;
+        }
+        let state = match self.queue.try_next_batch() {
+            TryBatch::Empty => SourceState::Idle,
+            TryBatch::Closed => SourceState::Closed,
+            TryBatch::NotReady(retry_at) => SourceState::NotReady { retry_at },
+            TryBatch::Batch(dispatch) => {
+                self.execute(dispatch);
+                SourceState::Ran
+            }
+        };
+        let mut running = self.running.lock().unwrap_or_else(|e| e.into_inner());
+        *running -= 1;
+        if *running == 0 {
+            self.idle.notify_all();
+        }
+        drop(running);
+        state
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.depth()
+    }
+}
+
 /// A running, batched inference service for one compressed model.
 pub struct ServeEngine {
-    queue: Arc<BatchQueue>,
-    metrics: Arc<MetricsRecorder>,
-    workers: Vec<JoinHandle<()>>,
+    core: Arc<EngineCore>,
+    handle: SourceHandle,
+    executor: Arc<Executor>,
+    private_executor: bool,
     plan: Arc<CompressionPlan>,
     plan_outcome: CacheOutcome,
     model: Arc<CompressedModel>,
-    backend: Arc<dyn ExecutionBackend>,
     latency_report: BackendLatencyReport,
     next_id: AtomicU64,
-    predicted_gpu_ms_per_sample: f64,
     default_deadline: Option<Duration>,
     max_batch_size: usize,
     estimated_batch_ms: f64,
@@ -358,6 +549,7 @@ impl ServeEngine {
                 seed: config.seed,
                 dense_algorithm: config.dense_algorithm,
                 backend: BackendKind::Cpu,
+                ..RuntimeOptions::default()
             })
             .plan_cache(cache)
             .build()
@@ -380,7 +572,23 @@ impl ServeEngine {
 
     /// Identity of the execution backend running the batches.
     pub fn backend_name(&self) -> &str {
-        self.backend.name()
+        self.core.backend.name()
+    }
+
+    /// The QoS class the engine is registered under on its executor.
+    pub fn qos(&self) -> QosClass {
+        self.handle.qos()
+    }
+
+    /// The engine's fair-share weight on its executor.
+    pub fn fair_share_weight(&self) -> usize {
+        self.handle.weight()
+    }
+
+    /// The engine's scheduling state on its executor: queue depth, running
+    /// dispatches, batches stolen across workers, batches executed.
+    pub fn executor_source(&self) -> tdc_exec::SourceMetrics {
+        self.handle.metrics()
     }
 
     /// The backend's per-sample (batch 1) latency breakdown, computed at
@@ -391,12 +599,12 @@ impl ServeEngine {
 
     /// The backend's latency breakdown at an arbitrary batch size.
     pub fn backend_latency_report_at(&self, batch_size: usize) -> Result<BackendLatencyReport> {
-        self.backend.latency_report(batch_size)
+        self.core.backend.latency_report(batch_size)
     }
 
     /// Predicted GPU latency of a single sample on the planned device, ms.
     pub fn predicted_gpu_ms_per_sample(&self) -> f64 {
-        self.predicted_gpu_ms_per_sample
+        self.core.predicted_gpu_ms_per_sample
     }
 
     /// The default per-request deadline configured at build
@@ -406,10 +614,23 @@ impl ServeEngine {
     }
 
     fn check_input(&self, input: &Tensor) -> Result<()> {
-        if input.dims() != self.backend.input_dims() {
+        if input.dims() != self.core.backend.input_dims() {
             return Err(ServeError::BadInput {
-                expected: self.backend.input_dims().to_vec(),
+                expected: self.core.backend.input_dims().to_vec(),
                 actual: input.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Batch-class admission shed: when the executor reports interactive
+    /// backlog above its configured threshold, `Batch`-class submits are
+    /// rejected at the door instead of queueing behind traffic that will
+    /// always outrank them.
+    fn check_shed(&self) -> Result<()> {
+        if self.handle.should_shed() {
+            return Err(ServeError::Overloaded {
+                limit: self.handle.shed_backlog_limit(),
             });
         }
         Ok(())
@@ -450,8 +671,10 @@ impl ServeEngine {
         deadline: Option<Duration>,
     ) -> Result<PendingResponse> {
         self.check_input(&input)?;
+        self.check_shed()?;
         let (request, pending) = self.request_for(input, Instant::now(), deadline);
-        self.queue.push(request)?;
+        self.core.queue.push(request)?;
+        self.handle.notify();
         Ok(pending)
     }
 
@@ -471,12 +694,14 @@ impl ServeEngine {
         for input in &inputs {
             self.check_input(input)?;
         }
+        self.check_shed()?;
         let enqueued_at = Instant::now();
         let (requests, handles): (Vec<_>, Vec<_>) = inputs
             .into_iter()
             .map(|input| self.request_for(input, enqueued_at, deadline))
             .unzip();
-        self.queue.push_many(requests)?;
+        self.core.queue.push_many(requests)?;
+        self.handle.notify();
         Ok(handles)
     }
 
@@ -494,14 +719,17 @@ impl ServeEngine {
         self.submit_with_deadline(input, deadline)?.wait()
     }
 
-    /// Metrics snapshot of the work completed so far.
+    /// Metrics snapshot of the work completed so far, including how many of
+    /// this engine's batches were dispatched via executor work stealing.
     pub fn metrics(&self) -> ServeMetrics {
-        self.metrics.snapshot()
+        let mut snapshot = self.core.metrics.snapshot();
+        snapshot.stolen_batches = self.handle.stolen_batches();
+        snapshot
     }
 
     /// Current queue depth (requests not yet dispatched to a worker).
     pub fn queue_depth(&self) -> usize {
-        self.queue.depth()
+        self.core.queue.depth()
     }
 
     /// The engine's configured maximum batch size.
@@ -521,7 +749,7 @@ impl ServeEngine {
     /// `[1 s, 1 h]` so the header is always actionable. The estimate is the
     /// backend's *modelled* latency — a heuristic hint, not a promise.
     pub fn retry_after_hint(&self) -> Duration {
-        let batches_ahead = self.queue.depth().div_ceil(self.max_batch_size).max(1);
+        let batches_ahead = self.core.queue.depth().div_ceil(self.max_batch_size).max(1);
         let wait_ms = batches_ahead as f64 * self.estimated_batch_ms.max(0.0);
         let secs = (wait_ms / 1e3).ceil().clamp(1.0, 3600.0);
         Duration::from_secs(secs as u64)
@@ -534,41 +762,55 @@ impl ServeEngine {
     /// retire — the control plane calls this after unrouting the model, then
     /// waits for the drain before freeing the engine.
     pub fn close_admission(&self) {
-        self.queue.close();
+        self.core.queue.close();
+        // Kick the executor: a dispatch token parked on the formation timer
+        // must re-poll now so the closed queue's remainder drains promptly.
+        self.handle.notify();
     }
 
-    /// Block until every admitted request has been handed to a worker, or
-    /// `timeout` passes; returns whether the queue fully drained. In-flight
-    /// executor batches are not covered — joining the workers (shutdown /
-    /// drop) bounds those.
+    /// Block until every admitted request has been answered, or `timeout`
+    /// passes; returns whether the engine fully drained. Unlike the
+    /// per-engine-pool era this covers in-flight executor batches too:
+    /// "drained" means the queue is empty *and* no shared-pool worker is
+    /// inside a dispatch for this engine, so a retire that observes `true`
+    /// can free the engine without yanking work out from under the pool.
     pub fn wait_drained(&self, timeout: Duration) -> bool {
-        self.queue.wait_drained(timeout)
+        self.core.wait_idle(Some(Instant::now() + timeout))
     }
 
-    /// Stop accepting requests, drain the queue, join the workers and return
-    /// the final report.
-    pub fn shutdown(mut self) -> ServeReport {
-        self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-        ServeReport {
-            backend: self.backend.name().to_string(),
-            metrics: self.metrics.snapshot(),
+    /// Stop accepting requests, drain every in-flight batch, detach from the
+    /// executor and return the final report.
+    pub fn shutdown(self) -> ServeReport {
+        self.core.queue.close();
+        self.handle.notify();
+        self.core.wait_idle(None);
+        let report = ServeReport {
+            backend: self.core.backend.name().to_string(),
+            metrics: self.metrics(),
             plan_outcome: self.plan_outcome,
             plan_fingerprint: self.plan.fingerprint(),
             backend_latency: self.latency_report.clone(),
+        };
+        if self.private_executor {
+            self.executor.shutdown();
         }
+        report
     }
 }
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
         // Belt and braces for engines dropped without `shutdown()`: close the
-        // queue so workers terminate instead of blocking forever.
-        self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // queue and drain in-flight work so responses are not lost, matching
+        // the old join-the-workers drop semantics. Dropping `handle` then
+        // deregisters the source from the executor; a private pool is shut
+        // down explicitly so its threads are joined before the backend goes
+        // away.
+        self.core.queue.close();
+        self.handle.notify();
+        self.core.wait_idle(None);
+        if self.private_executor {
+            self.executor.shutdown();
         }
     }
 }
@@ -583,77 +825,6 @@ fn expire_request(request: InferenceRequest, metrics: &MetricsRecorder, now: Ins
     let _ = request
         .responder
         .send(Err(ServeError::DeadlineExceeded { waited_ms }));
-}
-
-fn worker_loop(
-    queue: &BatchQueue,
-    metrics: &MetricsRecorder,
-    backend: &dyn ExecutionBackend,
-    predicted_gpu_ms_per_sample: f64,
-) {
-    while let Some(dispatch) = queue.next_batch() {
-        // Deadline checkpoint 1 (dequeue): requests that expired while
-        // queued were split out by the batcher and never reach the backend.
-        if !dispatch.expired.is_empty() {
-            let now = Instant::now();
-            for request in dispatch.expired {
-                expire_request(request, metrics, now);
-            }
-        }
-        let batch = dispatch.live;
-        if batch.is_empty() {
-            continue;
-        }
-        let batch_size = batch.len();
-        let predicted_gpu_batch_ms = predicted_gpu_ms_per_sample * batch_size as f64;
-        let exec_started = Instant::now();
-        let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
-        let execution = backend.forward_batch(&inputs);
-        let exec_ms = exec_started.elapsed().as_secs_f64() * 1e3;
-        let execution = match execution {
-            Ok(execution) => execution,
-            // Engine start probes the whole chain and `submit` rejects wrong
-            // shapes, so a failure here is a genuine anomaly. The batch is
-            // recorded, its requests are dropped, and every client's `wait`
-            // surfaces `Disconnected` — no panic crosses the worker boundary.
-            Err(_) => {
-                metrics.record_batch(batch_size, predicted_gpu_batch_ms, 0.0);
-                continue;
-            }
-        };
-        metrics.record_batch(
-            batch_size,
-            predicted_gpu_batch_ms,
-            execution.simulated_gpu_ms,
-        );
-        let completed_at = Instant::now();
-        for (request, output) in batch.into_iter().zip(execution.outputs) {
-            // Deadline checkpoint 3 (delivery): execution finished past the
-            // request's deadline — the client contract is "answered within
-            // the deadline or a typed error", so the late output is dropped.
-            if request.expired_at(completed_at) {
-                expire_request(request, metrics, completed_at);
-                continue;
-            }
-            let total_ms = completed_at
-                .duration_since(request.enqueued_at)
-                .as_secs_f64()
-                * 1e3;
-            let queue_ms = (total_ms - exec_ms).max(0.0);
-            metrics.record_request(total_ms, queue_ms, exec_ms);
-            let response = InferenceResponse {
-                id: request.id,
-                output,
-                queue_ms,
-                exec_ms,
-                batch_size,
-                predicted_gpu_batch_ms,
-                simulated_gpu_batch_ms: execution.simulated_gpu_ms,
-            };
-            // The client may have given up; that is not the worker's problem.
-            let _ = request.responder.send(Ok(response));
-        }
-    }
 }
 
 #[cfg(test)]
@@ -988,7 +1159,7 @@ mod tests {
         let cache = PlanCache::new(2);
         let engine = test_engine(&descriptor, &cache).unwrap();
         let input = Tensor::zeros(vec![10, 10, 4]);
-        engine.queue.close();
+        engine.close_admission();
         assert!(matches!(engine.submit(input), Err(ServeError::Closed)));
     }
 

@@ -2,8 +2,10 @@
 //! hot-lifecycle loop over HTTP (register → infer bit-identical to a direct
 //! engine → plan hot-swap under live traffic with zero dropped requests →
 //! retire → 404), latency isolation of a serving model while its siblings
-//! are registered and retired underneath it, and the in-flight-across-retire
-//! drain guarantee.
+//! are registered and retired underneath it, the in-flight-across-retire
+//! drain guarantee, and QoS fairness on the shared fleet executor (a
+//! batch-class flood pre-loaded on a paused single-worker pool must not
+//! starve an interactive sibling once the pool resumes).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,8 +16,9 @@ use tdc_repro::serve::http::{
     http_request, InferBody, InferReply, RegisterBody, RegisterReply, RetireReply,
 };
 use tdc_repro::serve::{
-    serving_descriptor, BatchingOptions, HttpClient, HttpServer, ModelConfig, ModelRegistry,
-    PlanningOptions, ReplanReport, RuntimeOptions, ServeEngine, ServeError,
+    serving_descriptor, BatchingOptions, Executor, ExecutorOptions, HttpClient, HttpServer,
+    ModelConfig, ModelRegistry, PlanCache, PlanningOptions, QosClass, ReplanReport, RuntimeOptions,
+    ServeEngine, ServeError,
 };
 use tdc_repro::tensor::{init, Tensor};
 
@@ -278,6 +281,143 @@ fn registering_and_retiring_siblings_does_not_disturb_a_loaded_model() {
     Arc::try_unwrap(registry)
         .unwrap_or_else(|_| panic!("registry still shared"))
         .shutdown();
+}
+
+/// The QoS fairness pin, made deterministic by controlling the executor:
+/// a single-worker, single-shard pool starts **paused**, a batch-class
+/// model's queue is pre-loaded with a flood, an interactive sibling's two
+/// requests are enqueued *after* the whole flood, and only then does the
+/// pool resume. Injection-order (FIFO) scheduling would serve every flood
+/// batch before the sibling; the executor's priority bands must instead
+/// dispatch the interactive batches ahead of the pre-existing backlog.
+#[test]
+fn batch_class_flood_on_a_paused_shared_pool_does_not_starve_interactive() {
+    let executor = Arc::new(
+        Executor::new(ExecutorOptions {
+            workers: 1,
+            injector_shards: 1,
+            start_paused: true,
+            ..ExecutorOptions::default()
+        })
+        .unwrap(),
+    );
+    let registry = ModelRegistry::with_executor(PlanCache::new(4), Arc::clone(&executor));
+    // One request per executed batch, so dispatch order is visible per
+    // request in the latency summaries.
+    let one_per_batch = BatchingOptions {
+        max_batch_size: 1,
+        max_batch_delay: Duration::from_millis(1),
+        ..BatchingOptions::default()
+    };
+    registry
+        .register(
+            "flood",
+            &serving_descriptor("qos-flood", 12, 8, 10),
+            ModelConfig {
+                batching: one_per_batch.clone(),
+                runtime: RuntimeOptions {
+                    qos: QosClass::Batch,
+                    ..RuntimeOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+    registry
+        .register(
+            "vip",
+            &serving_descriptor("qos-vip", 12, 8, 10),
+            ModelConfig {
+                batching: one_per_batch,
+                runtime: RuntimeOptions {
+                    qos: QosClass::Interactive,
+                    ..RuntimeOptions::default()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Pre-load while the pool is paused: the entire flood first, then the
+    // interactive requests — the worst possible arrival order for "vip".
+    const FLOOD: usize = 8;
+    let input = Tensor::zeros(vec![12, 12, 8]);
+    let flood_pending: Vec<_> = (0..FLOOD)
+        .map(|_| registry.submit("flood", input.clone()).unwrap())
+        .collect();
+    let vip_pending: Vec<_> = (0..2)
+        .map(|_| registry.submit("vip", input.clone()).unwrap())
+        .collect();
+
+    executor.resume();
+    for handle in vip_pending {
+        handle.wait().unwrap();
+    }
+    // Both interactive requests are done; on one serial worker, FIFO order
+    // would have forced them behind all eight flood batches.
+    let mid = registry.metrics();
+    let flood_done = mid
+        .models
+        .iter()
+        .find(|m| m.model == "flood")
+        .unwrap()
+        .metrics
+        .completed_requests;
+    assert!(
+        flood_done < FLOOD as u64,
+        "interactive requests waited out the whole batch-class backlog \
+         ({flood_done}/{FLOOD} flood requests already served)"
+    );
+
+    for handle in flood_pending {
+        handle.wait().unwrap();
+    }
+    let metrics = registry.metrics();
+    let vip = metrics.models.iter().find(|m| m.model == "vip").unwrap();
+    let flood = metrics.models.iter().find(|m| m.model == "flood").unwrap();
+    assert_eq!(vip.metrics.completed_requests, 2);
+    assert_eq!(flood.metrics.completed_requests, FLOOD as u64);
+    // The fair-share pin: scheduled in band order, the interactive model's
+    // worst end-to-end latency stays below the flood's median — its p99
+    // reflects its own two batches, not the sibling's backlog.
+    assert!(
+        vip.metrics.total_latency.p99_ms < flood.metrics.total_latency.p50_ms,
+        "vip p99 {:.2} ms not isolated from the flood (flood p50 {:.2} ms)",
+        vip.metrics.total_latency.p99_ms,
+        flood.metrics.total_latency.p50_ms
+    );
+    // The telemetry names the classes and the shared pool.
+    assert_eq!(vip.executor.qos, "interactive");
+    assert_eq!(flood.executor.qos, "batch");
+    assert_eq!(metrics.executor.workers, 1);
+    assert_eq!(
+        metrics.executor.bands.len(),
+        3,
+        "one band row per QoS class"
+    );
+
+    // Lifecycle on the shared pool: retiring the flood model drains it
+    // without touching the sibling, and a hot-swap re-registers the
+    // sibling's engine on the same executor.
+    let report = registry.retire("flood").unwrap();
+    assert_eq!(report.metrics.completed_requests, FLOOD as u64);
+    let swap = registry
+        .replan(
+            "vip",
+            PlanningOptions {
+                budget: 0.9,
+                ..PlanningOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(swap.generation, 2);
+    registry.infer("vip", input).unwrap();
+    let after = registry.metrics();
+    let vip = after.models.iter().find(|m| m.model == "vip").unwrap();
+    assert_eq!(vip.metrics.completed_requests, 1);
+    assert_eq!(vip.executor.qos, "interactive");
+    registry.shutdown();
+    executor.shutdown();
 }
 
 #[test]
