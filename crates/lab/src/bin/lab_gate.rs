@@ -1,0 +1,227 @@
+//! The CI bench-regression gate.
+//!
+//! Compares a freshly produced `BENCH_serve.json` against the committed
+//! baseline and fails (exit 1) when the serving stack regressed:
+//!
+//! * **deterministic fields compare exactly.** The trace fingerprint,
+//!   event/outcome counts and the completed-output fingerprint are
+//!   machine-independent — same code, same spec, same seed ⇒ same bytes
+//!   on any host. Any drift means the workload engine, the planner or
+//!   the numerics changed, which must be a deliberate baseline refresh,
+//!   never an accident.
+//! * **wall-clock metrics compare within wide tolerance bands.** The
+//!   baseline is recorded on a developer machine, the fresh artifact on
+//!   a CI runner — absolute latency is not comparable, but a collapse
+//!   is: the gate fails when fresh throughput drops below
+//!   `LAB_GATE_MIN_THROUGHPUT_FRAC` (default 0.25) of baseline or fresh
+//!   p99 exceeds `LAB_GATE_MAX_P99_FRAC` (default 4.0) times baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! lab_gate --baseline BENCH_serve.json --fresh target/BENCH_serve_fresh.json
+//! ```
+//!
+//! Both artifacts must validate against the schema they declare and must
+//! carry a `trace` section (the gate's deterministic core); refreshing
+//! the baseline means re-running `serve_bench --trace` and committing
+//! the result alongside the change that moved it.
+
+use serde::Value;
+use tdc_lab::artifact;
+
+fn flag(name: &str, env: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    let mut choice = std::env::var(env).ok();
+    let prefix = format!("{name}=");
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            choice = Some(value.to_string());
+        } else if arg == name {
+            match args.get(i + 1) {
+                Some(value) => choice = Some(value.clone()),
+                None => {
+                    eprintln!("lab_gate: {name} needs a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    choice.unwrap_or_else(|| default.to_string())
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load(label: &str, path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("lab_gate: cannot read {label} artifact {path}: {e}");
+        std::process::exit(1);
+    });
+    let value = serde_json::parse_value(&text).unwrap_or_else(|e| {
+        eprintln!(
+            "lab_gate: {label} artifact {path} is not valid JSON: {}",
+            e.message
+        );
+        std::process::exit(1);
+    });
+    match artifact::validate(&value) {
+        Ok(version) => {
+            println!("  {label:<8} {path} (schema_version {version})");
+            value
+        }
+        Err(e) => {
+            eprintln!("lab_gate: {label} artifact {path} invalid: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn trace_section<'v>(label: &str, value: &'v Value) -> &'v Value {
+    match value.get("trace") {
+        Some(section) if !matches!(section, Value::Null) => section,
+        _ => {
+            eprintln!(
+                "lab_gate: {label} artifact has no trace section — run \
+                 `serve_bench --trace <spec.json>` to produce one"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn str_field<'v>(section: &'v Value, key: &str) -> &'v str {
+    section
+        .get(key)
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| {
+            eprintln!("lab_gate: trace section missing string field {key:?}");
+            std::process::exit(1);
+        })
+}
+
+fn num_field(section: &Value, key: &str) -> f64 {
+    section
+        .get(key)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| {
+            eprintln!("lab_gate: trace section missing numeric field {key:?}");
+            std::process::exit(1);
+        })
+}
+
+struct Gate {
+    checks: u64,
+    failures: u64,
+}
+
+impl Gate {
+    fn exact_str(&mut self, key: &str, baseline: &Value, fresh: &Value) {
+        self.report(
+            key,
+            str_field(baseline, key) == str_field(fresh, key),
+            &format!("{:?}", str_field(baseline, key)),
+            &format!("{:?}", str_field(fresh, key)),
+            "exact",
+        );
+    }
+
+    fn exact_num(&mut self, key: &str, baseline: &Value, fresh: &Value) {
+        let (b, f) = (num_field(baseline, key), num_field(fresh, key));
+        self.report(key, b == f, &format!("{b}"), &format!("{f}"), "exact");
+    }
+
+    fn band(&mut self, key: &str, baseline: f64, fresh: f64, ok: bool, band: &str) {
+        self.report(
+            key,
+            ok,
+            &format!("{baseline:.3}"),
+            &format!("{fresh:.3}"),
+            band,
+        );
+    }
+
+    fn report(&mut self, key: &str, ok: bool, baseline: &str, fresh: &str, rule: &str) {
+        self.checks += 1;
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "  {} {key:<22} baseline {baseline:>20} fresh {fresh:>20}  [{rule}]",
+            if ok { "ok  " } else { "FAIL" }
+        );
+    }
+}
+
+fn main() {
+    let baseline_path = flag("--baseline", "LAB_GATE_BASELINE", "BENCH_serve.json");
+    let fresh_path = flag("--fresh", "LAB_GATE_FRESH", "target/BENCH_serve_fresh.json");
+    let min_throughput_frac = env_f64("LAB_GATE_MIN_THROUGHPUT_FRAC", 0.25);
+    let max_p99_frac = env_f64("LAB_GATE_MAX_P99_FRAC", 4.0);
+
+    println!("lab_gate: comparing artifacts");
+    let baseline = load("baseline", &baseline_path);
+    let fresh = load("fresh", &fresh_path);
+    let baseline_trace = trace_section("baseline", &baseline);
+    let fresh_trace = trace_section("fresh", &fresh);
+
+    let mut gate = Gate {
+        checks: 0,
+        failures: 0,
+    };
+
+    // Deterministic core: identical request stream, identical outcomes,
+    // identical output bits.
+    gate.exact_str("workload", baseline_trace, fresh_trace);
+    gate.exact_num("seed", baseline_trace, fresh_trace);
+    gate.exact_str("trace_fingerprint", baseline_trace, fresh_trace);
+    for key in [
+        "events",
+        "requests",
+        "submitted",
+        "shed",
+        "completed",
+        "expired",
+        "failed",
+        "unexpected_failures",
+    ] {
+        gate.exact_num(key, baseline_trace, fresh_trace);
+    }
+    gate.exact_str("output_fingerprint", baseline_trace, fresh_trace);
+
+    // Wall-clock metrics: wide bands, because baseline and fresh run on
+    // different machines. The gate catches collapses, not jitter.
+    let throughput_b = num_field(baseline_trace, "throughput_rps");
+    let throughput_f = num_field(fresh_trace, "throughput_rps");
+    gate.band(
+        "throughput_rps",
+        throughput_b,
+        throughput_f,
+        throughput_f >= throughput_b * min_throughput_frac,
+        &format!(">= {min_throughput_frac}x baseline"),
+    );
+    let p99_b = num_field(baseline_trace, "p99_ms");
+    let p99_f = num_field(fresh_trace, "p99_ms");
+    gate.band(
+        "p99_ms",
+        p99_b,
+        p99_f,
+        p99_b <= 0.0 || p99_f <= p99_b * max_p99_frac,
+        &format!("<= {max_p99_frac}x baseline"),
+    );
+
+    if gate.failures > 0 {
+        eprintln!(
+            "lab_gate: FAILED — {}/{} check(s) regressed. If this change is \
+             intentional, refresh the committed baseline in the same PR \
+             (see docs/ARCHITECTURE.md, lab tier).",
+            gate.failures, gate.checks
+        );
+        std::process::exit(1);
+    }
+    println!("lab_gate: ok — {} check(s) passed", gate.checks);
+}

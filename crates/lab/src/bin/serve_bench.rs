@@ -5,7 +5,7 @@
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
 //! restart, and records everything as a `BENCH_serve.json` artifact
-//! (schema 7) so later changes can track the serving-performance trajectory.
+//! (schema 8) so later changes can track the serving-performance trajectory.
 //!
 //! Modes (composable):
 //!
@@ -43,16 +43,27 @@
 //!   artifact's `qos` section records per-class completion counts and
 //!   latency percentiles plus the executor's fleet telemetry (worker
 //!   utilization, steal totals).
-//! * `--check-schema` — no benchmark: read the existing artifact and fail
-//!   (exit 1) unless its `schema_version` matches this binary's expected
-//!   version. CI runs this after the bench smoke steps to catch schema
-//!   drift between the writer and its consumers.
+//! * `--trace <spec.json>` — adds the trace phase: a `tdc-lab`
+//!   [`WorkloadSpec`] is expanded into its
+//!   byte-reproducible trace (seeded arrival processes, heavy-tailed size
+//!   mix, multi-model zoo) and replayed open-loop against a live registry;
+//!   the artifact's `trace` section records the trace fingerprint, the
+//!   full outcome accounting (`submitted == completed + expired + failed`,
+//!   sheds separate) and the completed-output fingerprint. Two runs of the
+//!   same spec produce identical request streams — the deterministic core
+//!   the `lab_gate` regression gate compares.
+//! * `--check-schema` — no benchmark: read the existing artifact and
+//!   validate it against whatever `schema_version` it declares (every
+//!   historical version 1..=8 is understood; see `tdc_lab::artifact`).
+//!   CI runs this after the bench smoke steps to catch schema drift
+//!   between the writer and its consumers.
 //!
 //! Usage:
 //!
 //! ```text
 //! serve_bench [--backend cpu|sim-gpu|both] [--models N] [--deadline-ms D]
-//!             [--keep-alive] [--autotune] [--router] [--qos] [--check-schema]
+//!             [--keep-alive] [--autotune] [--router] [--qos]
+//!             [--trace spec.json] [--check-schema]
 //! ```
 //!
 //! Environment knobs (all optional):
@@ -65,12 +76,16 @@
 //! * `SERVE_BENCH_MODELS`    — same as `--models` (the flag wins)
 //! * `SERVE_BENCH_DEADLINE_MS` — same as `--deadline-ms` (the flag wins)
 //! * `SERVE_BENCH_TARGET_P99_MS` — `--autotune` SLO target override, ms
+//! * `SERVE_BENCH_TRACE`     — same as `--trace` (the flag wins)
+//! * `SERVE_BENCH_TRACE_TIME_SCALE` — trace-clock multiplier (default 1.0)
 //! * `SERVE_BENCH_OUT`       — artifact path (default `BENCH_serve.json`)
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdc_lab::runner::{deploy, reconcile, replay, ReplayOptions};
+use tdc_lab::spec::WorkloadSpec;
 use tdc_router::{Router, RouterOptions, RoutingPolicy};
 use tdc_serve::http::{http_request, InferBody};
 use tdc_serve::{
@@ -80,14 +95,14 @@ use tdc_serve::{
 };
 use tdc_tensor::init;
 
-/// The schema this binary writes — `--check-schema` validates an artifact
-/// on disk against it.
-const EXPECTED_SCHEMA_VERSION: u32 = 7;
+/// The schema this binary writes; `--check-schema` additionally accepts
+/// every *older* version via [`tdc_lab::artifact::validate`].
+const EXPECTED_SCHEMA_VERSION: u32 = tdc_lab::artifact::CURRENT_SCHEMA_VERSION;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 7 (over 6): `--qos` adds a `qos` section — the mixed-priority
-/// phase's per-class completion counts and latency percentiles, plus the
-/// fleet executor's worker-utilization and steal telemetry.
+/// Schema 8 (over 7): `--trace` adds a `trace` section — the trace-driven
+/// workload phase's trace/output fingerprints, per-phase event counts and
+/// full outcome accounting.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -106,6 +121,74 @@ struct ServeBenchArtifact {
     autotune: Option<AutotuneRun>,
     router: Option<RouterRun>,
     qos: Option<QosRun>,
+    trace: Option<TraceRun>,
+}
+
+/// The `--trace` phase: one workload spec replayed end to end.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct TraceRun {
+    /// Path of the workload spec that was replayed.
+    spec: String,
+    /// The spec's workload name.
+    workload: String,
+    /// The spec's PRNG seed.
+    seed: u64,
+    /// FNV-1a fingerprint of the generated trace, hex — identical across
+    /// machines for the same spec.
+    trace_fingerprint: String,
+    /// Trace events dispatched.
+    events: u64,
+    /// Samples dispatched (`submitted + shed`).
+    requests: u64,
+    /// Samples admitted.
+    submitted: u64,
+    /// Samples shed with typed `Overloaded`.
+    shed: u64,
+    /// Samples completed.
+    completed: u64,
+    /// Samples expired with typed `DeadlineExceeded`.
+    expired: u64,
+    /// Samples failed with typed `ExecutionFailed`.
+    failed: u64,
+    /// Client-visible outcomes outside the typed contract (must be 0).
+    unexpected_failures: u64,
+    /// FNV-1a over the completed outputs' bits in submission order, hex.
+    output_fingerprint: String,
+    /// Wall-clock seconds for the replay.
+    elapsed_s: f64,
+    /// Completed samples per wall-clock second.
+    throughput_rps: f64,
+    /// Median total latency of the busiest model, ms.
+    p50_ms: f64,
+    /// Worst per-model p99 total latency, ms.
+    p99_ms: f64,
+    /// Events per phase, in phase order.
+    per_phase_events: Vec<u64>,
+    /// Trace-clock multiplier the replay ran at.
+    time_scale: f64,
+    /// Per-model outcome rows, in zoo order.
+    per_model: Vec<TraceModelRun>,
+}
+
+/// One model's row in the trace phase.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct TraceModelRun {
+    /// Registered model name.
+    model: String,
+    /// QoS class label, if the spec pinned one.
+    qos: Option<String>,
+    /// Per-request deadline, if the spec set one.
+    deadline_ms: Option<u64>,
+    /// Samples the trace aimed at this model.
+    samples: u64,
+    /// Samples completed.
+    completed: u64,
+    /// Samples expired.
+    expired: u64,
+    /// Samples failed.
+    failed: u64,
+    /// The model's p99 total latency, ms.
+    p99_ms: f64,
 }
 
 /// The `--qos` mixed-priority phase: one model per QoS class behind one
@@ -339,9 +422,12 @@ fn bool_flag(flag: &str) -> bool {
     std::env::args().any(|arg| arg == flag)
 }
 
-/// `--check-schema`: validate the artifact on disk against
-/// [`EXPECTED_SCHEMA_VERSION`] instead of running a benchmark. Exits the
-/// process.
+/// `--check-schema`: validate the artifact on disk against whatever
+/// schema version it declares — every version the benchmark has ever
+/// written (1..=[`EXPECTED_SCHEMA_VERSION`]) is accepted, each against
+/// its own required-field list ([`tdc_lab::artifact::validate`]). A
+/// current-version artifact is additionally round-tripped through the
+/// typed struct so field drift fails the check too. Exits the process.
 fn check_schema(path: &str) -> ! {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -360,11 +446,8 @@ fn check_schema(path: &str) -> ! {
             std::process::exit(1);
         }
     };
-    let version = value
-        .get("schema_version")
-        .and_then(|v| serde_json::from_value::<u32>(v).ok());
-    match version {
-        Some(version) if version == EXPECTED_SCHEMA_VERSION => {
+    match tdc_lab::artifact::validate(&value) {
+        Ok(version) if version == EXPECTED_SCHEMA_VERSION => {
             // Round-trip through the typed artifact so field drift (not just
             // the version number) fails the check too.
             if let Err(e) = serde_json::from_str::<ServeBenchArtifact>(&text) {
@@ -378,15 +461,15 @@ fn check_schema(path: &str) -> ! {
             println!("serve_bench --check-schema: {path} ok (schema_version {version})");
             std::process::exit(0);
         }
-        Some(version) => {
-            eprintln!(
-                "serve_bench --check-schema: {path} has schema_version {version}, \
-                 expected {EXPECTED_SCHEMA_VERSION}"
+        Ok(version) => {
+            println!(
+                "serve_bench --check-schema: {path} ok (historical schema_version \
+                 {version}; this binary writes {EXPECTED_SCHEMA_VERSION})"
             );
-            std::process::exit(1);
+            std::process::exit(0);
         }
-        None => {
-            eprintln!("serve_bench --check-schema: {path} has no numeric schema_version");
+        Err(e) => {
+            eprintln!("serve_bench --check-schema: {path} invalid: {e}");
             std::process::exit(1);
         }
     }
@@ -619,6 +702,7 @@ fn run_multi_model(n: usize, backends: &[BackendKind], s: &BenchSettings) -> Mul
                         backend,
                         ..RuntimeOptions::default()
                     },
+                    ..ModelConfig::default()
                 },
             )
             .expect("register model");
@@ -769,6 +853,7 @@ fn run_http_phase(
                     workers: s.workers,
                     ..RuntimeOptions::default()
                 },
+                ..ModelConfig::default()
             },
         )
         .expect("register http-phase model");
@@ -886,6 +971,7 @@ fn run_autotune(s: &BenchSettings) -> AutotuneRun {
                     backend: BackendKind::SimGpu,
                     ..RuntimeOptions::default()
                 },
+                ..ModelConfig::default()
             },
         )
         .expect("register autotune model");
@@ -1001,6 +1087,7 @@ fn run_qos_phase(s: &BenchSettings) -> QosRun {
                         qos,
                         ..RuntimeOptions::default()
                     },
+                    ..ModelConfig::default()
                 },
             )
             .expect("register qos model");
@@ -1121,34 +1208,18 @@ fn bind_fleet_replica(
     s: &BenchSettings,
     addr: &str,
 ) -> HttpServer {
-    let registry = ModelRegistry::new(2);
-    registry
-        .register(
-            &descriptor.slug(),
-            descriptor,
-            ModelConfig {
-                planning: s.planning.clone(),
-                batching: BatchingOptions {
-                    max_batch_size: 4,
-                    max_batch_delay: Duration::from_millis(1),
-                    ..BatchingOptions::default()
-                },
-                runtime: RuntimeOptions {
-                    workers: 2,
-                    ..RuntimeOptions::default()
-                },
-            },
-        )
-        .expect("register fleet model");
-    HttpServer::bind(addr, Arc::new(registry)).expect("bind fleet replica")
+    // The shared fleet testkit supplies the stock replica shape; only the
+    // bench's planning options ride on top.
+    let config = ModelConfig {
+        planning: s.planning.clone(),
+        ..tdc_router::testkit::fleet_config()
+    };
+    tdc_router::testkit::bind_replica(addr, &descriptor.slug(), descriptor, config)
 }
 
 /// Fully drain one fleet replica: stop its front end, then its engines.
 fn drain_fleet_replica(server: HttpServer) {
-    let registry = server.shutdown();
-    let registry =
-        Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("fleet registry still shared"));
-    registry.shutdown();
+    tdc_router::testkit::drain_replica(server);
 }
 
 /// The `--router` phase: three in-process replicas behind a least-loaded
@@ -1314,6 +1385,121 @@ fn run_router_phase(s: &BenchSettings) -> RouterRun {
     run
 }
 
+/// The `--trace` phase: expand a workload spec into its deterministic
+/// trace and replay it open-loop against a live registry built from the
+/// spec's model zoo. The recorded fingerprints (trace + completed
+/// outputs) are machine-independent — `lab_gate` compares them exactly
+/// between the committed baseline and a fresh CI run.
+fn run_trace_phase(spec_path: &str, s: &BenchSettings) -> TraceRun {
+    let spec = WorkloadSpec::load(std::path::Path::new(spec_path)).unwrap_or_else(|e| {
+        eprintln!("serve_bench --trace: {e}");
+        std::process::exit(2);
+    });
+    let trace = tdc_lab::generate(&spec);
+    let options = ReplayOptions {
+        workers: s.workers.clamp(1, 4),
+        max_batch_size: s.batching.max_batch_size,
+        max_batch_delay: s.batching.max_batch_delay,
+        time_scale: env_f64("SERVE_BENCH_TRACE_TIME_SCALE", 1.0).clamp(0.01, 100.0),
+        ..ReplayOptions::default()
+    };
+    println!(
+        "\n== trace phase: {} ({} events, {} samples, fingerprint {:016x}) ==",
+        spec.name,
+        trace.events.len(),
+        trace.total_samples(),
+        trace.fingerprint
+    );
+    for (index, phase) in spec.phases.iter().enumerate() {
+        println!(
+            "  phase {index} {:<10} {:>4} ms, {} event(s)",
+            phase.label,
+            phase.duration_ms,
+            trace.per_phase_events(spec.phases.len())[index]
+        );
+    }
+
+    let deployment = deploy(&spec, &trace, &options).expect("deploy trace zoo");
+    let report = replay(&deployment, &spec, &trace, &options);
+    assert!(
+        report.unexpected.is_empty(),
+        "trace phase leaked untyped failures: {:?}",
+        report.unexpected
+    );
+    assert_eq!(
+        report.submitted,
+        report.completed + report.expired + report.failed,
+        "trace phase accounting must balance"
+    );
+    let totals = reconcile(&deployment.registry).expect("trace phase reconciliation");
+    assert_eq!(
+        totals.submitted, report.submitted,
+        "engine-side submitted count disagrees with the client"
+    );
+
+    let metrics = deployment.registry.metrics();
+    let per_model_samples = trace.per_model_samples(spec.models.len());
+    let per_model: Vec<TraceModelRun> = spec
+        .models
+        .iter()
+        .enumerate()
+        .map(|(index, model)| {
+            let entry = metrics
+                .models
+                .iter()
+                .find(|m| m.model == model.name)
+                .expect("trace model metrics");
+            TraceModelRun {
+                model: model.name.clone(),
+                qos: model.qos.map(|q| q.label().to_string()),
+                deadline_ms: model.deadline_ms,
+                samples: per_model_samples[index],
+                completed: entry.metrics.completed_requests,
+                expired: entry.metrics.deadline_exceeded,
+                failed: entry.metrics.failed_requests,
+                p99_ms: entry.metrics.total_latency.p99_ms,
+            }
+        })
+        .collect();
+    drop(deployment.registry.shutdown());
+
+    let run = TraceRun {
+        spec: spec_path.to_string(),
+        workload: spec.name.clone(),
+        seed: spec.seed,
+        trace_fingerprint: format!("{:016x}", trace.fingerprint),
+        events: report.events,
+        requests: report.requests,
+        submitted: report.submitted,
+        shed: report.shed,
+        completed: report.completed,
+        expired: report.expired,
+        failed: report.failed,
+        unexpected_failures: report.unexpected.len() as u64,
+        output_fingerprint: format!("{:016x}", report.output_fingerprint),
+        elapsed_s: report.elapsed_s,
+        throughput_rps: report.throughput_rps,
+        p50_ms: report.p50_ms,
+        p99_ms: report.p99_ms,
+        per_phase_events: trace.per_phase_events(spec.phases.len()),
+        time_scale: options.time_scale,
+        per_model,
+    };
+    println!(
+        "  {} sample(s): {} completed, {} shed, {} expired, {} failed \
+         ({:.1} rps, p99 {:.2} ms, outputs {})",
+        run.requests,
+        run.completed,
+        run.shed,
+        run.expired,
+        run.failed,
+        run.throughput_rps,
+        run.p99_ms,
+        run.output_fingerprint
+    );
+    run
+}
+
 fn main() {
     let out_path =
         std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
@@ -1340,6 +1526,7 @@ fn main() {
     let autotune = bool_flag("--autotune");
     let router_mode = bool_flag("--router");
     let qos_mode = bool_flag("--qos");
+    let trace_spec = flag_or_env("--trace", "SERVE_BENCH_TRACE");
 
     let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
     let cache = Arc::new(PlanCache::new(4));
@@ -1399,6 +1586,7 @@ fn main() {
     } else {
         None
     };
+    let trace = trace_spec.map(|path| run_trace_phase(&path, &settings));
 
     // The top-level model field names what was actually benchmarked: the
     // single-model descriptor, or the registry fleet in --models mode.
@@ -1419,6 +1607,7 @@ fn main() {
         autotune,
         router,
         qos,
+        trace,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
@@ -1480,6 +1669,22 @@ fn main() {
                 class.qos
             );
         }
+    }
+    if let Some(trace) = &artifact.trace {
+        assert_eq!(
+            trace.unexpected_failures, 0,
+            "the trace phase must only ever surface typed errors"
+        );
+        assert_eq!(trace.requests, trace.submitted + trace.shed);
+        assert_eq!(
+            trace.submitted,
+            trace.completed + trace.expired + trace.failed
+        );
+        assert_eq!(
+            trace.per_phase_events.iter().sum::<u64>(),
+            trace.events,
+            "every trace event belongs to a phase"
+        );
     }
     if let Some(tune) = &artifact.autotune {
         assert!(

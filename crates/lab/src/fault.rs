@@ -1,0 +1,270 @@
+//! Scripted fault injection at the execution-backend boundary.
+//!
+//! [`FaultInjector`] is a [`BackendWrapper`]: registered on a model's
+//! `ModelConfig`, it interposes a [`FaultBackend`] between the engine and
+//! the real executor. The injector itself is the *control handle* — the
+//! chaos harness keeps a clone and arms faults mid-trace
+//! ([`FaultInjector::arm_panics`] / [`FaultInjector::arm_errors`]); the
+//! wrapped backend consumes the armed budget one batch at a time, then
+//! falls back to pass-through. Because the wrapper rides on the model
+//! config, a plan hot-swap re-applies it to the rebuilt engine and the
+//! handle keeps working across replans.
+//!
+//! Two fault shapes, matching the two ways a real executor dies:
+//!
+//! * **panic** — `forward_batch` panics, exercising the engine's
+//!   worker-side unwind containment;
+//! * **error storm** — `forward_batch` returns typed
+//!   `ServeError::ExecutionFailed`, exercising the per-request failure
+//!   path.
+//!
+//! Either way the invariant under test is the same: clients only ever
+//! see *typed* errors, and the engine's counters still reconcile.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tdc_serve::backend::{BackendLatencyReport, BackendWrapper, BatchExecution, ExecutionBackend};
+use tdc_serve::ServeError;
+use tdc_tensor::Tensor;
+
+/// The armed fault budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMode {
+    /// Pass through to the real backend.
+    Off,
+    /// Panic for the next `n` batches.
+    Panic(u32),
+    /// Fail the next `n` batches with `ExecutionFailed`.
+    Error(u32),
+}
+
+#[derive(Debug)]
+struct FaultState {
+    mode: Mutex<FaultMode>,
+    injected_panics: AtomicU64,
+    injected_errors: AtomicU64,
+}
+
+/// Control handle + [`BackendWrapper`] for scripted backend faults.
+///
+/// Cloning is cheap and shares the armed state, so the harness can hand
+/// one clone to the registry (via `ModelConfig::backend_wrapper`) and
+/// keep another to arm faults and read injection counters.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: Arc<FaultState>,
+}
+
+impl FaultInjector {
+    /// A disarmed injector (pass-through until armed).
+    pub fn new() -> Self {
+        FaultInjector {
+            state: Arc::new(FaultState {
+                mode: Mutex::new(FaultMode::Off),
+                injected_panics: AtomicU64::new(0),
+                injected_errors: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn set_mode(&self, mode: FaultMode) {
+        let mut guard = self
+            .state
+            .mode
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = mode;
+    }
+
+    /// Arm the injector to panic inside `forward_batch` for the next
+    /// `count` batches, then disarm itself.
+    pub fn arm_panics(&self, count: u32) {
+        self.set_mode(FaultMode::Panic(count));
+    }
+
+    /// Arm the injector to return typed `ExecutionFailed` errors for the
+    /// next `count` batches, then disarm itself.
+    pub fn arm_errors(&self, count: u32) {
+        self.set_mode(FaultMode::Error(count));
+    }
+
+    /// Disarm any remaining fault budget.
+    pub fn disarm(&self) {
+        self.set_mode(FaultMode::Off);
+    }
+
+    /// True when the armed budget is exhausted (or never armed): the
+    /// system has healed and subsequent batches pass through untouched.
+    pub fn is_idle(&self) -> bool {
+        let guard = self
+            .state
+            .mode
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard == FaultMode::Off
+    }
+
+    /// Batches killed by injected panics so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.state.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Batches failed with injected typed errors so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.state.injected_errors.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BackendWrapper for FaultInjector {
+    fn wrap(&self, inner: Arc<dyn ExecutionBackend>) -> Arc<dyn ExecutionBackend> {
+        Arc::new(FaultBackend {
+            inner,
+            state: Arc::clone(&self.state),
+        })
+    }
+}
+
+/// The interposed backend: consumes the injector's armed budget, then
+/// delegates to the real backend.
+pub struct FaultBackend {
+    inner: Arc<dyn ExecutionBackend>,
+    state: Arc<FaultState>,
+}
+
+impl FaultBackend {
+    /// Take one fault from the armed budget, if any. Never holds the
+    /// mode lock while panicking or executing.
+    fn take_fault(&self) -> FaultMode {
+        let mut guard = self
+            .state
+            .mode
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match *guard {
+            FaultMode::Off => FaultMode::Off,
+            FaultMode::Panic(n) => {
+                *guard = if n > 1 {
+                    FaultMode::Panic(n - 1)
+                } else {
+                    FaultMode::Off
+                };
+                FaultMode::Panic(n)
+            }
+            FaultMode::Error(n) => {
+                *guard = if n > 1 {
+                    FaultMode::Error(n - 1)
+                } else {
+                    FaultMode::Off
+                };
+                FaultMode::Error(n)
+            }
+        }
+    }
+}
+
+impl ExecutionBackend for FaultBackend {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn input_dims(&self) -> &[usize] {
+        self.inner.input_dims()
+    }
+
+    fn warmup(&self) -> Result<(), ServeError> {
+        // Warmup always passes through: faults model a backend that dies
+        // *in service*, not one that fails to build.
+        self.inner.warmup()
+    }
+
+    fn forward_batch(&self, inputs: &[&Tensor]) -> Result<BatchExecution, ServeError> {
+        match self.take_fault() {
+            FaultMode::Off => self.inner.forward_batch(inputs),
+            FaultMode::Panic(_) => {
+                self.state.injected_panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected fault: scripted backend panic");
+            }
+            FaultMode::Error(_) => {
+                self.state.injected_errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::ExecutionFailed {
+                    reason: "injected fault: scripted backend error".into(),
+                })
+            }
+        }
+    }
+
+    fn latency_report(&self, batch_size: usize) -> Result<BackendLatencyReport, ServeError> {
+        self.inner.latency_report(batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_drains_then_disarms() {
+        let injector = FaultInjector::new();
+        assert!(injector.is_idle());
+        injector.arm_panics(2);
+        assert!(!injector.is_idle());
+        // Drain the budget through the internal state machine directly.
+        let backend = injector.wrap(Arc::new(NullBackend));
+        for _ in 0..2 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = backend.forward_batch(&[]);
+            }));
+            assert!(result.is_err(), "armed panic must fire");
+        }
+        assert!(injector.is_idle());
+        assert_eq!(injector.injected_panics(), 2);
+        assert!(backend.forward_batch(&[]).is_ok(), "healed: pass-through");
+    }
+
+    #[test]
+    fn error_budget_is_typed() {
+        let injector = FaultInjector::new();
+        injector.arm_errors(1);
+        let backend = injector.wrap(Arc::new(NullBackend));
+        match backend.forward_batch(&[]) {
+            Err(ServeError::ExecutionFailed { reason }) => {
+                assert!(reason.contains("injected fault"));
+            }
+            other => panic!("expected typed ExecutionFailed, got {other:?}"),
+        }
+        assert_eq!(injector.injected_errors(), 1);
+        assert!(injector.is_idle());
+    }
+
+    struct NullBackend;
+
+    impl ExecutionBackend for NullBackend {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn input_dims(&self) -> &[usize] {
+            &[]
+        }
+        fn warmup(&self) -> Result<(), ServeError> {
+            Ok(())
+        }
+        fn forward_batch(&self, inputs: &[&Tensor]) -> Result<BatchExecution, ServeError> {
+            Ok(BatchExecution {
+                outputs: inputs.iter().map(|t| (*t).clone()).collect(),
+                simulated_gpu_ms: 0.0,
+            })
+        }
+        fn latency_report(&self, _batch_size: usize) -> Result<BackendLatencyReport, ServeError> {
+            Err(ServeError::ExecutionFailed {
+                reason: "null backend has no latency report".into(),
+            })
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The chaos catalog as CI tests: every scenario in
+//! [`tdc_lab::chaos`] runs end-to-end and asserts its invariants
+//! internally (typed errors only, counters reconcile, bit-parity after
+//! the fault heals). These tests just invoke them and sanity-check the
+//! returned reports.
+
+use tdc_lab::chaos;
+
+#[test]
+fn worker_panic_inside_forward_batch_recovers() {
+    let report = chaos::worker_panic_recovers();
+    assert_eq!(report.scenario, "worker-panic");
+    assert!(report.typed_failures > 0, "panic fault never fired");
+    assert!(report.requests > report.typed_failures);
+}
+
+#[test]
+fn backend_error_storm_recovers() {
+    let report = chaos::error_storm_recovers();
+    assert_eq!(report.scenario, "error-storm");
+    assert!(report.typed_failures > 0, "error fault never fired");
+    assert!(report.requests > report.typed_failures);
+}
+
+#[test]
+fn replica_kill_mid_drain_is_masked_by_the_router() {
+    let report = chaos::replica_kill_mid_drain_masked();
+    assert_eq!(report.scenario, "replica-kill");
+    assert_eq!(
+        report.typed_failures, 0,
+        "router leaked a failure to a client"
+    );
+    assert!(report.requests > 0);
+}
+
+#[test]
+fn plan_spill_dir_loss_degrades_to_memory_only() {
+    let report = chaos::spill_dir_loss_survives();
+    assert_eq!(report.scenario, "spill-dir-loss");
+    assert_eq!(
+        report.typed_failures, 0,
+        "spill loss surfaced as a request failure"
+    );
+    assert!(report.requests > 0);
+}
+
+#[test]
+fn admission_queue_saturation_sheds_with_typed_errors() {
+    let report = chaos::queue_saturation_sheds_typed();
+    assert_eq!(report.scenario, "queue-saturation");
+    assert!(
+        report.typed_failures > 0,
+        "flood never tripped admission control"
+    );
+    assert!(
+        report.requests > report.typed_failures,
+        "admitted requests must complete"
+    );
+}

@@ -28,20 +28,19 @@
 //! `TDC_SERVE_HTTP_BIN` (path to the `serve_http` binary for `--spawn`;
 //! defaults to a sibling of this executable).
 
-use std::io::BufRead;
 use std::net::SocketAddr;
-use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tdc_router::{Router, RouterHealthReply, RouterMetrics, RouterOptions, RoutingPolicy};
+use tdc_router::testkit::{
+    await_metrics, hammer, router_metrics, shutdown_replica, spawn_replica, ChildReplica,
+};
+use tdc_router::{Router, RouterHealthReply, RouterOptions, RoutingPolicy};
 use tdc_serve::http::{
     http_request, BatchInferBody, BatchInferReply, InferBody, InferReply, RegisterBody,
 };
-use tdc_serve::{
-    serving_descriptor, BatchingOptions, HttpClient, HttpServer, PlanningOptions, ServeEngine,
-};
+use tdc_serve::{serving_descriptor, BatchingOptions, HttpServer, PlanningOptions, ServeEngine};
 
 struct Flags {
     addr: String,
@@ -130,211 +129,6 @@ fn parse_flags() -> Flags {
         policy: policy.unwrap_or(RoutingPolicy::ConsistentHash),
         spill_dir,
         smoke,
-    }
-}
-
-/// A self-spawned `serve_http` child and the address it bound.
-struct ChildReplica {
-    index: usize,
-    child: Child,
-    addr: SocketAddr,
-}
-
-fn serve_http_bin() -> std::path::PathBuf {
-    if let Ok(path) = std::env::var("TDC_SERVE_HTTP_BIN") {
-        return path.into();
-    }
-    let mut path = std::env::current_exe().expect("current executable path");
-    path.set_file_name(format!("serve_http{}", std::env::consts::EXE_SUFFIX));
-    path
-}
-
-/// Spawn one `serve_http` child on an ephemeral port (optionally at a fixed
-/// address — how the smoke restarts a replica on its old port), parse the
-/// bound address from its startup line, and leave a thread draining the
-/// rest of its stdout.
-fn spawn_replica(
-    index: usize,
-    addr: &str,
-    spill_dir: Option<&str>,
-) -> Result<ChildReplica, String> {
-    let bin = serve_http_bin();
-    let mut command = Command::new(&bin);
-    command
-        .arg("--addr")
-        .arg(addr)
-        .arg("--models")
-        .arg("2")
-        .stdout(Stdio::piped())
-        .stdin(Stdio::null());
-    if let Some(dir) = spill_dir {
-        command.arg("--spill-dir").arg(dir);
-    }
-    let mut child = command
-        .spawn()
-        .map_err(|e| format!("spawn {} failed: {e}", bin.display()))?;
-    let stdout = child.stdout.take().expect("piped child stdout");
-    let mut reader = std::io::BufReader::new(stdout);
-    let mut line = String::new();
-    let bound = loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => {
-                let _ = child.kill();
-                return Err(format!(
-                    "replica {index} exited before printing its address"
-                ));
-            }
-            Ok(_) => {
-                if let Some(rest) = line
-                    .trim()
-                    .strip_prefix("tdc-serve HTTP front end on http://")
-                {
-                    match rest.parse() {
-                        Ok(parsed) => break parsed,
-                        Err(_) => {
-                            let _ = child.kill();
-                            return Err(format!("replica {index}: bad address line {line:?}"));
-                        }
-                    }
-                }
-            }
-            Err(e) => {
-                let _ = child.kill();
-                return Err(format!("replica {index}: reading startup line failed: {e}"));
-            }
-        }
-    };
-    // Keep the child's pipe drained so it never blocks on a full buffer.
-    std::thread::spawn(move || {
-        let mut sink = String::new();
-        loop {
-            sink.clear();
-            match reader.read_line(&mut sink) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
-            }
-        }
-    });
-    Ok(ChildReplica {
-        index,
-        child,
-        addr: bound,
-    })
-}
-
-/// Gracefully drain a child via `POST /admin/shutdown`, falling back to a
-/// kill if it has not exited within five seconds.
-fn shutdown_replica(mut replica: ChildReplica) {
-    let _ = http_request(&replica.addr, "POST", "/admin/shutdown", None);
-    let deadline = Instant::now() + Duration::from_secs(5);
-    loop {
-        match replica.child.try_wait() {
-            Ok(Some(_)) => return,
-            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(25)),
-            _ => {
-                eprintln!(
-                    "router: replica {} did not drain in time, killing",
-                    replica.index
-                );
-                let _ = replica.child.kill();
-                let _ = replica.child.wait();
-                return;
-            }
-        }
-    }
-}
-
-/// Outcome of one hammer thread: how many requests answered 200, and the
-/// first non-200 (status, body) if any.
-struct HammerReport {
-    ok: u64,
-    failures: u64,
-    first_failure: Option<(u16, String)>,
-}
-
-/// Fire `requests` single-sample infers at the router from one keep-alive
-/// connection (reconnecting if the router drops it), recording any
-/// client-visible failure.
-fn hammer(
-    addr: SocketAddr,
-    model: &str,
-    input: &[f32],
-    requests: u64,
-    progress: Option<Arc<AtomicU64>>,
-) -> HammerReport {
-    let path = format!("/v1/models/{model}/infer");
-    let body = serde_json::to_string(&InferBody {
-        input: input.to_vec(),
-        dims: None,
-        deadline_ms: None,
-    })
-    .expect("serialize hammer body");
-    let mut report = HammerReport {
-        ok: 0,
-        failures: 0,
-        first_failure: None,
-    };
-    let mut client: Option<HttpClient> = None;
-    for _ in 0..requests {
-        if client.is_none() {
-            client = HttpClient::connect(&addr).ok();
-        }
-        let outcome = match client.as_mut() {
-            Some(live) => live.request("POST", &path, Some(&body)),
-            None => http_request(&addr, "POST", &path, Some(&body)),
-        };
-        match outcome {
-            Ok((200, _)) => report.ok += 1,
-            Ok((status, reply)) => {
-                report.failures += 1;
-                report.first_failure.get_or_insert((status, reply));
-                client = None;
-            }
-            Err(e) => {
-                report.failures += 1;
-                report
-                    .first_failure
-                    .get_or_insert((0, format!("transport error: {e}")));
-                client = None;
-            }
-        }
-        if let Some(counter) = &progress {
-            counter.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    report
-}
-
-fn router_metrics(addr: &SocketAddr) -> Result<RouterMetrics, String> {
-    let (status, body) =
-        http_request(addr, "GET", "/metrics", None).map_err(|e| format!("GET /metrics: {e}"))?;
-    if status != 200 {
-        return Err(format!("GET /metrics: status {status}"));
-    }
-    serde_json::from_str(&body).map_err(|e| format!("GET /metrics: bad body: {}", e.message))
-}
-
-/// Poll `predicate` over the router metrics until it holds or `wait` runs
-/// out.
-fn await_metrics(
-    addr: &SocketAddr,
-    wait: Duration,
-    predicate: impl Fn(&RouterMetrics) -> bool,
-) -> Result<RouterMetrics, String> {
-    let deadline = Instant::now() + wait;
-    loop {
-        let metrics = router_metrics(addr)?;
-        if predicate(&metrics) {
-            return Ok(metrics);
-        }
-        if Instant::now() >= deadline {
-            return Err(format!(
-                "metrics condition not reached within {wait:?}: {}",
-                serde_json::to_string(&metrics).unwrap_or_default()
-            ));
-        }
-        std::thread::sleep(Duration::from_millis(50));
     }
 }
 

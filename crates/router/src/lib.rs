@@ -23,6 +23,12 @@
 //!   (`PUT`/`DELETE /v1/models/{name}`, `/replan`, `/autotune`) fan out to
 //!   the fleet, with replan/autotune applied rolling — one replica at a
 //!   time — so serving capacity never drops below N−1.
+//! * [`testkit`] — shared fleet test support: in-process replica fleets
+//!   (`bind_replica` / `bind_fleet` / `drain_replica`), self-spawned
+//!   `serve_http` child replicas (`spawn_replica` / `shutdown_replica`),
+//!   keep-alive hammer clients and metrics polling. Used by the crate's
+//!   integration tests, the `router --smoke` self-test and the `tdc-lab`
+//!   chaos harness.
 //!
 //! ## Bins
 //!
@@ -32,14 +38,14 @@
 //!   end-to-end self-test CI runs (fleet register → routed inference
 //!   bit-identical to a direct engine call → kill one replica under load
 //!   with zero client-visible failures → rolling replan under fire).
-//! * `serve_bench` — the serving benchmark (moved here from `tdc-serve` so
-//!   it can drive both single-replica and routed topologies); `--router`
-//!   adds a fleet phase to the `BENCH_serve.json` artifact
-//!   (`schema_version` 6) with per-replica forward counts and
-//!   failover/ejection/readmission counters.
+//!
+//! The serving benchmark (`serve_bench`) lives in `tdc-lab`, one tier up,
+//! so it can drive single engines, registries, routed fleets *and* the
+//! lab's trace/chaos machinery from one binary.
 
 pub mod replica;
 pub mod router;
+pub mod testkit;
 
 pub use replica::{candidates, fnv1a, InflightGuard, Replica, RoutingPolicy};
 pub use router::{

@@ -167,6 +167,23 @@ pub trait ExecutionBackend: Send + Sync {
     fn latency_report(&self, batch_size: usize) -> Result<BackendLatencyReport>;
 }
 
+/// A hook that interposes on the engine's backend at build time.
+///
+/// The builder constructs the concrete backend ([`CpuBackend`] or
+/// [`SimGpuBackend`]) internally from [`BackendKind`], so harnesses that need
+/// to sit between the engine and the executor — fault injectors, call
+/// recorders — cannot hand the engine a backend of their own. A wrapper
+/// registered via
+/// [`ServeEngineBuilder::wrap_backend`](crate::ServeEngineBuilder::wrap_backend)
+/// (or carried on [`ModelConfig`](crate::ModelConfig), so a plan hot-swap
+/// re-applies it to the rebuilt engine) receives the freshly constructed
+/// backend *before* warmup and returns the backend the engine actually runs.
+pub trait BackendWrapper: Send + Sync {
+    /// Wrap `inner`, returning the backend the engine will execute batches
+    /// on. Runs once per engine build, before the warmup probe.
+    fn wrap(&self, inner: Arc<dyn ExecutionBackend>) -> Arc<dyn ExecutionBackend>;
+}
+
 /// The real CPU executor behind the [`ExecutionBackend`] trait.
 pub struct CpuBackend {
     model: Arc<CompressedModel>,

@@ -598,6 +598,9 @@ impl ControlPlane {
         if let Some(executor) = &self.executor {
             builder = builder.executor(executor);
         }
+        if let Some(wrapper) = &config.backend_wrapper {
+            builder = builder.wrap_backend(Arc::clone(wrapper));
+        }
         let engine = builder.build()?;
         let info = ModelInfo {
             name: name.to_string(),

@@ -312,6 +312,7 @@ impl RegisterBody {
                 backend,
                 ..runtime_defaults
             },
+            backend_wrapper: None,
         })
     }
 }

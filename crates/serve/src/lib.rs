@@ -88,8 +88,8 @@ pub mod registry;
 pub mod server;
 
 pub use backend::{
-    BackendKind, BackendLatencyReport, BatchExecution, CpuBackend, ExecutionBackend,
-    LayerSimLatency, SimGpuBackend,
+    BackendKind, BackendLatencyReport, BackendWrapper, BatchExecution, CpuBackend,
+    ExecutionBackend, LayerSimLatency, SimGpuBackend,
 };
 pub use batcher::{
     BatchQueue, DequeuedBatch, InferenceRequest, InferenceResponse, PendingResponse,
@@ -156,6 +156,15 @@ pub enum ServeError {
         /// How long the request had been waiting when it was expired, ms.
         waited_ms: f64,
     },
+    /// The execution backend failed (or panicked) while running this
+    /// request's batch. Every request in the batch is answered with this
+    /// typed error — clients never see a bare channel disconnect for an
+    /// execution failure — and counted in
+    /// [`ServeMetrics::failed_requests`](crate::ServeMetrics).
+    ExecutionFailed {
+        /// What the backend reported (or the panic payload).
+        reason: String,
+    },
     /// A request was dropped without an answer: its worker-side channel
     /// disconnected (engine shutdown discarding the request, or a failed
     /// batch).
@@ -220,6 +229,9 @@ impl std::fmt::Display for ServeError {
                     "deadline exceeded: request expired after {waited_ms:.2} ms without being \
                      served"
                 )
+            }
+            ServeError::ExecutionFailed { reason } => {
+                write!(f, "batch execution failed: {reason}")
             }
             ServeError::Disconnected => {
                 write!(f, "request dropped: worker channel disconnected")

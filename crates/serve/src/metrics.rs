@@ -66,8 +66,20 @@ impl LatencySummary {
 pub struct ServeMetrics {
     /// Identity of the execution backend that produced these metrics.
     pub backend: String,
+    /// Requests admitted past the queue door
+    /// ([`ServeEngine::submit`](crate::ServeEngine::submit) and friends
+    /// returning `Ok`). Rejected
+    /// submits (bad input, overload shed, closed queue) are *not* counted —
+    /// after a drain every admitted request is accounted for exactly once:
+    /// `submitted == completed + deadline_exceeded + failed`.
+    pub submitted_requests: u64,
     /// Requests completed.
     pub completed_requests: u64,
+    /// Requests answered with a typed
+    /// [`ServeError::ExecutionFailed`](crate::ServeError) because their
+    /// batch's backend execution returned an error or panicked. Like
+    /// expiries, failures add **no** latency samples.
+    pub failed_requests: u64,
     /// Requests that expired past their deadline without being served —
     /// dropped at dequeue before executor work, or finished past the
     /// deadline at delivery. Expired requests contribute **no** latency
@@ -103,7 +115,9 @@ pub struct ServeMetrics {
 /// Lock-light metric recorder shared by the worker pool.
 pub struct MetricsRecorder {
     backend: String,
+    submitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     deadline_exceeded: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
@@ -127,7 +141,9 @@ impl MetricsRecorder {
     pub fn new(backend: impl Into<String>) -> Self {
         MetricsRecorder {
             backend: backend.into(),
+            submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
@@ -171,6 +187,19 @@ impl MetricsRecorder {
         self.samples().push((total_ms, queue_ms, exec_ms));
     }
 
+    /// Record `count` requests admitted past the queue door, so the drain
+    /// invariant `submitted == completed + deadline_exceeded + failed` can
+    /// be checked against the engine's own books.
+    pub fn record_submitted(&self, count: u64) {
+        self.submitted.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Record one request answered with a typed execution failure. Like
+    /// expiries, failures add no latency sample.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one request expired past its deadline without being served.
     /// Deliberately adds no latency sample: expired requests must not skew
     /// the percentiles of the served traffic.
@@ -193,7 +222,9 @@ impl MetricsRecorder {
         let batches = self.batches.load(Ordering::Relaxed);
         ServeMetrics {
             backend: self.backend.clone(),
+            submitted_requests: self.submitted.load(Ordering::Relaxed),
             completed_requests: completed,
+            failed_requests: self.failed.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             batches,
             stolen_batches: 0,
@@ -240,6 +271,8 @@ mod tests {
     #[test]
     fn recorder_aggregates_batches_and_requests() {
         let rec = MetricsRecorder::new("sim-gpu");
+        rec.record_submitted(4);
+        rec.record_submitted(2);
         rec.record_batch(3, 0.9, 1.5);
         rec.record_batch(1, 0.3, 0.5);
         for (t, q, e) in [
@@ -251,10 +284,18 @@ mod tests {
             rec.record_request(t, q, e);
         }
         rec.record_deadline_exceeded();
+        rec.record_failed();
         let m = rec.snapshot();
         assert_eq!(m.backend, "sim-gpu");
+        assert_eq!(m.submitted_requests, 6);
         assert_eq!(m.completed_requests, 4);
+        assert_eq!(m.failed_requests, 1);
         assert_eq!(m.deadline_exceeded, 1);
+        assert_eq!(
+            m.submitted_requests,
+            m.completed_requests + m.deadline_exceeded + m.failed_requests,
+            "admitted requests reconcile after a drain"
+        );
         assert_eq!(
             m.total_latency.count, 4,
             "expired requests must not add latency samples"

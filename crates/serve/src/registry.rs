@@ -51,7 +51,7 @@ use tdc_tensor::Tensor;
 ///
 /// Each model in a registry gets its own configuration — different budgets,
 /// backends, batch shapes and admission bounds can coexist behind one router.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ModelConfig {
     /// Plan identity: device, strategy, budget, rank step, θ.
     pub planning: PlanningOptions,
@@ -59,6 +59,29 @@ pub struct ModelConfig {
     pub batching: BatchingOptions,
     /// Worker pool, weight seed, dense algorithm, execution backend.
     pub runtime: RuntimeOptions,
+    /// Optional backend interposer (fault injection, call recording),
+    /// applied to every engine built for this model — including the rebuilt
+    /// engines a replan or autotune hot-swaps in, so a harness wrapper
+    /// survives plan rotations. `None` (the default) serves the bare
+    /// backend.
+    pub backend_wrapper: Option<Arc<dyn crate::backend::BackendWrapper>>,
+}
+
+impl std::fmt::Debug for ModelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelConfig")
+            .field("planning", &self.planning)
+            .field("batching", &self.batching)
+            .field("runtime", &self.runtime)
+            .field(
+                "backend_wrapper",
+                &self
+                    .backend_wrapper
+                    .as_ref()
+                    .map(|_| "<dyn BackendWrapper>"),
+            )
+            .finish()
+    }
 }
 
 /// Static description of one registered model, as listed at

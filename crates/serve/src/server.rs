@@ -17,7 +17,7 @@
 //! [`ServeEngine::start`] survives as a deprecated shim for one release.
 
 use crate::backend::{
-    BackendKind, BackendLatencyReport, CpuBackend, ExecutionBackend, SimGpuBackend,
+    BackendKind, BackendLatencyReport, BackendWrapper, CpuBackend, ExecutionBackend, SimGpuBackend,
 };
 use crate::batcher::{BatchQueue, InferenceRequest, InferenceResponse, PendingResponse, TryBatch};
 use crate::metrics::{MetricsRecorder, ServeMetrics};
@@ -141,6 +141,7 @@ pub struct ServeEngineBuilder<'a> {
     runtime: RuntimeOptions,
     cache: Option<&'a PlanCache>,
     executor: Option<Arc<Executor>>,
+    wrapper: Option<Arc<dyn BackendWrapper>>,
 }
 
 impl<'a> ServeEngineBuilder<'a> {
@@ -152,6 +153,7 @@ impl<'a> ServeEngineBuilder<'a> {
             runtime: RuntimeOptions::default(),
             cache: None,
             executor: None,
+            wrapper: None,
         }
     }
 
@@ -184,6 +186,16 @@ impl<'a> ServeEngineBuilder<'a> {
     /// engine restarts skip rank selection.
     pub fn plan_cache(mut self, cache: &'a PlanCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Interpose `wrapper` on the constructed backend (fault injection,
+    /// call recording): the engine executes on whatever
+    /// [`BackendWrapper::wrap`] returns, and the warmup probe runs through
+    /// the wrapped chain. [`ModelConfig`](crate::ModelConfig) can carry a
+    /// wrapper so registry rebuilds (replan, autotune) re-apply it.
+    pub fn wrap_backend(mut self, wrapper: Arc<dyn BackendWrapper>) -> Self {
+        self.wrapper = Some(wrapper);
         self
     }
 
@@ -248,6 +260,12 @@ impl<'a> ServeEngineBuilder<'a> {
                 self.planning.device.clone(),
                 self.descriptor.fc.clone(),
             )),
+        };
+        // Fault injectors and other harness wrappers interpose here, before
+        // the warmup probe, so the probe exercises the wrapped chain.
+        let backend = match &self.wrapper {
+            Some(wrapper) => wrapper.wrap(backend),
+            None => backend,
         };
         // Probe the whole execution chain once, so a backend that cannot run
         // one of the layers (e.g. Winograd on a pointwise layer) fails engine
@@ -416,17 +434,38 @@ impl EngineCore {
         let predicted_gpu_batch_ms = self.predicted_gpu_ms_per_sample * batch_size as f64;
         let exec_started = Instant::now();
         let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
-        let execution = self.backend.forward_batch(&inputs);
+        // The backend is arbitrary trait-object code (possibly a harness
+        // wrapper): a panic inside `forward_batch` must not kill a shared
+        // executor worker, so it is caught here and folded into the same
+        // typed-failure path an `Err` takes.
+        let execution = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.backend.forward_batch(&inputs)
+        }));
         let exec_ms = exec_started.elapsed().as_secs_f64() * 1e3;
         let execution = match execution {
-            Ok(execution) => execution,
+            Ok(Ok(execution)) => execution,
             // Engine start probes the whole chain and `submit` rejects wrong
-            // shapes, so a failure here is a genuine anomaly. The batch is
-            // recorded, its requests are dropped, and every client's `wait`
-            // surfaces `Disconnected` — no panic crosses the worker boundary.
-            Err(_) => {
-                self.metrics
-                    .record_batch(batch_size, predicted_gpu_batch_ms, 0.0);
+            // shapes, so a failure here is a genuine anomaly — but still an
+            // *answered* one: the batch is recorded, every request in it gets
+            // a typed `ExecutionFailed`, and the failure is counted. Clients
+            // never observe a bare disconnect for an execution failure, and
+            // no panic crosses the worker boundary.
+            Ok(Err(error)) => {
+                self.fail_batch(batch, batch_size, predicted_gpu_batch_ms, error.to_string());
+                return;
+            }
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "backend panicked".to_string());
+                self.fail_batch(
+                    batch,
+                    batch_size,
+                    predicted_gpu_batch_ms,
+                    format!("backend panic: {reason}"),
+                );
                 return;
             }
         };
@@ -461,6 +500,27 @@ impl EngineCore {
             };
             // The client may have given up; that is not the worker's problem.
             let _ = request.responder.send(Ok(response));
+        }
+    }
+
+    /// Answer every request of a failed batch with a typed
+    /// [`ServeError::ExecutionFailed`] and account the batch. Failures add
+    /// no latency samples — like expiries, they must not skew the
+    /// percentiles of the traffic that was actually served.
+    fn fail_batch(
+        &self,
+        batch: Vec<InferenceRequest>,
+        batch_size: usize,
+        predicted_gpu_batch_ms: f64,
+        reason: String,
+    ) {
+        self.metrics
+            .record_batch(batch_size, predicted_gpu_batch_ms, 0.0);
+        for request in batch {
+            self.metrics.record_failed();
+            let _ = request.responder.send(Err(ServeError::ExecutionFailed {
+                reason: reason.clone(),
+            }));
         }
     }
 }
@@ -674,6 +734,7 @@ impl ServeEngine {
         self.check_shed()?;
         let (request, pending) = self.request_for(input, Instant::now(), deadline);
         self.core.queue.push(request)?;
+        self.core.metrics.record_submitted(1);
         self.handle.notify();
         Ok(pending)
     }
@@ -700,7 +761,9 @@ impl ServeEngine {
             .into_iter()
             .map(|input| self.request_for(input, enqueued_at, deadline))
             .unzip();
+        let admitted = requests.len() as u64;
         self.core.queue.push_many(requests)?;
+        self.core.metrics.record_submitted(admitted);
         self.handle.notify();
         Ok(handles)
     }

@@ -15,12 +15,15 @@
 //!   (`tdc-serve`)
 //! * [`router`] — the replica-fleet router tier: health-driven ejection,
 //!   Retry-After-aware failover, fleet control-plane fan-out (`tdc-router`)
+//! * [`lab`] — the trace-driven workload engine, chaos harness and bench
+//!   regression gate (`tdc-lab`)
 //!
 //! See `README.md` for a quickstart.
 
 pub use tdc as core;
 pub use tdc_conv as conv;
 pub use tdc_gpu_sim as gpu_sim;
+pub use tdc_lab as lab;
 pub use tdc_nn as nn;
 pub use tdc_router as router;
 pub use tdc_serve as serve;
@@ -40,5 +43,6 @@ mod tests {
         let _ = crate::core::tiling::TilingStrategy::Model;
         let _ = crate::serve::PlanCache::new(2);
         let _ = crate::router::RoutingPolicy::parse("least-loaded");
+        let _ = crate::lab::artifact::CURRENT_SCHEMA_VERSION;
     }
 }

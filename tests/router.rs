@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tdc_repro::router::testkit::{self, drain_replica, fleet_config, manual_probe_options};
 use tdc_repro::router::{Router, RouterOptions, RoutingPolicy};
 use tdc_repro::serve::http::{
     http_request, http_request_with_headers, BatchInferBody, BatchInferReply, InferBody, InferReply,
@@ -21,53 +22,24 @@ use tdc_repro::tensor::Tensor;
 const MODEL: &str = "fleet-hot";
 const DIMS: [usize; 3] = [10, 10, 4];
 
-fn fleet_config() -> ModelConfig {
-    ModelConfig {
-        batching: BatchingOptions {
-            max_batch_size: 4,
-            max_batch_delay: Duration::from_millis(1),
-            ..BatchingOptions::default()
-        },
-        runtime: RuntimeOptions {
-            workers: 2,
-            ..RuntimeOptions::default()
-        },
-        ..ModelConfig::default()
-    }
-}
-
 /// One in-process replica serving [`MODEL`] behind its own HTTP front end.
 fn bind_replica(addr: &str) -> HttpServer {
-    let registry = ModelRegistry::new(2);
-    registry
-        .register(MODEL, &serving_descriptor(MODEL, 10, 4, 6), fleet_config())
-        .unwrap();
-    HttpServer::bind(addr, Arc::new(registry)).unwrap()
-}
-
-fn drain_replica(server: HttpServer) {
-    let registry = server.shutdown();
-    let registry = Arc::try_unwrap(registry).unwrap_or_else(|_| panic!("registry still shared"));
-    registry.shutdown();
+    testkit::bind_replica(
+        addr,
+        MODEL,
+        &serving_descriptor(MODEL, 10, 4, 6),
+        fleet_config(),
+    )
 }
 
 fn bind_fleet(n: usize, options: RouterOptions) -> (Vec<HttpServer>, Arc<Router>, HttpServer) {
-    let servers: Vec<HttpServer> = (0..n).map(|_| bind_replica("127.0.0.1:0")).collect();
-    let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
-    let router = Arc::new(Router::new(&addrs, options));
-    let front = HttpServer::bind_with_handler("127.0.0.1:0", Arc::clone(&router) as _).unwrap();
-    (servers, router, front)
-}
-
-fn manual_probe_options(policy: RoutingPolicy) -> RouterOptions {
-    // probe_interval zero disables the background prober; tests drive
-    // sweeps deterministically via `probe_once`.
-    RouterOptions {
-        policy,
-        probe_interval: Duration::ZERO,
-        probe_timeout: Duration::from_millis(250),
-        ..RouterOptions::default()
-    }
+    testkit::bind_fleet(
+        n,
+        options,
+        MODEL,
+        &serving_descriptor(MODEL, 10, 4, 6),
+        &fleet_config(),
+    )
 }
 
 fn infer_body(deadline_ms: Option<u64>) -> String {
