@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Duration;
-use tdc_conv::{direct, fft, im2col, layout, tdc_scheme, tvm_scheme, winograd, ConvShape, Tiling};
+use tdc_conv::{dispatch, layout, tdc_scheme, tvm_scheme, ConvShape, CpuConvAlgorithm, Tiling};
 use tdc_tensor::init;
 
 fn bench_cpu_kernels(c: &mut Criterion) {
@@ -24,18 +24,16 @@ fn bench_cpu_kernels(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
-    group.bench_function("direct", |b| {
-        b.iter(|| direct::conv2d(&input, &kernel, &shape).unwrap())
-    });
-    group.bench_function("im2col_gemm", |b| {
-        b.iter(|| im2col::conv2d(&input, &kernel, &shape).unwrap())
-    });
-    group.bench_function("winograd_f2x3", |b| {
-        b.iter(|| winograd::conv2d(&input, &kernel, &shape).unwrap())
-    });
-    group.bench_function("fft", |b| {
-        b.iter(|| fft::conv2d(&input, &kernel, &shape).unwrap())
-    });
+    for (label, algorithm) in [
+        ("direct", CpuConvAlgorithm::Direct),
+        ("im2col_gemm", CpuConvAlgorithm::Im2col),
+        ("winograd_f2x3", CpuConvAlgorithm::Winograd),
+        ("fft", CpuConvAlgorithm::Fft),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| dispatch(algorithm, &input, &kernel, &shape).unwrap())
+        });
+    }
     group.bench_function("tvm_scheme", |b| {
         b.iter(|| tvm_scheme::run(&input, &kernel, &shape, &tvm_tile).unwrap())
     });

@@ -5,8 +5,8 @@
 //! There is no shrinking: a failing case panics with the drawn inputs via the
 //! ordinary `assert!` machinery. The supported surface is what this
 //! workspace's property tests use: range strategies, tuple strategies,
-//! `prop_map`, `ProptestConfig { cases }`, and the `proptest!` /
-//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//! `prop_map`, [`sample::select`], `ProptestConfig::with_cases`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
 
 pub use rand::rngs::StdRng;
 pub use rand::SeedableRng;
@@ -23,6 +23,13 @@ pub struct ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
     }
 }
 
@@ -86,6 +93,30 @@ impl_tuple_strategy! {
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+pub mod sample {
+    //! Strategies that draw from explicit value lists.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate_one(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Pick uniformly from a fixed, non-empty list of values.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select(values)
+    }
 }
 
 /// FNV-1a over a string, for deriving per-property seeds.
@@ -160,7 +191,7 @@ mod tests {
     use super::prelude::*;
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig::with_cases(16))]
 
         #[test]
         fn ranges_stay_in_bounds(x in 3usize..10, y in -1.0f32..1.0) {

@@ -293,7 +293,7 @@ mod tests {
     fn primitives_round_trip() {
         assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
         assert_eq!(f64::from_value(&2.5f64.to_value()).unwrap(), 2.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_string().to_value()).unwrap(),
             "hi"

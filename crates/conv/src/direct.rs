@@ -24,18 +24,30 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tens
         });
     }
 
+    let (out_h, out_w, n) = (shape.out_h(), shape.out_w(), shape.n);
+    let mut out = vec![0.0f32; out_h * out_w * n];
+    conv2d_into(input.data(), kernel.data(), &mut out, shape);
+    Ok(Tensor::from_vec(vec![out_h, out_w, n], out)?)
+}
+
+/// Slice-level form of [`conv2d`] writing into a caller-provided buffer, so
+/// the serving hot path can stage outputs in a scratch arena instead of
+/// allocating. `out` must be **zeroed** and exactly `H'·W'·N` long; the loop
+/// structure (and therefore the f32 accumulation order) is identical to what
+/// [`conv2d`] has always done, keeping results bit-stable.
+pub fn conv2d_into(x: &[f32], k: &[f32], out: &mut [f32], shape: &ConvShape) {
     let (h, w, c) = (shape.h as isize, shape.w as isize, shape.c);
     let (out_h, out_w, n) = (shape.out_h(), shape.out_w(), shape.n);
     let (r, s) = (shape.r, shape.s);
     let (pad, stride) = (shape.pad as isize, shape.stride as isize);
+    assert_eq!(x.len(), shape.h * shape.w * c, "input has wrong length");
+    assert_eq!(k.len(), c * n * r * s, "kernel has wrong length");
+    assert_eq!(out.len(), out_h * out_w * n, "output has wrong length");
 
-    let x = input.data();
-    let k = kernel.data();
     // Kernel strides for CNRS layout.
     let k_c_stride = shape.n * r * s;
     let k_n_stride = r * s;
 
-    let mut out = vec![0.0f32; out_h * out_w * n];
     out.par_chunks_mut(out_w * n)
         .enumerate()
         .for_each(|(oy, row)| {
@@ -66,12 +78,132 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tens
                 }
             }
         });
+}
 
-    Ok(Tensor::from_vec(vec![out_h, out_w, n], out)?)
+/// [`conv2d_into`] against a kernel pre-permuted to RSCN layout (see
+/// [`crate::layout::cnrs_to_rscn`]): for each tap `(r, s)` the `C × N` weight
+/// block is contiguous with `n` fastest, so the innermost loop is an
+/// unstrided, branch-free `n`-wide multiply-add that vectorises.
+///
+/// Per output element the f32 additions happen in the identical
+/// `(r, s, c)` order as [`conv2d_into`] — only the kernel's memory layout
+/// differs — and there is deliberately no `x == 0.0` skip: on finite inputs
+/// `acc += ±0.0 · w` never changes a +0.0-seeded f32 accumulator, so the
+/// unconditional form is bit-identical to the skipping one (the serving
+/// arena path is pinned bitwise against [`conv2d`] by test). `out` must be
+/// **zeroed** and exactly `H'·W'·N` long.
+pub fn conv2d_rscn_into(x: &[f32], k_rscn: &[f32], out: &mut [f32], shape: &ConvShape) {
+    let (out_h, out_w) = (shape.out_h(), shape.out_w());
+    assert_eq!(
+        x.len(),
+        shape.h * shape.w * shape.c,
+        "input has wrong length"
+    );
+    assert_eq!(
+        k_rscn.len(),
+        shape.r * shape.s * shape.c * shape.n,
+        "kernel has wrong length"
+    );
+    assert_eq!(
+        out.len(),
+        out_h * out_w * shape.n,
+        "output has wrong length"
+    );
+
+    // Monomorphise the common rank widths so the N-wide accumulator is a
+    // fixed-size register block instead of a memory-resident slice — the
+    // decisive difference for the tiny `C × N` blocks of a Tucker rank-space
+    // conv. Dispatching on the width cannot change results: every
+    // instantiation runs the identical loop nest.
+    match shape.n {
+        2 => rscn_body::<2>(x, k_rscn, out, shape),
+        4 => rscn_body::<4>(x, k_rscn, out, shape),
+        8 => rscn_body::<8>(x, k_rscn, out, shape),
+        16 => rscn_body::<16>(x, k_rscn, out, shape),
+        n => rscn_body_dyn(x, k_rscn, out, shape, n),
+    }
+}
+
+/// [`conv2d_rscn_into`]'s loop nest for a compile-time output width.
+fn rscn_body<const N: usize>(x: &[f32], k_rscn: &[f32], out: &mut [f32], shape: &ConvShape) {
+    let (h, w, c) = (shape.h as isize, shape.w as isize, shape.c);
+    let out_w = shape.out_w();
+    let (r, s) = (shape.r, shape.s);
+    let (pad, stride) = (shape.pad as isize, shape.stride as isize);
+
+    out.par_chunks_mut(out_w * N)
+        .enumerate()
+        .for_each(|(oy, row)| {
+            // The valid tap ranges only depend on the output coordinate, so
+            // hoist them: `rr` bounds once per row, `ss` bounds once per
+            // column. Inside them every tap is in bounds and the loops run
+            // branch-free; the *contributing* taps — and their order — are
+            // exactly those the bounds-checked form visits.
+            let rr_lo = (pad - oy as isize * stride).max(0) as usize;
+            let rr_hi = (h + pad - oy as isize * stride).min(r as isize).max(0) as usize;
+            for (ox, acc_out) in row.chunks_exact_mut(N).enumerate() {
+                let ss_lo = (pad - ox as isize * stride).max(0) as usize;
+                let ss_hi = (w + pad - ox as isize * stride).min(s as isize).max(0) as usize;
+                let mut acc = [0.0f32; N];
+                for rr in rr_lo..rr_hi {
+                    let iy = (oy as isize * stride + rr as isize - pad) as usize;
+                    for ss in ss_lo..ss_hi {
+                        let ix = (ox as isize * stride + ss as isize - pad) as usize;
+                        let x_base = (iy * shape.w + ix) * c;
+                        let tap = &k_rscn[(rr * s + ss) * c * N..(rr * s + ss + 1) * c * N];
+                        for ch in 0..c {
+                            let xv = x[x_base + ch];
+                            let wrow = &tap[ch * N..(ch + 1) * N];
+                            for (a, &wv) in acc.iter_mut().zip(wrow) {
+                                *a += xv * wv;
+                            }
+                        }
+                    }
+                }
+                acc_out.copy_from_slice(&acc);
+            }
+        });
+}
+
+/// [`conv2d_rscn_into`]'s loop nest for a runtime output width (uncommon
+/// ranks); accumulates directly into the output row.
+fn rscn_body_dyn(x: &[f32], k_rscn: &[f32], out: &mut [f32], shape: &ConvShape, n: usize) {
+    let (h, w, c) = (shape.h as isize, shape.w as isize, shape.c);
+    let out_w = shape.out_w();
+    let (r, s) = (shape.r, shape.s);
+    let (pad, stride) = (shape.pad as isize, shape.stride as isize);
+
+    out.par_chunks_mut(out_w * n)
+        .enumerate()
+        .for_each(|(oy, row)| {
+            let rr_lo = (pad - oy as isize * stride).max(0) as usize;
+            let rr_hi = (h + pad - oy as isize * stride).min(r as isize).max(0) as usize;
+            for (ox, acc) in row.chunks_exact_mut(n).enumerate() {
+                let ss_lo = (pad - ox as isize * stride).max(0) as usize;
+                let ss_hi = (w + pad - ox as isize * stride).min(s as isize).max(0) as usize;
+                for rr in rr_lo..rr_hi {
+                    let iy = (oy as isize * stride + rr as isize - pad) as usize;
+                    for ss in ss_lo..ss_hi {
+                        let ix = (ox as isize * stride + ss as isize - pad) as usize;
+                        let x_base = (iy * shape.w + ix) * c;
+                        let tap = &k_rscn[(rr * s + ss) * c * n..(rr * s + ss + 1) * c * n];
+                        for ch in 0..c {
+                            let xv = x[x_base + ch];
+                            let wrow = &tap[ch * n..(ch + 1) * n];
+                            for (a, &wv) in acc.iter_mut().zip(wrow) {
+                                *a += xv * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        });
 }
 
 /// Scalar (non-parallel, non-optimised) reference kept deliberately naive for
-/// differential testing of [`conv2d`] itself.
+/// differential testing of [`conv2d`] itself. Gated behind `cfg(test)` / the
+/// `reference` feature so it can never be picked up on the serving path.
+#[cfg(any(test, feature = "reference"))]
 pub fn conv2d_naive(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tensor> {
     check_input_hwc(input, shape)?;
     check_kernel_cnrs(kernel, shape)?;

@@ -1,0 +1,135 @@
+//! Single typed dispatch surface over the CPU convolution entrypoints.
+//!
+//! Backends and the serving layer historically selected an algorithm by
+//! calling module paths (`direct::conv2d`, `im2col::conv2d`, `fft::conv2d`)
+//! directly; [`dispatch`] collapses those into one function keyed by
+//! [`CpuConvAlgorithm`], so a backend's algorithm choice is a plain enum
+//! value it can parse from configuration, log, and record in artifacts.
+//!
+//! Note the distinction from [`crate::ConvAlgorithm`]: that enum names the
+//! *GPU cost-model* families the paper compares against (cuDNN GEMM /
+//! Winograd / FFT, TVM, TDC), while this one names the concrete CPU
+//! implementations in this crate.
+
+use crate::shapes::ConvShape;
+use crate::{direct, fft, im2col, winograd, Result};
+use tdc_tensor::Tensor;
+
+/// A concrete CPU convolution implementation in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuConvAlgorithm {
+    /// Seven-loop direct cross-correlation ([`direct::conv2d`]).
+    Direct,
+    /// im2col + blocked GEMM ([`im2col::conv2d`]).
+    Im2col,
+    /// Winograd F(2×2, 3×3) ([`winograd::conv2d`]).
+    Winograd,
+    /// FFT-based convolution ([`fft::conv2d`]).
+    Fft,
+}
+
+impl CpuConvAlgorithm {
+    /// Stable lower-case label, the inverse of [`CpuConvAlgorithm::parse`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            CpuConvAlgorithm::Direct => "direct",
+            CpuConvAlgorithm::Im2col => "im2col",
+            CpuConvAlgorithm::Winograd => "winograd",
+            CpuConvAlgorithm::Fft => "fft",
+        }
+    }
+
+    /// Parse a label produced by [`CpuConvAlgorithm::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "direct" => Some(CpuConvAlgorithm::Direct),
+            "im2col" => Some(CpuConvAlgorithm::Im2col),
+            "winograd" => Some(CpuConvAlgorithm::Winograd),
+            "fft" => Some(CpuConvAlgorithm::Fft),
+            _ => None,
+        }
+    }
+
+    /// Every dispatchable algorithm, in declaration order.
+    pub fn all() -> [CpuConvAlgorithm; 4] {
+        [
+            CpuConvAlgorithm::Direct,
+            CpuConvAlgorithm::Im2col,
+            CpuConvAlgorithm::Winograd,
+            CpuConvAlgorithm::Fft,
+        ]
+    }
+}
+
+impl std::fmt::Display for CpuConvAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Run one convolution through the selected CPU implementation.
+///
+/// All implementations take an HWC input, a CNRS kernel and a [`ConvShape`]
+/// and produce the same `H'×W'×N` output; algorithm-specific restrictions
+/// (e.g. Winograd requiring 3×3 stride-1) surface as
+/// [`crate::ConvError::Unsupported`].
+pub fn dispatch(
+    algorithm: CpuConvAlgorithm,
+    input: &Tensor,
+    kernel: &Tensor,
+    shape: &ConvShape,
+) -> Result<Tensor> {
+    match algorithm {
+        CpuConvAlgorithm::Direct => direct::conv2d(input, kernel, shape),
+        CpuConvAlgorithm::Im2col => im2col::conv2d(input, kernel, shape),
+        CpuConvAlgorithm::Winograd => winograd::conv2d(input, kernel, shape),
+        CpuConvAlgorithm::Fft => fft::conv2d(input, kernel, shape),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tdc_tensor::init;
+
+    #[test]
+    fn labels_round_trip() {
+        for alg in CpuConvAlgorithm::all() {
+            assert_eq!(CpuConvAlgorithm::parse(alg.label()), Some(alg));
+            assert_eq!(alg.to_string(), alg.label());
+        }
+        assert_eq!(CpuConvAlgorithm::parse("cudnn_gemm"), None);
+    }
+
+    #[test]
+    fn every_algorithm_agrees_with_direct_on_a_3x3_shape() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let shape = ConvShape::same3x3(3, 5, 8, 8);
+        let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
+        let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
+        let reference = dispatch(CpuConvAlgorithm::Direct, &input, &kernel, &shape).unwrap();
+        for alg in [
+            CpuConvAlgorithm::Im2col,
+            CpuConvAlgorithm::Winograd,
+            CpuConvAlgorithm::Fft,
+        ] {
+            let got = dispatch(alg, &input, &kernel, &shape).unwrap();
+            assert!(
+                got.relative_error(&reference).unwrap() < 1e-3,
+                "{alg} diverged from direct"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_surfaces_algorithm_restrictions() {
+        // Winograd requires 3x3 stride-1 kernels; a 5x5 shape must error
+        // through the same typed surface.
+        let shape = ConvShape::new(2, 3, 10, 12, 5, 5, 2, 2);
+        let input = Tensor::zeros(shape.input_dims());
+        let kernel = Tensor::zeros(shape.kernel_dims());
+        let err = dispatch(CpuConvAlgorithm::Winograd, &input, &kernel, &shape).unwrap_err();
+        assert!(matches!(err, crate::ConvError::Unsupported { .. }));
+    }
+}

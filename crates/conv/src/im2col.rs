@@ -20,29 +20,80 @@ pub fn im2col(input: &Tensor, shape: &ConvShape) -> Result<Tensor> {
     check_input_hwc(input, shape)?;
     let (out_h, out_w) = (shape.out_h(), shape.out_w());
     let cols = shape.c * shape.r * shape.s;
-    let x = input.data();
-    let (h, w, c) = (shape.h as isize, shape.w as isize, shape.c);
-
     let mut out = vec![0.0f32; out_h * out_w * cols];
+    im2col_into(input.data(), &mut out, shape);
+    Ok(Tensor::from_vec(vec![out_h * out_w, cols], out)?)
+}
+
+/// Slice-level form of [`im2col`] writing into a caller-provided buffer of
+/// exactly `(H'·W')·(C·R·S)` elements, so the serving hot path can stage the
+/// patch matrix in a scratch arena instead of allocating. Every element of
+/// `out` is written (padding taps store literal `0.0`), so the buffer does
+/// not need to be zeroed first.
+pub fn im2col_into(x: &[f32], out: &mut [f32], shape: &ConvShape) {
+    let (out_h, out_w) = (shape.out_h(), shape.out_w());
+    let cols = shape.c * shape.r * shape.s;
+    let (h, w, c) = (shape.h as isize, shape.w as isize, shape.c);
+    assert_eq!(x.len(), shape.h * shape.w * c, "input has wrong length");
+    assert_eq!(out.len(), out_h * out_w * cols, "patch buffer wrong length");
+
+    let taps = shape.r * shape.s;
     out.par_chunks_mut(cols).enumerate().for_each(|(pos, row)| {
         let oy = pos / out_w;
         let ox = pos % out_w;
-        for ch in 0..c {
-            for rr in 0..shape.r {
-                for ss in 0..shape.s {
-                    let iy = (oy * shape.stride + rr) as isize - shape.pad as isize;
-                    let ix = (ox * shape.stride + ss) as isize - shape.pad as isize;
-                    let col = (ch * shape.r + rr) * shape.s + ss;
-                    row[col] = if iy < 0 || iy >= h || ix < 0 || ix >= w {
-                        0.0
-                    } else {
-                        x[(iy as usize * shape.w + ix as usize) * c + ch]
-                    };
-                }
+        // Resolve each of the R·S kernel taps once per output position —
+        // `None` marks a padding tap — instead of re-deriving indices and
+        // bounds per element. `bases[t] + ch` then addresses the input for
+        // tap `t`, and a position's row is written in `(c, r, s)`-contiguous
+        // runs of `taps` elements per channel.
+        let mut bases = [None::<usize>; 32];
+        let bases = if taps <= bases.len() {
+            &mut bases[..taps]
+        } else {
+            // Kernels larger than 5x5 spill the tap table; unreachable for
+            // every shape the serving tree runs but kept correct.
+            return im2col_row_generic(x, row, shape, oy, ox);
+        };
+        for rr in 0..shape.r {
+            let iy = (oy * shape.stride + rr) as isize - shape.pad as isize;
+            for ss in 0..shape.s {
+                let ix = (ox * shape.stride + ss) as isize - shape.pad as isize;
+                bases[rr * shape.s + ss] = if iy < 0 || iy >= h || ix < 0 || ix >= w {
+                    None
+                } else {
+                    Some((iy as usize * shape.w + ix as usize) * c)
+                };
+            }
+        }
+        for (ch, run) in row.chunks_exact_mut(taps).enumerate() {
+            for (slot, base) in run.iter_mut().zip(bases.iter()) {
+                *slot = match base {
+                    Some(b) => x[b + ch],
+                    None => 0.0,
+                };
             }
         }
     });
-    Ok(Tensor::from_vec(vec![out_h * out_w, cols], out)?)
+}
+
+/// Per-element fallback for [`im2col_into`] rows whose kernel has more taps
+/// than the stack table holds. Identical output to the fast path.
+fn im2col_row_generic(x: &[f32], row: &mut [f32], shape: &ConvShape, oy: usize, ox: usize) {
+    let (h, w, c) = (shape.h as isize, shape.w as isize, shape.c);
+    for ch in 0..c {
+        for rr in 0..shape.r {
+            for ss in 0..shape.s {
+                let iy = (oy * shape.stride + rr) as isize - shape.pad as isize;
+                let ix = (ox * shape.stride + ss) as isize - shape.pad as isize;
+                let col = (ch * shape.r + rr) * shape.s + ss;
+                row[col] = if iy < 0 || iy >= h || ix < 0 || ix >= w {
+                    0.0
+                } else {
+                    x[(iy as usize * shape.w + ix as usize) * c + ch]
+                };
+            }
+        }
+    }
 }
 
 /// Reshape a CNRS kernel into the `(C·R·S) × N` GEMM operand with the same
@@ -65,12 +116,16 @@ pub fn kernel_matrix(kernel: &Tensor, shape: &ConvShape) -> Result<Tensor> {
 }
 
 /// im2col + GEMM convolution. Produces the same `H'×W'×N` output as
-/// [`crate::direct::conv2d`].
+/// [`crate::direct::conv2d`]. The product runs through the register-tiled
+/// [`matmul::gemm_blocked_into`] kernel.
 pub fn conv2d(input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tensor> {
     let patches = im2col(input, shape)?;
     let kmat = kernel_matrix(kernel, shape)?;
-    let flat = matmul::matmul(&patches, &kmat)?;
-    Ok(flat.reshape(shape.output_dims())?)
+    let (m, n) = (shape.out_h() * shape.out_w(), shape.n);
+    let k = shape.c * shape.r * shape.s;
+    let mut flat = vec![0.0f32; m * n];
+    matmul::gemm_blocked_into(patches.data(), kmat.data(), &mut flat, m, k, n);
+    Ok(Tensor::from_vec(shape.output_dims(), flat)?)
 }
 
 /// Gradient of the convolution with respect to its input, computed by the

@@ -70,6 +70,21 @@ pub fn crsn_to_cnrs(kernel: &Tensor) -> Result<Tensor> {
     Ok(kernel.permute(&[0, 3, 1, 2])?)
 }
 
+/// Convert a CNRS kernel to RSCN layout: for each kernel tap `(r, s)` the
+/// `C × N` weight block is contiguous with `n` fastest, which is what the
+/// vectorised direct-convolution kernel
+/// ([`crate::direct::conv2d_rscn_into`]) streams.
+pub fn cnrs_to_rscn(kernel: &Tensor) -> Result<Tensor> {
+    if kernel.rank() != 4 {
+        return Err(ConvError::BadKernel {
+            expected: vec![0, 0, 0, 0],
+            actual: kernel.dims().to_vec(),
+        });
+    }
+    // (C, N, R, S) -> (R, S, C, N)
+    Ok(kernel.permute(&[2, 3, 0, 1])?)
+}
+
 /// Convert a CNRS kernel to NCRS (PyTorch-style) layout.
 pub fn cnrs_to_ncrs(kernel: &Tensor) -> Result<Tensor> {
     if kernel.rank() != 4 {

@@ -23,6 +23,8 @@
 //!   the 18 evaluation shapes of Figures 6/7.
 //! * [`layout`] — kernel layout conversions, in particular the `CRSN` layout
 //!   the TDC kernel uses for coalesced weight loads.
+//! * [`mod@dispatch`] — the single typed surface ([`dispatch::dispatch`]) through
+//!   which backends select a CPU algorithm.
 //! * [`direct`] — direct (naive but parallel) convolution, the correctness
 //!   reference for everything else.
 //! * [`im2col`] — im2col + GEMM convolution (cuDNN IMPLICIT_GEMM analogue).
@@ -37,6 +39,7 @@
 
 pub mod cost;
 pub mod direct;
+pub mod dispatch;
 pub mod fft;
 pub mod im2col;
 pub mod layout;
@@ -46,6 +49,7 @@ pub mod tvm_scheme;
 pub mod winograd;
 
 pub use cost::{ConvAlgorithm, ConvCostModel};
+pub use dispatch::{dispatch, CpuConvAlgorithm};
 pub use shapes::ConvShape;
 pub use tdc_scheme::Tiling;
 

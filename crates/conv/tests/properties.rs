@@ -9,7 +9,7 @@ use tdc_gpu_sim::DeviceSpec;
 use tdc_tensor::init;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn im2col_agrees_with_direct_for_any_small_config(

@@ -14,6 +14,7 @@
 //! | 6 | `router` fleet phase |
 //! | 7 | `qos` phase |
 //! | 8 | `trace` phase (this crate's trace-driven workload engine) |
+//! | 9 | `kernels` section (blocked-GEMM tile dims, arena pool telemetry) |
 //!
 //! [`validate`] accepts **any** historical version and checks the fields
 //! that version is required to carry — so `serve_bench --check-schema`
@@ -25,16 +26,17 @@
 use serde_json::Value;
 
 /// The schema version the benchmark currently writes.
-pub const CURRENT_SCHEMA_VERSION: u32 = 8;
+pub const CURRENT_SCHEMA_VERSION: u32 = 9;
 
 /// When each optional section entered the schema.
-const SECTIONS: [(&str, u32); 6] = [
+const SECTIONS: [(&str, u32); 7] = [
     ("multi_model", 3),
     ("http", 4),
     ("autotune", 5),
     ("router", 6),
     ("qos", 7),
     ("trace", 8),
+    ("kernels", 9),
 ];
 
 fn is_present(artifact: &Value, key: &str) -> bool {
@@ -247,6 +249,20 @@ pub fn validate(artifact: &Value) -> Result<u32, String> {
     if is_present(artifact, "trace") {
         validate_trace_section(artifact.get("trace").unwrap())?;
     }
+    if is_present(artifact, "kernels") {
+        require(
+            artifact.get("kernels").unwrap(),
+            &[
+                "gemm_tile_mr",
+                "gemm_tile_nr",
+                "arena_high_water_f32",
+                "arena_allocated_buffers",
+                "arena_hit_rate",
+                "allocs_per_request",
+            ],
+            "kernels",
+        )?;
+    }
 
     Ok(version)
 }
@@ -315,16 +331,25 @@ mod tests {
             parts.push(r#""qos": {"per_class": []}"#.to_string());
         }
         if version >= 8 {
-            parts.push(format!(
-                r#""trace": {{"spec": "examples/traces/x.json", "workload": "x",
+            parts.push(
+                r#""trace": {"spec": "examples/traces/x.json", "workload": "x",
                     "seed": 7, "trace_fingerprint": "deadbeef", "events": 5,
                     "requests": 9, "submitted": 9, "shed": 0, "completed": 9,
                     "expired": 0, "failed": 0, "unexpected_failures": 0,
                     "output_fingerprint": "cafe", "elapsed_s": 0.5,
                     "throughput_rps": 18.0, "p50_ms": 1.0, "p99_ms": 2.0,
                     "per_phase_events": [3, 2], "time_scale": 1.0,
-                    "per_model": []}}"#
-            ));
+                    "per_model": []}"#
+                    .to_string(),
+            );
+        }
+        if version >= 9 {
+            parts.push(
+                r#""kernels": {"gemm_tile_mr": 4, "gemm_tile_nr": 8,
+                    "arena_high_water_f32": 65536, "arena_allocated_buffers": 24,
+                    "arena_hit_rate": 0.99, "allocs_per_request": 0.1}"#
+                    .to_string(),
+            );
         }
         parts.join(", ")
     }

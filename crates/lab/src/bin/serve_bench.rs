@@ -5,7 +5,7 @@
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
 //! restart, and records everything as a `BENCH_serve.json` artifact
-//! (schema 8) so later changes can track the serving-performance trajectory.
+//! (schema 9) so later changes can track the serving-performance trajectory.
 //!
 //! Modes (composable):
 //!
@@ -54,7 +54,7 @@
 //!   the `lab_gate` regression gate compares.
 //! * `--check-schema` — no benchmark: read the existing artifact and
 //!   validate it against whatever `schema_version` it declares (every
-//!   historical version 1..=8 is understood; see `tdc_lab::artifact`).
+//!   historical version 1..=9 is understood; see `tdc_lab::artifact`).
 //!   CI runs this after the bench smoke steps to catch schema drift
 //!   between the writer and its consumers.
 //!
@@ -68,10 +68,12 @@
 //!
 //! Environment knobs (all optional):
 //!
-//! * `SERVE_BENCH_REQUESTS`  — total requests in the measured phase (default 240)
+//! * `SERVE_BENCH_REQUESTS`  — total requests in the measured phase (default 960;
+//!   enough to make the measured window long enough to damp scheduler noise)
+//! * `SERVE_BENCH_WARMUP`    — unmeasured warmup requests per backend (default 256)
 //! * `SERVE_BENCH_CLIENTS`   — concurrent client threads (default 4)
 //! * `SERVE_BENCH_WORKERS`   — executor worker threads (default 4)
-//! * `SERVE_BENCH_RATE_HZ`   — per-client submission rate (default 1000)
+//! * `SERVE_BENCH_RATE_HZ`   — per-client submission rate (default 4000)
 //! * `SERVE_BENCH_BACKEND`   — same as `--backend` (the flag wins)
 //! * `SERVE_BENCH_MODELS`    — same as `--models` (the flag wins)
 //! * `SERVE_BENCH_DEADLINE_MS` — same as `--deadline-ms` (the flag wins)
@@ -100,9 +102,10 @@ use tdc_tensor::init;
 const EXPECTED_SCHEMA_VERSION: u32 = tdc_lab::artifact::CURRENT_SCHEMA_VERSION;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 8 (over 7): `--trace` adds a `trace` section — the trace-driven
-/// workload phase's trace/output fingerprints, per-phase event counts and
-/// full outcome accounting.
+/// Schema 9 (over 8): a `kernels` section — the blocked-GEMM register tile
+/// dims and the CPU backend's arena pool telemetry (high-water checkout,
+/// hit rate, fresh allocations per request), pinning the zero-allocation
+/// hot-path property in the artifact trajectory.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -122,6 +125,31 @@ struct ServeBenchArtifact {
     router: Option<RouterRun>,
     qos: Option<QosRun>,
     trace: Option<TraceRun>,
+    kernels: Option<KernelsRun>,
+}
+
+/// The CPU hot-path kernel telemetry (schema 9): blocked-GEMM tile shape
+/// plus the serving engine's f32 buffer-pool counters over the CPU
+/// backend's **measured window** (warmup traffic excluded).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct KernelsRun {
+    /// Register tile rows of the blocked GEMM (`GEMM_MR`).
+    gemm_tile_mr: u64,
+    /// Register tile columns of the blocked GEMM (`GEMM_NR`).
+    gemm_tile_nr: u64,
+    /// Maximum f32 capacity simultaneously checked out of the pool
+    /// (absolute over the engine's lifetime, warmup included).
+    arena_high_water_f32: u64,
+    /// Fresh `Vec<f32>` allocations the pool performed inside the measured
+    /// window — the warm steady state performs none.
+    arena_allocated_buffers: u64,
+    /// Pool takes inside the measured window.
+    arena_takes: u64,
+    /// Fraction of measured-window takes served by a recycled buffer.
+    arena_hit_rate: f64,
+    /// Measured-window fresh pool allocations divided by completed
+    /// requests — the zero-allocation criterion is this staying at zero.
+    allocs_per_request: f64,
 }
 
 /// The `--trace` phase: one workload spec replayed end to end.
@@ -497,7 +525,7 @@ fn run_backend(
     cache: &PlanCache,
     kind: BackendKind,
     s: &BenchSettings,
-) -> BackendRun {
+) -> (BackendRun, tdc_serve::PoolStats) {
     let build = |settings: &BenchSettings| {
         ServeEngine::builder(descriptor)
             .planning(settings.planning.clone())
@@ -540,9 +568,42 @@ fn run_backend(
         (cold_plan_ms / warm_plan_ms.max(1e-9)).round()
     );
 
-    // Open-loop measured phase.
     let spatial = descriptor.convs[0].h;
     let channels = descriptor.convs[0].c;
+
+    // Unmeasured warmup: enough concurrent traffic to populate the buffer
+    // pool at the engine's full checkout depth and fault in every hot page,
+    // then reset the metrics so the measured window reports steady state.
+    // The pool counters are monotonic, so snapshotting them here lets the
+    // measured window report its *own* allocation delta — zero, once warm.
+    let warmup = env_usize("SERVE_BENCH_WARMUP", 256);
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool = engine.buffer_pool();
+        let mut submitted = 0usize;
+        while submitted < warmup {
+            // Whole-warmup bursts reach the same concurrent checkout depth
+            // the measured phase will (notably responses awaiting their
+            // client), so every size class is pre-populated to it.
+            let burst = warmup - submitted;
+            let pending: Vec<_> = (0..burst)
+                .map(|_| {
+                    let input =
+                        init::uniform(vec![spatial, spatial, channels], -1.0, 1.0, &mut rng);
+                    engine.submit(input).expect("warmup submit")
+                })
+                .collect();
+            for p in pending {
+                let response = p.wait().expect("warmup response");
+                pool.give(response.output.into_data());
+            }
+            submitted += burst;
+        }
+    }
+    engine.reset_metrics();
+    let pool_at_window_start = engine.pool_stats();
+
+    // Open-loop measured phase.
     let interval = Duration::from_secs_f64(1.0 / s.rate_hz.max(1.0));
     let per_client = s.requests.div_ceil(s.clients);
     let measured_started = Instant::now();
@@ -551,33 +612,60 @@ fn run_backend(
             let engine = Arc::clone(&engine);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + client_index as u64);
-                let mut pending = Vec::with_capacity(per_client);
+                let pool = engine.buffer_pool();
+                // Materialise the inputs up front so the measured window
+                // times the server, not the client's RNG.
+                let inputs: Vec<_> = (0..per_client)
+                    .map(|_| init::uniform(vec![spatial, spatial, channels], -1.0, 1.0, &mut rng))
+                    .collect();
+                // Responses are consumed as they arrive (a drain thread per
+                // client), not hoarded until the end of the run: recycling
+                // each output promptly keeps the pool's checkout depth — and
+                // therefore its steady-state allocation count — bounded, as
+                // a real response-consuming client would.
+                let (tx, rx) = std::sync::mpsc::channel::<tdc_serve::PendingResponse>();
+                let drain_pool = Arc::clone(&pool);
+                let drain = std::thread::spawn(move || {
+                    let mut timed_out = 0u64;
+                    for p in rx {
+                        match p.wait() {
+                            Ok(response) => drain_pool.give(response.output.into_data()),
+                            Err(ServeError::DeadlineExceeded { .. }) => timed_out += 1,
+                            Err(e) => panic!("response: {e}"),
+                        }
+                    }
+                    timed_out
+                });
                 let mut rejected = 0u64;
-                for _ in 0..per_client {
-                    let input =
-                        init::uniform(vec![spatial, spatial, channels], -1.0, 1.0, &mut rng);
+                // Open-loop pacing against an *absolute* arrival schedule:
+                // request `i` is due at `start + i·interval`, and a client
+                // that wakes late submits back-to-back until it has caught
+                // up. A per-request relative sleep would compound the
+                // scheduler's wake-up latency into the offered rate.
+                let start = Instant::now();
+                for (i, input) in inputs.into_iter().enumerate() {
+                    let due = start + interval * i as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        if !wait.is_zero() {
+                            std::thread::sleep(wait);
+                        }
+                    }
                     // Under a sustained backlog the admission bound sheds
                     // load; an open-loop client records the rejection and
                     // keeps its arrival schedule.
                     match engine.submit(input) {
-                        Ok(p) => pending.push(p),
+                        Ok(p) => tx.send(p).expect("drain thread alive"),
                         Err(ServeError::Overloaded { .. }) => rejected += 1,
                         Err(e) => panic!("submit: {e}"),
                     }
-                    std::thread::sleep(interval);
                 }
-                // Await everything this client submitted (arrivals stay
-                // open-loop; the drain at the end just bounds the run). A
-                // deadline expiry is an expected open-loop outcome, not a
-                // client failure.
-                let mut timed_out = 0u64;
-                for p in pending {
-                    match p.wait() {
-                        Ok(_) => {}
-                        Err(ServeError::DeadlineExceeded { .. }) => timed_out += 1,
-                        Err(e) => panic!("response: {e}"),
-                    }
-                }
+                // Closing the channel lets the drain thread finish once the
+                // last outstanding response has been consumed (arrivals stay
+                // open-loop; the join just bounds the run). A deadline
+                // expiry is an expected open-loop outcome, not a client
+                // failure.
+                drop(tx);
+                let timed_out = drain.join().expect("drain thread");
                 (rejected, timed_out)
             })
         })
@@ -592,6 +680,17 @@ fn run_backend(
 
     let engine =
         Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("clients still hold the engine"));
+    // The measured window's pool activity: everything since the post-warmup
+    // snapshot. `high_water_f32` stays absolute (it is a maximum, not a
+    // counter).
+    let pool_end = engine.pool_stats();
+    let pool_stats = tdc_serve::PoolStats {
+        allocated_buffers: pool_end.allocated_buffers - pool_at_window_start.allocated_buffers,
+        allocated_f32: pool_end.allocated_f32 - pool_at_window_start.allocated_f32,
+        high_water_f32: pool_end.high_water_f32,
+        takes: pool_end.takes - pool_at_window_start.takes,
+        hits: pool_end.hits - pool_at_window_start.hits,
+    };
     let predicted_gpu_ms_per_sample = engine.predicted_gpu_ms_per_sample();
     let decomposed_layers = engine.model().decomposed_layers();
     let achieved_flops_reduction = engine.plan().achieved_reduction;
@@ -655,7 +754,18 @@ fn run_backend(
         None
     };
 
-    BackendRun {
+    if kind == BackendKind::Cpu {
+        println!(
+            "  arena pool       : high-water {} f32, {} fresh allocation(s) in the \
+             measured window, {}/{} takes recycled",
+            pool_stats.high_water_f32,
+            pool_stats.allocated_buffers,
+            pool_stats.hits,
+            pool_stats.takes
+        );
+    }
+
+    let run = BackendRun {
         backend: report.backend.clone(),
         requests: metrics.completed_requests,
         rejected,
@@ -676,7 +786,8 @@ fn run_backend(
         plan_outcome_warm: cache_outcome_label(plan_outcome_warm).to_string(),
         decomposed_layers,
         achieved_flops_reduction,
-    }
+    };
+    (run, pool_stats)
 }
 
 /// The `--models N` phase: N distinct models behind one registry, every
@@ -1508,10 +1619,10 @@ fn main() {
     }
     let deadline_ms = deadline_selection();
     let settings = BenchSettings {
-        requests: env_usize("SERVE_BENCH_REQUESTS", 240),
+        requests: env_usize("SERVE_BENCH_REQUESTS", 960),
         clients: env_usize("SERVE_BENCH_CLIENTS", 4).max(1),
         workers: env_usize("SERVE_BENCH_WORKERS", 4).max(1),
-        rate_hz: env_f64("SERVE_BENCH_RATE_HZ", 1000.0),
+        rate_hz: env_f64("SERVE_BENCH_RATE_HZ", 4000.0),
         planning: PlanningOptions::default(),
         batching: BatchingOptions {
             max_batch_size: 8,
@@ -1556,10 +1667,26 @@ fn main() {
     // The per-backend single-model runs always execute, so the artifact's
     // backend trajectory stays comparable PR over PR; --models N adds the
     // mixed registry phase on top.
-    let runs: Vec<BackendRun> = backends
+    let measured: Vec<(BackendRun, tdc_serve::PoolStats)> = backends
         .iter()
         .map(|&kind| run_backend(&descriptor, &cache, kind, &settings))
         .collect();
+    // The kernels section reports the CPU backend's pool telemetry — the
+    // sim-GPU backend does not stage through the arena.
+    let kernels = backends
+        .iter()
+        .zip(&measured)
+        .find(|(kind, _)| **kind == BackendKind::Cpu)
+        .map(|(_, (run, stats))| KernelsRun {
+            gemm_tile_mr: tdc_tensor::matmul::GEMM_MR as u64,
+            gemm_tile_nr: tdc_tensor::matmul::GEMM_NR as u64,
+            arena_high_water_f32: stats.high_water_f32,
+            arena_allocated_buffers: stats.allocated_buffers,
+            arena_takes: stats.takes,
+            arena_hit_rate: stats.hits as f64 / (stats.takes.max(1)) as f64,
+            allocs_per_request: stats.allocated_buffers as f64 / run.requests.max(1) as f64,
+        });
+    let runs: Vec<BackendRun> = measured.into_iter().map(|(run, _)| run).collect();
     let multi_model = if models >= 2 {
         println!("\n  mode: + multi-model registry ({models} models, mixed traffic)");
         Some(run_multi_model(models, &backends, &settings))
@@ -1608,6 +1735,7 @@ fn main() {
         router,
         qos,
         trace,
+        kernels,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");

@@ -86,7 +86,7 @@ fn spec(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn identical_seed_and_spec_produce_byte_identical_traces(

@@ -193,7 +193,7 @@ mod tests {
         // Last batch is the remainder.
         assert_eq!(
             batches.last().unwrap().1.len(),
-            d.len() % 5 + if d.len() % 5 == 0 { 5 } else { 0 }
+            d.len() % 5 + if d.len().is_multiple_of(5) { 5 } else { 0 }
         );
     }
 
@@ -211,7 +211,7 @@ mod tests {
         let d = SyntheticDataset::generate(SyntheticConfig::cifar_like(4, 3)).unwrap();
         assert!(d.labels.iter().all(|&l| l < d.classes));
         for class in 0..d.classes {
-            assert!(d.labels.iter().any(|&l| l == class));
+            assert!(d.labels.contains(&class));
         }
     }
 

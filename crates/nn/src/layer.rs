@@ -8,7 +8,7 @@
 use crate::{NnError, Result};
 use rand::Rng;
 use rayon::prelude::*;
-use tdc_conv::{im2col, ConvShape};
+use tdc_conv::{dispatch, im2col, ConvShape, CpuConvAlgorithm};
 use tdc_tensor::{init, matmul, ops, Tensor};
 
 /// A trainable parameter: its value and the gradient accumulated by the last
@@ -136,7 +136,7 @@ impl Conv2dLayer {
             .into_par_iter()
             .map(|i| {
                 let sample = slice_sample(x, i);
-                im2col::conv2d(&sample, &kernel, &shape).expect("conv forward")
+                dispatch(CpuConvAlgorithm::Im2col, &sample, &kernel, &shape).expect("conv forward")
             })
             .collect();
         let mut out = stack_samples(outputs);

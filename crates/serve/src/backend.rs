@@ -163,6 +163,24 @@ pub trait ExecutionBackend: Send + Sync {
     /// with the backend's latency account for the batch.
     fn forward_batch(&self, inputs: &[&Tensor]) -> Result<BatchExecution>;
 
+    /// Arena-carrying form of [`ExecutionBackend::forward_batch`]: backends
+    /// that can stage scratch data (im2col patches, Tucker intermediates,
+    /// output tensors) in `arena` avoid per-request allocations entirely.
+    ///
+    /// The engine's workers always call this form, passing a per-worker
+    /// arena. The default implementation ignores the arena and delegates to
+    /// [`ExecutionBackend::forward_batch`], keeping third-party backends
+    /// (wrappers, fault injectors) source-compatible; results must be
+    /// identical either way.
+    fn forward_batch_in(
+        &self,
+        inputs: &[&Tensor],
+        arena: &mut crate::arena::ScratchArena,
+    ) -> Result<BatchExecution> {
+        let _ = arena;
+        self.forward_batch(inputs)
+    }
+
     /// The backend's per-layer latency breakdown at the given batch size.
     fn latency_report(&self, batch_size: usize) -> Result<BackendLatencyReport>;
 }
@@ -230,6 +248,24 @@ impl ExecutionBackend for CpuBackend {
         let outputs = inputs
             .iter()
             .map(|x| self.model.forward(x))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BatchExecution {
+            outputs,
+            simulated_gpu_ms: 0.0,
+        })
+    }
+
+    /// The zero-allocation hot path: every sample runs through
+    /// [`CompressedModel::forward_in`], staging all intermediates in the
+    /// worker's arena. Bit-identical to [`CpuBackend::forward_batch`].
+    fn forward_batch_in(
+        &self,
+        inputs: &[&Tensor],
+        arena: &mut crate::arena::ScratchArena,
+    ) -> Result<BatchExecution> {
+        let outputs = inputs
+            .iter()
+            .map(|x| self.model.forward_in(x, arena))
             .collect::<Result<Vec<_>>>()?;
         Ok(BatchExecution {
             outputs,
@@ -483,6 +519,44 @@ mod tests {
         assert_eq!(a.outputs, b.outputs, "backends must agree bit-for-bit");
         assert_eq!(a.simulated_gpu_ms, 0.0);
         assert!(b.simulated_gpu_ms > 0.0);
+    }
+
+    #[test]
+    fn arena_batches_are_bit_stable_with_zero_new_allocations() {
+        use crate::arena::{BufferPool, ScratchArena};
+
+        let (model, plan, fc) = model_and_plan();
+        let cpu = CpuBackend::new(model, plan, DeviceSpec::a100(), fc);
+        let mut rng = StdRng::seed_from_u64(29);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| init::uniform(vec![12, 12, 8], -1.0, 1.0, &mut rng))
+            .collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+
+        let pool = Arc::new(BufferPool::new());
+        let mut arena = ScratchArena::new(Arc::clone(&pool));
+        // Match `forward_batch` bitwise and warm the pool.
+        let plain = cpu.forward_batch(&refs).unwrap();
+        let first = cpu.forward_batch_in(&refs, &mut arena).unwrap();
+        assert_eq!(plain.outputs, first.outputs);
+        for out in first.outputs {
+            arena.give(out.into_data());
+        }
+        let warm = pool.stats();
+
+        // A second identical batch must produce identical f32 bits with zero
+        // new allocations: the pool's allocation counters and high-water mark
+        // must not move.
+        let second = cpu.forward_batch_in(&refs, &mut arena).unwrap();
+        assert_eq!(plain.outputs, second.outputs, "warm batch diverged bitwise");
+        for out in second.outputs {
+            arena.give(out.into_data());
+        }
+        let after = pool.stats();
+        assert_eq!(after.allocated_buffers, warm.allocated_buffers);
+        assert_eq!(after.allocated_f32, warm.allocated_f32);
+        assert_eq!(after.high_water_f32, warm.high_water_f32);
+        assert!(after.hits > warm.hits);
     }
 
     #[test]

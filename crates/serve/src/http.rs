@@ -71,6 +71,7 @@
 //! is how the `tdc-router` crate fronts a whole replica fleet with this
 //! same std-only server.
 
+use crate::arena::BufferPool;
 use crate::batcher::InferenceResponse;
 use crate::control::AutotuneRequest;
 use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
@@ -848,6 +849,19 @@ fn infer_single(
     value: &serde::Value,
 ) -> Result<InferReply> {
     let parsed = InferBody::from_value(value).map_err(bad_body)?;
+    infer_single_parsed(engine, model, parsed)
+}
+
+/// Shared tail of the single-sample infer: both the generic serde path and
+/// the zero-copy fast path feed the same [`InferBody`] through here, so the
+/// two parses are guaranteed behaviorally identical downstream. The answered
+/// output's buffer is recycled into the engine's pool after serialization —
+/// the delivery half of the zero-allocation loop.
+fn infer_single_parsed(
+    engine: crate::control::EngineHandle,
+    model: &str,
+    parsed: InferBody,
+) -> Result<InferReply> {
     let dims = parsed
         .dims
         .unwrap_or_else(|| engine.model().input_dims().to_vec());
@@ -861,10 +875,11 @@ fn infer_single(
         .map(Duration::from_millis)
         .or_else(|| engine.default_deadline());
     let backend = engine.backend_name().to_string();
+    let pool = engine.buffer_pool();
     let pending = engine.submit_counted(input, deadline)?;
     drop(engine);
     let response: InferenceResponse = pending.wait()?;
-    Ok(InferReply {
+    let reply = InferReply {
         model: model.to_string(),
         backend,
         output: response.output.data().to_vec(),
@@ -874,7 +889,9 @@ fn infer_single(
         exec_ms: response.exec_ms,
         predicted_gpu_batch_ms: response.predicted_gpu_batch_ms,
         simulated_gpu_batch_ms: response.simulated_gpu_batch_ms,
-    })
+    };
+    pool.give(response.output.into_data());
+    Ok(reply)
 }
 
 /// Serve the batched infer form: submit every sample atomically through the
@@ -908,6 +925,7 @@ fn infer_batch(
         .map(Duration::from_millis)
         .or_else(|| engine.default_deadline());
     let backend = engine.backend_name().to_string();
+    let pool = engine.buffer_pool();
     let pending = engine.submit_many_counted(tensors, deadline)?;
     drop(engine);
     let mut outputs = Vec::with_capacity(pending.len());
@@ -918,6 +936,7 @@ fn infer_batch(
         out_dims = response.output.dims().to_vec();
         outputs.push(response.output.data().to_vec());
         batch_sizes.push(response.batch_size);
+        pool.give(response.output.into_data());
     }
     Ok(BatchInferReply {
         model: model.to_string(),
@@ -929,12 +948,222 @@ fn infer_batch(
     })
 }
 
+/// Byte scanner behind [`parse_infer_fast`]. Token rules mirror the
+/// workspace `serde_json` stand-in exactly — same whitespace set, same
+/// number charset scan finished by `str::parse::<f64>` — so any body the
+/// fast path accepts parses to the very same values the generic path would
+/// produce. Anything else makes the scanner bail (return `None`), sending
+/// the body down the generic path for identical error messages.
+struct FastScan<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FastScan<'a> {
+    fn new(body: &'a str) -> FastScan<'a> {
+        FastScan {
+            bytes: body.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One JSON number, with the stand-in's exact charset-scan semantics.
+    fn number(&mut self) -> Option<f64> {
+        // The stand-in only dispatches into a number on `-` or a digit.
+        if !matches!(self.peek(), Some(b'-' | b'0'..=b'9')) {
+            return None;
+        }
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+    }
+
+    /// A `"key"` with no escapes (escaped keys bail to the generic path).
+    fn plain_key(&mut self) -> Option<&'a str> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => break,
+                b'\\' => return None,
+                _ => self.pos += 1,
+            }
+        }
+        let key = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        self.pos += 1;
+        Some(key)
+    }
+
+    /// `[n, n, ...]` appended onto `out` via `f(value)`.
+    fn number_array<T>(&mut self, out: &mut Vec<T>, f: impl Fn(f64) -> T) -> Option<()> {
+        if !self.eat(b'[') {
+            return None;
+        }
+        if self.eat(b']') {
+            return Some(());
+        }
+        loop {
+            out.push(f(self.number()?));
+            if self.eat(b']') {
+                return Some(());
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+}
+
+/// Zero-copy-ish parse of the common single-sample infer body,
+/// `{"input": [...], "dims": [...], "deadline_ms": N}` (keys in any order,
+/// `dims`/`deadline_ms` optional or `null`): the input numbers are scanned
+/// straight from the request bytes into a buffer recycled from the engine's
+/// pool — no intermediate `Value` tree, and on a warm pool no allocation for
+/// the sample itself. Returns `None` for anything outside that shape —
+/// unknown or duplicate keys, escapes, non-number array elements, trailing
+/// characters — which sends the body down the generic serde path, keeping
+/// observable behavior (including error messages) identical.
+fn parse_infer_fast(body: &str, pool: &BufferPool, expected_len: usize) -> Option<InferBody> {
+    let mut input: Option<Vec<f32>> = None;
+    match parse_infer_fast_into(body, pool, expected_len, &mut input) {
+        Some((dims, deadline_ms)) => Some(InferBody {
+            input: input?,
+            dims,
+            deadline_ms,
+        }),
+        None => {
+            // A bail after `input` was scanned returns its buffer to the
+            // pool, so malformed bodies do not inflate the checkout stats.
+            if let Some(buf) = input.take() {
+                pool.give(buf);
+            }
+            None
+        }
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_infer_fast_into(
+    body: &str,
+    pool: &BufferPool,
+    expected_len: usize,
+    input: &mut Option<Vec<f32>>,
+) -> Option<(Option<Vec<usize>>, Option<u64>)> {
+    let mut scan = FastScan::new(body);
+    if !scan.eat(b'{') {
+        return None;
+    }
+    let mut dims: Option<Vec<usize>> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let (mut seen_dims, mut seen_deadline) = (false, false);
+    if !scan.eat(b'}') {
+        loop {
+            let key = scan.plain_key()?;
+            if !scan.eat(b':') {
+                return None;
+            }
+            // Duplicate keys bail out: the generic path's `get` is
+            // first-key-wins, which a single-pass scan cannot reproduce.
+            match key {
+                "input" if input.is_none() => {
+                    // Contents are irrelevant (cleared then pushed into), so
+                    // skip the zero-fill.
+                    let mut buf = pool.take_full(expected_len);
+                    buf.clear();
+                    *input = Some(buf);
+                    scan.number_array(input.as_mut()?, |n| n as f32)?;
+                }
+                "dims" if !seen_dims => {
+                    seen_dims = true;
+                    if scan.peek() == Some(b'n') {
+                        // `"dims": null` means "use the model's dims".
+                        if !body[scan.pos..].starts_with("null") {
+                            return None;
+                        }
+                        scan.pos += 4;
+                    } else {
+                        let mut out = Vec::new();
+                        scan.number_array(&mut out, |n| n as usize)?;
+                        dims = Some(out);
+                    }
+                }
+                "deadline_ms" if !seen_deadline => {
+                    seen_deadline = true;
+                    if scan.peek() == Some(b'n') {
+                        if !body[scan.pos..].starts_with("null") {
+                            return None;
+                        }
+                        scan.pos += 4;
+                    } else {
+                        deadline_ms = Some(scan.number()? as u64);
+                    }
+                }
+                _ => return None,
+            }
+            if scan.eat(b'}') {
+                break;
+            }
+            if !scan.eat(b',') {
+                return None;
+            }
+        }
+    }
+    scan.skip_ws();
+    if scan.pos != scan.bytes.len() || input.is_none() {
+        return None;
+    }
+    Some((dims, deadline_ms))
+}
+
 fn infer(registry: &ModelRegistry, model: &str, body: &str) -> Result<String> {
     // Resolve the model once — shared by both body forms — so an unknown
     // name answers 404 even when the body is also malformed. Submission
     // then goes through this very handle, so the request is guaranteed to
     // ride the engine that was resolved here.
     let engine = registry.engine(model)?;
+    // Fast path: scan the common single-sample body straight into a pooled
+    // buffer. Any deviation falls through to the generic serde path below.
+    let expected_len = engine.model().input_dims().iter().product();
+    if let Some(parsed) = parse_infer_fast(body, &engine.buffer_pool(), expected_len) {
+        return serde_json::to_string(&infer_single_parsed(engine, model, parsed)?).map_err(|e| {
+            ServeError::Runtime {
+                reason: format!("cannot serialize the infer reply: {}", e.message),
+            }
+        });
+    }
     let value = serde_json::parse_value(body).map_err(bad_body)?;
     // The body form picks the path: `inputs` is the batched contract,
     // `input` the single-sample one.
@@ -1859,6 +2088,77 @@ mod tests {
             deadline_ms: None,
         })
         .unwrap()
+    }
+
+    /// Every body the fast scanner accepts must parse to the exact
+    /// `InferBody` the generic serde path produces — bit-for-bit on the
+    /// f32 values, including negative zero and exponent forms.
+    #[test]
+    fn fast_parse_agrees_with_the_generic_path() {
+        let pool = BufferPool::new();
+        let bodies = [
+            r#"{"input": [1, 2.5, -0.0, 1e-3, 6.02e23, -1.5E-2]}"#,
+            r#"{"input":[0.25,0.5],"dims":[1,1,2],"deadline_ms":250}"#,
+            "{ \"deadline_ms\" : 9 ,\n\t\"input\" : [ 1 , 2 ] , \"dims\" : [ 2 ] }",
+            r#"{"input": [], "dims": null, "deadline_ms": null}"#,
+            r#"{"input": [3]}"#,
+            r#"{"input": [1e999, -1e999]}"#,
+        ];
+        for body in bodies {
+            let fast = parse_infer_fast(body, &pool, 4)
+                .unwrap_or_else(|| panic!("fast path rejected {body}"));
+            let value = serde_json::parse_value(body).unwrap();
+            let generic = InferBody::from_value(&value).unwrap();
+            assert_eq!(
+                fast.input.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                generic
+                    .input
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "input mismatch on {body}"
+            );
+            assert_eq!(fast.dims, generic.dims, "dims mismatch on {body}");
+            assert_eq!(
+                fast.deadline_ms, generic.deadline_ms,
+                "deadline mismatch on {body}"
+            );
+            pool.give(fast.input);
+            pool.give(generic.input);
+        }
+    }
+
+    /// Anything outside the plain single-sample shape must bail to the
+    /// generic path (`None`) — and a bail after the input array was scanned
+    /// returns the pooled buffer, so checkout telemetry stays flat.
+    #[test]
+    fn fast_parse_bails_on_anything_unusual() {
+        let pool = BufferPool::new();
+        let bodies = [
+            r#"{"inputs": [[1]]}"#,                         // batched form
+            r#"{"input": [1], "extra": 1}"#,                // unknown key
+            r#"{"input": [1], "input": [2]}"#,              // duplicate key
+            r#"{"input": [1], "dims": null, "dims": [1]}"#, // duplicate after null
+            r#"{"input": [1e2e3]}"#,                        // malformed number
+            r#"{"input": [+5]}"#,                           // leading + (JSON-invalid)
+            r#"{"input": [1], "dims": "hwc"}"#,             // non-array dims
+            r#"{"input": [true]}"#,                         // non-number element
+            "{\"\\u0069nput\": [1]}",                       // escaped key
+            r#"{"input": [1]}x"#,                           // trailing chars
+            r#"{"input": [1],}"#,                           // trailing comma
+            r#"["input"]"#,                                 // not an object
+        ];
+        for body in bodies {
+            assert!(
+                parse_infer_fast(body, &pool, 4).is_none(),
+                "fast path must bail on {body}"
+            );
+        }
+        // Buffers taken for bailed bodies were recycled: a fresh take is a
+        // pool hit, not a new allocation.
+        let before = pool.stats();
+        pool.give(pool.take(4));
+        assert_eq!(pool.stats().allocated_buffers, before.allocated_buffers);
     }
 
     #[test]

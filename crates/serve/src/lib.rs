@@ -76,6 +76,7 @@
 //! registry.shutdown();
 //! ```
 
+pub mod arena;
 pub mod backend;
 pub mod batcher;
 pub mod control;
@@ -87,6 +88,7 @@ pub mod plan_cache;
 pub mod registry;
 pub mod server;
 
+pub use arena::{BufferPool, PoolStats, ScratchArena};
 pub use backend::{
     BackendKind, BackendLatencyReport, BackendWrapper, BatchExecution, CpuBackend,
     ExecutionBackend, LayerSimLatency, SimGpuBackend,
@@ -104,7 +106,7 @@ pub use model::CompressedModel;
 pub use options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 pub use plan_cache::{CacheOutcome, PlanCache, PlanCacheStats, PlanKey, PlanKeyHits};
 pub use registry::{ModelConfig, ModelInfo, ModelMetricsEntry, ModelRegistry, RegistryMetrics};
-pub use server::{ServeConfig, ServeEngine, ServeEngineBuilder, ServeReport};
+pub use server::{ServeEngine, ServeEngineBuilder, ServeReport};
 pub use tdc_exec::{Executor, ExecutorMetrics, ExecutorOptions, QosClass};
 
 use tdc_conv::ConvShape;

@@ -212,6 +212,22 @@ impl MetricsRecorder {
         self.completed.load(Ordering::Relaxed)
     }
 
+    /// Discard everything recorded so far, starting a fresh measurement
+    /// window. Lets a caller run unmeasured warmup traffic (populating
+    /// buffer pools, code and page caches) and then measure steady state
+    /// without the ramp skewing counters or latency percentiles.
+    pub fn reset(&self) {
+        self.submitted.store(0, Ordering::Relaxed);
+        self.completed.store(0, Ordering::Relaxed);
+        self.failed.store(0, Ordering::Relaxed);
+        self.deadline_exceeded.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.max_batch.store(0, Ordering::Relaxed);
+        self.samples().clear();
+        self.predicted_gpu_ns.store(0, Ordering::Relaxed);
+        self.simulated_gpu_ns.store(0, Ordering::Relaxed);
+    }
+
     /// Aggregate everything recorded so far.
     pub fn snapshot(&self) -> ServeMetrics {
         let samples = self.samples().clone();

@@ -15,14 +15,15 @@
 //! triple always materializes the identical network — the property the
 //! serving tests lean on for deterministic batched outputs.
 
+use crate::arena::ScratchArena;
 use crate::{Result, ServeError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tdc::rank_select::Decision;
 use tdc::CompressionPlan;
-use tdc_conv::{direct, fft, im2col, winograd, ConvShape};
+use tdc_conv::{direct, im2col, ConvShape, CpuConvAlgorithm};
 use tdc_nn::models::ModelDescriptor;
-use tdc_tensor::matmul::matmul;
+use tdc_tensor::matmul::{gemm_blocked_into, matmul};
 use tdc_tensor::{init, Tensor};
 use tdc_tucker::tkd::tucker2;
 use tdc_tucker::TuckerConv;
@@ -41,22 +42,44 @@ pub enum DenseAlgorithm {
 }
 
 impl DenseAlgorithm {
+    /// The `tdc-conv` dispatch-surface algorithm this deployment choice maps
+    /// to.
+    pub fn conv_algorithm(&self) -> CpuConvAlgorithm {
+        match self {
+            DenseAlgorithm::Direct => CpuConvAlgorithm::Direct,
+            DenseAlgorithm::Im2col => CpuConvAlgorithm::Im2col,
+            DenseAlgorithm::Winograd => CpuConvAlgorithm::Winograd,
+            DenseAlgorithm::Fft => CpuConvAlgorithm::Fft,
+        }
+    }
+
     fn run(&self, input: &Tensor, kernel: &Tensor, shape: &ConvShape) -> Result<Tensor> {
-        Ok(match self {
-            DenseAlgorithm::Direct => direct::conv2d(input, kernel, shape)?,
-            DenseAlgorithm::Im2col => im2col::conv2d(input, kernel, shape)?,
-            DenseAlgorithm::Winograd => winograd::conv2d(input, kernel, shape)?,
-            DenseAlgorithm::Fft => fft::conv2d(input, kernel, shape)?,
-        })
+        Ok(tdc_conv::dispatch(
+            self.conv_algorithm(),
+            input,
+            kernel,
+            shape,
+        )?)
     }
 }
 
 /// One executable layer of the compressed network.
 enum LayerExec {
-    /// Kept dense: original CNRS kernel, run through the algorithm zoo.
-    Dense { shape: ConvShape, kernel: Tensor },
-    /// Decomposed: the three-stage Tucker-2 convolution.
-    Tucker(Box<TuckerConv>),
+    /// Kept dense: original CNRS kernel, run through the algorithm zoo. The
+    /// `(C·R·S) × N` GEMM operand (`kmat`) is cached at materialization so
+    /// the per-request im2col path never rebuilds it.
+    Dense {
+        shape: ConvShape,
+        kernel: Tensor,
+        kmat: Tensor,
+    },
+    /// Decomposed: the three-stage Tucker-2 convolution. The core kernel is
+    /// additionally cached in RSCN layout so the arena hot path runs the
+    /// vectorised [`direct::conv2d_rscn_into`] form.
+    Tucker {
+        conv: Box<TuckerConv>,
+        core_rscn: Tensor,
+    },
 }
 
 /// A compressed network materialized for serving.
@@ -155,12 +178,15 @@ impl CompressedModel {
             layers.push(match decision.decision {
                 Decision::Keep { .. } => LayerExec::Dense {
                     shape: *shape,
+                    kmat: im2col::kernel_matrix(&kernel, shape)?,
                     kernel,
                 },
                 Decision::Decompose { rank, .. } => {
                     let factors = tucker2(&kernel, rank.d1, rank.d2)?;
                     decomposed_layers += 1;
-                    LayerExec::Tucker(Box::new(TuckerConv::from_factors(*shape, &factors)?))
+                    let conv = Box::new(TuckerConv::from_factors(*shape, &factors)?);
+                    let core_rscn = tdc_conv::layout::cnrs_to_rscn(&conv.core)?;
+                    LayerExec::Tucker { conv, core_rscn }
                 }
             });
         }
@@ -213,7 +239,7 @@ impl CompressedModel {
             .iter()
             .map(|l| match l {
                 LayerExec::Dense { kernel, .. } => kernel.numel(),
-                LayerExec::Tucker(t) => t.num_params(),
+                LayerExec::Tucker { conv, .. } => conv.num_params(),
             })
             .sum();
         let fc: usize = self.fc.iter().map(Tensor::numel).sum();
@@ -232,10 +258,10 @@ impl CompressedModel {
         let mut x = input.clone();
         for layer in &self.layers {
             x = match layer {
-                LayerExec::Dense { shape, kernel } => {
+                LayerExec::Dense { shape, kernel, .. } => {
                     self.dense_algorithm.run(&x, kernel, shape)?
                 }
-                LayerExec::Tucker(t) => t.forward(&x)?,
+                LayerExec::Tucker { conv, .. } => conv.forward(&x)?,
             };
         }
         // Global average pooling: HWC -> C.
@@ -259,6 +285,116 @@ impl CompressedModel {
         features
             .reshape(vec![self.output_classes])
             .map_err(Into::into)
+    }
+
+    /// [`CompressedModel::forward`] staging every intermediate — im2col patch
+    /// matrices, Tucker stage outputs, pooled features and the returned
+    /// logits — in `arena` instead of allocating.
+    ///
+    /// Bit-identical to [`CompressedModel::forward`]: each stage runs the
+    /// same kernel ([`gemm_blocked_into`], [`direct::conv2d_into`],
+    /// [`im2col::im2col_into`]) on the same operands in the same order, only
+    /// the buffers' provenance differs. Dense layers use the `kmat` cached at
+    /// materialization (the same [`im2col::kernel_matrix`] reordering, so the
+    /// same values). On a warm arena this path performs zero f32 allocations;
+    /// the returned tensor's storage comes from the pool and is expected to
+    /// be recycled by the caller once serialized.
+    ///
+    /// Only the im2col dense algorithm has a staged form; other deployments
+    /// fall back to [`CompressedModel::forward`].
+    pub fn forward_in(&self, input: &Tensor, arena: &mut ScratchArena) -> Result<Tensor> {
+        if self.dense_algorithm != DenseAlgorithm::Im2col {
+            return self.forward(input);
+        }
+        if input.dims() != self.input_dims.as_slice() {
+            return Err(ServeError::BadInput {
+                expected: self.input_dims.clone(),
+                actual: input.dims().to_vec(),
+            });
+        }
+
+        // Current activation: `None` means "still the caller's input", which
+        // avoids copying the input tensor into the arena.
+        let mut cur: Option<Vec<f32>> = None;
+        let (mut h, mut w, mut c) = (self.input_dims[0], self.input_dims[1], self.input_dims[2]);
+        for layer in &self.layers {
+            let src: &[f32] = cur.as_deref().unwrap_or_else(|| input.data());
+            let next = match layer {
+                LayerExec::Dense { shape, kmat, .. } => {
+                    let m = shape.out_h() * shape.out_w();
+                    let kdim = shape.c * shape.r * shape.s;
+                    // im2col writes every patch slot and the GEMM overwrites
+                    // `out`, so neither buffer needs the zero-fill.
+                    let mut patches = arena.take_full(m * kdim);
+                    im2col::im2col_into(src, &mut patches, shape);
+                    let mut out = arena.take_full(m * shape.n);
+                    gemm_blocked_into(&patches, kmat.data(), &mut out, m, kdim, shape.n);
+                    arena.give(patches);
+                    (h, w, c) = (shape.out_h(), shape.out_w(), shape.n);
+                    out
+                }
+                LayerExec::Tucker { conv: t, core_rscn } => {
+                    // Stage 1: 1×1 channel reduction, a (H·W × C)·(C × D1)
+                    // GEMM — exactly what `conv1x1` lowers to.
+                    let d1 = t.u1.dims()[1];
+                    let mut z1 = arena.take_full(h * w * d1);
+                    gemm_blocked_into(src, t.u1.data(), &mut z1, h * w, c, d1);
+                    // Stage 2: R×S core convolution in the rank space, run
+                    // against the RSCN copy of the core cached at
+                    // materialization (same values, same accumulation order,
+                    // vectorisable layout).
+                    let core_shape = t.core_shape();
+                    let (oh, ow, d2) = (core_shape.out_h(), core_shape.out_w(), core_shape.n);
+                    // `z2` must be zero-filled: the core conv accumulates
+                    // into it rather than overwriting.
+                    let mut z2 = arena.take(oh * ow * d2);
+                    direct::conv2d_rscn_into(&z1, core_rscn.data(), &mut z2, &core_shape);
+                    arena.give(z1);
+                    // Stage 3: 1×1 channel restoration.
+                    let n = t.u2_t.dims()[1];
+                    let mut out = arena.take_full(oh * ow * n);
+                    gemm_blocked_into(&z2, t.u2_t.data(), &mut out, oh * ow, d2, n);
+                    arena.give(z2);
+                    (h, w, c) = (oh, ow, n);
+                    out
+                }
+            };
+            if let Some(prev) = cur.take() {
+                arena.give(prev);
+            }
+            cur = Some(next);
+        }
+
+        // Global average pooling: HWC -> C. Same accumulation loop as
+        // `forward`.
+        let data: &[f32] = cur.as_deref().unwrap_or_else(|| input.data());
+        // `pooled` is an accumulator — it needs the zeroing take.
+        let mut pooled = arena.take(c);
+        for pos in 0..h * w {
+            for (ch, p) in pooled.iter_mut().enumerate() {
+                *p += data[pos * c + ch];
+            }
+        }
+        let scale = 1.0 / (h * w) as f32;
+        for p in &mut pooled {
+            *p *= scale;
+        }
+        if let Some(prev) = cur.take() {
+            arena.give(prev);
+        }
+
+        let mut features = pooled;
+        let mut width = c;
+        for weights in &self.fc {
+            let fc_out = weights.dims()[1];
+            let mut out = arena.take_full(fc_out);
+            gemm_blocked_into(&features, weights.data(), &mut out, 1, width, fc_out);
+            arena.give(features);
+            features = out;
+            width = fc_out;
+        }
+        debug_assert_eq!(width, self.output_classes);
+        Ok(Tensor::from_vec(vec![self.output_classes], features)?)
     }
 }
 
@@ -339,6 +475,45 @@ mod tests {
                 "{algorithm:?} disagrees with the direct reference"
             );
         }
+    }
+
+    #[test]
+    fn arena_forward_is_bit_identical_to_plain_forward() {
+        use crate::arena::{BufferPool, ScratchArena};
+        use std::sync::Arc;
+
+        let descriptor = serving_descriptor("svc", 12, 8, 10);
+        let plan = small_plan(&descriptor);
+        let model = CompressedModel::materialize(&descriptor, &plan, 7).unwrap();
+        let mut arena = ScratchArena::new(Arc::new(BufferPool::new()));
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..3 {
+            let input = init::uniform(vec![12, 12, 8], -1.0, 1.0, &mut rng);
+            let plain = model.forward(&input).unwrap();
+            let staged = model.forward_in(&input, &mut arena).unwrap();
+            assert_eq!(plain, staged, "arena forward diverged bitwise");
+            // Recycle the output like the production loop does.
+            arena.give(staged.into_data());
+        }
+    }
+
+    #[test]
+    fn arena_forward_falls_back_for_non_im2col_deployments() {
+        use crate::arena::{BufferPool, ScratchArena};
+        use std::sync::Arc;
+
+        let descriptor = serving_descriptor("svc", 8, 4, 5);
+        let plan = small_plan(&descriptor);
+        let model =
+            CompressedModel::materialize_with(&descriptor, &plan, 2, DenseAlgorithm::Direct)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let input = init::uniform(vec![8, 8, 4], -1.0, 1.0, &mut rng);
+        let mut arena = ScratchArena::new(Arc::new(BufferPool::new()));
+        assert_eq!(
+            model.forward(&input).unwrap(),
+            model.forward_in(&input, &mut arena).unwrap()
+        );
     }
 
     #[test]

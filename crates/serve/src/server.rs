@@ -13,15 +13,21 @@
 //! [`ModelRegistry`](crate::ModelRegistry) does for every model it
 //! builds), or let the
 //! engine spawn a private pool of [`RuntimeOptions::workers`] threads —
-//! the legacy per-engine topology. The pre-redesign entry point
-//! [`ServeEngine::start`] survives as a deprecated shim for one release.
+//! the legacy per-engine topology.
+//!
+//! Execution is zero-allocation in steady state: the engine owns a
+//! [`BufferPool`] of recycled f32 buffers, every dispatch checks out a
+//! [`ScratchArena`] handle and runs the batch through
+//! [`ExecutionBackend::forward_batch_in`], and answered requests recycle
+//! their input tensors back into the pool.
 
+use crate::arena::{BufferPool, PoolStats, ScratchArena};
 use crate::backend::{
     BackendKind, BackendLatencyReport, BackendWrapper, CpuBackend, ExecutionBackend, SimGpuBackend,
 };
 use crate::batcher::{BatchQueue, InferenceRequest, InferenceResponse, PendingResponse, TryBatch};
 use crate::metrics::{MetricsRecorder, ServeMetrics};
-use crate::model::{CompressedModel, DenseAlgorithm};
+use crate::model::CompressedModel;
 use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 use crate::plan_cache::{CacheOutcome, PlanCache, PlanKey};
 use crate::{Result, ServeError};
@@ -30,58 +36,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tdc::inference::Backend;
-use tdc::tiling::TilingStrategy;
 use tdc::{CompressionPlan, TdcPipeline};
 use tdc_exec::{BatchSource, Executor, ExecutorOptions, QosClass, SourceHandle, SourceState};
-use tdc_gpu_sim::DeviceSpec;
 use tdc_nn::models::ModelDescriptor;
 use tdc_tensor::Tensor;
-
-/// Flat engine configuration superseded by the typed option structs.
-///
-/// Retained so [`ServeEngine::start`] keeps compiling for one release; new
-/// code should use [`ServeEngine::builder`] with [`PlanningOptions`],
-/// [`BatchingOptions`] and [`RuntimeOptions`].
-#[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Target device model for planning and predicted-latency reporting.
-    pub device: DeviceSpec,
-    /// Tiling strategy used when planning.
-    pub strategy: TilingStrategy,
-    /// FLOPs-reduction budget for rank selection.
-    pub budget: f64,
-    /// Rank-candidate step (use small steps for miniature serving models).
-    pub rank_step: usize,
-    /// θ skip threshold for rank selection (0 decomposes whenever feasible).
-    pub theta: f64,
-    /// Maximum requests per batch.
-    pub max_batch_size: usize,
-    /// Longest the oldest queued request may wait for batch-mates.
-    pub max_batch_delay: Duration,
-    /// Worker threads executing batches.
-    pub workers: usize,
-    /// Seed for weight materialization.
-    pub seed: u64,
-    /// CPU algorithm for kept (dense) layers.
-    pub dense_algorithm: DenseAlgorithm,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            device: DeviceSpec::a100(),
-            strategy: TilingStrategy::Model,
-            budget: 0.5,
-            rank_step: 4,
-            theta: 0.0,
-            max_batch_size: 8,
-            max_batch_delay: Duration::from_millis(2),
-            workers: 2,
-            seed: 0x7DC,
-            dense_algorithm: DenseAlgorithm::Im2col,
-        }
-    }
-}
 
 /// Final report returned by [`ServeEngine::shutdown`].
 #[derive(Debug, Clone)]
@@ -290,6 +248,8 @@ impl<'a> ServeEngineBuilder<'a> {
             metrics: MetricsRecorder::new(backend.name()),
             backend: Arc::clone(&backend),
             predicted_gpu_ms_per_sample,
+            pool: Arc::new(BufferPool::new()),
+            arenas: Mutex::new(Vec::new()),
             running: Mutex::new(0),
             idle: Condvar::new(),
         });
@@ -355,6 +315,14 @@ struct EngineCore {
     metrics: MetricsRecorder,
     backend: Arc<dyn ExecutionBackend>,
     predicted_gpu_ms_per_sample: f64,
+    /// Shared f32 buffer pool behind the zero-allocation hot path: dispatch
+    /// arenas draw from it, and answered requests recycle their input (and,
+    /// at the HTTP layer, output) tensors back into it.
+    pool: Arc<BufferPool>,
+    /// Checked-in [`ScratchArena`] handles; each dispatch pops one (or
+    /// creates one on a cold start) and pushes it back when done, so the pool
+    /// of handles tracks the executor's actual dispatch concurrency.
+    arenas: Mutex<Vec<ScratchArena>>,
     /// Dispatches currently inside `run_one` past the dequeue point; together
     /// with an empty queue this defines "drained" for retire semantics.
     running: Mutex<usize>,
@@ -423,7 +391,8 @@ impl EngineCore {
         if !dispatch.expired.is_empty() {
             let now = Instant::now();
             for request in dispatch.expired {
-                expire_request(request, &self.metrics, now);
+                let input = expire_request(request, &self.metrics, now);
+                self.pool.give(input.into_data());
             }
         }
         let batch = dispatch.live;
@@ -432,16 +401,27 @@ impl EngineCore {
         }
         let batch_size = batch.len();
         let predicted_gpu_batch_ms = self.predicted_gpu_ms_per_sample * batch_size as f64;
+        // Check out a scratch arena for the dispatch (creating one on a cold
+        // start); every staging buffer the backend needs comes from it.
+        let mut arena = {
+            let mut arenas = self.arenas.lock().unwrap_or_else(|e| e.into_inner());
+            arenas.pop()
+        }
+        .unwrap_or_else(|| ScratchArena::new(Arc::clone(&self.pool)));
         let exec_started = Instant::now();
         let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
         // The backend is arbitrary trait-object code (possibly a harness
-        // wrapper): a panic inside `forward_batch` must not kill a shared
+        // wrapper): a panic inside `forward_batch_in` must not kill a shared
         // executor worker, so it is caught here and folded into the same
         // typed-failure path an `Err` takes.
         let execution = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.backend.forward_batch(&inputs)
+            self.backend.forward_batch_in(&inputs, &mut arena)
         }));
         let exec_ms = exec_started.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut arenas = self.arenas.lock().unwrap_or_else(|e| e.into_inner());
+            arenas.push(arena);
+        }
         let execution = match execution {
             Ok(Ok(execution)) => execution,
             // Engine start probes the whole chain and `submit` rejects wrong
@@ -480,7 +460,9 @@ impl EngineCore {
             // request's deadline — the client contract is "answered within
             // the deadline or a typed error", so the late output is dropped.
             if request.expired_at(completed_at) {
-                expire_request(request, &self.metrics, completed_at);
+                let input = expire_request(request, &self.metrics, completed_at);
+                self.pool.give(input.into_data());
+                self.pool.give(output.into_data());
                 continue;
             }
             let total_ms = completed_at
@@ -489,8 +471,17 @@ impl EngineCore {
                 * 1e3;
             let queue_ms = (total_ms - exec_ms).max(0.0);
             self.metrics.record_request(total_ms, queue_ms, exec_ms);
+            let InferenceRequest {
+                id,
+                input,
+                responder,
+                ..
+            } = request;
+            // The answered request's input buffer feeds the next request's
+            // parse — the other half of the zero-allocation loop.
+            self.pool.give(input.into_data());
             let response = InferenceResponse {
-                id: request.id,
+                id,
                 output,
                 queue_ms,
                 exec_ms,
@@ -499,7 +490,7 @@ impl EngineCore {
                 simulated_gpu_batch_ms: execution.simulated_gpu_ms,
             };
             // The client may have given up; that is not the worker's problem.
-            let _ = request.responder.send(Ok(response));
+            let _ = responder.send(Ok(response));
         }
     }
 
@@ -518,7 +509,11 @@ impl EngineCore {
             .record_batch(batch_size, predicted_gpu_batch_ms, 0.0);
         for request in batch {
             self.metrics.record_failed();
-            let _ = request.responder.send(Err(ServeError::ExecutionFailed {
+            let InferenceRequest {
+                input, responder, ..
+            } = request;
+            self.pool.give(input.into_data());
+            let _ = responder.send(Err(ServeError::ExecutionFailed {
                 reason: reason.clone(),
             }));
         }
@@ -577,42 +572,6 @@ impl ServeEngine {
     /// Start building an engine for `descriptor` with default options.
     pub fn builder(descriptor: &ModelDescriptor) -> ServeEngineBuilder<'_> {
         ServeEngineBuilder::new(descriptor)
-    }
-
-    /// Plan (through `cache`), materialize the CPU executor, and start the
-    /// worker pool.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ServeEngine::builder(descriptor)` with typed \
-                `PlanningOptions`/`BatchingOptions`/`RuntimeOptions` instead"
-    )]
-    pub fn start(
-        descriptor: &ModelDescriptor,
-        config: &ServeConfig,
-        cache: &PlanCache,
-    ) -> Result<Self> {
-        ServeEngine::builder(descriptor)
-            .planning(PlanningOptions {
-                device: config.device.clone(),
-                strategy: config.strategy,
-                budget: config.budget,
-                rank_step: config.rank_step,
-                theta: config.theta,
-            })
-            .batching(BatchingOptions {
-                max_batch_size: config.max_batch_size,
-                max_batch_delay: config.max_batch_delay,
-                ..BatchingOptions::default()
-            })
-            .runtime(RuntimeOptions {
-                workers: config.workers,
-                seed: config.seed,
-                dense_algorithm: config.dense_algorithm,
-                backend: BackendKind::Cpu,
-                ..RuntimeOptions::default()
-            })
-            .plan_cache(cache)
-            .build()
     }
 
     /// The compression plan this engine serves.
@@ -782,12 +741,38 @@ impl ServeEngine {
         self.submit_with_deadline(input, deadline)?.wait()
     }
 
+    /// Discard all metrics recorded so far, starting a fresh measurement
+    /// window. Benchmarks call this after unmeasured warmup traffic so
+    /// steady-state counters and latency percentiles are not skewed by the
+    /// ramp (cold buffer pool, first-touch page faults). Buffer-pool
+    /// telemetry is deliberately *not* reset — its monotonic counters let a
+    /// caller diff snapshots around the measured window instead.
+    pub fn reset_metrics(&self) {
+        self.core.metrics.reset();
+    }
+
     /// Metrics snapshot of the work completed so far, including how many of
     /// this engine's batches were dispatched via executor work stealing.
     pub fn metrics(&self) -> ServeMetrics {
         let mut snapshot = self.core.metrics.snapshot();
         snapshot.stolen_batches = self.handle.stolen_batches();
         snapshot
+    }
+
+    /// Cumulative telemetry of the engine's f32 buffer pool: fresh
+    /// allocations, high-water checkout, and hit rate. A warm steady-state
+    /// engine shows `allocated_buffers` and `high_water_f32` frozen while
+    /// `hits` climbs — the zero-allocation property `serve_bench` records in
+    /// its `kernels` section.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.core.pool.stats()
+    }
+
+    /// The engine's shared f32 buffer pool. The HTTP front end parses
+    /// request bodies into pooled buffers and recycles response outputs
+    /// through this handle.
+    pub fn buffer_pool(&self) -> Arc<BufferPool> {
+        Arc::clone(&self.core.pool)
     }
 
     /// Current queue depth (requests not yet dispatched to a worker).
@@ -880,19 +865,23 @@ impl Drop for ServeEngine {
 
 /// Answer one expired request with the typed deadline error and count it.
 /// No latency sample is recorded: expired requests must not skew the
-/// percentiles of the traffic that was actually served.
-fn expire_request(request: InferenceRequest, metrics: &MetricsRecorder, now: Instant) {
+/// percentiles of the traffic that was actually served. Returns the
+/// request's input tensor so the caller can recycle its buffer.
+fn expire_request(request: InferenceRequest, metrics: &MetricsRecorder, now: Instant) -> Tensor {
     metrics.record_deadline_exceeded();
     let waited_ms = now.duration_since(request.enqueued_at).as_secs_f64() * 1e3;
+    let InferenceRequest {
+        input, responder, ..
+    } = request;
     // The client may have given up; that is not the worker's problem.
-    let _ = request
-        .responder
-        .send(Err(ServeError::DeadlineExceeded { waited_ms }));
+    let _ = responder.send(Err(ServeError::DeadlineExceeded { waited_ms }));
+    input
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::DenseAlgorithm;
     use crate::serving_descriptor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -1193,27 +1182,6 @@ mod tests {
         // The same descriptor serves fine with the default algorithm.
         let ok = test_engine(&descriptor, &cache).unwrap();
         drop(ok);
-    }
-
-    #[test]
-    fn deprecated_start_shim_still_serves() {
-        let descriptor = serving_descriptor("engine-shim", 10, 4, 6);
-        let cache = PlanCache::new(2);
-        #[allow(deprecated)]
-        let engine = ServeEngine::start(&descriptor, &ServeConfig::default(), &cache).unwrap();
-        assert_eq!(engine.backend_name(), "cpu");
-        let response = engine.infer(Tensor::zeros(vec![10, 10, 4])).unwrap();
-        assert_eq!(response.output.dims(), &[6]);
-        #[allow(deprecated)]
-        let bad = ServeEngine::start(
-            &descriptor,
-            &ServeConfig {
-                workers: 0,
-                ..ServeConfig::default()
-            },
-            &cache,
-        );
-        assert!(bad.is_err());
     }
 
     #[test]

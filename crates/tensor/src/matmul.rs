@@ -1,22 +1,27 @@
-//! Cache-blocked, rayon-parallel matrix multiplication.
+//! Cache-blocked, register-tiled matrix multiplication.
 //!
 //! GEMM is the workhorse behind im2col convolution, the 1×1 convolutions of a
 //! Tucker-format layer, the fully-connected layers of the training substrate
-//! and the matricized products inside HOSVD. The implementation follows the
-//! standard blocked `i-k-j` loop order with the `i` blocks distributed over a
-//! rayon parallel iterator, which keeps the inner loop contiguous over both
-//! the `B` panel and the output row.
+//! and the matricized products inside HOSVD. The hot kernel is
+//! [`gemm_blocked_into`]: the output is tiled into [`GEMM_MR`]`×`[`GEMM_NR`]
+//! register blocks (row blocks distributed over a rayon parallel iterator)
+//! while the K loop stays **innermost and strictly sequential per output
+//! element**, so the f32 accumulation order — and therefore every bit-parity
+//! test in the tree — is identical to the straightforward `i-k-j` loop it
+//! replaced.
 //!
 //! # Accumulation-precision policy
 //!
 //! Every production kernel in this module — [`matmul`], [`matmul_at_b`],
-//! [`matmul_a_bt`], [`matvec`], [`gemm_into`] — accumulates in **f32**, the
-//! element type, matching what an f32 GPU GEMM without tensor-core f64
-//! escalation does and keeping GEMV bit-consistent with a GEMM against a
-//! one-column matrix (the serving layer relies on that equivalence when it
-//! batches FC layers). The sole exception is [`matmul_naive`], the *test
-//! reference*, which deliberately accumulates in f64 so comparisons against
-//! it measure the blocked kernels' rounding error instead of sharing it.
+//! [`matmul_a_bt`], [`matvec`], [`gemm_into`], [`gemm_blocked_into`] —
+//! accumulates in **f32**, the element type, matching what an f32 GPU GEMM
+//! without tensor-core f64 escalation does and keeping GEMV bit-consistent
+//! with a GEMM against a one-column matrix (the serving layer relies on that
+//! equivalence when it batches FC layers). The sole exception is
+//! `matmul_naive`, the *test reference* (gated behind `cfg(test)` / the
+//! `reference` feature), which deliberately accumulates in f64 so comparisons
+//! against it measure the blocked kernels' rounding error instead of sharing
+//! it.
 
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
@@ -28,6 +33,17 @@ const MC: usize = 64;
 const KC: usize = 256;
 /// Minimum number of output elements before the parallel path is used.
 const PAR_MIN_WORK: usize = 64 * 64;
+/// Register-tile height of [`gemm_blocked_into`] (rows of C per microkernel).
+pub const GEMM_MR: usize = 4;
+/// Register-tile width of [`gemm_blocked_into`] (columns of C per microkernel).
+///
+/// A 4×8 tile keeps the accumulator block (4 × one 8-float vector) plus the
+/// packed B row comfortably in registers and amortises each B-row load across
+/// four rows of A; wider tiles measured slower here because the accumulator
+/// block spills. The tile shape only decides which output elements are
+/// computed together — the K loop under every element stays sequential — so
+/// resizing it can never change result bits.
+pub const GEMM_NR: usize = 8;
 
 fn as_matrix_dims(t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -48,11 +64,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    gemm_into(a.data(), b.data(), &mut out, m, ka, n);
+    gemm_blocked_into(a.data(), b.data(), &mut out, m, ka, n);
     Tensor::from_vec(vec![m, n], out)
 }
 
-/// `C = A^T * B` without materialising the transpose.
+/// `C = A^T * B`.
+///
+/// Materialises the (cheap, pure-copy) transpose so the product itself runs
+/// through the register-tiled [`gemm_blocked_into`] kernel; per output
+/// element the sequence of f32 additions is identical to a direct
+/// column-strided loop, so results are bit-stable across the rewrite.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (ka, m) = as_matrix_dims(a)?;
     let (kb, n) = as_matrix_dims(b)?;
@@ -63,37 +84,9 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul_at_b",
         });
     }
-    // C(i,j) = sum_k A(k,i) B(k,j)
-    let a_data = a.data();
-    let b_data = b.data();
+    let at = transpose(a)?;
     let mut out = vec![0.0f32; m * n];
-    let do_row_block = |i0: usize, block: &mut [f32]| {
-        let rows = block.len() / n;
-        for k in 0..ka {
-            let brow = &b_data[k * n..(k + 1) * n];
-            for ii in 0..rows {
-                let aval = a_data[k * m + i0 + ii];
-                if aval == 0.0 {
-                    continue;
-                }
-                let crow = &mut block[ii * n..(ii + 1) * n];
-                for j in 0..n {
-                    crow[j] += aval * brow[j];
-                }
-            }
-        }
-    };
-    if m * n >= PAR_MIN_WORK {
-        out.par_chunks_mut(MC * n)
-            .enumerate()
-            .for_each(|(bi, block)| {
-                do_row_block(bi * MC, block);
-            });
-    } else {
-        for (bi, block) in out.chunks_mut(MC * n).enumerate() {
-            do_row_block(bi * MC, block);
-        }
-    }
+    gemm_blocked_into(at.data(), b.data(), &mut out, m, ka, n);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -205,9 +198,138 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
+/// Cache-blocked, register-tiled GEMM on slices: `c[m x n] = a[m x k] *
+/// b[k x n]`, row major, **overwrite** semantics (every element of `c` is
+/// stored, so `c` does not need to be zeroed first).
+///
+/// The output is tiled into [`GEMM_MR`]`×`[`GEMM_NR`] blocks whose
+/// accumulators live in registers; row blocks of `MC` rows are distributed
+/// over rayon. The K loop is innermost and **strictly sequential per output
+/// element**, so per element the sequence of f32 additions — and therefore
+/// the result bits — is identical to the straightforward `i-k-j` loop into a
+/// zeroed buffer (on finite inputs; see the zero-skip note in the kernel).
+pub fn gemm_blocked_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let row_block = |i0: usize, cblock: &mut [f32]| {
+        let rows = cblock.len() / n;
+        // A stack-resident packed copy of the current `KC x GEMM_NR` panel of
+        // B: the microkernel then streams B contiguously instead of striding
+        // `n` floats between consecutive K rows.
+        let mut bpack = [0.0f32; KC * GEMM_NR];
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = GEMM_NR.min(n - j0);
+            let mut k0 = 0;
+            while k0 < k {
+                let kb = KC.min(k - k0);
+                for kk in 0..kb {
+                    let src = (k0 + kk) * n + j0;
+                    bpack[kk * GEMM_NR..kk * GEMM_NR + nr].copy_from_slice(&b[src..src + nr]);
+                    // Zero the panel tail of a narrow (`nr < GEMM_NR`) panel:
+                    // the microkernel then runs its full NR-wide multiply-add
+                    // unconditionally — the extra lanes accumulate exact
+                    // zeros that are never stored — instead of falling back
+                    // to a scalar remainder loop. A skinny-N product (the
+                    // rank-4 Tucker stages are `n = 4`) vectorises exactly
+                    // like a full-width one.
+                    if nr < GEMM_NR {
+                        bpack[kk * GEMM_NR + nr..(kk + 1) * GEMM_NR].fill(0.0);
+                    }
+                }
+                let first = k0 == 0;
+                let mut r0 = 0;
+                while r0 < rows {
+                    let mr = GEMM_MR.min(rows - r0);
+                    // The accumulator tile *resumes* from the C values the
+                    // previous K block stored (instead of summing per-block
+                    // partials and adding them afterwards), so per output
+                    // element the f32 additions happen in exactly the
+                    // sequential k = 0..k order.
+                    let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+                    if mr == GEMM_MR {
+                        if !first {
+                            for (r, arow) in acc.iter_mut().enumerate() {
+                                let off = (r0 + r) * n + j0;
+                                arow[..nr].copy_from_slice(&cblock[off..off + nr]);
+                            }
+                        }
+                        // Full-height tile: fixed-extent, branch-free loops
+                        // so the accumulator block stays in vector registers
+                        // and each NR-wide multiply-add row vectorises (the
+                        // zero-padded panel tail covers `nr < GEMM_NR`
+                        // columns). There is
+                        // deliberately no `aval == 0.0` skip here: on finite
+                        // inputs `acc += ±0.0 * b` can never change a
+                        // +0.0-seeded f32 accumulator (and a running f32 sum
+                        // never becomes -0.0), so the unconditional form is
+                        // bit-identical to the skipping sequential loop while
+                        // keeping the inner loop free of data-dependent
+                        // branches.
+                        for kk in 0..kb {
+                            let brow = &bpack[kk * GEMM_NR..(kk + 1) * GEMM_NR];
+                            for (r, arow) in acc.iter_mut().enumerate() {
+                                let aval = a[(i0 + r0 + r) * k + k0 + kk];
+                                for (slot, &bv) in arow.iter_mut().zip(brow) {
+                                    *slot += aval * bv;
+                                }
+                            }
+                        }
+                        for (r, arow) in acc.iter().enumerate() {
+                            let off = (r0 + r) * n + j0;
+                            cblock[off..off + nr].copy_from_slice(&arow[..nr]);
+                        }
+                    } else {
+                        // Row-remainder tile (`mr < GEMM_MR`, bottom of C
+                        // only): same full-width inner loop, fewer rows.
+                        if !first {
+                            for (r, arow) in acc.iter_mut().enumerate().take(mr) {
+                                let off = (r0 + r) * n + j0;
+                                arow[..nr].copy_from_slice(&cblock[off..off + nr]);
+                            }
+                        }
+                        for kk in 0..kb {
+                            let brow = &bpack[kk * GEMM_NR..(kk + 1) * GEMM_NR];
+                            for (r, arow) in acc.iter_mut().enumerate().take(mr) {
+                                let aval = a[(i0 + r0 + r) * k + k0 + kk];
+                                for (slot, &bv) in arow.iter_mut().zip(brow) {
+                                    *slot += aval * bv;
+                                }
+                            }
+                        }
+                        for (r, arow) in acc.iter().enumerate().take(mr) {
+                            let off = (r0 + r) * n + j0;
+                            cblock[off..off + nr].copy_from_slice(&arow[..nr]);
+                        }
+                    }
+                    r0 += mr;
+                }
+                k0 += kb;
+            }
+            j0 += nr;
+        }
+    };
+
+    if m * n >= PAR_MIN_WORK {
+        c.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(bi, block)| row_block(bi * MC, block));
+    } else {
+        for (bi, block) in c.chunks_mut(MC * n).enumerate() {
+            row_block(bi * MC, block);
+        }
+    }
+}
+
 /// Naive triple-loop GEMM kept as a reference for tests. Unlike the
 /// production kernels it accumulates in f64 (see the module-level precision
 /// policy), so its rounding error is independent of theirs.
+#[cfg(any(test, feature = "reference"))]
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = as_matrix_dims(a)?;
     let (kb, n) = as_matrix_dims(b)?;

@@ -2,8 +2,9 @@
 //! round-trips and SVD invariants.
 
 use proptest::prelude::*;
+use proptest::sample::select;
 use rand::{rngs::StdRng, SeedableRng};
-use tdc_tensor::matmul::{matmul, matmul_naive, transpose};
+use tdc_tensor::matmul::{gemm_blocked_into, matmul, matmul_naive, transpose, GEMM_MR, GEMM_NR};
 use tdc_tensor::matricize::{fold, unfold};
 use tdc_tensor::svd::svd;
 use tdc_tensor::{init, linalg, ops};
@@ -13,14 +14,59 @@ fn seeded(seed: u64, dims: Vec<usize>) -> tdc_tensor::Tensor {
     init::uniform(dims, -1.0, 1.0, &mut rng)
 }
 
+/// Degenerate and off-by-one extents around a register-tile size:
+/// `{1, tile-1, tile, tile+1, 3*tile+7}`.
+fn tile_edge_sizes(tile: usize) -> Vec<usize> {
+    vec![1, tile - 1, tile, tile + 1, 3 * tile + 7]
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn blocked_gemm_matches_naive(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
         let a = seeded(seed, vec![m, k]);
         let b = seeded(seed.wrapping_add(1), vec![k, n]);
         let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_naive(&a, &b).unwrap();
+        prop_assert!(fast.relative_error(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn blocked_gemm_is_bit_stable_on_tile_edge_shapes(
+        m in select(tile_edge_sizes(GEMM_MR)),
+        k in select(tile_edge_sizes(GEMM_NR)),
+        n in select(tile_edge_sizes(GEMM_NR)),
+        seed in 0u64..1000,
+    ) {
+        // Degenerate / off-by-one shapes around the register-tile extents:
+        // the blocked kernel must be *bit-identical* to the straightforward
+        // sequential i-k-j f32 loop (same zero-skip, same accumulation
+        // order) — that is the invariant every fingerprint test in the tree
+        // leans on — and numerically within float tolerance of the
+        // f64-accumulating naive reference.
+        let a = seeded(seed, vec![m, k]);
+        let b = seeded(seed.wrapping_add(1), vec![k, n]);
+        let mut blocked = vec![0.0f32; m * n];
+        gemm_blocked_into(a.data(), b.data(), &mut blocked, m, k, n);
+        let mut sequential = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let aval = a.data()[i * k + kk];
+                if aval == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    sequential[i * n + j] += aval * b.data()[kk * n + j];
+                }
+            }
+        }
+        prop_assert_eq!(
+            blocked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            sequential.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "blocked GEMM diverged bitwise from sequential f32 loop at m={} k={} n={}", m, k, n
+        );
+        let fast = tdc_tensor::Tensor::from_vec(vec![m, n], blocked).unwrap();
         let slow = matmul_naive(&a, &b).unwrap();
         prop_assert!(fast.relative_error(&slow).unwrap() < 1e-4);
     }

@@ -12,7 +12,7 @@ use tdc_tucker::tkd::{project, tucker2};
 use tdc_tucker::tucker_conv::TuckerConv;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn tucker_factor_shapes_and_param_formula(c in 2usize..10, n in 2usize..10, d1 in 1usize..10, d2 in 1usize..10, seed in 0u64..1000) {

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 use tdc::tiling::{select_by_model, select_by_oracle};
-use tdc_conv::{direct, fft, im2col, layout, tdc_scheme, winograd, ConvShape, Tiling};
+use tdc_conv::{dispatch, layout, tdc_scheme, ConvShape, CpuConvAlgorithm, Tiling};
 use tdc_gpu_sim::DeviceSpec;
 use tdc_tensor::init;
 use tdc_tucker::{flops, tkd};
@@ -16,23 +16,26 @@ fn small_shape() -> impl Strategy<Value = ConvShape> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn all_convolution_algorithms_agree_with_the_direct_reference(shape in small_shape(), seed in 0u64..1000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let input = init::uniform(shape.input_dims(), -1.0, 1.0, &mut rng);
         let kernel = init::uniform(shape.kernel_dims(), -1.0, 1.0, &mut rng);
-        let reference = direct::conv2d(&input, &kernel, &shape).unwrap();
+        let reference = dispatch(CpuConvAlgorithm::Direct, &input, &kernel, &shape).unwrap();
 
-        let gemm = im2col::conv2d(&input, &kernel, &shape).unwrap();
-        prop_assert!(gemm.relative_error(&reference).unwrap() < 1e-3);
-
-        let wino = winograd::conv2d(&input, &kernel, &shape).unwrap();
-        prop_assert!(wino.relative_error(&reference).unwrap() < 1e-3);
-
-        let fft_out = fft::conv2d(&input, &kernel, &shape).unwrap();
-        prop_assert!(fft_out.relative_error(&reference).unwrap() < 1e-3);
+        for algorithm in [
+            CpuConvAlgorithm::Im2col,
+            CpuConvAlgorithm::Winograd,
+            CpuConvAlgorithm::Fft,
+        ] {
+            let out = dispatch(algorithm, &input, &kernel, &shape).unwrap();
+            prop_assert!(
+                out.relative_error(&reference).unwrap() < 1e-3,
+                "{algorithm} disagrees with the direct reference"
+            );
+        }
 
         let crsn = layout::cnrs_to_crsn(&kernel).unwrap();
         let tiling = Tiling::new(
