@@ -15,9 +15,11 @@
 //! call → `POST …/replan` at a new budget → infer on the new plan →
 //! `DELETE` it → assert later infers `404`), a QoS fairness pass (`PUT` a
 //! batch-class model, serve a mixed-class burst, assert `/metrics` labels
-//! both classes and carries the fleet executor's telemetry), and `/metrics`
-//! (including the control-plane lifecycle counters) — and exits non-zero on
-//! any failure, which is what CI runs.
+//! both classes and carries the fleet executor's telemetry), `/metrics`
+//! (including the control-plane lifecycle counters), and a controller pass
+//! (`POST /v1/models/{name}/tune` + `PUT`/`GET /v1/controller`, pinning
+//! that the daemon comes up with the `tdc-ctrl` driver installed) — and
+//! exits non-zero on any failure, which is what CI runs.
 //!
 //! Usage:
 //!
@@ -148,6 +150,10 @@ fn build_registry(
         }
         None => ModelRegistry::new(capacity),
     };
+    // The daemon comes up with the joint-knob controller installed, so
+    // `POST /v1/models/{name}/tune` and the `/v1/controller` watch loop
+    // work over plain HTTP on every replica a fleet spawns.
+    registry.set_tune_driver(Arc::new(tdc_ctrl::Controller::new()));
     for index in 0..n {
         let descriptor = serving_descriptor(&format!("svc-{index}"), 10 + 2 * index, 4, 6);
         let backend = if index % 2 == 0 {
@@ -491,6 +497,41 @@ fn smoke(server: &HttpServer) -> Result<(), String> {
         "  GET /metrics          -> 200 ({} bytes, lifecycle counters present)",
         metrics.len()
     );
+
+    // The controller pass: the daemon installs the tdc-ctrl driver at
+    // startup, so the joint-knob tune and the watch-loop config must both
+    // answer over plain HTTP. (Runs after the lifecycle-counter checks —
+    // an applied tune is one more replan.)
+    let name = &infos[0].name;
+    let reply = check(
+        200,
+        "POST",
+        &format!("/v1/models/{name}/tune"),
+        Some("{\"target_p99_ms\": 250.0}"),
+    )?;
+    let tuned: tdc_serve::TuneReport = serde_json::from_str(&reply)
+        .map_err(|e| format!("tune {name}: bad reply: {}", e.message))?;
+    if tuned.tuning_generation != 1 {
+        return Err(format!("tune did not record a generation: {reply}"));
+    }
+    let reply = check(
+        200,
+        "PUT",
+        "/v1/controller",
+        Some("{\"enabled\": true, \"interval_ms\": 500}"),
+    )?;
+    let status: tdc_serve::ControllerStatus = serde_json::from_str(&reply)
+        .map_err(|e| format!("PUT /v1/controller: bad reply: {}", e.message))?;
+    if !status.driver_attached || !status.config.enabled {
+        return Err(format!("controller driver missing on the daemon: {reply}"));
+    }
+    let reply = check(200, "GET", "/v1/controller", None)?;
+    let status: tdc_serve::ControllerStatus = serde_json::from_str(&reply)
+        .map_err(|e| format!("GET /v1/controller: bad reply: {}", e.message))?;
+    if status.tunes_total != 1 {
+        return Err(format!("controller did not record the tune: {reply}"));
+    }
+    println!("  POST /v1/models/{name}/tune + PUT/GET /v1/controller -> 200 (driver attached, tune recorded)");
     Ok(())
 }
 

@@ -15,6 +15,7 @@
 //! | 7 | `qos` phase |
 //! | 8 | `trace` phase (this crate's trace-driven workload engine) |
 //! | 9 | `kernels` section (blocked-GEMM tile dims, arena pool telemetry) |
+//! | 10 | `controller` phase (joint-knob tune convergence + drift retune trace) |
 //!
 //! [`validate`] accepts **any** historical version and checks the fields
 //! that version is required to carry — so `serve_bench --check-schema`
@@ -26,10 +27,10 @@
 use serde_json::Value;
 
 /// The schema version the benchmark currently writes.
-pub const CURRENT_SCHEMA_VERSION: u32 = 9;
+pub const CURRENT_SCHEMA_VERSION: u32 = 10;
 
 /// When each optional section entered the schema.
-const SECTIONS: [(&str, u32); 7] = [
+const SECTIONS: [(&str, u32); 8] = [
     ("multi_model", 3),
     ("http", 4),
     ("autotune", 5),
@@ -37,6 +38,7 @@ const SECTIONS: [(&str, u32); 7] = [
     ("qos", 7),
     ("trace", 8),
     ("kernels", 9),
+    ("controller", 10),
 ];
 
 fn is_present(artifact: &Value, key: &str) -> bool {
@@ -263,6 +265,33 @@ pub fn validate(artifact: &Value) -> Result<u32, String> {
             "kernels",
         )?;
     }
+    if is_present(artifact, "controller") {
+        let controller = artifact.get("controller").unwrap();
+        require(
+            controller,
+            &[
+                "model",
+                "target_p99_ms",
+                "knobs_before",
+                "knobs_after",
+                "untuned_p99_ms",
+                "untuned_throughput_rps",
+                "tuned_p99_ms",
+                "tuned_throughput_rps",
+                "converged",
+                "drift_retunes",
+                "p99_trajectory",
+            ],
+            "controller",
+        )?;
+        let trajectory = controller
+            .get("p99_trajectory")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| "controller.p99_trajectory must be an array".to_string())?;
+        if trajectory.is_empty() {
+            return Err("controller.p99_trajectory must not be empty".into());
+        }
+    }
 
     Ok(version)
 }
@@ -348,6 +377,20 @@ mod tests {
                 r#""kernels": {"gemm_tile_mr": 4, "gemm_tile_nr": 8,
                     "arena_high_water_f32": 65536, "arena_allocated_buffers": 24,
                     "arena_hit_rate": 0.99, "allocs_per_request": 0.1}"#
+                    .to_string(),
+            );
+        }
+        if version >= 10 {
+            parts.push(
+                r#""controller": {"model": "m", "target_p99_ms": 5.0,
+                    "knobs_before": {"flops_budget": 0.5, "max_batch_size": 8,
+                        "max_batch_delay_us": 2000, "fair_share_weight": 1},
+                    "knobs_after": {"flops_budget": 0.5, "max_batch_size": 16,
+                        "max_batch_delay_us": 1000, "fair_share_weight": 1},
+                    "untuned_p99_ms": 6.0, "untuned_throughput_rps": 100.0,
+                    "tuned_p99_ms": 4.0, "tuned_throughput_rps": 140.0,
+                    "converged": true, "drift_retunes": 1,
+                    "p99_trajectory": [6.0, 4.0, 4.1]}"#
                     .to_string(),
             );
         }

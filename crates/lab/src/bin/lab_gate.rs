@@ -16,10 +16,19 @@
 //!   `LAB_GATE_MIN_THROUGHPUT_FRAC` (default 0.25) of baseline or fresh
 //!   p99 exceeds `LAB_GATE_MAX_P99_FRAC` (default 4.0) times baseline.
 //!
+//! * **`--trend` adds a history report.** The last
+//!   `LAB_GATE_TREND_WINDOW` (default 3) committed revisions of the
+//!   baseline artifact are pulled out of git history and each wall-clock
+//!   field's drift direction — improving, steady, degrading — is printed
+//!   for the fresh run against the committed record. Trend output is
+//!   advisory (it never flips the exit code: commits land on
+//!   heterogeneous machines, so history is context, not a gate) and
+//!   degrades to a note when git or the file's history is unavailable.
+//!
 //! Usage:
 //!
 //! ```text
-//! lab_gate --baseline BENCH_serve.json --fresh target/BENCH_serve_fresh.json
+//! lab_gate --baseline BENCH_serve.json --fresh target/BENCH_serve_fresh.json [--trend]
 //! ```
 //!
 //! Both artifacts must validate against the schema they declare and must
@@ -55,6 +64,11 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn bool_flag(name: &str, env: &str) -> bool {
+    std::env::args().any(|a| a == name)
+        || std::env::var(env).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 fn load(label: &str, path: &str) -> Value {
@@ -114,6 +128,104 @@ fn num_field(section: &Value, key: &str) -> f64 {
         })
 }
 
+/// Run git with `args` and return stdout, or `None` when git is missing,
+/// the cwd is not a repository, or the invocation fails for any reason —
+/// the trend report treats every failure shape as "no history".
+fn git_output(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// The last `window` committed revisions of `path`, newest first, as
+/// `(short-sha, artifact)` pairs. Revisions that no longer parse or
+/// validate (ancient schemas, merge debris) are skipped, not fatal.
+fn baseline_history(path: &str, window: usize) -> Option<Vec<(String, Value)>> {
+    // `git show` wants a path relative to the repository root, whatever
+    // the cwd or the --baseline spelling.
+    let toplevel = git_output(&["rev-parse", "--show-toplevel"])?;
+    let rel = match std::path::Path::new(path).strip_prefix(toplevel.trim()) {
+        Ok(stripped) => stripped.to_str()?.to_string(),
+        Err(_) => {
+            let prefix = git_output(&["rev-parse", "--show-prefix"])?;
+            format!("{}{}", prefix.trim(), path)
+        }
+    };
+    let log = git_output(&["log", "-n", &window.to_string(), "--format=%H", "--", &rel])?;
+    let mut history = Vec::new();
+    for sha in log.split_whitespace() {
+        let Some(text) = git_output(&["show", &format!("{sha}:{rel}")]) else {
+            continue;
+        };
+        let Ok(value) = serde_json::parse_value(&text) else {
+            continue;
+        };
+        if artifact::validate(&value).is_err() {
+            continue;
+        }
+        if matches!(value.get("trace"), Some(section) if !matches!(section, Value::Null)) {
+            history.push((sha[..sha.len().min(10)].to_string(), value));
+        }
+    }
+    Some(history)
+}
+
+/// Which way `fresh` drifts against the committed mean: within 10% is
+/// steady; beyond that the sign is read through `higher_is_better`.
+fn drift_direction(fresh: f64, mean: f64, higher_is_better: bool) -> &'static str {
+    if mean <= 0.0 {
+        return "n/a";
+    }
+    let delta = (fresh - mean) / mean;
+    if delta.abs() <= 0.10 {
+        "steady"
+    } else if (delta > 0.0) == higher_is_better {
+        "improving"
+    } else {
+        "degrading"
+    }
+}
+
+/// The `--trend` report: fresh wall-clock metrics against the last
+/// `window` committed baselines, per field, with a drift direction.
+/// Advisory only — the exit code is owned by the two-artifact gate.
+fn trend_report(baseline_path: &str, fresh_trace: &Value, window: usize) {
+    println!("lab_gate: trend over the last {window} committed baseline(s)");
+    let Some(history) = baseline_history(baseline_path, window) else {
+        println!("  (git history unavailable for {baseline_path}; trend skipped)");
+        return;
+    };
+    if history.is_empty() {
+        println!("  (no committed revisions of {baseline_path} carry a trace section)");
+        return;
+    }
+    for (sha, _) in &history {
+        println!("  committed {sha}");
+    }
+    // (field, higher-is-better): a throughput drop and a p99 rise both
+    // read as "degrading".
+    for (key, higher_is_better) in [("throughput_rps", true), ("p99_ms", false)] {
+        let committed: Vec<f64> = history
+            .iter()
+            .map(|(_, value)| num_field(trace_section("committed", value), key))
+            .collect();
+        let mean = committed.iter().sum::<f64>() / committed.len() as f64;
+        let fresh = num_field(fresh_trace, key);
+        let trail = committed
+            .iter()
+            .rev() // oldest -> newest, matching reading order
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        println!(
+            "  {key:<16} committed {trail} (mean {mean:.1}), fresh {fresh:.1}  [{}]",
+            drift_direction(fresh, mean, higher_is_better)
+        );
+    }
+}
+
 struct Gate {
     checks: u64,
     failures: u64,
@@ -162,6 +274,8 @@ fn main() {
     let fresh_path = flag("--fresh", "LAB_GATE_FRESH", "target/BENCH_serve_fresh.json");
     let min_throughput_frac = env_f64("LAB_GATE_MIN_THROUGHPUT_FRAC", 0.25);
     let max_p99_frac = env_f64("LAB_GATE_MAX_P99_FRAC", 4.0);
+    let trend = bool_flag("--trend", "LAB_GATE_TREND");
+    let trend_window = env_f64("LAB_GATE_TREND_WINDOW", 3.0).max(1.0) as usize;
 
     println!("lab_gate: comparing artifacts");
     let baseline = load("baseline", &baseline_path);
@@ -213,6 +327,10 @@ fn main() {
         p99_b <= 0.0 || p99_f <= p99_b * max_p99_frac,
         &format!("<= {max_p99_frac}x baseline"),
     );
+
+    if trend {
+        trend_report(&baseline_path, fresh_trace, trend_window);
+    }
 
     if gate.failures > 0 {
         eprintln!(

@@ -5,7 +5,7 @@
 //! way to surface queueing delay), prints throughput and latency
 //! percentiles, demonstrates at least one plan-cache hit via a warm engine
 //! restart, and records everything as a `BENCH_serve.json` artifact
-//! (schema 9) so later changes can track the serving-performance trajectory.
+//! (schema 10) so later changes can track the serving-performance trajectory.
 //!
 //! Modes (composable):
 //!
@@ -52,9 +52,20 @@
 //!   sheds separate) and the completed-output fingerprint. Two runs of the
 //!   same spec produce identical request streams — the deterministic core
 //!   the `lab_gate` regression gate compares.
+//! * `--controller` — adds the joint-knob controller phase: one sim-GPU
+//!   model registered with a deliberately sluggish batching window, tuned
+//!   by the `tdc-ctrl` coordinate-descent controller against a
+//!   measured-latency SLO (all four knobs: budget, batch size, batch
+//!   delay, fair-share weight), then browned out with an injected backend
+//!   delay so the next controller tick detects drift and re-tunes through
+//!   the zero-drop swap path. The artifact's `controller` section records
+//!   the knob movement, the measured p99 trajectory (untuned → tuned →
+//!   drifted → recovered) and the drift/retune counters. The SLO defaults
+//!   to half the untuned measured p99 and can be pinned with
+//!   `SERVE_BENCH_TARGET_P99_MS`.
 //! * `--check-schema` — no benchmark: read the existing artifact and
 //!   validate it against whatever `schema_version` it declares (every
-//!   historical version 1..=9 is understood; see `tdc_lab::artifact`).
+//!   historical version 1..=10 is understood; see `tdc_lab::artifact`).
 //!   CI runs this after the bench smoke steps to catch schema drift
 //!   between the writer and its consumers.
 //!
@@ -62,7 +73,7 @@
 //!
 //! ```text
 //! serve_bench [--backend cpu|sim-gpu|both] [--models N] [--deadline-ms D]
-//!             [--keep-alive] [--autotune] [--router] [--qos]
+//!             [--keep-alive] [--autotune] [--router] [--qos] [--controller]
 //!             [--trace spec.json] [--check-schema]
 //! ```
 //!
@@ -102,10 +113,10 @@ use tdc_tensor::init;
 const EXPECTED_SCHEMA_VERSION: u32 = tdc_lab::artifact::CURRENT_SCHEMA_VERSION;
 
 /// The `BENCH_serve.json` schema, versioned so later PRs can extend it.
-/// Schema 9 (over 8): a `kernels` section — the blocked-GEMM register tile
-/// dims and the CPU backend's arena pool telemetry (high-water checkout,
-/// hit rate, fresh allocations per request), pinning the zero-allocation
-/// hot-path property in the artifact trajectory.
+/// Schema 10 (over 9): a `controller` section — the joint-knob tune's
+/// before/after knob sets, the measured p99 trajectory across the phase's
+/// stages and the drift-triggered re-tune count, pinning the control
+/// loop's convergence in the artifact trajectory.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ServeBenchArtifact {
     schema_version: u32,
@@ -126,6 +137,46 @@ struct ServeBenchArtifact {
     qos: Option<QosRun>,
     trace: Option<TraceRun>,
     kernels: Option<KernelsRun>,
+    controller: Option<ControllerRun>,
+}
+
+/// The `--controller` phase (schema 10): the joint-knob tune against a
+/// measured SLO, plus one injected brown-out caught by the drift check.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ControllerRun {
+    /// The model the controller tuned.
+    model: String,
+    /// The SLO the search aimed at, ms.
+    target_p99_ms: f64,
+    /// The knob set the model was registered with.
+    knobs_before: tdc_serve::KnobSet,
+    /// The knob set the search applied.
+    knobs_after: tdc_serve::KnobSet,
+    /// Measured p99 before the tune, ms.
+    untuned_p99_ms: f64,
+    /// Measured closed-loop throughput before the tune, req/s.
+    untuned_throughput_rps: f64,
+    /// Measured p99 on the tuned knobs, ms.
+    tuned_p99_ms: f64,
+    /// Measured closed-loop throughput on the tuned knobs, req/s.
+    tuned_throughput_rps: f64,
+    /// Did the search meet the SLO (by its calibrated estimate)?
+    converged: bool,
+    /// Were the winning knobs hot-swapped in?
+    applied: bool,
+    /// Coordinate-descent probes the search evaluated.
+    probes: u64,
+    /// The model's tuning generation at the end of the phase (>= 2: the
+    /// explicit tune plus the drift-triggered re-tune).
+    tuning_generation: u64,
+    /// Drift events the controller recorded for the model.
+    drift_events: u64,
+    /// Re-tunes triggered by the drift tick (>= 1 by construction).
+    drift_retunes: u64,
+    /// Deadline-aware early batch releases observed across the phase.
+    early_releases: u64,
+    /// Measured p99 per stage: untuned, tuned, drifted, recovered; ms.
+    p99_trajectory: Vec<f64>,
 }
 
 /// The CPU hot-path kernel telemetry (schema 9): blocked-GEMM tile shape
@@ -1172,6 +1223,178 @@ fn run_autotune(s: &BenchSettings) -> AutotuneRun {
     run
 }
 
+/// The `--controller` phase: register one sim-GPU model with a deliberately
+/// sluggish 12 ms batch-formation delay, let the `tdc-ctrl` coordinate
+/// descent tune all four knobs against a measured-latency SLO, then inject
+/// a backend brown-out so the next controller tick detects the drift and
+/// re-tunes through the zero-drop swap path. Every stage's p99 is measured
+/// with closed-loop traffic, so the artifact records real convergence, not
+/// just the simulator's opinion of it.
+fn run_controller_phase(s: &BenchSettings) -> ControllerRun {
+    use tdc_lab::fault::FaultInjector;
+    use tdc_serve::{ControllerConfig, TuneRequest};
+
+    let registry = ModelRegistry::new(4);
+    registry.set_tune_driver(Arc::new(tdc_ctrl::Controller::new()));
+    registry
+        .set_controller_config(ControllerConfig {
+            min_samples: 16,
+            ..ControllerConfig::default()
+        })
+        .expect("set controller config");
+
+    let injector = FaultInjector::new();
+    let descriptor = serving_descriptor("svc-ctrl", 12, 8, 10);
+    let name = descriptor.slug();
+    registry
+        .register(
+            &name,
+            &descriptor,
+            ModelConfig {
+                planning: s.planning.clone(),
+                batching: BatchingOptions {
+                    max_batch_size: 8,
+                    // Deliberately sluggish: closed-loop traffic never fills
+                    // a batch, so every request eats the full formation delay
+                    // and the tuner has real latency to claw back.
+                    max_batch_delay: Duration::from_millis(12),
+                    ..BatchingOptions::default()
+                },
+                runtime: RuntimeOptions {
+                    workers: s.workers,
+                    backend: BackendKind::SimGpu,
+                    ..RuntimeOptions::default()
+                },
+                backend_wrapper: Some(
+                    Arc::new(injector.clone()) as Arc<dyn tdc_serve::BackendWrapper>
+                ),
+            },
+        )
+        .expect("register controller model");
+
+    // Closed-loop measurement against whichever engine currently serves
+    // the model (re-fetched per stage, so post-swap stages measure the
+    // swapped-in engine, not the retired one).
+    let measure = |label: &str, requests: u64| -> (f64, f64) {
+        let engine = registry.engine(&name).expect("controller model engine");
+        engine.reset_metrics();
+        let mut rng = StdRng::seed_from_u64(0x0c17);
+        let started = Instant::now();
+        for _ in 0..requests {
+            registry
+                .infer(&name, init::uniform(vec![12, 12, 8], -1.0, 1.0, &mut rng))
+                .expect("controller phase inference");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let p99 = engine.metrics().total_latency.p99_ms;
+        let throughput = requests as f64 / elapsed.max(1e-9);
+        println!("  {label:<9} : measured p99 {p99:.3} ms, {throughput:.0} req/s ({requests} closed-loop requests)");
+        (p99, throughput)
+    };
+
+    println!("\n== controller phase: joint-knob tune + drift re-tune ==");
+    let (untuned_p99_ms, untuned_throughput_rps) = measure("untuned", 48);
+
+    // The SLO: half the untuned measured p99 unless the operator pinned
+    // one. The untuned plan misses a derived target by construction, so
+    // the search has real work to do.
+    let pinned_target = std::env::var("SERVE_BENCH_TARGET_P99_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let target_derived = pinned_target.is_none();
+    let target_p99_ms = pinned_target.unwrap_or(untuned_p99_ms * 0.5);
+    println!("  SLO target: p99 {target_p99_ms:.3} ms");
+
+    // Tune before resetting anything: the 48 untuned samples seed the
+    // search's measurement calibration.
+    let report = registry
+        .tune(
+            &name,
+            &TuneRequest {
+                target_p99_ms: Some(target_p99_ms),
+                ..TuneRequest::default()
+            },
+        )
+        .expect("joint-knob tune");
+    println!(
+        "  tune: {} probe(s), knobs {:?} -> {:?} (estimated p99 {:.3} ms, converged {}, applied {})",
+        report.probes.len(),
+        report.before,
+        report.after,
+        report.estimated_p99_ms,
+        report.converged,
+        report.applied
+    );
+    if target_derived {
+        assert!(
+            report.converged,
+            "halving a 12 ms formation delay must reach a half-p99 target"
+        );
+    } else if !report.converged {
+        println!("  note: pinned target is not reachable; recording the non-converged trace");
+    }
+
+    let (tuned_p99_ms, tuned_throughput_rps) = measure("tuned", 48);
+
+    // Brown-out: stall every batch 20 ms. Measured p99 blows through the
+    // drift band around the tune's expected p99 and the next tick must
+    // both record the drift and re-tune the model.
+    injector.arm_delays(10_000, Duration::from_millis(20));
+    let (drifted_p99_ms, _) = measure("drifted", 24);
+    let tick = registry.controller_tick();
+    println!(
+        "  tick: examined {}, drifted {:?}, retuned {:?} (injected {} stall(s))",
+        tick.examined,
+        tick.drifted,
+        tick.retuned,
+        injector.injected_delays()
+    );
+    assert_eq!(tick.drifted, vec![name.clone()], "the brown-out must drift");
+    assert_eq!(tick.retuned, vec![name.clone()], "a drifted model re-tunes");
+    let drift_retunes = tick.retuned.len() as u64;
+
+    injector.disarm();
+    let (recovered_p99_ms, _) = measure("recovered", 24);
+
+    let status = registry.controller_status();
+    let model_status = status
+        .models
+        .iter()
+        .find(|m| m.model == name)
+        .expect("controller state for the tuned model")
+        .clone();
+    println!(
+        "  state: tuning generation {}, {} drift event(s), {} early release(s)",
+        model_status.tuning_generation, model_status.drift_events, model_status.early_releases
+    );
+
+    let run = ControllerRun {
+        model: name,
+        target_p99_ms,
+        knobs_before: report.before,
+        knobs_after: report.after,
+        untuned_p99_ms,
+        untuned_throughput_rps,
+        tuned_p99_ms,
+        tuned_throughput_rps,
+        converged: report.converged,
+        applied: report.applied,
+        probes: report.probes.len() as u64,
+        tuning_generation: model_status.tuning_generation,
+        drift_events: model_status.drift_events,
+        drift_retunes,
+        early_releases: model_status.early_releases,
+        p99_trajectory: vec![
+            untuned_p99_ms,
+            tuned_p99_ms,
+            drifted_p99_ms,
+            recovered_p99_ms,
+        ],
+    };
+    registry.shutdown();
+    run
+}
+
 /// The `--qos` phase: one model per QoS class — `interactive`, `standard`,
 /// `batch` — behind one registry, every batch scheduled by the registry's
 /// shared fleet executor. Clients interleave traffic across the three
@@ -1637,6 +1860,7 @@ fn main() {
     let autotune = bool_flag("--autotune");
     let router_mode = bool_flag("--router");
     let qos_mode = bool_flag("--qos");
+    let controller_mode = bool_flag("--controller");
     let trace_spec = flag_or_env("--trace", "SERVE_BENCH_TRACE");
 
     let descriptor = serving_descriptor("svc-mini", 16, 8, 10);
@@ -1713,6 +1937,11 @@ fn main() {
     } else {
         None
     };
+    let controller = if controller_mode {
+        Some(run_controller_phase(&settings))
+    } else {
+        None
+    };
     let trace = trace_spec.map(|path| run_trace_phase(&path, &settings));
 
     // The top-level model field names what was actually benchmarked: the
@@ -1736,6 +1965,7 @@ fn main() {
         qos,
         trace,
         kernels,
+        controller,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
     std::fs::write(&out_path, json).expect("write artifact");
@@ -1813,6 +2043,35 @@ fn main() {
             trace.events,
             "every trace event belongs to a phase"
         );
+    }
+    if let Some(ctrl) = &artifact.controller {
+        assert_eq!(
+            ctrl.p99_trajectory.len(),
+            4,
+            "the trajectory records untuned, tuned, drifted and recovered"
+        );
+        assert!(
+            ctrl.drift_retunes >= 1,
+            "the injected brown-out never triggered a drift re-tune"
+        );
+        assert!(
+            ctrl.tuning_generation >= 2,
+            "the explicit tune plus the drift re-tune must both be recorded"
+        );
+        if ctrl.converged {
+            assert!(
+                ctrl.tuned_p99_ms <= ctrl.target_p99_ms,
+                "tuned measured p99 {:.3} ms misses the SLO {:.3} ms",
+                ctrl.tuned_p99_ms,
+                ctrl.target_p99_ms
+            );
+            assert!(
+                ctrl.tuned_throughput_rps >= ctrl.untuned_throughput_rps,
+                "tuning must not cost closed-loop throughput ({:.0} -> {:.0} req/s)",
+                ctrl.untuned_throughput_rps,
+                ctrl.tuned_throughput_rps
+            );
+        }
     }
     if let Some(tune) = &artifact.autotune {
         assert!(

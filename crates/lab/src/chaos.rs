@@ -24,11 +24,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tdc_router::testkit::{self, drain_replica, fleet_config, hammer, manual_probe_options};
-use tdc_router::RoutingPolicy;
-use tdc_serve::http::{http_request, InferBody, InferReply};
+use tdc_router::{Router, RoutingPolicy};
+use tdc_serve::http::{http_request, route_full, InferBody, InferReply};
 use tdc_serve::{
-    serving_descriptor, BatchingOptions, ModelConfig, ModelRegistry, PlanCache, PlanningOptions,
-    ServeError,
+    serving_descriptor, BatchingOptions, HttpHandler, HttpServer, ModelConfig, ModelRegistry,
+    PlanCache, PlanningOptions, RoutedResponse, ServeError,
 };
 use tdc_tensor::Tensor;
 
@@ -290,6 +290,165 @@ pub fn replica_kill_mid_drain_masked() -> ChaosReport {
         typed_failures: 0,
         outcome: format!(
             "180 hammered + 2 probes answered across kill/restart, {} failover(s)",
+            metrics.failovers_total
+        ),
+    }
+}
+
+/// An [`HttpHandler`] that stalls every request — health probes included —
+/// by the armed duration before delegating to the stock registry route
+/// table. The HTTP-level analogue of [`FaultInjector::arm_delays`]
+/// (`crate::fault::FaultInjector`): that models a slow *backend* inside
+/// one engine, this models a slow *replica* as the router observes one.
+struct SlowHandler {
+    registry: Arc<ModelRegistry>,
+    stall_ms: AtomicU64,
+}
+
+impl HttpHandler for SlowHandler {
+    fn handle(&self, method: &str, path: &str, body: &str) -> RoutedResponse {
+        let stall = self.stall_ms.load(Ordering::SeqCst);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
+        route_full(&self.registry, method, path, body)
+    }
+}
+
+/// Slow-replica brown-out behind the router: one replica of a
+/// three-replica fleet starts stalling every request — its health probe
+/// included — well past the prober's timeout. Nothing dies and nothing
+/// errors, so this pins ejection on *latency alone*: the prober must
+/// count timed-out probes as failed sweeps and eject at `eject_after`,
+/// routed traffic must come back fast and bit-identical from the healthy
+/// pair, and once the stall clears the replica must be readmitted.
+pub fn slow_replica_ejected_on_latency() -> ChaosReport {
+    const MODEL: &str = "chaos-slow";
+    let descriptor = serving_descriptor(MODEL, 10, 4, 6);
+    let config = fleet_config();
+
+    // Replica 0 binds through the stalling handler so the brown-out
+    // covers the whole HTTP surface — a backend-level delay fault would
+    // leave `/healthz` fast and the prober blind to it.
+    let slow_registry = ModelRegistry::new(2);
+    slow_registry
+        .register(MODEL, &descriptor, config.clone())
+        .expect("register slow replica");
+    let slow = Arc::new(SlowHandler {
+        registry: Arc::new(slow_registry),
+        stall_ms: AtomicU64::new(0),
+    });
+    let slow_server = HttpServer::bind_with_handler("127.0.0.1:0", Arc::clone(&slow) as _)
+        .expect("bind slow replica");
+
+    let healthy: Vec<HttpServer> = (0..2)
+        .map(|_| testkit::bind_replica("127.0.0.1:0", MODEL, &descriptor, config.clone()))
+        .collect();
+    let mut addrs = vec![slow_server.local_addr()];
+    addrs.extend(healthy.iter().map(|s| s.local_addr()));
+    let options = manual_probe_options(RoutingPolicy::LeastLoaded);
+    let probe_timeout = options.probe_timeout;
+    let router = Arc::new(Router::new(&addrs, options));
+    let front = HttpServer::bind_with_handler("127.0.0.1:0", Arc::clone(&router) as _)
+        .expect("bind router front end");
+    let front_addr = front.local_addr();
+
+    let probe = |n: usize| {
+        for _ in 0..n {
+            router.probe_once();
+        }
+    };
+    probe(2);
+    assert!(
+        router.metrics().replicas.iter().all(|r| r.healthy),
+        "slow-replica: the fleet must start healthy"
+    );
+
+    let input = vec![0.75f32; 10 * 10 * 4];
+    let infer = |label: &str| -> Vec<f32> {
+        let body = serde_json::to_string(&InferBody {
+            input: input.clone(),
+            dims: None,
+            deadline_ms: None,
+        })
+        .expect("serialize infer body");
+        let (status, reply) = http_request(
+            &front_addr,
+            "POST",
+            &format!("/v1/models/{MODEL}/infer"),
+            Some(&body),
+        )
+        .unwrap_or_else(|e| panic!("slow-replica: {label} infer transport error: {e}"));
+        assert_eq!(status, 200, "slow-replica: {label} infer failed: {reply}");
+        let reply: InferReply = serde_json::from_str(&reply).expect("parse infer reply");
+        reply.output
+    };
+    let before = infer("pre-stall");
+
+    // The brown-out: every request to replica 0 now stalls for three
+    // probe timeouts. Two sweeps (eject_after) later it must be out.
+    slow.stall_ms
+        .store(probe_timeout.as_millis() as u64 * 3, Ordering::SeqCst);
+    probe(2);
+    let metrics = router.metrics();
+    assert_eq!(
+        metrics.ejections_total, 1,
+        "slow-replica: latency alone must eject: {metrics:?}"
+    );
+    assert!(
+        !metrics.replicas[0].healthy,
+        "slow-replica: the stalled replica must leave the rotation"
+    );
+
+    // The healthy pair carries routed traffic — fast (the stalled
+    // replica is no longer a candidate) and bit-identical.
+    let started = std::time::Instant::now();
+    let during = infer("mid-stall");
+    assert!(
+        started.elapsed() < probe_timeout,
+        "slow-replica: routed traffic still touches the stalled replica"
+    );
+    assert_eq!(
+        before, during,
+        "slow-replica: failover output drifted from pre-stall"
+    );
+
+    // Heal: the stall clears and readmit_after clean sweeps readmit.
+    slow.stall_ms.store(0, Ordering::SeqCst);
+    probe(2);
+    let metrics = router.metrics();
+    assert_eq!(
+        metrics.readmissions_total, 1,
+        "slow-replica: the healed replica must be readmitted: {metrics:?}"
+    );
+    assert!(
+        metrics.replicas.iter().all(|r| r.healthy),
+        "slow-replica: fleet not fully healthy after the heal"
+    );
+    let after = infer("post-heal");
+    assert_eq!(
+        before, after,
+        "slow-replica: post-heal output drifted from pre-stall"
+    );
+
+    router.stop();
+    front.stop();
+    for server in healthy {
+        drain_replica(server);
+    }
+    slow_server.stop();
+    let slow = Arc::try_unwrap(slow).unwrap_or_else(|_| panic!("slow handler still shared"));
+    let registry =
+        Arc::try_unwrap(slow.registry).unwrap_or_else(|_| panic!("slow registry still shared"));
+    registry.shutdown();
+
+    ChaosReport {
+        scenario: "slow-replica",
+        requests: 3,
+        typed_failures: 0,
+        outcome: format!(
+            "ejected on probe latency after 2 sweeps, served bit-identically \
+             from the healthy pair, readmitted after heal ({} failover(s))",
             metrics.failovers_total
         ),
     }

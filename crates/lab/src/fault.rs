@@ -10,16 +10,23 @@
 //! config, a plan hot-swap re-applies it to the rebuilt engine and the
 //! handle keeps working across replans.
 //!
-//! Two fault shapes, matching the two ways a real executor dies:
+//! Three fault shapes, matching the ways a real executor degrades:
 //!
 //! * **panic** — `forward_batch` panics, exercising the engine's
 //!   worker-side unwind containment;
 //! * **error storm** — `forward_batch` returns typed
 //!   `ServeError::ExecutionFailed`, exercising the per-request failure
-//!   path.
+//!   path;
+//! * **delay** — `forward_batch` stalls for a scripted duration before
+//!   delegating: the replica stays *correct* but slow, which is how
+//!   brown-outs actually present. Delay faults raise measured latency
+//!   without corrupting outputs, so they exercise latency-driven
+//!   machinery (controller drift detection, probe-timeout ejection)
+//!   rather than the error paths.
 //!
 //! Either way the invariant under test is the same: clients only ever
-//! see *typed* errors, and the engine's counters still reconcile.
+//! see *typed* errors (or slow successes), and the engine's counters
+//! still reconcile.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -37,6 +44,8 @@ enum FaultMode {
     Panic(u32),
     /// Fail the next `n` batches with `ExecutionFailed`.
     Error(u32),
+    /// Stall the next `n` batches for `delay_ms` before delegating.
+    Delay(u32, u64),
 }
 
 #[derive(Debug)]
@@ -44,6 +53,7 @@ struct FaultState {
     mode: Mutex<FaultMode>,
     injected_panics: AtomicU64,
     injected_errors: AtomicU64,
+    injected_delays: AtomicU64,
 }
 
 /// Control handle + [`BackendWrapper`] for scripted backend faults.
@@ -64,6 +74,7 @@ impl FaultInjector {
                 mode: Mutex::new(FaultMode::Off),
                 injected_panics: AtomicU64::new(0),
                 injected_errors: AtomicU64::new(0),
+                injected_delays: AtomicU64::new(0),
             }),
         }
     }
@@ -87,6 +98,15 @@ impl FaultInjector {
     /// next `count` batches, then disarm itself.
     pub fn arm_errors(&self, count: u32) {
         self.set_mode(FaultMode::Error(count));
+    }
+
+    /// Arm the injector to stall `forward_batch` for `delay` on each of
+    /// the next `count` batches, then disarm itself. Outputs stay
+    /// bit-correct — the batch is merely late — so this is the brown-out
+    /// fault: it drives measured p99 up for latency-sensitive machinery
+    /// (controller drift, slow-replica ejection) without error noise.
+    pub fn arm_delays(&self, count: u32, delay: std::time::Duration) {
+        self.set_mode(FaultMode::Delay(count, delay.as_millis() as u64));
     }
 
     /// Disarm any remaining fault budget.
@@ -113,6 +133,11 @@ impl FaultInjector {
     /// Batches failed with injected typed errors so far.
     pub fn injected_errors(&self) -> u64 {
         self.state.injected_errors.load(Ordering::Relaxed)
+    }
+
+    /// Batches stalled by injected delays so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.state.injected_delays.load(Ordering::Relaxed)
     }
 }
 
@@ -165,6 +190,14 @@ impl FaultBackend {
                 };
                 FaultMode::Error(n)
             }
+            FaultMode::Delay(n, delay_ms) => {
+                *guard = if n > 1 {
+                    FaultMode::Delay(n - 1, delay_ms)
+                } else {
+                    FaultMode::Off
+                };
+                FaultMode::Delay(n, delay_ms)
+            }
         }
     }
 }
@@ -197,6 +230,11 @@ impl ExecutionBackend for FaultBackend {
                     reason: "injected fault: scripted backend error".into(),
                 })
             }
+            FaultMode::Delay(_, delay_ms) => {
+                self.state.injected_delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                self.inner.forward_batch(inputs)
+            }
         }
     }
 
@@ -226,6 +264,35 @@ mod tests {
         assert!(injector.is_idle());
         assert_eq!(injector.injected_panics(), 2);
         assert!(backend.forward_batch(&[]).is_ok(), "healed: pass-through");
+    }
+
+    #[test]
+    fn delay_budget_stalls_then_passes_through_bit_correct() {
+        let injector = FaultInjector::new();
+        injector.arm_delays(1, std::time::Duration::from_millis(40));
+        let backend = injector.wrap(Arc::new(NullBackend));
+        let input = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+
+        let started = std::time::Instant::now();
+        let slow = backend.forward_batch(&[&input]).expect("delayed batch");
+        assert!(
+            started.elapsed() >= std::time::Duration::from_millis(40),
+            "armed delay must stall the batch"
+        );
+        assert_eq!(
+            slow.outputs[0].data(),
+            input.data(),
+            "a delayed batch must still be bit-correct"
+        );
+        assert_eq!(injector.injected_delays(), 1);
+        assert!(injector.is_idle(), "delay budget must drain");
+
+        let started = std::time::Instant::now();
+        backend.forward_batch(&[&input]).expect("healed batch");
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(40),
+            "healed batches must not stall"
+        );
     }
 
     #[test]

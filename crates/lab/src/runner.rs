@@ -198,6 +198,9 @@ pub fn replay(
                 match &fault.action {
                     FaultAction::BackendPanic { count, .. } => injector.arm_panics(*count),
                     FaultAction::BackendError { count, .. } => injector.arm_errors(*count),
+                    FaultAction::BackendDelay {
+                        count, delay_ms, ..
+                    } => injector.arm_delays(*count, Duration::from_millis(*delay_ms)),
                 }
             }
             next_fault += 1;

@@ -126,6 +126,17 @@ pub enum FaultAction {
         /// Number of consecutive batches to fail.
         count: u32,
     },
+    /// Stall the model's `forward_batch` for `delay_ms` on each of the
+    /// next `count` batches — a brown-out: outputs stay bit-correct,
+    /// only measured latency degrades.
+    BackendDelay {
+        /// Target model name.
+        model: String,
+        /// Number of consecutive batches to stall.
+        count: u32,
+        /// Stall per batch, in milliseconds.
+        delay_ms: u64,
+    },
 }
 
 /// One scripted fault event, fired when the trace clock passes `at_ms`.
@@ -302,9 +313,20 @@ impl FaultSpec {
         let action = match kind.as_str() {
             "backend-panic" => FaultAction::BackendPanic { model, count },
             "backend-error" => FaultAction::BackendError { model, count },
+            "backend-delay" => {
+                let delay_ms = unsigned(value, "delay_ms", ctx)?;
+                if delay_ms == 0 {
+                    return Err(format!("{ctx}: delay_ms must be >= 1"));
+                }
+                FaultAction::BackendDelay {
+                    model,
+                    count,
+                    delay_ms,
+                }
+            }
             other => Err(format!(
                 "{ctx}: unknown fault kind {other:?} \
-                 (expected backend-panic or backend-error)"
+                 (expected backend-panic, backend-error or backend-delay)"
             ))?,
         };
         Ok(FaultSpec { at_ms, action })
@@ -315,9 +337,9 @@ impl FaultAction {
     /// The model this fault targets.
     pub fn model(&self) -> &str {
         match self {
-            FaultAction::BackendPanic { model, .. } | FaultAction::BackendError { model, .. } => {
-                model
-            }
+            FaultAction::BackendPanic { model, .. }
+            | FaultAction::BackendError { model, .. }
+            | FaultAction::BackendDelay { model, .. } => model,
         }
     }
 }

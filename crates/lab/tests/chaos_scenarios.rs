@@ -34,6 +34,17 @@ fn replica_kill_mid_drain_is_masked_by_the_router() {
 }
 
 #[test]
+fn slow_replica_is_ejected_on_latency_and_readmitted_after_heal() {
+    let report = chaos::slow_replica_ejected_on_latency();
+    assert_eq!(report.scenario, "slow-replica");
+    assert_eq!(
+        report.typed_failures, 0,
+        "a brown-out must not surface as client failures"
+    );
+    assert!(report.requests > 0);
+}
+
+#[test]
 fn plan_spill_dir_loss_degrades_to_memory_only() {
     let report = chaos::spill_dir_loss_survives();
     assert_eq!(report.scenario, "spill-dir-loss");

@@ -74,6 +74,8 @@ struct Counters {
     fleet_retires: AtomicU64,
     fleet_replans: AtomicU64,
     fleet_autotunes: AtomicU64,
+    fleet_tunes: AtomicU64,
+    fleet_controller_updates: AtomicU64,
 }
 
 struct Shared {
@@ -141,6 +143,10 @@ pub struct RouterMetrics {
     pub fleet_replans_total: u64,
     /// Rolling autotune fan-outs.
     pub fleet_autotunes_total: u64,
+    /// Rolling controller-tune fan-outs (`POST .../tune`).
+    pub fleet_tunes_total: u64,
+    /// Watch-loop config fan-outs (`PUT /v1/controller`).
+    pub fleet_controller_updates_total: u64,
 }
 
 /// `GET /healthz` payload of the router tier. Mirrors the replica
@@ -324,6 +330,8 @@ impl Router {
             fleet_retires_total: c.fleet_retires.load(Ordering::SeqCst),
             fleet_replans_total: c.fleet_replans.load(Ordering::SeqCst),
             fleet_autotunes_total: c.fleet_autotunes.load(Ordering::SeqCst),
+            fleet_tunes_total: c.fleet_tunes.load(Ordering::SeqCst),
+            fleet_controller_updates_total: c.fleet_controller_updates.load(Ordering::SeqCst),
         }
     }
 
@@ -533,6 +541,47 @@ impl Router {
         };
         RoutedResponse::json(overall, &reply)
     }
+
+    /// Aggregate a read-only GET across the whole fleet into a
+    /// [`FleetReply`]: every replica is asked (nothing halts the walk) and
+    /// each answer rides back verbatim in its replica's row.
+    fn fleet_collect(&self, path: &str) -> RoutedResponse {
+        let snapshot = self.shared.replicas.load();
+        let mut replies = Vec::with_capacity(snapshot.len());
+        let mut overall: u16 = 200;
+        for replica in snapshot.iter() {
+            match replica.request("GET", path, None, self.options.request_timeout) {
+                Ok((status, _, reply)) => {
+                    if status != 200 && overall == 200 {
+                        overall = status;
+                    }
+                    replies.push(FleetReplicaReply {
+                        id: replica.id() as u64,
+                        addr: replica.addr().to_string(),
+                        status,
+                        body: reply,
+                    });
+                }
+                Err(error) => {
+                    replica.note_data_error();
+                    if overall == 200 {
+                        overall = 502;
+                    }
+                    replies.push(FleetReplicaReply {
+                        id: replica.id() as u64,
+                        addr: replica.addr().to_string(),
+                        status: 0,
+                        body: error_body(format!("replica unreachable: {error}")),
+                    });
+                }
+            }
+        }
+        let reply = FleetReply {
+            ok: overall == 200,
+            replicas: replies,
+        };
+        RoutedResponse::json(overall, &reply)
+    }
 }
 
 impl HttpHandler for Router {
@@ -542,6 +591,18 @@ impl HttpHandler for Router {
             ("GET", "/healthz") => RoutedResponse::json(200, &self.health()),
             ("GET", "/metrics") => RoutedResponse::json(200, &self.metrics()),
             ("GET", "/v1/models") => self.forward_read("/v1/models"),
+            // Controller status is aggregated, not proxied: the reply
+            // carries every replica's own status block so an operator sees
+            // per-replica tuning generations and drift counters side by
+            // side.
+            ("GET", "/v1/controller") => self.fleet_collect("/v1/controller"),
+            ("PUT", "/v1/controller") => self.fleet_apply(
+                method,
+                path,
+                Some(body),
+                false,
+                &counters.fleet_controller_updates,
+            ),
             ("POST", "/admin/shutdown") => {
                 self.shutdown.request();
                 RoutedResponse::json(200, &ShuttingDown::new())
@@ -559,6 +620,13 @@ impl HttpHandler for Router {
                         true,
                         &counters.fleet_autotunes,
                     )
+                } else if action_path(post_path, "/tune").is_some() {
+                    // Controller tunes roll one replica at a time, halting
+                    // at the first failure: each replica runs its own
+                    // measured-latency-calibrated search and hot-swaps its
+                    // own engines, so at most one member is ever
+                    // mid-rotation.
+                    self.fleet_apply(method, post_path, Some(body), true, &counters.fleet_tunes)
                 } else {
                     RoutedResponse::error(404, format!("no route for POST {post_path}"))
                 }

@@ -30,8 +30,9 @@ const MAX_SMALL_BIN_DEPTH: usize = 1024;
 /// Number of power-of-two size classes (class `i` holds capacity `2^i`).
 const CLASSES: usize = usize::BITS as usize;
 
-/// Cumulative telemetry for one [`BufferPool`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Cumulative telemetry for one [`BufferPool`]. Serializable so the
+/// registry can surface every engine's arena behavior in `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct PoolStats {
     /// Fresh `Vec<f32>` allocations performed by the pool (monotonic).
     pub allocated_buffers: u64,

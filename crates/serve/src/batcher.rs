@@ -12,7 +12,14 @@
 //!
 //! * **batch assembly** — a forming batch never waits past the earliest
 //!   deadline among the requests it would dispatch, so one urgent request
-//!   releases the batch instead of idling out the full delay;
+//!   releases the batch instead of idling out the full delay. When the
+//!   engine has published an **execution-time estimate** (the backend's
+//!   full-batch `latency_report`, see
+//!   [`BatchQueue::set_exec_estimate`]), the release is pulled further in
+//!   to `deadline − estimated_exec_time`: the batch ships while there is
+//!   still time to *run* it, so a deadline bounds the answer, not merely
+//!   the dequeue — deadline enforcement and batch-delay tuning share one
+//!   latency model;
 //! * **dequeue** — requests whose deadline has already passed are split out
 //!   of the dispatched batch ([`DequeuedBatch::expired`]) before any executor
 //!   work is spent on them. The worker answers them with
@@ -35,6 +42,7 @@
 
 use crate::{Result, ServeError};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -135,6 +143,23 @@ pub struct BatchQueue {
     max_batch_size: usize,
     max_batch_delay: Duration,
     max_queue_depth: usize,
+    /// Estimated execution time of a full batch, nanoseconds. Zero (the
+    /// default) disables deadline-aware early release and reproduces the
+    /// plain release-at-deadline behavior.
+    exec_estimate_ns: AtomicU64,
+    /// Dispatches whose release was pulled in to `deadline − est_exec`
+    /// while the delay horizon had not yet passed — deadline-aware *early*
+    /// releases (plain deadline expiries are not counted).
+    early_releases: AtomicU64,
+}
+
+/// The release verdict for the currently forming batch: when it must ship,
+/// whether a member deadline (minus the execution estimate) pulled that
+/// instant in, and the plain delay horizon it was pulled from.
+struct ReleaseVerdict {
+    at: Instant,
+    deadline_pulled: bool,
+    delay_horizon: Instant,
 }
 
 impl BatchQueue {
@@ -153,7 +178,32 @@ impl BatchQueue {
             max_batch_size: max_batch_size.max(1),
             max_batch_delay,
             max_queue_depth: max_queue_depth.max(1),
+            exec_estimate_ns: AtomicU64::new(0),
+            early_releases: AtomicU64::new(0),
         }
+    }
+
+    /// Publish the estimated execution time of a full batch (typically the
+    /// backend's `latency_report` at `max_batch_size`). With an estimate in
+    /// place, a forming batch with a member deadline releases at
+    /// `deadline − estimate` instead of at the deadline itself, so the
+    /// batch ships while there is still time to execute it.
+    /// [`Duration::ZERO`] disables early release.
+    pub fn set_exec_estimate(&self, estimate: Duration) {
+        let ns = u64::try_from(estimate.as_nanos()).unwrap_or(u64::MAX);
+        self.exec_estimate_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The published full-batch execution estimate ([`Duration::ZERO`] when
+    /// early release is disabled).
+    pub fn exec_estimate(&self) -> Duration {
+        Duration::from_nanos(self.exec_estimate_ns.load(Ordering::Relaxed))
+    }
+
+    /// How many dispatches were released early at `deadline − est_exec`
+    /// (while the plain delay horizon had not yet passed).
+    pub fn early_releases(&self) -> u64 {
+        self.early_releases.load(Ordering::Relaxed)
     }
 
     fn state(&self) -> MutexGuard<'_, QueueState> {
@@ -265,16 +315,54 @@ impl BatchQueue {
     /// oldest request's enqueue time plus `max_batch_delay`, pulled earlier
     /// by any deadline among the requests that would be dispatched (the
     /// first `max_batch_size` in FIFO order) — a batch never waits past its
-    /// earliest member's deadline.
-    fn release_at(&self, state: &QueueState) -> Option<Instant> {
+    /// earliest member's deadline. With a published execution estimate the
+    /// deadline pull happens `est_exec` ahead of the deadline, so the batch
+    /// ships with enough time left to actually run.
+    fn release_verdict(&self, state: &QueueState) -> Option<ReleaseVerdict> {
         let oldest = state.fifo.front()?;
-        let mut release = oldest.enqueued_at + self.max_batch_delay;
+        let estimate = self.exec_estimate();
+        let delay_horizon = oldest.enqueued_at + self.max_batch_delay;
+        let mut release = delay_horizon;
+        let mut deadline_pulled = false;
         for request in state.fifo.iter().take(self.max_batch_size) {
             if let Some(deadline) = request.deadline {
-                release = release.min(deadline);
+                let ship_by = if estimate.is_zero() {
+                    deadline
+                } else {
+                    // An estimate larger than the deadline's distance into
+                    // the monotonic clock means "ship immediately": fall
+                    // back to the (already passed) enqueue instant.
+                    deadline.checked_sub(estimate).unwrap_or(oldest.enqueued_at)
+                };
+                if ship_by < release {
+                    release = ship_by;
+                    deadline_pulled = !estimate.is_zero();
+                }
             }
         }
-        Some(release)
+        Some(ReleaseVerdict {
+            at: release,
+            deadline_pulled,
+            delay_horizon,
+        })
+    }
+
+    fn release_at(&self, state: &QueueState) -> Option<Instant> {
+        self.release_verdict(state).map(|verdict| verdict.at)
+    }
+
+    /// Count a dispatch as an early release when it ships an under-full
+    /// batch on an open queue because a deadline (minus the execution
+    /// estimate) pulled the release in ahead of the delay horizon.
+    fn note_early_release(&self, state: &QueueState, take: usize, now: Instant) {
+        if take >= self.max_batch_size || state.closed {
+            return;
+        }
+        if let Some(verdict) = self.release_verdict(state) {
+            if verdict.deadline_pulled && now < verdict.delay_horizon {
+                self.early_releases.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Pull the next batch, blocking until one is available. Returns `None`
@@ -320,6 +408,7 @@ impl BatchQueue {
             let take = state.fifo.len().min(self.max_batch_size);
             if take > 0 {
                 let now = Instant::now();
+                self.note_early_release(&state, take, now);
                 let (expired, live): (Vec<_>, Vec<_>) = state
                     .fifo
                     .drain(..take)
@@ -362,6 +451,7 @@ impl BatchQueue {
         }
         let take = state.fifo.len().min(self.max_batch_size);
         let now = Instant::now();
+        self.note_early_release(&state, take, now);
         let (expired, live): (Vec<_>, Vec<_>) = state
             .fifo
             .drain(..take)
@@ -673,6 +763,60 @@ mod tests {
             _ => panic!("a closed queue dispatches its remainder immediately"),
         }
         assert!(matches!(queue.try_next_batch(), TryBatch::Closed));
+    }
+
+    #[test]
+    fn release_is_pulled_to_deadline_minus_the_exec_estimate() {
+        let queue = BatchQueue::new(4, Duration::from_secs(60), usize::MAX);
+        queue.set_exec_estimate(Duration::from_millis(40));
+        assert_eq!(queue.exec_estimate(), Duration::from_millis(40));
+        let (req, _rx) = request_with_deadline(0, Some(Duration::from_secs(30)));
+        let deadline = req.deadline.unwrap();
+        queue.push(req).unwrap();
+        match queue.try_next_batch() {
+            TryBatch::NotReady(release) => {
+                assert_eq!(
+                    release,
+                    deadline - Duration::from_millis(40),
+                    "the release must be the deadline minus the execution estimate"
+                );
+            }
+            _ => panic!("inside the pulled window the batch is still forming"),
+        }
+        assert_eq!(queue.early_releases(), 0, "nothing has dispatched yet");
+    }
+
+    #[test]
+    fn an_early_release_ships_live_requests_and_is_counted() {
+        // The estimate covers the whole distance to the deadline, so the
+        // pulled release instant is already in the past: the very next poll
+        // dispatches, the request is still LIVE (its deadline has not
+        // passed), and the dispatch is counted as an early release — all
+        // without a single sleep.
+        let queue = BatchQueue::new(4, Duration::from_secs(60), usize::MAX);
+        queue.set_exec_estimate(Duration::from_secs(30));
+        let (req, _rx) = request_with_deadline(0, Some(Duration::from_secs(20)));
+        queue.push(req).unwrap();
+        match queue.try_next_batch() {
+            TryBatch::Batch(batch) => {
+                assert_eq!(batch.live.len(), 1, "the request must ship live");
+                assert!(batch.expired.is_empty());
+            }
+            _ => panic!("a pulled release in the past must dispatch immediately"),
+        }
+        assert_eq!(queue.early_releases(), 1);
+        // Without deadlines the estimate changes nothing: still NotReady at
+        // the plain delay horizon.
+        let (plain, _rx2) = request(1);
+        let enqueued_at = plain.enqueued_at;
+        queue.push(plain).unwrap();
+        match queue.try_next_batch() {
+            TryBatch::NotReady(release) => {
+                assert_eq!(release, enqueued_at + Duration::from_secs(60));
+            }
+            _ => panic!("a deadline-free batch keeps the delay horizon"),
+        }
+        assert_eq!(queue.early_releases(), 1, "no further early release");
     }
 
     #[test]

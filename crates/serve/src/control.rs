@@ -36,10 +36,28 @@
 //!   — then apply the winning budget through the same hot-swap path. See
 //!   [`ControlPlane::autotune`] for the p99 estimator and search contract.
 //!
+//! * **Controller substrate** — the multi-dimensional SLO controller
+//!   (`tdc-ctrl`) plugs in here: [`ControlPlane::reconfigure_with`]
+//!   generalizes the replan hot-swap to the *whole* [`ModelConfig`] (budget,
+//!   batch size, batch delay, fair-share weight swap together, zero-drop),
+//!   [`ControlPlane::estimate_knobs`] scores an arbitrary [`KnobSet`] on the
+//!   wave simulator, and a [`TuneDriver`] installed via
+//!   [`ControlPlane::set_tune_driver`] supplies the search itself
+//!   (dependency-inverted so `tdc-serve` never depends on the controller
+//!   crate). [`ControlPlane::watch`] runs the background watch loop on a
+//!   dedicated thread: every tick compares each model's live measured p99
+//!   against the controller's calibrated estimate and re-tunes through the
+//!   driver when the drift leaves the configured band
+//!   ([`ControllerConfig::drift_band_frac`]). Ticks are injectable
+//!   ([`ControlPlane::controller_tick_with`]) so tests drive the loop with a
+//!   scripted metric feed and a paused clock.
+//!
 //! Everything here is driven over HTTP by [`crate::http`]'s admin routes
 //! (`PUT`/`DELETE /v1/models/{name}`, `POST /v1/models/{name}/replan`,
-//! `POST /v1/models/{name}/autotune`) and surfaced in `GET /metrics` as the
-//! table epoch plus register/retire/replan/autotune counters.
+//! `POST /v1/models/{name}/autotune`, `POST /v1/models/{name}/tune`,
+//! `GET`/`PUT /v1/controller`) and surfaced in `GET /metrics` as the
+//! table epoch plus register/retire/replan/autotune counters and the
+//! controller status block.
 
 use crate::batcher::PendingResponse;
 use crate::options::PlanningOptions;
@@ -50,7 +68,7 @@ use crate::{Result, ServeError};
 use std::collections::BTreeMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 use tdc::lowering::lower_plan_with_fc;
 use tdc::TdcPipeline;
@@ -377,6 +395,322 @@ pub struct AutotuneReport {
     pub probes: Vec<AutotuneProbe>,
 }
 
+/// The four knobs the SLO controller tunes jointly, extracted from (and
+/// applicable to) a [`ModelConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KnobSet {
+    /// FLOPs-reduction budget the compression plan is selected under.
+    pub flops_budget: f64,
+    /// Dynamic batcher's maximum batch size.
+    pub max_batch_size: usize,
+    /// Dynamic batcher's maximum formation delay, microseconds.
+    pub max_batch_delay_us: u64,
+    /// Fair-share weight on the fleet executor (`RuntimeOptions::workers`).
+    pub fair_share_weight: usize,
+}
+
+impl KnobSet {
+    /// The knob values a config currently serves with.
+    pub fn of(config: &ModelConfig) -> Self {
+        KnobSet {
+            flops_budget: config.planning.budget,
+            max_batch_size: config.batching.max_batch_size,
+            max_batch_delay_us: config.batching.max_batch_delay.as_micros() as u64,
+            fair_share_weight: config.runtime.fair_share_weight(),
+        }
+    }
+
+    /// `config` with these knob values written in (everything else kept).
+    pub fn apply_to(&self, mut config: ModelConfig) -> ModelConfig {
+        config.planning.budget = self.flops_budget;
+        config.batching.max_batch_size = self.max_batch_size;
+        config.batching.max_batch_delay = Duration::from_micros(self.max_batch_delay_us);
+        config.runtime.workers = self.fair_share_weight;
+        config
+    }
+}
+
+/// Wave-simulator scoring of one [`KnobSet`] candidate.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KnobEstimate {
+    /// Simulated execution time of one full batch, ms.
+    pub exec_ms: f64,
+    /// Modelled p99: full-batch service time plus the maximum batching wait
+    /// — the tail a saturated open-loop workload converges to.
+    pub p99_ms: f64,
+    /// Modelled saturated throughput: `max_batch_size × weight / exec_ms`,
+    /// requests per second.
+    pub throughput_rps: f64,
+}
+
+/// Parameters of one controller tune ([`ControlPlane::tune`], driven by the
+/// installed [`TuneDriver`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TuneRequest {
+    /// The SLO: target measured p99, ms. `None` reuses the model's recorded
+    /// target (or derives one from the current operating point).
+    pub target_p99_ms: Option<f64>,
+    /// Whether to apply the winning knobs via the zero-drop hot-swap path.
+    pub apply: bool,
+    /// Coordinate-descent round budget.
+    pub max_rounds: u64,
+}
+
+impl Default for TuneRequest {
+    fn default() -> Self {
+        TuneRequest {
+            target_p99_ms: None,
+            apply: true,
+            max_rounds: 3,
+        }
+    }
+}
+
+/// One knob candidate the tuner evaluated, in probe order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TuneProbe {
+    /// Coordinate-descent round (1-based).
+    pub round: u64,
+    /// Which knob this candidate varied.
+    pub knob: String,
+    /// The candidate knob values.
+    pub candidate: KnobSet,
+    /// Calibrated p99 estimate for the candidate, ms.
+    pub estimated_p99_ms: f64,
+    /// Modelled saturated throughput for the candidate, rps.
+    pub estimated_throughput_rps: f64,
+    /// Whether the candidate met the target SLO.
+    pub feasible: bool,
+    /// Whether the candidate became the incumbent.
+    pub accepted: bool,
+}
+
+/// The outcome of one controller tune, serialized verbatim as the
+/// `POST /v1/models/{name}/tune` reply and recorded in `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TuneReport {
+    /// Routed model name.
+    pub model: String,
+    /// The SLO the tune targeted, ms.
+    pub target_p99_ms: f64,
+    /// Knob values before the tune.
+    pub before: KnobSet,
+    /// Winning knob values.
+    pub after: KnobSet,
+    /// Live measured p99 that seeded the search, ms (`None` when the model
+    /// had no samples yet and the search ran on the raw model).
+    pub measured_p99_ms: Option<f64>,
+    /// Measured/modelled scale factor applied to every estimate (1.0
+    /// without measurements).
+    pub calibration: f64,
+    /// Calibrated p99 estimate at `after`, ms — the controller's objective
+    /// value, and what the watch loop compares live p99 against.
+    pub estimated_p99_ms: f64,
+    /// Modelled saturated throughput at `after`, rps.
+    pub estimated_throughput_rps: f64,
+    /// Whether `after` meets the target SLO.
+    pub converged: bool,
+    /// Whether the winning knobs were applied via the hot-swap path.
+    pub applied: bool,
+    /// The model's plan generation after the tune (bumped iff applied).
+    pub generation: u64,
+    /// The model's controller tuning generation after this tune.
+    pub tuning_generation: u64,
+    /// Every candidate the coordinate descent evaluated, in probe order.
+    pub probes: Vec<TuneProbe>,
+}
+
+/// The knob search itself, installed by the controller crate
+/// ([`ControlPlane::set_tune_driver`]). Dependency-inverted: `tdc-serve`
+/// defines the contract and owns the ledger; `tdc-ctrl` supplies the
+/// coordinate descent. The driver receives the plane so it can score
+/// candidates ([`ControlPlane::estimate_knobs`]) and apply winners
+/// ([`ControlPlane::reconfigure_with`]).
+pub trait TuneDriver: Send + Sync {
+    /// Run one tune for `model` and return its report. Implementations must
+    /// not call [`ControlPlane::tune`] (that is the caller) but may use any
+    /// other plane method.
+    fn tune(&self, plane: &ControlPlane, model: &str, request: &TuneRequest) -> Result<TuneReport>;
+}
+
+/// Watch-loop configuration, read live by the background thread on every
+/// tick (a `PUT /v1/controller` takes effect without a restart).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControllerConfig {
+    /// Whether the watch loop acts on its ticks. A disabled loop still
+    /// sleeps and polls the config, so enabling is instant.
+    pub enabled: bool,
+    /// Milliseconds between watch ticks.
+    pub interval_ms: u64,
+    /// Re-tune when `|measured_p99 − expected_p99| / expected_p99` exceeds
+    /// this band.
+    pub drift_band_frac: f64,
+    /// Ignore models with fewer recorded latency samples than this — a
+    /// freshly swapped engine must first serve enough traffic for its p99
+    /// to mean anything.
+    pub min_samples: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            enabled: false,
+            interval_ms: 1000,
+            drift_band_frac: 0.5,
+            min_samples: 32,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Reject non-actionable values before they reach the watch loop.
+    pub fn validate(&self) -> Result<()> {
+        if self.interval_ms == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "controller interval_ms must be positive".into(),
+            });
+        }
+        if !self.drift_band_frac.is_finite() || self.drift_band_frac <= 0.0 {
+            return Err(ServeError::BadConfig {
+                reason: "controller drift_band_frac must be finite and positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One model's live measurement, as fed into a controller tick — scraped
+/// from the engine's own metrics on real ticks, scripted in tests.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeasuredSlo {
+    /// Measured median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// Measured p99 end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Latency samples behind the percentiles.
+    pub samples: u64,
+}
+
+impl MeasuredSlo {
+    /// Extract the controller's view from an engine metrics snapshot.
+    pub fn of(metrics: &crate::metrics::ServeMetrics) -> Self {
+        MeasuredSlo {
+            p50_ms: metrics.total_latency.p50_ms,
+            p99_ms: metrics.total_latency.p99_ms,
+            samples: metrics.total_latency.count as u64,
+        }
+    }
+}
+
+/// What one controller tick did — returned to tests and the watch loop.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TickReport {
+    /// Models whose measurements were examined (enough samples + a tuned
+    /// baseline to compare against).
+    pub examined: u64,
+    /// Models whose measured p99 left the drift band this tick.
+    pub drifted: Vec<String>,
+    /// Models the tick re-tuned through the driver (a drifted model without
+    /// an installed driver records the drift but cannot re-tune).
+    pub retuned: Vec<String>,
+}
+
+/// Per-model controller state, as surfaced in `GET /v1/controller` and
+/// `/metrics`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelControllerStatus {
+    /// Routed model name.
+    pub model: String,
+    /// Controller tuning generation (bumped once per recorded tune).
+    pub tuning_generation: u64,
+    /// The SLO the last tune targeted, ms (0 before the first tune).
+    pub target_p99_ms: f64,
+    /// The controller's calibrated p99 estimate for the serving config, ms
+    /// — what live p99 is drift-checked against.
+    pub expected_p99_ms: f64,
+    /// The last tune's objective value, ms.
+    pub last_objective_ms: f64,
+    /// The measured p99 most recently seen by a tick or tune, ms.
+    pub last_measured_p99_ms: f64,
+    /// Drift-band violations recorded for this model.
+    pub drift_events: u64,
+    /// Deadline-aware early batch releases on the model's current engine.
+    pub early_releases: u64,
+    /// The knob values the model currently serves with.
+    pub knobs: KnobSet,
+}
+
+/// Controller status snapshot: watch-loop config plus per-model state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControllerStatus {
+    /// The live watch-loop configuration.
+    pub config: ControllerConfig,
+    /// Whether a [`TuneDriver`] is installed.
+    pub driver_attached: bool,
+    /// Number of running watch threads (0 or 1 in practice).
+    pub watchers: u64,
+    /// Watch ticks executed over the process lifetime.
+    pub ticks_total: u64,
+    /// Controller tunes recorded over the process lifetime.
+    pub tunes_total: u64,
+    /// Drift-band violations recorded over the process lifetime.
+    pub drift_events_total: u64,
+    /// Per-model controller state, in name order.
+    pub models: Vec<ModelControllerStatus>,
+}
+
+/// Ledger entry backing [`ModelControllerStatus`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ModelControlState {
+    tuning_generation: u64,
+    target_p99_ms: f64,
+    expected_p99_ms: f64,
+    last_objective_ms: f64,
+    last_measured_p99_ms: f64,
+    drift_events: u64,
+}
+
+/// The controller's bookkeeping: watch config plus per-model tune state.
+/// Owned by the plane (not the driver) so `/metrics` serializes it without
+/// a dependency on the controller crate.
+#[derive(Default)]
+struct ControllerLedger {
+    config: ControllerConfig,
+    models: BTreeMap<String, ModelControlState>,
+}
+
+/// Handle to a running [`ControlPlane::watch`] thread. Dropping it (or
+/// calling [`ControllerWatch::stop`]) signals the loop and joins the thread,
+/// so the watch can never outlive its owner's scope.
+pub struct ControllerWatch {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControllerWatch {
+    /// Signal the loop to exit and join its thread. Idempotent.
+    pub fn stop(&mut self) {
+        {
+            let (lock, cvar) = &*self.stop;
+            let mut stopped = match lock.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *stopped = true;
+            cvar.notify_all();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ControllerWatch {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
 fn fingerprint_hex(fingerprint: u64) -> String {
     format!("{fingerprint:016x}")
 }
@@ -456,6 +790,17 @@ pub struct ControlPlane {
     drained_completed_total: AtomicU64,
     /// Deadline expiries on since-drained engines (same role).
     drained_deadline_exceeded_total: AtomicU64,
+    /// The installed knob-search implementation (`tdc-ctrl`'s coordinate
+    /// descent). `None` until an embedder attaches one; tune requests then
+    /// fail typed (→ HTTP 400) instead of silently no-oping.
+    driver: Mutex<Option<Arc<dyn TuneDriver>>>,
+    /// Watch-loop config plus per-model tune state.
+    controller: Mutex<ControllerLedger>,
+    controller_ticks_total: AtomicU64,
+    controller_tunes_total: AtomicU64,
+    controller_drift_events_total: AtomicU64,
+    /// Live [`ControlPlane::watch`] threads (0 or 1 in practice).
+    watchers: AtomicU64,
 }
 
 impl ControlPlane {
@@ -486,6 +831,12 @@ impl ControlPlane {
             autotune_runs_total: AtomicU64::new(0),
             drained_completed_total: AtomicU64::new(0),
             drained_deadline_exceeded_total: AtomicU64::new(0),
+            driver: Mutex::new(None),
+            controller: Mutex::new(ControllerLedger::default()),
+            controller_ticks_total: AtomicU64::new(0),
+            controller_tunes_total: AtomicU64::new(0),
+            controller_drift_events_total: AtomicU64::new(0),
+            watchers: AtomicU64::new(0),
         }
     }
 
@@ -742,6 +1093,25 @@ impl ControlPlane {
         name: &str,
         update: impl FnOnce(PlanningOptions) -> PlanningOptions,
     ) -> Result<ReplanReport> {
+        self.reconfigure_with(name, move |mut config| {
+            config.planning = update(config.planning);
+            config
+        })
+    }
+
+    /// The fully general zero-drop hot-swap: derive a whole replacement
+    /// [`ModelConfig`] from the route's current one **under the writer
+    /// lock**, build a fresh engine from it, swap it in under the same route
+    /// and drain the old engine — exactly [`ControlPlane::replan_with`], but
+    /// over every option group at once. This is the controller's apply path:
+    /// a tune that moves the FLOPs budget, batch size, batch delay and
+    /// fair-share weight together lands them in one swap (one generation
+    /// bump, one drain) instead of four.
+    pub fn reconfigure_with(
+        &self,
+        name: &str,
+        update: impl FnOnce(ModelConfig) -> ModelConfig,
+    ) -> Result<ReplanReport> {
         let (old_entry, new_budget, new_fingerprint, plan_outcome, generation, epoch) = {
             let _writer = self.writer();
             let current = self.table.load();
@@ -750,9 +1120,10 @@ impl ControlPlane {
                     name: name.to_string(),
                 });
             };
-            let mut config = old.config.clone();
-            config.planning = update(config.planning.clone());
+            let config = update(old.config.clone());
             config.planning.validate()?;
+            config.batching.validate()?;
+            config.runtime.validate()?;
             let generation = old.info.generation + 1;
             let mut entry = self.build_entry(name, &old.descriptor, config, generation)?;
             // The route-level telemetry belongs to the route, not the
@@ -826,9 +1197,36 @@ impl ControlPlane {
     }
 
     fn estimate_for(&self, entry: &RegisteredModel, budget: f64) -> Result<f64> {
+        let mut knobs = KnobSet::of(&entry.config);
+        knobs.flops_budget = budget;
+        Ok(self.estimate_entry(entry, &knobs)?.p99_ms)
+    }
+
+    /// Score an arbitrary [`KnobSet`] for `name` on the wave simulator —
+    /// the controller's objective function. Planning happens at
+    /// `knobs.flops_budget` (through the probe cache, under the sim-GPU
+    /// key), lowering at `knobs.max_batch_size`, and the batching-delay and
+    /// fair-share-weight knobs enter the modelled p99 and throughput
+    /// analytically (see [`KnobEstimate`]).
+    pub fn estimate_knobs(&self, name: &str, knobs: &KnobSet) -> Result<KnobEstimate> {
+        let entry = self.lookup(name)?;
+        self.estimate_entry(&entry, knobs)
+    }
+
+    fn estimate_entry(&self, entry: &RegisteredModel, knobs: &KnobSet) -> Result<KnobEstimate> {
         let mut planning = entry.config.planning.clone();
-        planning.budget = budget;
+        planning.budget = knobs.flops_budget;
         planning.validate()?;
+        if knobs.max_batch_size == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "knob max_batch_size must be positive".into(),
+            });
+        }
+        if knobs.fair_share_weight == 0 {
+            return Err(ServeError::BadConfig {
+                reason: "knob fair_share_weight must be positive".into(),
+            });
+        }
         let cfg = planning.selection_config();
         let key = PlanKey::new(
             &entry.descriptor.name,
@@ -849,17 +1247,33 @@ impl ControlPlane {
                 .plan_with_config(&descriptor, &cfg)
                 .map_err(Into::into)
         })?;
-        let batch = entry.config.batching.max_batch_size.max(1);
+        let batch = knobs.max_batch_size.max(1);
         let lowered = lower_plan_with_fc(&plan, &entry.descriptor.fc, &planning.device, batch)?;
         let engine = WaveEngine::new(planning.device.clone());
-        let mut simulated_ms = 0.0f64;
+        let mut exec_ms = 0.0f64;
         for layer in &lowered {
-            simulated_ms += engine
+            exec_ms += engine
                 .run_sequence_stats(&layer.launches)
                 .map_err(tdc::TdcError::from)?
                 .total_ms;
         }
-        Ok(simulated_ms + entry.config.batching.max_batch_delay.as_secs_f64() * 1e3)
+        let delay_ms = knobs.max_batch_delay_us as f64 / 1e3;
+        // Full-batch service time plus the maximum batching wait is the tail
+        // a saturated open-loop workload converges to — what an SLO bounds.
+        let p99_ms = exec_ms + delay_ms;
+        // Saturated throughput: one full batch per service time, scaled by
+        // the fair-share weight (the executor grants the engine that many
+        // worker slots' worth of concurrent batches).
+        let throughput_rps = if exec_ms > 0.0 {
+            batch as f64 * knobs.fair_share_weight as f64 / exec_ms * 1e3
+        } else {
+            f64::INFINITY
+        };
+        Ok(KnobEstimate {
+            exec_ms,
+            p99_ms,
+            throughput_rps,
+        })
     }
 
     /// Search for the **largest** FLOPs budget (the most demanded
@@ -991,6 +1405,257 @@ impl ControlPlane {
             generation,
             probes,
         })
+    }
+
+    fn controller(&self) -> MutexGuard<'_, ControllerLedger> {
+        match self.controller.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The installed [`TuneDriver`], if any.
+    pub fn tune_driver(&self) -> Option<Arc<dyn TuneDriver>> {
+        match self.driver.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Install the knob search behind [`ControlPlane::tune`] (normally
+    /// `tdc-ctrl`'s coordinate-descent `Controller`). Replaces any previous
+    /// driver.
+    pub fn set_tune_driver(&self, driver: Arc<dyn TuneDriver>) {
+        let mut slot = match self.driver.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = Some(driver);
+    }
+
+    /// Run one controller tune for `name` through the installed driver and
+    /// record its outcome in the ledger (tuning generation, target, expected
+    /// p99). Fails typed (→ HTTP 400) when no driver is attached.
+    pub fn tune(&self, name: &str, request: &TuneRequest) -> Result<TuneReport> {
+        let Some(driver) = self.tune_driver() else {
+            return Err(ServeError::BadConfig {
+                reason: "no tune driver attached; install one with set_tune_driver \
+                         (tdc-ctrl's Controller is the stock implementation)"
+                    .into(),
+            });
+        };
+        let mut report = driver.tune(self, name, request)?;
+        self.note_tuned(&mut report);
+        Ok(report)
+    }
+
+    /// Fold a finished tune into the ledger and stamp its tuning
+    /// generation into the report.
+    fn note_tuned(&self, report: &mut TuneReport) {
+        {
+            let mut ledger = self.controller();
+            let state = ledger.models.entry(report.model.clone()).or_default();
+            state.tuning_generation += 1;
+            report.tuning_generation = state.tuning_generation;
+            state.target_p99_ms = report.target_p99_ms;
+            // The calibrated estimate at the winning knobs is what the watch
+            // loop drift-checks live p99 against.
+            state.expected_p99_ms = report.estimated_p99_ms;
+            state.last_objective_ms = report.estimated_p99_ms;
+            if let Some(measured) = report.measured_p99_ms {
+                state.last_measured_p99_ms = measured;
+            }
+        }
+        self.controller_tunes_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The live watch-loop configuration.
+    pub fn controller_config(&self) -> ControllerConfig {
+        self.controller().config
+    }
+
+    /// Replace the watch-loop configuration; a running watch picks it up on
+    /// its next tick. Returns the accepted config.
+    pub fn set_controller_config(&self, config: ControllerConfig) -> Result<ControllerConfig> {
+        config.validate()?;
+        self.controller().config = config;
+        Ok(config)
+    }
+
+    /// Controller snapshot: watch config, lifetime counters and per-model
+    /// tune state joined against the live routing table (knob values and
+    /// early-release counts come from the serving engines).
+    pub fn controller_status(&self) -> ControllerStatus {
+        let table = self.table.load();
+        let ledger = self.controller();
+        let models = table
+            .iter()
+            .map(|(name, entry)| {
+                let state = ledger.models.get(name).copied().unwrap_or_default();
+                ModelControllerStatus {
+                    model: name.clone(),
+                    tuning_generation: state.tuning_generation,
+                    target_p99_ms: state.target_p99_ms,
+                    expected_p99_ms: state.expected_p99_ms,
+                    last_objective_ms: state.last_objective_ms,
+                    last_measured_p99_ms: state.last_measured_p99_ms,
+                    drift_events: state.drift_events,
+                    early_releases: entry.engine.early_releases(),
+                    knobs: KnobSet::of(&entry.config),
+                }
+            })
+            .collect();
+        ControllerStatus {
+            config: ledger.config,
+            driver_attached: self.tune_driver().is_some(),
+            watchers: self.watchers.load(Ordering::Relaxed),
+            ticks_total: self.controller_ticks_total.load(Ordering::Relaxed),
+            tunes_total: self.controller_tunes_total.load(Ordering::Relaxed),
+            drift_events_total: self.controller_drift_events_total.load(Ordering::Relaxed),
+            models,
+        }
+    }
+
+    /// One watch tick on live measurements: scrape every routed engine's
+    /// latency metrics and hand them to
+    /// [`ControlPlane::controller_tick_with`]. The scrape also calibrates
+    /// each engine's deadline-aware early release: once a model has
+    /// [`ControllerConfig::min_samples`] executed requests, its measured
+    /// exec-latency p99 replaces the build-time simulator seed as the
+    /// estimate the batcher subtracts from the earliest deadline — the
+    /// fourth actuator tracks the deployment, not the model.
+    pub fn controller_tick(&self) -> TickReport {
+        let min_samples = self.controller_config().min_samples;
+        let table = self.table.load();
+        let feed: Vec<(String, MeasuredSlo)> = table
+            .iter()
+            .map(|(name, entry)| {
+                let metrics = entry.engine.metrics();
+                if metrics.exec_latency.count as u64 >= min_samples
+                    && metrics.exec_latency.p99_ms.is_finite()
+                    && metrics.exec_latency.p99_ms > 0.0
+                {
+                    entry.engine.set_exec_estimate(Duration::from_secs_f64(
+                        metrics.exec_latency.p99_ms / 1e3,
+                    ));
+                }
+                (name.clone(), MeasuredSlo::of(&metrics))
+            })
+            .collect();
+        self.controller_tick_with(&feed)
+    }
+
+    /// One watch tick on an explicit measurement feed — the deterministic
+    /// seam: tests script the feed and call this directly (no clock, no
+    /// thread). For every tuned model with at least
+    /// [`ControllerConfig::min_samples`] samples, compare measured p99
+    /// against the controller's expected p99; outside the drift band, record
+    /// a drift event and re-tune through the driver (the re-tune itself
+    /// refreshes the expectation, closing the loop).
+    pub fn controller_tick_with(&self, feed: &[(String, MeasuredSlo)]) -> TickReport {
+        self.controller_ticks_total.fetch_add(1, Ordering::Relaxed);
+        let mut report = TickReport::default();
+        let mut retunes: Vec<(String, f64)> = Vec::new();
+        {
+            let mut ledger = self.controller();
+            let config = ledger.config;
+            for (name, slo) in feed {
+                let Some(state) = ledger.models.get_mut(name) else {
+                    // Never tuned: no expectation to drift from. The model
+                    // enters the ledger through its first tune.
+                    continue;
+                };
+                if slo.samples > 0 {
+                    state.last_measured_p99_ms = slo.p99_ms;
+                }
+                if state.tuning_generation == 0 || state.expected_p99_ms <= 0.0 {
+                    continue;
+                }
+                if slo.samples < config.min_samples {
+                    // A freshly swapped engine must first serve enough
+                    // traffic for its p99 to mean anything.
+                    continue;
+                }
+                report.examined += 1;
+                let drift = (slo.p99_ms - state.expected_p99_ms).abs() / state.expected_p99_ms;
+                if drift > config.drift_band_frac {
+                    state.drift_events += 1;
+                    self.controller_drift_events_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    report.drifted.push(name.clone());
+                    retunes.push((name.clone(), state.target_p99_ms));
+                }
+            }
+        }
+        // Re-tunes run outside the ledger lock: the driver plans candidate
+        // budgets and drains the old engine on apply — slow writer work that
+        // must not block status reads or concurrent ticks.
+        for (name, target) in retunes {
+            let request = TuneRequest {
+                target_p99_ms: (target > 0.0).then_some(target),
+                ..TuneRequest::default()
+            };
+            if self.tune(&name, &request).is_ok() {
+                report.retuned.push(name);
+            }
+        }
+        report
+    }
+
+    /// Start the background watch loop on a dedicated thread: every
+    /// [`ControllerConfig::interval_ms`] it re-reads the config (a
+    /// `PUT /v1/controller` takes effect without a restart) and, when
+    /// enabled, runs [`ControlPlane::controller_tick`]. The thread holds
+    /// only a [`Weak`] registry handle, so it never keeps a torn-down
+    /// registry alive; it exits on its own when the registry drops. The
+    /// returned handle stops and joins the thread when dropped.
+    pub fn watch(registry: &Arc<ModelRegistry>) -> ControllerWatch {
+        registry.control().watchers.fetch_add(1, Ordering::Relaxed);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_flag = Arc::clone(&stop);
+        let weak: Weak<ModelRegistry> = Arc::downgrade(registry);
+        let thread = std::thread::spawn(move || {
+            loop {
+                let interval = {
+                    // Each cycle upgrades, reads the live config, and drops
+                    // the strong handle again before sleeping.
+                    let Some(registry) = weak.upgrade() else {
+                        return;
+                    };
+                    Duration::from_millis(registry.control().controller_config().interval_ms.max(1))
+                };
+                {
+                    let (lock, cvar) = &*stop_flag;
+                    let stopped = match lock.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    if *stopped {
+                        break;
+                    }
+                    let (stopped, _timeout) = match cvar.wait_timeout(stopped, interval) {
+                        Ok(outcome) => outcome,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    if *stopped {
+                        break;
+                    }
+                }
+                let Some(registry) = weak.upgrade() else {
+                    return;
+                };
+                if registry.control().controller_config().enabled {
+                    registry.control().controller_tick();
+                }
+            }
+            if let Some(registry) = weak.upgrade() {
+                registry.control().watchers.fetch_sub(1, Ordering::Relaxed);
+            }
+        });
+        ControllerWatch {
+            stop,
+            thread: Some(thread),
+        }
     }
 
     /// Retire every model: swap in an empty table, then drain and free each

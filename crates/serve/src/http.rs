@@ -40,6 +40,9 @@
 //! | `DELETE` | `/v1/models/{name}`           | graceful retire: unroute, drain, free — final counters |
 //! | `POST`   | `/v1/models/{name}/replan`    | re-plan at a new budget and hot-swap ([`ReplanReport`](crate::control::ReplanReport)) |
 //! | `POST`   | `/v1/models/{name}/autotune`  | SLO budget search ([`AutotuneReport`](crate::control::AutotuneReport)) |
+//! | `POST`   | `/v1/models/{name}/tune`      | joint knob tune through the controller ([`TuneReport`](crate::control::TuneReport)) |
+//! | `GET`    | `/v1/controller`              | controller status ([`ControllerStatus`](crate::control::ControllerStatus)) |
+//! | `PUT`    | `/v1/controller`              | merge a partial [`ControllerBody`] onto the watch-loop config |
 //!
 //! The infer body comes in two forms:
 //!
@@ -73,7 +76,7 @@
 
 use crate::arena::BufferPool;
 use crate::batcher::InferenceResponse;
-use crate::control::AutotuneRequest;
+use crate::control::{AutotuneRequest, ControllerConfig, TuneRequest};
 use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 use crate::registry::{ModelConfig, ModelRegistry};
 use crate::{BackendKind, Result, ServeError};
@@ -487,6 +490,134 @@ impl Deserialize for AutotuneBody {
             max_budget: optional_field(value, "max_budget")?,
             resolution: optional_field(value, "resolution")?,
             apply: optional_field(value, "apply")?,
+        })
+    }
+}
+
+/// JSON body of `POST /v1/models/{name}/tune`: every field optional (an
+/// empty body tunes against the model's recorded target with defaults).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuneBody {
+    /// Target p99 end-to-end latency, ms (default: the model's recorded
+    /// target, or one derived from its current operating point).
+    pub target_p99_ms: Option<f64>,
+    /// Whether to hot-swap the winning knobs in (default true).
+    pub apply: Option<bool>,
+    /// Coordinate-descent round budget (default 3).
+    pub max_rounds: Option<u64>,
+}
+
+impl TuneBody {
+    /// Resolve into the control plane's request, filling gaps with
+    /// [`TuneRequest::default`].
+    pub fn request(&self) -> TuneRequest {
+        let defaults = TuneRequest::default();
+        TuneRequest {
+            target_p99_ms: self.target_p99_ms,
+            apply: self.apply.unwrap_or(defaults.apply),
+            max_rounds: self.max_rounds.unwrap_or(defaults.max_rounds),
+        }
+    }
+}
+
+impl Serialize for TuneBody {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = Vec::new();
+        let mut push_opt = |name: &str, value: Option<serde::Value>| {
+            if let Some(value) = value {
+                fields.push((name.to_string(), value));
+            }
+        };
+        push_opt(
+            "target_p99_ms",
+            self.target_p99_ms.as_ref().map(Serialize::to_value),
+        );
+        push_opt("apply", self.apply.as_ref().map(Serialize::to_value));
+        push_opt(
+            "max_rounds",
+            self.max_rounds.as_ref().map(Serialize::to_value),
+        );
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for TuneBody {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(TuneBody {
+            target_p99_ms: optional_field(value, "target_p99_ms")?,
+            apply: optional_field(value, "apply")?,
+            max_rounds: optional_field(value, "max_rounds")?,
+        })
+    }
+}
+
+/// JSON body of `PUT /v1/controller`: a partial [`ControllerConfig`] —
+/// present fields override the live config, absent ones keep their current
+/// values, so `{"enabled": true}` flips the watch loop on without
+/// re-stating the interval or band.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControllerBody {
+    /// Whether the watch loop acts on its ticks.
+    pub enabled: Option<bool>,
+    /// Milliseconds between watch ticks.
+    pub interval_ms: Option<u64>,
+    /// Re-tune when measured p99 drifts beyond this fraction of expected.
+    pub drift_band_frac: Option<f64>,
+    /// Minimum latency samples before a model's p99 is drift-checked.
+    pub min_samples: Option<u64>,
+}
+
+impl ControllerBody {
+    /// The live config with this body's present fields overridden.
+    pub fn merged_onto(&self, mut config: ControllerConfig) -> ControllerConfig {
+        if let Some(enabled) = self.enabled {
+            config.enabled = enabled;
+        }
+        if let Some(interval_ms) = self.interval_ms {
+            config.interval_ms = interval_ms;
+        }
+        if let Some(drift_band_frac) = self.drift_band_frac {
+            config.drift_band_frac = drift_band_frac;
+        }
+        if let Some(min_samples) = self.min_samples {
+            config.min_samples = min_samples;
+        }
+        config
+    }
+}
+
+impl Serialize for ControllerBody {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = Vec::new();
+        let mut push_opt = |name: &str, value: Option<serde::Value>| {
+            if let Some(value) = value {
+                fields.push((name.to_string(), value));
+            }
+        };
+        push_opt("enabled", self.enabled.as_ref().map(Serialize::to_value));
+        push_opt(
+            "interval_ms",
+            self.interval_ms.as_ref().map(Serialize::to_value),
+        );
+        push_opt(
+            "drift_band_frac",
+            self.drift_band_frac.as_ref().map(Serialize::to_value),
+        );
+        push_opt(
+            "min_samples",
+            self.min_samples.as_ref().map(Serialize::to_value),
+        );
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ControllerBody {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(ControllerBody {
+            enabled: optional_field(value, "enabled")?,
+            interval_ms: optional_field(value, "interval_ms")?,
+            drift_band_frac: optional_field(value, "drift_band_frac")?,
+            min_samples: optional_field(value, "min_samples")?,
         })
     }
 }
@@ -1279,9 +1410,53 @@ fn autotune_model(registry: &ModelRegistry, name: &str, body: &str) -> Routed {
     }
 }
 
+/// `POST /v1/models/{name}/tune` — one controller tune (joint knob search
+/// through the installed [`TuneDriver`](crate::control::TuneDriver)). An
+/// empty body runs with defaults.
+fn tune_model(registry: &ModelRegistry, name: &str, body: &str) -> Routed {
+    let parsed = if body.trim().is_empty() {
+        TuneBody::default()
+    } else {
+        match serde_json::parse_value(body)
+            .and_then(|value| TuneBody::from_value(&value))
+            .map_err(bad_body)
+        {
+            Ok(parsed) => parsed,
+            Err(e) => return serve_error_routed(registry, Some(name), &e),
+        }
+    };
+    match registry.tune(name, &parsed.request()) {
+        Ok(report) => json_routed(200, &report),
+        Err(e) => serve_error_routed(registry, Some(name), &e),
+    }
+}
+
+/// `PUT /v1/controller` — merge a partial config onto the live watch-loop
+/// configuration and reply with the resulting controller status.
+fn put_controller(registry: &ModelRegistry, body: &str) -> Routed {
+    let parsed = if body.trim().is_empty() {
+        ControllerBody::default()
+    } else {
+        match serde_json::parse_value(body)
+            .and_then(|value| ControllerBody::from_value(&value))
+            .map_err(bad_body)
+        {
+            Ok(parsed) => parsed,
+            Err(e) => return serve_error_routed(registry, None, &e),
+        }
+    };
+    let merged = parsed.merged_onto(registry.controller_config());
+    match registry.set_controller_config(merged) {
+        Ok(_) => json_routed(200, &registry.controller_status()),
+        Err(e) => serve_error_routed(registry, None, &e),
+    }
+}
+
 /// Full request router, independent of any socket: maps one parsed request
-/// onto a reply with status, JSON body and optional Retry-After.
-fn route_full(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> Routed {
+/// onto a reply with status, JSON body and optional Retry-After. Public so
+/// custom [`HttpHandler`]s (a chaos harness interposing on a replica, say)
+/// can delegate to the stock registry route table.
+pub fn route_full(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> Routed {
     match (method, path) {
         ("GET", "/healthz") => json_routed(200, &HealthReply::snapshot(registry)),
         ("GET", "/v1/models") => json_routed(
@@ -1291,6 +1466,8 @@ fn route_full(registry: &ModelRegistry, method: &str, path: &str, body: &str) ->
             },
         ),
         ("GET", "/metrics") => json_routed(200, &registry.metrics()),
+        ("GET", "/v1/controller") => json_routed(200, &registry.controller_status()),
+        ("PUT", "/v1/controller") => put_controller(registry, body),
         ("POST", post_path) => {
             if let Some(model) = action_path(post_path, "/infer") {
                 match infer(registry, model, body) {
@@ -1305,6 +1482,8 @@ fn route_full(registry: &ModelRegistry, method: &str, path: &str, body: &str) ->
                 replan_model(registry, model, body)
             } else if let Some(model) = action_path(post_path, "/autotune") {
                 autotune_model(registry, model, body)
+            } else if let Some(model) = action_path(post_path, "/tune") {
+                tune_model(registry, model, body)
             } else {
                 error_routed(404, format!("no route for POST {post_path}"))
             }

@@ -97,8 +97,10 @@ pub use batcher::{
     BatchQueue, DequeuedBatch, InferenceRequest, InferenceResponse, PendingResponse,
 };
 pub use control::{
-    AutotuneProbe, AutotuneReport, AutotuneRequest, ControlPlane, EngineHandle, EpochSwap,
-    LifecycleCounters, ReplanReport,
+    AutotuneProbe, AutotuneReport, AutotuneRequest, ControlPlane, ControllerConfig,
+    ControllerStatus, ControllerWatch, EngineHandle, EpochSwap, KnobEstimate, KnobSet,
+    LifecycleCounters, MeasuredSlo, ModelControllerStatus, ReplanReport, TickReport, TuneDriver,
+    TuneProbe, TuneReport, TuneRequest,
 };
 pub use http::{HealthReply, HttpClient, HttpHandler, HttpServer, RoutedResponse, ShutdownSignal};
 pub use metrics::{LatencySummary, ServeMetrics};

@@ -93,6 +93,11 @@ pub struct ServeMetrics {
     /// injector. `0` until the engine's handle fills it in
     /// ([`MetricsRecorder`] itself does not see the executor).
     pub stolen_batches: u64,
+    /// Batches released early at `deadline − estimated_exec_time` (the
+    /// batcher's deadline-aware early release). `0` until the engine's
+    /// handle fills it in from the batch queue ([`MetricsRecorder`] itself
+    /// does not see the batcher).
+    pub early_releases: u64,
     /// Mean requests per executed batch.
     pub mean_batch_size: f64,
     /// Largest batch executed.
@@ -244,6 +249,7 @@ impl MetricsRecorder {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             batches,
             stolen_batches: 0,
+            early_releases: 0,
             mean_batch_size: if batches > 0 {
                 completed as f64 / batches as f64
             } else {

@@ -33,8 +33,13 @@
 //! path segments); [`ModelDescriptor::slug`] produces a canonical safe name
 //! from any descriptor.
 
+use crate::arena::PoolStats;
 use crate::batcher::{InferenceResponse, PendingResponse};
-use crate::control::{AutotuneReport, AutotuneRequest, ControlPlane, EngineHandle, ReplanReport};
+use crate::control::{
+    AutotuneReport, AutotuneRequest, ControlPlane, ControllerConfig, ControllerStatus,
+    ControllerWatch, EngineHandle, KnobEstimate, KnobSet, MeasuredSlo, ReplanReport, TickReport,
+    TuneDriver, TuneReport, TuneRequest,
+};
 use crate::metrics::ServeMetrics;
 use crate::options::{BatchingOptions, PlanningOptions, RuntimeOptions};
 use crate::plan_cache::{PlanCache, PlanCacheStats};
@@ -156,6 +161,10 @@ pub struct ModelMetricsEntry {
     /// queued/running dispatch tokens, and how many of its batches ran on a
     /// stolen token.
     pub executor: tdc_exec::SourceMetrics,
+    /// The engine's scratch-arena buffer pool: allocation high-water mark
+    /// and take/hit counters. Per plan generation (a hot-swap builds a
+    /// fresh pool with the engine).
+    pub pool: PoolStats,
 }
 
 /// Aggregated metrics across every registered model, plus the control-plane
@@ -200,6 +209,10 @@ pub struct RegistryMetrics {
     /// zeros (with empty bands) when the registry fell back to per-engine
     /// private pools.
     pub executor: tdc_exec::ExecutorMetrics,
+    /// SLO-controller snapshot: watch config, tick/tune/drift counters and
+    /// per-model tuning state (generation, target, expected vs measured
+    /// p99, early-release counts, current knob values).
+    pub controller: ControllerStatus,
 }
 
 /// N named serving engines behind one name-based router.
@@ -337,6 +350,73 @@ impl ModelRegistry {
         self.control.estimate_sim_p99_ms(name, budget)
     }
 
+    /// Hot-swap `name`'s whole [`ModelConfig`] (budget, batch shape,
+    /// runtime) in one zero-drop swap. See
+    /// [`ControlPlane::reconfigure_with`].
+    pub fn reconfigure_with(
+        &self,
+        name: &str,
+        update: impl FnOnce(ModelConfig) -> ModelConfig,
+    ) -> Result<ReplanReport> {
+        self.control.reconfigure_with(name, update)
+    }
+
+    /// Score a [`KnobSet`] candidate for `name` on the wave simulator. See
+    /// [`ControlPlane::estimate_knobs`].
+    pub fn estimate_knobs(&self, name: &str, knobs: &KnobSet) -> Result<KnobEstimate> {
+        self.control.estimate_knobs(name, knobs)
+    }
+
+    /// Install the controller's knob search. See
+    /// [`ControlPlane::set_tune_driver`].
+    pub fn set_tune_driver(&self, driver: Arc<dyn TuneDriver>) {
+        self.control.set_tune_driver(driver)
+    }
+
+    /// Run one controller tune for `name` through the installed driver. See
+    /// [`ControlPlane::tune`].
+    pub fn tune(&self, name: &str, request: &TuneRequest) -> Result<TuneReport> {
+        self.control.tune(name, request)
+    }
+
+    /// The live watch-loop configuration. See
+    /// [`ControlPlane::controller_config`].
+    pub fn controller_config(&self) -> ControllerConfig {
+        self.control.controller_config()
+    }
+
+    /// Replace the watch-loop configuration (picked up by a running watch
+    /// on its next tick). See [`ControlPlane::set_controller_config`].
+    pub fn set_controller_config(&self, config: ControllerConfig) -> Result<ControllerConfig> {
+        self.control.set_controller_config(config)
+    }
+
+    /// Controller snapshot: config, counters, per-model tuning state. See
+    /// [`ControlPlane::controller_status`].
+    pub fn controller_status(&self) -> ControllerStatus {
+        self.control.controller_status()
+    }
+
+    /// One controller tick on live engine metrics. See
+    /// [`ControlPlane::controller_tick`].
+    pub fn controller_tick(&self) -> TickReport {
+        self.control.controller_tick()
+    }
+
+    /// One controller tick on a scripted measurement feed (the
+    /// deterministic test seam). See
+    /// [`ControlPlane::controller_tick_with`].
+    pub fn controller_tick_with(&self, feed: &[(String, MeasuredSlo)]) -> TickReport {
+        self.control.controller_tick_with(feed)
+    }
+
+    /// Start the background watch loop against this registry; the returned
+    /// handle stops and joins the thread on drop. See
+    /// [`ControlPlane::watch`].
+    pub fn watch(self: &Arc<Self>) -> ControllerWatch {
+        ControlPlane::watch(self)
+    }
+
     /// Registered model count.
     pub fn len(&self) -> usize {
         self.control.snapshot().len()
@@ -448,6 +528,7 @@ impl ModelRegistry {
                     queue_depth: m.engine.queue_depth(),
                     metrics,
                     executor: m.engine.executor_source(),
+                    pool: m.engine.pool_stats(),
                 }
             })
             .collect();
@@ -486,6 +567,7 @@ impl ModelRegistry {
             autotune_runs_total: lifecycle.autotune_runs_total,
             plan_cache: self.control.cache().stats(),
             executor: self.control.executor_metrics(),
+            controller: self.control.controller_status(),
             models,
         }
     }

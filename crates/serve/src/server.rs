@@ -284,6 +284,12 @@ impl<'a> ServeEngineBuilder<'a> {
             .latency_report(self.batching.max_batch_size)
             .map(|r| r.total_ms)
             .unwrap_or(latency_report.total_ms * self.batching.max_batch_size as f64);
+        // Deadline-aware early release: the batcher releases a forming batch
+        // at `deadline − estimated_exec_time`, so the deadline bounds the
+        // *answer*, not merely the dequeue. Batch-delay tuning and deadline
+        // enforcement thereby share one latency model.
+        core.queue
+            .set_exec_estimate(Duration::from_secs_f64((estimated_batch_ms / 1e3).max(0.0)));
 
         Ok(ServeEngine {
             core,
@@ -756,7 +762,29 @@ impl ServeEngine {
     pub fn metrics(&self) -> ServeMetrics {
         let mut snapshot = self.core.metrics.snapshot();
         snapshot.stolen_batches = self.handle.stolen_batches();
+        snapshot.early_releases = self.core.queue.early_releases();
         snapshot
+    }
+
+    /// How many batches the engine released early at
+    /// `deadline − estimated_exec_time` (deadline-aware early release; see
+    /// [`BatchQueue::set_exec_estimate`](crate::BatchQueue)).
+    pub fn early_releases(&self) -> u64 {
+        self.core.queue.early_releases()
+    }
+
+    /// Replace the execution-time estimate the deadline-aware early release
+    /// subtracts from the earliest deadline. Seeded at build from the
+    /// backend's latency report; the SLO controller refreshes it from
+    /// *measured* exec latency on watch ticks, so the release point tracks
+    /// the deployment rather than the model. Zero disables early release.
+    pub fn set_exec_estimate(&self, estimate: Duration) {
+        self.core.queue.set_exec_estimate(estimate);
+    }
+
+    /// The execution-time estimate currently steering early release.
+    pub fn exec_estimate(&self) -> Duration {
+        self.core.queue.exec_estimate()
     }
 
     /// Cumulative telemetry of the engine's f32 buffer pool: fresh

@@ -9,13 +9,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdc_repro::router::testkit::{self, drain_replica, fleet_config, manual_probe_options};
-use tdc_repro::router::{Router, RouterOptions, RoutingPolicy};
+use tdc_repro::router::{FleetReply, Router, RouterOptions, RoutingPolicy};
 use tdc_repro::serve::http::{
     http_request, http_request_with_headers, BatchInferBody, BatchInferReply, InferBody, InferReply,
 };
 use tdc_repro::serve::{
-    serving_descriptor, BatchingOptions, HttpClient, HttpServer, ModelConfig, ModelRegistry,
-    PlanningOptions, RuntimeOptions, ServeEngine,
+    serving_descriptor, BatchingOptions, ControllerStatus, HttpClient, HttpServer, ModelConfig,
+    ModelRegistry, PlanningOptions, RuntimeOptions, ServeEngine, TuneReport,
 };
 use tdc_repro::tensor::Tensor;
 
@@ -276,6 +276,99 @@ fn rolling_replan_keeps_serving_and_converges_every_replica() {
         );
     }
     assert_eq!(router.metrics().fleet_replans_total, 1);
+
+    router.stop();
+    front.stop();
+    for server in servers {
+        drain_replica(server);
+    }
+}
+
+#[test]
+fn a_fleet_tune_rolls_every_replica_and_controller_state_aggregates() {
+    let (servers, router, front) = bind_fleet(2, manual_probe_options(RoutingPolicy::LeastLoaded));
+    let addr = front.local_addr();
+    let path = format!("/v1/models/{MODEL}/infer");
+
+    // A little warm-up traffic so each tune has measured latency on hand
+    // (the search calibrates against it only past min_samples, but this
+    // exercises the scrape path either way).
+    for _ in 0..4 {
+        let (status, reply) = http_request(&addr, "POST", &path, Some(&infer_body(None))).unwrap();
+        assert_eq!(status, 200, "warm-up infer failed: {reply}");
+    }
+
+    // Tune through the router: the fan-out rolls one replica at a time and
+    // every row carries that replica's own TuneReport.
+    let (status, reply) = http_request(
+        &addr,
+        "POST",
+        &format!("/v1/models/{MODEL}/tune"),
+        Some("{\"target_p99_ms\": 5.0}"),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "fleet tune failed: {reply}");
+    let fleet: FleetReply = serde_json::from_str(&reply).unwrap();
+    assert!(fleet.ok, "fleet tune not ok: {reply}");
+    assert_eq!(fleet.replicas.len(), 2);
+    for row in &fleet.replicas {
+        assert_eq!(
+            row.status, 200,
+            "replica {} tune failed: {}",
+            row.id, row.body
+        );
+        let report: TuneReport = serde_json::from_str(&row.body).unwrap();
+        assert_eq!(report.model, MODEL);
+        assert_eq!(
+            report.tuning_generation, 1,
+            "replica {} not on its first tune",
+            row.id
+        );
+        assert!(
+            report.converged,
+            "replica {} missed a 5 ms target: {}",
+            row.id, row.body
+        );
+    }
+
+    // The controller config fans out like any other control-plane write...
+    let (status, reply) = http_request(
+        &addr,
+        "PUT",
+        "/v1/controller",
+        Some("{\"enabled\": true, \"interval_ms\": 50}"),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "fleet controller update failed: {reply}");
+
+    // ...and the status read aggregates every replica's own block, so the
+    // tune and the config change are both visible per replica.
+    let (status, reply) = http_request(&addr, "GET", "/v1/controller", None).unwrap();
+    assert_eq!(status, 200, "fleet controller status failed: {reply}");
+    let fleet: FleetReply = serde_json::from_str(&reply).unwrap();
+    assert!(fleet.ok);
+    assert_eq!(fleet.replicas.len(), 2);
+    for row in &fleet.replicas {
+        let controller: ControllerStatus = serde_json::from_str(&row.body).unwrap();
+        assert!(
+            controller.driver_attached,
+            "replica {} lost its driver",
+            row.id
+        );
+        assert!(controller.config.enabled);
+        assert_eq!(controller.config.interval_ms, 50);
+        assert_eq!(controller.tunes_total, 1);
+        let model = controller
+            .models
+            .iter()
+            .find(|m| m.model == MODEL)
+            .expect("tuned model missing from controller status");
+        assert_eq!(model.tuning_generation, 1);
+    }
+
+    let metrics = router.metrics();
+    assert_eq!(metrics.fleet_tunes_total, 1);
+    assert_eq!(metrics.fleet_controller_updates_total, 1);
 
     router.stop();
     front.stop();
